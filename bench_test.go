@@ -1,0 +1,330 @@
+// Benchmarks regenerating the paper's evaluation, one per figure
+// (there are no numbered tables in the paper). Run with:
+//
+//	go test -bench=. -benchmem
+//
+// Figures whose metric is not wall-clock time (storage bytes, simulated
+// hardware counters, modeled cross-architecture latency) report their
+// values through b.ReportMetric. cmd/bolt-bench renders the same
+// experiments as full-size text tables.
+package bolt_test
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+
+	"bolt"
+	"bolt/internal/baselines"
+	"bolt/internal/bench"
+	"bolt/internal/core"
+	"bolt/internal/dataset"
+	"bolt/internal/forest"
+	"bolt/internal/layout"
+	"bolt/internal/perfsim"
+	"bolt/internal/tree"
+)
+
+// fixture is a trained+compiled workload shared across benchmarks.
+type fixture struct {
+	train, test *dataset.Dataset
+	forest      *forest.Forest
+	bolt        *core.Forest
+	threshold   int
+}
+
+var (
+	fixMu    sync.Mutex
+	fixCache = map[string]*fixture{}
+)
+
+// getFixture trains and compiles (Phase-2 tuned) one workload variant,
+// caching it for the whole bench run.
+func getFixture(b *testing.B, ds string, trees, height int) *fixture {
+	b.Helper()
+	key := fmt.Sprintf("%s/%d/%d", ds, trees, height)
+	fixMu.Lock()
+	defer fixMu.Unlock()
+	if f, ok := fixCache[key]; ok {
+		return f
+	}
+	cfg := bench.Config{TrainSamples: 1200, TestSamples: 300}
+	var w bench.Workload
+	switch ds {
+	case "mnist":
+		w = bench.MNISTWorkload(cfg)
+	case "lstw":
+		w = bench.LSTWWorkload(cfg)
+	case "yelp":
+		w = bench.YelpWorkload(cfg)
+	default:
+		b.Fatalf("unknown dataset %q", ds)
+	}
+	f := bench.TrainForest(w, trees, height, 2022)
+	bf, th, err := bench.CompileAuto(f, cfg, w.Test.X)
+	if err != nil {
+		b.Fatal(err)
+	}
+	fx := &fixture{train: w.Train, test: w.Test, forest: f, bolt: bf, threshold: th}
+	fixCache[key] = fx
+	return fx
+}
+
+// benchPredict runs a predict closure over the fixture's test set.
+func benchPredict(b *testing.B, predict func(x []float32) int, X [][]float32) {
+	b.Helper()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		predict(X[i%len(X)])
+	}
+}
+
+// BenchmarkFig08Layout reports Fig. 8's bytes-per-entry for the Bolt
+// and decompressed layouts (metrics, not time).
+func BenchmarkFig08Layout(b *testing.B) {
+	fx := getFixture(b, "mnist", 10, 4)
+	var acc layout.Accounting
+	var err error
+	for i := 0; i < b.N; i++ {
+		acc, err = layout.Measure(fx.bolt)
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(acc.Bolt.Masks, "bolt-mask-B/entry")
+	b.ReportMetric(acc.Decompressed.Masks, "raw-mask-B/entry")
+	b.ReportMetric(acc.Bolt.Results, "bolt-result-B/entry")
+	b.ReportMetric(acc.Decompressed.Results, "raw-result-B/entry")
+	b.ReportMetric(acc.Bolt.EntryID, "bolt-id-B/entry")
+	b.ReportMetric(acc.Decompressed.EntryID, "raw-id-B/entry")
+}
+
+// BenchmarkFig09Architectures reports Bolt's modeled per-sample latency
+// on each hardware profile (Fig. 9).
+func BenchmarkFig09Architectures(b *testing.B) {
+	fx := getFixture(b, "mnist", 10, 4)
+	costs := perfsim.DefaultCosts()
+	for _, p := range perfsim.Profiles() {
+		p := p
+		b.Run(p.Name, func(b *testing.B) {
+			sim := perfsim.NewBoltSim(fx.bolt, costs)
+			m := perfsim.NewMachine(p)
+			for _, x := range fx.test.X[:100] { // warm
+				sim.Predict(x, m)
+			}
+			m.C = perfsim.Counters{}
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				sim.Predict(fx.test.X[i%len(fx.test.X)], m)
+			}
+			b.ReportMetric(m.ModeledLatency(p)/float64(b.N), "modeled-ns/sample")
+		})
+	}
+}
+
+// BenchmarkFig10Platforms times the four platforms on the paper's small
+// forest (Fig. 10): 10 trees, height 4, one core.
+func BenchmarkFig10Platforms(b *testing.B) {
+	fx := getFixture(b, "mnist", 10, 4)
+	p := bolt.NewPredictor(fx.bolt)
+	naive := baselines.NewNaive(fx.forest, 1)
+	ranger := baselines.NewRanger(fx.forest)
+	fp := baselines.NewForestPacking(fx.forest, fx.test.X)
+	b.Run("BOLT", func(b *testing.B) { benchPredict(b, p.Predict, fx.test.X) })
+	b.Run("Scikit", func(b *testing.B) { benchPredict(b, naive.Predict, fx.test.X) })
+	b.Run("Ranger", func(b *testing.B) { benchPredict(b, ranger.Predict, fx.test.X) })
+	b.Run("FP", func(b *testing.B) { benchPredict(b, fp.Predict, fx.test.X) })
+}
+
+// BenchmarkFig11AHeight sweeps maximum tree height (Fig. 11A).
+func BenchmarkFig11AHeight(b *testing.B) {
+	for _, h := range []int{4, 5, 6, 8, 10} {
+		h := h
+		fx := getFixture(b, "mnist", 10, h)
+		p := bolt.NewPredictor(fx.bolt)
+		naive := baselines.NewNaive(fx.forest, 1)
+		ranger := baselines.NewRanger(fx.forest)
+		fp := baselines.NewForestPacking(fx.forest, fx.test.X)
+		b.Run(fmt.Sprintf("h=%d/BOLT", h), func(b *testing.B) { benchPredict(b, p.Predict, fx.test.X) })
+		b.Run(fmt.Sprintf("h=%d/Scikit", h), func(b *testing.B) { benchPredict(b, naive.Predict, fx.test.X) })
+		b.Run(fmt.Sprintf("h=%d/Ranger", h), func(b *testing.B) { benchPredict(b, ranger.Predict, fx.test.X) })
+		b.Run(fmt.Sprintf("h=%d/FP", h), func(b *testing.B) { benchPredict(b, fp.Predict, fx.test.X) })
+	}
+}
+
+// BenchmarkFig11BTrees sweeps ensemble size (Fig. 11B).
+func BenchmarkFig11BTrees(b *testing.B) {
+	for _, n := range []int{10, 14, 18, 22, 26, 30} {
+		n := n
+		fx := getFixture(b, "mnist", n, 4)
+		p := bolt.NewPredictor(fx.bolt)
+		naive := baselines.NewNaive(fx.forest, 1)
+		ranger := baselines.NewRanger(fx.forest)
+		fp := baselines.NewForestPacking(fx.forest, fx.test.X)
+		b.Run(fmt.Sprintf("trees=%d/BOLT", n), func(b *testing.B) { benchPredict(b, p.Predict, fx.test.X) })
+		b.Run(fmt.Sprintf("trees=%d/Scikit", n), func(b *testing.B) { benchPredict(b, naive.Predict, fx.test.X) })
+		b.Run(fmt.Sprintf("trees=%d/Ranger", n), func(b *testing.B) { benchPredict(b, ranger.Predict, fx.test.X) })
+		b.Run(fmt.Sprintf("trees=%d/FP", n), func(b *testing.B) { benchPredict(b, fp.Predict, fx.test.X) })
+	}
+}
+
+// BenchmarkFig12Counters reports the simulated execution-efficiency
+// counters per sample for each platform (Fig. 12).
+func BenchmarkFig12Counters(b *testing.B) {
+	fx := getFixture(b, "mnist", 10, 4)
+	costs := perfsim.DefaultCosts()
+	sims := []struct {
+		name    string
+		predict func(x []float32, m *perfsim.Machine) int
+	}{
+		{"BOLT", perfsim.NewBoltSim(fx.bolt, costs).Predict},
+		{"Scikit", perfsim.NewNaiveSim(baselines.NewNaive(fx.forest, 2), costs).Predict},
+		{"Ranger", perfsim.NewRangerSim(baselines.NewRanger(fx.forest), costs).Predict},
+		{"FP", perfsim.NewFPSim(baselines.NewForestPacking(fx.forest, fx.test.X), costs).Predict},
+	}
+	for _, s := range sims {
+		s := s
+		b.Run(s.name, func(b *testing.B) {
+			m := perfsim.NewMachine(perfsim.XeonE52650)
+			for _, x := range fx.test.X[:100] { // warm
+				s.predict(x, m)
+			}
+			m.C = perfsim.Counters{}
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				s.predict(fx.test.X[i%len(fx.test.X)], m)
+			}
+			n := float64(b.N)
+			b.ReportMetric(float64(m.C.Instructions)/n, "instr/sample")
+			b.ReportMetric(float64(m.C.Branches)/n, "branches/sample")
+			b.ReportMetric(float64(m.C.BranchMisses)/n, "bmiss/sample")
+			b.ReportMetric(float64(m.C.CacheMisses)/n, "cmiss/sample")
+		})
+	}
+}
+
+// BenchmarkFig13ACores times single-sample parallelisation across
+// dictionary/table partitions (Fig. 13A). The forest is larger than
+// Fig. 10's so the split work amortises goroutine dispatch.
+func BenchmarkFig13ACores(b *testing.B) {
+	// A long dictionary gives the partitions real work.
+	cfg := bench.Config{TrainSamples: 1200, TestSamples: 300}
+	w := bench.MNISTWorkload(cfg)
+	f := bench.TrainForest(w, 30, 8, 99)
+	comp, err := core.NewCompilation(f)
+	if err != nil {
+		b.Fatal(err)
+	}
+	bf, err := comp.Compile(core.Options{ClusterThreshold: 1, BloomBitsPerKey: -1})
+	if err != nil {
+		b.Fatal(err)
+	}
+	p := bolt.NewPredictor(bf)
+	b.Run("cores=1", func(b *testing.B) { benchPredict(b, p.Predict, w.Test.X) })
+	for _, cores := range [][2]int{{2, 1}, {4, 1}, {8, 1}, {4, 4}} {
+		pe, err := core.NewPartitioned(bf, cores[0], cores[1])
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.Run(fmt.Sprintf("cores=%d(d=%d,t=%d)", pe.Cores(), cores[0], cores[1]), func(b *testing.B) {
+			benchPredict(b, pe.Predict, w.Test.X)
+		})
+	}
+}
+
+// BenchmarkFig13BHyper times Bolt under different hyperparameter
+// settings (Fig. 13B): the spread is the cost of skipping Phase 2.
+func BenchmarkFig13BHyper(b *testing.B) {
+	fx := getFixture(b, "mnist", 10, 4)
+	comp, err := core.NewCompilation(fx.forest)
+	if err != nil {
+		b.Fatal(err)
+	}
+	for _, th := range []int{0, 1, 2, 4, 8, 12} {
+		for _, bloom := range []int{-1, 8} {
+			bf, err := comp.Compile(core.Options{ClusterThreshold: th, BloomBitsPerKey: bloom, Seed: 5})
+			if err != nil {
+				b.Fatal(err)
+			}
+			p := bolt.NewPredictor(bf)
+			b.Run(fmt.Sprintf("th=%d/bloom=%d", th, bloom), func(b *testing.B) {
+				benchPredict(b, p.Predict, fx.test.X)
+			})
+		}
+	}
+}
+
+// BenchmarkFig14Datasets times Bolt vs the Scikit-like baseline on the
+// LSTW and Yelp workloads (Fig. 14).
+func BenchmarkFig14Datasets(b *testing.B) {
+	for _, c := range []struct {
+		ds      string
+		heights []int
+	}{
+		{"lstw", []int{5, 8}},
+		{"yelp", []int{4, 6, 8}},
+	} {
+		for _, h := range c.heights {
+			fx := getFixture(b, c.ds, 10, h)
+			p := bolt.NewPredictor(fx.bolt)
+			naive := baselines.NewNaive(fx.forest, 3)
+			b.Run(fmt.Sprintf("%s/h=%d/BOLT", c.ds, h), func(b *testing.B) { benchPredict(b, p.Predict, fx.test.X) })
+			b.Run(fmt.Sprintf("%s/h=%d/Scikit", c.ds, h), func(b *testing.B) { benchPredict(b, naive.Predict, fx.test.X) })
+		}
+	}
+}
+
+// BenchmarkFig15DeepForest times two-layer deep forests (Fig. 15).
+func BenchmarkFig15DeepForest(b *testing.B) {
+	for _, c := range []struct {
+		ds      string
+		heights []int
+	}{
+		{"mnist", []int{5, 15, 20}},
+		{"lstw", []int{5, 8, 12}},
+	} {
+		cfg := bench.Config{TrainSamples: 1200, TestSamples: 300}
+		var w bench.Workload
+		if c.ds == "mnist" {
+			w = bench.MNISTWorkload(cfg)
+		} else {
+			w = bench.LSTWWorkload(cfg)
+		}
+		for _, h := range c.heights {
+			df := forest.TrainDeep(w.Train, forest.DeepConfig{
+				NumLayers:       2,
+				ForestsPerLayer: 1,
+				Forest:          forest.Config{NumTrees: 10, Tree: tree.Config{MaxDepth: h}},
+				Seed:            uint64(h) * 7,
+			})
+			db, err := core.CompileDeep(df, core.Options{ClusterThreshold: deepThreshold(df), Seed: 9})
+			if err != nil {
+				b.Fatal(err)
+			}
+			b.Run(fmt.Sprintf("%s/h=%d/BOLT", c.ds, h), func(b *testing.B) {
+				benchPredict(b, db.Predict, w.Test.X)
+			})
+			b.Run(fmt.Sprintf("%s/h=%d/Forest", c.ds, h), func(b *testing.B) {
+				benchPredict(b, df.Predict, w.Test.X)
+			})
+		}
+	}
+}
+
+// deepThreshold picks a safe threshold for every cascade layer.
+func deepThreshold(df *forest.DeepForest) int {
+	th := 8
+	for _, layer := range df.Layers {
+		for _, f := range layer {
+			comp, err := core.NewCompilation(f)
+			if err != nil {
+				continue
+			}
+			for th > 0 && comp.EstimateEntries(th) > 1<<17 {
+				th--
+			}
+		}
+	}
+	return th
+}

@@ -1,0 +1,176 @@
+package bolt
+
+import (
+	"io"
+
+	"bolt/internal/core"
+	"bolt/internal/dataset"
+	"bolt/internal/forest"
+	"bolt/internal/tree"
+)
+
+// Dataset is a dense labelled sample matrix; see the dataset generators
+// SyntheticMNIST, SyntheticLSTW, SyntheticYelp and SyntheticBlobs.
+type Dataset = dataset.Dataset
+
+// TreeConfig controls CART training of individual trees.
+type TreeConfig = tree.Config
+
+// Tree is a trained decision tree.
+type Tree = tree.Tree
+
+// Criterion selects the split impurity measure (Gini or Entropy).
+type Criterion = tree.Criterion
+
+// Impurity criteria.
+const (
+	Gini    = tree.Gini
+	Entropy = tree.Entropy
+)
+
+// TreeKind distinguishes classification from regression models.
+type TreeKind = tree.Kind
+
+// Model kinds.
+const (
+	ClassificationKind = tree.Classification
+	RegressionKind     = tree.Regression
+)
+
+// ForestConfig controls random-forest training.
+type ForestConfig = forest.Config
+
+// Forest is a trained (optionally weighted) ensemble.
+type Forest = forest.Forest
+
+// DeepConfig controls deep-forest cascade training.
+type DeepConfig = forest.DeepConfig
+
+// DeepForest is a gcForest-style cascade.
+type DeepForest = forest.DeepForest
+
+// Options configures compilation of a forest into a Bolt forest.
+type Options = core.Options
+
+// CompiledForest is an inference-ready Bolt forest: dictionary, the
+// recombined lookup table and the bloom filter.
+type CompiledForest = core.Forest
+
+// CompiledDeepForest is an inference-ready Bolt cascade.
+type CompiledDeepForest = core.DeepBolt
+
+// Stats summarises a compiled forest's structures.
+type Stats = core.Stats
+
+// PartitionedEngine parallelises one sample across cores by splitting
+// the dictionary and lookup table (Fig. 4 of the paper).
+type PartitionedEngine = core.PartitionedEngine
+
+// Train fits a random forest on d by bootstrap aggregation.
+func Train(d *Dataset, cfg ForestConfig) *Forest { return forest.Train(d, cfg) }
+
+// TrainBoosted fits a weighted ensemble with multi-class AdaBoost
+// (SAMME); Bolt carries the tree weights onto paths unchanged.
+func TrainBoosted(d *Dataset, cfg ForestConfig) *Forest { return forest.TrainBoosted(d, cfg) }
+
+// TrainWithOOB trains like Train and also returns the out-of-bag
+// accuracy estimate.
+func TrainWithOOB(d *Dataset, cfg ForestConfig) (*Forest, float64) {
+	return forest.TrainWithOOB(d, cfg)
+}
+
+// GBTConfig controls gradient-boosted regression training.
+type GBTConfig = forest.GBTConfig
+
+// TrainRegressionForest fits a bagged regression forest (variance
+// splits, mean aggregation) on a regression dataset.
+func TrainRegressionForest(d *Dataset, cfg ForestConfig) *Forest {
+	return forest.TrainRegressionForest(d, cfg)
+}
+
+// TrainGBT fits a least-squares gradient-boosted regression ensemble;
+// Bolt compiles it with the stage weights carried onto every path (§5).
+func TrainGBT(d *Dataset, cfg GBTConfig) *Forest { return forest.TrainGBT(d, cfg) }
+
+// TrainDeep fits a deep-forest cascade.
+func TrainDeep(d *Dataset, cfg DeepConfig) *DeepForest { return forest.TrainDeep(d, cfg) }
+
+// Compile transforms a trained forest into a Bolt forest (Phases 1 and
+// 3 of the paper; see Tune for Phase 2).
+func Compile(f *Forest, opts Options) (*CompiledForest, error) { return core.Compile(f, opts) }
+
+// CompileDeep compiles every member forest of a cascade.
+func CompileDeep(df *DeepForest, opts Options) (*CompiledDeepForest, error) {
+	return core.CompileDeep(df, opts)
+}
+
+// NewPartitioned builds a d×t-core partitioned engine over a compiled
+// forest.
+func NewPartitioned(bf *CompiledForest, dictParts, tableParts int) (*PartitionedEngine, error) {
+	return core.NewPartitioned(bf, dictParts, tableParts)
+}
+
+// Predictor bundles a compiled forest with its reusable scratch
+// buffers. It is not safe for concurrent use; create one per goroutine
+// with NewPredictor.
+type Predictor struct {
+	bf *core.Forest
+	s  *core.Scratch
+}
+
+// NewPredictor returns a single-goroutine predictor over bf.
+func NewPredictor(bf *CompiledForest) *Predictor {
+	return &Predictor{bf: bf, s: bf.NewScratch()}
+}
+
+// Predict classifies one sample.
+func (p *Predictor) Predict(x []float32) int { return p.bf.Predict(x, p.s) }
+
+// Votes accumulates the per-class weighted votes for x into votes
+// (length NumClasses).
+func (p *Predictor) Votes(x []float32, votes []int64) { p.bf.Votes(x, p.s, votes) }
+
+// Salience returns per-feature salience counts for x — the paper's
+// local-explanation workload.
+func (p *Predictor) Salience(x []float32) []int { return p.bf.Salience(x, p.s) }
+
+// PredictValue returns the regression output for x (regression
+// forests only).
+func (p *Predictor) PredictValue(x []float32) float32 { return p.bf.PredictValue(x, p.s) }
+
+// EncodeCompiledForest writes a compiled Bolt forest — dictionary,
+// recombined lookup table, bloom filter and codebook — so a service can
+// load a tuned artifact without recompiling.
+func EncodeCompiledForest(w io.Writer, bf *CompiledForest) error {
+	return core.EncodeCompiled(w, bf)
+}
+
+// DecodeCompiledForest reads a compiled Bolt forest written by
+// EncodeCompiledForest.
+func DecodeCompiledForest(r io.Reader) (*CompiledForest, error) {
+	return core.DecodeCompiled(r)
+}
+
+// EncodeForest writes a trained forest in the binary model format.
+func EncodeForest(w io.Writer, f *Forest) error { return forest.Encode(w, f) }
+
+// DecodeForest reads a trained forest from the binary model format.
+func DecodeForest(r io.Reader) (*Forest, error) { return forest.Decode(r) }
+
+// EncodeDeepForest writes a cascade in the binary model format.
+func EncodeDeepForest(w io.Writer, df *DeepForest) error { return forest.EncodeDeep(w, df) }
+
+// DecodeDeepForest reads a cascade from the binary model format.
+func DecodeDeepForest(r io.Reader) (*DeepForest, error) { return forest.DecodeDeep(r) }
+
+// MarshalTreeDOT writes one tree as a Graphviz digraph — the
+// interchange format the paper uses between trainer and compiler.
+func MarshalTreeDOT(w io.Writer, t *Tree) error { return t.MarshalDOT(w) }
+
+// UnmarshalTreeDOT parses a digraph produced by MarshalTreeDOT.
+func UnmarshalTreeDOT(r io.Reader, numFeatures, numClasses int) (*Tree, error) {
+	return tree.UnmarshalDOT(r, numFeatures, numClasses)
+}
+
+// Accuracy returns the fraction of predictions matching labels.
+func Accuracy(pred, labels []int) float64 { return dataset.Accuracy(pred, labels) }

@@ -1,0 +1,220 @@
+package bolt_test
+
+import (
+	"bytes"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"bolt"
+)
+
+// TestQuickstartJourney exercises the documented public API end to end:
+// generate, train, compile, predict, verify safety.
+func TestQuickstartJourney(t *testing.T) {
+	data := bolt.SyntheticMNIST(600, 1)
+	train, test := data.Split(0.8, 2)
+
+	f := bolt.Train(train, bolt.ForestConfig{
+		NumTrees: 10,
+		Tree:     bolt.TreeConfig{MaxDepth: 4},
+		Seed:     3,
+	})
+	bf, err := bolt.Compile(f, bolt.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := bf.CheckSafety(f, test.X); err != nil {
+		t.Fatal(err)
+	}
+	p := bolt.NewPredictor(bf)
+	pred := make([]int, test.Len())
+	for i, x := range test.X {
+		pred[i] = p.Predict(x)
+	}
+	acc := bolt.Accuracy(pred, test.Y)
+	if acc < 0.5 {
+		t.Errorf("accuracy %.3f unexpectedly low", acc)
+	}
+	// Salience reports at least one feature for a valid input.
+	counts := p.Salience(test.X[0])
+	total := 0
+	for _, c := range counts {
+		total += c
+	}
+	if total == 0 {
+		t.Error("no salient features")
+	}
+}
+
+func TestBoostedAndPartitioned(t *testing.T) {
+	data := bolt.SyntheticBlobs(400, 8, 3, 1.5, 4)
+	f := bolt.TrainBoosted(data, bolt.ForestConfig{NumTrees: 8, Tree: bolt.TreeConfig{MaxDepth: 3}, Seed: 5})
+	bf, err := bolt.Compile(f, bolt.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	pe, err := bolt.NewPartitioned(bf, 2, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := bolt.NewPredictor(bf)
+	for _, x := range data.X[:50] {
+		if pe.Predict(x) != p.Predict(x) {
+			t.Fatal("partitioned and serial engines disagree")
+		}
+	}
+}
+
+func TestDeepForestJourney(t *testing.T) {
+	data := bolt.SyntheticLSTW(500, 6)
+	df := bolt.TrainDeep(data, bolt.DeepConfig{
+		NumLayers: 2,
+		Forest:    bolt.ForestConfig{NumTrees: 6, Tree: bolt.TreeConfig{MaxDepth: 4}},
+		Seed:      7,
+	})
+	db, err := bolt.CompileDeep(df, bolt.Options{ClusterThreshold: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := db.CheckSafety(df, data.X[:200]); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestModelRoundTripAndDOT(t *testing.T) {
+	data := bolt.SyntheticBlobs(200, 5, 2, 1.0, 8)
+	f := bolt.Train(data, bolt.ForestConfig{NumTrees: 4, Tree: bolt.TreeConfig{MaxDepth: 3}, Seed: 9})
+
+	var buf bytes.Buffer
+	if err := bolt.EncodeForest(&buf, f); err != nil {
+		t.Fatal(err)
+	}
+	back, err := bolt.DecodeForest(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, x := range data.X[:50] {
+		if f.Predict(x) != back.Predict(x) {
+			t.Fatal("decoded forest diverges")
+		}
+	}
+
+	var dot strings.Builder
+	if err := bolt.MarshalTreeDOT(&dot, f.Trees[0]); err != nil {
+		t.Fatal(err)
+	}
+	tr, err := bolt.UnmarshalTreeDOT(strings.NewReader(dot.String()), data.NumFeatures, data.NumClasses)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, x := range data.X[:50] {
+		if tr.Predict(x) != f.Trees[0].Predict(x) {
+			t.Fatal("DOT round-trip diverges")
+		}
+	}
+}
+
+func TestTuneJourney(t *testing.T) {
+	data := bolt.SyntheticBlobs(300, 6, 3, 1.2, 10)
+	f := bolt.Train(data, bolt.ForestConfig{NumTrees: 6, Tree: bolt.TreeConfig{MaxDepth: 4}, Seed: 11})
+	best, all, err := bolt.Tune(f, bolt.TuneConfig{
+		Cores:      2,
+		Thresholds: []int{1, 4},
+		Inputs:     data.X[:80],
+		Rounds:     1,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if best.Forest == nil || best.LatencyNs <= 0 {
+		t.Fatalf("bad best result %+v", best)
+	}
+	if len(all) == 0 {
+		t.Fatal("no scored candidates")
+	}
+	refined, _, err := bolt.TuneRefine(f, best.Candidate, bolt.TuneConfig{
+		Cores:  2,
+		Inputs: data.X[:80],
+		Rounds: 1,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if refined.LatencyNs <= 0 {
+		t.Fatal("refine produced no result")
+	}
+}
+
+func TestRegressionJourney(t *testing.T) {
+	data := bolt.SyntheticFriedman(600, 1.0, 14)
+	train, test := data.Split(0.8, 15)
+
+	gbt := bolt.TrainGBT(train, bolt.GBTConfig{
+		Rounds: 30, LearningRate: 0.2,
+		Tree: bolt.TreeConfig{MaxDepth: 3, MaxFeatures: -1},
+		Seed: 16,
+	})
+	bf, err := bolt.Compile(gbt, bolt.Options{ClusterThreshold: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := bf.CheckSafety(gbt, test.X); err != nil {
+		t.Fatal(err)
+	}
+	p := bolt.NewPredictor(bf)
+	pred := make([]float32, test.Len())
+	for i, x := range test.X {
+		pred[i] = p.PredictValue(x)
+		if pred[i] != gbt.PredictValue(x) {
+			t.Fatal("compiled regression diverges from ensemble")
+		}
+	}
+	if rmse := bolt.RMSE(pred, test.Values); rmse > 3 {
+		t.Errorf("GBT RMSE %.3f too high", rmse)
+	}
+}
+
+func TestServiceJourney(t *testing.T) {
+	data := bolt.SyntheticBlobs(200, 6, 2, 1.0, 12)
+	f := bolt.Train(data, bolt.ForestConfig{NumTrees: 4, Tree: bolt.TreeConfig{MaxDepth: 3}, Seed: 13})
+	bf, err := bolt.Compile(f, bolt.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sock := filepath.Join(t.TempDir(), "svc.sock")
+	srv, err := bolt.ServeForest(sock, bf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+
+	c, err := bolt.DialService(sock)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	p := bolt.NewPredictor(bf)
+	var lat []uint64
+	for _, x := range data.X[:50] {
+		label, ns, err := c.Classify(x)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if label != p.Predict(x) {
+			t.Fatal("service prediction diverges")
+		}
+		lat = append(lat, ns)
+	}
+	stats := bolt.SummarizeLatencies(lat)
+	if stats.Count != 50 || stats.Avg <= 0 {
+		t.Fatalf("bad stats %+v", stats)
+	}
+	sal, err := c.Salience(data.X[0])
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(sal) != data.NumFeatures {
+		t.Fatal("salience length wrong over the wire")
+	}
+}

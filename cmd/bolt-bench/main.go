@@ -1,0 +1,59 @@
+// Command bolt-bench regenerates the paper's evaluation (Figs. 8–15)
+// as text tables; EXPERIMENTS.md records its output against the
+// paper's reported values.
+//
+// Usage:
+//
+//	bolt-bench                 # every figure, full-size workloads
+//	bolt-bench -exp fig11a     # one figure
+//	bolt-bench -quick          # shrunken workloads (seconds, for CI)
+//	bolt-bench -list
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"bolt/internal/bench"
+)
+
+func main() {
+	if err := run(os.Args[1:]); err != nil {
+		fmt.Fprintln(os.Stderr, "bolt-bench:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string) error {
+	fs := flag.NewFlagSet("bolt-bench", flag.ContinueOnError)
+	var (
+		exp    = fs.String("exp", "all", "experiment id (fig8..fig15) or all")
+		quick  = fs.Bool("quick", false, "shrink workloads for a fast smoke run")
+		list   = fs.Bool("list", false, "list experiments and exit")
+		seed   = fs.Uint64("seed", 0, "override workload seed")
+		train  = fs.Int("train", 0, "override training samples per dataset")
+		test   = fs.Int("test", 0, "override test samples per dataset")
+		rounds = fs.Int("rounds", 0, "override timed rounds")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *list {
+		for _, e := range bench.Experiments {
+			fmt.Printf("%-8s %s\n", e.ID, e.Desc)
+		}
+		return nil
+	}
+	cfg := bench.Config{
+		Quick:        *quick,
+		Seed:         *seed,
+		TrainSamples: *train,
+		TestSamples:  *test,
+		Rounds:       *rounds,
+	}
+	if *exp == "all" {
+		return bench.RunAll(cfg, os.Stdout)
+	}
+	return bench.Run(*exp, cfg, os.Stdout)
+}

@@ -1,0 +1,27 @@
+package main
+
+import "testing"
+
+func TestRunList(t *testing.T) {
+	if err := run([]string{"-list"}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunOneExperimentQuick(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs a real experiment")
+	}
+	if err := run([]string{"-exp", "fig8", "-quick"}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunErrors(t *testing.T) {
+	if err := run([]string{"-exp", "fig99", "-quick"}); err == nil {
+		t.Error("unknown experiment accepted")
+	}
+	if err := run([]string{"-notaflag"}); err == nil {
+		t.Error("bad flag accepted")
+	}
+}

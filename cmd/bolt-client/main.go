@@ -1,0 +1,145 @@
+// Command bolt-client drives a running bolt-serve instance: it streams
+// samples from a synthetic dataset through the service sequentially
+// without batching (the §6 measurement protocol) and reports accuracy
+// and the service-time distribution.
+//
+// Usage:
+//
+//	bolt-client -socket /tmp/bolt.sock -dataset mnist -n 1000
+//	bolt-client -socket /tmp/bolt.sock -dataset mnist -n 1 -salience
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"sort"
+
+	"bolt"
+)
+
+func main() {
+	if err := run(os.Args[1:]); err != nil {
+		fmt.Fprintln(os.Stderr, "bolt-client:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string) error {
+	fs := flag.NewFlagSet("bolt-client", flag.ContinueOnError)
+	var (
+		socket   = fs.String("socket", "/tmp/bolt.sock", "UNIX socket path")
+		dsName   = fs.String("dataset", "mnist", "dataset: mnist, lstw, yelp or friedman")
+		n        = fs.Int("n", 1000, "samples to send")
+		seed     = fs.Uint64("seed", 909, "probe dataset seed (differs from training)")
+		salience = fs.Bool("salience", false, "also request salience for the first sample")
+		value    = fs.Bool("value", false, "regression mode: request values and report RMSE")
+		batch    = fs.Int("batch", 0, "classify in batches of this size instead of one at a time")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+
+	var d *bolt.Dataset
+	switch *dsName {
+	case "mnist":
+		d = bolt.SyntheticMNIST(*n, *seed)
+	case "lstw":
+		d = bolt.SyntheticLSTW(*n, *seed)
+	case "yelp":
+		d = bolt.SyntheticYelp(*n, *seed)
+	case "friedman":
+		d = bolt.SyntheticFriedman(*n, 1.0, *seed)
+	default:
+		return fmt.Errorf("unknown dataset %q", *dsName)
+	}
+
+	c, err := bolt.DialService(*socket)
+	if err != nil {
+		return err
+	}
+	defer c.Close()
+	if err := c.Ping(); err != nil {
+		return fmt.Errorf("ping: %w", err)
+	}
+
+	if *value {
+		pred := make([]float32, d.Len())
+		lat := make([]uint64, 0, d.Len())
+		for i, x := range d.X {
+			v, ns, err := c.PredictValue(x)
+			if err != nil {
+				return fmt.Errorf("sample %d: %w", i, err)
+			}
+			pred[i] = v
+			lat = append(lat, ns)
+		}
+		stats := bolt.SummarizeLatencies(lat)
+		if d.IsRegression() {
+			fmt.Printf("predicted %d samples: RMSE %.3f\n", d.Len(), bolt.RMSE(pred, d.Values))
+		} else {
+			fmt.Printf("predicted %d samples\n", d.Len())
+		}
+		fmt.Printf("service time: avg %v  p50 %v  p99 %v  max %v\n",
+			stats.Avg, stats.P50, stats.P99, stats.Max)
+		return nil
+	}
+
+	pred := make([]int, d.Len())
+	var lat []uint64
+	if *batch > 1 {
+		var totalNs uint64
+		for lo := 0; lo < d.Len(); lo += *batch {
+			hi := lo + *batch
+			if hi > d.Len() {
+				hi = d.Len()
+			}
+			labels, ns, err := c.ClassifyBatch(d.X[lo:hi])
+			if err != nil {
+				return fmt.Errorf("batch at %d: %w", lo, err)
+			}
+			copy(pred[lo:hi], labels)
+			totalNs += ns
+		}
+		fmt.Printf("classified %d samples in batches of %d: accuracy %.3f\n",
+			d.Len(), *batch, bolt.Accuracy(pred, d.Y))
+		fmt.Printf("amortised service time: %.3fus/sample\n", float64(totalNs)/float64(d.Len())/1000)
+		return nil
+	}
+	lat = make([]uint64, 0, d.Len())
+	for i, x := range d.X {
+		label, ns, err := c.Classify(x)
+		if err != nil {
+			return fmt.Errorf("sample %d: %w", i, err)
+		}
+		pred[i] = label
+		lat = append(lat, ns)
+	}
+	stats := bolt.SummarizeLatencies(lat)
+	fmt.Printf("classified %d samples: accuracy %.3f\n", d.Len(), bolt.Accuracy(pred, d.Y))
+	fmt.Printf("service time: avg %v  p50 %v  p99 %v  max %v\n",
+		stats.Avg, stats.P50, stats.P99, stats.Max)
+
+	if *salience {
+		counts, err := c.Salience(d.X[0])
+		if err != nil {
+			return err
+		}
+		type fc struct{ feature, count int }
+		top := make([]fc, 0, len(counts))
+		for f, n := range counts {
+			if n > 0 {
+				top = append(top, fc{f, n})
+			}
+		}
+		sort.Slice(top, func(i, j int) bool { return top[i].count > top[j].count })
+		if len(top) > 10 {
+			top = top[:10]
+		}
+		fmt.Println("top salient features of sample 0:")
+		for _, t := range top {
+			fmt.Printf("  feature %4d  used by %d matched entries\n", t.feature, t.count)
+		}
+	}
+	return nil
+}

@@ -1,0 +1,55 @@
+package main
+
+import (
+	"path/filepath"
+	"testing"
+
+	"bolt"
+)
+
+// startServer serves a forest trained on the same generator family the
+// client will probe with.
+func startServer(t *testing.T) string {
+	t.Helper()
+	d := bolt.SyntheticLSTW(600, 1)
+	f := bolt.Train(d, bolt.ForestConfig{NumTrees: 5, Tree: bolt.TreeConfig{MaxDepth: 4}, Seed: 2})
+	bf, err := bolt.Compile(f, bolt.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sock := filepath.Join(t.TempDir(), "c.sock")
+	srv, err := bolt.ServeForest(sock, bf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { srv.Close() })
+	return sock
+}
+
+func TestRunClassifies(t *testing.T) {
+	sock := startServer(t)
+	if err := run([]string{"-socket", sock, "-dataset", "lstw", "-n", "50"}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunSalience(t *testing.T) {
+	sock := startServer(t)
+	if err := run([]string{"-socket", sock, "-dataset", "lstw", "-n", "5", "-salience"}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunErrors(t *testing.T) {
+	if err := run([]string{"-socket", "/nonexistent.sock", "-dataset", "lstw", "-n", "1"}); err == nil {
+		t.Error("dead socket accepted")
+	}
+	sock := startServer(t)
+	if err := run([]string{"-socket", sock, "-dataset", "nope", "-n", "1"}); err == nil {
+		t.Error("unknown dataset accepted")
+	}
+	// Wrong feature count: server expects LSTW's 11 features.
+	if err := run([]string{"-socket", sock, "-dataset", "mnist", "-n", "1"}); err == nil {
+		t.Error("feature mismatch accepted")
+	}
+}

@@ -1,0 +1,141 @@
+// Command bolt-compile runs Bolt's compilation pipeline over a trained
+// forest model: Phase 1 (clustering and compression into dictionary +
+// recombined lookup table), optionally Phase 2 (parameter search), and
+// Phase 3 (bloom filter). It reports the compiled structure statistics
+// and verifies the safety property on freshly generated probe inputs.
+//
+// Usage:
+//
+//	bolt-compile -model forest.bin -threshold 4
+//	bolt-compile -model forest.bin -tune -cores 4 -dataset mnist
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"bolt"
+)
+
+func main() {
+	if err := run(os.Args[1:]); err != nil {
+		fmt.Fprintln(os.Stderr, "bolt-compile:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string) error {
+	fs := flag.NewFlagSet("bolt-compile", flag.ContinueOnError)
+	var (
+		model     = fs.String("model", "forest.bin", "trained forest model path")
+		threshold = fs.Int("threshold", 8, "Phase 1 cluster threshold (uncommon pairs per cluster)")
+		bloomBits = fs.Int("bloom", 8, "bloom filter bits per key; negative disables")
+		compact   = fs.Bool("compact", false, "use the paper's probabilistic 1-byte entry IDs")
+		tune      = fs.Bool("tune", false, "run Phase 2 empirical search instead of fixed settings")
+		cores     = fs.Int("cores", 1, "core budget for -tune")
+		dsName    = fs.String("dataset", "mnist", "dataset generating tuning/safety probes")
+		probes    = fs.Int("probes", 400, "number of probe samples")
+		seed      = fs.Uint64("seed", 2022, "random seed")
+		out       = fs.String("out", "", "write the compiled artifact here (optional)")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+
+	mf, err := os.Open(*model)
+	if err != nil {
+		return err
+	}
+	f, err := bolt.DecodeForest(mf)
+	mf.Close()
+	if err != nil {
+		return err
+	}
+	fmt.Printf("loaded forest: %d trees, %d features, %d classes, %d paths\n",
+		len(f.Trees), f.NumFeatures, f.NumClasses, f.NumPaths())
+
+	probe, err := probeInputs(*dsName, *probes, f.NumFeatures, *seed)
+	if err != nil {
+		return err
+	}
+
+	var bf *bolt.CompiledForest
+	if *tune {
+		best, all, err := bolt.Tune(f, bolt.TuneConfig{
+			Cores:     *cores,
+			BloomBits: []int{-1, 4, 8},
+			Inputs:    probe,
+		})
+		if err != nil {
+			return err
+		}
+		fmt.Printf("phase 2: scored %d candidates, best %s at %.2f us/sample\n",
+			len(all), best.Candidate, best.LatencyNs/1000)
+		bf = best.Forest
+	} else {
+		bf, err = bolt.Compile(f, bolt.Options{
+			ClusterThreshold: *threshold,
+			BloomBitsPerKey:  *bloomBits,
+			CompactIDs:       *compact,
+			Seed:             *seed,
+		})
+		if err != nil {
+			return err
+		}
+	}
+
+	st := bf.Stats()
+	fmt.Printf("compiled: %d predicates, %d dictionary entries (avg %.1f / max %d uncommon),\n"+
+		"          %d table entries in %d slots (load %.2f), %d result vectors, bloom %d bytes\n",
+		st.Predicates, st.DictEntries, st.AvgUncommon, st.MaxUncommon,
+		st.TableEntries, st.TableSlots, float64(st.TableEntries)/float64(st.TableSlots),
+		st.ResultVectors, st.BloomBytes)
+
+	if bf.Options().CompactIDs {
+		fmt.Println("compact entry IDs: safety is probabilistic (§5); skipping exact check")
+	} else {
+		if err := bf.CheckSafety(f, probe); err != nil {
+			return fmt.Errorf("safety check FAILED: %w", err)
+		}
+		fmt.Printf("safety verified on %d probe inputs: Bolt votes == forest votes exactly\n", len(probe))
+	}
+
+	if *out != "" {
+		of, err := os.Create(*out)
+		if err != nil {
+			return err
+		}
+		if err := bolt.EncodeCompiledForest(of, bf); err != nil {
+			of.Close()
+			return err
+		}
+		if err := of.Close(); err != nil {
+			return err
+		}
+		fmt.Printf("wrote compiled artifact to %s\n", *out)
+	}
+	return nil
+}
+
+func probeInputs(name string, n, features int, seed uint64) ([][]float32, error) {
+	var d *bolt.Dataset
+	switch name {
+	case "mnist":
+		d = bolt.SyntheticMNIST(n, seed^0x3)
+	case "lstw":
+		d = bolt.SyntheticLSTW(n, seed^0x3)
+	case "yelp":
+		d = bolt.SyntheticYelp(n, seed^0x3)
+	case "friedman":
+		d = bolt.SyntheticFriedman(n, 1.0, seed^0x3)
+	case "blobs":
+		d = bolt.SyntheticBlobs(n, features, 4, 1.5, seed^0x3)
+	default:
+		return nil, fmt.Errorf("unknown dataset %q", name)
+	}
+	if d.NumFeatures != features {
+		return nil, fmt.Errorf("dataset %s has %d features but the model expects %d", name, d.NumFeatures, features)
+	}
+	return d.X, nil
+}

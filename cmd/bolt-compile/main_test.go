@@ -1,0 +1,89 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+
+	"bolt"
+)
+
+func writeModel(t *testing.T) string {
+	t.Helper()
+	d := bolt.SyntheticBlobs(300, 16, 4, 1.5, 3)
+	f := bolt.Train(d, bolt.ForestConfig{NumTrees: 4, Tree: bolt.TreeConfig{MaxDepth: 3}, Seed: 4})
+	path := filepath.Join(t.TempDir(), "f.bin")
+	out, err := os.Create(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer out.Close()
+	if err := bolt.EncodeForest(out, f); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+func TestRunFixedSettings(t *testing.T) {
+	model := writeModel(t)
+	if err := run([]string{"-model", model, "-dataset", "blobs", "-threshold", "4", "-probes", "100"}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunTuned(t *testing.T) {
+	model := writeModel(t)
+	if err := run([]string{"-model", model, "-dataset", "blobs", "-tune", "-cores", "2", "-probes", "80"}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunCompactSkipsExactCheck(t *testing.T) {
+	model := writeModel(t)
+	if err := run([]string{"-model", model, "-dataset", "blobs", "-compact", "-probes", "50"}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunWritesCompiledArtifact(t *testing.T) {
+	model := writeModel(t)
+	artifact := filepath.Join(t.TempDir(), "c.bfc")
+	if err := run([]string{"-model", model, "-dataset", "blobs", "-threshold", "4",
+		"-probes", "60", "-out", artifact}); err != nil {
+		t.Fatal(err)
+	}
+	af, err := os.Open(artifact)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer af.Close()
+	bf, err := bolt.DecodeCompiledForest(af)
+	if err != nil {
+		t.Fatalf("artifact unreadable: %v", err)
+	}
+	if bf.NumTrees != 4 {
+		t.Errorf("artifact has %d trees, want 4", bf.NumTrees)
+	}
+}
+
+func TestRunErrors(t *testing.T) {
+	model := writeModel(t)
+	if err := run([]string{"-model", "/nonexistent.bin"}); err == nil {
+		t.Error("missing model accepted")
+	}
+	if err := run([]string{"-model", model, "-dataset", "nope"}); err == nil {
+		t.Error("unknown dataset accepted")
+	}
+	// Feature-count mismatch: blobs model (16 features) vs mnist probes.
+	if err := run([]string{"-model", model, "-dataset", "mnist", "-probes", "10"}); err == nil {
+		t.Error("feature mismatch accepted")
+	}
+	// Corrupt model file.
+	bad := filepath.Join(t.TempDir(), "bad.bin")
+	if err := os.WriteFile(bad, []byte("garbage"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := run([]string{"-model", bad}); err == nil {
+		t.Error("corrupt model accepted")
+	}
+}

@@ -1,0 +1,138 @@
+// Command bolt-serve loads a trained forest model, compiles it into a
+// Bolt forest (optionally Phase-2 tuned) and serves classification
+// requests on a UNIX domain socket — the inference service of §4.5.
+//
+// Usage:
+//
+//	bolt-serve -model forest.bin -socket /tmp/bolt.sock
+//	bolt-serve -model forest.bin -socket /tmp/bolt.sock -tune -cores 4 -dataset mnist
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"os/signal"
+	"syscall"
+
+	"bolt"
+)
+
+func main() {
+	if err := run(os.Args[1:]); err != nil {
+		fmt.Fprintln(os.Stderr, "bolt-serve:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string) error {
+	fs := flag.NewFlagSet("bolt-serve", flag.ContinueOnError)
+	var (
+		model     = fs.String("model", "forest.bin", "trained forest model path")
+		compiled  = fs.String("compiled", "", "precompiled artifact from bolt-compile -out (skips compilation)")
+		socket    = fs.String("socket", "/tmp/bolt.sock", "UNIX socket path")
+		threshold = fs.Int("threshold", 8, "Phase 1 cluster threshold")
+		bloomBits = fs.Int("bloom", 8, "bloom filter bits per key; negative disables")
+		tune      = fs.Bool("tune", false, "Phase 2 tune before serving")
+		cores     = fs.Int("cores", 1, "core budget for -tune")
+		dsName    = fs.String("dataset", "mnist", "dataset generating tuning probes (with -tune)")
+		seed      = fs.Uint64("seed", 2022, "random seed")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+
+	var bf *bolt.CompiledForest
+	if *compiled != "" {
+		cf, err := os.Open(*compiled)
+		if err != nil {
+			return err
+		}
+		bf, err = bolt.DecodeCompiledForest(cf)
+		cf.Close()
+		if err != nil {
+			return err
+		}
+		fmt.Printf("loaded precompiled artifact %s\n", *compiled)
+		return serveForest(bf, *socket)
+	}
+
+	mf, err := os.Open(*model)
+	if err != nil {
+		return err
+	}
+	f, err := bolt.DecodeForest(mf)
+	mf.Close()
+	if err != nil {
+		return err
+	}
+
+	if *tune {
+		probe, err := probeInputs(*dsName, 300, f.NumFeatures, *seed)
+		if err != nil {
+			return err
+		}
+		best, _, err := bolt.Tune(f, bolt.TuneConfig{
+			Cores:     *cores,
+			BloomBits: []int{-1, 4, 8},
+			Inputs:    probe,
+		})
+		if err != nil {
+			return err
+		}
+		fmt.Printf("tuned: %s (%.2f us/sample on probes)\n", best.Candidate, best.LatencyNs/1000)
+		bf = best.Forest
+	} else {
+		bf, err = bolt.Compile(f, bolt.Options{
+			ClusterThreshold: *threshold,
+			BloomBitsPerKey:  *bloomBits,
+			Seed:             *seed,
+		})
+		if err != nil {
+			return err
+		}
+	}
+
+	return serveForest(bf, *socket)
+}
+
+// serveForest runs the service until interrupted.
+func serveForest(bf *bolt.CompiledForest, socket string) error {
+	// Remove a stale socket from a previous run.
+	if _, err := os.Stat(socket); err == nil {
+		os.Remove(socket)
+	}
+	srv, err := bolt.ServeForest(socket, bf)
+	if err != nil {
+		return err
+	}
+	st := bf.Stats()
+	fmt.Printf("serving %d-tree forest on %s (%d dict entries, %d table slots)\n",
+		bf.NumTrees, socket, st.DictEntries, st.TableSlots)
+
+	stop := make(chan os.Signal, 1)
+	signal.Notify(stop, os.Interrupt, syscall.SIGTERM)
+	<-stop
+	fmt.Println("shutting down")
+	return srv.Close()
+}
+
+func probeInputs(name string, n, features int, seed uint64) ([][]float32, error) {
+	var d *bolt.Dataset
+	switch name {
+	case "mnist":
+		d = bolt.SyntheticMNIST(n, seed^0x5)
+	case "lstw":
+		d = bolt.SyntheticLSTW(n, seed^0x5)
+	case "yelp":
+		d = bolt.SyntheticYelp(n, seed^0x5)
+	case "friedman":
+		d = bolt.SyntheticFriedman(n, 1.0, seed^0x5)
+	default:
+		return nil, fmt.Errorf("unknown dataset %q", name)
+	}
+	if d.NumFeatures != features {
+		return nil, fmt.Errorf("dataset %s has %d features but the model expects %d", name, d.NumFeatures, features)
+	}
+	return d.X, nil
+}

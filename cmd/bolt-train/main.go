@@ -1,0 +1,162 @@
+// Command bolt-train trains a random forest (or boosted ensemble, or
+// deep-forest cascade) on one of the synthetic evaluation datasets and
+// writes it in the binary model format consumed by bolt-compile and
+// bolt-serve. Trees can additionally be exported as Graphviz DOT files,
+// the interchange format the paper's pipeline uses (§5).
+//
+// Usage:
+//
+//	bolt-train -dataset mnist -samples 3000 -trees 10 -depth 4 -out forest.bin
+//	bolt-train -dataset lstw -boosted -out boosted.bin
+//	bolt-train -dataset mnist -deep -layers 2 -out cascade.bin
+//	bolt-train -dataset yelp -out f.bin -dot trees/
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+
+	"bolt"
+)
+
+func main() {
+	if err := run(os.Args[1:]); err != nil {
+		fmt.Fprintln(os.Stderr, "bolt-train:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string) error {
+	fs := flag.NewFlagSet("bolt-train", flag.ContinueOnError)
+	var (
+		datasetName = fs.String("dataset", "mnist", "dataset: mnist, lstw, yelp, blobs or friedman")
+		samples     = fs.Int("samples", 3000, "total samples to generate")
+		trees       = fs.Int("trees", 10, "ensemble size")
+		depth       = fs.Int("depth", 4, "maximum tree height")
+		seed        = fs.Uint64("seed", 2022, "random seed")
+		boosted     = fs.Bool("boosted", false, "train a weighted (AdaBoost) ensemble")
+		gbt         = fs.Bool("gbt", false, "train a gradient-boosted regression ensemble (regression datasets)")
+		deep        = fs.Bool("deep", false, "train a deep-forest cascade")
+		layers      = fs.Int("layers", 2, "cascade layers (with -deep)")
+		trainFrac   = fs.Float64("train-frac", 0.8, "training split fraction")
+		out         = fs.String("out", "forest.bin", "output model path")
+		dotDir      = fs.String("dot", "", "directory to export per-tree DOT files (optional)")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+
+	data, err := makeDataset(*datasetName, *samples, *seed)
+	if err != nil {
+		return err
+	}
+	train, test := data.Split(*trainFrac, *seed^0xd5)
+	if data.IsRegression() {
+		fmt.Printf("dataset %s: %d train / %d test, %d features, regression targets\n",
+			data.Name, train.Len(), test.Len(), data.NumFeatures)
+	} else {
+		fmt.Printf("dataset %s: %d train / %d test, %d features, %d classes\n",
+			data.Name, train.Len(), test.Len(), data.NumFeatures, data.NumClasses)
+	}
+
+	cfg := bolt.ForestConfig{
+		NumTrees: *trees,
+		Tree:     bolt.TreeConfig{MaxDepth: *depth},
+		Seed:     *seed,
+	}
+
+	if data.IsRegression() && (*deep || *boosted) {
+		return fmt.Errorf("-deep and -boosted need a classification dataset; use -gbt for boosted regression")
+	}
+	if !data.IsRegression() && *gbt {
+		return fmt.Errorf("-gbt needs a regression dataset (e.g. -dataset friedman)")
+	}
+
+	outFile, err := os.Create(*out)
+	if err != nil {
+		return err
+	}
+	defer outFile.Close()
+
+	if *deep {
+		df := bolt.TrainDeep(train, bolt.DeepConfig{NumLayers: *layers, Forest: cfg, Seed: *seed})
+		pred := make([]int, test.Len())
+		for i, x := range test.X {
+			pred[i] = df.Predict(x)
+		}
+		fmt.Printf("cascade: %d layers, test accuracy %.3f\n", *layers, bolt.Accuracy(pred, test.Y))
+		if err := bolt.EncodeDeepForest(outFile, df); err != nil {
+			return err
+		}
+		fmt.Printf("wrote cascade model to %s\n", *out)
+		return outFile.Close()
+	}
+
+	var f *bolt.Forest
+	switch {
+	case train.IsRegression() && *gbt:
+		f = bolt.TrainGBT(train, bolt.GBTConfig{
+			Rounds: *trees, Tree: bolt.TreeConfig{MaxDepth: *depth, MaxFeatures: -1}, Seed: *seed,
+		})
+	case train.IsRegression():
+		f = bolt.TrainRegressionForest(train, cfg)
+	case *boosted:
+		f = bolt.TrainBoosted(train, cfg)
+	default:
+		f = bolt.Train(train, cfg)
+	}
+	if train.IsRegression() {
+		fmt.Printf("regression ensemble: %d trees, test RMSE %.3f\n",
+			len(f.Trees), bolt.RMSE(f.PredictValueBatch(test.X), test.Values))
+	} else {
+		pred := f.PredictBatch(test.X)
+		fmt.Printf("forest: %d trees (max depth %d, %d paths), test accuracy %.3f\n",
+			len(f.Trees), f.MaxDepth(), f.NumPaths(), bolt.Accuracy(pred, test.Y))
+	}
+
+	if *dotDir != "" {
+		if err := os.MkdirAll(*dotDir, 0o755); err != nil {
+			return err
+		}
+		for i, tr := range f.Trees {
+			path := filepath.Join(*dotDir, fmt.Sprintf("tree%03d.dot", i))
+			df, err := os.Create(path)
+			if err != nil {
+				return err
+			}
+			if err := bolt.MarshalTreeDOT(df, tr); err != nil {
+				df.Close()
+				return err
+			}
+			if err := df.Close(); err != nil {
+				return err
+			}
+		}
+		fmt.Printf("exported %d DOT files to %s\n", len(f.Trees), *dotDir)
+	}
+
+	if err := bolt.EncodeForest(outFile, f); err != nil {
+		return err
+	}
+	fmt.Printf("wrote forest model to %s\n", *out)
+	return outFile.Close()
+}
+
+func makeDataset(name string, n int, seed uint64) (*bolt.Dataset, error) {
+	switch name {
+	case "mnist":
+		return bolt.SyntheticMNIST(n, seed), nil
+	case "lstw":
+		return bolt.SyntheticLSTW(n, seed), nil
+	case "yelp":
+		return bolt.SyntheticYelp(n, seed), nil
+	case "blobs":
+		return bolt.SyntheticBlobs(n, 16, 4, 1.5, seed), nil
+	case "friedman":
+		return bolt.SyntheticFriedman(n, 1.0, seed), nil
+	default:
+		return nil, fmt.Errorf("unknown dataset %q (want mnist, lstw, yelp, blobs or friedman)", name)
+	}
+}

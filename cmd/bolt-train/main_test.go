@@ -1,0 +1,117 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+
+	"bolt"
+)
+
+func TestRunTrainsAndWritesModel(t *testing.T) {
+	dir := t.TempDir()
+	out := filepath.Join(dir, "f.bin")
+	dot := filepath.Join(dir, "trees")
+	err := run([]string{
+		"-dataset", "blobs", "-samples", "300", "-trees", "4", "-depth", "3",
+		"-out", out, "-dot", dot, "-seed", "7",
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	mf, err := os.Open(out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer mf.Close()
+	f, err := bolt.DecodeForest(mf)
+	if err != nil {
+		t.Fatalf("written model unreadable: %v", err)
+	}
+	if len(f.Trees) != 4 {
+		t.Errorf("model has %d trees, want 4", len(f.Trees))
+	}
+	dots, err := filepath.Glob(filepath.Join(dot, "*.dot"))
+	if err != nil || len(dots) != 4 {
+		t.Errorf("expected 4 DOT files, got %d (%v)", len(dots), err)
+	}
+}
+
+func TestRunBoosted(t *testing.T) {
+	out := filepath.Join(t.TempDir(), "b.bin")
+	if err := run([]string{"-dataset", "blobs", "-samples", "300", "-trees", "4",
+		"-depth", "3", "-boosted", "-out", out}); err != nil {
+		t.Fatal(err)
+	}
+	mf, _ := os.Open(out)
+	defer mf.Close()
+	f, err := bolt.DecodeForest(mf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if f.Weights == nil {
+		t.Error("boosted model has no weights")
+	}
+}
+
+func TestRunDeep(t *testing.T) {
+	out := filepath.Join(t.TempDir(), "d.bin")
+	if err := run([]string{"-dataset", "blobs", "-samples", "300", "-trees", "3",
+		"-depth", "3", "-deep", "-layers", "2", "-out", out}); err != nil {
+		t.Fatal(err)
+	}
+	mf, _ := os.Open(out)
+	defer mf.Close()
+	df, err := bolt.DecodeDeepForest(mf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(df.Layers) != 2 {
+		t.Errorf("cascade has %d layers, want 2", len(df.Layers))
+	}
+}
+
+func TestRunRejectsBadInput(t *testing.T) {
+	if err := run([]string{"-dataset", "nope"}); err == nil {
+		t.Error("unknown dataset accepted")
+	}
+	if err := run([]string{"-dataset", "blobs", "-out", "/nonexistent-dir/x.bin"}); err == nil {
+		t.Error("unwritable output accepted")
+	}
+	if err := run([]string{"-badflag"}); err == nil {
+		t.Error("bad flag accepted")
+	}
+}
+
+func TestRunRegressionGuards(t *testing.T) {
+	out := filepath.Join(t.TempDir(), "x.bin")
+	if err := run([]string{"-dataset", "friedman", "-samples", "200", "-deep", "-out", out}); err == nil {
+		t.Error("-deep on regression dataset accepted")
+	}
+	if err := run([]string{"-dataset", "friedman", "-samples", "200", "-boosted", "-out", out}); err == nil {
+		t.Error("-boosted on regression dataset accepted")
+	}
+	if err := run([]string{"-dataset", "blobs", "-samples", "200", "-gbt", "-out", out}); err == nil {
+		t.Error("-gbt on classification dataset accepted")
+	}
+}
+
+func TestRunTrainsRegression(t *testing.T) {
+	out := filepath.Join(t.TempDir(), "r.bin")
+	if err := run([]string{"-dataset", "friedman", "-samples", "300", "-trees", "5",
+		"-depth", "3", "-out", out, "-dot", filepath.Join(t.TempDir(), "trees")}); err != nil {
+		t.Fatal(err)
+	}
+	mf, err := os.Open(out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer mf.Close()
+	f, err := bolt.DecodeForest(mf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if f.Kind != bolt.RegressionKind {
+		t.Error("model not marked regression")
+	}
+}

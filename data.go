@@ -1,0 +1,38 @@
+package bolt
+
+import "bolt/internal/dataset"
+
+// The paper evaluates on MNIST, the Large-Scale Traffic and Weather
+// events corpus and the Yelp restaurant reviews (§6.1). Those corpora
+// cannot ship with an offline module, so these generators synthesise
+// datasets with the same shape — feature count, class count, value
+// ranges and learnable structure — which is what determines Bolt's path
+// clustering and lookup-table behaviour. See DESIGN.md §5.
+
+// SyntheticMNIST generates n 28×28 digit images (784 features,
+// 10 classes, intensities 0–255).
+func SyntheticMNIST(n int, seed uint64) *Dataset { return dataset.SyntheticMNIST(n, seed) }
+
+// SyntheticLSTW generates n traffic/weather events (11 heterogeneous
+// features, 4 severity classes).
+func SyntheticLSTW(n int, seed uint64) *Dataset { return dataset.SyntheticLSTW(n, seed) }
+
+// SyntheticYelp generates n review bag-of-words vectors (1500 word
+// count features, 5 star classes).
+func SyntheticYelp(n int, seed uint64) *Dataset { return dataset.SyntheticYelp(n, seed) }
+
+// SyntheticBlobs generates an easy Gaussian-blob problem, useful for
+// experimentation and tests.
+func SyntheticBlobs(n, features, classes int, spread float64, seed uint64) *Dataset {
+	return dataset.SyntheticBlobs(n, features, classes, spread, seed)
+}
+
+// SyntheticFriedman generates the Friedman #1 regression benchmark
+// (10 features, float targets).
+func SyntheticFriedman(n int, noise float64, seed uint64) *Dataset {
+	return dataset.SyntheticFriedman(n, noise, seed)
+}
+
+// RMSE returns the root-mean-square error between predictions and
+// targets.
+func RMSE(pred, targets []float32) float64 { return dataset.RMSE(pred, targets) }

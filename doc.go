@@ -1,0 +1,45 @@
+// Package bolt is a Go implementation of Bolt, the fast random-forest
+// inference platform of Romero-Gainza et al. (ACM/IFIP Middleware '22):
+// it transforms trained random forests into ensembles of lookup tables
+// so that classifying a sample costs a handful of branch-free memory
+// accesses instead of pointer-chasing every tree.
+//
+// The pipeline mirrors the paper's three phases:
+//
+//  1. Phase 1 — every root-to-leaf path of every tree is enumerated as a
+//     set of (predicate, value) pairs, sorted lexicographically and
+//     greedily clustered; each cluster becomes a dictionary entry (a
+//     bit-mask membership test over the pairs common to all its paths)
+//     plus lookup-table entries expanded over the "don't care"
+//     predicates, all recombined into one conflict-free hash table.
+//  2. Phase 2 — the clustering threshold, bloom-filter budget and the
+//     dictionary/table partitioning across cores are tuned for minimal
+//     latency on the target hardware (Tune, TuneModeled).
+//  3. Phase 3 — a Bloom filter in front of the table skips memory
+//     accesses for candidates that cannot be present; a per-slot entry
+//     tag rejects false positives after the single access.
+//
+// The basic journey:
+//
+//	train, test := bolt.SyntheticMNIST(3000, 1).Split(0.8, 2)
+//	f := bolt.Train(train, bolt.ForestConfig{
+//		NumTrees: 10,
+//		Tree:     bolt.TreeConfig{MaxDepth: 4},
+//	})
+//	bf, err := bolt.Compile(f, bolt.Options{})
+//	if err != nil { ... }
+//	p := bf.NewPredictor()
+//	label := p.Predict(test.X[0])
+//
+// Compilation is safe in the paper's sense: for every input, the
+// compiled forest's class votes equal the original forest's exactly
+// (integer vote arithmetic makes this bit-for-bit; see
+// (*CompiledForest).CheckSafety).
+//
+// Weighted (boosted) ensembles, two-layer-and-deeper cascades
+// (TrainDeep/CompileDeep), single-sample parallelisation across cores
+// (NewPartitioned), a UNIX-domain-socket classification service (Serve,
+// DialService) and the paper's full experiment harness (cmd/bolt-bench)
+// are all included. See DESIGN.md for the system inventory and
+// EXPERIMENTS.md for the figure-by-figure reproduction record.
+package bolt

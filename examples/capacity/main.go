@@ -1,0 +1,67 @@
+// Capacity: the planning workflow of §4.6 — "given a forest workload,
+// which processor provides best performance". Model-based Phase 2
+// scoring evaluates the same forest against the paper's three hardware
+// profiles without running on them, diagnosing whether the bottleneck
+// is LLC capacity (table spills cache) or processing speed (dictionary
+// too long).
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"bolt"
+)
+
+func main() {
+	data := bolt.SyntheticMNIST(2500, 41)
+	train, _ := data.Split(0.8, 42)
+
+	f := bolt.Train(train, bolt.ForestConfig{
+		NumTrees: 20,
+		Tree:     bolt.TreeConfig{MaxDepth: 6},
+		Seed:     43,
+	})
+	fmt.Printf("forest: %d trees, %d paths\n", len(f.Trees), f.NumPaths())
+
+	profiles := []bolt.HardwareProfile{
+		bolt.ProfileXeonE52650,
+		bolt.ProfileECSmall,
+		bolt.ProfileECLarge,
+	}
+	for _, p := range profiles {
+		best, all, err := bolt.Tune(f, bolt.TuneConfig{
+			Cores:      p.Cores,
+			Thresholds: []int{1, 2, 4, 6, 8},
+			Mode:       bolt.TuneModelBased,
+			Profile:    p,
+		})
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("\n%-12s (%d cores, %d MB LLC): best %s\n",
+			p.Name, p.Cores, p.LLCBytes>>20, best.Candidate)
+		fmt.Printf("  modeled latency %.2f us/sample; dict %d entries, table %d slots\n",
+			best.LatencyNs/1000, best.Stats.DictEntries, best.Stats.TableSlots)
+		// Diagnose the bottleneck (§4.6): compare the best single-core
+		// config against the best multi-core one.
+		var bestSingle, bestMulti *bolt.TuneResult
+		for i := range all {
+			r := &all[i]
+			if r.Err != nil {
+				continue
+			}
+			if r.Candidate.Cores() == 1 && (bestSingle == nil || r.LatencyNs < bestSingle.LatencyNs) {
+				bestSingle = r
+			}
+			if r.Candidate.Cores() > 1 && (bestMulti == nil || r.LatencyNs < bestMulti.LatencyNs) {
+				bestMulti = r
+			}
+		}
+		if bestSingle != nil && bestMulti != nil {
+			speedup := bestSingle.LatencyNs / bestMulti.LatencyNs
+			fmt.Printf("  parallelisation speedup on this part: %.2fx (%s)\n",
+				speedup, bestMulti.Candidate)
+		}
+	}
+}

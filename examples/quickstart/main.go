@@ -1,0 +1,47 @@
+// Quickstart: the minimal Bolt journey — generate data, train a random
+// forest, compile it into lookup tables, classify, and verify the
+// safety property (compiled votes == forest votes, exactly).
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"bolt"
+)
+
+func main() {
+	// An easy 3-class problem: Gaussian blobs in 8 dimensions.
+	data := bolt.SyntheticBlobs(1000, 8, 3, 1.2, 42)
+	train, test := data.Split(0.8, 1)
+
+	// The paper's standard shape: a small ensemble of shallow trees.
+	f := bolt.Train(train, bolt.ForestConfig{
+		NumTrees: 10,
+		Tree:     bolt.TreeConfig{MaxDepth: 4},
+		Seed:     7,
+	})
+
+	// Phase 1 + 3: paths -> clusters -> dictionary + lookup table (+ bloom).
+	bf, err := bolt.Compile(f, bolt.Options{})
+	if err != nil {
+		log.Fatal(err)
+	}
+	st := bf.Stats()
+	fmt.Printf("compiled %d paths into %d dictionary entries and %d table entries\n",
+		f.NumPaths(), st.DictEntries, st.TableEntries)
+
+	// Safety: Bolt is a lossless transformation (paper footnote 1).
+	if err := bf.CheckSafety(f, test.X); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("safety verified: Bolt votes equal forest votes on every test sample")
+
+	// Classify.
+	p := bolt.NewPredictor(bf)
+	pred := make([]int, test.Len())
+	for i, x := range test.X {
+		pred[i] = p.Predict(x)
+	}
+	fmt.Printf("test accuracy: %.3f over %d samples\n", bolt.Accuracy(pred, test.Y), test.Len())
+}

@@ -1,0 +1,77 @@
+// Reviews: the wide sparse NLP workload (Yelp, §6.1 — 1500 bag-of-words
+// features predicting the star rating) served by a two-layer deep
+// forest (§4.6/Fig. 15): the first layer's class probabilities are
+// appended to the features of the second layer, and Bolt compiles each
+// layer in isolation.
+package main
+
+import (
+	"fmt"
+	"log"
+	"time"
+
+	"bolt"
+)
+
+func main() {
+	data := bolt.SyntheticYelp(2400, 31)
+	train, test := data.Split(0.8, 32)
+
+	// Plain forest for reference.
+	plain := bolt.Train(train, bolt.ForestConfig{
+		NumTrees: 10,
+		Tree:     bolt.TreeConfig{MaxDepth: 6},
+		Seed:     33,
+	})
+	plainPred := plain.PredictBatch(test.X)
+	fmt.Printf("plain forest accuracy:   %.3f\n", bolt.Accuracy(plainPred, test.Y))
+
+	// Two-layer cascade.
+	df := bolt.TrainDeep(train, bolt.DeepConfig{
+		NumLayers:       2,
+		ForestsPerLayer: 1,
+		Forest: bolt.ForestConfig{
+			NumTrees: 10,
+			Tree:     bolt.TreeConfig{MaxDepth: 6},
+		},
+		Seed: 34,
+	})
+	deepPred := make([]int, test.Len())
+	for i, x := range test.X {
+		deepPred[i] = df.Predict(x)
+	}
+	fmt.Printf("deep forest accuracy:    %.3f\n", bolt.Accuracy(deepPred, test.Y))
+
+	// Compile each layer into lookup tables.
+	db, err := bolt.CompileDeep(df, bolt.Options{ClusterThreshold: 4, BloomBitsPerKey: -1})
+	if err != nil {
+		log.Fatal(err)
+	}
+	if err := db.CheckSafety(df, test.X[:200]); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("cascade safety verified: compiled layers reproduce the cascade exactly")
+
+	// Latency comparison: cascade vs plain, Bolt engines both.
+	bfPlain, err := bolt.Compile(plain, bolt.Options{ClusterThreshold: 4, BloomBitsPerKey: -1})
+	if err != nil {
+		log.Fatal(err)
+	}
+	p := bolt.NewPredictor(bfPlain)
+	plainNs := timePerSample(func(x []float32) { p.Predict(x) }, test.X)
+	deepNs := timePerSample(func(x []float32) { db.Predict(x) }, test.X)
+	fmt.Printf("bolt plain forest:  %6.2f us/sample\n", plainNs/1000)
+	fmt.Printf("bolt deep cascade:  %6.2f us/sample (two layers, features widened by %d)\n",
+		deepNs/1000, df.LayerInputWidth(1)-df.NumFeatures)
+}
+
+func timePerSample(f func(x []float32), X [][]float32) float64 {
+	for _, x := range X {
+		f(x)
+	}
+	start := time.Now()
+	for _, x := range X {
+		f(x)
+	}
+	return float64(time.Since(start).Nanoseconds()) / float64(len(X))
+}

@@ -1,0 +1,38 @@
+// Package baselines re-implements the inference strategies of the three
+// platforms the paper compares against (§6): Python Scikit-Learn,
+// Ranger, and Forest Packing. Absolute Python-vs-C++ gaps cannot be
+// reproduced inside one compiled language; what these implementations
+// preserve is each platform's *memory-access and branching structure*,
+// which is what the paper's figures measure Bolt against:
+//
+//   - NaiveEnsemble (Scikit-like): per-node heap objects reached through
+//     pointers, scattered allocation order, per-call result-matrix
+//     allocation, interface-typed generic accessors — the
+//     "process each tree independently through boxed objects" shape.
+//   - RangerEnsemble: compact per-tree node arrays traversed
+//     breadth-first-style ("does not differ in principle from
+//     traditional tree execution"), with the memory-thrift tricks the
+//     Ranger paper describes and a batch API that amortises dispatch.
+//   - ForestPacking: depth-first packed node layout with hot paths
+//     (ranked by calibration-set leaf frequency) placed first so they
+//     share cache lines, leaves inlined into their parent's cache-line
+//     bin (Browne et al., SDM '19).
+//
+// All engines produce exactly the same predictions as forest.Forest —
+// verified by tests — so speed comparisons are apples-to-apples.
+package baselines
+
+import "bolt/internal/forest"
+
+// Engine is the common inference interface implemented by every
+// baseline and satisfied by Bolt adapters in the bench harness.
+type Engine interface {
+	// Name identifies the platform in reports ("scikit", "ranger", ...).
+	Name() string
+	// Predict classifies a single sample.
+	Predict(x []float32) int
+}
+
+// votesToLabel converts an accumulated weighted-vote vector to a label
+// with the shared lowest-index tie-break.
+func votesToLabel(votes []int64) int { return forest.Argmax(votes) }

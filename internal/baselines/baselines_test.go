@@ -1,0 +1,222 @@
+package baselines
+
+import (
+	"testing"
+	"testing/quick"
+
+	"bolt/internal/dataset"
+	"bolt/internal/forest"
+	"bolt/internal/rng"
+	"bolt/internal/tree"
+)
+
+func trainForest(t testing.TB, seed uint64) (*forest.Forest, *dataset.Dataset) {
+	t.Helper()
+	d := dataset.SyntheticBlobs(400, 8, 3, 1.2, seed)
+	f := forest.Train(d, forest.Config{NumTrees: 10, Tree: tree.Config{MaxDepth: 4}, Seed: seed})
+	if err := f.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	return f, d
+}
+
+func randomInputs(n, features int, seed uint64) [][]float32 {
+	r := rng.New(seed)
+	X := make([][]float32, n)
+	for i := range X {
+		x := make([]float32, features)
+		for j := range x {
+			x[j] = float32(r.Float64()*60 - 10)
+		}
+		X[i] = x
+	}
+	return X
+}
+
+// Every baseline must predict exactly what the reference forest
+// predicts — speed comparisons are meaningless otherwise.
+func TestBaselinesMatchForest(t *testing.T) {
+	f, d := trainForest(t, 1)
+	X := append(append([][]float32{}, d.X...), randomInputs(300, d.NumFeatures, 2)...)
+	engines := []Engine{
+		NewNaive(f, 3),
+		NewRanger(f),
+		NewForestPacking(f, d.X[:100]),
+		NewForestPacking(f, nil), // uniform heat
+	}
+	for _, e := range engines {
+		for i, x := range X {
+			if got, want := e.Predict(x), f.Predict(x); got != want {
+				t.Fatalf("%s: sample %d predicted %d, forest %d", e.Name(), i, got, want)
+			}
+		}
+	}
+}
+
+func TestBaselinesMatchWeightedForest(t *testing.T) {
+	d := dataset.SyntheticBlobs(300, 6, 3, 1.5, 4)
+	f := forest.TrainBoosted(d, forest.Config{NumTrees: 8, Tree: tree.Config{MaxDepth: 3}, Seed: 5})
+	engines := []Engine{NewNaive(f, 6), NewRanger(f), NewForestPacking(f, d.X[:50])}
+	for _, e := range engines {
+		for _, x := range d.X {
+			if e.Predict(x) != f.Predict(x) {
+				t.Fatalf("%s diverges on weighted forest", e.Name())
+			}
+		}
+	}
+}
+
+func TestRangerBatchMatchesSingle(t *testing.T) {
+	f, d := trainForest(t, 7)
+	e := NewRanger(f)
+	batch := e.PredictBatch(d.X)
+	for i, x := range d.X {
+		if batch[i] != e.Predict(x) {
+			t.Fatalf("batch prediction %d differs from single", i)
+		}
+	}
+}
+
+func TestForestPackingHotPathAdjacency(t *testing.T) {
+	f, d := trainForest(t, 8)
+	e := NewForestPacking(f, d.X)
+	if e.NumNodes() == 0 {
+		t.Fatal("no packed nodes")
+	}
+	// Structural invariant of the packed layout: for every internal
+	// node i, the hot child is node i+1 and the cold child (`other`)
+	// comes after the entire hot subtree, i.e. other > i+1.
+	end := len(e.nodes)
+	if len(e.roots) > 1 {
+		end = int(e.roots[1])
+	}
+	internal := 0
+	for i := int(e.roots[0]); i < end; i++ {
+		n := &e.nodes[i]
+		if n.feature < 0 {
+			continue
+		}
+		internal++
+		if int(n.other) <= i+1 || int(n.other) >= end {
+			t.Fatalf("node %d cold child %d violates packing (tree ends at %d)", i, n.other, end)
+		}
+	}
+	if internal == 0 {
+		t.Fatal("first tree has no internal nodes; test is vacuous")
+	}
+}
+
+func TestForestPackingCalibrationChangesLayout(t *testing.T) {
+	f, d := trainForest(t, 9)
+	// Two disjoint calibration sets with different distributions should
+	// usually produce different hot orders somewhere in the forest.
+	low := make([][]float32, 0, 100)
+	high := make([][]float32, 0, 100)
+	for _, x := range randomInputs(200, d.NumFeatures, 10) {
+		shifted := make([]float32, len(x))
+		for j := range x {
+			shifted[j] = x[j] - 20
+		}
+		low = append(low, shifted)
+		shifted2 := make([]float32, len(x))
+		for j := range x {
+			shifted2[j] = x[j] + 20
+		}
+		high = append(high, shifted2)
+	}
+	a := NewForestPacking(f, low)
+	b := NewForestPacking(f, high)
+	same := true
+	for i := range a.nodes {
+		if a.nodes[i] != b.nodes[i] {
+			same = false
+			break
+		}
+	}
+	if same {
+		t.Error("calibration distribution had no effect on packing")
+	}
+	// Both layouts must still predict identically.
+	for _, x := range d.X[:100] {
+		if a.Predict(x) != b.Predict(x) {
+			t.Fatal("packing layout changed predictions")
+		}
+	}
+}
+
+func TestNaiveScatterDeterministic(t *testing.T) {
+	f, d := trainForest(t, 11)
+	a := NewNaive(f, 42)
+	b := NewNaive(f, 42)
+	for _, x := range d.X[:50] {
+		if a.Predict(x) != b.Predict(x) {
+			t.Fatal("same-seed naive ensembles disagree")
+		}
+	}
+}
+
+func TestEngineNames(t *testing.T) {
+	f, d := trainForest(t, 12)
+	for _, c := range []struct {
+		e    Engine
+		want string
+	}{
+		{NewNaive(f, 1), "scikit"},
+		{NewRanger(f), "ranger"},
+		{NewForestPacking(f, d.X[:10]), "forest-packing"},
+	} {
+		if c.e.Name() != c.want {
+			t.Errorf("Name = %q, want %q", c.e.Name(), c.want)
+		}
+	}
+}
+
+// Property: all engines agree with each other on arbitrary inputs.
+func TestEnginesAgreeQuick(t *testing.T) {
+	f, d := trainForest(t, 13)
+	naive := NewNaive(f, 14)
+	ranger := NewRanger(f)
+	fp := NewForestPacking(f, d.X[:100])
+	r := rng.New(15)
+	check := func(_ uint32) bool {
+		x := make([]float32, d.NumFeatures)
+		for j := range x {
+			x[j] = float32(r.Float64()*80 - 20)
+		}
+		a := naive.Predict(x)
+		return a == ranger.Predict(x) && a == fp.Predict(x)
+	}
+	if err := quick.Check(check, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func BenchmarkNaivePredict(b *testing.B) {
+	f, d := trainForest(b, 16)
+	e := NewNaive(f, 17)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		e.Predict(d.X[i%len(d.X)])
+	}
+}
+
+func BenchmarkRangerPredict(b *testing.B) {
+	f, d := trainForest(b, 18)
+	e := NewRanger(f)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		e.Predict(d.X[i%len(d.X)])
+	}
+}
+
+func BenchmarkForestPackingPredict(b *testing.B) {
+	f, d := trainForest(b, 19)
+	e := NewForestPacking(f, d.X[:100])
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		e.Predict(d.X[i%len(d.X)])
+	}
+}

@@ -1,0 +1,127 @@
+package baselines
+
+import (
+	"bolt/internal/forest"
+	"bolt/internal/tree"
+)
+
+// ForestPacking mirrors Browne et al. (SDM '19), the paper's
+// state-of-the-art baseline: trees are stored depth-first with the
+// hotter child of every node placed immediately after its parent, so
+// the most frequently travelled root-to-leaf paths occupy consecutive
+// memory ("nodes in the same path are loaded into the same cache line").
+// Heat is estimated from a calibration set — the paper's critique (§2.1)
+// that "testing data may not reflect the statistical path distribution
+// observed when a forest runs inference as a service" applies verbatim
+// and can be reproduced by calibrating on one distribution and serving
+// another.
+type ForestPacking struct {
+	nodes      []fpNode
+	roots      []int32
+	weights    []int64
+	numClasses int
+	votes      []int64
+}
+
+// fpNode is the packed 16-byte node: the hot child is implicitly the
+// next node in the array; `other` indexes the cold child. feature < 0
+// marks a leaf whose label is stored in `other`.
+type fpNode struct {
+	feature   int32
+	threshold float32
+	other     int32
+	hotLeft   bool
+}
+
+// NewForestPacking packs a trained forest, estimating path heat from
+// the calibration samples (typically the test split, per Browne et al.).
+// A nil calibration set falls back to uniform heat (left child hot).
+func NewForestPacking(f *forest.Forest, calibration [][]float32) *ForestPacking {
+	e := &ForestPacking{
+		roots:      make([]int32, len(f.Trees)),
+		weights:    make([]int64, len(f.Trees)),
+		numClasses: f.NumClasses,
+		votes:      make([]int64, f.NumClasses),
+	}
+	for ti, t := range f.Trees {
+		e.weights[ti] = f.Weight(ti)
+		visits := countVisits(t, calibration)
+		e.roots[ti] = int32(len(e.nodes))
+		e.pack(t, 0, visits)
+	}
+	return e
+}
+
+// countVisits counts calibration traversals through every node.
+func countVisits(t *tree.Tree, X [][]float32) []int {
+	visits := make([]int, len(t.Nodes))
+	for _, x := range X {
+		i := int32(0)
+		for {
+			visits[i]++
+			n := &t.Nodes[i]
+			if n.IsLeaf() {
+				break
+			}
+			if x[n.Feature] <= n.Threshold {
+				i = n.Left
+			} else {
+				i = n.Right
+			}
+		}
+	}
+	return visits
+}
+
+// pack appends the subtree rooted at src in hot-path-first depth-first
+// order and returns nothing; the caller recorded the start index.
+func (e *ForestPacking) pack(t *tree.Tree, src int32, visits []int) {
+	n := &t.Nodes[src]
+	if n.IsLeaf() {
+		e.nodes = append(e.nodes, fpNode{feature: -1, other: n.Label})
+		return
+	}
+	hotLeft := visits[n.Left] >= visits[n.Right]
+	self := len(e.nodes)
+	e.nodes = append(e.nodes, fpNode{
+		feature:   n.Feature,
+		threshold: n.Threshold,
+		hotLeft:   hotLeft,
+	})
+	hot, cold := n.Left, n.Right
+	if !hotLeft {
+		hot, cold = n.Right, n.Left
+	}
+	e.pack(t, hot, visits) // hot child lands at self+1
+	e.nodes[self].other = int32(len(e.nodes))
+	e.pack(t, cold, visits)
+}
+
+// Name implements Engine.
+func (e *ForestPacking) Name() string { return "forest-packing" }
+
+// Predict implements Engine.
+func (e *ForestPacking) Predict(x []float32) int {
+	for i := range e.votes {
+		e.votes[i] = 0
+	}
+	for ti, root := range e.roots {
+		i := root
+		for {
+			n := &e.nodes[i]
+			if n.feature < 0 {
+				e.votes[n.other] += e.weights[ti]
+				break
+			}
+			if (x[n.feature] <= n.threshold) == n.hotLeft {
+				i++ // hot child is adjacent
+			} else {
+				i = n.other
+			}
+		}
+	}
+	return votesToLabel(e.votes)
+}
+
+// NumNodes returns the packed node count (all trees).
+func (e *ForestPacking) NumNodes() int { return len(e.nodes) }

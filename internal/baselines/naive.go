@@ -1,0 +1,123 @@
+package baselines
+
+import (
+	"bolt/internal/forest"
+	"bolt/internal/rng"
+	"bolt/internal/tree"
+)
+
+// NaiveEnsemble mirrors the Scikit-Learn serving shape the paper
+// measures (§6: 1460µs on the small-forest workload): each tree node is
+// a separately heap-allocated object reached through pointers, node
+// objects are allocated in shuffled order so consecutive path nodes do
+// not share cache lines (Python object graphs have no layout locality),
+// feature access goes through an interface (ndarray-style boxed
+// dispatch), and every Predict allocates its per-class probability
+// buffer the way predict_proba materialises a fresh result matrix.
+type NaiveEnsemble struct {
+	roots      []*naiveNode
+	weights    []int64
+	numClasses int
+	name       string
+}
+
+type naiveNode struct {
+	left, right *naiveNode
+	feature     int
+	threshold   float64
+	label       int
+	leaf        bool
+	// scatter is the node's position in the shuffled allocation order;
+	// the perfsim trace derives its simulated heap address from it.
+	scatter int
+}
+
+// featureVector is the boxed accessor type: Scikit-Learn reads features
+// through ndarray __getitem__; an interface method call is the closest
+// Go analogue of that dynamic dispatch.
+type featureVector interface {
+	At(i int) float64
+}
+
+type sliceVector []float32
+
+func (s sliceVector) At(i int) float64 { return float64(s[i]) }
+
+// NewNaive converts a trained forest into the naive pointer layout.
+// Allocation order is shuffled per tree (seeded) to reproduce the heap
+// scatter of per-object allocation.
+func NewNaive(f *forest.Forest, seed uint64) *NaiveEnsemble {
+	e := &NaiveEnsemble{
+		roots:      make([]*naiveNode, len(f.Trees)),
+		weights:    make([]int64, len(f.Trees)),
+		numClasses: f.NumClasses,
+		name:       "scikit",
+	}
+	r := rng.New(seed)
+	for ti, t := range f.Trees {
+		e.weights[ti] = f.Weight(ti)
+		e.roots[ti] = buildScattered(t, r)
+	}
+	return e
+}
+
+// buildScattered allocates the tree's nodes in random order so parents
+// and children land far apart on the heap.
+func buildScattered(t *tree.Tree, r *rng.Source) *naiveNode {
+	order := r.Perm(len(t.Nodes))
+	nodes := make([]*naiveNode, len(t.Nodes))
+	// Allocate in shuffled order; each allocation is separate so the
+	// runtime places them wherever the heap cursor is.
+	for pos, i := range order {
+		nodes[i] = &naiveNode{scatter: pos}
+	}
+	for i := range t.Nodes {
+		src := &t.Nodes[i]
+		dst := nodes[i]
+		if src.IsLeaf() {
+			dst.leaf = true
+			dst.label = int(src.Label)
+			continue
+		}
+		dst.feature = int(src.Feature)
+		dst.threshold = float64(src.Threshold)
+		dst.left = nodes[src.Left]
+		dst.right = nodes[src.Right]
+	}
+	return nodes[0]
+}
+
+// Name implements Engine.
+func (e *NaiveEnsemble) Name() string { return e.name }
+
+// Predict implements Engine with the per-call allocation and boxed
+// feature access described above.
+func (e *NaiveEnsemble) Predict(x []float32) int {
+	votes := make([]int64, e.numClasses) // fresh result matrix per call
+	e.Votes(x, votes)
+	return votesToLabel(votes)
+}
+
+// Votes accumulates weighted votes into the caller's buffer (zeroed
+// first); used by the deep-forest baseline, which needs per-layer
+// probabilities.
+func (e *NaiveEnsemble) Votes(x []float32, votes []int64) {
+	for i := range votes {
+		votes[i] = 0
+	}
+	var fv featureVector = sliceVector(x)
+	for ti, root := range e.roots {
+		n := root
+		for !n.leaf {
+			if fv.At(n.feature) <= n.threshold {
+				n = n.left
+			} else {
+				n = n.right
+			}
+		}
+		votes[n.label] += e.weights[ti]
+	}
+}
+
+// NumClasses returns the class count.
+func (e *NaiveEnsemble) NumClasses() int { return e.numClasses }

@@ -1,0 +1,120 @@
+package baselines
+
+import (
+	"bolt/internal/forest"
+	"bolt/internal/tree"
+)
+
+// RangerEnsemble mirrors Ranger's inference strategy (Wright & Ziegler,
+// JSS '17, §2.1 of the paper): conventional per-node traversal over
+// memory-thrifty structures — one compact array of nodes per tree,
+// "saving node information in simple data structures", no per-call
+// allocation — plus the batch API that lets Ranger amortise dispatch
+// when queries can be batched (the regime where the paper notes Ranger
+// achieves very low response times).
+type RangerEnsemble struct {
+	trees      []rangerTree
+	weights    []int64
+	numClasses int
+	votes      []int64 // reusable accumulator (single-threaded engine)
+}
+
+// rangerTree is the flat child-indexed layout: structure-of-arrays like
+// Ranger's std::vector members.
+type rangerTree struct {
+	feature   []int32
+	threshold []float32
+	left      []int32
+	right     []int32 // right<0 marks a leaf; label is ^right
+}
+
+// NewRanger converts a trained forest into the Ranger layout.
+func NewRanger(f *forest.Forest) *RangerEnsemble {
+	e := &RangerEnsemble{
+		trees:      make([]rangerTree, len(f.Trees)),
+		weights:    make([]int64, len(f.Trees)),
+		numClasses: f.NumClasses,
+		votes:      make([]int64, f.NumClasses),
+	}
+	for ti, t := range f.Trees {
+		e.weights[ti] = f.Weight(ti)
+		e.trees[ti] = buildRangerTree(t)
+	}
+	return e
+}
+
+func buildRangerTree(t *tree.Tree) rangerTree {
+	n := len(t.Nodes)
+	rt := rangerTree{
+		feature:   make([]int32, n),
+		threshold: make([]float32, n),
+		left:      make([]int32, n),
+		right:     make([]int32, n),
+	}
+	for i := range t.Nodes {
+		src := &t.Nodes[i]
+		if src.IsLeaf() {
+			rt.right[i] = ^src.Label // negative marker carrying the label
+			rt.feature[i] = -1
+			continue
+		}
+		rt.feature[i] = src.Feature
+		rt.threshold[i] = src.Threshold
+		rt.left[i] = src.Left
+		rt.right[i] = src.Right
+	}
+	return rt
+}
+
+// Name implements Engine.
+func (e *RangerEnsemble) Name() string { return "ranger" }
+
+// Predict implements Engine.
+func (e *RangerEnsemble) Predict(x []float32) int {
+	for i := range e.votes {
+		e.votes[i] = 0
+	}
+	for ti := range e.trees {
+		t := &e.trees[ti]
+		i := int32(0)
+		for t.feature[i] >= 0 {
+			if x[t.feature[i]] <= t.threshold[i] {
+				i = t.left[i]
+			} else {
+				i = t.right[i]
+			}
+		}
+		e.votes[^t.right[i]] += e.weights[ti]
+	}
+	return votesToLabel(e.votes)
+}
+
+// PredictBatch classifies a batch, processing each tree across the whole
+// batch before moving to the next tree — Ranger's cache-friendly batched
+// order (one tree stays resident while all samples stream through it).
+func (e *RangerEnsemble) PredictBatch(X [][]float32) []int {
+	votes := make([][]int64, len(X))
+	for i := range votes {
+		votes[i] = make([]int64, e.numClasses)
+	}
+	for ti := range e.trees {
+		t := &e.trees[ti]
+		w := e.weights[ti]
+		for si, x := range X {
+			i := int32(0)
+			for t.feature[i] >= 0 {
+				if x[t.feature[i]] <= t.threshold[i] {
+					i = t.left[i]
+				} else {
+					i = t.right[i]
+				}
+			}
+			votes[si][^t.right[i]] += w
+		}
+	}
+	out := make([]int, len(X))
+	for i := range out {
+		out[i] = votesToLabel(votes[i])
+	}
+	return out
+}

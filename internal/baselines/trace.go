@@ -1,0 +1,113 @@
+package baselines
+
+// Step is one observable event of an engine's traversal, consumed by
+// the perfsim machine model (Fig. 12 reproduction): a node load at a
+// simulated address, optionally followed by a conditional branch.
+type Step struct {
+	// Addr is the simulated byte address of the loaded node.
+	Addr uint64
+	// Size is the loaded object size in bytes.
+	Size int
+	// Branch reports whether this step ends in a conditional branch.
+	Branch bool
+	// Taken is the branch outcome (left/true edge) when Branch is set.
+	Taken bool
+	// Leaf marks the final step of a tree descent.
+	Leaf bool
+}
+
+// Simulated address-space bases keep each structure in its own region
+// so cache behaviour reflects layout, not accidental overlap.
+const (
+	naiveBase  = uint64(0x1000_0000)
+	rangerBase = uint64(0x2000_0000)
+	fpBase     = uint64(0x3000_0000)
+
+	// naiveNodeStride places every naive node on its own cache line:
+	// separately allocated Python objects share none.
+	naiveNodeStride = 64
+	// rangerNodeBytes is feature+threshold+left+right.
+	rangerNodeBytes = 16
+	// fpNodeBytes is the packed node footprint.
+	fpNodeBytes = 13
+)
+
+// FPNodeBytes is the Forest Packing node stride in the simulated
+// address space: consecutive hot-path nodes differ by exactly this, so
+// a traced step whose address is not prev+FPNodeBytes left the packed
+// hot sequence (a "cold jump" — the §2.1 adjacency metric).
+const FPNodeBytes = fpNodeBytes
+
+// Trace replays the naive engine's traversal of x through visit. Node
+// addresses use the scattered allocation order, one cache line apart.
+func (e *NaiveEnsemble) Trace(x []float32, visit func(Step)) {
+	var fv featureVector = sliceVector(x)
+	for ti, root := range e.roots {
+		n := root
+		for !n.leaf {
+			visit(Step{Addr: naiveAddr(ti, n), Size: 48, Branch: true, Taken: fv.At(n.feature) <= n.threshold})
+			if fv.At(n.feature) <= n.threshold {
+				n = n.left
+			} else {
+				n = n.right
+			}
+		}
+		visit(Step{Addr: naiveAddr(ti, n), Size: 48, Leaf: true})
+	}
+}
+
+// naiveAddr places each node at its shuffled allocation position, one
+// cache line apart: consecutive path nodes land on unrelated lines,
+// like separately allocated interpreter objects.
+func naiveAddr(tree int, n *naiveNode) uint64 {
+	return naiveBase + uint64(tree)<<20 + uint64(n.scatter)*naiveNodeStride
+}
+
+// Trace replays the Ranger engine's traversal: nodes of tree ti are
+// contiguous 16-byte records.
+func (e *RangerEnsemble) Trace(x []float32, visit func(Step)) {
+	var off uint64
+	for ti := range e.trees {
+		t := &e.trees[ti]
+		i := int32(0)
+		for t.feature[i] >= 0 {
+			visit(Step{
+				Addr:   rangerBase + off + uint64(i)*rangerNodeBytes,
+				Size:   rangerNodeBytes,
+				Branch: true,
+				Taken:  x[t.feature[i]] <= t.threshold[i],
+			})
+			if x[t.feature[i]] <= t.threshold[i] {
+				i = t.left[i]
+			} else {
+				i = t.right[i]
+			}
+		}
+		visit(Step{Addr: rangerBase + off + uint64(i)*rangerNodeBytes, Size: rangerNodeBytes, Leaf: true})
+		off += uint64(len(t.feature)) * rangerNodeBytes
+	}
+}
+
+// Trace replays the Forest Packing engine: nodes are packed depth-first
+// hot-first, so consecutive hot steps touch consecutive addresses and
+// share cache lines — the effect Browne et al. engineered.
+func (e *ForestPacking) Trace(x []float32, visit func(Step)) {
+	for _, root := range e.roots {
+		i := root
+		for {
+			n := &e.nodes[i]
+			addr := fpBase + uint64(i)*fpNodeBytes
+			if n.feature < 0 {
+				visit(Step{Addr: addr, Size: fpNodeBytes, Leaf: true})
+				break
+			}
+			taken := x[n.feature] <= n.threshold
+			visit(Step{Addr: addr, Size: fpNodeBytes, Branch: true, Taken: taken})
+			if taken == n.hotLeft {
+				i++
+			} else {
+				i = n.other
+			}
+		}
+	}
+}

@@ -1,0 +1,96 @@
+package bench
+
+import (
+	"fmt"
+	"math"
+
+	"bolt/internal/core"
+)
+
+// Ablations quantifies Bolt's individual design choices on the Fig. 10
+// workload — the "novel combination of lossless compression, parameter
+// selection, and bloom filters" (abstract) taken apart:
+//
+//   - clustering threshold 0 (exact-duplicate merging only) vs tuned;
+//   - bloom filter off / 4 / 8 bits per key;
+//   - the paper's 1-byte compact entry IDs vs full-key slots, with the
+//     measured prediction-divergence rate of the probabilistic variant;
+//   - the local-explanation workload (Salience) vs plain prediction.
+//
+// It also reports what the naïve single lookup table of §1 would cost:
+// 2^P entries for P forest predicates, the storage wall that motivates
+// the whole design.
+func Ablations(cfg Config) (*Table, error) {
+	cfg = cfg.normalized()
+	w := MNISTWorkload(cfg)
+	f := TrainForest(w, paperTrees, paperHeight, cfg.Seed)
+	comp, err := core.NewCompilation(f)
+	if err != nil {
+		return nil, err
+	}
+	tunedBf, tunedTh, err := CompileAuto(f, cfg, w.Test.X)
+	if err != nil {
+		return nil, err
+	}
+
+	t := &Table{
+		Title:   "Ablations: Bolt design choices, small forest (MNIST-like, 10 trees, height 4)",
+		Columns: []string{"variant", "us/sample", "dict", "table-slots", "bloom-B", "divergence"},
+	}
+
+	ref := f.PredictBatch(w.Test.X)
+	addVariant := func(name string, bf *core.Forest) {
+		ns := TimePerSample(boltPredictor(bf), w.Test.X, cfg.Rounds)
+		got := bf.PredictBatch(w.Test.X)
+		diverge := 0
+		for i := range got {
+			if got[i] != ref[i] {
+				diverge++
+			}
+		}
+		st := bf.Stats()
+		t.AddRow(name, ns/1000, fmt.Sprintf("%d", st.DictEntries),
+			fmt.Sprintf("%d", st.TableSlots), fmt.Sprintf("%d", st.BloomBytes),
+			fmt.Sprintf("%.2f%%", 100*float64(diverge)/float64(len(got))))
+	}
+
+	addVariant(fmt.Sprintf("tuned (th=%d)", tunedTh), tunedBf)
+
+	for _, v := range []struct {
+		name string
+		opts core.Options
+	}{
+		{"no clustering (th=0)", core.Options{ClusterThreshold: -1, Seed: cfg.Seed}},
+		{"bloom off", core.Options{ClusterThreshold: tunedTh, BloomBitsPerKey: -1, Seed: cfg.Seed}},
+		{"bloom 4b/key", core.Options{ClusterThreshold: tunedTh, BloomBitsPerKey: 4, Seed: cfg.Seed}},
+		{"bloom 8b/key", core.Options{ClusterThreshold: tunedTh, BloomBitsPerKey: 8, Seed: cfg.Seed}},
+		{"compact 1B entry IDs", core.Options{ClusterThreshold: tunedTh, CompactIDs: true, Seed: cfg.Seed}},
+		{"half-full table (load .25)", core.Options{ClusterThreshold: tunedTh, TableLoadFactor: 0.25, Seed: cfg.Seed}},
+	} {
+		opts := v.opts
+		if opts.ClusterThreshold == 0 {
+			opts.ClusterThreshold = tunedTh
+		}
+		bf, err := comp.Compile(opts)
+		if err != nil {
+			return nil, err
+		}
+		addVariant(v.name, bf)
+	}
+
+	// Explanation workload: salience costs one extra pass over matched
+	// entries' features.
+	s := tunedBf.NewScratch()
+	salNs := TimePerSample(func(x []float32) int {
+		tunedBf.Salience(x, s)
+		return 0
+	}, w.Test.X, cfg.Rounds)
+	t.AddRow("salience (explanation)", salNs/1000, "-", "-", "-", "-")
+
+	preds := comp.NumPredicates()
+	t.Note("naïve single lookup table (§1) would need 2^%d entries for this forest's %d predicates "+
+		"(~%.3g bytes at 1 B/entry) — the storage wall Bolt's clustering removes",
+		preds, preds, math.Pow(2, float64(preds)))
+	t.Note("divergence is vs the reference forest; only the probabilistic compact-ID variant may diverge")
+	return t, nil
+}

@@ -1,0 +1,69 @@
+package bench
+
+import (
+	"bolt/internal/baselines"
+	"bolt/internal/forest"
+)
+
+// naiveDeep is the Scikit-like cascade baseline for Fig. 15: each layer
+// is a NaiveEnsemble (pointer-scattered, per-call allocating), wired
+// with the same probability-appending scheme as forest.DeepForest so
+// its predictions match the reference cascade exactly.
+type naiveDeep struct {
+	layers      [][]*baselines.NaiveEnsemble
+	numFeatures int
+	numClasses  int
+}
+
+func newNaiveDeep(df *forest.DeepForest, seed uint64) *naiveDeep {
+	nd := &naiveDeep{
+		layers:      make([][]*baselines.NaiveEnsemble, len(df.Layers)),
+		numFeatures: df.NumFeatures,
+		numClasses:  df.NumClasses,
+	}
+	for l, layer := range df.Layers {
+		nd.layers[l] = make([]*baselines.NaiveEnsemble, len(layer))
+		for j, f := range layer {
+			nd.layers[l][j] = baselines.NewNaive(f, seed^uint64(l*100+j))
+		}
+	}
+	return nd
+}
+
+// Predict mirrors forest.DeepForest.VotesInto, including the float32
+// probability normalisation, over the naive engines.
+func (nd *naiveDeep) Predict(x []float32) int {
+	cur := x
+	votes := make([]int64, nd.numClasses)
+	layerVotes := make([]int64, nd.numClasses)
+	for l, layer := range nd.layers {
+		if l == len(nd.layers)-1 {
+			for i := range votes {
+				votes[i] = 0
+			}
+			for _, e := range layer {
+				e.Votes(cur, layerVotes)
+				for c := range votes {
+					votes[c] += layerVotes[c]
+				}
+			}
+			return forest.Argmax(votes)
+		}
+		next := make([]float32, len(cur)+len(layer)*nd.numClasses)
+		copy(next, cur)
+		off := len(cur)
+		for _, e := range layer {
+			e.Votes(cur, layerVotes)
+			total := int64(0)
+			for _, v := range layerVotes {
+				total += v
+			}
+			for c, v := range layerVotes {
+				next[off+c] = float32(float64(v) / float64(total))
+			}
+			off += nd.numClasses
+		}
+		cur = next
+	}
+	return 0 // unreachable: the final layer returns above
+}

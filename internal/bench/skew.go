@@ -1,0 +1,112 @@
+package bench
+
+import (
+	"fmt"
+
+	"bolt/internal/baselines"
+	"bolt/internal/perfsim"
+)
+
+// Skew tests the paper's §2.1 critique of Forest Packing: "testing data
+// may not reflect the statistical path distribution observed when a
+// forest runs inference as a service. ... For complex data used on a
+// wide range of services, hot paths will likely differ."
+//
+// Forest Packing places each node's hotter child adjacent to it, so a
+// descent that follows calibration-hot edges is a sequential walk and
+// every deviation is a jump into the cold-packed region. We calibrate
+// one packing on a distribution that *excludes* the served class and
+// one on the served distribution itself, then count each packing's
+// cold jumps per sample on the served stream — the direct measure of
+// lost adjacency. Bolt has no calibration to mismatch: its layout maps
+// all paths explicitly (the paper's §2.1 argument for lookup tables).
+func Skew(cfg Config) (*Table, error) {
+	cfg = cfg.normalized()
+	w := MNISTWorkload(cfg)
+	f := TrainForest(w, paperTrees, 6, cfg.Seed^0xd1)
+
+	// The served stream: samples of a single class; the mismatched
+	// calibration set: everything else.
+	const servedClass = 7
+	var served, others [][]float32
+	for i, x := range w.Test.X {
+		if w.Test.Y[i] == servedClass {
+			served = append(served, x)
+		} else {
+			others = append(others, x)
+		}
+	}
+	if len(served) < 10 {
+		return nil, fmt.Errorf("bench: too few class-%d samples (%d)", servedClass, len(served))
+	}
+
+	bf, th, err := CompileAuto(f, cfg, w.Test.X)
+	if err != nil {
+		return nil, err
+	}
+
+	costs := perfsim.DefaultCosts()
+	modeled := func(predict func(x []float32, m *perfsim.Machine) int) float64 {
+		m := perfsim.NewMachine(perfsim.XeonE52650)
+		for _, x := range served {
+			predict(x, m)
+		}
+		m.C = perfsim.Counters{}
+		for _, x := range served {
+			predict(x, m)
+		}
+		return m.ModeledLatency(perfsim.XeonE52650) / float64(len(served))
+	}
+
+	t := &Table{
+		Title:   "Skew (§2.1): serving one class after calibrating on a different distribution",
+		Columns: []string{"engine", "calibration", "cold-jumps/sample", "modeled us", "go-wall us"},
+	}
+
+	addFP := func(name string, calib [][]float32) float64 {
+		fp := baselines.NewForestPacking(f, calib)
+		jumps := coldJumpsPerSample(fp, served)
+		ns := modeled(perfsim.NewFPSim(fp, costs).Predict)
+		wall := TimePerSample(fp.Predict, served, cfg.Rounds)
+		t.AddRow("FP", name, jumps, ns/1000, wall/1000)
+		return jumps
+	}
+	mismatched := addFP("excludes served class", others)
+	matched := addFP("served distribution", served)
+
+	boltNs := modeled(perfsim.NewBoltSim(bf, costs).Predict)
+	boltWall := TimePerSample(boltPredictor(bf), served, cfg.Rounds)
+	t.AddRow("BOLT", fmt.Sprintf("n/a (threshold %d)", th), "0 (no pointer layout)", boltNs/1000, boltWall/1000)
+
+	if matched > 0 {
+		t.Note("mismatched calibration breaks %.1fx more hot-path adjacency than matched "+
+			"(paper §2.1: Bolt 'can cache whichever paths are used most frequently by a service')",
+			mismatched/matched)
+	} else {
+		t.Note("matched calibration achieves perfectly sequential descents on the served stream")
+	}
+	return t, nil
+}
+
+// coldJumpsPerSample counts, per served sample, the descent steps that
+// leave the packed hot sequence (next node not adjacent to the current
+// one).
+func coldJumpsPerSample(fp *baselines.ForestPacking, X [][]float32) float64 {
+	total := 0
+	for _, x := range X {
+		var prev uint64
+		first := true
+		fp.Trace(x, func(st baselines.Step) {
+			if !first && st.Addr != prev+baselines.FPNodeBytes {
+				total++
+			}
+			if st.Leaf {
+				first = true
+				return
+			}
+			prev = st.Addr
+			first = false
+		})
+	}
+	return float64(total) / float64(len(X))
+}

@@ -1,0 +1,190 @@
+package bench
+
+import (
+	"fmt"
+	"time"
+
+	"bolt/internal/core"
+	"bolt/internal/dataset"
+	"bolt/internal/forest"
+	"bolt/internal/tree"
+	"bolt/internal/tuning"
+)
+
+// Config sizes the experiment workloads. The paper's corpora are large
+// (60k MNIST training images, 25M LSTW events); the synthetic
+// generators scale down while keeping shape — Quick shrinks further for
+// use inside unit tests.
+type Config struct {
+	// Seed drives every generator and trainer.
+	Seed uint64
+	// TrainSamples and TestSamples size each dataset split.
+	TrainSamples int
+	TestSamples  int
+	// Rounds is the number of timed passes per measurement.
+	Rounds int
+	// EntryBudget caps lookup-table expansion when auto-selecting the
+	// cluster threshold for a workload.
+	EntryBudget int64
+	// Quick shrinks everything for test runs.
+	Quick bool
+}
+
+// DefaultConfig returns the full-size harness configuration.
+func DefaultConfig() Config {
+	return Config{
+		Seed:         2022, // Middleware '22
+		TrainSamples: 3000,
+		TestSamples:  600,
+		Rounds:       3,
+		EntryBudget:  1 << 18,
+	}
+}
+
+func (c Config) normalized() Config {
+	d := DefaultConfig()
+	if c.Seed == 0 {
+		c.Seed = d.Seed
+	}
+	if c.TrainSamples == 0 {
+		c.TrainSamples = d.TrainSamples
+	}
+	if c.TestSamples == 0 {
+		c.TestSamples = d.TestSamples
+	}
+	if c.Rounds == 0 {
+		c.Rounds = d.Rounds
+	}
+	if c.EntryBudget == 0 {
+		c.EntryBudget = d.EntryBudget
+	}
+	if c.Quick {
+		c.TrainSamples = min(c.TrainSamples, 400)
+		c.TestSamples = min(c.TestSamples, 120)
+		c.Rounds = 1
+	}
+	return c
+}
+
+func min(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}
+
+// Workload is a train/test pair.
+type Workload struct {
+	Name  string
+	Train *dataset.Dataset
+	Test  *dataset.Dataset
+}
+
+// MNISTWorkload builds the digit-recognition workload (784 features,
+// 10 classes).
+func MNISTWorkload(cfg Config) Workload {
+	cfg = cfg.normalized()
+	n := cfg.TrainSamples + cfg.TestSamples
+	d := dataset.SyntheticMNIST(n, cfg.Seed^0x11)
+	train, test := d.Split(float64(cfg.TrainSamples)/float64(n), cfg.Seed^0x12)
+	return Workload{Name: "mnist", Train: train, Test: test}
+}
+
+// LSTWWorkload builds the traffic/weather workload (11 features,
+// 4 classes).
+func LSTWWorkload(cfg Config) Workload {
+	cfg = cfg.normalized()
+	n := cfg.TrainSamples + cfg.TestSamples
+	d := dataset.SyntheticLSTW(n, cfg.Seed^0x21)
+	train, test := d.Split(float64(cfg.TrainSamples)/float64(n), cfg.Seed^0x22)
+	return Workload{Name: "lstw", Train: train, Test: test}
+}
+
+// YelpWorkload builds the review-rating workload (1500 features,
+// 5 classes).
+func YelpWorkload(cfg Config) Workload {
+	cfg = cfg.normalized()
+	n := cfg.TrainSamples + cfg.TestSamples
+	d := dataset.SyntheticYelp(n, cfg.Seed^0x31)
+	train, test := d.Split(float64(cfg.TrainSamples)/float64(n), cfg.Seed^0x32)
+	return Workload{Name: "yelp", Train: train, Test: test}
+}
+
+// TrainForest trains the paper's standard ensemble shape on a workload.
+func TrainForest(w Workload, trees, height int, seed uint64) *forest.Forest {
+	return forest.Train(w.Train, forest.Config{
+		NumTrees: trees,
+		Tree:     tree.Config{MaxDepth: height},
+		Seed:     seed,
+	})
+}
+
+// PickThreshold chooses the largest cluster threshold whose estimated
+// expansion stays within the entry budget — the cheap Phase 2 heuristic
+// used when a full empirical search is not warranted. It returns the
+// threshold and the estimate.
+func PickThreshold(comp *core.Compilation, budget int64) (int, int64) {
+	for _, th := range []int{12, 10, 8, 6, 4, 2, 1, 0} {
+		if est := comp.EstimateEntries(th); est <= budget {
+			return th, est
+		}
+	}
+	return 0, comp.EstimateEntries(0)
+}
+
+// CompileAuto compiles a forest through Phase 2: an empirical
+// single-core threshold search over the sample inputs (the paper's
+// pipeline always tunes before serving). With no inputs it falls back
+// to the budget-guarded structural heuristic.
+func CompileAuto(f *forest.Forest, cfg Config, inputs [][]float32) (*core.Forest, int, error) {
+	cfg = cfg.normalized()
+	if len(inputs) == 0 {
+		comp, err := core.NewCompilation(f)
+		if err != nil {
+			return nil, 0, err
+		}
+		th, _ := PickThreshold(comp, cfg.EntryBudget)
+		bf, err := comp.Compile(core.Options{ClusterThreshold: th, Seed: cfg.Seed})
+		if err != nil {
+			return nil, 0, fmt.Errorf("bench: compiling with threshold %d: %w", th, err)
+		}
+		return bf, th, nil
+	}
+	if len(inputs) > 100 {
+		inputs = inputs[:100]
+	}
+	best, _, err := tuning.Search(f, tuning.Config{
+		Cores:           1,
+		Thresholds:      []int{0, 1, 2, 4, 6, 8, 12},
+		BloomBits:       []int{-1, 8},
+		MaxTableEntries: cfg.EntryBudget,
+		Inputs:          inputs,
+		Rounds:          1,
+		Options:         core.Options{Seed: cfg.Seed},
+	})
+	if err != nil {
+		return nil, 0, fmt.Errorf("bench: phase-2 search: %w", err)
+	}
+	return best.Forest, best.Candidate.Threshold, nil
+}
+
+// TimePerSample measures the average per-sample latency of predict over
+// the inputs: one warmup pass, then cfg.Rounds timed passes.
+func TimePerSample(predict func(x []float32) int, X [][]float32, rounds int) float64 {
+	if len(X) == 0 {
+		return 0
+	}
+	if rounds < 1 {
+		rounds = 1
+	}
+	for _, x := range X {
+		predict(x)
+	}
+	start := time.Now()
+	for r := 0; r < rounds; r++ {
+		for _, x := range X {
+			predict(x)
+		}
+	}
+	return float64(time.Since(start).Nanoseconds()) / float64(rounds*len(X))
+}

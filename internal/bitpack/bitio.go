@@ -1,0 +1,173 @@
+package bitpack
+
+import (
+	"errors"
+	"fmt"
+)
+
+// ErrShortBuffer is returned by Reader when a read runs past the end of
+// the encoded stream.
+var ErrShortBuffer = errors.New("bitpack: read past end of bit stream")
+
+// Writer appends unsigned integers of arbitrary widths (1..64 bits) to a
+// byte buffer, LSB-first. It is used by internal/layout to serialise the
+// compressed structures of §5 (Fig. 8).
+type Writer struct {
+	buf  []byte
+	cur  uint64 // bits not yet flushed
+	ncur uint   // number of valid bits in cur
+}
+
+// NewWriter returns an empty Writer.
+func NewWriter() *Writer { return &Writer{} }
+
+// WriteBits appends the low `width` bits of v.
+func (w *Writer) WriteBits(v uint64, width uint) {
+	if width > 64 {
+		panic(fmt.Sprintf("bitpack: write width %d > 64", width))
+	}
+	if width == 0 {
+		return
+	}
+	if width < 64 {
+		v &= (1 << width) - 1
+	}
+	w.cur |= v << w.ncur
+	written := min(width, 64-w.ncur)
+	w.ncur += written
+	for w.ncur >= 8 {
+		w.buf = append(w.buf, byte(w.cur))
+		w.cur >>= 8
+		w.ncur -= 8
+	}
+	if written < width {
+		// The remainder of v did not fit into cur; push it now that
+		// cur has been drained below 8 bits.
+		rem := width - written
+		w.cur |= (v >> written) << w.ncur
+		w.ncur += rem
+		for w.ncur >= 8 {
+			w.buf = append(w.buf, byte(w.cur))
+			w.cur >>= 8
+			w.ncur -= 8
+		}
+	}
+}
+
+// WriteBool appends a single bit.
+func (w *Writer) WriteBool(v bool) {
+	if v {
+		w.WriteBits(1, 1)
+	} else {
+		w.WriteBits(0, 1)
+	}
+}
+
+// WriteUvarint appends v using a 7-bits-per-group variable-length code,
+// cheap for the small values that dominate compressed entries.
+func (w *Writer) WriteUvarint(v uint64) {
+	for v >= 0x80 {
+		w.WriteBits(v&0x7f|0x80, 8)
+		v >>= 7
+	}
+	w.WriteBits(v, 8)
+}
+
+// Bytes flushes any pending partial byte (zero-padded) and returns the
+// encoded stream. The Writer remains usable; further writes continue the
+// stream byte-aligned.
+func (w *Writer) Bytes() []byte {
+	if w.ncur > 0 {
+		w.buf = append(w.buf, byte(w.cur))
+		w.cur = 0
+		w.ncur = 0
+	}
+	return w.buf
+}
+
+// BitLen returns the number of bits written so far.
+func (w *Writer) BitLen() int { return len(w.buf)*8 + int(w.ncur) }
+
+// Reader consumes a stream produced by Writer.
+type Reader struct {
+	buf  []byte
+	cur  uint64
+	ncur uint
+	pos  int // next byte in buf
+}
+
+// NewReader returns a Reader over the encoded stream.
+func NewReader(buf []byte) *Reader { return &Reader{buf: buf} }
+
+// ReadBits reads `width` bits (LSB-first).
+func (r *Reader) ReadBits(width uint) (uint64, error) {
+	if width > 64 {
+		panic(fmt.Sprintf("bitpack: read width %d > 64", width))
+	}
+	if width == 0 {
+		return 0, nil
+	}
+	for r.ncur < width {
+		if r.pos >= len(r.buf) {
+			return 0, ErrShortBuffer
+		}
+		if r.ncur+8 > 64 {
+			// cur is nearly full; satisfy the read in two parts.
+			break
+		}
+		r.cur |= uint64(r.buf[r.pos]) << r.ncur
+		r.pos++
+		r.ncur += 8
+	}
+	if r.ncur >= width {
+		v := r.cur
+		if width < 64 {
+			v &= (1 << width) - 1
+		}
+		r.cur >>= width
+		r.ncur -= width
+		return v, nil
+	}
+	// Two-part read for widths that straddle the 64-bit staging word.
+	low := r.cur
+	lowBits := r.ncur
+	r.cur, r.ncur = 0, 0
+	high, err := r.ReadBits(width - lowBits)
+	if err != nil {
+		return 0, err
+	}
+	return low | high<<lowBits, nil
+}
+
+// ReadBool reads one bit.
+func (r *Reader) ReadBool() (bool, error) {
+	v, err := r.ReadBits(1)
+	return v == 1, err
+}
+
+// ReadUvarint reads a value written by WriteUvarint.
+func (r *Reader) ReadUvarint() (uint64, error) {
+	var v uint64
+	var shift uint
+	for {
+		b, err := r.ReadBits(8)
+		if err != nil {
+			return 0, err
+		}
+		v |= (b & 0x7f) << shift
+		if b < 0x80 {
+			return v, nil
+		}
+		shift += 7
+		if shift >= 64 {
+			return 0, errors.New("bitpack: uvarint overflows 64 bits")
+		}
+	}
+}
+
+func min(a, b uint) uint {
+	if a < b {
+		return a
+	}
+	return b
+}

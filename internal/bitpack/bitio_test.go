@@ -1,0 +1,132 @@
+package bitpack
+
+import (
+	"errors"
+	"testing"
+	"testing/quick"
+)
+
+func TestBitIORoundTripFixed(t *testing.T) {
+	w := NewWriter()
+	w.WriteBits(0b101, 3)
+	w.WriteBool(true)
+	w.WriteBits(0xdead, 16)
+	w.WriteBits(0, 0) // no-op
+	w.WriteBits(^uint64(0), 64)
+	w.WriteUvarint(300)
+	w.WriteUvarint(0)
+	data := w.Bytes()
+
+	r := NewReader(data)
+	if v, err := r.ReadBits(3); err != nil || v != 0b101 {
+		t.Fatalf("ReadBits(3) = %v, %v", v, err)
+	}
+	if v, err := r.ReadBool(); err != nil || !v {
+		t.Fatalf("ReadBool = %v, %v", v, err)
+	}
+	if v, err := r.ReadBits(16); err != nil || v != 0xdead {
+		t.Fatalf("ReadBits(16) = %#x, %v", v, err)
+	}
+	if v, err := r.ReadBits(64); err != nil || v != ^uint64(0) {
+		t.Fatalf("ReadBits(64) = %#x, %v", v, err)
+	}
+	if v, err := r.ReadUvarint(); err != nil || v != 300 {
+		t.Fatalf("ReadUvarint = %d, %v", v, err)
+	}
+	if v, err := r.ReadUvarint(); err != nil || v != 0 {
+		t.Fatalf("ReadUvarint = %d, %v", v, err)
+	}
+}
+
+func TestBitIOShortRead(t *testing.T) {
+	w := NewWriter()
+	w.WriteBits(0x7, 3)
+	r := NewReader(w.Bytes())
+	if _, err := r.ReadBits(8); err != nil {
+		// 3 bits were padded to one byte, so 8 bits are available.
+		t.Fatalf("unexpected error reading padded byte: %v", err)
+	}
+	if _, err := r.ReadBits(1); !errors.Is(err, ErrShortBuffer) {
+		t.Fatalf("err = %v, want ErrShortBuffer", err)
+	}
+}
+
+func TestBitIOEmptyReader(t *testing.T) {
+	r := NewReader(nil)
+	if _, err := r.ReadBits(1); !errors.Is(err, ErrShortBuffer) {
+		t.Fatalf("err = %v, want ErrShortBuffer", err)
+	}
+	if v, err := r.ReadBits(0); err != nil || v != 0 {
+		t.Fatalf("zero-width read = %v, %v", v, err)
+	}
+}
+
+// Property: any sequence of (value, width) writes reads back identically.
+func TestBitIOQuick(t *testing.T) {
+	type item struct {
+		V uint64
+		W uint8
+	}
+	f := func(items []item) bool {
+		w := NewWriter()
+		widths := make([]uint, len(items))
+		wants := make([]uint64, len(items))
+		for i, it := range items {
+			width := uint(it.W%64) + 1
+			widths[i] = width
+			mask := ^uint64(0)
+			if width < 64 {
+				mask = (1 << width) - 1
+			}
+			wants[i] = it.V & mask
+			w.WriteBits(it.V, width)
+		}
+		r := NewReader(w.Bytes())
+		for i := range items {
+			v, err := r.ReadBits(widths[i])
+			if err != nil || v != wants[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: uvarint round-trips for arbitrary values.
+func TestUvarintQuick(t *testing.T) {
+	f := func(vals []uint64) bool {
+		w := NewWriter()
+		for _, v := range vals {
+			w.WriteUvarint(v)
+		}
+		r := NewReader(w.Bytes())
+		for _, v := range vals {
+			got, err := r.ReadUvarint()
+			if err != nil || got != v {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestBitLen(t *testing.T) {
+	w := NewWriter()
+	if w.BitLen() != 0 {
+		t.Fatalf("fresh BitLen = %d", w.BitLen())
+	}
+	w.WriteBits(1, 5)
+	if w.BitLen() != 5 {
+		t.Fatalf("BitLen = %d, want 5", w.BitLen())
+	}
+	w.WriteBits(1, 13)
+	if w.BitLen() != 18 {
+		t.Fatalf("BitLen = %d, want 18", w.BitLen())
+	}
+}

@@ -1,0 +1,214 @@
+// Package bitpack provides the bit-level substrate used throughout Bolt:
+// fixed-width bitsets for predicate vectors and dictionary masks,
+// bit-packed integer arrays for compressed lookup-table storage, and a
+// bit-granular reader/writer pair used by the layout encoder.
+//
+// Bolt's hot path (§4.3 of the paper) replaces per-node branching with
+// word-wide mask compares; Bitset implements exactly those operations
+// without allocating.
+package bitpack
+
+import (
+	"fmt"
+	"math/bits"
+	"strings"
+)
+
+const wordBits = 64
+
+// Bitset is a fixed-capacity set of bits backed by []uint64 words.
+// The zero value is an empty bitset of capacity zero; use New to create
+// one with capacity, or Grow to extend.
+type Bitset struct {
+	words []uint64
+	n     int // capacity in bits
+}
+
+// New returns a Bitset with capacity for n bits, all zero.
+func New(n int) *Bitset {
+	if n < 0 {
+		panic(fmt.Sprintf("bitpack: negative bitset size %d", n))
+	}
+	return &Bitset{words: make([]uint64, wordsFor(n)), n: n}
+}
+
+// FromWords constructs a Bitset of capacity n that aliases the given
+// word slice. It panics if the slice is too short for n bits.
+func FromWords(words []uint64, n int) *Bitset {
+	if len(words) < wordsFor(n) {
+		panic(fmt.Sprintf("bitpack: %d words cannot hold %d bits", len(words), n))
+	}
+	return &Bitset{words: words, n: n}
+}
+
+func wordsFor(n int) int { return (n + wordBits - 1) / wordBits }
+
+// Len returns the capacity of the bitset in bits.
+func (b *Bitset) Len() int { return b.n }
+
+// Words exposes the backing words. The final word's bits beyond Len are
+// always zero. Callers must not resize the returned slice.
+func (b *Bitset) Words() []uint64 { return b.words }
+
+// Set sets bit i to 1.
+func (b *Bitset) Set(i int) {
+	b.check(i)
+	b.words[i/wordBits] |= 1 << uint(i%wordBits)
+}
+
+// Clear sets bit i to 0.
+func (b *Bitset) Clear(i int) {
+	b.check(i)
+	b.words[i/wordBits] &^= 1 << uint(i%wordBits)
+}
+
+// SetVal sets bit i to v.
+func (b *Bitset) SetVal(i int, v bool) {
+	if v {
+		b.Set(i)
+	} else {
+		b.Clear(i)
+	}
+}
+
+// Get reports whether bit i is set.
+func (b *Bitset) Get(i int) bool {
+	b.check(i)
+	return b.words[i/wordBits]&(1<<uint(i%wordBits)) != 0
+}
+
+func (b *Bitset) check(i int) {
+	if i < 0 || i >= b.n {
+		panic(fmt.Sprintf("bitpack: bit %d out of range [0,%d)", i, b.n))
+	}
+}
+
+// Reset zeroes every bit, keeping capacity.
+func (b *Bitset) Reset() {
+	for i := range b.words {
+		b.words[i] = 0
+	}
+}
+
+// Grow extends capacity to at least n bits, preserving contents.
+func (b *Bitset) Grow(n int) {
+	if n <= b.n {
+		return
+	}
+	need := wordsFor(n)
+	if need > len(b.words) {
+		w := make([]uint64, need)
+		copy(w, b.words)
+		b.words = w
+	}
+	b.n = n
+}
+
+// Clone returns a deep copy.
+func (b *Bitset) Clone() *Bitset {
+	w := make([]uint64, len(b.words))
+	copy(w, b.words)
+	return &Bitset{words: w, n: b.n}
+}
+
+// CopyFrom overwrites b with the contents of src. Capacities must match.
+func (b *Bitset) CopyFrom(src *Bitset) {
+	if b.n != src.n {
+		panic(fmt.Sprintf("bitpack: CopyFrom capacity mismatch %d != %d", b.n, src.n))
+	}
+	copy(b.words, src.words)
+}
+
+// Equal reports whether two bitsets have identical capacity and contents.
+func (b *Bitset) Equal(o *Bitset) bool {
+	if b.n != o.n {
+		return false
+	}
+	for i := range b.words {
+		if b.words[i] != o.words[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// OnesCount returns the number of set bits.
+func (b *Bitset) OnesCount() int {
+	c := 0
+	for _, w := range b.words {
+		c += bits.OnesCount64(w)
+	}
+	return c
+}
+
+// Or sets b to b | o. Capacities must match.
+func (b *Bitset) Or(o *Bitset) {
+	b.sameCap(o)
+	for i := range b.words {
+		b.words[i] |= o.words[i]
+	}
+}
+
+// And sets b to b & o. Capacities must match.
+func (b *Bitset) And(o *Bitset) {
+	b.sameCap(o)
+	for i := range b.words {
+		b.words[i] &= o.words[i]
+	}
+}
+
+// AndNot sets b to b &^ o. Capacities must match.
+func (b *Bitset) AndNot(o *Bitset) {
+	b.sameCap(o)
+	for i := range b.words {
+		b.words[i] &^= o.words[i]
+	}
+}
+
+func (b *Bitset) sameCap(o *Bitset) {
+	if b.n != o.n {
+		panic(fmt.Sprintf("bitpack: capacity mismatch %d != %d", b.n, o.n))
+	}
+}
+
+// MatchesMasked reports whether input&mask == vals&mask for every word.
+// This is the dictionary-entry membership test from §4.3: one AND and one
+// compare per word, no per-bit branching. vals must already be restricted
+// to mask (vals == vals&mask), which Dictionary construction guarantees.
+func MatchesMasked(input, mask, vals []uint64) bool {
+	// Word counts are equal by construction (same codebook size); the
+	// bounds hint lets the compiler elide checks in the loop.
+	_ = vals[len(input)-1]
+	_ = mask[len(input)-1]
+	acc := uint64(0)
+	for i, in := range input {
+		acc |= (in & mask[i]) ^ vals[i]
+	}
+	return acc == 0
+}
+
+// String renders the bitset as a little-endian 0/1 string (bit 0 first),
+// useful in test failure messages.
+func (b *Bitset) String() string {
+	var sb strings.Builder
+	sb.Grow(b.n)
+	for i := 0; i < b.n; i++ {
+		if b.Get(i) {
+			sb.WriteByte('1')
+		} else {
+			sb.WriteByte('0')
+		}
+	}
+	return sb.String()
+}
+
+// CeilLog2 returns the smallest k with 2^k >= n, and 0 for n <= 1.
+func CeilLog2(n int) int {
+	if n <= 1 {
+		return 0
+	}
+	return bits.Len(uint(n - 1))
+}
+
+// NextPow2 returns the smallest power of two >= n, and 1 for n <= 1.
+func NextPow2(n int) int { return 1 << CeilLog2(n) }

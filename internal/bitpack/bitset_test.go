@@ -1,0 +1,235 @@
+package bitpack
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestBitsetSetGetClear(t *testing.T) {
+	b := New(130)
+	if b.Len() != 130 {
+		t.Fatalf("Len = %d, want 130", b.Len())
+	}
+	for _, i := range []int{0, 1, 63, 64, 65, 127, 128, 129} {
+		if b.Get(i) {
+			t.Errorf("bit %d set in fresh bitset", i)
+		}
+		b.Set(i)
+		if !b.Get(i) {
+			t.Errorf("bit %d not set after Set", i)
+		}
+	}
+	if got := b.OnesCount(); got != 8 {
+		t.Fatalf("OnesCount = %d, want 8", got)
+	}
+	b.Clear(64)
+	if b.Get(64) {
+		t.Error("bit 64 still set after Clear")
+	}
+	b.SetVal(64, true)
+	if !b.Get(64) {
+		t.Error("SetVal(true) did not set")
+	}
+	b.SetVal(64, false)
+	if b.Get(64) {
+		t.Error("SetVal(false) did not clear")
+	}
+}
+
+func TestBitsetOutOfRangePanics(t *testing.T) {
+	cases := []func(*Bitset){
+		func(b *Bitset) { b.Get(-1) },
+		func(b *Bitset) { b.Get(10) },
+		func(b *Bitset) { b.Set(10) },
+		func(b *Bitset) { b.Clear(-5) },
+	}
+	for i, fn := range cases {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("case %d: expected panic", i)
+				}
+			}()
+			fn(New(10))
+		}()
+	}
+}
+
+func TestBitsetGrowPreserves(t *testing.T) {
+	b := New(10)
+	b.Set(3)
+	b.Set(9)
+	b.Grow(200)
+	if b.Len() != 200 {
+		t.Fatalf("Len = %d after Grow, want 200", b.Len())
+	}
+	if !b.Get(3) || !b.Get(9) {
+		t.Error("Grow lost bits")
+	}
+	if b.Get(100) {
+		t.Error("Grow introduced a set bit")
+	}
+	b.Set(199)
+	if !b.Get(199) {
+		t.Error("cannot set grown bit")
+	}
+	// Shrinking is a no-op.
+	b.Grow(5)
+	if b.Len() != 200 {
+		t.Errorf("Grow(5) shrank to %d", b.Len())
+	}
+}
+
+func TestBitsetCloneEqualReset(t *testing.T) {
+	b := New(70)
+	b.Set(1)
+	b.Set(69)
+	c := b.Clone()
+	if !b.Equal(c) {
+		t.Fatal("clone not equal to original")
+	}
+	c.Set(2)
+	if b.Equal(c) {
+		t.Fatal("mutating clone affected equality check")
+	}
+	if b.Get(2) {
+		t.Fatal("mutating clone mutated original")
+	}
+	b.Reset()
+	if b.OnesCount() != 0 {
+		t.Fatal("Reset left bits set")
+	}
+	if b.Equal(New(71)) {
+		t.Fatal("bitsets of different capacity compared equal")
+	}
+}
+
+func TestBitsetBooleanOps(t *testing.T) {
+	a := New(128)
+	b := New(128)
+	a.Set(0)
+	a.Set(64)
+	a.Set(100)
+	b.Set(64)
+	b.Set(101)
+
+	or := a.Clone()
+	or.Or(b)
+	for _, i := range []int{0, 64, 100, 101} {
+		if !or.Get(i) {
+			t.Errorf("Or missing bit %d", i)
+		}
+	}
+
+	and := a.Clone()
+	and.And(b)
+	if and.OnesCount() != 1 || !and.Get(64) {
+		t.Errorf("And = %v, want only bit 64", and)
+	}
+
+	andNot := a.Clone()
+	andNot.AndNot(b)
+	if andNot.OnesCount() != 2 || !andNot.Get(0) || !andNot.Get(100) {
+		t.Errorf("AndNot = %v, want bits 0,100", andNot)
+	}
+}
+
+func TestBitsetCopyFrom(t *testing.T) {
+	a := New(80)
+	a.Set(7)
+	b := New(80)
+	b.CopyFrom(a)
+	if !b.Get(7) {
+		t.Fatal("CopyFrom did not copy")
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("CopyFrom with mismatched capacity should panic")
+		}
+	}()
+	b.CopyFrom(New(81))
+}
+
+func TestFromWords(t *testing.T) {
+	w := []uint64{0b101}
+	b := FromWords(w, 3)
+	if !b.Get(0) || b.Get(1) || !b.Get(2) {
+		t.Fatalf("FromWords bits wrong: %v", b)
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("FromWords with short slice should panic")
+		}
+	}()
+	FromWords(w, 65)
+}
+
+func TestMatchesMasked(t *testing.T) {
+	input := []uint64{0b1011, 0xffff}
+	mask := []uint64{0b0011, 0x00ff}
+	vals := []uint64{0b0011, 0x00ff}
+	if !MatchesMasked(input, mask, vals) {
+		t.Error("expected match")
+	}
+	vals2 := []uint64{0b0001, 0x00ff}
+	if MatchesMasked(input, mask, vals2) {
+		t.Error("expected mismatch in word 0")
+	}
+	vals3 := []uint64{0b0011, 0x00fe}
+	if MatchesMasked(input, mask, vals3) {
+		t.Error("expected mismatch in word 1")
+	}
+}
+
+// Property: MatchesMasked agrees with the per-bit definition.
+func TestMatchesMaskedQuick(t *testing.T) {
+	f := func(in, mask, vals [3]uint64) bool {
+		for i := range vals {
+			vals[i] &= mask[i] // construction invariant
+		}
+		want := true
+		for i := range in {
+			if in[i]&mask[i] != vals[i] {
+				want = false
+				break
+			}
+		}
+		return MatchesMasked(in[:], mask[:], vals[:]) == want
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 2000}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestCeilLog2NextPow2(t *testing.T) {
+	cases := []struct{ n, log, pow int }{
+		{0, 0, 1}, {1, 0, 1}, {2, 1, 2}, {3, 2, 4}, {4, 2, 4},
+		{5, 3, 8}, {1023, 10, 1024}, {1024, 10, 1024}, {1025, 11, 2048},
+	}
+	for _, c := range cases {
+		if got := CeilLog2(c.n); got != c.log {
+			t.Errorf("CeilLog2(%d) = %d, want %d", c.n, got, c.log)
+		}
+		if got := NextPow2(c.n); got != c.pow {
+			t.Errorf("NextPow2(%d) = %d, want %d", c.n, got, c.pow)
+		}
+	}
+}
+
+func TestBitsetString(t *testing.T) {
+	b := New(4)
+	b.Set(0)
+	b.Set(3)
+	if got := b.String(); got != "1001" {
+		t.Errorf("String = %q, want 1001", got)
+	}
+}
+
+func TestNewNegativePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("New(-1) should panic")
+		}
+	}()
+	New(-1)
+}

@@ -1,0 +1,85 @@
+package bitpack
+
+import "fmt"
+
+// PackedArray stores n unsigned integers of a fixed bit width w (1..64)
+// contiguously in []uint64 words. It is the storage primitive behind the
+// compressed lookup-table layouts of §5: result values sized to their
+// knee-point width, entry IDs truncated to one byte, and feature values
+// sized to the largest split value all become PackedArrays.
+type PackedArray struct {
+	words []uint64
+	width uint
+	n     int
+	mask  uint64
+}
+
+// NewPackedArray returns a PackedArray holding n values of the given bit
+// width, all zero. Width must be in [1,64].
+func NewPackedArray(n int, width uint) *PackedArray {
+	if width == 0 || width > 64 {
+		panic(fmt.Sprintf("bitpack: invalid packed width %d", width))
+	}
+	if n < 0 {
+		panic(fmt.Sprintf("bitpack: negative packed length %d", n))
+	}
+	totalBits := uint64(n) * uint64(width)
+	words := make([]uint64, (totalBits+wordBits-1)/wordBits)
+	mask := ^uint64(0)
+	if width < 64 {
+		mask = (1 << width) - 1
+	}
+	return &PackedArray{words: words, width: width, n: n, mask: mask}
+}
+
+// Len returns the number of values stored.
+func (p *PackedArray) Len() int { return p.n }
+
+// Width returns the per-value bit width.
+func (p *PackedArray) Width() uint { return p.width }
+
+// SizeBytes returns the backing storage size in bytes.
+func (p *PackedArray) SizeBytes() int { return len(p.words) * 8 }
+
+// Set stores v at index i, truncating v to the array's width.
+func (p *PackedArray) Set(i int, v uint64) {
+	if i < 0 || i >= p.n {
+		panic(fmt.Sprintf("bitpack: packed index %d out of range [0,%d)", i, p.n))
+	}
+	v &= p.mask
+	bitPos := uint64(i) * uint64(p.width)
+	w := bitPos / wordBits
+	off := uint(bitPos % wordBits)
+	p.words[w] = p.words[w]&^(p.mask<<off) | v<<off
+	if off+p.width > wordBits {
+		rem := wordBits - off // bits that fit in word w
+		p.words[w+1] = p.words[w+1]&^(p.mask>>rem) | v>>rem
+	}
+}
+
+// Get returns the value at index i.
+func (p *PackedArray) Get(i int) uint64 {
+	if i < 0 || i >= p.n {
+		panic(fmt.Sprintf("bitpack: packed index %d out of range [0,%d)", i, p.n))
+	}
+	bitPos := uint64(i) * uint64(p.width)
+	w := bitPos / wordBits
+	off := uint(bitPos % wordBits)
+	v := p.words[w] >> off
+	if off+p.width > wordBits {
+		v |= p.words[w+1] << (wordBits - off)
+	}
+	return v & p.mask
+}
+
+// WidthFor returns the minimum bit width able to represent v (at least 1).
+func WidthFor(v uint64) uint {
+	w := uint(0)
+	for x := v; x != 0; x >>= 1 {
+		w++
+	}
+	if w == 0 {
+		return 1
+	}
+	return w
+}

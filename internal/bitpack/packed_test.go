@@ -1,0 +1,138 @@
+package bitpack
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestPackedArrayBasic(t *testing.T) {
+	p := NewPackedArray(10, 5)
+	if p.Len() != 10 || p.Width() != 5 {
+		t.Fatalf("Len/Width = %d/%d, want 10/5", p.Len(), p.Width())
+	}
+	for i := 0; i < 10; i++ {
+		p.Set(i, uint64(i*3))
+	}
+	for i := 0; i < 10; i++ {
+		want := uint64(i*3) & 0x1f
+		if got := p.Get(i); got != want {
+			t.Errorf("Get(%d) = %d, want %d", i, got, want)
+		}
+	}
+}
+
+func TestPackedArrayTruncates(t *testing.T) {
+	p := NewPackedArray(4, 3)
+	p.Set(2, 0xff) // 3-bit width keeps 0b111
+	if got := p.Get(2); got != 7 {
+		t.Errorf("Get(2) = %d, want 7", got)
+	}
+	if p.Get(1) != 0 || p.Get(3) != 0 {
+		t.Error("Set spilled into neighbouring entries")
+	}
+}
+
+func TestPackedArrayWordStraddle(t *testing.T) {
+	// Width 7 guarantees entries that straddle 64-bit word boundaries.
+	p := NewPackedArray(100, 7)
+	for i := 0; i < 100; i++ {
+		p.Set(i, uint64(i)&0x7f)
+	}
+	for i := 0; i < 100; i++ {
+		if got := p.Get(i); got != uint64(i)&0x7f {
+			t.Fatalf("Get(%d) = %d, want %d", i, got, uint64(i)&0x7f)
+		}
+	}
+	// Overwrite in reverse and re-check: Set must be idempotent per slot.
+	for i := 99; i >= 0; i-- {
+		p.Set(i, uint64(99-i)&0x7f)
+	}
+	for i := 0; i < 100; i++ {
+		if got := p.Get(i); got != uint64(99-i)&0x7f {
+			t.Fatalf("after overwrite Get(%d) = %d, want %d", i, got, uint64(99-i)&0x7f)
+		}
+	}
+}
+
+func TestPackedArrayWidth64(t *testing.T) {
+	p := NewPackedArray(3, 64)
+	vals := []uint64{0, ^uint64(0), 0xdeadbeefcafebabe}
+	for i, v := range vals {
+		p.Set(i, v)
+	}
+	for i, v := range vals {
+		if got := p.Get(i); got != v {
+			t.Errorf("Get(%d) = %#x, want %#x", i, got, v)
+		}
+	}
+}
+
+// Property: a PackedArray behaves like a plain slice of masked uint64s for
+// any width.
+func TestPackedArrayQuick(t *testing.T) {
+	f := func(vals []uint64, widthSeed uint8) bool {
+		width := uint(widthSeed%64) + 1
+		if len(vals) > 200 {
+			vals = vals[:200]
+		}
+		p := NewPackedArray(len(vals), width)
+		mask := ^uint64(0)
+		if width < 64 {
+			mask = (1 << width) - 1
+		}
+		for i, v := range vals {
+			p.Set(i, v)
+		}
+		for i, v := range vals {
+			if p.Get(i) != v&mask {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPackedArrayPanics(t *testing.T) {
+	for i, fn := range []func(){
+		func() { NewPackedArray(4, 0) },
+		func() { NewPackedArray(4, 65) },
+		func() { NewPackedArray(-1, 8) },
+		func() { NewPackedArray(4, 8).Get(4) },
+		func() { NewPackedArray(4, 8).Set(-1, 0) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("case %d: expected panic", i)
+				}
+			}()
+			fn()
+		}()
+	}
+}
+
+func TestWidthFor(t *testing.T) {
+	cases := []struct {
+		v uint64
+		w uint
+	}{{0, 1}, {1, 1}, {2, 2}, {3, 2}, {4, 3}, {255, 8}, {256, 9}, {^uint64(0), 64}}
+	for _, c := range cases {
+		if got := WidthFor(c.v); got != c.w {
+			t.Errorf("WidthFor(%d) = %d, want %d", c.v, got, c.w)
+		}
+	}
+}
+
+func TestPackedArraySizeBytes(t *testing.T) {
+	p := NewPackedArray(64, 1) // exactly one word
+	if p.SizeBytes() != 8 {
+		t.Errorf("SizeBytes = %d, want 8", p.SizeBytes())
+	}
+	p = NewPackedArray(65, 1)
+	if p.SizeBytes() != 16 {
+		t.Errorf("SizeBytes = %d, want 16", p.SizeBytes())
+	}
+}

@@ -1,0 +1,183 @@
+// Package bloom implements the Bloom filter (Bloom, 1970) that Bolt's
+// Phase 3 (§4.3) places in front of the recombined lookup table: before
+// paying a memory access for a candidate (dictionary entry, address) key,
+// the engine consults the filter, which answers "definitely absent" or
+// "possibly present". False positives cost one verified table probe;
+// false negatives never occur — the correctness argument of §4.4 depends
+// on that guarantee, so it is property-tested.
+package bloom
+
+import (
+	"encoding/binary"
+	"errors"
+	"math"
+
+	"bolt/internal/rng"
+)
+
+// Filter is a classic partitioned-hash Bloom filter over 64-bit keys.
+// The zero value is unusable; construct with New or NewForCapacity.
+type Filter struct {
+	bits     []uint64
+	nbits    uint64
+	k        int
+	seed     uint64
+	inserted int
+}
+
+// New creates a filter with nbits bits (rounded up to a multiple of 64)
+// and k hash functions. nbits must be positive and k in [1,16].
+func New(nbits uint64, k int, seed uint64) *Filter {
+	if nbits == 0 {
+		panic("bloom: zero-bit filter")
+	}
+	if k < 1 || k > 16 {
+		panic("bloom: k out of range [1,16]")
+	}
+	words := (nbits + 63) / 64
+	return &Filter{bits: make([]uint64, words), nbits: words * 64, k: k, seed: seed}
+}
+
+// NewForCapacity sizes a filter for n expected keys at the target false
+// positive rate fpRate using the standard optimum m = -n·ln(p)/ln(2)²,
+// k = (m/n)·ln(2).
+func NewForCapacity(n int, fpRate float64, seed uint64) *Filter {
+	if n < 1 {
+		n = 1
+	}
+	if fpRate <= 0 || fpRate >= 1 {
+		panic("bloom: fpRate must be in (0,1)")
+	}
+	m := math.Ceil(-float64(n) * math.Log(fpRate) / (math.Ln2 * math.Ln2))
+	k := int(math.Round(m / float64(n) * math.Ln2))
+	if k < 1 {
+		k = 1
+	}
+	if k > 16 {
+		k = 16
+	}
+	return New(uint64(m), k, seed)
+}
+
+// hash2 derives two independent 64-bit hashes of the key; probe i uses
+// h1 + i·h2 (Kirsch–Mitzenmacher double hashing).
+func (f *Filter) hash2(key uint64) (h1, h2 uint64) {
+	h1 = rng.Mix64(key ^ f.seed)
+	h2 = rng.Mix64(h1 ^ 0x6a09e667f3bcc909)
+	h2 |= 1 // make the stride odd so probes cover the table
+	return h1, h2
+}
+
+// Add inserts key into the filter.
+func (f *Filter) Add(key uint64) {
+	h1, h2 := f.hash2(key)
+	for i := 0; i < f.k; i++ {
+		pos := (h1 + uint64(i)*h2) % f.nbits
+		f.bits[pos/64] |= 1 << (pos % 64)
+	}
+	f.inserted++
+}
+
+// Contains reports whether key may be present. A false return is
+// definitive: the key was never added.
+func (f *Filter) Contains(key uint64) bool {
+	h1, h2 := f.hash2(key)
+	for i := 0; i < f.k; i++ {
+		pos := (h1 + uint64(i)*h2) % f.nbits
+		if f.bits[pos/64]&(1<<(pos%64)) == 0 {
+			return false
+		}
+	}
+	return true
+}
+
+// Probes returns the filter's word accesses for one Contains call; the
+// perfsim engine charges this many memory accesses per filter query.
+func (f *Filter) Probes() int { return f.k }
+
+// ProbeWords appends to out the word indices a Contains(key) call
+// inspects, stopping — like Contains — at the first unset bit. The
+// perfsim engine replays them as memory accesses.
+func (f *Filter) ProbeWords(key uint64, out []uint64) []uint64 {
+	h1, h2 := f.hash2(key)
+	for i := 0; i < f.k; i++ {
+		pos := (h1 + uint64(i)*h2) % f.nbits
+		out = append(out, pos/64)
+		if f.bits[pos/64]&(1<<(pos%64)) == 0 {
+			break
+		}
+	}
+	return out
+}
+
+// NumBits returns the filter size in bits.
+func (f *Filter) NumBits() uint64 { return f.nbits }
+
+// SizeBytes returns the backing storage size in bytes.
+func (f *Filter) SizeBytes() int { return len(f.bits) * 8 }
+
+// Inserted returns the number of Add calls.
+func (f *Filter) Inserted() int { return f.inserted }
+
+// EstimatedFPRate returns the theoretical false-positive probability for
+// the current fill: (1 - e^{-kn/m})^k.
+func (f *Filter) EstimatedFPRate() float64 {
+	if f.inserted == 0 {
+		return 0
+	}
+	exp := -float64(f.k) * float64(f.inserted) / float64(f.nbits)
+	return math.Pow(1-math.Exp(exp), float64(f.k))
+}
+
+const marshalMagic = uint32(0xb10f11e8)
+
+// MarshalBinary serialises the filter (encoding.BinaryMarshaler).
+func (f *Filter) MarshalBinary() ([]byte, error) {
+	buf := make([]byte, 0, 4+8+8+4+4+len(f.bits)*8)
+	var tmp [8]byte
+	put32 := func(v uint32) {
+		binary.LittleEndian.PutUint32(tmp[:4], v)
+		buf = append(buf, tmp[:4]...)
+	}
+	put64 := func(v uint64) {
+		binary.LittleEndian.PutUint64(tmp[:], v)
+		buf = append(buf, tmp[:]...)
+	}
+	put32(marshalMagic)
+	put64(f.nbits)
+	put64(f.seed)
+	put32(uint32(f.k))
+	put32(uint32(f.inserted))
+	for _, w := range f.bits {
+		put64(w)
+	}
+	return buf, nil
+}
+
+// UnmarshalBinary restores a filter serialised by MarshalBinary.
+func (f *Filter) UnmarshalBinary(data []byte) error {
+	if len(data) < 4+8+8+4+4 {
+		return errors.New("bloom: truncated filter encoding")
+	}
+	if binary.LittleEndian.Uint32(data) != marshalMagic {
+		return errors.New("bloom: bad magic in filter encoding")
+	}
+	data = data[4:]
+	f.nbits = binary.LittleEndian.Uint64(data)
+	f.seed = binary.LittleEndian.Uint64(data[8:])
+	f.k = int(binary.LittleEndian.Uint32(data[16:]))
+	f.inserted = int(binary.LittleEndian.Uint32(data[20:]))
+	data = data[24:]
+	words := f.nbits / 64
+	if f.nbits == 0 || f.nbits%64 != 0 || f.k < 1 || f.k > 16 {
+		return errors.New("bloom: corrupt filter header")
+	}
+	if uint64(len(data)) < words*8 {
+		return errors.New("bloom: truncated filter bits")
+	}
+	f.bits = make([]uint64, words)
+	for i := range f.bits {
+		f.bits[i] = binary.LittleEndian.Uint64(data[i*8:])
+	}
+	return nil
+}

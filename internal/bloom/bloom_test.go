@@ -1,0 +1,185 @@
+package bloom
+
+import (
+	"testing"
+	"testing/quick"
+
+	"bolt/internal/rng"
+)
+
+func TestNoFalseNegatives(t *testing.T) {
+	f := NewForCapacity(1000, 0.01, 42)
+	r := rng.New(1)
+	keys := make([]uint64, 1000)
+	for i := range keys {
+		keys[i] = r.Uint64()
+		f.Add(keys[i])
+	}
+	for i, k := range keys {
+		if !f.Contains(k) {
+			t.Fatalf("false negative for key %d (%#x)", i, k)
+		}
+	}
+}
+
+// Property (§4.4 correctness): no inserted key is ever reported absent,
+// for arbitrary key sets, sizes and seeds.
+func TestNoFalseNegativesQuick(t *testing.T) {
+	fn := func(keys []uint64, seed uint64) bool {
+		if len(keys) == 0 {
+			return true
+		}
+		f := NewForCapacity(len(keys), 0.05, seed)
+		for _, k := range keys {
+			f.Add(k)
+		}
+		for _, k := range keys {
+			if !f.Contains(k) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(fn, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestFalsePositiveRateNearTarget(t *testing.T) {
+	const n = 10000
+	const target = 0.01
+	f := NewForCapacity(n, target, 7)
+	r := rng.New(2)
+	present := make(map[uint64]bool, n)
+	for i := 0; i < n; i++ {
+		k := r.Uint64()
+		present[k] = true
+		f.Add(k)
+	}
+	fp := 0
+	const probes = 100000
+	for i := 0; i < probes; i++ {
+		k := r.Uint64()
+		if present[k] {
+			continue
+		}
+		if f.Contains(k) {
+			fp++
+		}
+	}
+	rate := float64(fp) / probes
+	if rate > target*3 {
+		t.Errorf("observed FP rate %g exceeds 3x target %g", rate, target)
+	}
+	if est := f.EstimatedFPRate(); est > target*2 {
+		t.Errorf("estimated FP rate %g exceeds 2x target %g", est, target)
+	}
+}
+
+func TestEmptyFilterContainsNothing(t *testing.T) {
+	f := New(1024, 4, 3)
+	if f.EstimatedFPRate() != 0 {
+		t.Error("empty filter estimated FP rate should be 0")
+	}
+	r := rng.New(3)
+	for i := 0; i < 1000; i++ {
+		if f.Contains(r.Uint64()) {
+			t.Fatal("empty filter reported a member")
+		}
+	}
+}
+
+func TestAccessors(t *testing.T) {
+	f := New(100, 5, 9)
+	if f.NumBits() != 128 { // rounded to word multiple
+		t.Errorf("NumBits = %d, want 128", f.NumBits())
+	}
+	if f.SizeBytes() != 16 {
+		t.Errorf("SizeBytes = %d, want 16", f.SizeBytes())
+	}
+	if f.Probes() != 5 {
+		t.Errorf("Probes = %d, want 5", f.Probes())
+	}
+	f.Add(1)
+	f.Add(2)
+	if f.Inserted() != 2 {
+		t.Errorf("Inserted = %d, want 2", f.Inserted())
+	}
+}
+
+func TestConstructorValidation(t *testing.T) {
+	for i, fn := range []func(){
+		func() { New(0, 4, 0) },
+		func() { New(64, 0, 0) },
+		func() { New(64, 17, 0) },
+		func() { NewForCapacity(10, 0, 0) },
+		func() { NewForCapacity(10, 1, 0) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("case %d: expected panic", i)
+				}
+			}()
+			fn()
+		}()
+	}
+}
+
+func TestNewForCapacityTinyN(t *testing.T) {
+	f := NewForCapacity(0, 0.01, 1) // clamps n to 1
+	f.Add(99)
+	if !f.Contains(99) {
+		t.Fatal("tiny filter lost its only key")
+	}
+}
+
+func TestMarshalRoundTrip(t *testing.T) {
+	f := NewForCapacity(500, 0.02, 1234)
+	r := rng.New(5)
+	keys := make([]uint64, 500)
+	for i := range keys {
+		keys[i] = r.Uint64()
+		f.Add(keys[i])
+	}
+	data, err := f.MarshalBinary()
+	if err != nil {
+		t.Fatal(err)
+	}
+	var g Filter
+	if err := g.UnmarshalBinary(data); err != nil {
+		t.Fatal(err)
+	}
+	for _, k := range keys {
+		if !g.Contains(k) {
+			t.Fatalf("restored filter lost key %#x", k)
+		}
+	}
+	if g.Inserted() != f.Inserted() || g.NumBits() != f.NumBits() {
+		t.Error("restored filter metadata differs")
+	}
+	// Restored filter must answer identically on non-members too.
+	for i := 0; i < 1000; i++ {
+		k := r.Uint64()
+		if f.Contains(k) != g.Contains(k) {
+			t.Fatalf("restored filter diverges on key %#x", k)
+		}
+	}
+}
+
+func TestUnmarshalCorrupt(t *testing.T) {
+	f := NewForCapacity(10, 0.1, 1)
+	data, _ := f.MarshalBinary()
+	cases := [][]byte{
+		nil,
+		data[:3],
+		data[:len(data)-1],
+		append([]byte{0, 0, 0, 0}, data[4:]...), // bad magic
+	}
+	for i, c := range cases {
+		var g Filter
+		if err := g.UnmarshalBinary(c); err == nil {
+			t.Errorf("case %d: corrupt encoding accepted", i)
+		}
+	}
+}

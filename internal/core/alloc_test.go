@@ -1,0 +1,39 @@
+package core
+
+import "testing"
+
+// Steady-state inference must not allocate: the paper's engine runs in
+// a tight service loop where GC pauses would dominate the microsecond
+// latencies it reports.
+func TestVotesZeroAlloc(t *testing.T) {
+	f, d := trainForest(t, 131, 10, 4)
+	bf, err := Compile(f, Options{ClusterThreshold: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := bf.NewScratch()
+	votes := make([]int64, bf.NumClasses)
+	x := d.X[0]
+	allocs := testing.AllocsPerRun(200, func() {
+		bf.Votes(x, s, votes)
+	})
+	if allocs != 0 {
+		t.Errorf("Votes allocates %.1f objects per call, want 0", allocs)
+	}
+}
+
+func TestPredictZeroAlloc(t *testing.T) {
+	f, d := trainForest(t, 132, 10, 4)
+	bf, err := Compile(f, Options{ClusterThreshold: 4, BloomBitsPerKey: -1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := bf.NewScratch()
+	x := d.X[0]
+	allocs := testing.AllocsPerRun(200, func() {
+		bf.Predict(x, s)
+	})
+	if allocs != 0 {
+		t.Errorf("Predict allocates %.1f objects per call, want 0", allocs)
+	}
+}

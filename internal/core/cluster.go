@@ -1,0 +1,141 @@
+// Package core implements the paper's contribution: the transformation
+// of a trained random forest into an ensemble of lookup tables
+// (Phase 1, §4.1), the partition-aware parallel inference engine
+// (§4.2/Fig. 4), and the bloom-filtered recombined lookup table
+// (Phase 3, §4.3–4.4). Parameter selection (Phase 2) lives in
+// internal/tuning on top of this package.
+package core
+
+import (
+	"fmt"
+	"sort"
+
+	"bolt/internal/paths"
+)
+
+// Cluster is a group of lexicographically adjacent forest paths that
+// share the Common feature-value pairs; the Uncommon predicates vary
+// across member paths and form the per-cluster lookup-table address bits
+// (Fig. 3 steps 3–4).
+type Cluster struct {
+	// Common pairs hold (predicate, value) shared by every member path,
+	// sorted by predicate ID. They become the dictionary entry's
+	// bit-mask membership test.
+	Common []paths.Pair
+	// Uncommon lists, sorted, the predicate IDs that appear in at least
+	// one member path but are not common. Address bit i of the
+	// per-cluster table is the evaluated value of Uncommon[i].
+	Uncommon []int32
+	// Paths indexes the member paths in the enumeration order given to
+	// BuildClusters.
+	Paths []int
+}
+
+// BuildClusters greedily groups the lexicographically sorted path list:
+// paths are appended to the open cluster while the number of uncommon
+// predicates stays within threshold; exceeding it closes the cluster and
+// opens a new one (§4.1: "clusters are formed by incrementally adding
+// paths from this sorted list ... until a tunable threshold for the
+// number of uncommon feature-value pairs is reached").
+//
+// The input must already be sorted with paths.Sort; BuildClusters
+// panics if it is not, because clustering quality (and the adjacency
+// argument for compact entry IDs, §5) depends on it.
+func BuildClusters(ps []paths.Path, threshold int) []Cluster {
+	if threshold < 0 {
+		panic(fmt.Sprintf("core: negative cluster threshold %d", threshold))
+	}
+	for i := 1; i < len(ps); i++ {
+		if paths.Compare(&ps[i-1], &ps[i]) > 0 {
+			panic("core: BuildClusters requires lexicographically sorted paths")
+		}
+	}
+	var out []Cluster
+	var cur *clusterState
+	for i := range ps {
+		if cur == nil {
+			cur = newClusterState(&ps[i], i)
+			continue
+		}
+		if cur.tryAdd(&ps[i], i, threshold) {
+			continue
+		}
+		out = append(out, cur.finish())
+		cur = newClusterState(&ps[i], i)
+	}
+	if cur != nil {
+		out = append(out, cur.finish())
+	}
+	return out
+}
+
+// clusterState tracks the open cluster during the greedy scan.
+type clusterState struct {
+	common map[int32]bool     // predicate -> shared value
+	union  map[int32]struct{} // every predicate seen in any member path
+	idx    []int
+}
+
+func newClusterState(p *paths.Path, i int) *clusterState {
+	s := &clusterState{
+		common: make(map[int32]bool, len(p.Pairs)),
+		union:  make(map[int32]struct{}, len(p.Pairs)),
+		idx:    []int{i},
+	}
+	for _, pr := range p.Pairs {
+		s.common[pr.Pred] = pr.Val
+		s.union[pr.Pred] = struct{}{}
+	}
+	return s
+}
+
+// tryAdd admits the path if the resulting uncommon-predicate count stays
+// within threshold, updating state; otherwise it leaves the cluster
+// unchanged and reports false.
+func (s *clusterState) tryAdd(p *paths.Path, i, threshold int) bool {
+	// New common set = pairs of p that agree with the current common set.
+	newCommon := 0
+	for _, pr := range p.Pairs {
+		if v, ok := s.common[pr.Pred]; ok && v == pr.Val {
+			newCommon++
+		}
+	}
+	// New union = current union plus p's predicates.
+	newUnion := len(s.union)
+	for _, pr := range p.Pairs {
+		if _, ok := s.union[pr.Pred]; !ok {
+			newUnion++
+		}
+	}
+	if newUnion-newCommon > threshold {
+		return false
+	}
+	// Commit: shrink common to the agreeing pairs, extend union.
+	inPath := make(map[int32]bool, len(p.Pairs))
+	for _, pr := range p.Pairs {
+		inPath[pr.Pred] = pr.Val
+		s.union[pr.Pred] = struct{}{}
+	}
+	for pred, val := range s.common {
+		if v, ok := inPath[pred]; !ok || v != val {
+			delete(s.common, pred)
+		}
+	}
+	s.idx = append(s.idx, i)
+	return true
+}
+
+func (s *clusterState) finish() Cluster {
+	c := Cluster{Paths: s.idx}
+	for pred, val := range s.common {
+		c.Common = append(c.Common, paths.Pair{Pred: pred, Val: val})
+	}
+	sort.Slice(c.Common, func(i, j int) bool { return c.Common[i].Pred < c.Common[j].Pred })
+	for pred := range s.union {
+		if _, ok := s.common[pred]; !ok {
+			c.Uncommon = append(c.Uncommon, pred)
+		}
+	}
+	sort.Slice(c.Uncommon, func(i, j int) bool { return c.Uncommon[i] < c.Uncommon[j] })
+	return c
+}

@@ -1,0 +1,195 @@
+package core
+
+import (
+	"testing"
+
+	"bolt/internal/paths"
+)
+
+// fig3Paths builds the path list of Fig. 3 step 2 with predicates
+// a=0, b=1, c=2, h=3 (already lexicographically sorted):
+//
+//	(a,0)(b,0) ; (a,0)(b,1) ; (a,0)(h,0) ; (a,1)(c,0) ; (a,1)(c,1) ;
+//	(a,1)(h,0) ; (c,0)(h,1) ; (c,1)(h,1)
+func fig3Paths() []paths.Path {
+	mk := func(prs ...paths.Pair) paths.Path {
+		return paths.Path{Pairs: prs, VoteAdd: 1}
+	}
+	p := func(pred int32, val bool) paths.Pair { return paths.Pair{Pred: pred, Val: val} }
+	const a, b, c, h = 0, 1, 2, 3
+	return []paths.Path{
+		mk(p(a, false), p(b, false)),
+		mk(p(a, false), p(b, true)),
+		mk(p(a, false), p(h, false)),
+		mk(p(a, true), p(c, false)),
+		mk(p(a, true), p(c, true)),
+		mk(p(a, true), p(h, false)),
+		mk(p(c, false), p(h, true)),
+		mk(p(c, true), p(h, true)),
+	}
+}
+
+func TestBuildClustersFig3(t *testing.T) {
+	ps := fig3Paths()
+	paths.Sort(ps)
+	clusters := BuildClusters(ps, 2)
+	// With threshold 2, the paper's example groups into three clusters
+	// with commons (a,0), (a,1), (h,1).
+	if len(clusters) != 3 {
+		t.Fatalf("got %d clusters, want 3: %+v", len(clusters), clusters)
+	}
+	const a, c, h = 0, 2, 3
+	wantCommon := [][]paths.Pair{
+		{{Pred: a, Val: false}},
+		{{Pred: a, Val: true}},
+		{{Pred: h, Val: true}},
+	}
+	wantUncommon := [][]int32{{1, 3}, {c, 3}, {c}}
+	for i, cl := range clusters {
+		if len(cl.Common) != len(wantCommon[i]) {
+			t.Errorf("cluster %d common %v, want %v", i, cl.Common, wantCommon[i])
+			continue
+		}
+		for j := range cl.Common {
+			if cl.Common[j] != wantCommon[i][j] {
+				t.Errorf("cluster %d common %v, want %v", i, cl.Common, wantCommon[i])
+			}
+		}
+		if len(cl.Uncommon) != len(wantUncommon[i]) {
+			t.Errorf("cluster %d uncommon %v, want %v", i, cl.Uncommon, wantUncommon[i])
+			continue
+		}
+		for j := range cl.Uncommon {
+			if cl.Uncommon[j] != wantUncommon[i][j] {
+				t.Errorf("cluster %d uncommon %v, want %v", i, cl.Uncommon, wantUncommon[i])
+			}
+		}
+	}
+	// Every path in exactly one cluster.
+	seen := make([]int, len(ps))
+	for _, cl := range clusters {
+		for _, pi := range cl.Paths {
+			seen[pi]++
+		}
+	}
+	for i, n := range seen {
+		if n != 1 {
+			t.Errorf("path %d appears in %d clusters", i, n)
+		}
+	}
+}
+
+func TestBuildClustersThresholdZero(t *testing.T) {
+	ps := fig3Paths()
+	paths.Sort(ps)
+	clusters := BuildClusters(ps, 0)
+	// Threshold 0 only merges identical pair-sets; all 8 are distinct.
+	if len(clusters) != 8 {
+		t.Fatalf("threshold 0 produced %d clusters, want 8", len(clusters))
+	}
+	for i, cl := range clusters {
+		if len(cl.Uncommon) != 0 {
+			t.Errorf("cluster %d has uncommon %v under threshold 0", i, cl.Uncommon)
+		}
+	}
+}
+
+func TestBuildClustersMergesIdenticalPaths(t *testing.T) {
+	p := paths.Path{Pairs: []paths.Pair{{Pred: 0, Val: true}}, VoteAdd: 1}
+	ps := []paths.Path{p, p, p}
+	clusters := BuildClusters(ps, 0)
+	if len(clusters) != 1 || len(clusters[0].Paths) != 3 {
+		t.Fatalf("identical paths not merged: %+v", clusters)
+	}
+}
+
+func TestBuildClustersLargeThresholdSingleCluster(t *testing.T) {
+	ps := fig3Paths()
+	paths.Sort(ps)
+	clusters := BuildClusters(ps, 100)
+	if len(clusters) != 1 {
+		t.Fatalf("huge threshold produced %d clusters, want 1", len(clusters))
+	}
+	// Union of predicates is {a,b,c,h}; nothing is common to all paths.
+	if len(clusters[0].Common) != 0 {
+		t.Errorf("unexpected common pairs %v", clusters[0].Common)
+	}
+	if len(clusters[0].Uncommon) != 4 {
+		t.Errorf("uncommon %v, want all four predicates", clusters[0].Uncommon)
+	}
+}
+
+func TestBuildClustersInvariants(t *testing.T) {
+	ps := fig3Paths()
+	paths.Sort(ps)
+	for _, threshold := range []int{0, 1, 2, 3, 5} {
+		clusters := BuildClusters(ps, threshold)
+		for ci, cl := range clusters {
+			if len(cl.Uncommon) > threshold {
+				t.Errorf("threshold %d cluster %d has %d uncommon", threshold, ci, len(cl.Uncommon))
+			}
+			commonSet := map[int32]bool{}
+			for _, pr := range cl.Common {
+				commonSet[pr.Pred] = pr.Val
+			}
+			for _, pi := range cl.Paths {
+				// Every common pair present in every member path.
+				pathPairs := map[int32]bool{}
+				for _, pr := range ps[pi].Pairs {
+					pathPairs[pr.Pred] = pr.Val
+				}
+				for pred, val := range commonSet {
+					if v, ok := pathPairs[pred]; !ok || v != val {
+						t.Errorf("threshold %d cluster %d: common pair (%d,%v) missing from path %d",
+							threshold, ci, pred, val, pi)
+					}
+				}
+				// Every path pair is either common or uncommon.
+				for _, pr := range ps[pi].Pairs {
+					if _, ok := commonSet[pr.Pred]; ok {
+						continue
+					}
+					found := false
+					for _, u := range cl.Uncommon {
+						if u == pr.Pred {
+							found = true
+							break
+						}
+					}
+					if !found {
+						t.Errorf("threshold %d cluster %d: pair %v neither common nor uncommon",
+							threshold, ci, pr)
+					}
+				}
+			}
+		}
+	}
+}
+
+func TestBuildClustersPanics(t *testing.T) {
+	sorted := fig3Paths()
+	paths.Sort(sorted)
+	t.Run("negative threshold", func(t *testing.T) {
+		defer func() {
+			if recover() == nil {
+				t.Fatal("expected panic")
+			}
+		}()
+		BuildClusters(sorted, -1)
+	})
+	t.Run("unsorted input", func(t *testing.T) {
+		unsorted := []paths.Path{sorted[3], sorted[0]}
+		defer func() {
+			if recover() == nil {
+				t.Fatal("expected panic")
+			}
+		}()
+		BuildClusters(unsorted, 2)
+	})
+}
+
+func TestBuildClustersEmpty(t *testing.T) {
+	if got := BuildClusters(nil, 3); got != nil {
+		t.Errorf("empty input produced clusters %v", got)
+	}
+}

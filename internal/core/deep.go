@@ -1,0 +1,119 @@
+package core
+
+import (
+	"fmt"
+
+	"bolt/internal/forest"
+)
+
+// DeepBolt is a compiled deep-forest cascade (§4.6, §5 "Bolt for
+// Complex Forest Structures"): each layer's forests are compiled in
+// isolation — "we compress each layer in isolation, creating a lookup
+// table and a dictionary" — and at inference the probability outputs of
+// layer L are appended to the features of layer L+1, exactly as the
+// uncompiled cascade does, so cascade predictions are preserved
+// bit-for-bit.
+type DeepBolt struct {
+	// Layers[l][j] is the compiled engine for cascade layer l, forest j.
+	Layers      [][]*Forest
+	NumFeatures int
+	NumClasses  int
+
+	scratches [][]*Scratch
+}
+
+// CompileDeep compiles every member forest of the cascade with the
+// same options.
+func CompileDeep(df *forest.DeepForest, opts Options) (*DeepBolt, error) {
+	if err := df.Validate(); err != nil {
+		return nil, fmt.Errorf("core: cannot compile invalid cascade: %w", err)
+	}
+	db := &DeepBolt{
+		Layers:      make([][]*Forest, len(df.Layers)),
+		NumFeatures: df.NumFeatures,
+		NumClasses:  df.NumClasses,
+		scratches:   make([][]*Scratch, len(df.Layers)),
+	}
+	for l, layer := range df.Layers {
+		db.Layers[l] = make([]*Forest, len(layer))
+		db.scratches[l] = make([]*Scratch, len(layer))
+		for j, f := range layer {
+			bf, err := Compile(f, opts)
+			if err != nil {
+				return nil, fmt.Errorf("core: layer %d forest %d: %w", l, j, err)
+			}
+			db.Layers[l][j] = bf
+			db.scratches[l][j] = bf.NewScratch()
+		}
+	}
+	return db, nil
+}
+
+// VotesInto accumulates final-layer votes for x, mirroring
+// forest.DeepForest.VotesInto step for step (including the float32
+// probability normalisation) so the cascade safety property holds
+// exactly.
+func (db *DeepBolt) VotesInto(x []float32, votes []int64) {
+	if len(x) != db.NumFeatures {
+		panic(fmt.Sprintf("core: input has %d features, cascade expects %d", len(x), db.NumFeatures))
+	}
+	if len(votes) != db.NumClasses {
+		panic(fmt.Sprintf("core: votes buffer length %d, want %d", len(votes), db.NumClasses))
+	}
+	cur := x
+	layerVotes := make([]int64, db.NumClasses)
+	for l, layer := range db.Layers {
+		if l == len(db.Layers)-1 {
+			for i := range votes {
+				votes[i] = 0
+			}
+			for j, bf := range layer {
+				bf.Votes(cur, db.scratches[l][j], layerVotes)
+				for c := range votes {
+					votes[c] += layerVotes[c]
+				}
+			}
+			return
+		}
+		next := make([]float32, len(cur)+len(layer)*db.NumClasses)
+		copy(next, cur)
+		off := len(cur)
+		for j, bf := range layer {
+			bf.Votes(cur, db.scratches[l][j], layerVotes)
+			total := int64(0)
+			for _, v := range layerVotes {
+				total += v
+			}
+			for c, v := range layerVotes {
+				next[off+c] = float32(float64(v) / float64(total))
+			}
+			off += db.NumClasses
+		}
+		cur = next
+	}
+}
+
+// Predict runs the cascade and returns the weighted-majority class.
+func (db *DeepBolt) Predict(x []float32) int {
+	votes := make([]int64, db.NumClasses)
+	db.VotesInto(x, votes)
+	return forest.Argmax(votes)
+}
+
+// CheckSafety verifies Bolt cascade output equals the original cascade
+// for every input.
+func (db *DeepBolt) CheckSafety(df *forest.DeepForest, X [][]float32) error {
+	got := make([]int64, db.NumClasses)
+	want := make([]int64, db.NumClasses)
+	for i, x := range X {
+		db.VotesInto(x, got)
+		df.VotesInto(x, want)
+		for c := range got {
+			if got[c] != want[c] {
+				return fmt.Errorf("core: cascade safety violation on sample %d class %d: bolt=%d forest=%d",
+					i, c, got[c], want[c])
+			}
+		}
+	}
+	return nil
+}

@@ -1,0 +1,99 @@
+package core
+
+import (
+	"testing"
+
+	"bolt/internal/dataset"
+	"bolt/internal/forest"
+	"bolt/internal/tree"
+)
+
+func trainDeep(t testing.TB) (*forest.DeepForest, *dataset.Dataset) {
+	t.Helper()
+	d := dataset.SyntheticBlobs(300, 6, 3, 1.2, 111)
+	df := forest.TrainDeep(d, forest.DeepConfig{
+		NumLayers:       2,
+		ForestsPerLayer: 2,
+		Forest:          forest.Config{NumTrees: 6, Tree: tree.Config{MaxDepth: 3}},
+		Seed:            112,
+	})
+	if err := df.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	return df, d
+}
+
+// The cascade safety property: compiled deep Bolt votes equal the plain
+// cascade's for every input, including the float32 probability features
+// passed between layers.
+func TestDeepSafety(t *testing.T) {
+	df, d := trainDeep(t)
+	db, err := CompileDeep(df, Options{ClusterThreshold: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	X := append(append([][]float32{}, d.X...), randomInputs(200, d.NumFeatures, 113)...)
+	if err := db.CheckSafety(df, X); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestDeepPredictMatches(t *testing.T) {
+	df, d := trainDeep(t)
+	db, err := CompileDeep(df, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, x := range d.X[:100] {
+		if db.Predict(x) != df.Predict(x) {
+			t.Fatal("deep bolt prediction diverges")
+		}
+	}
+}
+
+func TestDeepCompileRejectsInvalid(t *testing.T) {
+	if _, err := CompileDeep(&forest.DeepForest{NumFeatures: 1, NumClasses: 1}, Options{}); err == nil {
+		t.Fatal("invalid cascade compiled")
+	}
+}
+
+func TestDeepPanicsOnBadShapes(t *testing.T) {
+	df, _ := trainDeep(t)
+	db, err := CompileDeep(df, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Run("bad input width", func(t *testing.T) {
+		defer func() {
+			if recover() == nil {
+				t.Fatal("expected panic")
+			}
+		}()
+		db.VotesInto(make([]float32, 1), make([]int64, db.NumClasses))
+	})
+	t.Run("bad votes width", func(t *testing.T) {
+		defer func() {
+			if recover() == nil {
+				t.Fatal("expected panic")
+			}
+		}()
+		db.VotesInto(make([]float32, db.NumFeatures), make([]int64, 1))
+	})
+}
+
+func TestDeepCheckSafetyDetectsCorruption(t *testing.T) {
+	df, d := trainDeep(t)
+	db, err := CompileDeep(df, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Corrupt the final layer's tables.
+	for _, bf := range db.Layers[len(db.Layers)-1] {
+		for i := range bf.Table.results {
+			bf.Table.results[i][0] += 999
+		}
+	}
+	if err := db.CheckSafety(df, d.X[:50]); err == nil {
+		t.Fatal("corrupted cascade passed CheckSafety")
+	}
+}

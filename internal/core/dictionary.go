@@ -1,0 +1,116 @@
+package core
+
+import (
+	"fmt"
+
+	"bolt/internal/bitpack"
+	"bolt/internal/paths"
+)
+
+// DictEntry is one dictionary entry (§4.3, Fig. 7): the bit-mask
+// membership test over the cluster's common feature-value pairs, plus
+// the ordered uncommon predicates whose evaluated bits form the lookup
+// address. "These are not traditional dictionaries in the sense of
+// associative maps with O(1) lookup" (paper footnote 2) — inference
+// scans entries linearly, which is why Phase 2 bounds their number.
+type DictEntry struct {
+	// ID is the dictionary entry ID hashed into the recombined table
+	// and stored in slots for false-positive detection.
+	ID uint32
+	// CommonMask/CommonVals implement the word-wide membership test:
+	// input matches iff input&CommonMask == CommonVals.
+	CommonMask []uint64
+	CommonVals []uint64
+	// Uncommon holds the predicate IDs (ascending) whose input bits are
+	// gathered into the table address; len(Uncommon) <= 63.
+	Uncommon []int32
+	// NumCommon records how many common pairs the mask encodes.
+	NumCommon int
+}
+
+// Dictionary is the full entry list over a codebook of numPreds
+// predicates.
+type Dictionary struct {
+	Entries  []DictEntry
+	numPreds int
+	words    int
+}
+
+// NewDictionary converts clusters into dictionary entries.
+func NewDictionary(clusters []Cluster, numPreds int) (*Dictionary, error) {
+	d := &Dictionary{
+		Entries:  make([]DictEntry, len(clusters)),
+		numPreds: numPreds,
+		words:    (numPreds + 63) / 64,
+	}
+	if d.words == 0 {
+		d.words = 1
+	}
+	for i := range clusters {
+		c := &clusters[i]
+		if len(c.Uncommon) > 63 {
+			return nil, fmt.Errorf("core: cluster %d has %d uncommon predicates; addresses are limited to 63 bits", i, len(c.Uncommon))
+		}
+		e := DictEntry{
+			ID:         uint32(i),
+			CommonMask: make([]uint64, d.words),
+			CommonVals: make([]uint64, d.words),
+			Uncommon:   c.Uncommon,
+			NumCommon:  len(c.Common),
+		}
+		for _, pr := range c.Common {
+			if int(pr.Pred) >= numPreds {
+				return nil, fmt.Errorf("core: cluster %d references predicate %d beyond codebook size %d", i, pr.Pred, numPreds)
+			}
+			w, b := pr.Pred/64, uint(pr.Pred%64)
+			e.CommonMask[w] |= 1 << b
+			if pr.Val {
+				e.CommonVals[w] |= 1 << b
+			}
+		}
+		d.Entries[i] = e
+	}
+	return d, nil
+}
+
+// NumPredicates returns the codebook size the dictionary was built for.
+func (d *Dictionary) NumPredicates() int { return d.numPreds }
+
+// Words returns the number of 64-bit words per mask.
+func (d *Dictionary) Words() int { return d.words }
+
+// Matches runs entry e's membership test against evaluated input bits.
+func (d *Dictionary) Matches(e *DictEntry, bits *bitpack.Bitset) bool {
+	return bitpack.MatchesMasked(bits.Words(), e.CommonMask, e.CommonVals)
+}
+
+// Address gathers the evaluated values of e's uncommon predicates into
+// the table address (bit i = value of Uncommon[i]).
+func (d *Dictionary) Address(e *DictEntry, bits *bitpack.Bitset) uint64 {
+	words := bits.Words()
+	addr := uint64(0)
+	for i, pred := range e.Uncommon {
+		bit := (words[pred/64] >> uint(pred%64)) & 1
+		addr |= bit << uint(i)
+	}
+	return addr
+}
+
+// AddressForPairs computes the address contribution of a path's pairs,
+// returning the fixed bits and a mask of the constrained positions.
+// Positions of Uncommon not constrained by the pairs are "don't care"
+// (Fig. 2) and are expanded by the compiler.
+func (e *DictEntry) AddressForPairs(pairs []paths.Pair) (fixed, fixedMask uint64) {
+	for i, pred := range e.Uncommon {
+		for _, pr := range pairs {
+			if pr.Pred == pred {
+				fixedMask |= 1 << uint(i)
+				if pr.Val {
+					fixed |= 1 << uint(i)
+				}
+				break
+			}
+		}
+	}
+	return fixed, fixedMask
+}

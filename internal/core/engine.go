@@ -1,0 +1,164 @@
+package core
+
+import (
+	"fmt"
+	"math/bits"
+
+	"bolt/internal/bitpack"
+	"bolt/internal/forest"
+	"bolt/internal/tree"
+)
+
+// Scratch holds the per-goroutine reusable buffers of the inference hot
+// path, so steady-state inference performs zero allocations.
+type Scratch struct {
+	bits  *bitpack.Bitset
+	votes []int64
+}
+
+// Votes runs Bolt inference for x, accumulating per-class weighted
+// votes into votes (length NumClasses, zeroed first). The flow is
+// Fig. 7's processing-engine loop:
+//
+//  1. encode the input once: evaluate every predicate into a bitset;
+//  2. for each dictionary entry, test the common-feature mask with
+//     word-wide AND/compare (no per-node branching);
+//  3. on a mask match, gather the uncommon bits into the table address,
+//     consult the bloom filter, and — if it may be present — probe the
+//     recombined table, which verifies the (entryID, address) key to
+//     reject false positives (§4.3);
+//  4. a verified hit contributes its pre-summed vote vector.
+func (bf *Forest) Votes(x []float32, s *Scratch, votes []int64) {
+	if len(x) != bf.NumFeatures {
+		panic(fmt.Sprintf("core: input has %d features, forest expects %d", len(x), bf.NumFeatures))
+	}
+	if len(votes) != bf.VoteWidth() {
+		panic(fmt.Sprintf("core: votes buffer length %d, want %d", len(votes), bf.VoteWidth()))
+	}
+	for i := range votes {
+		votes[i] = 0
+	}
+	bf.Codebook.Evaluate(x, s.bits)
+	inputWords := s.bits.Words()
+	for i := range bf.Dict.Entries {
+		e := &bf.Dict.Entries[i]
+		if !bitpack.MatchesMasked(inputWords, e.CommonMask, e.CommonVals) {
+			continue
+		}
+		addr := bf.Dict.Address(e, s.bits)
+		if bf.Filter != nil && !bf.Filter.Contains(Key(e.ID, addr)) {
+			continue
+		}
+		if ri, ok := bf.Table.Lookup(e.ID, addr); ok {
+			for c, v := range bf.Table.Votes(ri) {
+				votes[c] += v
+			}
+		}
+	}
+}
+
+// Predict returns the weighted-majority class for x using the provided
+// scratch. Ties break toward the lowest class index, matching
+// forest.Forest.Predict exactly. For regression forests use
+// PredictValue.
+func (bf *Forest) Predict(x []float32, s *Scratch) int {
+	if bf.Kind == tree.Regression {
+		panic("core: Predict on a regression forest (use PredictValue)")
+	}
+	bf.Votes(x, s, s.votes)
+	return forest.Argmax(s.votes)
+}
+
+// PredictValue returns the regression output for x, applying exactly
+// the aggregation of forest.Forest.PredictValue: (Bias + table
+// contributions) divided by WeightOne for additive ensembles or by the
+// total weight for mean ensembles.
+func (bf *Forest) PredictValue(x []float32, s *Scratch) float32 {
+	if bf.Kind != tree.Regression {
+		panic("core: PredictValue on a classification forest")
+	}
+	bf.Votes(x, s, s.votes)
+	denom := bf.TotalWeight
+	if bf.Additive {
+		denom = forest.WeightOne
+	}
+	return float32(float64(bf.Bias+s.votes[0]) / float64(denom))
+}
+
+// PredictBatch classifies every row of X with a private scratch.
+func (bf *Forest) PredictBatch(X [][]float32) []int {
+	s := bf.NewScratch()
+	out := make([]int, len(X))
+	for i, x := range X {
+		out[i] = bf.Predict(x, s)
+	}
+	return out
+}
+
+// CheckSafety verifies the paper's safety property (footnote 1) on the
+// given inputs: Bolt's accumulated votes must equal the original
+// forest's for every sample — per-class weighted votes for
+// classification, the integer value contribution for regression. It
+// returns the first divergence found.
+func (bf *Forest) CheckSafety(f *forest.Forest, X [][]float32) error {
+	s := bf.NewScratch()
+	if bf.Kind == tree.Regression {
+		boltVotes := make([]int64, 1)
+		for i, x := range X {
+			bf.Votes(x, s, boltVotes)
+			if ref := f.ValueVotes(x); boltVotes[0] != ref {
+				return fmt.Errorf("core: regression safety violation on sample %d: bolt=%d forest=%d",
+					i, boltVotes[0], ref)
+			}
+		}
+		return nil
+	}
+	boltVotes := make([]int64, bf.NumClasses)
+	refVotes := make([]int64, bf.NumClasses)
+	for i, x := range X {
+		bf.Votes(x, s, boltVotes)
+		f.Votes(x, refVotes)
+		for c := range boltVotes {
+			if boltVotes[c] != refVotes[c] {
+				return fmt.Errorf("core: safety violation on sample %d class %d: bolt=%d forest=%d",
+					i, c, boltVotes[c], refVotes[c])
+			}
+		}
+	}
+	return nil
+}
+
+// Salience returns, for sample x, how many matched paths used each
+// feature — Bolt's local-explanation workload (§2: "Bolt uses
+// associative arrays to track salient features ... with one memory
+// access per tree inference"). The count for a feature is the number of
+// matched dictionary entries whose common pairs or address bits test it.
+func (bf *Forest) Salience(x []float32, s *Scratch) []int {
+	counts := make([]int, bf.NumFeatures)
+	bf.Codebook.Evaluate(x, s.bits)
+	inputWords := s.bits.Words()
+	for i := range bf.Dict.Entries {
+		e := &bf.Dict.Entries[i]
+		if !bitpack.MatchesMasked(inputWords, e.CommonMask, e.CommonVals) {
+			continue
+		}
+		addr := bf.Dict.Address(e, s.bits)
+		if _, ok := bf.Table.Lookup(e.ID, addr); !ok {
+			continue
+		}
+		// Common features.
+		for w, mask := range e.CommonMask {
+			for mask != 0 {
+				b := mask & (-mask)
+				pred := int32(w*64 + bits.TrailingZeros64(b))
+				counts[bf.Codebook.Predicate(pred).Feature]++
+				mask ^= b
+			}
+		}
+		// Uncommon (address) features.
+		for _, pred := range e.Uncommon {
+			counts[bf.Codebook.Predicate(pred).Feature]++
+		}
+	}
+	return counts
+}

@@ -1,0 +1,40 @@
+package core
+
+import (
+	"bytes"
+	"testing"
+)
+
+// FuzzDecodeCompiled throws arbitrary bytes at the compiled-model
+// decoder: it must never panic, and any artifact it accepts must be
+// usable for inference without out-of-range accesses.
+func FuzzDecodeCompiled(f *testing.F) {
+	fr, d := trainForest(f, 141, 6, 3)
+	bf, err := Compile(fr, Options{ClusterThreshold: 4})
+	if err != nil {
+		f.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := EncodeCompiled(&buf, bf); err != nil {
+		f.Fatal(err)
+	}
+	f.Add(buf.Bytes())
+	f.Add([]byte{})
+	f.Add(buf.Bytes()[:20])
+	sample := d.X[0]
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		got, err := DecodeCompiled(bytes.NewReader(data))
+		if err != nil {
+			return
+		}
+		// Accepted artifacts must survive a prediction when the input
+		// width matches; a panic here means the decoder admitted
+		// structurally unsound tables.
+		if got.NumFeatures == len(sample) {
+			s := got.NewScratch()
+			votes := make([]int64, got.NumClasses)
+			got.Votes(sample, s, votes)
+		}
+	})
+}

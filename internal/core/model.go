@@ -1,0 +1,383 @@
+package core
+
+import (
+	"bufio"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+	"math"
+
+	"bolt/internal/bitpack"
+	"bolt/internal/bloom"
+	"bolt/internal/paths"
+	"bolt/internal/tree"
+)
+
+// Compiled-forest model format: the serialised output of Fig. 1 —
+// dictionary, recombined lookup table, bloom filter and predicate
+// codebook — so a service can load a tuned artifact directly instead of
+// recompiling at startup. Little-endian throughout; the slot array is
+// stored with a presence bitmap so empty slots cost one bit.
+
+const (
+	compiledMagic = uint32(0xb017c04d)
+	// compiledV2 added regression aggregation fields.
+	compiledV2 = uint16(2)
+	// compiledMaxCount bounds decoded counts against corrupt headers.
+	compiledMaxCount = 1 << 28
+)
+
+// EncodeCompiled writes the compiled forest to w.
+func EncodeCompiled(w io.Writer, bf *Forest) error {
+	bw := bufio.NewWriter(w)
+	wU32 := func(v uint32) { var b [4]byte; binary.LittleEndian.PutUint32(b[:], v); bw.Write(b[:]) }
+	wU64 := func(v uint64) { var b [8]byte; binary.LittleEndian.PutUint64(b[:], v); bw.Write(b[:]) }
+	wU16 := func(v uint16) { var b [2]byte; binary.LittleEndian.PutUint16(b[:], v); bw.Write(b[:]) }
+	wU8 := func(v uint8) { bw.WriteByte(v) }
+	wBool := func(v bool) {
+		if v {
+			wU8(1)
+		} else {
+			wU8(0)
+		}
+	}
+
+	wU32(compiledMagic)
+	wU16(compiledV2)
+	wU32(uint32(bf.NumFeatures))
+	wU32(uint32(bf.NumClasses))
+	wU32(uint32(bf.NumTrees))
+	wU64(uint64(bf.TotalWeight))
+	wU8(uint8(bf.Kind))
+	wBool(bf.Additive)
+	wU64(uint64(bf.Bias))
+
+	// Options (so the artifact records how it was built).
+	o := bf.opts
+	wU32(uint32(int32(o.ClusterThreshold)))
+	wU32(uint32(int32(o.BloomBitsPerKey)))
+	wBool(o.CompactIDs)
+	wU64(math.Float64bits(o.TableLoadFactor))
+	wU64(o.Seed)
+
+	// Codebook.
+	wU32(uint32(bf.Codebook.Len()))
+	for id := int32(0); id < int32(bf.Codebook.Len()); id++ {
+		p := bf.Codebook.Predicate(id)
+		wU32(uint32(p.Feature))
+		wU32(math.Float32bits(p.Threshold))
+	}
+
+	// Dictionary.
+	d := bf.Dict
+	wU32(uint32(d.numPreds))
+	wU32(uint32(d.words))
+	wU32(uint32(len(d.Entries)))
+	for i := range d.Entries {
+		e := &d.Entries[i]
+		wU32(e.ID)
+		wU32(uint32(e.NumCommon))
+		for _, word := range e.CommonMask {
+			wU64(word)
+		}
+		for _, word := range e.CommonVals {
+			wU64(word)
+		}
+		wU32(uint32(len(e.Uncommon)))
+		for _, u := range e.Uncommon {
+			wU32(uint32(u))
+		}
+	}
+
+	// Lookup table.
+	t := bf.Table
+	wU32(uint32(len(t.slots)))
+	wU64(t.seed1)
+	wU64(t.seed2)
+	wBool(t.compact)
+	wU32(uint32(t.n))
+	wU32(uint32(len(t.results)))
+	for _, votes := range t.results {
+		for _, v := range votes {
+			wU64(uint64(v))
+		}
+	}
+	// Presence bitmap, then used slots in index order.
+	bitmap := bitpack.New(len(t.slots))
+	for i := range t.slots {
+		if t.slots[i].used {
+			bitmap.Set(i)
+		}
+	}
+	for _, word := range bitmap.Words() {
+		wU64(word)
+	}
+	for i := range t.slots {
+		s := &t.slots[i]
+		if !s.used {
+			continue
+		}
+		wU32(s.entryID)
+		wU64(s.addr)
+		wU32(s.result)
+	}
+
+	// Bloom filter.
+	if bf.Filter != nil {
+		wBool(true)
+		blob, err := bf.Filter.MarshalBinary()
+		if err != nil {
+			return err
+		}
+		wU32(uint32(len(blob)))
+		bw.Write(blob)
+	} else {
+		wBool(false)
+	}
+	return bw.Flush()
+}
+
+// DecodeCompiled reads a compiled forest written by EncodeCompiled and
+// validates its structural invariants.
+func DecodeCompiled(r io.Reader) (*Forest, error) {
+	br := bufio.NewReader(r)
+	var readErr error
+	rU32 := func() uint32 {
+		var b [4]byte
+		if readErr == nil {
+			_, readErr = io.ReadFull(br, b[:])
+		}
+		return binary.LittleEndian.Uint32(b[:])
+	}
+	rU64 := func() uint64 {
+		var b [8]byte
+		if readErr == nil {
+			_, readErr = io.ReadFull(br, b[:])
+		}
+		return binary.LittleEndian.Uint64(b[:])
+	}
+	rU16 := func() uint16 {
+		var b [2]byte
+		if readErr == nil {
+			_, readErr = io.ReadFull(br, b[:])
+		}
+		return binary.LittleEndian.Uint16(b[:])
+	}
+	rU8 := func() uint8 {
+		var b [1]byte
+		if readErr == nil {
+			_, readErr = io.ReadFull(br, b[:])
+		}
+		return b[0]
+	}
+	rBool := func() bool { return rU8() == 1 }
+
+	if magic := rU32(); readErr != nil || magic != compiledMagic {
+		if readErr != nil {
+			return nil, fmt.Errorf("core: reading compiled model: %w", readErr)
+		}
+		return nil, fmt.Errorf("core: bad magic %#x (not a compiled Bolt forest)", magic)
+	}
+	if v := rU16(); readErr == nil && v != compiledV2 {
+		return nil, fmt.Errorf("core: unsupported compiled model version %d", v)
+	}
+	bf := &Forest{}
+	bf.NumFeatures = int(rU32())
+	bf.NumClasses = int(rU32())
+	bf.NumTrees = int(rU32())
+	bf.TotalWeight = int64(rU64())
+	kindByte := rU8()
+	bf.Additive = rBool()
+	bf.Bias = int64(rU64())
+	if readErr == nil && kindByte > 1 {
+		return nil, fmt.Errorf("core: corrupt kind byte %d", kindByte)
+	}
+	bf.Kind = tree.Kind(kindByte)
+	minClasses := 1
+	if bf.Kind == tree.Regression {
+		minClasses = 0
+	}
+	if readErr == nil && (bf.NumFeatures <= 0 || bf.NumClasses < minClasses || bf.NumTrees <= 0 ||
+		bf.NumFeatures > compiledMaxCount || bf.NumClasses > compiledMaxCount) {
+		return nil, fmt.Errorf("core: implausible compiled header (features=%d classes=%d trees=%d)",
+			bf.NumFeatures, bf.NumClasses, bf.NumTrees)
+	}
+
+	bf.opts.ClusterThreshold = int(int32(rU32()))
+	bf.opts.BloomBitsPerKey = int(int32(rU32()))
+	bf.opts.CompactIDs = rBool()
+	bf.opts.TableLoadFactor = math.Float64frombits(rU64())
+	bf.opts.Seed = rU64()
+
+	// Codebook.
+	nPreds := int(rU32())
+	if readErr == nil && nPreds > compiledMaxCount {
+		return nil, fmt.Errorf("core: implausible predicate count %d", nPreds)
+	}
+	cb := paths.NewCodebook()
+	for i := 0; i < nPreds && readErr == nil; i++ {
+		feat := int32(rU32())
+		thr := math.Float32frombits(rU32())
+		if feat < 0 || int(feat) >= bf.NumFeatures {
+			return nil, fmt.Errorf("core: predicate %d tests feature %d outside [0,%d)", i, feat, bf.NumFeatures)
+		}
+		if got := cb.ID(paths.Predicate{Feature: feat, Threshold: thr}); got != int32(i) {
+			return nil, fmt.Errorf("core: duplicate predicate at codebook index %d", i)
+		}
+	}
+	bf.Codebook = cb
+
+	// Dictionary.
+	d := &Dictionary{}
+	d.numPreds = int(rU32())
+	d.words = int(rU32())
+	nEntries := int(rU32())
+	if readErr == nil {
+		if d.numPreds != nPreds {
+			return nil, fmt.Errorf("core: dictionary predicate count %d != codebook %d", d.numPreds, nPreds)
+		}
+		wantWords := (nPreds + 63) / 64
+		if wantWords == 0 {
+			wantWords = 1
+		}
+		if d.words != wantWords || nEntries < 0 || nEntries > compiledMaxCount {
+			return nil, fmt.Errorf("core: corrupt dictionary header (words=%d entries=%d)", d.words, nEntries)
+		}
+	}
+	d.Entries = make([]DictEntry, 0, max0(nEntries))
+	for i := 0; i < nEntries && readErr == nil; i++ {
+		e := DictEntry{
+			ID:         rU32(),
+			NumCommon:  int(rU32()),
+			CommonMask: make([]uint64, d.words),
+			CommonVals: make([]uint64, d.words),
+		}
+		for w := range e.CommonMask {
+			e.CommonMask[w] = rU64()
+		}
+		for w := range e.CommonVals {
+			e.CommonVals[w] = rU64()
+		}
+		nu := int(rU32())
+		if readErr == nil && (nu < 0 || nu > 63) {
+			return nil, fmt.Errorf("core: entry %d has %d uncommon predicates", i, nu)
+		}
+		e.Uncommon = make([]int32, max0(nu))
+		for j := range e.Uncommon {
+			u := int32(rU32())
+			if readErr == nil && (u < 0 || int(u) >= nPreds) {
+				return nil, fmt.Errorf("core: entry %d uncommon predicate %d out of range", i, u)
+			}
+			e.Uncommon[j] = u
+		}
+		for w := range e.CommonVals {
+			if readErr == nil && e.CommonVals[w]&^e.CommonMask[w] != 0 {
+				return nil, fmt.Errorf("core: entry %d has values outside its mask", i)
+			}
+		}
+		d.Entries = append(d.Entries, e)
+	}
+	bf.Dict = d
+
+	// Lookup table.
+	t := &LookupTable{}
+	nSlots := int(rU32())
+	t.seed1 = rU64()
+	t.seed2 = rU64()
+	t.compact = rBool()
+	t.n = int(rU32())
+	nResults := int(rU32())
+	if readErr == nil {
+		if nSlots <= 0 || nSlots > compiledMaxCount || nSlots&(nSlots-1) != 0 {
+			return nil, fmt.Errorf("core: slot count %d not a positive power of two", nSlots)
+		}
+		if t.n < 0 || t.n > nSlots || nResults < 0 || nResults > t.n {
+			return nil, fmt.Errorf("core: corrupt table header (n=%d results=%d slots=%d)", t.n, nResults, nSlots)
+		}
+	}
+	t.mask = uint64(max0(nSlots)) - 1
+	voteWidth := bf.NumClasses
+	if bf.Kind == tree.Regression {
+		voteWidth = 1
+	}
+	t.results = make([][]int64, 0, max0(nResults))
+	for i := 0; i < nResults && readErr == nil; i++ {
+		votes := make([]int64, voteWidth)
+		for c := range votes {
+			votes[c] = int64(rU64())
+		}
+		t.results = append(t.results, votes)
+	}
+	t.slots = make([]slot, max0(nSlots))
+	bitmapWords := (nSlots + 63) / 64
+	bitmap := make([]uint64, max0(bitmapWords))
+	for w := range bitmap {
+		bitmap[w] = rU64()
+	}
+	used := 0
+	for i := 0; i < nSlots && readErr == nil; i++ {
+		if bitmap[i/64]&(1<<(i%64)) == 0 {
+			continue
+		}
+		used++
+		s := &t.slots[i]
+		s.used = true
+		s.entryID = rU32()
+		s.addr = rU64()
+		s.result = rU32()
+		if readErr == nil && int(s.result) >= nResults {
+			return nil, fmt.Errorf("core: slot %d references result %d of %d", i, s.result, nResults)
+		}
+	}
+	if readErr == nil && used != t.n {
+		return nil, fmt.Errorf("core: bitmap marks %d slots but header claims %d", used, t.n)
+	}
+	bf.Table = t
+
+	// Bloom filter.
+	if rBool() {
+		blobLen := int(rU32())
+		if readErr == nil && (blobLen <= 0 || blobLen > compiledMaxCount) {
+			return nil, fmt.Errorf("core: implausible bloom blob size %d", blobLen)
+		}
+		blob := make([]byte, max0(blobLen))
+		if readErr == nil {
+			_, readErr = io.ReadFull(br, blob)
+		}
+		if readErr == nil {
+			var f bloom.Filter
+			if err := f.UnmarshalBinary(blob); err != nil {
+				return nil, err
+			}
+			bf.Filter = &f
+		}
+	}
+	if readErr != nil {
+		if errors.Is(readErr, io.EOF) || errors.Is(readErr, io.ErrUnexpectedEOF) {
+			return nil, errors.New("core: truncated compiled model")
+		}
+		return nil, fmt.Errorf("core: reading compiled model: %w", readErr)
+	}
+	// Strict-mode slot keys must verify against their own positions.
+	if !t.compact {
+		for i := range t.slots {
+			s := &t.slots[i]
+			if !s.used {
+				continue
+			}
+			key := Key(s.entryID, s.addr)
+			if t.h1(key) != uint64(i) && t.h2(key) != uint64(i) {
+				return nil, fmt.Errorf("core: slot %d holds a key that does not hash there", i)
+			}
+		}
+	}
+	return bf, nil
+}
+
+func max0(n int) int {
+	if n < 0 {
+		return 0
+	}
+	return n
+}

@@ -1,0 +1,166 @@
+package core
+
+import (
+	"fmt"
+	"sync"
+
+	"bolt/internal/bitpack"
+	"bolt/internal/forest"
+	"bolt/internal/tree"
+)
+
+// PartitionedEngine parallelises one sample across cores by splitting
+// the dictionary into d partitions and the lookup table into t
+// partitions (§4.2, Fig. 4). Worker (i, j) scans dictionary partition i
+// and performs only the lookups owned by table partition j; every
+// candidate lookup is owned by exactly one worker, so aggregation over
+// all d·t workers counts each matched path once — the §4.5 guarantee,
+// which TestPartitionCoverage property-tests.
+//
+// Table ownership is by hash: key k belongs to partition
+// (primary-slot(k) * t) / slots. With cuckoo hashing a key's two slots
+// may straddle partition boundaries, so ownership follows the primary
+// slot, preserving "exactly one core performs each lookup" without
+// losing the bounded two-probe lookup.
+type PartitionedEngine struct {
+	bf          *Forest
+	dictParts   int
+	tableParts  int
+	dictBounds  []int // dictBounds[i] .. dictBounds[i+1] is partition i
+	workers     []partWorker
+	scratchPool sync.Pool
+}
+
+type partWorker struct {
+	dictLo, dictHi int
+	tablePart      int
+}
+
+// NewPartitioned builds an engine with the given dictionary and table
+// partition counts; the worker count ("cores", per §5: "the final
+// number of cores must be t × d") is their product.
+func NewPartitioned(bf *Forest, dictParts, tableParts int) (*PartitionedEngine, error) {
+	if dictParts < 1 || tableParts < 1 {
+		return nil, fmt.Errorf("core: partition counts must be >= 1 (got d=%d t=%d)", dictParts, tableParts)
+	}
+	if dictParts > len(bf.Dict.Entries) {
+		dictParts = len(bf.Dict.Entries)
+		if dictParts == 0 {
+			dictParts = 1
+		}
+	}
+	pe := &PartitionedEngine{
+		bf:         bf,
+		dictParts:  dictParts,
+		tableParts: tableParts,
+	}
+	n := len(bf.Dict.Entries)
+	pe.dictBounds = make([]int, dictParts+1)
+	for i := 0; i <= dictParts; i++ {
+		pe.dictBounds[i] = i * n / dictParts
+	}
+	for di := 0; di < dictParts; di++ {
+		for tj := 0; tj < tableParts; tj++ {
+			pe.workers = append(pe.workers, partWorker{
+				dictLo:    pe.dictBounds[di],
+				dictHi:    pe.dictBounds[di+1],
+				tablePart: tj,
+			})
+		}
+	}
+	pe.scratchPool.New = func() any { return bf.NewScratch() }
+	return pe, nil
+}
+
+// Cores returns the number of workers (d × t).
+func (pe *PartitionedEngine) Cores() int { return len(pe.workers) }
+
+// tableOwner maps a key to its owning table partition via its primary
+// slot index.
+func (pe *PartitionedEngine) tableOwner(key uint64) int {
+	slot := pe.bf.Table.h1(key)
+	return int(slot * uint64(pe.tableParts) / uint64(pe.bf.Table.NumSlots()))
+}
+
+// Votes runs one sample across all workers and aggregates their votes.
+// The predicate bitset is computed once and shared read-only, mirroring
+// the paper's single input encoding distributed to cores.
+func (pe *PartitionedEngine) Votes(x []float32, votes []int64) {
+	if len(votes) != pe.bf.VoteWidth() {
+		panic(fmt.Sprintf("core: votes buffer length %d, want %d", len(votes), pe.bf.VoteWidth()))
+	}
+	s := pe.scratchPool.Get().(*Scratch)
+	defer pe.scratchPool.Put(s)
+	pe.bf.Codebook.Evaluate(x, s.bits)
+
+	var wg sync.WaitGroup
+	partial := make([][]int64, len(pe.workers))
+	for w := range pe.workers {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			partial[w] = pe.runWorker(&pe.workers[w], s.bits)
+		}(w)
+	}
+	wg.Wait()
+	for i := range votes {
+		votes[i] = 0
+	}
+	for _, p := range partial {
+		for c, v := range p {
+			votes[c] += v
+		}
+	}
+}
+
+// runWorker scans the worker's dictionary slice, performing only the
+// lookups its table partition owns.
+func (pe *PartitionedEngine) runWorker(w *partWorker, bits *bitpack.Bitset) []int64 {
+	bf := pe.bf
+	votes := make([]int64, bf.VoteWidth())
+	words := bits.Words()
+	for i := w.dictLo; i < w.dictHi; i++ {
+		e := &bf.Dict.Entries[i]
+		if !bitpack.MatchesMasked(words, e.CommonMask, e.CommonVals) {
+			continue
+		}
+		addr := bf.Dict.Address(e, bits)
+		key := Key(e.ID, addr)
+		if pe.tableOwner(key) != w.tablePart {
+			continue // another core owns this lookup (§4.5)
+		}
+		if bf.Filter != nil && !bf.Filter.Contains(key) {
+			continue
+		}
+		if ri, ok := bf.Table.Lookup(e.ID, addr); ok {
+			for c, v := range bf.Table.Votes(ri) {
+				votes[c] += v
+			}
+		}
+	}
+	return votes
+}
+
+// Predict returns the weighted-majority class for x (classification
+// engines).
+func (pe *PartitionedEngine) Predict(x []float32) int {
+	votes := make([]int64, pe.bf.VoteWidth())
+	pe.Votes(x, votes)
+	return forest.Argmax(votes)
+}
+
+// PredictValue returns the regression output for x (regression
+// engines), with the same aggregation as Forest.PredictValue.
+func (pe *PartitionedEngine) PredictValue(x []float32) float32 {
+	bf := pe.bf
+	if bf.Kind != tree.Regression {
+		panic("core: PredictValue on a classification engine")
+	}
+	votes := make([]int64, 1)
+	pe.Votes(x, votes)
+	denom := bf.TotalWeight
+	if bf.Additive {
+		denom = forest.WeightOne
+	}
+	return float32(float64(bf.Bias+votes[0]) / float64(denom))
+}

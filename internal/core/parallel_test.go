@@ -1,0 +1,133 @@
+package core
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+// TestPartitionedMatchesSerial verifies Fig. 4 semantics: any (d, t)
+// partitioning yields exactly the single-core votes.
+func TestPartitionedMatchesSerial(t *testing.T) {
+	f, d := trainForest(t, 61, 10, 4)
+	bf, err := Compile(f, Options{ClusterThreshold: 6})
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := bf.NewScratch()
+	serial := make([]int64, bf.NumClasses)
+	parallel := make([]int64, bf.NumClasses)
+	for _, cfg := range [][2]int{{1, 1}, {2, 1}, {1, 2}, {2, 2}, {4, 2}, {2, 4}, {4, 4}, {1, 8}, {8, 1}} {
+		pe, err := NewPartitioned(bf, cfg[0], cfg[1])
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, x := range d.X[:60] {
+			bf.Votes(x, s, serial)
+			pe.Votes(x, parallel)
+			for c := range serial {
+				if serial[c] != parallel[c] {
+					t.Fatalf("d=%d t=%d: votes diverge (class %d: %d vs %d)",
+						cfg[0], cfg[1], c, serial[c], parallel[c])
+				}
+			}
+			if pe.Predict(x) != bf.Predict(x, s) {
+				t.Fatalf("d=%d t=%d: predictions diverge", cfg[0], cfg[1])
+			}
+		}
+	}
+}
+
+// TestPartitionCoverage property-tests the §4.5 ownership argument:
+// across all workers, every candidate lookup is performed exactly once.
+func TestPartitionCoverage(t *testing.T) {
+	f, d := trainForest(t, 62, 8, 4)
+	bf, err := Compile(f, Options{ClusterThreshold: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	check := func(dRaw, tRaw uint8, sampleRaw uint16) bool {
+		dp := int(dRaw%5) + 1
+		tp := int(tRaw%5) + 1
+		pe, err := NewPartitioned(bf, dp, tp)
+		if err != nil {
+			return false
+		}
+		x := d.X[int(sampleRaw)%d.Len()]
+		s := bf.NewScratch()
+		bf.Codebook.Evaluate(x, s.bits)
+
+		// Ownership: for every dictionary entry, count the workers that
+		// would process it (dict range contains it AND owns its key).
+		for i := range bf.Dict.Entries {
+			e := &bf.Dict.Entries[i]
+			if !bf.Dict.Matches(e, s.bits) {
+				continue
+			}
+			addr := bf.Dict.Address(e, s.bits)
+			key := Key(e.ID, addr)
+			owners := 0
+			for _, w := range pe.workers {
+				if i >= w.dictLo && i < w.dictHi && pe.tableOwner(key) == w.tablePart {
+					owners++
+				}
+			}
+			if owners != 1 {
+				t.Logf("d=%d t=%d entry %d owned by %d workers", dp, tp, i, owners)
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(check, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPartitionedRejectsBadCounts(t *testing.T) {
+	f, _ := trainForest(t, 63, 4, 3)
+	bf, err := Compile(f, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, cfg := range [][2]int{{0, 1}, {1, 0}, {-1, 2}} {
+		if _, err := NewPartitioned(bf, cfg[0], cfg[1]); err == nil {
+			t.Errorf("d=%d t=%d accepted", cfg[0], cfg[1])
+		}
+	}
+}
+
+func TestPartitionedClampsDictParts(t *testing.T) {
+	f, _ := trainForest(t, 64, 3, 2)
+	bf, err := Compile(f, Options{ClusterThreshold: 30})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// More dictionary partitions than entries: must clamp, not crash.
+	pe, err := NewPartitioned(bf, 1000, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if pe.Cores() > (len(bf.Dict.Entries)+1)*2 {
+		t.Errorf("cores %d not clamped (entries %d)", pe.Cores(), len(bf.Dict.Entries))
+	}
+	votes := make([]int64, bf.NumClasses)
+	pe.Votes(randomInputs(1, bf.NumFeatures, 65)[0], votes)
+}
+
+func TestPartitionedVotesBufferPanics(t *testing.T) {
+	f, _ := trainForest(t, 66, 3, 2)
+	bf, err := Compile(f, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	pe, err := NewPartitioned(bf, 2, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	pe.Votes(randomInputs(1, bf.NumFeatures, 67)[0], make([]int64, 1))
+}

@@ -1,0 +1,159 @@
+package core
+
+import (
+	"bytes"
+	"testing"
+	"testing/quick"
+
+	"bolt/internal/dataset"
+	"bolt/internal/forest"
+	"bolt/internal/tree"
+)
+
+func regressionForests(t testing.TB) (*forest.Forest, *forest.Forest, *dataset.Dataset) {
+	t.Helper()
+	d := dataset.SyntheticFriedman(600, 0.5, 151)
+	rf := forest.TrainRegressionForest(d, forest.Config{NumTrees: 10, Tree: tree.Config{MaxDepth: 4}, Seed: 152})
+	gbt := forest.TrainGBT(d, forest.GBTConfig{Rounds: 15, Tree: tree.Config{MaxDepth: 3, MaxFeatures: -1}, Seed: 153})
+	return rf, gbt, d
+}
+
+// The regression safety property: Bolt's integer contribution sum
+// equals the forest's for every input, for both bagged (mean) and
+// boosted (additive) ensembles.
+func TestRegressionSafety(t *testing.T) {
+	rf, gbt, d := regressionForests(t)
+	X := append(append([][]float32{}, d.X[:200]...), randomInputs(200, d.NumFeatures, 154)...)
+	for name, f := range map[string]*forest.Forest{"bagged": rf, "boosted": gbt} {
+		for _, th := range []int{1, 4, 8} {
+			bf, err := Compile(f, Options{ClusterThreshold: th, Seed: 155})
+			if err != nil {
+				t.Fatalf("%s th=%d: %v", name, th, err)
+			}
+			if bf.Kind != tree.Regression || bf.VoteWidth() != 1 {
+				t.Fatalf("%s: compiled forest lost regression kind", name)
+			}
+			if err := bf.CheckSafety(f, X); err != nil {
+				t.Errorf("%s th=%d: %v", name, th, err)
+			}
+		}
+	}
+}
+
+// PredictValue must equal the plain forest's float output exactly (same
+// integer sum, same single division).
+func TestRegressionPredictValueExact(t *testing.T) {
+	rf, gbt, d := regressionForests(t)
+	for name, f := range map[string]*forest.Forest{"bagged": rf, "boosted": gbt} {
+		bf, err := Compile(f, Options{ClusterThreshold: 4})
+		if err != nil {
+			t.Fatal(err)
+		}
+		s := bf.NewScratch()
+		for i, x := range d.X[:200] {
+			if got, want := bf.PredictValue(x, s), f.PredictValue(x); got != want {
+				t.Fatalf("%s sample %d: bolt %g != forest %g", name, i, got, want)
+			}
+		}
+	}
+}
+
+func TestRegressionKindGuards(t *testing.T) {
+	rf, _, d := regressionForests(t)
+	bf, err := Compile(rf, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := bf.NewScratch()
+	t.Run("Predict on regression", func(t *testing.T) {
+		defer func() {
+			if recover() == nil {
+				t.Fatal("expected panic")
+			}
+		}()
+		bf.Predict(d.X[0], s)
+	})
+
+	clf, cd := trainForest(t, 156, 5, 3)
+	cbf, err := Compile(clf, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cs := cbf.NewScratch()
+	t.Run("PredictValue on classification", func(t *testing.T) {
+		defer func() {
+			if recover() == nil {
+				t.Fatal("expected panic")
+			}
+		}()
+		cbf.PredictValue(cd.X[0], cs)
+	})
+}
+
+func TestRegressionCompiledRoundTrip(t *testing.T) {
+	_, gbt, d := regressionForests(t)
+	bf, err := Compile(gbt, Options{ClusterThreshold: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := EncodeCompiled(&buf, bf); err != nil {
+		t.Fatal(err)
+	}
+	back, err := DecodeCompiled(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.Kind != tree.Regression || back.Bias != bf.Bias || back.Additive != bf.Additive {
+		t.Fatal("regression aggregation fields lost")
+	}
+	s1, s2 := bf.NewScratch(), back.NewScratch()
+	for _, x := range d.X[:100] {
+		if bf.PredictValue(x, s1) != back.PredictValue(x, s2) {
+			t.Fatal("decoded regression artifact diverges")
+		}
+	}
+}
+
+func TestRegressionPartitionedMatches(t *testing.T) {
+	rf, _, d := regressionForests(t)
+	bf, err := Compile(rf, Options{ClusterThreshold: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	pe, err := NewPartitioned(bf, 2, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := bf.NewScratch()
+	serial := make([]int64, 1)
+	parallel := make([]int64, 1)
+	for _, x := range d.X[:60] {
+		bf.Votes(x, s, serial)
+		pe.Votes(x, parallel)
+		if serial[0] != parallel[0] {
+			t.Fatal("partitioned regression votes diverge")
+		}
+	}
+}
+
+// Property: regression safety holds for arbitrary GBT shapes.
+func TestRegressionSafetyQuick(t *testing.T) {
+	check := func(seed uint64, roundsRaw, depthRaw uint8) bool {
+		rounds := int(roundsRaw%10) + 2
+		depth := int(depthRaw%3) + 2
+		d := dataset.SyntheticFriedman(150, 1, seed)
+		f := forest.TrainGBT(d, forest.GBTConfig{
+			Rounds: rounds, Tree: tree.Config{MaxDepth: depth, MaxFeatures: -1}, Seed: seed,
+		})
+		bf, err := Compile(f, Options{ClusterThreshold: 4, Seed: seed})
+		if err != nil {
+			t.Logf("compile: %v", err)
+			return false
+		}
+		return bf.CheckSafety(f, d.X[:80]) == nil
+	}
+	if err := quick.Check(check, &quick.Config{MaxCount: 10}); err != nil {
+		t.Fatal(err)
+	}
+}

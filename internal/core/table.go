@@ -1,0 +1,257 @@
+package core
+
+import (
+	"errors"
+	"fmt"
+
+	"bolt/internal/bitpack"
+	"bolt/internal/rng"
+)
+
+// LookupTable is the recombined lookup table of §4.1/§4.3/Fig. 6: every
+// per-cluster table entry is hashed by (dictionary entry ID, address
+// bits) into one forest-wide table. The paper requires the final table
+// to be conflict-free so entries are found in bounded time; we realise
+// that with cuckoo hashing — every key resides in one of two slots, so a
+// lookup costs at most two branch-light probes, and the builder retries
+// seeds (growing the table if necessary) until displacement succeeds.
+//
+// Each slot stores the full (entryID, addr) key by default, making
+// false-positive detection deterministic. CompactIDs mode reduces the
+// stored tag to the paper's one-byte entryID mod 256 (§5), trading
+// memory for a small, measurable probability of mistaking a false
+// positive for a hit; it is exposed for the layout and ablation
+// experiments.
+type LookupTable struct {
+	slots   []slot
+	results [][]int64 // deduplicated per-class weighted vote vectors
+	seed1   uint64
+	seed2   uint64
+	mask    uint64
+	compact bool
+	n       int // inserted keys
+}
+
+type slot struct {
+	used    bool
+	entryID uint32 // full entry ID, or mod-256 tag in compact mode
+	addr    uint64 // zero and unused in compact mode
+	result  uint32
+}
+
+// tableEntry is one expanded (entry, address) -> votes binding produced
+// by the compiler.
+type tableEntry struct {
+	entryID uint32
+	addr    uint64
+	votes   []int64
+}
+
+const (
+	// maxKickChain bounds cuckoo displacement before reseeding.
+	maxKickChain = 500
+	// maxSeedTries bounds reseeding before doubling the table.
+	maxSeedTries = 8
+	// maxTableBits caps table growth (2^30 slots ≈ 24 GiB of slots is
+	// beyond any sane forest; fail instead).
+	maxTableBits = 30
+)
+
+// buildTable constructs a conflict-free cuckoo table over the entries.
+// Initial capacity targets the given load factor (default 0.5 when 0).
+func buildTable(entries []tableEntry, loadFactor float64, compact bool, seed uint64) (*LookupTable, error) {
+	if len(entries) == 0 {
+		return nil, errors.New("core: no table entries to build")
+	}
+	if loadFactor <= 0 || loadFactor > 0.9 {
+		loadFactor = 0.5
+	}
+	bits := bitpack.CeilLog2(int(float64(len(entries))/loadFactor) + 1)
+	if bits < 2 {
+		bits = 2
+	}
+	sm := seed
+	for ; bits <= maxTableBits; bits++ {
+		for try := 0; try < maxSeedTries; try++ {
+			s1 := rng.SplitMix64(&sm)
+			s2 := rng.SplitMix64(&sm)
+			t, ok := tryBuild(entries, bits, s1, s2, compact)
+			if ok {
+				return t, nil
+			}
+		}
+	}
+	return nil, fmt.Errorf("core: cuckoo build failed for %d entries up to 2^%d slots", len(entries), maxTableBits)
+}
+
+// tryBuild constructs the table in strict (full-key) form; compact mode
+// strips the stored keys down to one-byte tags afterwards, which cannot
+// change slot positions because they depend only on the hash key fixed
+// at insertion.
+func tryBuild(entries []tableEntry, bits int, s1, s2 uint64, compact bool) (*LookupTable, bool) {
+	t := &LookupTable{
+		slots: make([]slot, 1<<bits),
+		seed1: s1,
+		seed2: s2,
+		mask:  uint64(1<<bits) - 1,
+	}
+	resultIdx := make(map[string]uint32)
+	for _, e := range entries {
+		ri, ok := resultIdx[voteKey(e.votes)]
+		if !ok {
+			ri = uint32(len(t.results))
+			t.results = append(t.results, e.votes)
+			resultIdx[voteKey(e.votes)] = ri
+		}
+		if !t.insert(e.entryID, e.addr, ri) {
+			return nil, false
+		}
+	}
+	t.n = len(entries)
+	if compact {
+		t.makeCompact()
+	}
+	return t, true
+}
+
+// makeCompact converts a strict table to the paper's one-byte entry-ID
+// layout (§5): slots keep only entryID mod 256 and drop the address.
+func (t *LookupTable) makeCompact() {
+	t.compact = true
+	for i := range t.slots {
+		if !t.slots[i].used {
+			continue
+		}
+		t.slots[i].entryID &= 0xff
+		t.slots[i].addr = 0
+	}
+}
+
+func voteKey(votes []int64) string {
+	b := make([]byte, 0, len(votes)*8)
+	for _, v := range votes {
+		u := uint64(v)
+		b = append(b, byte(u), byte(u>>8), byte(u>>16), byte(u>>24),
+			byte(u>>32), byte(u>>40), byte(u>>48), byte(u>>56))
+	}
+	return string(b)
+}
+
+// Key packs (entryID, addr) into the 64-bit hash input shared by the
+// table and the bloom filter.
+func Key(entryID uint32, addr uint64) uint64 {
+	return rng.Mix64(addr*0x9e3779b97f4a7c15 ^ uint64(entryID)<<1 ^ 0xa5a5a5a5)
+}
+
+func (t *LookupTable) h1(key uint64) uint64 { return rng.Mix64(key^t.seed1) & t.mask }
+func (t *LookupTable) h2(key uint64) uint64 { return rng.Mix64(key^t.seed2) & t.mask }
+
+func (t *LookupTable) storedID(entryID uint32) uint32 {
+	if t.compact {
+		return entryID & 0xff // the paper's one-byte mod-256 tag (§5)
+	}
+	return entryID
+}
+
+// insert places the key cuckoo-style, displacing residents along a
+// bounded kick chain. Insertion always runs on a strict (full-key)
+// table so evicted residents can recompute their keys.
+func (t *LookupTable) insert(entryID uint32, addr uint64, result uint32) bool {
+	key := Key(entryID, addr)
+	for _, p := range [2]uint64{t.h1(key), t.h2(key)} {
+		s := &t.slots[p]
+		if s.used && s.entryID == entryID && s.addr == addr {
+			// Duplicate (entryID, addr): the compiler must have merged
+			// votes per address before building; this is a bug.
+			panic(fmt.Sprintf("core: duplicate table key entry=%d addr=%#x", entryID, addr))
+		}
+	}
+	cur := slot{used: true, entryID: entryID, addr: addr, result: result}
+	pos := t.h1(key)
+	for kick := 0; kick < maxKickChain; kick++ {
+		if !t.slots[pos].used {
+			t.slots[pos] = cur
+			return true
+		}
+		// Evict the resident and move it to its alternate slot.
+		resident := t.slots[pos]
+		t.slots[pos] = cur
+		cur = resident
+		residentKey := Key(resident.entryID, resident.addr)
+		if t.h1(residentKey) == pos {
+			pos = t.h2(residentKey)
+		} else {
+			pos = t.h1(residentKey)
+		}
+	}
+	return false
+}
+
+// Lookup probes both candidate slots for (entryID, addr). The boolean
+// result distinguishes a verified hit from a miss or a detected false
+// positive (§4.3: "a response is only counted if there is a match").
+func (t *LookupTable) Lookup(entryID uint32, addr uint64) (result uint32, ok bool) {
+	key := Key(entryID, addr)
+	want := t.storedID(entryID)
+	s := &t.slots[t.h1(key)]
+	if s.used && s.entryID == want && (t.compact || s.addr == addr) {
+		return s.result, true
+	}
+	s = &t.slots[t.h2(key)]
+	if s.used && s.entryID == want && (t.compact || s.addr == addr) {
+		return s.result, true
+	}
+	return 0, false
+}
+
+// Votes returns the deduplicated vote vector with the given index.
+func (t *LookupTable) Votes(result uint32) []int64 { return t.results[result] }
+
+// NumSlots returns the table capacity.
+func (t *LookupTable) NumSlots() int { return len(t.slots) }
+
+// NumEntries returns the number of inserted keys.
+func (t *LookupTable) NumEntries() int { return t.n }
+
+// NumResults returns the number of deduplicated result vectors.
+func (t *LookupTable) NumResults() int { return len(t.results) }
+
+// Compact reports whether the table stores one-byte entry tags.
+func (t *LookupTable) Compact() bool { return t.compact }
+
+// LoadFactor returns inserted keys / slots.
+func (t *LookupTable) LoadFactor() float64 {
+	return float64(t.n) / float64(len(t.slots))
+}
+
+// ForEach visits every occupied slot with its stored entry tag, address
+// and vote vector (build order is not preserved; iteration is slot
+// order). The layout package uses it to account storage per entry.
+func (t *LookupTable) ForEach(fn func(entryID uint32, addr uint64, votes []int64)) {
+	for i := range t.slots {
+		s := &t.slots[i]
+		if s.used {
+			fn(s.entryID, s.addr, t.results[s.result])
+		}
+	}
+}
+
+// SlotIndices returns the two candidate slot indices for (entryID,
+// addr). The perfsim engine uses them to charge the exact memory
+// accesses a lookup performs.
+func (t *LookupTable) SlotIndices(entryID uint32, addr uint64) (uint64, uint64) {
+	key := Key(entryID, addr)
+	return t.h1(key), t.h2(key)
+}
+
+// ProbesFor reports how many slots Lookup actually touches for the key:
+// 1 when the first probe resolves (hit in the primary slot), else 2.
+func (t *LookupTable) ProbesFor(entryID uint32, addr uint64) int {
+	key := Key(entryID, addr)
+	want := t.storedID(entryID)
+	s := &t.slots[t.h1(key)]
+	if s.used && s.entryID == want && (t.compact || s.addr == addr) {
+		return 1
+	}
+	return 2
+}

@@ -1,0 +1,200 @@
+package core
+
+import (
+	"testing"
+	"testing/quick"
+
+	"bolt/internal/rng"
+)
+
+func mkEntries(n int, numClasses int, seed uint64) []tableEntry {
+	r := rng.New(seed)
+	seen := make(map[uint64]bool, n)
+	out := make([]tableEntry, 0, n)
+	for len(out) < n {
+		e := tableEntry{
+			entryID: uint32(r.Intn(1000)),
+			addr:    r.Uint64() & 0xffff,
+		}
+		k := Key(e.entryID, e.addr)
+		if seen[k] {
+			continue
+		}
+		seen[k] = true
+		votes := make([]int64, numClasses)
+		votes[r.Intn(numClasses)] = int64(r.Intn(5) + 1)
+		e.votes = votes
+		out = append(out, e)
+	}
+	return out
+}
+
+func TestTableInsertLookup(t *testing.T) {
+	entries := mkEntries(500, 3, 1)
+	tbl, err := buildTable(entries, 0.5, false, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tbl.NumEntries() != 500 {
+		t.Fatalf("NumEntries = %d, want 500", tbl.NumEntries())
+	}
+	for _, e := range entries {
+		ri, ok := tbl.Lookup(e.entryID, e.addr)
+		if !ok {
+			t.Fatalf("inserted key (%d, %#x) not found", e.entryID, e.addr)
+		}
+		got := tbl.Votes(ri)
+		for c := range got {
+			if got[c] != e.votes[c] {
+				t.Fatalf("votes mismatch for (%d, %#x)", e.entryID, e.addr)
+			}
+		}
+	}
+}
+
+func TestTableMissesAreMisses(t *testing.T) {
+	entries := mkEntries(200, 2, 3)
+	tbl, err := buildTable(entries, 0.5, false, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	present := make(map[uint64]bool)
+	for _, e := range entries {
+		present[Key(e.entryID, e.addr)] = true
+	}
+	r := rng.New(5)
+	for i := 0; i < 10000; i++ {
+		id := uint32(r.Intn(1000))
+		addr := r.Uint64() & 0xfffff
+		if present[Key(id, addr)] {
+			continue
+		}
+		if _, ok := tbl.Lookup(id, addr); ok {
+			t.Fatalf("strict table returned a hit for absent key (%d, %#x)", id, addr)
+		}
+	}
+}
+
+func TestTableLoadFactorBound(t *testing.T) {
+	entries := mkEntries(1000, 2, 6)
+	tbl, err := buildTable(entries, 0.5, false, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if lf := tbl.LoadFactor(); lf > 0.55 {
+		t.Errorf("load factor %g exceeds target", lf)
+	}
+	if tbl.NumSlots()&(tbl.NumSlots()-1) != 0 {
+		t.Errorf("slot count %d not a power of two", tbl.NumSlots())
+	}
+}
+
+func TestTableResultDeduplication(t *testing.T) {
+	// Ten entries sharing one vote vector must store it once.
+	entries := make([]tableEntry, 10)
+	for i := range entries {
+		entries[i] = tableEntry{entryID: uint32(i), addr: 0, votes: []int64{1, 2}}
+	}
+	tbl, err := buildTable(entries, 0.5, false, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tbl.NumResults() != 1 {
+		t.Errorf("NumResults = %d, want 1 (dedup)", tbl.NumResults())
+	}
+}
+
+func TestTableDuplicateKeyPanics(t *testing.T) {
+	entries := []tableEntry{
+		{entryID: 1, addr: 5, votes: []int64{1}},
+		{entryID: 1, addr: 5, votes: []int64{2}},
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("duplicate key should panic")
+		}
+	}()
+	if _, err := buildTable(entries, 0.5, false, 9); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestTableEmpty(t *testing.T) {
+	if _, err := buildTable(nil, 0.5, false, 1); err == nil {
+		t.Fatal("empty entry list accepted")
+	}
+}
+
+func TestTableCompactMode(t *testing.T) {
+	entries := mkEntries(300, 2, 10)
+	tbl, err := buildTable(entries, 0.5, true, 11)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !tbl.Compact() {
+		t.Fatal("compact flag not set")
+	}
+	// All inserted keys still hit (no false negatives, §5).
+	for _, e := range entries {
+		ri, ok := tbl.Lookup(e.entryID, e.addr)
+		if !ok {
+			t.Fatalf("compact table lost key (%d, %#x)", e.entryID, e.addr)
+		}
+		got := tbl.Votes(ri)
+		for c := range got {
+			if got[c] != e.votes[c] {
+				t.Fatalf("compact table votes mismatch")
+			}
+		}
+	}
+	// Slots must carry only one-byte tags.
+	for i := range tbl.slots {
+		if tbl.slots[i].used && tbl.slots[i].entryID > 0xff {
+			t.Fatal("compact slot holds a wide entry ID")
+		}
+	}
+}
+
+func TestTableDefaultLoadFactor(t *testing.T) {
+	entries := mkEntries(100, 2, 12)
+	for _, lf := range []float64{0, -1, 0.95} {
+		tbl, err := buildTable(entries, lf, false, 13)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got := tbl.LoadFactor(); got > 0.55 {
+			t.Errorf("loadFactor=%g produced fill %g, want default 0.5 behaviour", lf, got)
+		}
+	}
+}
+
+// Property: any set of unique keys round-trips through the table.
+func TestTableRoundTripQuick(t *testing.T) {
+	f := func(seed uint64, nRaw uint16) bool {
+		n := int(nRaw%400) + 1
+		entries := mkEntries(n, 2, seed)
+		tbl, err := buildTable(entries, 0.5, false, seed^1)
+		if err != nil {
+			return false
+		}
+		for _, e := range entries {
+			ri, ok := tbl.Lookup(e.entryID, e.addr)
+			if !ok || tbl.Votes(ri)[0] != e.votes[0] || tbl.Votes(ri)[1] != e.votes[1] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestKeyDistinguishes(t *testing.T) {
+	if Key(1, 2) == Key(2, 1) {
+		t.Error("Key collides on swapped inputs")
+	}
+	if Key(0, 0) == Key(0, 1) || Key(0, 0) == Key(1, 0) {
+		t.Error("Key collides on near inputs")
+	}
+}

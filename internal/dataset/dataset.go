@@ -1,0 +1,144 @@
+// Package dataset provides the dataset substrate for the reproduction:
+// an in-memory feature-matrix type plus deterministic synthetic
+// generators standing in for the three corpora the paper evaluates on
+// (MNIST digits, Large-Scale Traffic and Weather events, and Yelp
+// reviews — §6.1). The module is offline, so the generators synthesise
+// data with the same shape that drives Bolt's data structures: feature
+// counts, class counts, value ranges and feature/class correlation
+// strong enough for shallow trees to learn, which is what determines
+// path structure and therefore lookup-table behaviour.
+package dataset
+
+import (
+	"fmt"
+
+	"bolt/internal/rng"
+)
+
+// Dataset is a dense labelled sample matrix. X is row-major:
+// X[i] is sample i's feature vector. Classification datasets carry
+// integer labels in Y (in [0, NumClasses)); regression datasets carry
+// float targets in Values (and have NumClasses == 0, Y == nil).
+type Dataset struct {
+	Name        string
+	NumFeatures int
+	NumClasses  int
+	X           [][]float32
+	Y           []int
+	// Values holds regression targets; non-nil means the dataset is a
+	// regression problem.
+	Values []float32
+}
+
+// Len returns the number of samples.
+func (d *Dataset) Len() int { return len(d.X) }
+
+// IsRegression reports whether the dataset carries float targets.
+func (d *Dataset) IsRegression() bool { return d.Values != nil }
+
+// Validate checks internal consistency and label ranges; generators and
+// loaders call it before returning.
+func (d *Dataset) Validate() error {
+	if d.NumFeatures <= 0 {
+		return fmt.Errorf("dataset %q: non-positive feature count %d", d.Name, d.NumFeatures)
+	}
+	for i, row := range d.X {
+		if len(row) != d.NumFeatures {
+			return fmt.Errorf("dataset %q: sample %d has %d features, want %d", d.Name, i, len(row), d.NumFeatures)
+		}
+	}
+	if d.IsRegression() {
+		if d.Y != nil {
+			return fmt.Errorf("dataset %q: both labels and regression targets set", d.Name)
+		}
+		if d.NumClasses != 0 {
+			return fmt.Errorf("dataset %q: regression dataset claims %d classes", d.Name, d.NumClasses)
+		}
+		if len(d.X) != len(d.Values) {
+			return fmt.Errorf("dataset %q: %d samples but %d targets", d.Name, len(d.X), len(d.Values))
+		}
+		return nil
+	}
+	if d.NumClasses <= 0 {
+		return fmt.Errorf("dataset %q: non-positive class count %d", d.Name, d.NumClasses)
+	}
+	if len(d.X) != len(d.Y) {
+		return fmt.Errorf("dataset %q: %d samples but %d labels", d.Name, len(d.X), len(d.Y))
+	}
+	for i, y := range d.Y {
+		if y < 0 || y >= d.NumClasses {
+			return fmt.Errorf("dataset %q: label %d of sample %d outside [0,%d)", d.Name, y, i, d.NumClasses)
+		}
+	}
+	return nil
+}
+
+// Split partitions the dataset into train and test sets with the given
+// train fraction, shuffling deterministically with seed. Rows are shared
+// (not copied); callers must not mutate feature vectors.
+func (d *Dataset) Split(trainFrac float64, seed uint64) (train, test *Dataset) {
+	if trainFrac <= 0 || trainFrac >= 1 {
+		panic(fmt.Sprintf("dataset: trainFrac %g outside (0,1)", trainFrac))
+	}
+	r := rng.New(seed)
+	perm := r.Perm(d.Len())
+	nTrain := int(float64(d.Len()) * trainFrac)
+	if nTrain < 1 {
+		nTrain = 1
+	}
+	if nTrain >= d.Len() {
+		nTrain = d.Len() - 1
+	}
+	return d.Subset(perm[:nTrain], d.Name+"/train"), d.Subset(perm[nTrain:], d.Name+"/test")
+}
+
+// Subset returns a view containing the given sample indices.
+func (d *Dataset) Subset(indices []int, name string) *Dataset {
+	s := &Dataset{
+		Name:        name,
+		NumFeatures: d.NumFeatures,
+		NumClasses:  d.NumClasses,
+		X:           make([][]float32, len(indices)),
+	}
+	if d.IsRegression() {
+		s.Values = make([]float32, len(indices))
+		for i, idx := range indices {
+			s.X[i] = d.X[idx]
+			s.Values[i] = d.Values[idx]
+		}
+		return s
+	}
+	s.Y = make([]int, len(indices))
+	for i, idx := range indices {
+		s.X[i] = d.X[idx]
+		s.Y[i] = d.Y[idx]
+	}
+	return s
+}
+
+// ClassCounts returns the per-class sample counts.
+func (d *Dataset) ClassCounts() []int {
+	counts := make([]int, d.NumClasses)
+	for _, y := range d.Y {
+		counts[y]++
+	}
+	return counts
+}
+
+// Accuracy returns the fraction of predictions matching labels. The two
+// slices must have equal length.
+func Accuracy(pred, labels []int) float64 {
+	if len(pred) != len(labels) {
+		panic(fmt.Sprintf("dataset: %d predictions vs %d labels", len(pred), len(labels)))
+	}
+	if len(pred) == 0 {
+		return 0
+	}
+	correct := 0
+	for i := range pred {
+		if pred[i] == labels[i] {
+			correct++
+		}
+	}
+	return float64(correct) / float64(len(pred))
+}

@@ -1,0 +1,302 @@
+package dataset
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestSyntheticMNISTShape(t *testing.T) {
+	d := SyntheticMNIST(100, 1)
+	if d.Len() != 100 {
+		t.Fatalf("Len = %d, want 100", d.Len())
+	}
+	if d.NumFeatures != 784 || d.NumClasses != 10 {
+		t.Fatalf("shape = %d features / %d classes, want 784/10", d.NumFeatures, d.NumClasses)
+	}
+	if err := d.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	// Every class represented.
+	for c, n := range d.ClassCounts() {
+		if n == 0 {
+			t.Errorf("class %d has no samples", c)
+		}
+	}
+	// Pixel values in [0, 255].
+	for i, row := range d.X {
+		for p, v := range row {
+			if v < 0 || v > 255 {
+				t.Fatalf("sample %d pixel %d = %g outside [0,255]", i, p, v)
+			}
+		}
+	}
+}
+
+func TestSyntheticMNISTDeterministic(t *testing.T) {
+	a := SyntheticMNIST(20, 42)
+	b := SyntheticMNIST(20, 42)
+	for i := range a.X {
+		if a.Y[i] != b.Y[i] {
+			t.Fatalf("labels diverge at %d", i)
+		}
+		for p := range a.X[i] {
+			if a.X[i][p] != b.X[i][p] {
+				t.Fatalf("pixels diverge at sample %d pixel %d", i, p)
+			}
+		}
+	}
+	c := SyntheticMNIST(20, 43)
+	same := true
+	for p := range a.X[0] {
+		if a.X[0][p] != c.X[0][p] {
+			same = false
+			break
+		}
+	}
+	if same {
+		t.Error("different seeds produced identical first sample")
+	}
+}
+
+func TestSyntheticMNISTDigitsDiffer(t *testing.T) {
+	d := SyntheticMNIST(10, 7)
+	// Digit 1 (two segments) must have much less ink than digit 8 (all
+	// seven): a sanity check that the glyph renderer uses the class.
+	ink := func(img []float32) float64 {
+		s := 0.0
+		for _, v := range img {
+			if v > 100 {
+				s++
+			}
+		}
+		return s
+	}
+	if ink(d.X[1]) >= ink(d.X[8]) {
+		t.Errorf("digit 1 ink %g >= digit 8 ink %g", ink(d.X[1]), ink(d.X[8]))
+	}
+}
+
+func TestSyntheticLSTWShape(t *testing.T) {
+	d := SyntheticLSTW(5000, 2)
+	if d.NumFeatures != 11 || d.NumClasses != 4 {
+		t.Fatalf("shape = %d/%d, want 11/4", d.NumFeatures, d.NumClasses)
+	}
+	if err := d.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	for c, n := range d.ClassCounts() {
+		if n == 0 {
+			t.Errorf("severity class %d has no samples", c)
+		}
+	}
+	for i, x := range d.X {
+		if x[LSTWHour] < 0 || x[LSTWHour] > 23 {
+			t.Fatalf("sample %d hour %g out of range", i, x[LSTWHour])
+		}
+		if x[LSTWLatitude] < 0 || x[LSTWLatitude] > 180 {
+			t.Fatalf("sample %d shifted latitude %g outside [0,180] (paper §5)", i, x[LSTWLatitude])
+		}
+		if x[LSTWRoadType] < 0 || x[LSTWRoadType] > 5 {
+			t.Fatalf("sample %d road type %g out of range", i, x[LSTWRoadType])
+		}
+	}
+}
+
+func TestSyntheticYelpShape(t *testing.T) {
+	d := SyntheticYelp(200, 3)
+	if d.NumFeatures != 1500 || d.NumClasses != 5 {
+		t.Fatalf("shape = %d/%d, want 1500/5", d.NumFeatures, d.NumClasses)
+	}
+	if err := d.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	// Count vectors: non-negative integers, sparse.
+	for i, x := range d.X {
+		nonzero := 0
+		for w, v := range x {
+			if v < 0 || v != float32(int(v)) {
+				t.Fatalf("sample %d word %d count %g not a non-negative integer", i, w, v)
+			}
+			if v > 0 {
+				nonzero++
+			}
+		}
+		if nonzero == 0 || nonzero > 200 {
+			t.Fatalf("sample %d has %d nonzero counts, want sparse but nonempty", i, nonzero)
+		}
+	}
+}
+
+func TestSyntheticBlobsSeparable(t *testing.T) {
+	d := SyntheticBlobs(300, 8, 3, 0.5, 9)
+	if err := d.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	// Nearest-centroid classification should be near perfect with
+	// spread 0.5 — verifies class structure exists.
+	centroids := make([][]float64, d.NumClasses)
+	counts := make([]int, d.NumClasses)
+	for c := range centroids {
+		centroids[c] = make([]float64, d.NumFeatures)
+	}
+	for i, x := range d.X {
+		c := d.Y[i]
+		counts[c]++
+		for f, v := range x {
+			centroids[c][f] += float64(v)
+		}
+	}
+	for c := range centroids {
+		for f := range centroids[c] {
+			centroids[c][f] /= float64(counts[c])
+		}
+	}
+	correct := 0
+	for i, x := range d.X {
+		best, bestDist := -1, 0.0
+		for c := range centroids {
+			dist := 0.0
+			for f, v := range x {
+				diff := float64(v) - centroids[c][f]
+				dist += diff * diff
+			}
+			if best == -1 || dist < bestDist {
+				best, bestDist = c, dist
+			}
+		}
+		if best == d.Y[i] {
+			correct++
+		}
+	}
+	if acc := float64(correct) / float64(d.Len()); acc < 0.95 {
+		t.Errorf("nearest-centroid accuracy %g < 0.95; blobs not separable", acc)
+	}
+}
+
+func TestSplit(t *testing.T) {
+	d := SyntheticBlobs(100, 4, 2, 1, 5)
+	train, test := d.Split(0.8, 11)
+	if train.Len() != 80 || test.Len() != 20 {
+		t.Fatalf("split sizes %d/%d, want 80/20", train.Len(), test.Len())
+	}
+	if err := train.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if err := test.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	// Deterministic for a fixed seed.
+	train2, _ := d.Split(0.8, 11)
+	for i := range train.Y {
+		if train.Y[i] != train2.Y[i] {
+			t.Fatal("Split not deterministic")
+		}
+	}
+}
+
+func TestSplitPanics(t *testing.T) {
+	d := SyntheticBlobs(10, 2, 2, 1, 1)
+	for _, frac := range []float64{0, 1, -0.5, 2} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("Split(%g) should panic", frac)
+				}
+			}()
+			d.Split(frac, 1)
+		}()
+	}
+}
+
+func TestSubset(t *testing.T) {
+	d := SyntheticBlobs(10, 2, 2, 1, 1)
+	s := d.Subset([]int{0, 5, 9}, "sub")
+	if s.Len() != 3 || s.Name != "sub" {
+		t.Fatalf("subset Len=%d Name=%q", s.Len(), s.Name)
+	}
+	if s.Y[1] != d.Y[5] {
+		t.Error("subset label mismatch")
+	}
+}
+
+func TestValidateCatchesCorruption(t *testing.T) {
+	good := SyntheticBlobs(10, 3, 2, 1, 1)
+
+	bad := *good
+	bad.Y = append([]int(nil), good.Y...)
+	bad.Y[0] = 7
+	if bad.Validate() == nil {
+		t.Error("out-of-range label accepted")
+	}
+
+	bad2 := *good
+	bad2.X = append([][]float32(nil), good.X...)
+	bad2.X[3] = []float32{1}
+	if bad2.Validate() == nil {
+		t.Error("ragged row accepted")
+	}
+
+	bad3 := *good
+	bad3.Y = bad3.Y[:5]
+	if bad3.Validate() == nil {
+		t.Error("length mismatch accepted")
+	}
+
+	bad4 := *good
+	bad4.NumClasses = 0
+	if bad4.Validate() == nil {
+		t.Error("zero classes accepted")
+	}
+
+	bad5 := *good
+	bad5.NumFeatures = -1
+	if bad5.Validate() == nil {
+		t.Error("negative features accepted")
+	}
+}
+
+func TestAccuracy(t *testing.T) {
+	if got := Accuracy([]int{1, 2, 3}, []int{1, 0, 3}); got != 2.0/3.0 {
+		t.Errorf("Accuracy = %g, want 2/3", got)
+	}
+	if got := Accuracy(nil, nil); got != 0 {
+		t.Errorf("Accuracy(empty) = %g, want 0", got)
+	}
+	defer func() {
+		if recover() == nil {
+			t.Error("mismatched lengths should panic")
+		}
+	}()
+	Accuracy([]int{1}, []int{1, 2})
+}
+
+// Property: Split always partitions the sample set exactly.
+func TestSplitPartitionQuick(t *testing.T) {
+	d := SyntheticBlobs(50, 2, 2, 1, 3)
+	f := func(seed uint64) bool {
+		train, test := d.Split(0.7, seed)
+		return train.Len()+test.Len() == d.Len()
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestZipfCDF(t *testing.T) {
+	cdf := zipfCDF(100, 1.1)
+	if len(cdf) != 100 {
+		t.Fatalf("len = %d", len(cdf))
+	}
+	for i := 1; i < len(cdf); i++ {
+		if cdf[i] < cdf[i-1] {
+			t.Fatal("CDF not monotone")
+		}
+	}
+	if diff := cdf[len(cdf)-1] - 1; diff > 1e-9 || diff < -1e-9 {
+		t.Fatalf("CDF does not end at 1: %g", cdf[len(cdf)-1])
+	}
+	// Rank 1 must dominate under Zipf.
+	if cdf[0] < 0.1 {
+		t.Errorf("P(rank 1) = %g, expected Zipf head-heaviness", cdf[0])
+	}
+}

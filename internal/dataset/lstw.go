@@ -1,0 +1,133 @@
+package dataset
+
+import (
+	"math"
+
+	"bolt/internal/rng"
+)
+
+// The synthetic traffic generator mirrors the Large-Scale Traffic and
+// Weather events dataset (Moosavi et al., KDD '19) as the paper uses it
+// (§6.1): 11 heterogeneous input features mixing numeric weather/location
+// measurements with categorical road attributes, and a categorical
+// traffic-severity target. A latent severity score couples the features
+// to the label so trees of modest height predict well, and the paper's
+// observation that coordinates fit in one byte after shifting ([-90,90]
+// -> [0,180], §5) holds here too.
+
+const (
+	lstwFeatures = 11
+	lstwClasses  = 4
+)
+
+// LSTW feature indices, in the order stored in each sample vector.
+const (
+	LSTWHour       = iota // 0..23
+	LSTWDayOfWeek         // 0..6
+	LSTWTemp              // Fahrenheit, ~N(60, 18)
+	LSTWHumidity          // percent 0..100
+	LSTWPressure          // inHg ~N(29.9, 0.25)
+	LSTWVisibility        // miles 0..10
+	LSTWWindSpeed         // mph >= 0
+	LSTWPrecip            // inches >= 0
+	LSTWLatitude          // degrees, shifted to [0,180] per §5
+	LSTWLongitude         // degrees, shifted to [0,360]
+	LSTWRoadType          // categorical 0..5
+)
+
+// SyntheticLSTW generates n traffic/weather events with severity labels
+// in {0: none, 1: light, 2: moderate, 3: severe}.
+func SyntheticLSTW(n int, seed uint64) *Dataset {
+	r := rng.New(seed)
+	d := &Dataset{
+		Name:        "synthetic-lstw",
+		NumFeatures: lstwFeatures,
+		NumClasses:  lstwClasses,
+		X:           make([][]float32, n),
+		Y:           make([]int, n),
+	}
+	for i := 0; i < n; i++ {
+		x := make([]float32, lstwFeatures)
+		hour := r.Intn(24)
+		dow := r.Intn(7)
+		temp := 60 + r.NormFloat64()*18
+		humidity := clamp(55+r.NormFloat64()*20, 0, 100)
+		pressure := 29.9 + r.NormFloat64()*0.25
+		visibility := clamp(10-expSample(r, 0.5)*4, 0, 10)
+		wind := expSample(r, 1) * 8
+		precip := 0.0
+		if r.Float64() < 0.3 {
+			precip = expSample(r, 1) * 0.4
+		}
+		lat := 25 + r.Float64()*24 // continental US span
+		lng := -124 + r.Float64()*57
+		road := r.Intn(6)
+
+		x[LSTWHour] = float32(hour)
+		x[LSTWDayOfWeek] = float32(dow)
+		x[LSTWTemp] = float32(temp)
+		x[LSTWHumidity] = float32(humidity)
+		x[LSTWPressure] = float32(pressure)
+		x[LSTWVisibility] = float32(visibility)
+		x[LSTWWindSpeed] = float32(wind)
+		x[LSTWPrecip] = float32(precip)
+		x[LSTWLatitude] = float32(lat + 90)   // shift to [0,180] (§5)
+		x[LSTWLongitude] = float32(lng + 180) // shift to [0,360]
+		x[LSTWRoadType] = float32(road)
+
+		// Latent severity: rush hour, weekdays, bad weather and highway
+		// road types raise it.
+		score := 0.0
+		if (hour >= 7 && hour <= 9) || (hour >= 16 && hour <= 18) {
+			score += 1.6
+		}
+		if dow < 5 {
+			score += 0.7
+		}
+		score += precip * 3.5
+		score += (10 - visibility) * 0.25
+		score += wind * 0.04
+		if temp < 32 {
+			score += 1.2 // icing
+		}
+		if road >= 4 {
+			score += 0.9 // highway classes
+		}
+		score += r.NormFloat64() * 0.5
+
+		switch {
+		case score < 1.0:
+			d.Y[i] = 0
+		case score < 2.2:
+			d.Y[i] = 1
+		case score < 3.4:
+			d.Y[i] = 2
+		default:
+			d.Y[i] = 3
+		}
+		d.X[i] = x
+	}
+	if err := d.Validate(); err != nil {
+		panic(err)
+	}
+	return d
+}
+
+func clamp(v, lo, hi float64) float64 {
+	if v < lo {
+		return lo
+	}
+	if v > hi {
+		return hi
+	}
+	return v
+}
+
+// expSample draws from Exp(rate) via inversion.
+func expSample(r *rng.Source, rate float64) float64 {
+	u := r.Float64()
+	for u == 0 {
+		u = r.Float64()
+	}
+	return -math.Log(u) / rate
+}

@@ -1,0 +1,174 @@
+package forest
+
+import (
+	"errors"
+	"fmt"
+
+	"bolt/internal/dataset"
+	"bolt/internal/rng"
+)
+
+// DeepForest is a gcForest-style cascade (§4.6, Fig. 15): each layer
+// holds one or more forests, and the class-probability vector produced
+// by every forest of layer L is appended to the input features of layer
+// L+1. The paper evaluates two-layer cascades whose layers share tree
+// count and height; DeepConfig defaults to that shape.
+type DeepForest struct {
+	// Layers[l] is the slice of forests making up cascade layer l.
+	Layers      [][]*Forest
+	NumFeatures int // original input features (layer 0 input width)
+	NumClasses  int
+}
+
+// DeepConfig controls cascade training.
+type DeepConfig struct {
+	// NumLayers is the cascade depth; 0 means 2 (the paper's setup).
+	NumLayers int
+	// ForestsPerLayer is how many forests each layer trains; 0 means 1.
+	ForestsPerLayer int
+	// Forest configures every member forest; per-layer seeds are derived.
+	Forest Config
+	// Seed drives per-layer seed derivation.
+	Seed uint64
+}
+
+func (c DeepConfig) normalized() DeepConfig {
+	if c.NumLayers <= 0 {
+		c.NumLayers = 2
+	}
+	if c.ForestsPerLayer <= 0 {
+		c.ForestsPerLayer = 1
+	}
+	return c
+}
+
+// TrainDeep fits a cascade on d layer by layer: layer l trains on the
+// original features plus the probability outputs of layers < l (each
+// layer sees only the immediately preceding layer's outputs appended,
+// matching "the output of each layer is appended as a feature for
+// subsequent layers").
+func TrainDeep(d *dataset.Dataset, cfg DeepConfig) *DeepForest {
+	cfg = cfg.normalized()
+	df := &DeepForest{
+		Layers:      make([][]*Forest, cfg.NumLayers),
+		NumFeatures: d.NumFeatures,
+		NumClasses:  d.NumClasses,
+	}
+	cur := d
+	for l := 0; l < cfg.NumLayers; l++ {
+		layer := make([]*Forest, cfg.ForestsPerLayer)
+		for j := range layer {
+			fc := cfg.Forest
+			fc.Seed = rng.Mix64(cfg.Seed ^ uint64(l*1000+j+1))
+			layer[j] = Train(cur, fc)
+		}
+		df.Layers[l] = layer
+		if l == cfg.NumLayers-1 {
+			break
+		}
+		cur = df.augment(cur, layer)
+	}
+	return df
+}
+
+// augment builds the next layer's training set: current features plus
+// each forest's probability vector.
+func (df *DeepForest) augment(d *dataset.Dataset, layer []*Forest) *dataset.Dataset {
+	extra := len(layer) * df.NumClasses
+	aug := &dataset.Dataset{
+		Name:        d.Name + "+cascade",
+		NumFeatures: d.NumFeatures + extra,
+		NumClasses:  d.NumClasses,
+		X:           make([][]float32, d.Len()),
+		Y:           d.Y,
+	}
+	proba := make([]float32, df.NumClasses)
+	for i, x := range d.X {
+		row := make([]float32, aug.NumFeatures)
+		copy(row, x)
+		off := d.NumFeatures
+		for _, f := range layer {
+			f.Proba(x, proba)
+			copy(row[off:off+df.NumClasses], proba)
+			off += df.NumClasses
+		}
+		aug.X[i] = row
+	}
+	return aug
+}
+
+// LayerInputWidth returns the feature width consumed by layer l.
+func (df *DeepForest) LayerInputWidth(l int) int {
+	w := df.NumFeatures
+	for i := 0; i < l; i++ {
+		w += len(df.Layers[i]) * df.NumClasses
+	}
+	return w
+}
+
+// Predict runs the cascade on x and returns the final layer's
+// weighted-majority class (votes of all final-layer forests summed).
+func (df *DeepForest) Predict(x []float32) int {
+	votes := make([]int64, df.NumClasses)
+	df.VotesInto(x, votes)
+	return Argmax(votes)
+}
+
+// VotesInto accumulates final-layer votes for x into votes
+// (length NumClasses, zeroed first).
+func (df *DeepForest) VotesInto(x []float32, votes []int64) {
+	cur := x
+	proba := make([]float32, df.NumClasses)
+	for l, layer := range df.Layers {
+		if l == len(df.Layers)-1 {
+			for i := range votes {
+				votes[i] = 0
+			}
+			treeVotes := make([]int64, df.NumClasses)
+			for _, f := range layer {
+				f.Votes(cur, treeVotes)
+				for c := range votes {
+					votes[c] += treeVotes[c]
+				}
+			}
+			return
+		}
+		next := make([]float32, len(cur)+len(layer)*df.NumClasses)
+		copy(next, cur)
+		off := len(cur)
+		for _, f := range layer {
+			f.Proba(cur, proba)
+			copy(next[off:off+df.NumClasses], proba)
+			off += df.NumClasses
+		}
+		cur = next
+	}
+}
+
+// Validate checks cascade invariants: every layer non-empty, every
+// forest's input width matching the cascade wiring.
+func (df *DeepForest) Validate() error {
+	if len(df.Layers) == 0 {
+		return errors.New("forest: deep forest has no layers")
+	}
+	for l, layer := range df.Layers {
+		if len(layer) == 0 {
+			return fmt.Errorf("forest: layer %d is empty", l)
+		}
+		want := df.LayerInputWidth(l)
+		for j, f := range layer {
+			if f.NumFeatures != want {
+				return fmt.Errorf("forest: layer %d forest %d consumes %d features, cascade provides %d",
+					l, j, f.NumFeatures, want)
+			}
+			if f.NumClasses != df.NumClasses {
+				return fmt.Errorf("forest: layer %d forest %d has %d classes, cascade has %d",
+					l, j, f.NumClasses, df.NumClasses)
+			}
+			if err := f.Validate(); err != nil {
+				return fmt.Errorf("forest: layer %d forest %d: %w", l, j, err)
+			}
+		}
+	}
+	return nil
+}

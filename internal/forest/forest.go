@@ -1,0 +1,173 @@
+// Package forest implements the ensemble substrate: random-forest
+// training by bootstrap aggregation (the Scikit-Learn configuration the
+// paper trains with), weighted ensembles in the gradient-boosting style
+// the paper supports by "adding the corresponding tree weight to each
+// path" (§5), and the two-layer deep-forest cascade of §4.6/Fig. 15.
+//
+// Vote accumulation is integer arithmetic throughout (class votes are
+// per-tree weights summed in int64). This is deliberate: Bolt pre-sums
+// votes from multiple paths at compile time while the plain forest sums
+// them at inference time, and integer addition is associative, so the
+// safety property "Bolt output == forest output for every input" holds
+// exactly rather than modulo floating-point reassociation.
+package forest
+
+import (
+	"errors"
+	"fmt"
+
+	"bolt/internal/tree"
+)
+
+// WeightOne is the fixed-point scale for tree weights: a plain
+// (unweighted) random forest gives every tree weight WeightOne.
+const WeightOne int64 = 1 << 16
+
+// Forest is a trained ensemble of decision trees over a common feature
+// space. Weights holds the fixed-point vote weight of each tree; nil
+// means every tree weighs WeightOne. Classification forests aggregate
+// weighted label votes; regression forests (Kind == tree.Regression)
+// aggregate fixed-point value contributions, additively for boosted
+// ensembles (Additive, with base score Bias) or as a weighted mean for
+// bagged ones.
+type Forest struct {
+	Trees       []*tree.Tree
+	Weights     []int64
+	NumFeatures int
+	NumClasses  int
+	Kind        tree.Kind
+	// Bias is the additive base score in WeightOne fixed point (GBT F0);
+	// zero for bagged ensembles.
+	Bias int64
+	// Additive selects sum aggregation (boosting) over mean aggregation.
+	Additive bool
+}
+
+// Validate checks ensemble-level invariants and every member tree.
+func (f *Forest) Validate() error {
+	if len(f.Trees) == 0 {
+		return errors.New("forest: no trees")
+	}
+	if f.Weights != nil && len(f.Weights) != len(f.Trees) {
+		return fmt.Errorf("forest: %d weights for %d trees", len(f.Weights), len(f.Trees))
+	}
+	for i, w := range f.Weights {
+		if w <= 0 {
+			return fmt.Errorf("forest: tree %d has non-positive weight %d", i, w)
+		}
+	}
+	if f.Kind == tree.Regression {
+		if err := f.validateRegression(); err != nil {
+			return err
+		}
+	} else if f.Bias != 0 || f.Additive {
+		return errors.New("forest: classification forest with regression aggregation fields")
+	}
+	for i, t := range f.Trees {
+		if t.Kind != f.Kind {
+			return fmt.Errorf("forest: tree %d kind %d does not match forest kind %d", i, t.Kind, f.Kind)
+		}
+		if t.NumFeatures != f.NumFeatures || t.NumClasses != f.NumClasses {
+			return fmt.Errorf("forest: tree %d shape %d/%d does not match forest %d/%d",
+				i, t.NumFeatures, t.NumClasses, f.NumFeatures, f.NumClasses)
+		}
+		if err := t.Validate(); err != nil {
+			return fmt.Errorf("forest: tree %d: %w", i, err)
+		}
+	}
+	return nil
+}
+
+// Weight returns the vote weight of tree i.
+func (f *Forest) Weight(i int) int64 {
+	if f.Weights == nil {
+		return WeightOne
+	}
+	return f.Weights[i]
+}
+
+// Votes accumulates each tree's weighted vote for sample x into the
+// provided per-class accumulator, which must have length NumClasses and
+// is zeroed first.
+func (f *Forest) Votes(x []float32, votes []int64) {
+	if f.Kind != tree.Classification {
+		panic("forest: Votes on a regression forest (use ValueVotes)")
+	}
+	if len(votes) != f.NumClasses {
+		panic(fmt.Sprintf("forest: votes buffer length %d, want %d", len(votes), f.NumClasses))
+	}
+	for i := range votes {
+		votes[i] = 0
+	}
+	for i, t := range f.Trees {
+		votes[t.Predict(x)] += f.Weight(i)
+	}
+}
+
+// Predict returns the weighted-majority class for x. Ties break toward
+// the lowest class index — the same rule Bolt's engine applies, so the
+// two are comparable bit-for-bit.
+func (f *Forest) Predict(x []float32) int {
+	votes := make([]int64, f.NumClasses)
+	f.Votes(x, votes)
+	return Argmax(votes)
+}
+
+// PredictBatch predicts a label for every row of X.
+func (f *Forest) PredictBatch(X [][]float32) []int {
+	out := make([]int, len(X))
+	votes := make([]int64, f.NumClasses)
+	for i, x := range X {
+		f.Votes(x, votes)
+		out[i] = Argmax(votes)
+	}
+	return out
+}
+
+// Proba writes the normalised class-probability estimate for x into out
+// (length NumClasses): each tree contributes its weight to its predicted
+// class, and the column is normalised to sum to 1.
+func (f *Forest) Proba(x []float32, out []float32) {
+	votes := make([]int64, f.NumClasses)
+	f.Votes(x, votes)
+	total := int64(0)
+	for _, v := range votes {
+		total += v
+	}
+	for c, v := range votes {
+		out[c] = float32(float64(v) / float64(total))
+	}
+}
+
+// NumPaths returns the total number of root-to-leaf paths (leaves) in
+// the ensemble — the quantity Bolt's Phase 1 enumerates.
+func (f *Forest) NumPaths() int {
+	n := 0
+	for _, t := range f.Trees {
+		n += t.NumLeaves()
+	}
+	return n
+}
+
+// MaxDepth returns the deepest member tree's depth.
+func (f *Forest) MaxDepth() int {
+	d := 0
+	for _, t := range f.Trees {
+		if td := t.Depth(); td > d {
+			d = td
+		}
+	}
+	return d
+}
+
+// Argmax returns the index of the largest value, breaking ties toward
+// the lowest index.
+func Argmax(votes []int64) int {
+	best := 0
+	for c := 1; c < len(votes); c++ {
+		if votes[c] > votes[best] {
+			best = c
+		}
+	}
+	return best
+}

@@ -1,0 +1,391 @@
+package forest
+
+import (
+	"bytes"
+	"testing"
+	"testing/quick"
+
+	"bolt/internal/dataset"
+	"bolt/internal/rng"
+	"bolt/internal/tree"
+)
+
+func blobForest(t *testing.T, seed uint64) (*Forest, *dataset.Dataset) {
+	t.Helper()
+	d := dataset.SyntheticBlobs(400, 8, 3, 0.8, seed)
+	f := Train(d, Config{NumTrees: 10, Tree: tree.Config{MaxDepth: 4}, Seed: seed})
+	if err := f.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	return f, d
+}
+
+func TestTrainAccuracyBeatsSingleTree(t *testing.T) {
+	d := dataset.SyntheticBlobs(600, 8, 4, 1.8, 1)
+	train, test := d.Split(0.7, 2)
+	single := tree.Train(train, nil, tree.Config{MaxDepth: 4, Seed: 3})
+	f := Train(train, Config{NumTrees: 30, Tree: tree.Config{MaxDepth: 4}, Seed: 3})
+
+	singlePred := make([]int, test.Len())
+	for i, x := range test.X {
+		singlePred[i] = single.Predict(x)
+	}
+	forestPred := f.PredictBatch(test.X)
+	accSingle := dataset.Accuracy(singlePred, test.Y)
+	accForest := dataset.Accuracy(forestPred, test.Y)
+	if accForest < accSingle-0.02 {
+		t.Errorf("forest accuracy %g noticeably below single tree %g", accForest, accSingle)
+	}
+	if accForest < 0.8 {
+		t.Errorf("forest accuracy %g unexpectedly low", accForest)
+	}
+}
+
+func TestForestShapeAndPaths(t *testing.T) {
+	f, _ := blobForest(t, 4)
+	if len(f.Trees) != 10 {
+		t.Fatalf("trained %d trees, want 10", len(f.Trees))
+	}
+	if f.MaxDepth() > 4 {
+		t.Errorf("MaxDepth = %d exceeds configured 4", f.MaxDepth())
+	}
+	wantPaths := 0
+	for _, tr := range f.Trees {
+		wantPaths += tr.NumLeaves()
+	}
+	if got := f.NumPaths(); got != wantPaths {
+		t.Errorf("NumPaths = %d, want %d", got, wantPaths)
+	}
+}
+
+func TestVotesMatchPredict(t *testing.T) {
+	f, d := blobForest(t, 5)
+	votes := make([]int64, f.NumClasses)
+	for _, x := range d.X[:50] {
+		f.Votes(x, votes)
+		total := int64(0)
+		for _, v := range votes {
+			total += v
+		}
+		if total != int64(len(f.Trees))*WeightOne {
+			t.Fatalf("votes sum %d, want %d", total, int64(len(f.Trees))*WeightOne)
+		}
+		if Argmax(votes) != f.Predict(x) {
+			t.Fatal("Votes/Predict disagree")
+		}
+	}
+}
+
+func TestVotesBufferLengthPanics(t *testing.T) {
+	f, d := blobForest(t, 6)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("short votes buffer should panic")
+		}
+	}()
+	f.Votes(d.X[0], make([]int64, 1))
+}
+
+func TestProbaSumsToOne(t *testing.T) {
+	f, d := blobForest(t, 7)
+	out := make([]float32, f.NumClasses)
+	for _, x := range d.X[:20] {
+		f.Proba(x, out)
+		sum := float32(0)
+		for _, p := range out {
+			if p < 0 || p > 1 {
+				t.Fatalf("probability %g outside [0,1]", p)
+			}
+			sum += p
+		}
+		if sum < 0.999 || sum > 1.001 {
+			t.Fatalf("probabilities sum to %g", sum)
+		}
+	}
+}
+
+func TestArgmaxTieBreaksLow(t *testing.T) {
+	if Argmax([]int64{3, 5, 5, 1}) != 1 {
+		t.Error("Argmax should break ties toward the lowest index")
+	}
+	if Argmax([]int64{7}) != 0 {
+		t.Error("Argmax single element")
+	}
+}
+
+func TestWeightDefaults(t *testing.T) {
+	f, _ := blobForest(t, 8)
+	if f.Weight(3) != WeightOne {
+		t.Errorf("unweighted forest Weight = %d, want WeightOne", f.Weight(3))
+	}
+	f.Weights = make([]int64, len(f.Trees))
+	for i := range f.Weights {
+		f.Weights[i] = int64(i + 1)
+	}
+	if f.Weight(3) != 4 {
+		t.Errorf("weighted forest Weight = %d, want 4", f.Weight(3))
+	}
+}
+
+func TestValidateRejectsBadForests(t *testing.T) {
+	f, _ := blobForest(t, 9)
+	cases := map[string]func() *Forest{
+		"no trees": func() *Forest { return &Forest{NumFeatures: 2, NumClasses: 2} },
+		"weight count": func() *Forest {
+			c := *f
+			c.Weights = []int64{1}
+			return &c
+		},
+		"non-positive weight": func() *Forest {
+			c := *f
+			c.Weights = make([]int64, len(f.Trees))
+			return &c
+		},
+		"shape mismatch": func() *Forest {
+			c := *f
+			c.NumFeatures = 99
+			return &c
+		},
+	}
+	for name, mk := range cases {
+		if err := mk().Validate(); err == nil {
+			t.Errorf("%s: invalid forest accepted", name)
+		}
+	}
+}
+
+func TestTrainBoostedWeightsAndAccuracy(t *testing.T) {
+	d := dataset.SyntheticBlobs(500, 6, 3, 2.0, 10)
+	f := TrainBoosted(d, Config{NumTrees: 15, Tree: tree.Config{MaxDepth: 3}, Seed: 11})
+	if err := f.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if f.Weights == nil {
+		t.Fatal("boosted forest has no weights")
+	}
+	// Weights must vary (different rounds have different errors).
+	allSame := true
+	for _, w := range f.Weights[1:] {
+		if w != f.Weights[0] {
+			allSame = false
+			break
+		}
+	}
+	if allSame && len(f.Weights) > 3 {
+		t.Error("all boosted weights identical; boosting not reweighting")
+	}
+	pred := f.PredictBatch(d.X)
+	if acc := dataset.Accuracy(pred, d.Y); acc < 0.75 {
+		t.Errorf("boosted training accuracy %g < 0.75", acc)
+	}
+}
+
+func TestSampleFracAndNoBootstrap(t *testing.T) {
+	d := dataset.SyntheticBlobs(200, 4, 2, 1.0, 12)
+	f1 := Train(d, Config{NumTrees: 5, Tree: tree.Config{MaxDepth: 3}, SampleFrac: 0.5, Seed: 13})
+	if err := f1.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	f2 := Train(d, Config{NumTrees: 5, Tree: tree.Config{MaxDepth: 3}, DisableBootstrap: true, Seed: 13})
+	if err := f2.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	// Without bootstrap, trees differ only via feature subsetting but
+	// must still all be valid and usable.
+	if len(f2.Trees) != 5 {
+		t.Fatalf("got %d trees", len(f2.Trees))
+	}
+}
+
+func TestTrainDeterministic(t *testing.T) {
+	d := dataset.SyntheticBlobs(200, 4, 2, 1.0, 14)
+	a := Train(d, Config{NumTrees: 4, Tree: tree.Config{MaxDepth: 3}, Seed: 15})
+	b := Train(d, Config{NumTrees: 4, Tree: tree.Config{MaxDepth: 3}, Seed: 15})
+	r := rng.New(16)
+	for i := 0; i < 200; i++ {
+		x := make([]float32, d.NumFeatures)
+		for j := range x {
+			x[j] = float32(r.Float64() * 40)
+		}
+		if a.Predict(x) != b.Predict(x) {
+			t.Fatal("same-seed forests disagree")
+		}
+	}
+}
+
+func TestDeepForestTrainsAndPredicts(t *testing.T) {
+	d := dataset.SyntheticBlobs(400, 6, 3, 1.2, 17)
+	df := TrainDeep(d, DeepConfig{
+		NumLayers:       2,
+		ForestsPerLayer: 2,
+		Forest:          Config{NumTrees: 8, Tree: tree.Config{MaxDepth: 4}},
+		Seed:            18,
+	})
+	if err := df.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if len(df.Layers) != 2 || len(df.Layers[0]) != 2 {
+		t.Fatalf("cascade shape %dx%d, want 2x2", len(df.Layers), len(df.Layers[0]))
+	}
+	// Layer 1 must consume original + 2 forests × 3 classes features.
+	if w := df.LayerInputWidth(1); w != 6+2*3 {
+		t.Fatalf("layer 1 input width %d, want 12", w)
+	}
+	pred := make([]int, d.Len())
+	for i, x := range d.X {
+		pred[i] = df.Predict(x)
+	}
+	if acc := dataset.Accuracy(pred, d.Y); acc < 0.85 {
+		t.Errorf("deep forest training accuracy %g < 0.85", acc)
+	}
+}
+
+func TestDeepForestValidateRejects(t *testing.T) {
+	d := dataset.SyntheticBlobs(100, 4, 2, 1.0, 19)
+	df := TrainDeep(d, DeepConfig{Forest: Config{NumTrees: 3, Tree: tree.Config{MaxDepth: 2}}, Seed: 20})
+	if err := df.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	bad := &DeepForest{NumFeatures: 4, NumClasses: 2}
+	if bad.Validate() == nil {
+		t.Error("empty cascade accepted")
+	}
+	bad2 := &DeepForest{Layers: [][]*Forest{{}}, NumFeatures: 4, NumClasses: 2}
+	if bad2.Validate() == nil {
+		t.Error("empty layer accepted")
+	}
+	bad3 := &DeepForest{Layers: [][]*Forest{{df.Layers[1][0]}}, NumFeatures: 4, NumClasses: 2}
+	if bad3.Validate() == nil {
+		t.Error("mis-wired layer accepted")
+	}
+}
+
+func TestEncodeDecodeRoundTrip(t *testing.T) {
+	f, d := blobForest(t, 21)
+	f.Weights = make([]int64, len(f.Trees))
+	for i := range f.Weights {
+		f.Weights[i] = WeightOne + int64(i)
+	}
+	var buf bytes.Buffer
+	if err := Encode(&buf, f); err != nil {
+		t.Fatal(err)
+	}
+	g, err := Decode(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.NumFeatures != f.NumFeatures || g.NumClasses != f.NumClasses || len(g.Trees) != len(f.Trees) {
+		t.Fatal("decoded shape differs")
+	}
+	for i := range f.Weights {
+		if g.Weights[i] != f.Weights[i] {
+			t.Fatal("decoded weights differ")
+		}
+	}
+	for _, x := range d.X[:100] {
+		if f.Predict(x) != g.Predict(x) {
+			t.Fatal("decoded forest mispredicts")
+		}
+	}
+}
+
+func TestDecodeRejectsCorrupt(t *testing.T) {
+	f, _ := blobForest(t, 22)
+	var buf bytes.Buffer
+	if err := Encode(&buf, f); err != nil {
+		t.Fatal(err)
+	}
+	good := buf.Bytes()
+
+	cases := map[string][]byte{
+		"empty":     {},
+		"short":     good[:10],
+		"truncated": good[:len(good)-5],
+		"bad magic": append([]byte{1, 2, 3, 4}, good[4:]...),
+	}
+	for name, data := range cases {
+		if _, err := Decode(bytes.NewReader(data)); err == nil {
+			t.Errorf("%s: corrupt model accepted", name)
+		}
+	}
+
+	// Version flip.
+	bad := append([]byte(nil), good...)
+	bad[4] = 99
+	if _, err := Decode(bytes.NewReader(bad)); err == nil {
+		t.Error("wrong version accepted")
+	}
+}
+
+func TestEncodeRejectsInvalid(t *testing.T) {
+	var buf bytes.Buffer
+	if err := Encode(&buf, &Forest{NumFeatures: 1, NumClasses: 1}); err == nil {
+		t.Error("Encode accepted invalid forest")
+	}
+}
+
+func TestDeepEncodeDecodeRoundTrip(t *testing.T) {
+	d := dataset.SyntheticBlobs(200, 5, 3, 1.0, 23)
+	df := TrainDeep(d, DeepConfig{
+		NumLayers: 2, ForestsPerLayer: 2,
+		Forest: Config{NumTrees: 4, Tree: tree.Config{MaxDepth: 3}}, Seed: 24,
+	})
+	var buf bytes.Buffer
+	if err := EncodeDeep(&buf, df); err != nil {
+		t.Fatal(err)
+	}
+	back, err := DecodeDeep(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, x := range d.X[:100] {
+		if df.Predict(x) != back.Predict(x) {
+			t.Fatal("decoded cascade mispredicts")
+		}
+	}
+}
+
+func TestDeepDecodeRejectsCorrupt(t *testing.T) {
+	d := dataset.SyntheticBlobs(100, 4, 2, 1.0, 25)
+	df := TrainDeep(d, DeepConfig{Forest: Config{NumTrees: 3, Tree: tree.Config{MaxDepth: 2}}, Seed: 26})
+	var buf bytes.Buffer
+	if err := EncodeDeep(&buf, df); err != nil {
+		t.Fatal(err)
+	}
+	good := buf.Bytes()
+	for name, data := range map[string][]byte{
+		"empty":     {},
+		"truncated": good[:len(good)/2],
+		"bad magic": append([]byte{9, 9, 9, 9}, good[4:]...),
+	} {
+		if _, err := DecodeDeep(bytes.NewReader(data)); err == nil {
+			t.Errorf("%s: corrupt cascade accepted", name)
+		}
+	}
+	// A forest file is not a cascade file.
+	f, _ := blobForest(t, 27)
+	var fbuf bytes.Buffer
+	if err := Encode(&fbuf, f); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := DecodeDeep(&fbuf); err == nil {
+		t.Error("forest file accepted as cascade")
+	}
+}
+
+// Property: weighted majority with unit weights equals plain majority of
+// tree predictions.
+func TestPredictMatchesMajorityQuick(t *testing.T) {
+	f, d := blobForest(t, 28)
+	check := func(i uint16) bool {
+		x := d.X[int(i)%d.Len()]
+		counts := make([]int64, f.NumClasses)
+		for _, tr := range f.Trees {
+			counts[tr.Predict(x)]++
+		}
+		return Argmax(counts) == f.Predict(x)
+	}
+	if err := quick.Check(check, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,57 @@
+package forest
+
+import (
+	"bytes"
+	"testing"
+
+	"bolt/internal/dataset"
+	"bolt/internal/tree"
+)
+
+// FuzzDecode throws arbitrary bytes at the model decoder: it must never
+// panic and never accept a model that fails validation. Seeded with a
+// real encoding so the corpus mutates interesting structure.
+func FuzzDecode(f *testing.F) {
+	d := dataset.SyntheticBlobs(100, 4, 2, 1.0, 51)
+	fst := Train(d, Config{NumTrees: 3, Tree: tree.Config{MaxDepth: 3}, Seed: 52})
+	var buf bytes.Buffer
+	if err := Encode(&buf, fst); err != nil {
+		f.Fatal(err)
+	}
+	f.Add(buf.Bytes())
+	f.Add([]byte{})
+	f.Add([]byte{0x4e, 0xf0, 0x17, 0xb0}) // magic only
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		fst, err := Decode(bytes.NewReader(data))
+		if err != nil {
+			return
+		}
+		// Anything the decoder accepts must be internally valid.
+		if err := fst.Validate(); err != nil {
+			t.Fatalf("decoder accepted invalid forest: %v", err)
+		}
+	})
+}
+
+// FuzzDecodeDeep mirrors FuzzDecode for cascade files.
+func FuzzDecodeDeep(f *testing.F) {
+	d := dataset.SyntheticBlobs(80, 4, 2, 1.0, 53)
+	df := TrainDeep(d, DeepConfig{Forest: Config{NumTrees: 2, Tree: tree.Config{MaxDepth: 2}}, Seed: 54})
+	var buf bytes.Buffer
+	if err := EncodeDeep(&buf, df); err != nil {
+		f.Fatal(err)
+	}
+	f.Add(buf.Bytes())
+	f.Add([]byte{})
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		df, err := DecodeDeep(bytes.NewReader(data))
+		if err != nil {
+			return
+		}
+		if err := df.Validate(); err != nil {
+			t.Fatalf("decoder accepted invalid cascade: %v", err)
+		}
+	})
+}

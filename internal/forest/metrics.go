@@ -1,0 +1,174 @@
+package forest
+
+import (
+	"fmt"
+
+	"bolt/internal/dataset"
+	"bolt/internal/rng"
+	"bolt/internal/tree"
+)
+
+// TrainWithOOB trains a random forest like Train and additionally
+// returns the out-of-bag accuracy estimate: each sample is scored only
+// by the trees whose bootstrap did not contain it, giving an unbiased
+// generalisation estimate without a held-out split (standard
+// random-forest practice; useful when sizing the forests the paper's
+// experiments sweep).
+func TrainWithOOB(d *dataset.Dataset, cfg Config) (*Forest, float64) {
+	cfg = cfg.normalized()
+	if cfg.DisableBootstrap {
+		panic("forest: OOB estimation requires bootstrap sampling")
+	}
+	f := &Forest{
+		Trees:       make([]*tree.Tree, cfg.NumTrees),
+		NumFeatures: d.NumFeatures,
+		NumClasses:  d.NumClasses,
+	}
+	r := rng.New(cfg.Seed)
+	n := d.Len()
+	sampleN := int(float64(n) * cfg.SampleFrac)
+	if sampleN < 1 {
+		sampleN = 1
+	}
+	inBag := make([]bool, n)
+	oobVotes := make([][]int32, n)
+	for i := range oobVotes {
+		oobVotes[i] = make([]int32, d.NumClasses)
+	}
+	for ti := range f.Trees {
+		for i := range inBag {
+			inBag[i] = false
+		}
+		idx := make([]int, sampleN)
+		for j := range idx {
+			idx[j] = r.Intn(n)
+			inBag[idx[j]] = true
+		}
+		tc := cfg.Tree
+		tc.Seed = rng.Mix64(cfg.Seed ^ uint64(ti+1))
+		t := tree.Train(d, idx, tc)
+		f.Trees[ti] = t
+		for i := 0; i < n; i++ {
+			if !inBag[i] {
+				oobVotes[i][t.Predict(d.X[i])]++
+			}
+		}
+	}
+	correct, scored := 0, 0
+	for i := 0; i < n; i++ {
+		best, bestV := -1, int32(0)
+		for c, v := range oobVotes[i] {
+			if v > bestV {
+				best, bestV = c, v
+			}
+		}
+		if best < 0 {
+			continue // never out of bag — possible for tiny forests
+		}
+		scored++
+		if best == d.Y[i] {
+			correct++
+		}
+	}
+	oob := 0.0
+	if scored > 0 {
+		oob = float64(correct) / float64(scored)
+	}
+	return f, oob
+}
+
+// FeatureImportance returns the normalised mean-decrease-in-impurity
+// (Gini) importance of every feature, aggregated over the ensemble —
+// the global companion to Bolt's per-sample Salience explanations.
+// Importances sum to 1 (all zeros for a forest of bare leaves).
+func (f *Forest) FeatureImportance() []float64 {
+	imp := make([]float64, f.NumFeatures)
+	for _, t := range f.Trees {
+		accumulateImportance(t, imp)
+	}
+	total := 0.0
+	for _, v := range imp {
+		total += v
+	}
+	if total > 0 {
+		for i := range imp {
+			imp[i] /= total
+		}
+	}
+	return imp
+}
+
+// accumulateImportance adds each split's weighted impurity decrease to
+// its feature. Node sample counts are recovered from leaf counts.
+func accumulateImportance(t *tree.Tree, imp []float64) {
+	type nodeStat struct {
+		n      float64
+		counts []int32
+	}
+	stats := make([]nodeStat, len(t.Nodes))
+	// Bottom-up: children appear after parents, so a reverse pass sees
+	// children before their parent.
+	for i := len(t.Nodes) - 1; i >= 0; i-- {
+		node := &t.Nodes[i]
+		if node.IsLeaf() {
+			n := 0.0
+			for _, c := range node.Counts {
+				n += float64(c)
+			}
+			stats[i] = nodeStat{n: n, counts: node.Counts}
+			continue
+		}
+		l, r := stats[node.Left], stats[node.Right]
+		counts := make([]int32, len(l.counts))
+		copy(counts, l.counts)
+		for c := range r.counts {
+			counts[c] += r.counts[c]
+		}
+		stats[i] = nodeStat{n: l.n + r.n, counts: counts}
+	}
+	root := stats[0].n
+	if root == 0 {
+		return
+	}
+	for i := range t.Nodes {
+		node := &t.Nodes[i]
+		if node.IsLeaf() {
+			continue
+		}
+		s, l, r := stats[i], stats[node.Left], stats[node.Right]
+		if s.n == 0 {
+			continue
+		}
+		decrease := gini(s.counts, s.n) - (l.n/s.n)*gini(l.counts, l.n) - (r.n/s.n)*gini(r.counts, r.n)
+		imp[node.Feature] += (s.n / root) * decrease
+	}
+}
+
+func gini(counts []int32, n float64) float64 {
+	if n == 0 {
+		return 0
+	}
+	sumSq := 0.0
+	for _, c := range counts {
+		p := float64(c) / n
+		sumSq += p * p
+	}
+	return 1 - sumSq
+}
+
+// ConfusionMatrix returns an NumClasses×NumClasses matrix m where
+// m[actual][predicted] counts test outcomes.
+func (f *Forest) ConfusionMatrix(d *dataset.Dataset) ([][]int, error) {
+	if d.NumFeatures != f.NumFeatures || d.NumClasses != f.NumClasses {
+		return nil, fmt.Errorf("forest: dataset shape %d/%d does not match forest %d/%d",
+			d.NumFeatures, d.NumClasses, f.NumFeatures, f.NumClasses)
+	}
+	m := make([][]int, f.NumClasses)
+	for i := range m {
+		m[i] = make([]int, f.NumClasses)
+	}
+	for i, x := range d.X {
+		m[d.Y[i]][f.Predict(x)]++
+	}
+	return m, nil
+}

@@ -1,0 +1,124 @@
+package forest
+
+import (
+	"math"
+	"testing"
+
+	"bolt/internal/dataset"
+	"bolt/internal/tree"
+)
+
+func TestTrainWithOOB(t *testing.T) {
+	all := dataset.SyntheticBlobs(800, 8, 3, 1.2, 31)
+	train, test := all.Split(0.7, 30)
+	f, oob := TrainWithOOB(train, Config{NumTrees: 20, Tree: tree.Config{MaxDepth: 4}, Seed: 32})
+	if err := f.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if oob <= 0.5 || oob > 1 {
+		t.Errorf("OOB accuracy %g implausible for separable blobs", oob)
+	}
+	// OOB should roughly track held-out accuracy on the same distribution.
+	acc := dataset.Accuracy(f.PredictBatch(test.X), test.Y)
+	if math.Abs(acc-oob) > 0.15 {
+		t.Errorf("OOB %g far from held-out accuracy %g", oob, acc)
+	}
+}
+
+func TestTrainWithOOBPanicsWithoutBootstrap(t *testing.T) {
+	d := dataset.SyntheticBlobs(50, 4, 2, 1, 34)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	TrainWithOOB(d, Config{NumTrees: 2, DisableBootstrap: true})
+}
+
+func TestFeatureImportance(t *testing.T) {
+	// Only feature 0 carries signal: importance must concentrate there.
+	n := 400
+	d := &dataset.Dataset{Name: "one-signal", NumFeatures: 5, NumClasses: 2,
+		X: make([][]float32, n), Y: make([]int, n)}
+	r := newTestRand(35)
+	for i := 0; i < n; i++ {
+		x := make([]float32, 5)
+		for j := range x {
+			x[j] = r.f32()
+		}
+		if x[0] > 0.5 {
+			d.Y[i] = 1
+		}
+		d.X[i] = x
+	}
+	f := Train(d, Config{NumTrees: 10, Tree: tree.Config{MaxDepth: 4, MaxFeatures: -1}, Seed: 36})
+	imp := f.FeatureImportance()
+	if len(imp) != 5 {
+		t.Fatalf("importance length %d", len(imp))
+	}
+	sum := 0.0
+	for _, v := range imp {
+		if v < 0 {
+			t.Fatalf("negative importance %g", v)
+		}
+		sum += v
+	}
+	if math.Abs(sum-1) > 1e-9 {
+		t.Fatalf("importances sum to %g", sum)
+	}
+	if imp[0] < 0.8 {
+		t.Errorf("signal feature importance %g < 0.8 (all: %v)", imp[0], imp)
+	}
+}
+
+func TestFeatureImportanceDegenerate(t *testing.T) {
+	// Pure labels -> single-leaf trees -> all-zero importance.
+	d := &dataset.Dataset{Name: "pure", NumFeatures: 2, NumClasses: 2,
+		X: [][]float32{{1, 2}, {3, 4}}, Y: []int{1, 1}}
+	f := Train(d, Config{NumTrees: 3, Tree: tree.Config{MaxDepth: 3}, Seed: 37})
+	for _, v := range f.FeatureImportance() {
+		if v != 0 {
+			t.Fatalf("degenerate forest has nonzero importance %g", v)
+		}
+	}
+}
+
+func TestConfusionMatrix(t *testing.T) {
+	d := dataset.SyntheticBlobs(300, 6, 3, 0.8, 38)
+	f := Train(d, Config{NumTrees: 8, Tree: tree.Config{MaxDepth: 4}, Seed: 39})
+	m, err := f.ConfusionMatrix(d)
+	if err != nil {
+		t.Fatal(err)
+	}
+	total, diag := 0, 0
+	for i := range m {
+		for j := range m[i] {
+			total += m[i][j]
+			if i == j {
+				diag += m[i][j]
+			}
+		}
+	}
+	if total != d.Len() {
+		t.Fatalf("confusion total %d != %d samples", total, d.Len())
+	}
+	if acc := dataset.Accuracy(f.PredictBatch(d.X), d.Y); math.Abs(acc-float64(diag)/float64(total)) > 1e-9 {
+		t.Fatal("diagonal does not match accuracy")
+	}
+	// Shape mismatch rejected.
+	bad := dataset.SyntheticBlobs(10, 3, 3, 1, 40)
+	if _, err := f.ConfusionMatrix(bad); err == nil {
+		t.Fatal("shape mismatch accepted")
+	}
+}
+
+// newTestRand is a tiny local PRNG wrapper to avoid importing rng here
+// with a name collision.
+type testRand struct{ s uint64 }
+
+func newTestRand(seed uint64) *testRand { return &testRand{s: seed} }
+
+func (t *testRand) f32() float32 {
+	t.s = t.s*6364136223846793005 + 1442695040888963407
+	return float32(t.s>>40) / float32(1<<24)
+}

@@ -1,0 +1,340 @@
+package forest
+
+import (
+	"bufio"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+	"math"
+
+	"bolt/internal/tree"
+)
+
+func floatBits(f float32) uint32     { return math.Float32bits(f) }
+func floatFromBits(b uint32) float32 { return math.Float32frombits(b) }
+
+// Binary model format. A compact little-endian stream rather than gob:
+// the layout is stable across releases, cheap to decode, and exercises
+// the explicit data-layout discipline the paper's implementation section
+// is about. All integers are little-endian.
+
+const (
+	forestMagic = uint32(0xb017f04e) // "bolt forest"
+	deepMagic   = uint32(0xb017dee9) // "bolt deep"
+	// formatVersion 2 added regression fields (kind, bias, additive,
+	// node values); version-1 readers never shipped.
+	formatVersion = uint16(2)
+
+	// maxReasonable bounds decoded counts so corrupt or adversarial
+	// files fail fast instead of attempting huge allocations.
+	maxReasonable = 1 << 28
+)
+
+// Encode writes the forest to w in the binary model format.
+func Encode(w io.Writer, f *Forest) error {
+	if err := f.Validate(); err != nil {
+		return fmt.Errorf("forest: refusing to encode invalid model: %w", err)
+	}
+	bw := bufio.NewWriter(w)
+	writeU32(bw, forestMagic)
+	writeU16(bw, formatVersion)
+	writeU32(bw, uint32(f.NumFeatures))
+	writeU32(bw, uint32(f.NumClasses))
+	writeU8(bw, uint8(f.Kind))
+	if f.Additive {
+		writeU8(bw, 1)
+	} else {
+		writeU8(bw, 0)
+	}
+	writeU64(bw, uint64(f.Bias))
+	writeU32(bw, uint32(len(f.Trees)))
+	if f.Weights != nil {
+		writeU8(bw, 1)
+		for _, wt := range f.Weights {
+			writeU64(bw, uint64(wt))
+		}
+	} else {
+		writeU8(bw, 0)
+	}
+	for _, t := range f.Trees {
+		writeU32(bw, uint32(len(t.Nodes)))
+		for i := range t.Nodes {
+			n := &t.Nodes[i]
+			writeU32(bw, uint32(n.Feature))
+			writeU32(bw, floatBits(n.Threshold))
+			writeU32(bw, uint32(n.Left))
+			writeU32(bw, uint32(n.Right))
+			writeU32(bw, uint32(n.Label))
+			writeU32(bw, floatBits(n.Value))
+			writeU32(bw, uint32(len(n.Counts)))
+			for _, c := range n.Counts {
+				writeU32(bw, uint32(c))
+			}
+		}
+	}
+	return bw.Flush()
+}
+
+// Decode reads a forest from r and validates it.
+func Decode(r io.Reader) (*Forest, error) {
+	br := bufio.NewReader(r)
+	magic, err := readU32(br)
+	if err != nil {
+		return nil, fmt.Errorf("forest: reading magic: %w", err)
+	}
+	if magic != forestMagic {
+		return nil, fmt.Errorf("forest: bad magic %#x (not a forest model file)", magic)
+	}
+	return decodeBody(br)
+}
+
+func decodeBody(br *bufio.Reader) (*Forest, error) {
+	version, err := readU16(br)
+	if err != nil {
+		return nil, err
+	}
+	if version != formatVersion {
+		return nil, fmt.Errorf("forest: unsupported model version %d", version)
+	}
+	nf, err := readU32(br)
+	if err != nil {
+		return nil, err
+	}
+	nc, err := readU32(br)
+	if err != nil {
+		return nil, err
+	}
+	kindByte, err := readU8(br)
+	if err != nil {
+		return nil, err
+	}
+	additiveByte, err := readU8(br)
+	if err != nil {
+		return nil, err
+	}
+	bias, err := readU64(br)
+	if err != nil {
+		return nil, err
+	}
+	nt, err := readU32(br)
+	if err != nil {
+		return nil, err
+	}
+	if nt == 0 || nt > maxReasonable || nf > maxReasonable || nc > maxReasonable {
+		return nil, fmt.Errorf("forest: implausible model header (trees=%d features=%d classes=%d)", nt, nf, nc)
+	}
+	if kindByte > 1 || additiveByte > 1 {
+		return nil, fmt.Errorf("forest: corrupt kind/additive flags %d/%d", kindByte, additiveByte)
+	}
+	f := &Forest{
+		Trees:       make([]*tree.Tree, nt),
+		NumFeatures: int(nf),
+		NumClasses:  int(nc),
+		Kind:        tree.Kind(kindByte),
+		Additive:    additiveByte == 1,
+		Bias:        int64(bias),
+	}
+	hasWeights, err := readU8(br)
+	if err != nil {
+		return nil, err
+	}
+	if hasWeights == 1 {
+		f.Weights = make([]int64, nt)
+		for i := range f.Weights {
+			v, err := readU64(br)
+			if err != nil {
+				return nil, err
+			}
+			f.Weights[i] = int64(v)
+		}
+	} else if hasWeights != 0 {
+		return nil, fmt.Errorf("forest: corrupt weights flag %d", hasWeights)
+	}
+	for ti := range f.Trees {
+		nn, err := readU32(br)
+		if err != nil {
+			return nil, err
+		}
+		if nn == 0 || nn > maxReasonable {
+			return nil, fmt.Errorf("forest: tree %d has implausible node count %d", ti, nn)
+		}
+		t := &tree.Tree{
+			Nodes:       make([]tree.Node, nn),
+			NumFeatures: int(nf),
+			NumClasses:  int(nc),
+			Kind:        tree.Kind(kindByte),
+		}
+		for i := range t.Nodes {
+			n := &t.Nodes[i]
+			vals := make([]uint32, 7)
+			for j := range vals {
+				if vals[j], err = readU32(br); err != nil {
+					return nil, fmt.Errorf("forest: tree %d node %d: %w", ti, i, err)
+				}
+			}
+			n.Feature = int32(vals[0])
+			n.Threshold = floatFromBits(vals[1])
+			n.Left = int32(vals[2])
+			n.Right = int32(vals[3])
+			n.Label = int32(vals[4])
+			n.Value = floatFromBits(vals[5])
+			ncounts := vals[6]
+			if ncounts > uint32(nc) {
+				return nil, fmt.Errorf("forest: tree %d node %d claims %d counts", ti, i, ncounts)
+			}
+			if ncounts > 0 {
+				n.Counts = make([]int32, ncounts)
+				for k := range n.Counts {
+					v, err := readU32(br)
+					if err != nil {
+						return nil, err
+					}
+					n.Counts[k] = int32(v)
+				}
+			}
+		}
+		f.Trees[ti] = t
+	}
+	if err := f.Validate(); err != nil {
+		return nil, fmt.Errorf("forest: decoded model invalid: %w", err)
+	}
+	return f, nil
+}
+
+// EncodeDeep writes a deep forest cascade to w.
+func EncodeDeep(w io.Writer, df *DeepForest) error {
+	if err := df.Validate(); err != nil {
+		return fmt.Errorf("forest: refusing to encode invalid cascade: %w", err)
+	}
+	bw := bufio.NewWriter(w)
+	writeU32(bw, deepMagic)
+	writeU16(bw, formatVersion)
+	writeU32(bw, uint32(df.NumFeatures))
+	writeU32(bw, uint32(df.NumClasses))
+	writeU32(bw, uint32(len(df.Layers)))
+	if err := bw.Flush(); err != nil {
+		return err
+	}
+	for _, layer := range df.Layers {
+		if err := binary.Write(w, binary.LittleEndian, uint32(len(layer))); err != nil {
+			return err
+		}
+		for _, f := range layer {
+			if err := Encode(w, f); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+// DecodeDeep reads a deep forest cascade from r and validates it.
+func DecodeDeep(r io.Reader) (*DeepForest, error) {
+	br := bufio.NewReader(r)
+	magic, err := readU32(br)
+	if err != nil {
+		return nil, fmt.Errorf("forest: reading magic: %w", err)
+	}
+	if magic != deepMagic {
+		return nil, fmt.Errorf("forest: bad magic %#x (not a deep forest file)", magic)
+	}
+	version, err := readU16(br)
+	if err != nil {
+		return nil, err
+	}
+	if version != formatVersion {
+		return nil, fmt.Errorf("forest: unsupported cascade version %d", version)
+	}
+	nf, err := readU32(br)
+	if err != nil {
+		return nil, err
+	}
+	nc, err := readU32(br)
+	if err != nil {
+		return nil, err
+	}
+	nl, err := readU32(br)
+	if err != nil {
+		return nil, err
+	}
+	if nl == 0 || nl > 1024 {
+		return nil, fmt.Errorf("forest: implausible layer count %d", nl)
+	}
+	df := &DeepForest{
+		Layers:      make([][]*Forest, nl),
+		NumFeatures: int(nf),
+		NumClasses:  int(nc),
+	}
+	for l := range df.Layers {
+		cnt, err := readU32(br)
+		if err != nil {
+			return nil, err
+		}
+		if cnt == 0 || cnt > 4096 {
+			return nil, fmt.Errorf("forest: implausible forest count %d in layer %d", cnt, l)
+		}
+		df.Layers[l] = make([]*Forest, cnt)
+		for j := range df.Layers[l] {
+			magic, err := readU32(br)
+			if err != nil {
+				return nil, err
+			}
+			if magic != forestMagic {
+				return nil, errors.New("forest: cascade member missing forest magic")
+			}
+			f, err := decodeBody(br)
+			if err != nil {
+				return nil, fmt.Errorf("forest: layer %d member %d: %w", l, j, err)
+			}
+			df.Layers[l][j] = f
+		}
+	}
+	if err := df.Validate(); err != nil {
+		return nil, fmt.Errorf("forest: decoded cascade invalid: %w", err)
+	}
+	return df, nil
+}
+
+func writeU8(w *bufio.Writer, v uint8) { w.WriteByte(v) }
+func writeU16(w *bufio.Writer, v uint16) {
+	var b [2]byte
+	binary.LittleEndian.PutUint16(b[:], v)
+	w.Write(b[:])
+}
+func writeU32(w *bufio.Writer, v uint32) {
+	var b [4]byte
+	binary.LittleEndian.PutUint32(b[:], v)
+	w.Write(b[:])
+}
+func writeU64(w *bufio.Writer, v uint64) {
+	var b [8]byte
+	binary.LittleEndian.PutUint64(b[:], v)
+	w.Write(b[:])
+}
+
+func readU8(r *bufio.Reader) (uint8, error) { return r.ReadByte() }
+
+func readU16(r *bufio.Reader) (uint16, error) {
+	var b [2]byte
+	if _, err := io.ReadFull(r, b[:]); err != nil {
+		return 0, err
+	}
+	return binary.LittleEndian.Uint16(b[:]), nil
+}
+
+func readU32(r *bufio.Reader) (uint32, error) {
+	var b [4]byte
+	if _, err := io.ReadFull(r, b[:]); err != nil {
+		return 0, err
+	}
+	return binary.LittleEndian.Uint32(b[:]), nil
+}
+
+func readU64(r *bufio.Reader) (uint64, error) {
+	var b [8]byte
+	if _, err := io.ReadFull(r, b[:]); err != nil {
+		return 0, err
+	}
+	return binary.LittleEndian.Uint64(b[:]), nil
+}

@@ -1,0 +1,192 @@
+package forest
+
+import (
+	"fmt"
+	"math"
+
+	"bolt/internal/dataset"
+	"bolt/internal/rng"
+	"bolt/internal/tree"
+)
+
+// Regression support. Predictions stay in the integer domain end to
+// end, exactly like classification votes: each tree contributes
+// Contribution(leafValue, treeWeight) — a fixed-point product — and the
+// final float is produced by one division at the very end. Bolt
+// pre-sums the same integer contributions at compile time, so the
+// safety property (Bolt == forest, bit-for-bit) holds for regression
+// too.
+
+// Contribution quantises one tree's output: round(value × weight),
+// where weight is WeightOne-scaled fixed point. Both the plain forest
+// and Bolt's compiler use this exact expression.
+func Contribution(value float32, weight int64) int64 {
+	return int64(math.RoundToEven(float64(value) * float64(weight)))
+}
+
+// TrainRegressionForest fits a bagged regression forest: bootstrap
+// samples, variance-reduction trees, mean aggregation.
+func TrainRegressionForest(d *dataset.Dataset, cfg Config) *Forest {
+	if !d.IsRegression() {
+		panic("forest: TrainRegressionForest requires a regression dataset")
+	}
+	cfg = cfg.normalized()
+	f := &Forest{
+		Trees:       make([]*tree.Tree, cfg.NumTrees),
+		NumFeatures: d.NumFeatures,
+		Kind:        tree.Regression,
+	}
+	r := rng.New(cfg.Seed)
+	n := d.Len()
+	sampleN := int(float64(n) * cfg.SampleFrac)
+	if sampleN < 1 {
+		sampleN = 1
+	}
+	for i := range f.Trees {
+		var idx []int
+		if !cfg.DisableBootstrap {
+			idx = make([]int, sampleN)
+			for j := range idx {
+				idx[j] = r.Intn(n)
+			}
+		}
+		tc := cfg.Tree
+		tc.Seed = rng.Mix64(cfg.Seed ^ uint64(i+1))
+		f.Trees[i] = tree.TrainRegression(d, idx, tc)
+	}
+	return f
+}
+
+// GBTConfig controls gradient-boosted regression training.
+type GBTConfig struct {
+	// Rounds is the number of boosting stages; 0 means 50.
+	Rounds int
+	// LearningRate is the shrinkage applied to every stage; 0 means 0.1.
+	LearningRate float64
+	// Tree configures the weak learners; a MaxDepth of 0 means 3.
+	Tree tree.Config
+	// Seed drives feature subsampling.
+	Seed uint64
+}
+
+func (c GBTConfig) normalized() GBTConfig {
+	if c.Rounds <= 0 {
+		c.Rounds = 50
+	}
+	if c.LearningRate <= 0 {
+		c.LearningRate = 0.1
+	}
+	if c.Tree.MaxDepth == 0 {
+		c.Tree.MaxDepth = 3
+	}
+	return c
+}
+
+// TrainGBT fits a least-squares gradient-boosted regression ensemble
+// (Friedman, 2001): F0 is the target mean, every stage fits a shallow
+// regression tree to the current residuals and joins the ensemble with
+// weight learningRate — the weighted-tree structure the paper supports
+// "by simply adding the corresponding tree weight to each path" (§5).
+func TrainGBT(d *dataset.Dataset, cfg GBTConfig) *Forest {
+	if !d.IsRegression() {
+		panic("forest: TrainGBT requires a regression dataset")
+	}
+	cfg = cfg.normalized()
+	n := d.Len()
+
+	mean := 0.0
+	for _, v := range d.Values {
+		mean += float64(v)
+	}
+	mean /= float64(n)
+
+	f := &Forest{
+		Trees:       make([]*tree.Tree, 0, cfg.Rounds),
+		Weights:     make([]int64, 0, cfg.Rounds),
+		NumFeatures: d.NumFeatures,
+		Kind:        tree.Regression,
+		Additive:    true,
+		Bias:        int64(math.RoundToEven(mean * float64(WeightOne))),
+	}
+	stageWeight := int64(math.RoundToEven(cfg.LearningRate * float64(WeightOne)))
+	if stageWeight < 1 {
+		stageWeight = 1
+	}
+
+	// current holds F(x_i) in the same fixed-point arithmetic inference
+	// uses, so training residuals match what the ensemble will output.
+	current := make([]int64, n)
+	for i := range current {
+		current[i] = f.Bias
+	}
+	residual := &dataset.Dataset{
+		Name:        d.Name + "/residuals",
+		NumFeatures: d.NumFeatures,
+		X:           d.X,
+		Values:      make([]float32, n),
+	}
+	for round := 0; round < cfg.Rounds; round++ {
+		for i := range residual.Values {
+			residual.Values[i] = d.Values[i] - float32(float64(current[i])/float64(WeightOne))
+		}
+		tc := cfg.Tree
+		tc.Seed = rng.Mix64(cfg.Seed ^ uint64(round+1))
+		t := tree.TrainRegression(residual, nil, tc)
+		f.Trees = append(f.Trees, t)
+		f.Weights = append(f.Weights, stageWeight)
+		for i := range current {
+			current[i] += Contribution(t.PredictValue(d.X[i]), stageWeight)
+		}
+	}
+	return f
+}
+
+// ValueVotes returns the integer sum of per-tree contributions for x
+// (excluding Bias) — the regression analogue of Votes.
+func (f *Forest) ValueVotes(x []float32) int64 {
+	if f.Kind != tree.Regression {
+		panic("forest: ValueVotes on a classification forest")
+	}
+	total := int64(0)
+	for i, t := range f.Trees {
+		total += Contribution(t.PredictValue(x), f.Weight(i))
+	}
+	return total
+}
+
+// PredictValue returns the ensemble's regression output for x:
+// (Bias + Σ contributions) / WeightOne for additive (boosted)
+// ensembles, Σ contributions / Σ weights for mean (bagged) ensembles.
+func (f *Forest) PredictValue(x []float32) float32 {
+	v := f.Bias + f.ValueVotes(x)
+	return float32(float64(v) / float64(f.valueDenominator()))
+}
+
+// valueDenominator is the fixed-point divisor PredictValue applies.
+func (f *Forest) valueDenominator() int64 {
+	if f.Additive {
+		return WeightOne
+	}
+	total := int64(0)
+	for i := range f.Trees {
+		total += f.Weight(i)
+	}
+	return total
+}
+
+// PredictValueBatch evaluates every row of X.
+func (f *Forest) PredictValueBatch(X [][]float32) []float32 {
+	out := make([]float32, len(X))
+	for i, x := range X {
+		out[i] = f.PredictValue(x)
+	}
+	return out
+}
+
+// validateRegression holds the regression-specific Validate checks.
+func (f *Forest) validateRegression() error {
+	if f.NumClasses != 0 {
+		return fmt.Errorf("forest: regression forest claims %d classes", f.NumClasses)
+	}
+	return nil
+}

@@ -1,0 +1,171 @@
+package forest
+
+import (
+	"bytes"
+	"math"
+	"testing"
+
+	"bolt/internal/dataset"
+	"bolt/internal/tree"
+)
+
+func friedman(t testing.TB) (*dataset.Dataset, *dataset.Dataset) {
+	t.Helper()
+	d := dataset.SyntheticFriedman(1000, 0.5, 81)
+	return d.Split(0.8, 82)
+}
+
+func TestRegressionForestBeatsSingleTree(t *testing.T) {
+	train, test := friedman(t)
+	single := tree.TrainRegression(train, nil, tree.Config{MaxDepth: 6, Seed: 83})
+	f := TrainRegressionForest(train, Config{NumTrees: 30, Tree: tree.Config{MaxDepth: 6}, Seed: 83})
+	if err := f.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	singlePred := make([]float32, test.Len())
+	for i, x := range test.X {
+		singlePred[i] = single.PredictValue(x)
+	}
+	forestPred := f.PredictValueBatch(test.X)
+	sr := dataset.RMSE(singlePred, test.Values)
+	fr := dataset.RMSE(forestPred, test.Values)
+	if fr > sr*1.1 {
+		t.Errorf("forest RMSE %.3f noticeably worse than single tree %.3f", fr, sr)
+	}
+	if fr > 4 {
+		t.Errorf("forest RMSE %.3f too high", fr)
+	}
+}
+
+func TestGBTBeatsBaggedForest(t *testing.T) {
+	train, test := friedman(t)
+	rf := TrainRegressionForest(train, Config{NumTrees: 40, Tree: tree.Config{MaxDepth: 4}, Seed: 84})
+	gbt := TrainGBT(train, GBTConfig{Rounds: 80, LearningRate: 0.15, Tree: tree.Config{MaxDepth: 4, MaxFeatures: -1}, Seed: 85})
+	if err := gbt.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if !gbt.Additive || gbt.Bias == 0 {
+		t.Fatal("GBT aggregation fields not set")
+	}
+	rfErr := dataset.RMSE(rf.PredictValueBatch(test.X), test.Values)
+	gbtErr := dataset.RMSE(gbt.PredictValueBatch(test.X), test.Values)
+	if gbtErr > rfErr {
+		t.Errorf("GBT RMSE %.3f worse than bagged %.3f (boosting should win on Friedman#1)", gbtErr, rfErr)
+	}
+	if gbtErr > 2.2 {
+		t.Errorf("GBT RMSE %.3f too high", gbtErr)
+	}
+}
+
+func TestValueVotesMatchesPredictValue(t *testing.T) {
+	train, test := friedman(t)
+	f := TrainRegressionForest(train, Config{NumTrees: 10, Tree: tree.Config{MaxDepth: 4}, Seed: 86})
+	total := int64(0)
+	for i := range f.Trees {
+		total += f.Weight(i)
+	}
+	for _, x := range test.X[:50] {
+		want := float32(float64(f.Bias+f.ValueVotes(x)) / float64(total))
+		if got := f.PredictValue(x); got != want {
+			t.Fatalf("PredictValue %g != reconstructed %g", got, want)
+		}
+	}
+}
+
+func TestRegressionGuards(t *testing.T) {
+	train, _ := friedman(t)
+	f := TrainRegressionForest(train, Config{NumTrees: 3, Tree: tree.Config{MaxDepth: 3}, Seed: 87})
+	t.Run("Votes on regression", func(t *testing.T) {
+		defer func() {
+			if recover() == nil {
+				t.Fatal("expected panic")
+			}
+		}()
+		f.Votes(train.X[0], make([]int64, 1))
+	})
+	clf := dataset.SyntheticBlobs(100, 4, 2, 1, 88)
+	cf := Train(clf, Config{NumTrees: 3, Tree: tree.Config{MaxDepth: 3}, Seed: 89})
+	t.Run("ValueVotes on classification", func(t *testing.T) {
+		defer func() {
+			if recover() == nil {
+				t.Fatal("expected panic")
+			}
+		}()
+		cf.ValueVotes(clf.X[0])
+	})
+	t.Run("TrainRegressionForest on labels", func(t *testing.T) {
+		defer func() {
+			if recover() == nil {
+				t.Fatal("expected panic")
+			}
+		}()
+		TrainRegressionForest(clf, Config{})
+	})
+	t.Run("TrainGBT on labels", func(t *testing.T) {
+		defer func() {
+			if recover() == nil {
+				t.Fatal("expected panic")
+			}
+		}()
+		TrainGBT(clf, GBTConfig{})
+	})
+}
+
+func TestRegressionValidateRejects(t *testing.T) {
+	train, _ := friedman(t)
+	f := TrainRegressionForest(train, Config{NumTrees: 3, Tree: tree.Config{MaxDepth: 3}, Seed: 90})
+	bad := *f
+	bad.NumClasses = 4
+	if bad.Validate() == nil {
+		t.Error("regression forest with classes accepted")
+	}
+	clf := dataset.SyntheticBlobs(100, 4, 2, 1, 91)
+	cf := Train(clf, Config{NumTrees: 3, Tree: tree.Config{MaxDepth: 3}, Seed: 92})
+	bad2 := *cf
+	bad2.Bias = 5
+	if bad2.Validate() == nil {
+		t.Error("classification forest with bias accepted")
+	}
+	// Mixed kinds.
+	bad3 := *f
+	bad3.Trees = append([]*tree.Tree(nil), f.Trees...)
+	bad3.Trees[0] = cf.Trees[0]
+	if bad3.Validate() == nil {
+		t.Error("mixed-kind ensemble accepted")
+	}
+}
+
+func TestRegressionModelRoundTrip(t *testing.T) {
+	train, test := friedman(t)
+	gbt := TrainGBT(train, GBTConfig{Rounds: 10, Tree: tree.Config{MaxDepth: 3, MaxFeatures: -1}, Seed: 93})
+	var buf bytes.Buffer
+	if err := Encode(&buf, gbt); err != nil {
+		t.Fatal(err)
+	}
+	back, err := Decode(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.Kind != tree.Regression || !back.Additive || back.Bias != gbt.Bias {
+		t.Fatal("regression metadata lost in round trip")
+	}
+	for _, x := range test.X[:100] {
+		if gbt.PredictValue(x) != back.PredictValue(x) {
+			t.Fatal("decoded GBT diverges")
+		}
+	}
+}
+
+func TestContributionQuantisation(t *testing.T) {
+	// Contribution must be exactly round-to-even(value * weight).
+	cases := []struct {
+		v float32
+		w int64
+	}{{1.5, WeightOne}, {-2.25, WeightOne}, {0, 12345}, {3.14159, 6554}}
+	for _, c := range cases {
+		want := int64(math.RoundToEven(float64(c.v) * float64(c.w)))
+		if got := Contribution(c.v, c.w); got != want {
+			t.Errorf("Contribution(%g,%d) = %d, want %d", c.v, c.w, got, want)
+		}
+	}
+}

@@ -1,0 +1,160 @@
+package forest
+
+import (
+	"fmt"
+	"math"
+
+	"bolt/internal/dataset"
+	"bolt/internal/rng"
+	"bolt/internal/tree"
+)
+
+// Config controls random-forest training.
+type Config struct {
+	// NumTrees is the ensemble size (the paper sweeps 10..30, Fig. 11B).
+	NumTrees int
+	// Tree configures each member tree; Tree.Seed is overridden with a
+	// per-tree derived seed.
+	Tree tree.Config
+	// SampleFrac is the bootstrap sample size as a fraction of the
+	// training set; 0 means 1.0.
+	SampleFrac float64
+	// DisableBootstrap trains every tree on the full training set
+	// (feature subsampling still decorrelates trees).
+	DisableBootstrap bool
+	// Seed drives bootstrap sampling and per-tree seeds.
+	Seed uint64
+}
+
+func (c Config) normalized() Config {
+	if c.NumTrees <= 0 {
+		c.NumTrees = 10
+	}
+	if c.SampleFrac <= 0 || c.SampleFrac > 1 {
+		c.SampleFrac = 1
+	}
+	return c
+}
+
+// Train fits a random forest on d by bootstrap aggregation.
+func Train(d *dataset.Dataset, cfg Config) *Forest {
+	cfg = cfg.normalized()
+	f := &Forest{
+		Trees:       make([]*tree.Tree, cfg.NumTrees),
+		NumFeatures: d.NumFeatures,
+		NumClasses:  d.NumClasses,
+	}
+	r := rng.New(cfg.Seed)
+	n := d.Len()
+	sampleN := int(float64(n) * cfg.SampleFrac)
+	if sampleN < 1 {
+		sampleN = 1
+	}
+	for i := range f.Trees {
+		var idx []int
+		if cfg.DisableBootstrap {
+			idx = nil
+		} else {
+			idx = make([]int, sampleN)
+			for j := range idx {
+				idx[j] = r.Intn(n)
+			}
+		}
+		tc := cfg.Tree
+		tc.Seed = rng.Mix64(cfg.Seed ^ uint64(i+1))
+		f.Trees[i] = tree.Train(d, idx, tc)
+	}
+	return f
+}
+
+// TrainBoosted fits a weighted ensemble with the multi-class AdaBoost
+// (SAMME) algorithm: each round trains a shallow tree on a weighted
+// bootstrap of the data and receives the vote weight
+// alpha = ln((1-err)/err) + ln(K-1), stored in WeightOne fixed point.
+// This exercises the paper's gradient-boosted-forest path (§5): Bolt
+// carries each tree's weight onto its paths unchanged.
+func TrainBoosted(d *dataset.Dataset, cfg Config) *Forest {
+	cfg = cfg.normalized()
+	n := d.Len()
+	k := float64(d.NumClasses)
+	w := make([]float64, n)
+	for i := range w {
+		w[i] = 1 / float64(n)
+	}
+	f := &Forest{
+		Trees:       make([]*tree.Tree, 0, cfg.NumTrees),
+		Weights:     make([]int64, 0, cfg.NumTrees),
+		NumFeatures: d.NumFeatures,
+		NumClasses:  d.NumClasses,
+	}
+	r := rng.New(rng.Mix64(cfg.Seed ^ 0xb005))
+	for round := 0; round < cfg.NumTrees; round++ {
+		idx := weightedBootstrap(r, w, n)
+		tc := cfg.Tree
+		tc.Seed = rng.Mix64(cfg.Seed ^ uint64(round+1))
+		t := tree.Train(d, idx, tc)
+
+		// Weighted training error of this round's tree.
+		err := 0.0
+		for i, x := range d.X {
+			if t.Predict(x) != d.Y[i] {
+				err += w[i]
+			}
+		}
+		if err >= 1-1/k {
+			// Worse than chance: skip the tree, resample next round.
+			continue
+		}
+		if err < 1e-10 {
+			err = 1e-10
+		}
+		alpha := math.Log((1-err)/err) + math.Log(k-1)
+		// Re-weight samples: misclassified up, normalise.
+		sum := 0.0
+		for i, x := range d.X {
+			if t.Predict(x) != d.Y[i] {
+				w[i] *= math.Exp(alpha)
+			}
+			sum += w[i]
+		}
+		for i := range w {
+			w[i] /= sum
+		}
+		q := int64(math.Round(alpha * float64(WeightOne)))
+		if q < 1 {
+			q = 1
+		}
+		f.Trees = append(f.Trees, t)
+		f.Weights = append(f.Weights, q)
+	}
+	if len(f.Trees) == 0 {
+		panic(fmt.Sprintf("forest: boosting produced no usable trees in %d rounds", cfg.NumTrees))
+	}
+	return f
+}
+
+// weightedBootstrap draws n indices proportionally to w via inverse-CDF
+// sampling.
+func weightedBootstrap(r *rng.Source, w []float64, n int) []int {
+	cdf := make([]float64, len(w))
+	sum := 0.0
+	for i, v := range w {
+		sum += v
+		cdf[i] = sum
+	}
+	idx := make([]int, n)
+	for j := range idx {
+		u := r.Float64() * sum
+		lo, hi := 0, len(cdf)-1
+		for lo < hi {
+			mid := (lo + hi) / 2
+			if cdf[mid] < u {
+				lo = mid + 1
+			} else {
+				hi = mid
+			}
+		}
+		idx[j] = lo
+	}
+	return idx
+}

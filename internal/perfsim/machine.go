@@ -1,0 +1,159 @@
+// Package perfsim reproduces the execution-efficiency measurements of
+// Fig. 12 (instructions, branches taken, branch misses, cache misses)
+// and the cross-architecture latency model of Fig. 9. Go cannot read
+// hardware performance counters portably, so each platform's inference
+// is replayed through an architectural twin: a set-associative LRU
+// cache simulator, a gshare branch predictor with two-bit saturating
+// counters, and per-operation instruction charges. The figures compare
+// platforms *relative* to each other; the simulator preserves exactly
+// those relations because it replays each engine's real memory-access
+// and branch streams.
+package perfsim
+
+import "fmt"
+
+// Counters accumulates the four metrics of Fig. 12 plus memory accesses.
+type Counters struct {
+	Instructions uint64
+	Branches     uint64
+	BranchMisses uint64
+	MemAccesses  uint64
+	CacheMisses  uint64
+	// DepAccesses counts the subset of MemAccesses that sit on a serial
+	// dependency chain (pointer chasing: the next address is unknown
+	// until the load completes). Tree descent is exactly this; Bolt's
+	// scans are index-computable and pipeline instead.
+	DepAccesses uint64
+}
+
+// Add accumulates other into c.
+func (c *Counters) Add(other Counters) {
+	c.Instructions += other.Instructions
+	c.Branches += other.Branches
+	c.BranchMisses += other.BranchMisses
+	c.MemAccesses += other.MemAccesses
+	c.CacheMisses += other.CacheMisses
+	c.DepAccesses += other.DepAccesses
+}
+
+// String renders the counters in Fig. 12's row order.
+func (c Counters) String() string {
+	return fmt.Sprintf("instr=%d branches=%d branch-misses=%d mem=%d cache-misses=%d",
+		c.Instructions, c.Branches, c.BranchMisses, c.MemAccesses, c.CacheMisses)
+}
+
+// Machine bundles the cache, the branch predictor and the counters for
+// one simulated core.
+type Machine struct {
+	Cache *Cache
+	BP    *BranchPredictor
+	C     Counters
+}
+
+// NewMachine builds a machine for the given hardware profile.
+func NewMachine(p Profile) *Machine {
+	return &Machine{
+		Cache: NewCache(p.LLCBytes, p.Ways, 64),
+		BP:    NewBranchPredictor(14),
+	}
+}
+
+// Inst charges n straight-line instructions.
+func (m *Machine) Inst(n int) { m.C.Instructions += uint64(n) }
+
+// Load charges one independent (pipelineable) memory access covering
+// [addr, addr+size); every distinct cache line touched is one access.
+func (m *Machine) Load(addr uint64, size int) { m.load(addr, size, false) }
+
+// LoadDep charges a dependent memory access: one whose address derives
+// from a previous load's value, serialising the pipeline (tree-node
+// pointer chasing).
+func (m *Machine) LoadDep(addr uint64, size int) { m.load(addr, size, true) }
+
+func (m *Machine) load(addr uint64, size int, dep bool) {
+	if size <= 0 {
+		size = 1
+	}
+	first := addr >> m.Cache.lineBits
+	last := (addr + uint64(size) - 1) >> m.Cache.lineBits
+	for line := first; line <= last; line++ {
+		m.C.MemAccesses++
+		if dep {
+			m.C.DepAccesses++
+		}
+		if !m.Cache.Access(line << m.Cache.lineBits) {
+			m.C.CacheMisses++
+		}
+	}
+}
+
+// Branch charges one conditional branch at site pc with the given
+// outcome, consulting the predictor.
+func (m *Machine) Branch(pc uint64, taken bool) {
+	m.C.Instructions++
+	if taken {
+		m.C.Branches++
+	}
+	if !m.BP.PredictAndUpdate(pc, taken) {
+		m.C.BranchMisses++
+	}
+}
+
+// Reset clears counters and microarchitectural state.
+func (m *Machine) Reset() {
+	m.C = Counters{}
+	m.Cache.Reset()
+	m.BP.Reset()
+}
+
+// ModeledLatency estimates wall-clock nanoseconds for the accumulated
+// counters on profile p: a simple in-order model — instructions retire
+// at p.IPC per cycle, cache hits cost LLC latency, misses cost DRAM
+// latency. Fig. 9's cross-architecture comparison uses this.
+func (m *Machine) ModeledLatency(p Profile) float64 {
+	cycles := float64(m.C.Instructions)/p.IPC +
+		float64(m.C.BranchMisses)*p.BranchMissPenalty
+	ns := cycles / p.GHz
+	hits := m.C.MemAccesses - m.C.CacheMisses
+	// CacheLatencyNs is the *effective* average hit latency: hot-loop
+	// independent loads overwhelmingly hit L1/L2 and pipeline with
+	// computation (~1ns); dependent loads expose their full load-to-use
+	// latency because the next address needs the value.
+	ns += float64(hits)*p.CacheLatencyNs + float64(m.C.CacheMisses)*p.MemLatencyNs
+	ns += float64(m.C.DepAccesses) * (p.DependentLatencyNs - p.CacheLatencyNs)
+	return ns
+}
+
+// Profile describes a hardware target (Fig. 9's three machines).
+type Profile struct {
+	Name           string
+	LLCBytes       int
+	Ways           int
+	Cores          int
+	GHz            float64
+	IPC            float64
+	CacheLatencyNs float64
+	MemLatencyNs   float64
+	// DependentLatencyNs is the exposed load-to-use latency of a
+	// pointer-chasing access (see Counters.DepAccesses).
+	DependentLatencyNs float64
+	BranchMissPenalty  float64 // cycles
+}
+
+// The three platforms of Fig. 9. Cache sizes and clocks follow §6.2;
+// latencies are representative figures for the parts.
+var (
+	// XeonE52650 is the default server: Intel Xeon E5-2650 v4, 2.2 GHz,
+	// 12 cores, 30 MB LLC.
+	XeonE52650 = Profile{Name: "E5-2650 v4", LLCBytes: 30 << 20, Ways: 20, Cores: 12,
+		GHz: 2.2, IPC: 2.0, CacheLatencyNs: 1.2, MemLatencyNs: 90, DependentLatencyNs: 3.6, BranchMissPenalty: 15}
+	// ECSmall is the Google Cloud e2-standard-4 (4 vCPUs, 16 GB).
+	ECSmall = Profile{Name: "EC Small", LLCBytes: 16 << 20, Ways: 16, Cores: 4,
+		GHz: 2.5, IPC: 2.2, CacheLatencyNs: 1.4, MemLatencyNs: 100, DependentLatencyNs: 3.9, BranchMissPenalty: 16}
+	// ECLarge is the Google Cloud e2-standard-32 (32 vCPUs, 128 GB).
+	ECLarge = Profile{Name: "EC Large", LLCBytes: 33 << 20, Ways: 16, Cores: 32,
+		GHz: 2.8, IPC: 2.4, CacheLatencyNs: 1.1, MemLatencyNs: 95, DependentLatencyNs: 3.4, BranchMissPenalty: 16}
+)
+
+// Profiles lists the Fig. 9 hardware targets in presentation order.
+func Profiles() []Profile { return []Profile{XeonE52650, ECSmall, ECLarge} }

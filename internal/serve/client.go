@@ -1,0 +1,143 @@
+package serve
+
+import (
+	"bufio"
+	"errors"
+	"fmt"
+	"net"
+	"sort"
+	"time"
+)
+
+// Client is a synchronous front-end connection: one request in flight
+// at a time, matching the paper's unbatched sequential evaluation.
+type Client struct {
+	conn net.Conn
+	rw   *bufio.ReadWriter
+}
+
+// Dial connects to a server's UNIX socket.
+func Dial(socketPath string) (*Client, error) {
+	conn, err := net.Dial("unix", socketPath)
+	if err != nil {
+		return nil, fmt.Errorf("serve: dial %s: %w", socketPath, err)
+	}
+	return &Client{
+		conn: conn,
+		rw:   bufio.NewReadWriter(bufio.NewReader(conn), bufio.NewWriter(conn)),
+	}, nil
+}
+
+func (c *Client) roundTrip(op byte, payload []byte) (byte, []byte, error) {
+	if err := writeFrame(c.rw, op, payload); err != nil {
+		return 0, nil, err
+	}
+	if err := c.rw.Flush(); err != nil {
+		return 0, nil, err
+	}
+	return readFrame(c.rw)
+}
+
+// Ping checks server liveness.
+func (c *Client) Ping() error {
+	status, _, err := c.roundTrip(OpPing, nil)
+	if err != nil {
+		return err
+	}
+	if status != StatusOK {
+		return errors.New("serve: ping rejected")
+	}
+	return nil
+}
+
+// Classify sends one sample and returns the predicted label plus the
+// server-side service time in nanoseconds.
+func (c *Client) Classify(x []float32) (label int, serviceNs uint64, err error) {
+	status, payload, err := c.roundTrip(OpClassify, encodeFloats(x))
+	if err != nil {
+		return 0, 0, err
+	}
+	if status != StatusOK {
+		return 0, 0, fmt.Errorf("serve: %s", payload)
+	}
+	return decodeClassifyResponse(payload)
+}
+
+// ClassifyBatch classifies many samples in one round trip, returning
+// the labels and the total server-side service time in nanoseconds.
+func (c *Client) ClassifyBatch(X [][]float32) (labels []int, serviceNs uint64, err error) {
+	status, payload, err := c.roundTrip(OpBatch, encodeBatchRequest(X))
+	if err != nil {
+		return nil, 0, err
+	}
+	if status != StatusOK {
+		return nil, 0, fmt.Errorf("serve: %s", payload)
+	}
+	labels, serviceNs, err = decodeBatchResponse(payload)
+	if err == nil && len(labels) != len(X) {
+		return nil, 0, fmt.Errorf("serve: batch response has %d labels for %d samples", len(labels), len(X))
+	}
+	return labels, serviceNs, err
+}
+
+// PredictValue sends one sample to a regression engine and returns the
+// predicted value plus the server-side service time in nanoseconds.
+func (c *Client) PredictValue(x []float32) (value float32, serviceNs uint64, err error) {
+	status, payload, err := c.roundTrip(OpValue, encodeFloats(x))
+	if err != nil {
+		return 0, 0, err
+	}
+	if status != StatusOK {
+		return 0, 0, fmt.Errorf("serve: %s", payload)
+	}
+	return decodeValueResponse(payload)
+}
+
+// Salience returns the per-feature salience counts for one sample.
+func (c *Client) Salience(x []float32) ([]int, error) {
+	status, payload, err := c.roundTrip(OpSalience, encodeFloats(x))
+	if err != nil {
+		return nil, err
+	}
+	if status != StatusOK {
+		return nil, fmt.Errorf("serve: %s", payload)
+	}
+	return decodeCounts(payload)
+}
+
+// Close closes the connection.
+func (c *Client) Close() error { return c.conn.Close() }
+
+// LatencyStats summarises a set of service-time observations.
+type LatencyStats struct {
+	Count int
+	Avg   time.Duration
+	P50   time.Duration
+	P99   time.Duration
+	Max   time.Duration
+}
+
+// Summarize computes latency statistics from nanosecond samples.
+func Summarize(ns []uint64) LatencyStats {
+	if len(ns) == 0 {
+		return LatencyStats{}
+	}
+	sorted := make([]uint64, len(ns))
+	copy(sorted, ns)
+	sort.Slice(sorted, func(i, j int) bool { return sorted[i] < sorted[j] })
+	var sum uint64
+	for _, v := range sorted {
+		sum += v
+	}
+	pick := func(q float64) time.Duration {
+		idx := int(q * float64(len(sorted)-1))
+		return time.Duration(sorted[idx])
+	}
+	return LatencyStats{
+		Count: len(ns),
+		Avg:   time.Duration(sum / uint64(len(ns))),
+		P50:   pick(0.50),
+		P99:   pick(0.99),
+		Max:   time.Duration(sorted[len(sorted)-1]),
+	}
+}

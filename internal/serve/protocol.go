@@ -1,0 +1,208 @@
+// Package serve implements the networked classification service of
+// §4.5/Fig. 7 and the evaluation harness's front-end (§6: "The
+// front-end communicates to inference processing engines on a UNIX
+// domain socket. Input samples are executed sequentially without
+// batching"). The wire protocol is a compact length-prefixed binary
+// framing; the server measures service time "from the time input
+// samples are received to the moment inference finishes, not including
+// network delays" and reports it in every response.
+package serve
+
+import (
+	"encoding/binary"
+	"fmt"
+	"io"
+	"math"
+)
+
+// Op codes.
+const (
+	// OpClassify requests a label for one sample.
+	OpClassify = byte('C')
+	// OpSalience requests the per-feature salience counts (§2's local
+	// explanation workload).
+	OpSalience = byte('X')
+	// OpValue requests a regression prediction for one sample.
+	OpValue = byte('V')
+	// OpPing checks liveness.
+	OpPing = byte('P')
+	// OpBatch classifies many samples in one frame — the batching mode
+	// the paper contrasts with its unbatched service protocol ("when
+	// batching queries Ranger can ... achieve very low response times").
+	OpBatch = byte('B')
+)
+
+// Response status codes.
+const (
+	StatusOK  = byte(0)
+	StatusErr = byte(1)
+)
+
+// MaxFrameBytes bounds request payloads (features are float32, so this
+// admits ~2M features — far beyond any forest here — while stopping
+// corrupt length prefixes from driving huge allocations).
+const MaxFrameBytes = 8 << 20
+
+// writeFrame writes op | len(payload) | payload.
+func writeFrame(w io.Writer, op byte, payload []byte) error {
+	var hdr [5]byte
+	hdr[0] = op
+	binary.LittleEndian.PutUint32(hdr[1:], uint32(len(payload)))
+	if _, err := w.Write(hdr[:]); err != nil {
+		return err
+	}
+	_, err := w.Write(payload)
+	return err
+}
+
+// readFrame reads one frame, enforcing the size bound.
+func readFrame(r io.Reader) (op byte, payload []byte, err error) {
+	var hdr [5]byte
+	if _, err := io.ReadFull(r, hdr[:]); err != nil {
+		return 0, nil, err
+	}
+	n := binary.LittleEndian.Uint32(hdr[1:])
+	if n > MaxFrameBytes {
+		return 0, nil, fmt.Errorf("serve: frame of %d bytes exceeds limit %d", n, MaxFrameBytes)
+	}
+	payload = make([]byte, n)
+	if _, err := io.ReadFull(r, payload); err != nil {
+		return 0, nil, err
+	}
+	return hdr[0], payload, nil
+}
+
+// encodeFloats packs a feature vector.
+func encodeFloats(x []float32) []byte {
+	buf := make([]byte, len(x)*4)
+	for i, v := range x {
+		binary.LittleEndian.PutUint32(buf[i*4:], math.Float32bits(v))
+	}
+	return buf
+}
+
+// decodeFloats unpacks a feature vector.
+func decodeFloats(payload []byte) ([]float32, error) {
+	if len(payload)%4 != 0 {
+		return nil, fmt.Errorf("serve: feature payload of %d bytes is not float32-aligned", len(payload))
+	}
+	x := make([]float32, len(payload)/4)
+	for i := range x {
+		x[i] = math.Float32frombits(binary.LittleEndian.Uint32(payload[i*4:]))
+	}
+	return x, nil
+}
+
+// encodeClassifyResponse packs label | serviceNs.
+func encodeClassifyResponse(label int, serviceNs uint64) []byte {
+	buf := make([]byte, 12)
+	binary.LittleEndian.PutUint32(buf, uint32(label))
+	binary.LittleEndian.PutUint64(buf[4:], serviceNs)
+	return buf
+}
+
+func decodeClassifyResponse(payload []byte) (label int, serviceNs uint64, err error) {
+	if len(payload) != 12 {
+		return 0, 0, fmt.Errorf("serve: classify response of %d bytes, want 12", len(payload))
+	}
+	return int(binary.LittleEndian.Uint32(payload)), binary.LittleEndian.Uint64(payload[4:]), nil
+}
+
+// encodeValueResponse packs value | serviceNs.
+func encodeValueResponse(value float32, serviceNs uint64) []byte {
+	buf := make([]byte, 12)
+	binary.LittleEndian.PutUint32(buf, math.Float32bits(value))
+	binary.LittleEndian.PutUint64(buf[4:], serviceNs)
+	return buf
+}
+
+func decodeValueResponse(payload []byte) (value float32, serviceNs uint64, err error) {
+	if len(payload) != 12 {
+		return 0, 0, fmt.Errorf("serve: value response of %d bytes, want 12", len(payload))
+	}
+	return math.Float32frombits(binary.LittleEndian.Uint32(payload)), binary.LittleEndian.Uint64(payload[4:]), nil
+}
+
+// encodeBatchRequest packs count | count×features float32 rows.
+func encodeBatchRequest(X [][]float32) []byte {
+	if len(X) == 0 {
+		return []byte{0, 0, 0, 0}
+	}
+	rowBytes := len(X[0]) * 4
+	buf := make([]byte, 4+len(X)*rowBytes)
+	binary.LittleEndian.PutUint32(buf, uint32(len(X)))
+	off := 4
+	for _, x := range X {
+		for _, v := range x {
+			binary.LittleEndian.PutUint32(buf[off:], math.Float32bits(v))
+			off += 4
+		}
+	}
+	return buf
+}
+
+// decodeBatchRequest unpacks a batch into rows of rowLen features.
+func decodeBatchRequest(payload []byte, rowLen int) ([][]float32, error) {
+	if len(payload) < 4 {
+		return nil, fmt.Errorf("serve: batch request of %d bytes lacks a count", len(payload))
+	}
+	n := int(binary.LittleEndian.Uint32(payload))
+	payload = payload[4:]
+	if n < 0 || len(payload) != n*rowLen*4 {
+		return nil, fmt.Errorf("serve: batch payload %d bytes does not hold %d rows of %d features",
+			len(payload), n, rowLen)
+	}
+	X := make([][]float32, n)
+	off := 0
+	for i := range X {
+		row := make([]float32, rowLen)
+		for j := range row {
+			row[j] = math.Float32frombits(binary.LittleEndian.Uint32(payload[off:]))
+			off += 4
+		}
+		X[i] = row
+	}
+	return X, nil
+}
+
+// encodeBatchResponse packs serviceNs | count×u32 labels.
+func encodeBatchResponse(labels []int, serviceNs uint64) []byte {
+	buf := make([]byte, 8+len(labels)*4)
+	binary.LittleEndian.PutUint64(buf, serviceNs)
+	for i, l := range labels {
+		binary.LittleEndian.PutUint32(buf[8+i*4:], uint32(l))
+	}
+	return buf
+}
+
+func decodeBatchResponse(payload []byte) (labels []int, serviceNs uint64, err error) {
+	if len(payload) < 8 || (len(payload)-8)%4 != 0 {
+		return nil, 0, fmt.Errorf("serve: batch response of %d bytes misshapen", len(payload))
+	}
+	serviceNs = binary.LittleEndian.Uint64(payload)
+	labels = make([]int, (len(payload)-8)/4)
+	for i := range labels {
+		labels[i] = int(binary.LittleEndian.Uint32(payload[8+i*4:]))
+	}
+	return labels, serviceNs, nil
+}
+
+// encodeCounts packs a salience vector.
+func encodeCounts(counts []int) []byte {
+	buf := make([]byte, len(counts)*4)
+	for i, c := range counts {
+		binary.LittleEndian.PutUint32(buf[i*4:], uint32(c))
+	}
+	return buf
+}
+
+func decodeCounts(payload []byte) ([]int, error) {
+	if len(payload)%4 != 0 {
+		return nil, fmt.Errorf("serve: counts payload of %d bytes misaligned", len(payload))
+	}
+	out := make([]int, len(payload)/4)
+	for i := range out {
+		out[i] = int(binary.LittleEndian.Uint32(payload[i*4:]))
+	}
+	return out, nil
+}

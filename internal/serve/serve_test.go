@@ -1,0 +1,399 @@
+package serve
+
+import (
+	"encoding/binary"
+	"net"
+	"path/filepath"
+	"sync"
+	"testing"
+	"time"
+
+	"bolt/internal/core"
+	"bolt/internal/dataset"
+	"bolt/internal/forest"
+	"bolt/internal/tree"
+)
+
+// boltEngine adapts a compiled Bolt forest to the serve interfaces.
+type boltEngine struct {
+	bf *core.Forest
+	s  *core.Scratch
+}
+
+func (e *boltEngine) Predict(x []float32) int    { return e.bf.Predict(x, e.s) }
+func (e *boltEngine) Salience(x []float32) []int { return e.bf.Salience(x, e.s) }
+
+func newTestServer(t *testing.T) (*Server, *boltEngine, *dataset.Dataset, string) {
+	t.Helper()
+	d := dataset.SyntheticBlobs(200, 6, 3, 1.0, 101)
+	f := forest.Train(d, forest.Config{NumTrees: 6, Tree: tree.Config{MaxDepth: 3}, Seed: 102})
+	bf, err := core.Compile(f, core.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	eng := &boltEngine{bf: bf, s: bf.NewScratch()}
+	sock := filepath.Join(t.TempDir(), "bolt.sock")
+	srv, err := NewServer(sock, eng, d.NumFeatures)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { srv.Close() })
+	return srv, eng, d, sock
+}
+
+func TestClassifyEndToEnd(t *testing.T) {
+	_, eng, d, sock := newTestServer(t)
+	c, err := Dial(sock)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+
+	if err := c.Ping(); err != nil {
+		t.Fatal(err)
+	}
+	for i, x := range d.X[:50] {
+		label, serviceNs, err := c.Classify(x)
+		if err != nil {
+			t.Fatalf("sample %d: %v", i, err)
+		}
+		if want := eng.bf.Predict(x, eng.bf.NewScratch()); label != want {
+			t.Fatalf("sample %d: served %d, engine %d", i, label, want)
+		}
+		if serviceNs == 0 || serviceNs > uint64(time.Second) {
+			t.Fatalf("sample %d: implausible service time %d ns", i, serviceNs)
+		}
+	}
+}
+
+func TestSalienceEndToEnd(t *testing.T) {
+	_, _, d, sock := newTestServer(t)
+	c, err := Dial(sock)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	counts, err := c.Salience(d.X[0])
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(counts) != d.NumFeatures {
+		t.Fatalf("salience length %d, want %d", len(counts), d.NumFeatures)
+	}
+	total := 0
+	for _, n := range counts {
+		total += n
+	}
+	if total == 0 {
+		t.Fatal("no salient features over the wire")
+	}
+}
+
+func TestWrongFeatureCountRejected(t *testing.T) {
+	_, _, _, sock := newTestServer(t)
+	c, err := Dial(sock)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	if _, _, err := c.Classify([]float32{1, 2}); err == nil {
+		t.Fatal("short sample accepted")
+	}
+	// The connection stays usable after an application-level error.
+	if err := c.Ping(); err != nil {
+		t.Fatalf("connection broken after rejected request: %v", err)
+	}
+}
+
+func TestMisalignedPayloadRejected(t *testing.T) {
+	_, _, _, sock := newTestServer(t)
+	conn, err := net.Dial("unix", sock)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer conn.Close()
+	// 5-byte payload: not float32-aligned.
+	if err := writeFrame(conn, OpClassify, []byte{1, 2, 3, 4, 5}); err != nil {
+		t.Fatal(err)
+	}
+	status, _, err := readFrame(conn)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if status != StatusErr {
+		t.Fatal("misaligned payload accepted")
+	}
+}
+
+func TestOversizedFrameRejected(t *testing.T) {
+	_, _, _, sock := newTestServer(t)
+	conn, err := net.Dial("unix", sock)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer conn.Close()
+	var hdr [5]byte
+	hdr[0] = OpClassify
+	binary.LittleEndian.PutUint32(hdr[1:], MaxFrameBytes+1)
+	if _, err := conn.Write(hdr[:]); err != nil {
+		t.Fatal(err)
+	}
+	// Server must answer with an error frame and drop the connection
+	// rather than trying to allocate the bogus length.
+	status, payload, err := readFrame(conn)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if status != StatusErr {
+		t.Fatalf("status %d payload %q", status, payload)
+	}
+}
+
+func TestUnknownOpRejected(t *testing.T) {
+	_, _, _, sock := newTestServer(t)
+	conn, err := net.Dial("unix", sock)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer conn.Close()
+	if err := writeFrame(conn, 'Z', nil); err != nil {
+		t.Fatal(err)
+	}
+	status, _, err := readFrame(conn)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if status != StatusErr {
+		t.Fatal("unknown op accepted")
+	}
+}
+
+func TestConcurrentClients(t *testing.T) {
+	_, _, d, sock := newTestServer(t)
+	const clients = 8
+	var wg sync.WaitGroup
+	errs := make(chan error, clients)
+	for i := 0; i < clients; i++ {
+		wg.Add(1)
+		go func(id int) {
+			defer wg.Done()
+			c, err := Dial(sock)
+			if err != nil {
+				errs <- err
+				return
+			}
+			defer c.Close()
+			for j := 0; j < 30; j++ {
+				x := d.X[(id*31+j)%d.Len()]
+				if _, _, err := c.Classify(x); err != nil {
+					errs <- err
+					return
+				}
+			}
+		}(i)
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Fatal(err)
+	}
+}
+
+func TestServerCloseUnblocksClients(t *testing.T) {
+	srv, _, d, sock := newTestServer(t)
+	c, err := Dial(sock)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	if _, _, err := c.Classify(d.X[0]); err != nil {
+		t.Fatal(err)
+	}
+	if err := srv.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := c.Classify(d.X[0]); err == nil {
+		t.Fatal("classify succeeded after server close")
+	}
+	// Double close is fine.
+	if err := srv.Close(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestNewServerValidation(t *testing.T) {
+	sock := filepath.Join(t.TempDir(), "x.sock")
+	if _, err := NewServer(sock, nil, 4); err == nil {
+		t.Error("nil engine accepted")
+	}
+	eng := &boltEngine{}
+	if _, err := NewServer(sock, eng, 0); err == nil {
+		t.Error("zero features accepted")
+	}
+	// Path collision: second listener on the same socket must fail.
+	d := dataset.SyntheticBlobs(50, 4, 2, 1.0, 103)
+	f := forest.Train(d, forest.Config{NumTrees: 2, Tree: tree.Config{MaxDepth: 2}, Seed: 104})
+	bf, err := core.Compile(f, core.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	real := &boltEngine{bf: bf, s: bf.NewScratch()}
+	srv, err := NewServer(sock, real, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+	if _, err := NewServer(sock, real, 4); err == nil {
+		t.Error("second server on same socket accepted")
+	}
+}
+
+func TestClassifyBatchEndToEnd(t *testing.T) {
+	_, eng, d, sock := newTestServer(t)
+	c, err := Dial(sock)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	batch := d.X[:40]
+	labels, ns, err := c.ClassifyBatch(batch)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(labels) != len(batch) || ns == 0 {
+		t.Fatalf("batch returned %d labels, ns=%d", len(labels), ns)
+	}
+	ref := eng.bf.NewScratch()
+	for i, x := range batch {
+		if labels[i] != eng.bf.Predict(x, ref) {
+			t.Fatalf("batch label %d diverges", i)
+		}
+	}
+	// Per-sample amortised service time must not exceed a lavish bound
+	// relative to single-shot (it shares the engine and skips framing).
+	if _, single, err := c.Classify(batch[0]); err == nil && single > 0 {
+		perSample := ns / uint64(len(batch))
+		if perSample > single*20 {
+			t.Errorf("batched per-sample %dns wildly above single-shot %dns", perSample, single)
+		}
+	}
+	// Empty batch: zero labels, no error.
+	empty, _, err := c.ClassifyBatch(nil)
+	if err != nil || len(empty) != 0 {
+		t.Fatalf("empty batch: %v, %d labels", err, len(empty))
+	}
+}
+
+func TestClassifyBatchRejectsMisshapen(t *testing.T) {
+	_, _, _, sock := newTestServer(t)
+	conn, err := net.Dial("unix", sock)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer conn.Close()
+	// Claims 5 rows but carries 1 byte of payload.
+	if err := writeFrame(conn, OpBatch, []byte{5, 0, 0, 0, 9}); err != nil {
+		t.Fatal(err)
+	}
+	status, _, err := readFrame(conn)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if status != StatusErr {
+		t.Fatal("misshapen batch accepted")
+	}
+}
+
+// regressionEngine adapts a compiled regression forest.
+type regressionEngine struct {
+	bf *core.Forest
+	s  *core.Scratch
+}
+
+func (e *regressionEngine) Predict(x []float32) int          { return e.bf.Predict(x, e.s) } // panics: regression
+func (e *regressionEngine) PredictValue(x []float32) float32 { return e.bf.PredictValue(x, e.s) }
+
+func TestRegressionEndToEnd(t *testing.T) {
+	d := dataset.SyntheticFriedman(300, 0.5, 201)
+	f := forest.TrainRegressionForest(d, forest.Config{NumTrees: 5, Tree: tree.Config{MaxDepth: 4}, Seed: 202})
+	bf, err := core.Compile(f, core.Options{ClusterThreshold: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	eng := &regressionEngine{bf: bf, s: bf.NewScratch()}
+	sock := filepath.Join(t.TempDir(), "reg.sock")
+	srv, err := NewServer(sock, eng, d.NumFeatures)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+	c, err := Dial(sock)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+
+	ref := bf.NewScratch()
+	for i, x := range d.X[:50] {
+		got, ns, err := c.PredictValue(x)
+		if err != nil {
+			t.Fatalf("sample %d: %v", i, err)
+		}
+		if want := bf.PredictValue(x, ref); got != want {
+			t.Fatalf("sample %d: served %g, engine %g", i, got, want)
+		}
+		if ns == 0 {
+			t.Fatal("zero service time")
+		}
+	}
+	// A classification request against a regression engine must come
+	// back as a protocol error — not kill the server.
+	if _, _, err := c.Classify(d.X[0]); err == nil {
+		t.Fatal("classify accepted by regression engine")
+	}
+	// And the connection/service must still work afterwards.
+	if _, _, err := c.PredictValue(d.X[1]); err != nil {
+		t.Fatalf("service broken after rejected classify: %v", err)
+	}
+}
+
+func TestValueOnClassificationEngineRejected(t *testing.T) {
+	_, _, d, sock := newTestServer(t)
+	c, err := Dial(sock)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	if _, _, err := c.PredictValue(d.X[0]); err == nil {
+		t.Fatal("regression op accepted by classification engine")
+	}
+	if err := c.Ping(); err != nil {
+		t.Fatalf("connection broken: %v", err)
+	}
+}
+
+func TestSummarize(t *testing.T) {
+	if s := Summarize(nil); s.Count != 0 {
+		t.Fatal("empty summarize wrong")
+	}
+	ns := make([]uint64, 100)
+	for i := range ns {
+		ns[i] = uint64(i + 1) // 1..100
+	}
+	s := Summarize(ns)
+	if s.Count != 100 {
+		t.Errorf("Count = %d", s.Count)
+	}
+	if s.Max != 100 {
+		t.Errorf("Max = %v", s.Max)
+	}
+	if s.P50 < 49 || s.P50 > 52 {
+		t.Errorf("P50 = %v", s.P50)
+	}
+	if s.P99 < 98 || s.P99 > 100 {
+		t.Errorf("P99 = %v", s.P99)
+	}
+	if s.Avg < 49 || s.Avg > 52 {
+		t.Errorf("Avg = %v", s.Avg)
+	}
+}

@@ -1,0 +1,231 @@
+package serve
+
+import (
+	"errors"
+	"fmt"
+	"io"
+	"net"
+	"sync"
+	"time"
+)
+
+// Engine is the pluggable inference backend: Bolt forests, baseline
+// platforms and plain forests all satisfy it through small adapters
+// (§4.5: "Alternatively, the front-end can connect to other forest
+// implementations").
+type Engine interface {
+	Predict(x []float32) int
+}
+
+// Explainer is the optional salience extension (Bolt engines support
+// it; baselines typically do not).
+type Explainer interface {
+	Salience(x []float32) []int
+}
+
+// ValuePredictor is the optional regression extension.
+type ValuePredictor interface {
+	PredictValue(x []float32) float32
+}
+
+// Server answers classification requests on a UNIX domain socket.
+type Server struct {
+	engine      Engine
+	numFeatures int
+	ln          net.Listener
+
+	mu     sync.Mutex
+	conns  map[net.Conn]struct{}
+	closed bool
+	wg     sync.WaitGroup
+
+	// engineMu serialises inference: the paper's engines process
+	// samples sequentially without batching (§6), and the single-writer
+	// discipline lets engines reuse scratch buffers.
+	engineMu sync.Mutex
+}
+
+// NewServer listens on the UNIX socket path and serves the engine.
+// numFeatures is enforced on every request.
+func NewServer(socketPath string, engine Engine, numFeatures int) (*Server, error) {
+	if engine == nil {
+		return nil, errors.New("serve: nil engine")
+	}
+	if numFeatures <= 0 {
+		return nil, fmt.Errorf("serve: invalid feature count %d", numFeatures)
+	}
+	ln, err := net.Listen("unix", socketPath)
+	if err != nil {
+		return nil, fmt.Errorf("serve: listen on %s: %w", socketPath, err)
+	}
+	s := &Server{
+		engine:      engine,
+		numFeatures: numFeatures,
+		ln:          ln,
+		conns:       map[net.Conn]struct{}{},
+	}
+	s.wg.Add(1)
+	go s.acceptLoop()
+	return s, nil
+}
+
+// Addr returns the listening socket path.
+func (s *Server) Addr() string { return s.ln.Addr().String() }
+
+func (s *Server) acceptLoop() {
+	defer s.wg.Done()
+	for {
+		conn, err := s.ln.Accept()
+		if err != nil {
+			return // listener closed
+		}
+		s.mu.Lock()
+		if s.closed {
+			s.mu.Unlock()
+			conn.Close()
+			return
+		}
+		s.conns[conn] = struct{}{}
+		s.mu.Unlock()
+		s.wg.Add(1)
+		go s.handle(conn)
+	}
+}
+
+func (s *Server) handle(conn net.Conn) {
+	defer s.wg.Done()
+	defer func() {
+		conn.Close()
+		s.mu.Lock()
+		delete(s.conns, conn)
+		s.mu.Unlock()
+	}()
+	for {
+		op, payload, err := readFrame(conn)
+		if err != nil {
+			if !errors.Is(err, io.EOF) && !errors.Is(err, net.ErrClosed) {
+				// Protocol violation: answer once if possible, then drop.
+				writeFrame(conn, StatusErr, []byte(err.Error()))
+			}
+			return
+		}
+		if err := s.dispatch(conn, op, payload); err != nil {
+			return
+		}
+	}
+}
+
+func (s *Server) dispatch(conn net.Conn, op byte, payload []byte) error {
+	switch op {
+	case OpPing:
+		return writeFrame(conn, StatusOK, nil)
+	case OpClassify:
+		x, err := s.decodeInput(payload)
+		if err != nil {
+			return writeFrame(conn, StatusErr, []byte(err.Error()))
+		}
+		// Service time: receipt to aggregation output (§4.5), network
+		// excluded — the clock starts after the frame is fully read.
+		start := time.Now()
+		label, err := s.callEngineInt(func() int { return s.engine.Predict(x) })
+		elapsed := time.Since(start)
+		if err != nil {
+			return writeFrame(conn, StatusErr, []byte(err.Error()))
+		}
+		return writeFrame(conn, StatusOK, encodeClassifyResponse(label, uint64(elapsed.Nanoseconds())))
+	case OpValue:
+		vp, ok := s.engine.(ValuePredictor)
+		if !ok {
+			return writeFrame(conn, StatusErr, []byte("serve: engine does not support regression"))
+		}
+		x, err := s.decodeInput(payload)
+		if err != nil {
+			return writeFrame(conn, StatusErr, []byte(err.Error()))
+		}
+		start := time.Now()
+		var value float32
+		_, err = s.callEngineInt(func() int { value = vp.PredictValue(x); return 0 })
+		elapsed := time.Since(start)
+		if err != nil {
+			return writeFrame(conn, StatusErr, []byte(err.Error()))
+		}
+		return writeFrame(conn, StatusOK, encodeValueResponse(value, uint64(elapsed.Nanoseconds())))
+	case OpBatch:
+		X, err := decodeBatchRequest(payload, s.numFeatures)
+		if err != nil {
+			return writeFrame(conn, StatusErr, []byte(err.Error()))
+		}
+		start := time.Now()
+		labels := make([]int, len(X))
+		_, err = s.callEngineInt(func() int {
+			for i, x := range X {
+				labels[i] = s.engine.Predict(x)
+			}
+			return 0
+		})
+		elapsed := time.Since(start)
+		if err != nil {
+			return writeFrame(conn, StatusErr, []byte(err.Error()))
+		}
+		return writeFrame(conn, StatusOK, encodeBatchResponse(labels, uint64(elapsed.Nanoseconds())))
+	case OpSalience:
+		ex, ok := s.engine.(Explainer)
+		if !ok {
+			return writeFrame(conn, StatusErr, []byte("serve: engine does not support salience"))
+		}
+		x, err := s.decodeInput(payload)
+		if err != nil {
+			return writeFrame(conn, StatusErr, []byte(err.Error()))
+		}
+		var counts []int
+		if _, err := s.callEngineInt(func() int { counts = ex.Salience(x); return 0 }); err != nil {
+			return writeFrame(conn, StatusErr, []byte(err.Error()))
+		}
+		return writeFrame(conn, StatusOK, encodeCounts(counts))
+	default:
+		return writeFrame(conn, StatusErr, []byte(fmt.Sprintf("serve: unknown op %#x", op)))
+	}
+}
+
+// callEngineInt serialises an engine call and converts engine panics
+// (e.g. a classification request sent to a regression engine) into
+// protocol errors instead of killing the service.
+func (s *Server) callEngineInt(fn func() int) (out int, err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			err = fmt.Errorf("serve: engine rejected request: %v", r)
+		}
+	}()
+	s.engineMu.Lock()
+	defer s.engineMu.Unlock()
+	return fn(), nil
+}
+
+func (s *Server) decodeInput(payload []byte) ([]float32, error) {
+	x, err := decodeFloats(payload)
+	if err != nil {
+		return nil, err
+	}
+	if len(x) != s.numFeatures {
+		return nil, fmt.Errorf("serve: request has %d features, engine expects %d", len(x), s.numFeatures)
+	}
+	return x, nil
+}
+
+// Close stops accepting, closes open connections, and waits for
+// handlers to drain.
+func (s *Server) Close() error {
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return nil
+	}
+	s.closed = true
+	err := s.ln.Close()
+	for conn := range s.conns {
+		conn.Close()
+	}
+	s.mu.Unlock()
+	s.wg.Wait()
+	return err
+}

@@ -1,0 +1,250 @@
+package tree
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// The paper's pipeline (§5) trains in Scikit-Learn, exports each tree to
+// a DOT file, and feeds the DOT files to Bolt's path-extraction tools.
+// We reproduce that interchange: MarshalDOT writes a Graphviz digraph in
+// the export_graphviz style and UnmarshalDOT parses it back, so the
+// bolt-train and bolt-compile CLIs can exchange forests as .dot files.
+
+// MarshalDOT writes the tree as a Graphviz digraph. Internal nodes are
+// labelled "x[f] <= t"; classification leaves "leaf label=L
+// value=[c0 c1 ...]"; regression leaves "rleaf value=V". The first
+// outgoing edge of a node is the true (left) branch, matching
+// Scikit-Learn's convention.
+func (t *Tree) MarshalDOT(w io.Writer) error {
+	bw := bufio.NewWriter(w)
+	fmt.Fprintf(bw, "digraph Tree {\nnode [shape=box] ;\n")
+	for i := range t.Nodes {
+		n := &t.Nodes[i]
+		if n.IsLeaf() && t.Kind == Regression {
+			fmt.Fprintf(bw, "%d [label=\"rleaf value=%s\"] ;\n", i,
+				strconv.FormatFloat(float64(n.Value), 'g', -1, 32))
+		} else if n.IsLeaf() {
+			fmt.Fprintf(bw, "%d [label=\"leaf label=%d value=%s\"] ;\n", i, n.Label, formatCounts(n.Counts))
+		} else {
+			fmt.Fprintf(bw, "%d [label=\"x[%d] <= %s\"] ;\n", i, n.Feature,
+				strconv.FormatFloat(float64(n.Threshold), 'g', -1, 32))
+		}
+	}
+	for i := range t.Nodes {
+		n := &t.Nodes[i]
+		if n.IsLeaf() {
+			continue
+		}
+		fmt.Fprintf(bw, "%d -> %d [label=\"true\"] ;\n", i, n.Left)
+		fmt.Fprintf(bw, "%d -> %d [label=\"false\"] ;\n", i, n.Right)
+	}
+	fmt.Fprintf(bw, "}\n")
+	return bw.Flush()
+}
+
+func formatCounts(counts []int32) string {
+	parts := make([]string, len(counts))
+	for i, c := range counts {
+		parts[i] = strconv.Itoa(int(c))
+	}
+	return "[" + strings.Join(parts, " ") + "]"
+}
+
+// UnmarshalDOT parses a digraph produced by MarshalDOT into a Tree.
+// numFeatures and numClasses describe the dataset the tree was trained
+// on; they are validated against the parsed content.
+func UnmarshalDOT(r io.Reader, numFeatures, numClasses int) (*Tree, error) {
+	type edge struct {
+		from, to int
+		val      bool
+	}
+	nodes := map[int]*Node{}
+	var edges []edge
+	maxID := -1
+	regression := false
+
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 1024*1024), 1024*1024)
+	lineNo := 0
+	for sc.Scan() {
+		lineNo++
+		line := strings.TrimSpace(sc.Text())
+		switch {
+		case line == "" || strings.HasPrefix(line, "digraph") ||
+			strings.HasPrefix(line, "node ") || line == "}":
+			continue
+		case strings.Contains(line, "->"):
+			e, err := parseDOTEdge(line)
+			if err != nil {
+				return nil, fmt.Errorf("tree: dot line %d: %w", lineNo, err)
+			}
+			edges = append(edges, edge{e.from, e.to, e.val})
+			if e.from > maxID {
+				maxID = e.from
+			}
+			if e.to > maxID {
+				maxID = e.to
+			}
+		default:
+			id, n, err := parseDOTNode(line)
+			if err != nil {
+				return nil, fmt.Errorf("tree: dot line %d: %w", lineNo, err)
+			}
+			if strings.Contains(line, `"rleaf `) {
+				regression = true
+			}
+			nodes[id] = n
+			if id > maxID {
+				maxID = id
+			}
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return nil, fmt.Errorf("tree: reading dot: %w", err)
+	}
+	if maxID < 0 {
+		return nil, fmt.Errorf("tree: dot input contains no nodes")
+	}
+	if len(nodes) != maxID+1 {
+		return nil, fmt.Errorf("tree: dot defines %d nodes but ids reach %d", len(nodes), maxID)
+	}
+
+	t := &Tree{
+		Nodes:       make([]Node, maxID+1),
+		NumFeatures: numFeatures,
+		NumClasses:  numClasses,
+	}
+	if regression {
+		t.Kind = Regression
+		t.NumClasses = 0
+	}
+	for id, n := range nodes {
+		t.Nodes[id] = *n
+	}
+	// Attach children: the "true" edge is Left.
+	sort.SliceStable(edges, func(i, j int) bool { return edges[i].from < edges[j].from })
+	for _, e := range edges {
+		n := &t.Nodes[e.from]
+		if n.IsLeaf() {
+			return nil, fmt.Errorf("tree: dot edge from leaf node %d", e.from)
+		}
+		if e.val {
+			n.Left = int32(e.to)
+		} else {
+			n.Right = int32(e.to)
+		}
+	}
+	if err := t.Validate(); err != nil {
+		return nil, err
+	}
+	return t, nil
+}
+
+type dotEdge struct {
+	from, to int
+	val      bool
+}
+
+func parseDOTEdge(line string) (dotEdge, error) {
+	// Form: `0 -> 1 [label="true"] ;`
+	var e dotEdge
+	arrow := strings.Index(line, "->")
+	if arrow < 0 {
+		return e, fmt.Errorf("malformed edge %q", line)
+	}
+	from, err := strconv.Atoi(strings.TrimSpace(line[:arrow]))
+	if err != nil {
+		return e, fmt.Errorf("edge source in %q: %w", line, err)
+	}
+	rest := strings.TrimSpace(line[arrow+2:])
+	end := strings.IndexAny(rest, " [;")
+	if end < 0 {
+		end = len(rest)
+	}
+	to, err := strconv.Atoi(rest[:end])
+	if err != nil {
+		return e, fmt.Errorf("edge target in %q: %w", line, err)
+	}
+	e.from, e.to = from, to
+	e.val = strings.Contains(rest, `"true"`)
+	if !e.val && !strings.Contains(rest, `"false"`) {
+		return e, fmt.Errorf("edge %q lacks a true/false label", line)
+	}
+	return e, nil
+}
+
+func parseDOTNode(line string) (int, *Node, error) {
+	open := strings.Index(line, "[label=\"")
+	if open < 0 {
+		return 0, nil, fmt.Errorf("malformed node %q", line)
+	}
+	id, err := strconv.Atoi(strings.TrimSpace(line[:open]))
+	if err != nil {
+		return 0, nil, fmt.Errorf("node id in %q: %w", line, err)
+	}
+	labelStart := open + len("[label=\"")
+	close := strings.Index(line[labelStart:], "\"")
+	if close < 0 {
+		return 0, nil, fmt.Errorf("unterminated label in %q", line)
+	}
+	label := line[labelStart : labelStart+close]
+	if strings.HasPrefix(label, "rleaf ") {
+		n, err := parseRegLeafLabel(label)
+		return id, n, err
+	}
+	if strings.HasPrefix(label, "leaf ") {
+		n, err := parseLeafLabel(label)
+		return id, n, err
+	}
+	n, err := parseInternalLabel(label)
+	return id, n, err
+}
+
+func parseLeafLabel(label string) (*Node, error) {
+	// Form: `leaf label=3 value=[1 0 2]`
+	var lab int
+	if _, err := fmt.Sscanf(label, "leaf label=%d", &lab); err != nil {
+		return nil, fmt.Errorf("leaf label in %q: %w", label, err)
+	}
+	n := &Node{Feature: NoFeature, Label: int32(lab)}
+	if open := strings.Index(label, "value=["); open >= 0 {
+		closeIdx := strings.Index(label[open:], "]")
+		if closeIdx < 0 {
+			return nil, fmt.Errorf("unterminated value list in %q", label)
+		}
+		fields := strings.Fields(label[open+len("value=[") : open+closeIdx])
+		n.Counts = make([]int32, len(fields))
+		for i, f := range fields {
+			v, err := strconv.Atoi(f)
+			if err != nil {
+				return nil, fmt.Errorf("leaf count %q: %w", f, err)
+			}
+			n.Counts[i] = int32(v)
+		}
+	}
+	return n, nil
+}
+
+func parseRegLeafLabel(label string) (*Node, error) {
+	// Form: `rleaf value=3.5`
+	var v float64
+	if _, err := fmt.Sscanf(label, "rleaf value=%g", &v); err != nil {
+		return nil, fmt.Errorf("regression leaf label in %q: %w", label, err)
+	}
+	return &Node{Feature: NoFeature, Value: float32(v)}, nil
+}
+
+func parseInternalLabel(label string) (*Node, error) {
+	// Form: `x[12] <= 3.5`
+	var feat int
+	var thresh float64
+	if _, err := fmt.Sscanf(label, "x[%d] <= %g", &feat, &thresh); err != nil {
+		return nil, fmt.Errorf("internal node label %q: %w", label, err)
+	}
+	return &Node{Feature: int32(feat), Threshold: float32(thresh)}, nil
+}

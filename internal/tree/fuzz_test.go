@@ -1,0 +1,40 @@
+package tree
+
+import (
+	"strings"
+	"testing"
+
+	"bolt/internal/dataset"
+)
+
+// FuzzUnmarshalDOT throws arbitrary text at the DOT parser: it must
+// never panic, and any tree it accepts must validate.
+func FuzzUnmarshalDOT(f *testing.F) {
+	d := dataset.SyntheticBlobs(100, 4, 2, 1.0, 61)
+	tr := Train(d, nil, Config{MaxDepth: 3, Seed: 62})
+	var sb strings.Builder
+	if err := tr.MarshalDOT(&sb); err != nil {
+		f.Fatal(err)
+	}
+	f.Add(sb.String())
+	f.Add("digraph Tree {\n}")
+	f.Add(`digraph Tree {
+0 [label="x[0] <= 0.5"] ;
+1 [label="leaf label=1 value=[0 3]"] ;
+2 [label="leaf label=0 value=[2 0]"] ;
+0 -> 1 [label="true"] ;
+0 -> 2 [label="false"] ;
+}`)
+	f.Add("0 -> 999999")
+	f.Add(`0 [label="x[-1] <= 1"] ;`)
+
+	f.Fuzz(func(t *testing.T, dot string) {
+		tr, err := UnmarshalDOT(strings.NewReader(dot), 4, 2)
+		if err != nil {
+			return
+		}
+		if err := tr.Validate(); err != nil {
+			t.Fatalf("parser accepted invalid tree: %v", err)
+		}
+	})
+}

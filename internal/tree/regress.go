@@ -1,0 +1,162 @@
+package tree
+
+import (
+	"sort"
+
+	"bolt/internal/dataset"
+	"bolt/internal/rng"
+)
+
+// TrainRegression fits a CART regression tree (variance-reduction
+// splits, mean-value leaves) on the samples of d selected by indices
+// (all when nil). d must be a regression dataset. MaxDepth,
+// MinSamplesSplit/Leaf and MaxFeatures behave as in Train; Criterion is
+// ignored (regression always minimises within-node variance).
+func TrainRegression(d *dataset.Dataset, indices []int, cfg Config) *Tree {
+	if !d.IsRegression() {
+		panic("tree: TrainRegression requires a regression dataset")
+	}
+	if indices == nil {
+		indices = make([]int, d.Len())
+		for i := range indices {
+			indices[i] = i
+		}
+	}
+	if len(indices) == 0 {
+		panic("tree: TrainRegression with no samples")
+	}
+	cfg = cfg.normalized(d.NumFeatures)
+	b := &regBuilder{
+		d:   d,
+		cfg: cfg,
+		r:   rng.New(cfg.Seed),
+		t: &Tree{
+			NumFeatures: d.NumFeatures,
+			Kind:        Regression,
+		},
+	}
+	idx := make([]int, len(indices))
+	copy(idx, indices)
+	b.grow(idx, 0)
+	return b.t
+}
+
+type regBuilder struct {
+	d   *dataset.Dataset
+	cfg Config
+	r   *rng.Source
+	t   *Tree
+}
+
+func (b *regBuilder) grow(idx []int, depth int) int32 {
+	self := int32(len(b.t.Nodes))
+	sum, sumSq := 0.0, 0.0
+	for _, i := range idx {
+		v := float64(b.d.Values[i])
+		sum += v
+		sumSq += v * v
+	}
+	n := float64(len(idx))
+	mean := sum / n
+	variance := sumSq/n - mean*mean
+
+	stop := (b.cfg.MaxDepth > 0 && depth >= b.cfg.MaxDepth) ||
+		len(idx) < b.cfg.MinSamplesSplit ||
+		variance <= 1e-12
+	if !stop {
+		feat, thresh, ok := b.bestSplit(idx, sum, sumSq)
+		if ok {
+			lo, hi := 0, len(idx)
+			for lo < hi {
+				if b.d.X[idx[lo]][feat] <= thresh {
+					lo++
+				} else {
+					hi--
+					idx[lo], idx[hi] = idx[hi], idx[lo]
+				}
+			}
+			left, right := idx[:lo], idx[lo:]
+			if len(left) >= b.cfg.MinSamplesLeaf && len(right) >= b.cfg.MinSamplesLeaf {
+				b.t.Nodes = append(b.t.Nodes, Node{Feature: feat, Threshold: thresh})
+				l := b.grow(left, depth+1)
+				r := b.grow(right, depth+1)
+				b.t.Nodes[self].Left = l
+				b.t.Nodes[self].Right = r
+				return self
+			}
+		}
+	}
+	b.t.Nodes = append(b.t.Nodes, Node{Feature: NoFeature, Value: float32(mean)})
+	return self
+}
+
+// bestSplit minimises the weighted child variance (equivalently,
+// maximises variance reduction) with an incremental sum/sum-of-squares
+// scan over each candidate feature.
+func (b *regBuilder) bestSplit(idx []int, totalSum, totalSumSq float64) (feature int32, threshold float32, ok bool) {
+	n := len(idx)
+	parentSSE := totalSumSq - totalSum*totalSum/float64(n)
+	bestGain := 1e-12
+
+	type valTarget struct {
+		v float32
+		y float64
+	}
+	pairs := make([]valTarget, n)
+	for _, f := range b.sampleFeatures() {
+		for i, s := range idx {
+			pairs[i] = valTarget{b.d.X[s][f], float64(b.d.Values[s])}
+		}
+		sort.Slice(pairs, func(i, j int) bool { return pairs[i].v < pairs[j].v })
+		if pairs[0].v == pairs[n-1].v {
+			continue
+		}
+		leftSum, leftSumSq := 0.0, 0.0
+		for i := 0; i < n-1; i++ {
+			leftSum += pairs[i].y
+			leftSumSq += pairs[i].y * pairs[i].y
+			if pairs[i].v == pairs[i+1].v {
+				continue
+			}
+			nl := float64(i + 1)
+			nr := float64(n - i - 1)
+			if int(nl) < b.cfg.MinSamplesLeaf || int(nr) < b.cfg.MinSamplesLeaf {
+				continue
+			}
+			rightSum := totalSum - leftSum
+			rightSumSq := totalSumSq - leftSumSq
+			sse := (leftSumSq - leftSum*leftSum/nl) + (rightSumSq - rightSum*rightSum/nr)
+			gain := parentSSE - sse
+			if gain > bestGain {
+				bestGain = gain
+				feature = f
+				threshold = pairs[i].v + (pairs[i+1].v-pairs[i].v)/2
+				if threshold >= pairs[i+1].v {
+					threshold = pairs[i].v
+				}
+				ok = true
+			}
+		}
+	}
+	return feature, threshold, ok
+}
+
+// sampleFeatures mirrors the classification builder's feature
+// subsampling.
+func (b *regBuilder) sampleFeatures() []int32 {
+	k := b.cfg.MaxFeatures
+	f := b.d.NumFeatures
+	if k >= f {
+		all := make([]int32, f)
+		for i := range all {
+			all[i] = int32(i)
+		}
+		return all
+	}
+	perm := b.r.Perm(f)
+	out := make([]int32, k)
+	for i := 0; i < k; i++ {
+		out[i] = int32(perm[i])
+	}
+	return out
+}

@@ -1,0 +1,136 @@
+package tree
+
+import (
+	"math"
+	"strings"
+	"testing"
+
+	"bolt/internal/dataset"
+)
+
+func TestTrainRegressionFitsFriedman(t *testing.T) {
+	d := dataset.SyntheticFriedman(800, 0.5, 71)
+	train, test := d.Split(0.8, 72)
+	tr := TrainRegression(train, nil, Config{MaxDepth: 8, MaxFeatures: -1, Seed: 73})
+	if err := tr.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if tr.Kind != Regression {
+		t.Fatal("kind not set")
+	}
+	pred := make([]float32, test.Len())
+	for i, x := range test.X {
+		pred[i] = tr.PredictValue(x)
+	}
+	rmse := dataset.RMSE(pred, test.Values)
+	// Friedman#1 targets span roughly [0,30]; a depth-8 tree should get
+	// well under a 5-RMSE.
+	if rmse > 5 {
+		t.Errorf("RMSE %.2f too high", rmse)
+	}
+	// Beats the constant-mean predictor decisively.
+	mean := float32(0)
+	for _, v := range train.Values {
+		mean += v
+	}
+	mean /= float32(train.Len())
+	constPred := make([]float32, test.Len())
+	for i := range constPred {
+		constPred[i] = mean
+	}
+	if base := dataset.RMSE(constPred, test.Values); rmse > base*0.7 {
+		t.Errorf("RMSE %.2f not well below mean-predictor %.2f", rmse, base)
+	}
+}
+
+func TestTrainRegressionRespectsDepth(t *testing.T) {
+	d := dataset.SyntheticFriedman(300, 1, 74)
+	for _, depth := range []int{1, 3, 5} {
+		tr := TrainRegression(d, nil, Config{MaxDepth: depth, Seed: 75})
+		if got := tr.Depth(); got > depth {
+			t.Errorf("MaxDepth=%d produced depth %d", depth, got)
+		}
+	}
+}
+
+func TestTrainRegressionLeafValueIsMean(t *testing.T) {
+	// Constant features force a single leaf whose value is the target
+	// mean.
+	d := &dataset.Dataset{Name: "const", NumFeatures: 1,
+		X: [][]float32{{1}, {1}, {1}, {1}}, Values: []float32{1, 2, 3, 6}}
+	tr := TrainRegression(d, nil, Config{MaxDepth: 4, MaxFeatures: -1})
+	if len(tr.Nodes) != 1 {
+		t.Fatalf("expected single leaf, got %d nodes", len(tr.Nodes))
+	}
+	if v := tr.Nodes[0].Value; math.Abs(float64(v)-3) > 1e-6 {
+		t.Errorf("leaf value %g, want mean 3", v)
+	}
+}
+
+func TestTrainRegressionPanics(t *testing.T) {
+	clf := dataset.SyntheticBlobs(10, 2, 2, 1, 1)
+	t.Run("classification dataset", func(t *testing.T) {
+		defer func() {
+			if recover() == nil {
+				t.Fatal("expected panic")
+			}
+		}()
+		TrainRegression(clf, nil, Config{})
+	})
+	reg := dataset.SyntheticFriedman(10, 1, 2)
+	t.Run("empty indices", func(t *testing.T) {
+		defer func() {
+			if recover() == nil {
+				t.Fatal("expected panic")
+			}
+		}()
+		TrainRegression(reg, []int{}, Config{})
+	})
+}
+
+func TestRegressionValidate(t *testing.T) {
+	d := dataset.SyntheticFriedman(100, 1, 76)
+	tr := TrainRegression(d, nil, Config{MaxDepth: 3, Seed: 77})
+	bad := *tr
+	bad.NumClasses = 5
+	if bad.Validate() == nil {
+		t.Error("regression tree with classes accepted")
+	}
+	bad2 := *tr
+	bad2.Kind = Kind(7)
+	if bad2.Validate() == nil {
+		t.Error("unknown kind accepted")
+	}
+}
+
+func TestRegressionDeterministic(t *testing.T) {
+	d := dataset.SyntheticFriedman(200, 1, 78)
+	a := TrainRegression(d, nil, Config{MaxDepth: 4, Seed: 79})
+	b := TrainRegression(d, nil, Config{MaxDepth: 4, Seed: 79})
+	for _, x := range d.X[:50] {
+		if a.PredictValue(x) != b.PredictValue(x) {
+			t.Fatal("same-seed regression trees disagree")
+		}
+	}
+}
+
+func TestRegressionDOTRoundTrip(t *testing.T) {
+	d := dataset.SyntheticFriedman(300, 1, 95)
+	tr := TrainRegression(d, nil, Config{MaxDepth: 4, Seed: 96})
+	var sb strings.Builder
+	if err := tr.MarshalDOT(&sb); err != nil {
+		t.Fatal(err)
+	}
+	back, err := UnmarshalDOT(strings.NewReader(sb.String()), d.NumFeatures, 0)
+	if err != nil {
+		t.Fatalf("UnmarshalDOT: %v\ndot:\n%s", err, sb.String())
+	}
+	if back.Kind != Regression {
+		t.Fatal("round-trip lost regression kind")
+	}
+	for _, x := range d.X[:100] {
+		if tr.PredictValue(x) != back.PredictValue(x) {
+			t.Fatal("regression DOT round-trip diverges")
+		}
+	}
+}

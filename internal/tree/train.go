@@ -1,0 +1,296 @@
+package tree
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"bolt/internal/dataset"
+	"bolt/internal/rng"
+)
+
+// Criterion selects the impurity measure used to score splits.
+type Criterion int
+
+const (
+	// Gini is the Gini impurity (Scikit-Learn's default).
+	Gini Criterion = iota
+	// Entropy is the information-gain criterion.
+	Entropy
+)
+
+// String implements fmt.Stringer.
+func (c Criterion) String() string {
+	switch c {
+	case Gini:
+		return "gini"
+	case Entropy:
+		return "entropy"
+	default:
+		return fmt.Sprintf("Criterion(%d)", int(c))
+	}
+}
+
+// Config controls CART training. The zero value plus a MaxDepth is a
+// reasonable forest member configuration; see Default.
+type Config struct {
+	// MaxDepth bounds tree height (edges root->leaf). The paper's
+	// experiments sweep this ("maximum height", Fig. 11A). <= 0 means
+	// unbounded.
+	MaxDepth int
+	// MinSamplesSplit is the minimum node size eligible for splitting.
+	// Values < 2 are treated as 2.
+	MinSamplesSplit int
+	// MinSamplesLeaf is the minimum training samples each child must
+	// receive. Values < 1 are treated as 1.
+	MinSamplesLeaf int
+	// MaxFeatures is the number of features examined per split. 0 means
+	// round(sqrt(NumFeatures)) — the random-forest default. Negative
+	// means all features (plain CART).
+	MaxFeatures int
+	// Criterion selects Gini (default) or Entropy.
+	Criterion Criterion
+	// Seed drives feature subsampling.
+	Seed uint64
+}
+
+func (c Config) normalized(numFeatures int) Config {
+	if c.MinSamplesSplit < 2 {
+		c.MinSamplesSplit = 2
+	}
+	if c.MinSamplesLeaf < 1 {
+		c.MinSamplesLeaf = 1
+	}
+	switch {
+	case c.MaxFeatures == 0:
+		c.MaxFeatures = int(math.Round(math.Sqrt(float64(numFeatures))))
+		if c.MaxFeatures < 1 {
+			c.MaxFeatures = 1
+		}
+	case c.MaxFeatures < 0 || c.MaxFeatures > numFeatures:
+		c.MaxFeatures = numFeatures
+	}
+	return c
+}
+
+// Train fits a CART tree on the samples of d selected by indices (all
+// samples when indices is nil).
+func Train(d *dataset.Dataset, indices []int, cfg Config) *Tree {
+	if indices == nil {
+		indices = make([]int, d.Len())
+		for i := range indices {
+			indices[i] = i
+		}
+	}
+	if len(indices) == 0 {
+		panic("tree: Train with no samples")
+	}
+	cfg = cfg.normalized(d.NumFeatures)
+	b := &builder{
+		d:   d,
+		cfg: cfg,
+		r:   rng.New(cfg.Seed),
+		t: &Tree{
+			NumFeatures: d.NumFeatures,
+			NumClasses:  d.NumClasses,
+		},
+	}
+	idx := make([]int, len(indices))
+	copy(idx, indices) // grow() partitions in place; do not mutate caller's slice
+	b.grow(idx, 0)
+	return b.t
+}
+
+type builder struct {
+	d   *dataset.Dataset
+	cfg Config
+	r   *rng.Source
+	t   *Tree
+}
+
+// grow appends the subtree for the given samples and returns its root
+// index. Children are always appended after their parent, establishing
+// the ordering invariant Validate checks.
+func (b *builder) grow(idx []int, depth int) int32 {
+	counts := make([]int32, b.d.NumClasses)
+	for _, i := range idx {
+		counts[b.d.Y[i]]++
+	}
+	self := int32(len(b.t.Nodes))
+	if b.shouldStop(idx, counts, depth) {
+		b.t.Nodes = append(b.t.Nodes, leafNode(counts))
+		return self
+	}
+	feat, thresh, ok := b.bestSplit(idx, counts)
+	if !ok {
+		b.t.Nodes = append(b.t.Nodes, leafNode(counts))
+		return self
+	}
+	// Partition idx in place around the split.
+	lo, hi := 0, len(idx)
+	for lo < hi {
+		if b.d.X[idx[lo]][feat] <= thresh {
+			lo++
+		} else {
+			hi--
+			idx[lo], idx[hi] = idx[hi], idx[lo]
+		}
+	}
+	left, right := idx[:lo], idx[lo:]
+	if len(left) < b.cfg.MinSamplesLeaf || len(right) < b.cfg.MinSamplesLeaf {
+		b.t.Nodes = append(b.t.Nodes, leafNode(counts))
+		return self
+	}
+	b.t.Nodes = append(b.t.Nodes, Node{Feature: feat, Threshold: thresh})
+	l := b.grow(left, depth+1)
+	r := b.grow(right, depth+1)
+	b.t.Nodes[self].Left = l
+	b.t.Nodes[self].Right = r
+	return self
+}
+
+func (b *builder) shouldStop(idx []int, counts []int32, depth int) bool {
+	if b.cfg.MaxDepth > 0 && depth >= b.cfg.MaxDepth {
+		return true
+	}
+	if len(idx) < b.cfg.MinSamplesSplit {
+		return true
+	}
+	nonzero := 0
+	for _, c := range counts {
+		if c > 0 {
+			nonzero++
+		}
+	}
+	return nonzero <= 1 // pure node
+}
+
+func leafNode(counts []int32) Node {
+	label := int32(0)
+	best := int32(-1)
+	for c, n := range counts {
+		if n > best {
+			best = n
+			label = int32(c)
+		}
+	}
+	return Node{Feature: NoFeature, Label: label, Counts: counts}
+}
+
+// bestSplit scans a random feature subset for the impurity-minimising
+// threshold. Returns ok=false when no split improves on the parent.
+func (b *builder) bestSplit(idx []int, parentCounts []int32) (feature int32, threshold float32, ok bool) {
+	n := len(idx)
+	parentImp := b.impurity(parentCounts, n)
+	if parentImp == 0 {
+		return 0, 0, false
+	}
+	bestGain := 1e-12 // require strictly positive gain
+	features := b.sampleFeatures()
+
+	type valLab struct {
+		v float32
+		y int32
+	}
+	pairs := make([]valLab, n)
+	leftCounts := make([]int32, b.d.NumClasses)
+	rightCounts := make([]int32, b.d.NumClasses)
+
+	for _, f := range features {
+		for i, s := range idx {
+			pairs[i] = valLab{b.d.X[s][f], int32(b.d.Y[s])}
+		}
+		sort.Slice(pairs, func(i, j int) bool { return pairs[i].v < pairs[j].v })
+		if pairs[0].v == pairs[n-1].v {
+			continue // constant feature
+		}
+		for i := range leftCounts {
+			leftCounts[i] = 0
+		}
+		copy(rightCounts, parentCounts)
+		for i := 0; i < n-1; i++ {
+			leftCounts[pairs[i].y]++
+			rightCounts[pairs[i].y]--
+			if pairs[i].v == pairs[i+1].v {
+				continue // can only split between distinct values
+			}
+			nl := i + 1
+			nr := n - nl
+			if nl < b.cfg.MinSamplesLeaf || nr < b.cfg.MinSamplesLeaf {
+				continue
+			}
+			impL := b.impurity(leftCounts, nl)
+			impR := b.impurity(rightCounts, nr)
+			gain := parentImp - (float64(nl)*impL+float64(nr)*impR)/float64(n)
+			if gain > bestGain {
+				bestGain = gain
+				feature = f
+				// Midpoint threshold, like Scikit-Learn. float32
+				// arithmetic keeps the value representable so that
+				// "v <= threshold" cleanly separates the two sides.
+				threshold = pairs[i].v + (pairs[i+1].v-pairs[i].v)/2
+				if threshold >= pairs[i+1].v {
+					threshold = pairs[i].v
+				}
+				ok = true
+			}
+		}
+	}
+	return feature, threshold, ok
+}
+
+// sampleFeatures draws MaxFeatures distinct feature indices.
+func (b *builder) sampleFeatures() []int32 {
+	k := b.cfg.MaxFeatures
+	f := b.d.NumFeatures
+	if k >= f {
+		all := make([]int32, f)
+		for i := range all {
+			all[i] = int32(i)
+		}
+		return all
+	}
+	// Partial Fisher–Yates over a scratch permutation.
+	perm := b.r.Perm(f)
+	out := make([]int32, k)
+	for i := 0; i < k; i++ {
+		out[i] = int32(perm[i])
+	}
+	return out
+}
+
+func (b *builder) impurity(counts []int32, n int) float64 {
+	switch b.cfg.Criterion {
+	case Entropy:
+		return entropyImpurity(counts, n)
+	default:
+		return giniImpurity(counts, n)
+	}
+}
+
+func giniImpurity(counts []int32, n int) float64 {
+	if n == 0 {
+		return 0
+	}
+	sumSq := 0.0
+	for _, c := range counts {
+		p := float64(c) / float64(n)
+		sumSq += p * p
+	}
+	return 1 - sumSq
+}
+
+func entropyImpurity(counts []int32, n int) float64 {
+	if n == 0 {
+		return 0
+	}
+	h := 0.0
+	for _, c := range counts {
+		if c == 0 {
+			continue
+		}
+		p := float64(c) / float64(n)
+		h -= p * math.Log2(p)
+	}
+	return h
+}

@@ -1,0 +1,167 @@
+// Package tree implements the decision-tree substrate: a flat,
+// index-based binary tree representation, a CART trainer (Gini or
+// entropy impurity, bounded depth, random feature subsetting — the
+// Scikit-Learn configuration the paper trains with), and the DOT
+// import/export path the paper uses to move trees from the trainer into
+// Bolt (§5: "we converted each tree in the forest to DOT files").
+//
+// Every internal node tests x[Feature] <= Threshold; the left child is
+// taken when the test is true. Leaves carry the training-sample class
+// counts and the majority label.
+package tree
+
+import (
+	"errors"
+	"fmt"
+)
+
+// NoFeature marks a leaf node's Feature field.
+const NoFeature int32 = -1
+
+// Kind distinguishes classification trees (integer-labelled leaves)
+// from regression trees (value leaves).
+type Kind int
+
+const (
+	// Classification trees carry Label/Counts leaves.
+	Classification Kind = iota
+	// Regression trees carry Value leaves.
+	Regression
+)
+
+// Node is one tree node in the flat Nodes array. Internal nodes have
+// Feature >= 0 and valid child indices; leaves have Feature == NoFeature
+// and carry Counts/Label (classification) or Value (regression).
+type Node struct {
+	Feature   int32   // feature index tested, NoFeature for leaves
+	Threshold float32 // test: x[Feature] <= Threshold
+	Left      int32   // child index when the test is true
+	Right     int32   // child index when the test is false
+	Label     int32   // classification leaf: majority class
+	Counts    []int32 // classification leaf: per-class sample counts
+	Value     float32 // regression leaf: mean training target
+}
+
+// IsLeaf reports whether the node is a leaf.
+func (n *Node) IsLeaf() bool { return n.Feature == NoFeature }
+
+// Tree is a trained decision tree. Node 0 is the root. The zero value is
+// an empty, unusable tree; obtain trees from Train, TrainRegression or
+// UnmarshalDOT. NumClasses is 0 for regression trees.
+type Tree struct {
+	Nodes       []Node
+	NumFeatures int
+	NumClasses  int
+	Kind        Kind
+}
+
+// Validate checks structural invariants: children in range, no cycles
+// (child index strictly greater than parent is the construction
+// invariant), leaves labelled within range.
+func (t *Tree) Validate() error {
+	if len(t.Nodes) == 0 {
+		return errors.New("tree: no nodes")
+	}
+	if t.NumFeatures <= 0 {
+		return fmt.Errorf("tree: invalid feature count %d", t.NumFeatures)
+	}
+	switch t.Kind {
+	case Classification:
+		if t.NumClasses <= 0 {
+			return fmt.Errorf("tree: classification tree with %d classes", t.NumClasses)
+		}
+	case Regression:
+		if t.NumClasses != 0 {
+			return fmt.Errorf("tree: regression tree claims %d classes", t.NumClasses)
+		}
+	default:
+		return fmt.Errorf("tree: unknown kind %d", t.Kind)
+	}
+	for i := range t.Nodes {
+		n := &t.Nodes[i]
+		if n.IsLeaf() {
+			if t.Kind == Classification {
+				if n.Label < 0 || int(n.Label) >= t.NumClasses {
+					return fmt.Errorf("tree: node %d leaf label %d outside [0,%d)", i, n.Label, t.NumClasses)
+				}
+				if n.Counts != nil && len(n.Counts) != t.NumClasses {
+					return fmt.Errorf("tree: node %d has %d counts, want %d", i, len(n.Counts), t.NumClasses)
+				}
+			}
+			continue
+		}
+		if int(n.Feature) >= t.NumFeatures {
+			return fmt.Errorf("tree: node %d tests feature %d outside [0,%d)", i, n.Feature, t.NumFeatures)
+		}
+		for _, c := range []int32{n.Left, n.Right} {
+			if c <= int32(i) || int(c) >= len(t.Nodes) {
+				return fmt.Errorf("tree: node %d child %d out of order or range", i, c)
+			}
+		}
+	}
+	return nil
+}
+
+// LeafIndex descends the tree for sample x and returns the index of the
+// matching leaf node.
+func (t *Tree) LeafIndex(x []float32) int32 {
+	i := int32(0)
+	for {
+		n := &t.Nodes[i]
+		if n.IsLeaf() {
+			return i
+		}
+		if x[n.Feature] <= n.Threshold {
+			i = n.Left
+		} else {
+			i = n.Right
+		}
+	}
+}
+
+// Predict returns the majority-class label of the leaf matching x
+// (classification trees).
+func (t *Tree) Predict(x []float32) int {
+	return int(t.Nodes[t.LeafIndex(x)].Label)
+}
+
+// PredictValue returns the value of the leaf matching x (regression
+// trees).
+func (t *Tree) PredictValue(x []float32) float32 {
+	return t.Nodes[t.LeafIndex(x)].Value
+}
+
+// Depth returns the number of edges on the longest root-to-leaf path.
+func (t *Tree) Depth() int {
+	if len(t.Nodes) == 0 {
+		return 0
+	}
+	return t.depthFrom(0)
+}
+
+func (t *Tree) depthFrom(i int32) int {
+	n := &t.Nodes[i]
+	if n.IsLeaf() {
+		return 0
+	}
+	l := t.depthFrom(n.Left)
+	r := t.depthFrom(n.Right)
+	if l > r {
+		return l + 1
+	}
+	return r + 1
+}
+
+// NumLeaves returns the number of leaf nodes.
+func (t *Tree) NumLeaves() int {
+	c := 0
+	for i := range t.Nodes {
+		if t.Nodes[i].IsLeaf() {
+			c++
+		}
+	}
+	return c
+}
+
+// NumInternal returns the number of internal (test) nodes.
+func (t *Tree) NumInternal() int { return len(t.Nodes) - t.NumLeaves() }

@@ -1,0 +1,352 @@
+package tree
+
+import (
+	"math"
+	"strings"
+	"testing"
+	"testing/quick"
+
+	"bolt/internal/dataset"
+	"bolt/internal/rng"
+)
+
+// handTree builds the Fig. 2 example: root tests f0, left child tests f1,
+// right child tests f2.
+func handTree(t *testing.T) *Tree {
+	tr := &Tree{
+		NumFeatures: 3,
+		NumClasses:  2,
+		Nodes: []Node{
+			{Feature: 0, Threshold: 0.5, Left: 1, Right: 2},
+			{Feature: 1, Threshold: 0.5, Left: 3, Right: 4},
+			{Feature: 2, Threshold: 0.5, Left: 5, Right: 6},
+			{Feature: NoFeature, Label: 1, Counts: []int32{0, 5}}, // yes
+			{Feature: NoFeature, Label: 0, Counts: []int32{4, 0}}, // no
+			{Feature: NoFeature, Label: 0, Counts: []int32{3, 0}}, // no
+			{Feature: NoFeature, Label: 1, Counts: []int32{0, 2}}, // yes
+		},
+	}
+	if err := tr.Validate(); err != nil {
+		t.Fatalf("hand tree invalid: %v", err)
+	}
+	return tr
+}
+
+func TestPredictHandTree(t *testing.T) {
+	tr := handTree(t)
+	cases := []struct {
+		x    []float32
+		want int
+	}{
+		{[]float32{0, 0, 0}, 1}, // f0<=.5, f1<=.5 -> leaf 3
+		{[]float32{0, 1, 0}, 0}, // f0<=.5, f1>.5 -> leaf 4
+		{[]float32{1, 0, 0}, 0}, // f0>.5, f2<=.5 -> leaf 5
+		{[]float32{1, 0, 1}, 1}, // f0>.5, f2>.5 -> leaf 6
+	}
+	for _, c := range cases {
+		if got := tr.Predict(c.x); got != c.want {
+			t.Errorf("Predict(%v) = %d, want %d", c.x, got, c.want)
+		}
+	}
+	if tr.Depth() != 2 {
+		t.Errorf("Depth = %d, want 2", tr.Depth())
+	}
+	if tr.NumLeaves() != 4 || tr.NumInternal() != 3 {
+		t.Errorf("leaves/internal = %d/%d, want 4/3", tr.NumLeaves(), tr.NumInternal())
+	}
+}
+
+func TestValidateRejects(t *testing.T) {
+	base := handTree(t)
+	mutate := func(fn func(*Tree)) *Tree {
+		c := &Tree{NumFeatures: base.NumFeatures, NumClasses: base.NumClasses,
+			Nodes: append([]Node(nil), base.Nodes...)}
+		fn(c)
+		return c
+	}
+	cases := map[string]*Tree{
+		"empty":          {NumFeatures: 1, NumClasses: 1},
+		"bad feature":    mutate(func(tr *Tree) { tr.Nodes[0].Feature = 99 }),
+		"child backward": mutate(func(tr *Tree) { tr.Nodes[1].Left = 0 }),
+		"child range":    mutate(func(tr *Tree) { tr.Nodes[2].Right = 42 }),
+		"bad label":      mutate(func(tr *Tree) { tr.Nodes[3].Label = 5 }),
+		"bad counts len": mutate(func(tr *Tree) { tr.Nodes[3].Counts = []int32{1} }),
+		"self loop":      mutate(func(tr *Tree) { tr.Nodes[0].Left = 0 }),
+		"zero classes":   mutate(func(tr *Tree) { tr.NumClasses = 0 }),
+		"zero features":  mutate(func(tr *Tree) { tr.NumFeatures = 0 }),
+		"negative label": mutate(func(tr *Tree) { tr.Nodes[3].Label = -1 }),
+	}
+	for name, tr := range cases {
+		if err := tr.Validate(); err == nil {
+			t.Errorf("%s: Validate accepted corrupt tree", name)
+		}
+	}
+}
+
+func TestTrainSeparatesBlobs(t *testing.T) {
+	d := dataset.SyntheticBlobs(400, 6, 3, 0.4, 1)
+	tr := Train(d, nil, Config{MaxDepth: 6, Seed: 1, MaxFeatures: -1})
+	if err := tr.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	pred := make([]int, d.Len())
+	for i, x := range d.X {
+		pred[i] = tr.Predict(x)
+	}
+	if acc := dataset.Accuracy(pred, d.Y); acc < 0.95 {
+		t.Errorf("training accuracy %g < 0.95", acc)
+	}
+}
+
+func TestTrainRespectsMaxDepth(t *testing.T) {
+	d := dataset.SyntheticBlobs(500, 6, 4, 2.0, 2)
+	for _, depth := range []int{1, 2, 4, 8} {
+		tr := Train(d, nil, Config{MaxDepth: depth, Seed: 3})
+		if got := tr.Depth(); got > depth {
+			t.Errorf("MaxDepth=%d produced tree of depth %d", depth, got)
+		}
+	}
+}
+
+func TestTrainRespectsMinSamplesLeaf(t *testing.T) {
+	d := dataset.SyntheticBlobs(200, 4, 2, 3.0, 4)
+	tr := Train(d, nil, Config{MaxDepth: 10, MinSamplesLeaf: 20, Seed: 5})
+	for i := range tr.Nodes {
+		n := &tr.Nodes[i]
+		if !n.IsLeaf() {
+			continue
+		}
+		total := int32(0)
+		for _, c := range n.Counts {
+			total += c
+		}
+		if total < 20 {
+			t.Errorf("leaf %d holds %d samples < MinSamplesLeaf 20", i, total)
+		}
+	}
+}
+
+func TestTrainDeterministicForSeed(t *testing.T) {
+	d := dataset.SyntheticBlobs(200, 5, 3, 1.0, 6)
+	a := Train(d, nil, Config{MaxDepth: 5, Seed: 7})
+	b := Train(d, nil, Config{MaxDepth: 5, Seed: 7})
+	if len(a.Nodes) != len(b.Nodes) {
+		t.Fatalf("node counts differ: %d vs %d", len(a.Nodes), len(b.Nodes))
+	}
+	for i := range a.Nodes {
+		if a.Nodes[i].Feature != b.Nodes[i].Feature || a.Nodes[i].Threshold != b.Nodes[i].Threshold {
+			t.Fatalf("trees diverge at node %d", i)
+		}
+	}
+}
+
+func TestTrainPureNodeIsLeaf(t *testing.T) {
+	// All labels identical: the tree must be a single leaf.
+	d := &dataset.Dataset{Name: "const", NumFeatures: 2, NumClasses: 2,
+		X: [][]float32{{1, 2}, {3, 4}, {5, 6}}, Y: []int{1, 1, 1}}
+	tr := Train(d, nil, Config{MaxDepth: 5})
+	if len(tr.Nodes) != 1 || !tr.Nodes[0].IsLeaf() || tr.Nodes[0].Label != 1 {
+		t.Fatalf("pure training set produced %d nodes, root leaf=%v", len(tr.Nodes), tr.Nodes[0].IsLeaf())
+	}
+}
+
+func TestTrainConstantFeatures(t *testing.T) {
+	// Features carry no signal: training must terminate with a leaf
+	// labelled with the majority class.
+	d := &dataset.Dataset{Name: "nosignal", NumFeatures: 2, NumClasses: 2,
+		X: [][]float32{{1, 1}, {1, 1}, {1, 1}, {1, 1}}, Y: []int{0, 0, 1, 0}}
+	tr := Train(d, nil, Config{MaxDepth: 5, MaxFeatures: -1})
+	if tr.Predict([]float32{1, 1}) != 0 {
+		t.Error("majority class not predicted on constant features")
+	}
+}
+
+func TestTrainOnIndicesSubset(t *testing.T) {
+	d := dataset.SyntheticBlobs(100, 4, 2, 0.5, 8)
+	idx := []int{0, 1, 2, 3, 4, 5, 6, 7, 8, 9}
+	orig := append([]int(nil), idx...)
+	tr := Train(d, idx, Config{MaxDepth: 3, Seed: 9})
+	if err := tr.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	for i := range idx {
+		if idx[i] != orig[i] {
+			t.Fatal("Train mutated the caller's index slice")
+		}
+	}
+}
+
+func TestTrainEmptyPanics(t *testing.T) {
+	d := dataset.SyntheticBlobs(10, 2, 2, 1, 1)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Train with empty indices should panic")
+		}
+	}()
+	Train(d, []int{}, Config{})
+}
+
+func TestEntropyCriterion(t *testing.T) {
+	d := dataset.SyntheticBlobs(300, 4, 3, 0.5, 10)
+	tr := Train(d, nil, Config{MaxDepth: 6, Criterion: Entropy, Seed: 11, MaxFeatures: -1})
+	pred := make([]int, d.Len())
+	for i, x := range d.X {
+		pred[i] = tr.Predict(x)
+	}
+	if acc := dataset.Accuracy(pred, d.Y); acc < 0.95 {
+		t.Errorf("entropy-criterion accuracy %g < 0.95", acc)
+	}
+	if Gini.String() != "gini" || Entropy.String() != "entropy" {
+		t.Error("Criterion.String wrong")
+	}
+	if got := Criterion(9).String(); !strings.Contains(got, "9") {
+		t.Errorf("unknown criterion string %q", got)
+	}
+}
+
+// Property: leaf counts at the root of any trained tree sum to the
+// training set size, and every sample lands on a leaf whose counts
+// include its class.
+func TestTrainLeafCountsQuick(t *testing.T) {
+	f := func(seed uint64) bool {
+		d := dataset.SyntheticBlobs(120, 4, 3, 1.5, seed)
+		tr := Train(d, nil, Config{MaxDepth: 4, Seed: seed})
+		total := int32(0)
+		for i := range tr.Nodes {
+			if tr.Nodes[i].IsLeaf() {
+				for _, c := range tr.Nodes[i].Counts {
+					total += c
+				}
+			}
+		}
+		if int(total) != d.Len() {
+			return false
+		}
+		for i, x := range d.X {
+			leaf := &tr.Nodes[tr.LeafIndex(x)]
+			if leaf.Counts[d.Y[i]] == 0 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 20}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestDOTRoundTrip(t *testing.T) {
+	d := dataset.SyntheticBlobs(200, 5, 3, 1.0, 12)
+	tr := Train(d, nil, Config{MaxDepth: 4, Seed: 13})
+	var sb strings.Builder
+	if err := tr.MarshalDOT(&sb); err != nil {
+		t.Fatal(err)
+	}
+	back, err := UnmarshalDOT(strings.NewReader(sb.String()), d.NumFeatures, d.NumClasses)
+	if err != nil {
+		t.Fatalf("UnmarshalDOT: %v\ndot:\n%s", err, sb.String())
+	}
+	// Identical predictions on random inputs.
+	r := rng.New(14)
+	for i := 0; i < 500; i++ {
+		x := make([]float32, d.NumFeatures)
+		for f := range x {
+			x[f] = float32(r.Float64() * 40)
+		}
+		if tr.Predict(x) != back.Predict(x) {
+			t.Fatalf("round-tripped tree diverges on %v", x)
+		}
+	}
+	// Structure preserved exactly.
+	if len(back.Nodes) != len(tr.Nodes) {
+		t.Fatalf("node count %d != %d", len(back.Nodes), len(tr.Nodes))
+	}
+	for i := range tr.Nodes {
+		a, b := &tr.Nodes[i], &back.Nodes[i]
+		if a.Feature != b.Feature || a.Threshold != b.Threshold || a.Label != b.Label {
+			t.Fatalf("node %d differs: %+v vs %+v", i, a, b)
+		}
+	}
+}
+
+func TestDOTHandExample(t *testing.T) {
+	dot := `digraph Tree {
+node [shape=box] ;
+0 [label="x[0] <= 0.5"] ;
+1 [label="leaf label=1 value=[0 3]"] ;
+2 [label="leaf label=0 value=[2 0]"] ;
+0 -> 1 [label="true"] ;
+0 -> 2 [label="false"] ;
+}`
+	tr, err := UnmarshalDOT(strings.NewReader(dot), 1, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tr.Predict([]float32{0}) != 1 || tr.Predict([]float32{1}) != 0 {
+		t.Error("hand DOT tree mispredicts")
+	}
+	if tr.Nodes[1].Counts[1] != 3 {
+		t.Error("leaf counts not parsed")
+	}
+}
+
+func TestDOTRejectsCorrupt(t *testing.T) {
+	cases := map[string]string{
+		"empty":      "digraph Tree {\n}\n",
+		"gap in ids": "digraph Tree {\n0 [label=\"x[0] <= 1\"] ;\n5 [label=\"leaf label=0 value=[1]\"] ;\n}\n",
+		"bad label":  "digraph Tree {\n0 [label=\"banana\"] ;\n}\n",
+		"edge off leaf": `digraph Tree {
+0 [label="leaf label=0 value=[1 1]"] ;
+1 [label="leaf label=0 value=[1 1]"] ;
+0 -> 1 [label="true"] ;
+}`,
+		"no edge label": `digraph Tree {
+0 [label="x[0] <= 1"] ;
+1 [label="leaf label=0 value=[1]"] ;
+2 [label="leaf label=0 value=[1]"] ;
+0 -> 1 ;
+0 -> 2 ;
+}`,
+		"unterminated label": "digraph Tree {\n0 [label=\"x[0] <= 1 ;\n}\n",
+		"bad count":          "digraph Tree {\n0 [label=\"leaf label=0 value=[x]\"] ;\n}\n",
+	}
+	for name, dot := range cases {
+		if _, err := UnmarshalDOT(strings.NewReader(dot), 3, 2); err == nil {
+			t.Errorf("%s: corrupt DOT accepted", name)
+		}
+	}
+}
+
+func TestSampleFeaturesDefaultSqrt(t *testing.T) {
+	d := dataset.SyntheticBlobs(50, 100, 2, 1, 15)
+	cfg := Config{}.normalized(d.NumFeatures)
+	if cfg.MaxFeatures != 10 {
+		t.Errorf("default MaxFeatures = %d, want sqrt(100) = 10", cfg.MaxFeatures)
+	}
+	cfgAll := Config{MaxFeatures: -1}.normalized(d.NumFeatures)
+	if cfgAll.MaxFeatures != 100 {
+		t.Errorf("MaxFeatures=-1 -> %d, want all 100", cfgAll.MaxFeatures)
+	}
+	cfgBig := Config{MaxFeatures: 1000}.normalized(d.NumFeatures)
+	if cfgBig.MaxFeatures != 100 {
+		t.Errorf("oversized MaxFeatures -> %d, want clamp to 100", cfgBig.MaxFeatures)
+	}
+}
+
+func TestThresholdSeparatesValues(t *testing.T) {
+	// Adjacent float32 values: the midpoint rule must still place the
+	// threshold so value-left <= t < value-right.
+	d := &dataset.Dataset{Name: "adj", NumFeatures: 1, NumClasses: 2,
+		X: [][]float32{{1.0}, {nextAfter32(1.0)}}, Y: []int{0, 1}}
+	tr := Train(d, nil, Config{MaxDepth: 3, MaxFeatures: -1})
+	if tr.Predict([]float32{1.0}) != 0 {
+		t.Error("left value misrouted")
+	}
+	if tr.Predict([]float32{nextAfter32(1.0)}) != 1 {
+		t.Error("right value misrouted")
+	}
+}
+
+func nextAfter32(v float32) float32 {
+	return math.Float32frombits(math.Float32bits(v) + 1)
+}

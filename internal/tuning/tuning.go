@@ -1,0 +1,370 @@
+// Package tuning implements Phase 2 of Bolt (§4.2): searching the
+// hyperparameter space — the clustering threshold controlling the
+// dictionary/table size trade-off, and the dictionary/table partition
+// counts mapping the structures onto cores — for the configuration with
+// the lowest inference latency on the given hardware.
+//
+// Two search modes mirror the paper's tooling: Grid explores a value
+// set ("Bolt can explore values within a given set of parameters") and
+// Refine tests small deviations around a configuration ("given specific
+// parameters, it can test the effect of small deviations"). Latency is
+// scored either empirically (timing the real engine on sample inputs)
+// or with an analytic cost model derived from the hardware profile.
+package tuning
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+	"time"
+
+	"bolt/internal/core"
+	"bolt/internal/forest"
+	"bolt/internal/perfsim"
+)
+
+// Candidate is one point in the Phase 2 search space.
+type Candidate struct {
+	// Threshold is the Phase 1 clustering threshold.
+	Threshold int
+	// DictParts and TableParts partition the structures across
+	// DictParts × TableParts cores (Fig. 4).
+	DictParts  int
+	TableParts int
+	// BloomBits is the Phase 3 filter budget in bits per key: 0 keeps
+	// the Config.Options default, negative disables the filter. On
+	// workloads whose dictionary matches are almost all true hits the
+	// filter is pure overhead, so Phase 2 tunes it like the paper's
+	// "novel combination of ... parameter selection and bloom filters".
+	BloomBits int
+}
+
+// Cores returns the core count the candidate consumes.
+func (c Candidate) Cores() int { return c.DictParts * c.TableParts }
+
+// String implements fmt.Stringer.
+func (c Candidate) String() string {
+	bloom := "default"
+	switch {
+	case c.BloomBits < 0:
+		bloom = "off"
+	case c.BloomBits > 0:
+		bloom = fmt.Sprintf("%db/key", c.BloomBits)
+	}
+	return fmt.Sprintf("threshold=%d d=%d t=%d bloom=%s", c.Threshold, c.DictParts, c.TableParts, bloom)
+}
+
+// Result scores one candidate.
+type Result struct {
+	Candidate Candidate
+	// LatencyNs is the scored per-sample latency (measured or modeled).
+	LatencyNs float64
+	// Stats summarises the compiled structures.
+	Stats core.Stats
+	// Forest is the compiled engine for this candidate's threshold
+	// (shared across partitionings of the same threshold); callers can
+	// use the winner directly instead of recompiling.
+	Forest *core.Forest
+	// Err is set when the candidate failed to compile (e.g. expansion
+	// guard); such results carry +Inf latency.
+	Err error
+}
+
+// Mode selects how candidates are scored.
+type Mode int
+
+const (
+	// Empirical times the real engine on the sample inputs.
+	Empirical Mode = iota
+	// ModelBased scores candidates with the analytic cost model — no
+	// engine runs, useful for capacity planning (§4.6).
+	ModelBased
+)
+
+// Config controls the search.
+type Config struct {
+	// Cores bounds DictParts*TableParts; 0 means 1 (single core).
+	Cores int
+	// Thresholds is the explored threshold set; nil means {1,2,4,6,8,12}.
+	Thresholds []int
+	// BloomBits is the explored filter budget set; nil means {0}
+	// (keep Options.BloomBitsPerKey).
+	BloomBits []int
+	// MaxTableEntries skips candidates whose estimated expansion
+	// exceeds it; 0 means 1<<20.
+	MaxTableEntries int64
+	// Inputs is the measurement workload (required for Empirical mode).
+	Inputs [][]float32
+	// Rounds is the number of timed passes over Inputs; 0 means 3.
+	Rounds int
+	// Mode selects Empirical (default) or ModelBased scoring.
+	Mode Mode
+	// Profile is the hardware target for ModelBased scoring; zero-value
+	// defaults to perfsim.XeonE52650.
+	Profile perfsim.Profile
+	// Options carries non-searched compile options (bloom, compact IDs).
+	Options core.Options
+}
+
+func (cfg Config) normalized() Config {
+	if cfg.Cores <= 0 {
+		cfg.Cores = 1
+	}
+	if cfg.Thresholds == nil {
+		cfg.Thresholds = []int{1, 2, 4, 6, 8, 12}
+	}
+	if cfg.BloomBits == nil {
+		cfg.BloomBits = []int{0}
+	}
+	if cfg.MaxTableEntries <= 0 {
+		cfg.MaxTableEntries = 1 << 20
+	}
+	if cfg.Rounds <= 0 {
+		cfg.Rounds = 3
+	}
+	if cfg.Profile.Name == "" {
+		cfg.Profile = perfsim.XeonE52650
+	}
+	return cfg
+}
+
+// Search runs a grid search over thresholds × partitionings and returns
+// the best result plus every scored candidate (sorted best-first).
+func Search(f *forest.Forest, cfg Config) (best Result, all []Result, err error) {
+	cfg = cfg.normalized()
+	if cfg.Mode == Empirical && len(cfg.Inputs) == 0 {
+		return Result{}, nil, errors.New("tuning: empirical search requires sample inputs")
+	}
+	comp, err := core.NewCompilation(f)
+	if err != nil {
+		return Result{}, nil, err
+	}
+	var candidates []Candidate
+	for _, th := range cfg.Thresholds {
+		for _, bb := range cfg.BloomBits {
+			for _, dt := range partitionings(cfg.Cores) {
+				candidates = append(candidates, Candidate{Threshold: th, DictParts: dt[0], TableParts: dt[1], BloomBits: bb})
+			}
+		}
+	}
+	return scoreAll(comp, candidates, cfg)
+}
+
+// Refine scores small deviations around base: threshold ±1 and ±2,
+// halved/doubled partition counts.
+func Refine(f *forest.Forest, base Candidate, cfg Config) (best Result, all []Result, err error) {
+	cfg = cfg.normalized()
+	if cfg.Mode == Empirical && len(cfg.Inputs) == 0 {
+		return Result{}, nil, errors.New("tuning: empirical search requires sample inputs")
+	}
+	comp, err := core.NewCompilation(f)
+	if err != nil {
+		return Result{}, nil, err
+	}
+	seen := map[Candidate]bool{}
+	var candidates []Candidate
+	add := func(c Candidate) {
+		if c.Threshold < 0 || c.DictParts < 1 || c.TableParts < 1 || c.Cores() > cfg.Cores {
+			return
+		}
+		if !seen[c] {
+			seen[c] = true
+			candidates = append(candidates, c)
+		}
+	}
+	add(base)
+	for _, dth := range []int{-2, -1, 1, 2} {
+		c := base
+		c.Threshold += dth
+		add(c)
+	}
+	for _, scale := range []int{2} {
+		c := base
+		c.DictParts *= scale
+		add(c)
+		c = base
+		c.TableParts *= scale
+		add(c)
+		if base.DictParts%scale == 0 {
+			c = base
+			c.DictParts /= scale
+			add(c)
+		}
+		if base.TableParts%scale == 0 {
+			c = base
+			c.TableParts /= scale
+			add(c)
+		}
+	}
+	for _, bb := range []int{-1, 4, 8} {
+		if bb != base.BloomBits {
+			c := base
+			c.BloomBits = bb
+			add(c)
+		}
+	}
+	return scoreAll(comp, candidates, cfg)
+}
+
+// partitionings enumerates (d, t) with d*t <= cores, d*t maximal use
+// first is not required — the search scores everything up to the core
+// budget, including single-core.
+func partitionings(cores int) [][2]int {
+	var out [][2]int
+	for d := 1; d <= cores; d++ {
+		for t := 1; d*t <= cores; t++ {
+			out = append(out, [2]int{d, t})
+		}
+	}
+	return out
+}
+
+// compileKey identifies a distinct compilation in the search space.
+type compileKey struct {
+	threshold int
+	bloomBits int
+}
+
+func scoreAll(comp *core.Compilation, candidates []Candidate, cfg Config) (Result, []Result, error) {
+	// Compile each distinct (threshold, bloom) once and share across
+	// partitionings.
+	compiled := map[compileKey]*core.Forest{}
+	compileErr := map[compileKey]error{}
+	var all []Result
+	for _, cand := range candidates {
+		key := compileKey{cand.Threshold, cand.BloomBits}
+		bf, ok := compiled[key]
+		if !ok {
+			if _, failed := compileErr[key]; !failed {
+				if est := comp.EstimateEntries(cand.Threshold); est > cfg.MaxTableEntries {
+					compileErr[key] = fmt.Errorf("tuning: threshold %d expands to ~%d entries (> %d budget)",
+						cand.Threshold, est, cfg.MaxTableEntries)
+				} else {
+					opts := cfg.Options
+					opts.ClusterThreshold = cand.Threshold
+					if cand.Threshold == 0 {
+						// Options treats 0 as "default"; negative means
+						// literal threshold 0 (exact-duplicate merging).
+						opts.ClusterThreshold = -1
+					}
+					if cand.BloomBits != 0 {
+						opts.BloomBitsPerKey = cand.BloomBits
+					}
+					f, err := comp.Compile(opts)
+					if err != nil {
+						compileErr[key] = err
+					} else {
+						compiled[key] = f
+					}
+				}
+			}
+			bf = compiled[key]
+		}
+		if bf == nil {
+			all = append(all, Result{Candidate: cand, LatencyNs: inf(), Err: compileErr[key]})
+			continue
+		}
+		res := Result{Candidate: cand, Stats: bf.Stats(), Forest: bf}
+		switch cfg.Mode {
+		case ModelBased:
+			res.LatencyNs = modelLatency(bf, cand, cfg)
+		default:
+			lat, err := measureLatency(bf, cand, cfg)
+			if err != nil {
+				res.Err = err
+				res.LatencyNs = inf()
+			} else {
+				res.LatencyNs = lat
+			}
+		}
+		all = append(all, res)
+	}
+	sort.SliceStable(all, func(i, j int) bool { return all[i].LatencyNs < all[j].LatencyNs })
+	if len(all) == 0 || all[0].Err != nil {
+		return Result{}, all, errors.New("tuning: no candidate compiled successfully")
+	}
+	return all[0], all, nil
+}
+
+func inf() float64 { return 1e30 }
+
+// measureLatency times the candidate's engine over the sample inputs.
+func measureLatency(bf *core.Forest, cand Candidate, cfg Config) (float64, error) {
+	if cand.Cores() == 1 {
+		s := bf.NewScratch()
+		votes := make([]int64, bf.NumClasses)
+		// Warm.
+		for _, x := range cfg.Inputs {
+			bf.Votes(x, s, votes)
+		}
+		start := time.Now()
+		for r := 0; r < cfg.Rounds; r++ {
+			for _, x := range cfg.Inputs {
+				bf.Votes(x, s, votes)
+			}
+		}
+		total := time.Since(start)
+		return float64(total.Nanoseconds()) / float64(cfg.Rounds*len(cfg.Inputs)), nil
+	}
+	pe, err := core.NewPartitioned(bf, cand.DictParts, cand.TableParts)
+	if err != nil {
+		return 0, err
+	}
+	votes := make([]int64, bf.NumClasses)
+	for _, x := range cfg.Inputs {
+		pe.Votes(x, votes)
+	}
+	start := time.Now()
+	for r := 0; r < cfg.Rounds; r++ {
+		for _, x := range cfg.Inputs {
+			pe.Votes(x, votes)
+		}
+	}
+	total := time.Since(start)
+	return float64(total.Nanoseconds()) / float64(cfg.Rounds*len(cfg.Inputs)), nil
+}
+
+// ModelLatency scores a candidate's partitioning on a hardware profile
+// with the analytic Phase 2 cost model — the capacity-planning entry
+// point (§4.6), also used by the harness when the host cannot exhibit
+// real parallel speedup (e.g. single-core CI machines).
+func ModelLatency(bf *core.Forest, cand Candidate, profile perfsim.Profile) float64 {
+	cfg := Config{Profile: profile}.normalized()
+	return modelLatency(bf, cand, cfg)
+}
+
+// modelLatency is the analytic Phase 2 cost model: the binarization
+// pass, each core's dictionary-scan share, the expected memory cost of
+// lookups (cache-resident or not, from the profile's LLC capacity) and
+// a per-core aggregation overhead.
+//
+//	latency = t_bin + (E/d)·t_entry + (L/(d·t))·t_lookup + (d·t)·t_agg
+//
+// where E is dictionary entries and L expected lookups (≈ matched
+// entries ≈ trees). Lookup cost depends on whether the table and filter
+// fit in the profile's LLC (§4.2: "Dividing the lookup table only
+// improves latency if cache misses have a big impact").
+func modelLatency(bf *core.Forest, cand Candidate, cfg Config) float64 {
+	p := cfg.Profile
+	st := bf.Stats()
+	cyclesToNs := 1 / p.GHz
+
+	tBin := float64(st.Predicates) / 8 * cyclesToNs
+	tEntry := 3 * cyclesToNs // SIMD mask compare + loop
+	perCoreEntries := float64(st.DictEntries) / float64(cand.DictParts)
+
+	tableBytes := st.TableSlots*24 + st.BloomBytes
+	perCoreTable := float64(tableBytes) / float64(cand.TableParts)
+	lookupNs := p.CacheLatencyNs
+	if perCoreTable > float64(p.LLCBytes) {
+		lookupNs = p.MemLatencyNs
+	}
+	expectedLookups := float64(bf.NumTrees)
+	if e := float64(st.DictEntries); e < expectedLookups {
+		expectedLookups = e
+	}
+	perCoreLookups := expectedLookups / float64(cand.Cores())
+
+	tAgg := 30 * cyclesToNs * float64(cand.Cores()) // fan-in cost grows with cores
+	return tBin + perCoreEntries*tEntry + perCoreLookups*2*lookupNs + tAgg
+}

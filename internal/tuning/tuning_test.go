@@ -1,0 +1,236 @@
+package tuning
+
+import (
+	"strings"
+	"testing"
+
+	"bolt/internal/core"
+	"bolt/internal/dataset"
+	"bolt/internal/forest"
+	"bolt/internal/perfsim"
+	"bolt/internal/tree"
+)
+
+func workload(t testing.TB) (*forest.Forest, *dataset.Dataset) {
+	t.Helper()
+	d := dataset.SyntheticBlobs(300, 8, 3, 1.2, 91)
+	f := forest.Train(d, forest.Config{NumTrees: 8, Tree: tree.Config{MaxDepth: 4}, Seed: 92})
+	return f, d
+}
+
+func TestSearchEmpiricalFindsValidConfig(t *testing.T) {
+	f, d := workload(t)
+	best, all, err := Search(f, Config{
+		Cores:      2,
+		Thresholds: []int{1, 4, 8},
+		Inputs:     d.X[:100],
+		Rounds:     1,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if best.Err != nil || best.LatencyNs <= 0 {
+		t.Fatalf("best result invalid: %+v", best)
+	}
+	if best.Candidate.Cores() > 2 {
+		t.Errorf("best candidate %v exceeds core budget", best.Candidate)
+	}
+	// All candidates scored: 3 thresholds × partitionings(2)={1x1,1x2,2x1}.
+	if len(all) != 9 {
+		t.Errorf("scored %d candidates, want 9", len(all))
+	}
+	// Sorted best-first.
+	for i := 1; i < len(all); i++ {
+		if all[i].LatencyNs < all[i-1].LatencyNs {
+			t.Fatal("results not sorted by latency")
+		}
+	}
+}
+
+func TestSearchModelBased(t *testing.T) {
+	f, _ := workload(t)
+	best, all, err := Search(f, Config{
+		Cores:      4,
+		Thresholds: []int{1, 4, 8},
+		Mode:       ModelBased,
+		Profile:    perfsim.XeonE52650,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if best.LatencyNs <= 0 {
+		t.Fatalf("model latency %g", best.LatencyNs)
+	}
+	// Model-based search needs no inputs and must score every candidate.
+	for _, r := range all {
+		if r.Err == nil && r.LatencyNs <= 0 {
+			t.Errorf("candidate %v scored %g", r.Candidate, r.LatencyNs)
+		}
+	}
+}
+
+func TestSearchRespectsExpansionGuard(t *testing.T) {
+	f, d := workload(t)
+	_, all, err := Search(f, Config{
+		Cores:           1,
+		Thresholds:      []int{1, 40}, // 40 would explode
+		MaxTableEntries: 5000,
+		Inputs:          d.X[:50],
+		Rounds:          1,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	guarded := false
+	for _, r := range all {
+		if r.Candidate.Threshold == 40 {
+			if r.Err == nil {
+				t.Error("threshold 40 not guarded")
+			} else if strings.Contains(r.Err.Error(), "budget") {
+				guarded = true
+			}
+		}
+	}
+	if !guarded {
+		t.Error("expansion guard never fired")
+	}
+}
+
+func TestSearchEmpiricalRequiresInputs(t *testing.T) {
+	f, _ := workload(t)
+	if _, _, err := Search(f, Config{Cores: 1}); err == nil {
+		t.Fatal("empirical search without inputs accepted")
+	}
+}
+
+func TestSearchAllCandidatesFail(t *testing.T) {
+	f, d := workload(t)
+	_, _, err := Search(f, Config{
+		Cores:           1,
+		Thresholds:      []int{30},
+		MaxTableEntries: 10,
+		Inputs:          d.X[:10],
+	})
+	if err == nil {
+		t.Fatal("expected failure when every candidate is guarded")
+	}
+}
+
+func TestRefineExploresNeighbours(t *testing.T) {
+	f, d := workload(t)
+	base := Candidate{Threshold: 4, DictParts: 1, TableParts: 1}
+	best, all, err := Refine(f, base, Config{
+		Cores:  2,
+		Inputs: d.X[:60],
+		Rounds: 1,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if best.LatencyNs <= 0 {
+		t.Fatalf("refine best %+v", best)
+	}
+	// Must include the base and its threshold neighbours.
+	seen := map[Candidate]bool{}
+	for _, r := range all {
+		seen[r.Candidate] = true
+	}
+	for _, want := range []Candidate{
+		base,
+		{Threshold: 2, DictParts: 1, TableParts: 1},
+		{Threshold: 3, DictParts: 1, TableParts: 1},
+		{Threshold: 5, DictParts: 1, TableParts: 1},
+		{Threshold: 6, DictParts: 1, TableParts: 1},
+		{Threshold: 4, DictParts: 2, TableParts: 1},
+		{Threshold: 4, DictParts: 1, TableParts: 2},
+	} {
+		if !seen[want] {
+			t.Errorf("refine did not explore %v", want)
+		}
+	}
+	// Core budget respected.
+	for c := range seen {
+		if c.Cores() > 2 {
+			t.Errorf("refine candidate %v exceeds budget", c)
+		}
+	}
+}
+
+func TestPartitionings(t *testing.T) {
+	got := partitionings(4)
+	want := map[[2]int]bool{
+		{1, 1}: true, {1, 2}: true, {1, 3}: true, {1, 4}: true,
+		{2, 1}: true, {2, 2}: true, {3, 1}: true, {4, 1}: true,
+	}
+	if len(got) != len(want) {
+		t.Fatalf("partitionings(4) = %v", got)
+	}
+	for _, p := range got {
+		if !want[p] {
+			t.Errorf("unexpected partitioning %v", p)
+		}
+	}
+}
+
+func TestModelPrefersCacheResidentTables(t *testing.T) {
+	// Two synthetic stats: one table fitting LLC, one 10x larger than
+	// LLC. The model must charge the big one more.
+	f, _ := workload(t)
+	comp, err := core.NewCompilation(f)
+	if err != nil {
+		t.Fatal(err)
+	}
+	small, err := comp.Compile(core.Options{ClusterThreshold: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := Config{}.normalized()
+	cfg.Profile = perfsim.Profile{Name: "tiny-llc", LLCBytes: 1024, Ways: 4,
+		GHz: 2, IPC: 2, CacheLatencyNs: 10, MemLatencyNs: 100}
+	cand := Candidate{Threshold: 1, DictParts: 1, TableParts: 1}
+	latTiny := modelLatency(small, cand, cfg)
+	cfg.Profile.LLCBytes = 1 << 30
+	latBig := modelLatency(small, cand, cfg)
+	if latTiny <= latBig {
+		t.Errorf("model: spilling LLC not penalised (%g <= %g)", latTiny, latBig)
+	}
+}
+
+func TestCandidateString(t *testing.T) {
+	c := Candidate{Threshold: 3, DictParts: 2, TableParts: 4}
+	if c.Cores() != 8 {
+		t.Errorf("Cores = %d", c.Cores())
+	}
+	if !strings.Contains(c.String(), "threshold=3") {
+		t.Errorf("String = %q", c.String())
+	}
+}
+
+// Fig. 13B's point: hyperparameters matter. Verify that across the
+// scored grid the worst config is measurably slower than the best.
+func TestHyperparameterSpread(t *testing.T) {
+	f, d := workload(t)
+	_, all, err := Search(f, Config{
+		Cores:      1,
+		Thresholds: []int{1, 2, 4, 8, 12},
+		Inputs:     d.X[:100],
+		Rounds:     2,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	okResults := all[:0:0]
+	for _, r := range all {
+		if r.Err == nil {
+			okResults = append(okResults, r)
+		}
+	}
+	if len(okResults) < 3 {
+		t.Fatalf("only %d configs compiled", len(okResults))
+	}
+	bestLat := okResults[0].LatencyNs
+	worstLat := okResults[len(okResults)-1].LatencyNs
+	if worstLat < bestLat*1.2 {
+		t.Logf("spread modest: best %.1f worst %.1f (machine-dependent; not failing)", bestLat, worstLat)
+	}
+}

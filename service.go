@@ -1,0 +1,93 @@
+package bolt
+
+import (
+	"bolt/internal/perfsim"
+	"bolt/internal/serve"
+	"bolt/internal/tuning"
+)
+
+// HardwareProfile describes a target machine for model-based tuning and
+// capacity planning (§4.6): LLC capacity, core count, clock, and memory
+// latencies.
+type HardwareProfile = perfsim.Profile
+
+// The three machines of the paper's evaluation (§6.2).
+var (
+	// ProfileXeonE52650 is the default server (12 cores, 30 MB LLC).
+	ProfileXeonE52650 = perfsim.XeonE52650
+	// ProfileECSmall is the e2-standard-4 cloud instance.
+	ProfileECSmall = perfsim.ECSmall
+	// ProfileECLarge is the e2-standard-32 cloud instance.
+	ProfileECLarge = perfsim.ECLarge
+)
+
+// Server is a classification service on a UNIX domain socket (the
+// paper's front-end/engine split, §4.5 and §6).
+type Server = serve.Server
+
+// ServiceClient is a synchronous front-end connection.
+type ServiceClient = serve.Client
+
+// LatencyStats summarises service-time observations.
+type LatencyStats = serve.LatencyStats
+
+// Engine is the pluggable inference backend accepted by Serve.
+type Engine = serve.Engine
+
+// Serve starts a classification service for the engine on the given
+// UNIX socket path. Close the returned server to shut down.
+func Serve(socketPath string, engine Engine, numFeatures int) (*Server, error) {
+	return serve.NewServer(socketPath, engine, numFeatures)
+}
+
+// ServeForest starts a service over a compiled Bolt forest.
+func ServeForest(socketPath string, bf *CompiledForest) (*Server, error) {
+	return serve.NewServer(socketPath, &predictorEngine{NewPredictor(bf)}, bf.NumFeatures)
+}
+
+// predictorEngine adapts Predictor to serve.Engine, serve.Explainer
+// and serve.ValuePredictor. The server serialises engine calls, so the
+// single scratch is safe; kind-mismatched requests surface as protocol
+// errors (the server converts the engine's panic).
+type predictorEngine struct{ p *Predictor }
+
+func (e *predictorEngine) Predict(x []float32) int          { return e.p.Predict(x) }
+func (e *predictorEngine) Salience(x []float32) []int       { return e.p.Salience(x) }
+func (e *predictorEngine) PredictValue(x []float32) float32 { return e.p.PredictValue(x) }
+
+// DialService connects to a running classification service.
+func DialService(socketPath string) (*ServiceClient, error) { return serve.Dial(socketPath) }
+
+// SummarizeLatencies computes latency statistics from nanosecond
+// samples.
+func SummarizeLatencies(ns []uint64) LatencyStats { return serve.Summarize(ns) }
+
+// TuneConfig controls the Phase 2 parameter search.
+type TuneConfig = tuning.Config
+
+// TuneCandidate is one point in the Phase 2 search space.
+type TuneCandidate = tuning.Candidate
+
+// TuneResult scores one candidate; the winner carries its compiled
+// forest.
+type TuneResult = tuning.Result
+
+// Tuning modes.
+const (
+	// TuneEmpirical times the real engine on sample inputs.
+	TuneEmpirical = tuning.Empirical
+	// TuneModelBased scores candidates with the analytic hardware model
+	// (capacity planning, §4.6).
+	TuneModelBased = tuning.ModelBased
+)
+
+// Tune runs the Phase 2 grid search and returns the best configuration
+// plus every scored candidate.
+func Tune(f *Forest, cfg TuneConfig) (TuneResult, []TuneResult, error) {
+	return tuning.Search(f, cfg)
+}
+
+// TuneRefine scores small deviations around a known-good configuration.
+func TuneRefine(f *Forest, base TuneCandidate, cfg TuneConfig) (TuneResult, []TuneResult, error) {
+	return tuning.Refine(f, base, cfg)
+}
