@@ -42,6 +42,9 @@ var (
 // caching it for the whole bench run.
 func getFixture(b *testing.B, ds string, trees, height int) *fixture {
 	b.Helper()
+	if testing.Short() {
+		b.Skip("fixture training is seconds-long; skipped in -short (CI)")
+	}
 	key := fmt.Sprintf("%s/%d/%d", ds, trees, height)
 	fixMu.Lock()
 	defer fixMu.Unlock()
@@ -208,6 +211,9 @@ func BenchmarkFig12Counters(b *testing.B) {
 // dictionary/table partitions (Fig. 13A). The forest is larger than
 // Fig. 10's so the split work amortises goroutine dispatch.
 func BenchmarkFig13ACores(b *testing.B) {
+	if testing.Short() {
+		b.Skip("trains a 30-tree height-8 forest; skipped in -short (CI)")
+	}
 	// A long dictionary gives the partitions real work.
 	cfg := bench.Config{TrainSamples: 1200, TestSamples: 300}
 	w := bench.MNISTWorkload(cfg)
@@ -277,6 +283,9 @@ func BenchmarkFig14Datasets(b *testing.B) {
 
 // BenchmarkFig15DeepForest times two-layer deep forests (Fig. 15).
 func BenchmarkFig15DeepForest(b *testing.B) {
+	if testing.Short() {
+		b.Skip("trains deep-forest cascades; skipped in -short (CI)")
+	}
 	for _, c := range []struct {
 		ds      string
 		heights []int

@@ -5,6 +5,7 @@ import (
 	"path/filepath"
 	"strings"
 	"testing"
+	"time"
 
 	"bolt"
 )
@@ -183,7 +184,7 @@ func TestServiceJourney(t *testing.T) {
 		t.Fatal(err)
 	}
 	sock := filepath.Join(t.TempDir(), "svc.sock")
-	srv, err := bolt.ServeForest(sock, bf)
+	srv, err := bolt.ServeForest(sock, bf, 2)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -216,5 +217,27 @@ func TestServiceJourney(t *testing.T) {
 	}
 	if len(sal) != data.NumFeatures {
 		t.Fatal("salience length wrong over the wire")
+	}
+
+	// The 2-worker pool reports itself and its counters over the wire.
+	if got := srv.Workers(); got != 2 {
+		t.Fatalf("Workers() = %d, want 2", got)
+	}
+	sst, err := c.Stats()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sst.Workers != 2 || sst.Requests < 50 || sst.Errors != 0 {
+		t.Fatalf("implausible server stats %+v", sst)
+	}
+
+	// A timeout-bounded client works against a live server.
+	tc, err := bolt.DialServiceTimeout(sock, 5*time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer tc.Close()
+	if err := tc.Ping(); err != nil {
+		t.Fatal(err)
 	}
 }

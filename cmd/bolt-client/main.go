@@ -3,10 +3,14 @@
 // without batching (the §6 measurement protocol) and reports accuracy
 // and the service-time distribution.
 //
+// The `stats` subcommand fetches the server's request counters and
+// per-op latency histograms instead of sending samples.
+//
 // Usage:
 //
 //	bolt-client -socket /tmp/bolt.sock -dataset mnist -n 1000
 //	bolt-client -socket /tmp/bolt.sock -dataset mnist -n 1 -salience
+//	bolt-client stats -socket /tmp/bolt.sock
 package main
 
 import (
@@ -14,6 +18,7 @@ import (
 	"fmt"
 	"os"
 	"sort"
+	"time"
 
 	"bolt"
 )
@@ -26,6 +31,9 @@ func main() {
 }
 
 func run(args []string) error {
+	if len(args) > 0 && args[0] == "stats" {
+		return runStats(args[1:])
+	}
 	fs := flag.NewFlagSet("bolt-client", flag.ContinueOnError)
 	var (
 		socket   = fs.String("socket", "/tmp/bolt.sock", "UNIX socket path")
@@ -35,6 +43,7 @@ func run(args []string) error {
 		salience = fs.Bool("salience", false, "also request salience for the first sample")
 		value    = fs.Bool("value", false, "regression mode: request values and report RMSE")
 		batch    = fs.Int("batch", 0, "classify in batches of this size instead of one at a time")
+		timeout  = fs.Duration("timeout", 30*time.Second, "per-request deadline; 0 waits forever")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -54,7 +63,7 @@ func run(args []string) error {
 		return fmt.Errorf("unknown dataset %q", *dsName)
 	}
 
-	c, err := bolt.DialService(*socket)
+	c, err := bolt.DialServiceTimeout(*socket, *timeout)
 	if err != nil {
 		return err
 	}
@@ -140,6 +149,37 @@ func run(args []string) error {
 		for _, t := range top {
 			fmt.Printf("  feature %4d  used by %d matched entries\n", t.feature, t.count)
 		}
+	}
+	return nil
+}
+
+// runStats implements the `stats` subcommand.
+func runStats(args []string) error {
+	fs := flag.NewFlagSet("bolt-client stats", flag.ContinueOnError)
+	var (
+		socket  = fs.String("socket", "/tmp/bolt.sock", "UNIX socket path")
+		timeout = fs.Duration("timeout", 30*time.Second, "per-request deadline; 0 waits forever")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	c, err := bolt.DialServiceTimeout(*socket, *timeout)
+	if err != nil {
+		return err
+	}
+	defer c.Close()
+	st, err := c.Stats()
+	if err != nil {
+		return err
+	}
+	fmt.Printf("server: %d workers, %d requests, %d errors, %d in flight\n",
+		st.Workers, st.Requests, st.Errors, st.InFlight)
+	for _, op := range st.Ops {
+		fmt.Printf("  op %c: %6d reqs  %4d errs  avg %8v  p50 <%8v  p99 <%8v\n",
+			op.Op, op.Count, op.Errors,
+			time.Duration(op.AvgNs()),
+			time.Duration(op.QuantileNs(0.50)),
+			time.Duration(op.QuantileNs(0.99)))
 	}
 	return nil
 }

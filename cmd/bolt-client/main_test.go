@@ -18,7 +18,7 @@ func startServer(t *testing.T) string {
 		t.Fatal(err)
 	}
 	sock := filepath.Join(t.TempDir(), "c.sock")
-	srv, err := bolt.ServeForest(sock, bf)
+	srv, err := bolt.ServeForest(sock, bf, 2)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -37,6 +37,26 @@ func TestRunSalience(t *testing.T) {
 	sock := startServer(t)
 	if err := run([]string{"-socket", sock, "-dataset", "lstw", "-n", "5", "-salience"}); err != nil {
 		t.Fatal(err)
+	}
+}
+
+func TestRunStats(t *testing.T) {
+	sock := startServer(t)
+	// Prime the counters with a few classifies, then fetch stats.
+	if err := run([]string{"-socket", sock, "-dataset", "lstw", "-n", "10"}); err != nil {
+		t.Fatal(err)
+	}
+	if err := run([]string{"stats", "-socket", sock}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunStatsErrors(t *testing.T) {
+	if err := run([]string{"stats", "-socket", "/nonexistent.sock"}); err == nil {
+		t.Error("dead socket accepted")
+	}
+	if err := run([]string{"stats", "-zzz"}); err == nil {
+		t.Error("bad flag accepted")
 	}
 }
 

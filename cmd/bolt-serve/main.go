@@ -4,7 +4,7 @@
 //
 // Usage:
 //
-//	bolt-serve -model forest.bin -socket /tmp/bolt.sock
+//	bolt-serve -model forest.bin -socket /tmp/bolt.sock -workers 8
 //	bolt-serve -model forest.bin -socket /tmp/bolt.sock -tune -cores 4 -dataset mnist
 package main
 
@@ -14,6 +14,7 @@ import (
 	"os"
 	"os/signal"
 	"syscall"
+	"time"
 
 	"bolt"
 )
@@ -37,6 +38,7 @@ func run(args []string) error {
 		cores     = fs.Int("cores", 1, "core budget for -tune")
 		dsName    = fs.String("dataset", "mnist", "dataset generating tuning probes (with -tune)")
 		seed      = fs.Uint64("seed", 2022, "random seed")
+		workers   = fs.Int("workers", 0, "engine-pool size; concurrent requests run on separate engines (0 = GOMAXPROCS)")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -54,7 +56,7 @@ func run(args []string) error {
 			return err
 		}
 		fmt.Printf("loaded precompiled artifact %s\n", *compiled)
-		return serveForest(bf, *socket)
+		return serveForest(bf, *socket, *workers)
 	}
 
 	mf, err := os.Open(*model)
@@ -93,28 +95,47 @@ func run(args []string) error {
 		}
 	}
 
-	return serveForest(bf, *socket)
+	return serveForest(bf, *socket, *workers)
 }
 
-// serveForest runs the service until interrupted.
-func serveForest(bf *bolt.CompiledForest, socket string) error {
+// serveForest runs the service until interrupted, then prints the
+// request counters accumulated over the run.
+func serveForest(bf *bolt.CompiledForest, socket string, workers int) error {
 	// Remove a stale socket from a previous run.
 	if _, err := os.Stat(socket); err == nil {
 		os.Remove(socket)
 	}
-	srv, err := bolt.ServeForest(socket, bf)
+	srv, err := bolt.ServeForest(socket, bf, workers)
 	if err != nil {
 		return err
 	}
 	st := bf.Stats()
-	fmt.Printf("serving %d-tree forest on %s (%d dict entries, %d table slots)\n",
-		bf.NumTrees, socket, st.DictEntries, st.TableSlots)
+	fmt.Printf("serving %d-tree forest on %s with %d workers (%d dict entries, %d table slots)\n",
+		bf.NumTrees, socket, srv.Workers(), st.DictEntries, st.TableSlots)
 
 	stop := make(chan os.Signal, 1)
 	signal.Notify(stop, os.Interrupt, syscall.SIGTERM)
 	<-stop
 	fmt.Println("shutting down")
-	return srv.Close()
+	stats := srv.Stats()
+	if err := srv.Close(); err != nil {
+		return err
+	}
+	printStats(stats)
+	return nil
+}
+
+// printStats renders a ServerStats snapshot.
+func printStats(st bolt.ServerStats) {
+	fmt.Printf("served %d requests (%d errors, %d in flight) on %d workers\n",
+		st.Requests, st.Errors, st.InFlight, st.Workers)
+	for _, op := range st.Ops {
+		fmt.Printf("  op %c: %6d reqs  %4d errs  avg %8v  p50 <%8v  p99 <%8v\n",
+			op.Op, op.Count, op.Errors,
+			time.Duration(op.AvgNs()),
+			time.Duration(op.QuantileNs(0.50)),
+			time.Duration(op.QuantileNs(0.99)))
+	}
 }
 
 func probeInputs(name string, n, features int, seed uint64) ([][]float32, error) {

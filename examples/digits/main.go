@@ -45,7 +45,7 @@ func main() {
 	}
 	defer os.RemoveAll(dir)
 	sock := filepath.Join(dir, "digits.sock")
-	srv, err := bolt.ServeForest(sock, bf)
+	srv, err := bolt.ServeForest(sock, bf, 0)
 	if err != nil {
 		log.Fatal(err)
 	}

@@ -64,7 +64,7 @@ func main() {
 	}
 	defer os.RemoveAll(dir)
 	sock := filepath.Join(dir, "reg.sock")
-	srv, err := bolt.ServeForest(sock, bf)
+	srv, err := bolt.ServeForest(sock, bf, 0)
 	if err != nil {
 		log.Fatal(err)
 	}

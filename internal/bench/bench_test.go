@@ -30,6 +30,9 @@ func TestWorkloadsShape(t *testing.T) {
 }
 
 func TestForestAccuracyOnWorkloads(t *testing.T) {
+	if testing.Short() {
+		t.Skip("trains full-size workload forests; skipped in -short (CI)")
+	}
 	cfg := Config{TrainSamples: 1200, TestSamples: 300}.normalized()
 	// The synthetic datasets must be learnable by the paper's modest
 	// forests, otherwise the path structure is meaningless noise.

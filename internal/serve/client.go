@@ -12,23 +12,43 @@ import (
 // Client is a synchronous front-end connection: one request in flight
 // at a time, matching the paper's unbatched sequential evaluation.
 type Client struct {
-	conn net.Conn
-	rw   *bufio.ReadWriter
+	conn    net.Conn
+	rw      *bufio.ReadWriter
+	timeout time.Duration
 }
 
-// Dial connects to a server's UNIX socket.
+// Dial connects to a server's UNIX socket with no I/O deadline; a hung
+// server blocks forever. Prefer DialTimeout for anything unattended.
 func Dial(socketPath string) (*Client, error) {
-	conn, err := net.Dial("unix", socketPath)
+	return DialTimeout(socketPath, 0)
+}
+
+// DialTimeout connects to a server's UNIX socket. A positive timeout
+// bounds the dial and every subsequent request round trip: a server
+// that accepts but never answers surfaces as a deadline error instead
+// of a wedged client.
+func DialTimeout(socketPath string, timeout time.Duration) (*Client, error) {
+	conn, err := net.DialTimeout("unix", socketPath, timeout)
 	if err != nil {
 		return nil, fmt.Errorf("serve: dial %s: %w", socketPath, err)
 	}
 	return &Client{
-		conn: conn,
-		rw:   bufio.NewReadWriter(bufio.NewReader(conn), bufio.NewWriter(conn)),
+		conn:    conn,
+		rw:      bufio.NewReadWriter(bufio.NewReader(conn), bufio.NewWriter(conn)),
+		timeout: timeout,
 	}, nil
 }
 
+// SetTimeout changes the per-round-trip deadline; zero disables it.
+func (c *Client) SetTimeout(d time.Duration) { c.timeout = d }
+
 func (c *Client) roundTrip(op byte, payload []byte) (byte, []byte, error) {
+	if c.timeout > 0 {
+		if err := c.conn.SetDeadline(time.Now().Add(c.timeout)); err != nil {
+			return 0, nil, err
+		}
+		defer c.conn.SetDeadline(time.Time{})
+	}
 	if err := writeFrame(c.rw, op, payload); err != nil {
 		return 0, nil, err
 	}
@@ -103,6 +123,19 @@ func (c *Client) Salience(x []float32) ([]int, error) {
 		return nil, fmt.Errorf("serve: %s", payload)
 	}
 	return decodeCounts(payload)
+}
+
+// Stats fetches a snapshot of the server's request counters and
+// per-op latency histograms.
+func (c *Client) Stats() (ServerStats, error) {
+	status, payload, err := c.roundTrip(OpStats, nil)
+	if err != nil {
+		return ServerStats{}, err
+	}
+	if status != StatusOK {
+		return ServerStats{}, fmt.Errorf("serve: %s", payload)
+	}
+	return decodeStats(payload)
 }
 
 // Close closes the connection.

@@ -30,6 +30,9 @@ const (
 	// the paper contrasts with its unbatched service protocol ("when
 	// batching queries Ranger can ... achieve very low response times").
 	OpBatch = byte('B')
+	// OpStats requests a snapshot of the server's request counters and
+	// per-op latency histograms.
+	OpStats = byte('S')
 )
 
 // Response status codes.
@@ -55,6 +58,15 @@ func writeFrame(w io.Writer, op byte, payload []byte) error {
 	return err
 }
 
+// frameTooLargeError reports an over-limit length prefix. The frame
+// boundary is still known, so the server can drain the payload and
+// keep the connection instead of dropping it mid-stream.
+type frameTooLargeError struct{ n uint32 }
+
+func (e *frameTooLargeError) Error() string {
+	return fmt.Sprintf("serve: frame of %d bytes exceeds limit %d", e.n, MaxFrameBytes)
+}
+
 // readFrame reads one frame, enforcing the size bound.
 func readFrame(r io.Reader) (op byte, payload []byte, err error) {
 	var hdr [5]byte
@@ -63,7 +75,7 @@ func readFrame(r io.Reader) (op byte, payload []byte, err error) {
 	}
 	n := binary.LittleEndian.Uint32(hdr[1:])
 	if n > MaxFrameBytes {
-		return 0, nil, fmt.Errorf("serve: frame of %d bytes exceeds limit %d", n, MaxFrameBytes)
+		return hdr[0], nil, &frameTooLargeError{n}
 	}
 	payload = make([]byte, n)
 	if _, err := io.ReadFull(r, payload); err != nil {

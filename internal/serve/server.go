@@ -17,6 +17,11 @@ type Engine interface {
 	Predict(x []float32) int
 }
 
+// EngineFactory constructs one engine per pool worker. Each engine
+// owns its scratch buffers, so independent workers run inference
+// concurrently without sharing mutable state.
+type EngineFactory func() Engine
+
 // Explainer is the optional salience extension (Bolt engines support
 // it; baselines typically do not).
 type Explainer interface {
@@ -29,9 +34,15 @@ type ValuePredictor interface {
 }
 
 // Server answers classification requests on a UNIX domain socket.
+// Inference runs on a bounded pool of engines: each connection handler
+// checks an engine out of the pool per request, so up to `workers`
+// requests execute concurrently and OpBatch frames are sharded across
+// idle workers. A pool of one reproduces the paper's serialized,
+// single-writer engine discipline (§6).
 type Server struct {
-	engine      Engine
+	rep         Engine // representative engine for interface checks
 	numFeatures int
+	workers     int
 	ln          net.Listener
 
 	mu     sync.Mutex
@@ -39,30 +50,61 @@ type Server struct {
 	closed bool
 	wg     sync.WaitGroup
 
-	// engineMu serialises inference: the paper's engines process
-	// samples sequentially without batching (§6), and the single-writer
-	// discipline lets engines reuse scratch buffers.
-	engineMu sync.Mutex
+	// pool holds the idle engines; receiving checks one out, sending
+	// returns it. Capacity equals workers, so the channel never blocks
+	// on return.
+	pool chan Engine
+
+	stats serverStats
 }
 
-// NewServer listens on the UNIX socket path and serves the engine.
-// numFeatures is enforced on every request.
+// NewServer listens on the UNIX socket path and serves a single
+// engine, serialising every inference — the safe mode for engines that
+// reuse shared scratch buffers. numFeatures is enforced on every
+// request.
 func NewServer(socketPath string, engine Engine, numFeatures int) (*Server, error) {
 	if engine == nil {
 		return nil, errors.New("serve: nil engine")
 	}
+	return NewPool(socketPath, func() Engine { return engine }, numFeatures, 1)
+}
+
+// NewPool listens on the UNIX socket path and serves a pool of
+// `workers` engines built by the factory. workers < 1 is an error:
+// callers choose the concurrency (typically the core count).
+func NewPool(socketPath string, factory EngineFactory, numFeatures, workers int) (*Server, error) {
+	if factory == nil {
+		return nil, errors.New("serve: nil engine factory")
+	}
 	if numFeatures <= 0 {
 		return nil, fmt.Errorf("serve: invalid feature count %d", numFeatures)
+	}
+	if workers < 1 {
+		return nil, fmt.Errorf("serve: invalid worker count %d", workers)
+	}
+	pool := make(chan Engine, workers)
+	var rep Engine
+	for i := 0; i < workers; i++ {
+		e := factory()
+		if e == nil {
+			return nil, errors.New("serve: engine factory returned nil")
+		}
+		if i == 0 {
+			rep = e
+		}
+		pool <- e
 	}
 	ln, err := net.Listen("unix", socketPath)
 	if err != nil {
 		return nil, fmt.Errorf("serve: listen on %s: %w", socketPath, err)
 	}
 	s := &Server{
-		engine:      engine,
+		rep:         rep,
 		numFeatures: numFeatures,
+		workers:     workers,
 		ln:          ln,
 		conns:       map[net.Conn]struct{}{},
+		pool:        pool,
 	}
 	s.wg.Add(1)
 	go s.acceptLoop()
@@ -71,6 +113,12 @@ func NewServer(socketPath string, engine Engine, numFeatures int) (*Server, erro
 
 // Addr returns the listening socket path.
 func (s *Server) Addr() string { return s.ln.Addr().String() }
+
+// Workers returns the engine-pool size.
+func (s *Server) Workers() int { return s.workers }
+
+// Stats returns a snapshot of the server's request counters.
+func (s *Server) Stats() ServerStats { return s.stats.snapshot(s.workers) }
 
 func (s *Server) acceptLoop() {
 	defer s.wg.Done()
@@ -103,102 +151,180 @@ func (s *Server) handle(conn net.Conn) {
 	for {
 		op, payload, err := readFrame(conn)
 		if err != nil {
+			var tooBig *frameTooLargeError
+			if errors.As(err, &tooBig) {
+				// The frame boundary is known: reject, drain the payload
+				// to stay in sync, and keep serving the connection.
+				s.stats.requests.Add(1)
+				s.stats.errors.Add(1)
+				s.stats.op(op).errors.Add(1)
+				if writeFrame(conn, StatusErr, []byte(err.Error())) != nil {
+					return
+				}
+				if _, err := io.CopyN(io.Discard, conn, int64(tooBig.n)); err != nil {
+					return
+				}
+				continue
+			}
 			if !errors.Is(err, io.EOF) && !errors.Is(err, net.ErrClosed) {
 				// Protocol violation: answer once if possible, then drop.
+				s.stats.errors.Add(1)
 				writeFrame(conn, StatusErr, []byte(err.Error()))
 			}
 			return
 		}
-		if err := s.dispatch(conn, op, payload); err != nil {
+		s.stats.requests.Add(1)
+		s.stats.inFlight.Add(1)
+		err = s.dispatch(conn, op, payload)
+		s.stats.inFlight.Add(-1)
+		if err != nil {
 			return
 		}
 	}
 }
 
+// reply records the op's dispatch latency and outcome, then writes the
+// response frame. The latency histogram covers decode + engine time
+// (queueing for an idle engine included); the serviceNs carried inside
+// successful responses remains the engine-only time of §4.5.
+func (s *Server) reply(conn net.Conn, op byte, start time.Time, status byte, payload []byte) error {
+	c := s.stats.op(op)
+	c.observe(time.Since(start))
+	if status == StatusErr {
+		c.errors.Add(1)
+		s.stats.errors.Add(1)
+	}
+	return writeFrame(conn, status, payload)
+}
+
 func (s *Server) dispatch(conn net.Conn, op byte, payload []byte) error {
+	start := time.Now()
 	switch op {
 	case OpPing:
-		return writeFrame(conn, StatusOK, nil)
+		return s.reply(conn, op, start, StatusOK, nil)
+	case OpStats:
+		return s.reply(conn, op, start, StatusOK, encodeStats(s.Stats()))
 	case OpClassify:
 		x, err := s.decodeInput(payload)
 		if err != nil {
-			return writeFrame(conn, StatusErr, []byte(err.Error()))
+			return s.reply(conn, op, start, StatusErr, []byte(err.Error()))
 		}
 		// Service time: receipt to aggregation output (§4.5), network
 		// excluded — the clock starts after the frame is fully read.
-		start := time.Now()
-		label, err := s.callEngineInt(func() int { return s.engine.Predict(x) })
-		elapsed := time.Since(start)
+		var label int
+		svc := time.Now()
+		err = s.withEngine(func(e Engine) { label = e.Predict(x) })
+		elapsed := time.Since(svc)
 		if err != nil {
-			return writeFrame(conn, StatusErr, []byte(err.Error()))
+			return s.reply(conn, op, start, StatusErr, []byte(err.Error()))
 		}
-		return writeFrame(conn, StatusOK, encodeClassifyResponse(label, uint64(elapsed.Nanoseconds())))
+		return s.reply(conn, op, start, StatusOK, encodeClassifyResponse(label, uint64(elapsed.Nanoseconds())))
 	case OpValue:
-		vp, ok := s.engine.(ValuePredictor)
-		if !ok {
-			return writeFrame(conn, StatusErr, []byte("serve: engine does not support regression"))
+		if _, ok := s.rep.(ValuePredictor); !ok {
+			return s.reply(conn, op, start, StatusErr, []byte("serve: engine does not support regression"))
 		}
 		x, err := s.decodeInput(payload)
 		if err != nil {
-			return writeFrame(conn, StatusErr, []byte(err.Error()))
+			return s.reply(conn, op, start, StatusErr, []byte(err.Error()))
 		}
-		start := time.Now()
 		var value float32
-		_, err = s.callEngineInt(func() int { value = vp.PredictValue(x); return 0 })
-		elapsed := time.Since(start)
+		svc := time.Now()
+		err = s.withEngine(func(e Engine) { value = e.(ValuePredictor).PredictValue(x) })
+		elapsed := time.Since(svc)
 		if err != nil {
-			return writeFrame(conn, StatusErr, []byte(err.Error()))
+			return s.reply(conn, op, start, StatusErr, []byte(err.Error()))
 		}
-		return writeFrame(conn, StatusOK, encodeValueResponse(value, uint64(elapsed.Nanoseconds())))
+		return s.reply(conn, op, start, StatusOK, encodeValueResponse(value, uint64(elapsed.Nanoseconds())))
 	case OpBatch:
 		X, err := decodeBatchRequest(payload, s.numFeatures)
 		if err != nil {
-			return writeFrame(conn, StatusErr, []byte(err.Error()))
+			return s.reply(conn, op, start, StatusErr, []byte(err.Error()))
 		}
-		start := time.Now()
-		labels := make([]int, len(X))
-		_, err = s.callEngineInt(func() int {
-			for i, x := range X {
-				labels[i] = s.engine.Predict(x)
-			}
-			return 0
-		})
-		elapsed := time.Since(start)
+		svc := time.Now()
+		labels, err := s.predictBatch(X)
+		elapsed := time.Since(svc)
 		if err != nil {
-			return writeFrame(conn, StatusErr, []byte(err.Error()))
+			return s.reply(conn, op, start, StatusErr, []byte(err.Error()))
 		}
-		return writeFrame(conn, StatusOK, encodeBatchResponse(labels, uint64(elapsed.Nanoseconds())))
+		return s.reply(conn, op, start, StatusOK, encodeBatchResponse(labels, uint64(elapsed.Nanoseconds())))
 	case OpSalience:
-		ex, ok := s.engine.(Explainer)
-		if !ok {
-			return writeFrame(conn, StatusErr, []byte("serve: engine does not support salience"))
+		if _, ok := s.rep.(Explainer); !ok {
+			return s.reply(conn, op, start, StatusErr, []byte("serve: engine does not support salience"))
 		}
 		x, err := s.decodeInput(payload)
 		if err != nil {
-			return writeFrame(conn, StatusErr, []byte(err.Error()))
+			return s.reply(conn, op, start, StatusErr, []byte(err.Error()))
 		}
 		var counts []int
-		if _, err := s.callEngineInt(func() int { counts = ex.Salience(x); return 0 }); err != nil {
-			return writeFrame(conn, StatusErr, []byte(err.Error()))
+		if err := s.withEngine(func(e Engine) { counts = e.(Explainer).Salience(x) }); err != nil {
+			return s.reply(conn, op, start, StatusErr, []byte(err.Error()))
 		}
-		return writeFrame(conn, StatusOK, encodeCounts(counts))
+		return s.reply(conn, op, start, StatusOK, encodeCounts(counts))
 	default:
-		return writeFrame(conn, StatusErr, []byte(fmt.Sprintf("serve: unknown op %#x", op)))
+		return s.reply(conn, op, start, StatusErr, []byte(fmt.Sprintf("serve: unknown op %#x", op)))
 	}
 }
 
-// callEngineInt serialises an engine call and converts engine panics
-// (e.g. a classification request sent to a regression engine) into
-// protocol errors instead of killing the service.
-func (s *Server) callEngineInt(fn func() int) (out int, err error) {
+// withEngine checks an engine out of the pool, runs fn, and converts
+// engine panics (e.g. a classification request sent to a regression
+// engine) into protocol errors instead of killing the service. The
+// engine is always returned to the pool, panic or not.
+func (s *Server) withEngine(fn func(Engine)) (err error) {
+	e := <-s.pool
 	defer func() {
+		s.pool <- e
 		if r := recover(); r != nil {
 			err = fmt.Errorf("serve: engine rejected request: %v", r)
 		}
 	}()
-	s.engineMu.Lock()
-	defer s.engineMu.Unlock()
-	return fn(), nil
+	fn(e)
+	return nil
+}
+
+// predictBatch classifies a batch, sharding the rows across idle
+// workers. Shard count never exceeds the pool size, so every shard
+// goroutine eventually checks out an engine; with one worker the batch
+// degenerates to the old sequential scan.
+func (s *Server) predictBatch(X [][]float32) ([]int, error) {
+	labels := make([]int, len(X))
+	shards := s.workers
+	if shards > len(X) {
+		shards = len(X)
+	}
+	if shards <= 1 {
+		err := s.withEngine(func(e Engine) {
+			for i, x := range X {
+				labels[i] = e.Predict(x)
+			}
+		})
+		return labels, err
+	}
+	chunk := (len(X) + shards - 1) / shards
+	errs := make([]error, shards)
+	var wg sync.WaitGroup
+	for sh := 0; sh < shards; sh++ {
+		lo := sh * chunk
+		hi := lo + chunk
+		if hi > len(X) {
+			hi = len(X)
+		}
+		wg.Add(1)
+		go func(sh, lo, hi int) {
+			defer wg.Done()
+			errs[sh] = s.withEngine(func(e Engine) {
+				for i := lo; i < hi; i++ {
+					labels[i] = e.Predict(X[i])
+				}
+			})
+		}(sh, lo, hi)
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return nil, err
+		}
+	}
+	return labels, nil
 }
 
 func (s *Server) decodeInput(payload []byte) ([]float32, error) {

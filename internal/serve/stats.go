@@ -1,0 +1,196 @@
+package serve
+
+import (
+	"encoding/binary"
+	"fmt"
+	"math/bits"
+	"sync/atomic"
+	"time"
+)
+
+// HistBuckets is the number of log2-spaced latency buckets per op.
+// Bucket i counts requests whose dispatch latency ns satisfies
+// bits.Len64(ns) == i, i.e. ns in [2^(i-1), 2^i); the last bucket
+// absorbs everything slower (~2^30 ns ≈ 1 s and beyond).
+const HistBuckets = 31
+
+// trackedOps lists the op codes with per-op counters, in wire order.
+var trackedOps = [...]byte{OpPing, OpClassify, OpValue, OpBatch, OpSalience, OpStats}
+
+// opIndex maps an op code to its counter slot; unknown ops share the
+// last slot so protocol probes still show up in the totals.
+func opIndex(op byte) int {
+	for i, o := range trackedOps {
+		if o == op {
+			return i
+		}
+	}
+	return len(trackedOps) - 1
+}
+
+// opCounter accumulates one op's request count, error count and
+// dispatch-latency histogram. All fields are atomics: workers update
+// them concurrently without locks.
+type opCounter struct {
+	count   atomic.Uint64
+	errors  atomic.Uint64
+	totalNs atomic.Uint64
+	buckets [HistBuckets]atomic.Uint64
+}
+
+func (c *opCounter) observe(d time.Duration) {
+	ns := uint64(d.Nanoseconds())
+	c.count.Add(1)
+	c.totalNs.Add(ns)
+	b := bits.Len64(ns)
+	if b >= HistBuckets {
+		b = HistBuckets - 1
+	}
+	c.buckets[b].Add(1)
+}
+
+// serverStats is the server's live counter block.
+type serverStats struct {
+	requests atomic.Uint64
+	errors   atomic.Uint64
+	inFlight atomic.Int64
+	ops      [len(trackedOps)]opCounter
+}
+
+func (s *serverStats) op(op byte) *opCounter { return &s.ops[opIndex(op)] }
+
+// snapshot copies the counters into an exportable ServerStats. The
+// copy is not a consistent cut across counters (requests may tick
+// between reads) but every individual value is a valid atomic load.
+func (s *serverStats) snapshot(workers int) ServerStats {
+	out := ServerStats{
+		Requests: s.requests.Load(),
+		Errors:   s.errors.Load(),
+		InFlight: s.inFlight.Load(),
+		Workers:  workers,
+	}
+	for i := range s.ops {
+		c := &s.ops[i]
+		op := OpStat{
+			Op:      trackedOps[i],
+			Count:   c.count.Load(),
+			Errors:  c.errors.Load(),
+			TotalNs: c.totalNs.Load(),
+		}
+		for b := range c.buckets {
+			op.Buckets[b] = c.buckets[b].Load()
+		}
+		if op.Count > 0 {
+			out.Ops = append(out.Ops, op)
+		}
+	}
+	return out
+}
+
+// OpStat is one op's counters in a stats snapshot.
+type OpStat struct {
+	Op      byte
+	Count   uint64
+	Errors  uint64
+	TotalNs uint64
+	Buckets [HistBuckets]uint64
+}
+
+// AvgNs is the mean dispatch latency in nanoseconds.
+func (o OpStat) AvgNs() float64 {
+	if o.Count == 0 {
+		return 0
+	}
+	return float64(o.TotalNs) / float64(o.Count)
+}
+
+// QuantileNs returns an upper bound on the q-quantile dispatch latency
+// from the log2 histogram (exact to within a factor of two).
+func (o OpStat) QuantileNs(q float64) uint64 {
+	if o.Count == 0 {
+		return 0
+	}
+	if q < 0 {
+		q = 0
+	} else if q > 1 {
+		q = 1
+	}
+	rank := uint64(q * float64(o.Count-1))
+	var seen uint64
+	for b, n := range o.Buckets {
+		seen += n
+		if seen > rank {
+			return uint64(1) << b // upper edge of [2^(b-1), 2^b)
+		}
+	}
+	return uint64(1) << (HistBuckets - 1)
+}
+
+// ServerStats is a point-in-time snapshot of a server's counters,
+// served over the wire by OpStats.
+type ServerStats struct {
+	Requests uint64
+	Errors   uint64
+	InFlight int64
+	Workers  int
+	Ops      []OpStat
+}
+
+// encodeStats packs requests | errors | inFlight | workers | numOps |
+// ops, each op as op | count | errors | totalNs | buckets.
+func encodeStats(st ServerStats) []byte {
+	const opBytes = 1 + 8 + 8 + 8 + HistBuckets*8
+	buf := make([]byte, 8+8+8+4+1+len(st.Ops)*opBytes)
+	binary.LittleEndian.PutUint64(buf, st.Requests)
+	binary.LittleEndian.PutUint64(buf[8:], st.Errors)
+	binary.LittleEndian.PutUint64(buf[16:], uint64(st.InFlight))
+	binary.LittleEndian.PutUint32(buf[24:], uint32(st.Workers))
+	buf[28] = byte(len(st.Ops))
+	off := 29
+	for _, op := range st.Ops {
+		buf[off] = op.Op
+		binary.LittleEndian.PutUint64(buf[off+1:], op.Count)
+		binary.LittleEndian.PutUint64(buf[off+9:], op.Errors)
+		binary.LittleEndian.PutUint64(buf[off+17:], op.TotalNs)
+		off += 25
+		for _, b := range op.Buckets {
+			binary.LittleEndian.PutUint64(buf[off:], b)
+			off += 8
+		}
+	}
+	return buf
+}
+
+// decodeStats unpacks an OpStats response payload.
+func decodeStats(payload []byte) (ServerStats, error) {
+	const opBytes = 1 + 8 + 8 + 8 + HistBuckets*8
+	if len(payload) < 29 {
+		return ServerStats{}, fmt.Errorf("serve: stats payload of %d bytes truncated", len(payload))
+	}
+	st := ServerStats{
+		Requests: binary.LittleEndian.Uint64(payload),
+		Errors:   binary.LittleEndian.Uint64(payload[8:]),
+		InFlight: int64(binary.LittleEndian.Uint64(payload[16:])),
+		Workers:  int(binary.LittleEndian.Uint32(payload[24:])),
+	}
+	n := int(payload[28])
+	if len(payload) != 29+n*opBytes {
+		return ServerStats{}, fmt.Errorf("serve: stats payload %d bytes does not hold %d ops", len(payload), n)
+	}
+	off := 29
+	for i := 0; i < n; i++ {
+		op := OpStat{
+			Op:      payload[off],
+			Count:   binary.LittleEndian.Uint64(payload[off+1:]),
+			Errors:  binary.LittleEndian.Uint64(payload[off+9:]),
+			TotalNs: binary.LittleEndian.Uint64(payload[off+17:]),
+		}
+		off += 25
+		for b := range op.Buckets {
+			op.Buckets[b] = binary.LittleEndian.Uint64(payload[off:])
+			off += 8
+		}
+		st.Ops = append(st.Ops, op)
+	}
+	return st, nil
+}

@@ -1,0 +1,60 @@
+#!/usr/bin/env bash
+# End-to-end smoke test: train a tiny forest, compile it, serve it, and
+# classify through the client — the full §4.5 pipeline as CI exercises
+# it on every push. Exits non-zero if any stage fails or the round trip
+# misbehaves.
+set -euo pipefail
+
+workdir=$(mktemp -d)
+sock="$workdir/bolt.sock"
+serve_pid=""
+cleanup() {
+    [ -n "$serve_pid" ] && kill "$serve_pid" 2>/dev/null || true
+    [ -n "$serve_pid" ] && wait "$serve_pid" 2>/dev/null || true
+    rm -rf "$workdir"
+}
+trap cleanup EXIT
+
+echo "== build =="
+go build -o "$workdir" ./cmd/bolt-train ./cmd/bolt-compile ./cmd/bolt-serve ./cmd/bolt-client
+
+echo "== train =="
+"$workdir/bolt-train" -dataset lstw -samples 600 -trees 5 -depth 4 \
+    -out "$workdir/forest.bin"
+
+echo "== compile =="
+"$workdir/bolt-compile" -model "$workdir/forest.bin" -dataset lstw \
+    -out "$workdir/forest.bfc"
+
+echo "== serve =="
+"$workdir/bolt-serve" -compiled "$workdir/forest.bfc" -socket "$sock" \
+    -workers 4 &
+serve_pid=$!
+
+# Wait for the socket to appear (up to ~5 s).
+for _ in $(seq 50); do
+    [ -S "$sock" ] && break
+    kill -0 "$serve_pid" 2>/dev/null || { echo "bolt-serve died" >&2; exit 1; }
+    sleep 0.1
+done
+[ -S "$sock" ] || { echo "socket never appeared" >&2; exit 1; }
+
+echo "== classify =="
+out=$("$workdir/bolt-client" -socket "$sock" -dataset lstw -n 200 -timeout 10s)
+echo "$out"
+echo "$out" | grep -q "classified 200 samples" || {
+    echo "client round trip failed" >&2
+    exit 1
+}
+
+echo "== batch =="
+"$workdir/bolt-client" -socket "$sock" -dataset lstw -n 200 -batch 50 -timeout 10s \
+    | grep -q "classified 200 samples" || { echo "batch round trip failed" >&2; exit 1; }
+
+echo "== stats =="
+stats=$("$workdir/bolt-client" stats -socket "$sock" -timeout 10s)
+echo "$stats"
+echo "$stats" | grep -q "4 workers" || { echo "stats missing worker count" >&2; exit 1; }
+echo "$stats" | grep -Eq "op C: +[1-9]" || { echo "stats missing classify counters" >&2; exit 1; }
+
+echo "smoke OK"

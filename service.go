@@ -1,6 +1,9 @@
 package bolt
 
 import (
+	"runtime"
+	"time"
+
 	"bolt/internal/perfsim"
 	"bolt/internal/serve"
 	"bolt/internal/tuning"
@@ -31,24 +34,53 @@ type ServiceClient = serve.Client
 // LatencyStats summarises service-time observations.
 type LatencyStats = serve.LatencyStats
 
+// ServerStats is a snapshot of a server's request counters and per-op
+// latency histograms, fetched with ServiceClient.Stats.
+type ServerStats = serve.ServerStats
+
+// OpStat is one op's counters in a ServerStats snapshot.
+type OpStat = serve.OpStat
+
 // Engine is the pluggable inference backend accepted by Serve.
 type Engine = serve.Engine
 
-// Serve starts a classification service for the engine on the given
-// UNIX socket path. Close the returned server to shut down.
+// EngineFactory builds one Engine per pool worker for ServePool.
+type EngineFactory = serve.EngineFactory
+
+// Serve starts a classification service for a single engine on the
+// given UNIX socket path, serialising every inference — the safe mode
+// for engines that are not concurrency-safe (baselines sharing scratch
+// buffers). Close the returned server to shut down.
 func Serve(socketPath string, engine Engine, numFeatures int) (*Server, error) {
 	return serve.NewServer(socketPath, engine, numFeatures)
 }
 
-// ServeForest starts a service over a compiled Bolt forest.
-func ServeForest(socketPath string, bf *CompiledForest) (*Server, error) {
-	return serve.NewServer(socketPath, &predictorEngine{NewPredictor(bf)}, bf.NumFeatures)
+// ServePool starts a classification service backed by a bounded pool
+// of `workers` engines, one per factory call; independent connections
+// run inference concurrently and batches are sharded across idle
+// workers. workers < 1 defaults to GOMAXPROCS.
+func ServePool(socketPath string, factory EngineFactory, numFeatures, workers int) (*Server, error) {
+	if workers < 1 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	return serve.NewPool(socketPath, factory, numFeatures, workers)
+}
+
+// ServeForest starts a service over a compiled Bolt forest with a pool
+// of `workers` predictors, each owning its scratch buffers (the
+// compiled forest itself is immutable and shared). workers < 1
+// defaults to GOMAXPROCS.
+func ServeForest(socketPath string, bf *CompiledForest, workers int) (*Server, error) {
+	return ServePool(socketPath, func() Engine {
+		return &predictorEngine{NewPredictor(bf)}
+	}, bf.NumFeatures, workers)
 }
 
 // predictorEngine adapts Predictor to serve.Engine, serve.Explainer
-// and serve.ValuePredictor. The server serialises engine calls, so the
-// single scratch is safe; kind-mismatched requests surface as protocol
-// errors (the server converts the engine's panic).
+// and serve.ValuePredictor. Each pool worker gets its own Predictor —
+// and with it private scratch — so workers never race; kind-mismatched
+// requests surface as protocol errors (the server converts the
+// engine's panic).
 type predictorEngine struct{ p *Predictor }
 
 func (e *predictorEngine) Predict(x []float32) int          { return e.p.Predict(x) }
@@ -57,6 +89,13 @@ func (e *predictorEngine) PredictValue(x []float32) float32 { return e.p.Predict
 
 // DialService connects to a running classification service.
 func DialService(socketPath string) (*ServiceClient, error) { return serve.Dial(socketPath) }
+
+// DialServiceTimeout connects like DialService and bounds the dial and
+// every request round trip by timeout, so a hung server cannot block a
+// client forever.
+func DialServiceTimeout(socketPath string, timeout time.Duration) (*ServiceClient, error) {
+	return serve.DialTimeout(socketPath, timeout)
+}
 
 // SummarizeLatencies computes latency statistics from nanosecond
 // samples.
