@@ -4,13 +4,20 @@
 // and the service-time distribution.
 //
 // The `stats` subcommand fetches the server's request counters and
-// per-op latency histograms instead of sending samples.
+// per-op latency histograms; `health` reports readiness, worker count,
+// reload count and the model checksum; `reload` asks the server to
+// hot-swap its model. -retries/-backoff arm automatic reconnect with
+// exponential backoff for idempotent requests, so measurement runs
+// survive a server restart or hot reload.
 //
 // Usage:
 //
 //	bolt-client -socket /tmp/bolt.sock -dataset mnist -n 1000
 //	bolt-client -socket /tmp/bolt.sock -dataset mnist -n 1 -salience
+//	bolt-client -socket /tmp/bolt.sock -retries 5 -backoff 20ms -batch 64
 //	bolt-client stats -socket /tmp/bolt.sock
+//	bolt-client health -socket /tmp/bolt.sock
+//	bolt-client reload -socket /tmp/bolt.sock [-path /new/model.bin]
 package main
 
 import (
@@ -31,8 +38,15 @@ func main() {
 }
 
 func run(args []string) error {
-	if len(args) > 0 && args[0] == "stats" {
-		return runStats(args[1:])
+	if len(args) > 0 {
+		switch args[0] {
+		case "stats":
+			return runStats(args[1:])
+		case "health":
+			return runHealth(args[1:])
+		case "reload":
+			return runReload(args[1:])
+		}
 	}
 	fs := flag.NewFlagSet("bolt-client", flag.ContinueOnError)
 	var (
@@ -44,6 +58,8 @@ func run(args []string) error {
 		value    = fs.Bool("value", false, "regression mode: request values and report RMSE")
 		batch    = fs.Int("batch", 0, "classify in batches of this size instead of one at a time")
 		timeout  = fs.Duration("timeout", 30*time.Second, "per-request deadline; 0 waits forever")
+		retries  = fs.Int("retries", 0, "retry idempotent requests up to this many times after transport errors")
+		backoff  = fs.Duration("backoff", 10*time.Millisecond, "initial retry backoff (doubles per attempt, with jitter)")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -63,7 +79,7 @@ func run(args []string) error {
 		return fmt.Errorf("unknown dataset %q", *dsName)
 	}
 
-	c, err := bolt.DialServiceTimeout(*socket, *timeout)
+	c, err := dial(*socket, *timeout, *retries, *backoff)
 	if err != nil {
 		return err
 	}
@@ -153,6 +169,18 @@ func run(args []string) error {
 	return nil
 }
 
+// dial connects with the shared timeout and optional retry policy.
+func dial(socket string, timeout time.Duration, retries int, backoff time.Duration) (*bolt.ServiceClient, error) {
+	c, err := bolt.DialServiceTimeout(socket, timeout)
+	if err != nil {
+		return nil, err
+	}
+	if retries > 0 {
+		c.SetRetry(bolt.RetryPolicy{MaxRetries: retries, Backoff: backoff})
+	}
+	return c, nil
+}
+
 // runStats implements the `stats` subcommand.
 func runStats(args []string) error {
 	fs := flag.NewFlagSet("bolt-client stats", flag.ContinueOnError)
@@ -172,8 +200,8 @@ func runStats(args []string) error {
 	if err != nil {
 		return err
 	}
-	fmt.Printf("server: %d workers, %d requests, %d errors, %d in flight\n",
-		st.Workers, st.Requests, st.Errors, st.InFlight)
+	fmt.Printf("server: %d workers, %d requests, %d errors, %d panics recovered, %d reloads, %d in flight\n",
+		st.Workers, st.Requests, st.Errors, st.Panics, st.Reloads, st.InFlight)
 	for _, op := range st.Ops {
 		fmt.Printf("  op %c: %6d reqs  %4d errs  avg %8v  p50 <%8v  p99 <%8v\n",
 			op.Op, op.Count, op.Errors,
@@ -181,5 +209,54 @@ func runStats(args []string) error {
 			time.Duration(op.QuantileNs(0.50)),
 			time.Duration(op.QuantileNs(0.99)))
 	}
+	return nil
+}
+
+// runHealth implements the `health` subcommand.
+func runHealth(args []string) error {
+	fs := flag.NewFlagSet("bolt-client health", flag.ContinueOnError)
+	var (
+		socket  = fs.String("socket", "/tmp/bolt.sock", "UNIX socket path")
+		timeout = fs.Duration("timeout", 30*time.Second, "per-request deadline; 0 waits forever")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	c, err := bolt.DialServiceTimeout(*socket, *timeout)
+	if err != nil {
+		return err
+	}
+	defer c.Close()
+	h, err := c.Health()
+	if err != nil {
+		return err
+	}
+	fmt.Printf("state %s, %d workers, %d reloads, model %s\n",
+		bolt.HealthStateName(h.State), h.Workers, h.Reloads, h.ModelChecksum)
+	return nil
+}
+
+// runReload implements the `reload` subcommand: ask the server to
+// hot-swap its model via the OpReload admin op.
+func runReload(args []string) error {
+	fs := flag.NewFlagSet("bolt-client reload", flag.ContinueOnError)
+	var (
+		socket  = fs.String("socket", "/tmp/bolt.sock", "UNIX socket path")
+		path    = fs.String("path", "", "model path to load; empty reloads the server's configured path")
+		timeout = fs.Duration("timeout", 30*time.Second, "per-request deadline; 0 waits forever")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	c, err := bolt.DialServiceTimeout(*socket, *timeout)
+	if err != nil {
+		return err
+	}
+	defer c.Close()
+	sum, err := c.TriggerReload(*path)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("reloaded, model %s\n", sum)
 	return nil
 }

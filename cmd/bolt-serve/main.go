@@ -2,15 +2,24 @@
 // Bolt forest (optionally Phase-2 tuned) and serves classification
 // requests on a UNIX domain socket — the inference service of §4.5.
 //
+// The service is operable: SIGHUP (or the OpReload admin op) hot-swaps
+// the engine pool from the model file without dropping requests,
+// SIGINT/SIGTERM drain in-flight work before exiting, and the final
+// stats snapshot is always printed on the way out.
+//
 // Usage:
 //
 //	bolt-serve -model forest.bin -socket /tmp/bolt.sock -workers 8
 //	bolt-serve -model forest.bin -socket /tmp/bolt.sock -tune -cores 4 -dataset mnist
+//	kill -HUP $(pidof bolt-serve)   # reload forest.bin in place
 package main
 
 import (
+	"bytes"
+	"context"
 	"flag"
 	"fmt"
+	"hash/crc32"
 	"os"
 	"os/signal"
 	"syscall"
@@ -39,37 +48,64 @@ func run(args []string) error {
 		dsName    = fs.String("dataset", "mnist", "dataset generating tuning probes (with -tune)")
 		seed      = fs.Uint64("seed", 2022, "random seed")
 		workers   = fs.Int("workers", 0, "engine-pool size; concurrent requests run on separate engines (0 = GOMAXPROCS)")
+		drain     = fs.Duration("drain", 10*time.Second, "graceful-shutdown deadline for in-flight requests")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
 
+	// loadCompiled rebuilds serving artifacts from a path: it is both
+	// the startup path and the SIGHUP/OpReload path, so a reload picks
+	// up whatever now lives at the model file. Reloads recompile with
+	// the Phase-1 flags; -tune applies to the initial load only.
+	defaultPath := *model
+	fromArtifact := *compiled != ""
+	if fromArtifact {
+		defaultPath = *compiled
+	}
+	loadCompiled := func(path string) (*bolt.CompiledForest, string, error) {
+		if path == "" {
+			path = defaultPath
+		}
+		raw, err := os.ReadFile(path)
+		if err != nil {
+			return nil, "", err
+		}
+		sum := fmt.Sprintf("crc32:%08x", crc32.ChecksumIEEE(raw))
+		if fromArtifact {
+			bf, err := bolt.DecodeCompiledForest(bytes.NewReader(raw))
+			if err != nil {
+				return nil, "", err
+			}
+			return bf, sum, nil
+		}
+		fst, err := bolt.DecodeForest(bytes.NewReader(raw))
+		if err != nil {
+			return nil, "", err
+		}
+		bf, err := bolt.Compile(fst, bolt.Options{
+			ClusterThreshold: *threshold,
+			BloomBitsPerKey:  *bloomBits,
+			Seed:             *seed,
+		})
+		if err != nil {
+			return nil, "", err
+		}
+		return bf, sum, nil
+	}
+
 	var bf *bolt.CompiledForest
-	if *compiled != "" {
-		cf, err := os.Open(*compiled)
+	var sum string
+	if *tune && !fromArtifact {
+		raw, err := os.ReadFile(*model)
 		if err != nil {
 			return err
 		}
-		bf, err = bolt.DecodeCompiledForest(cf)
-		cf.Close()
+		sum = fmt.Sprintf("crc32:%08x", crc32.ChecksumIEEE(raw))
+		f, err := bolt.DecodeForest(bytes.NewReader(raw))
 		if err != nil {
 			return err
 		}
-		fmt.Printf("loaded precompiled artifact %s\n", *compiled)
-		return serveForest(bf, *socket, *workers)
-	}
-
-	mf, err := os.Open(*model)
-	if err != nil {
-		return err
-	}
-	f, err := bolt.DecodeForest(mf)
-	mf.Close()
-	if err != nil {
-		return err
-	}
-
-	if *tune {
 		probe, err := probeInputs(*dsName, 300, f.NumFeatures, *seed)
 		if err != nil {
 			return err
@@ -85,22 +121,31 @@ func run(args []string) error {
 		fmt.Printf("tuned: %s (%.2f us/sample on probes)\n", best.Candidate, best.LatencyNs/1000)
 		bf = best.Forest
 	} else {
-		bf, err = bolt.Compile(f, bolt.Options{
-			ClusterThreshold: *threshold,
-			BloomBitsPerKey:  *bloomBits,
-			Seed:             *seed,
-		})
+		var err error
+		bf, sum, err = loadCompiled("")
 		if err != nil {
 			return err
 		}
+		if fromArtifact {
+			fmt.Printf("loaded precompiled artifact %s (%s)\n", *compiled, sum)
+		}
 	}
 
-	return serveForest(bf, *socket, *workers)
+	reloader := func(path string) (bolt.EngineFactory, int, string, error) {
+		nbf, nsum, err := loadCompiled(path)
+		if err != nil {
+			return nil, 0, "", err
+		}
+		return bolt.ForestEngineFactory(nbf), nbf.NumFeatures, nsum, nil
+	}
+	return serveForest(bf, sum, reloader, *socket, *workers, *drain)
 }
 
-// serveForest runs the service until interrupted, then prints the
-// request counters accumulated over the run.
-func serveForest(bf *bolt.CompiledForest, socket string, workers int) error {
+// serveForest runs the service until interrupted. One signal handler
+// covers the whole lifecycle: SIGHUP hot-reloads the model, while
+// SIGINT/SIGTERM drain in-flight requests within the deadline and
+// always print the request counters accumulated over the run.
+func serveForest(bf *bolt.CompiledForest, sum string, reloader bolt.ReloadFunc, socket string, workers int, drain time.Duration) error {
 	// Remove a stale socket from a previous run.
 	if _, err := os.Stat(socket); err == nil {
 		os.Remove(socket)
@@ -109,26 +154,37 @@ func serveForest(bf *bolt.CompiledForest, socket string, workers int) error {
 	if err != nil {
 		return err
 	}
+	srv.SetModelChecksum(sum)
+	srv.SetReloader(reloader)
 	st := bf.Stats()
-	fmt.Printf("serving %d-tree forest on %s with %d workers (%d dict entries, %d table slots)\n",
-		bf.NumTrees, socket, srv.Workers(), st.DictEntries, st.TableSlots)
+	fmt.Printf("serving %d-tree forest on %s with %d workers (%d dict entries, %d table slots, model %s)\n",
+		bf.NumTrees, socket, srv.Workers(), st.DictEntries, st.TableSlots, sum)
 
-	stop := make(chan os.Signal, 1)
-	signal.Notify(stop, os.Interrupt, syscall.SIGTERM)
-	<-stop
-	fmt.Println("shutting down")
-	stats := srv.Stats()
-	if err := srv.Close(); err != nil {
-		return err
+	sigs := make(chan os.Signal, 1)
+	signal.Notify(sigs, os.Interrupt, syscall.SIGTERM, syscall.SIGHUP)
+	for sig := range sigs {
+		if sig == syscall.SIGHUP {
+			if err := srv.Reload(""); err != nil {
+				fmt.Fprintln(os.Stderr, "bolt-serve: reload failed, keeping current model:", err)
+			} else {
+				fmt.Printf("reloaded model (%s)\n", srv.Healthz().ModelChecksum)
+			}
+			continue
+		}
+		fmt.Printf("caught %s, draining (deadline %s)\n", sig, drain)
+		break
 	}
-	printStats(stats)
-	return nil
+	ctx, cancel := context.WithTimeout(context.Background(), drain)
+	defer cancel()
+	err = srv.Shutdown(ctx)
+	printStats(srv.Stats())
+	return err
 }
 
 // printStats renders a ServerStats snapshot.
 func printStats(st bolt.ServerStats) {
-	fmt.Printf("served %d requests (%d errors, %d in flight) on %d workers\n",
-		st.Requests, st.Errors, st.InFlight, st.Workers)
+	fmt.Printf("served %d requests (%d errors, %d panics recovered, %d reloads, %d in flight) on %d workers\n",
+		st.Requests, st.Errors, st.Panics, st.Reloads, st.InFlight, st.Workers)
 	for _, op := range st.Ops {
 		fmt.Printf("  op %c: %6d reqs  %4d errs  avg %8v  p50 <%8v  p99 <%8v\n",
 			op.Op, op.Count, op.Errors,

@@ -1,0 +1,128 @@
+// Package faults provides named fault-injection points for resilience
+// testing. Production code calls Inject(site) at interesting places
+// (engine dispatch, connection loops, pool construction); by default
+// every call is a near-free atomic load and a nop. Tests arm sites
+// with Enable to force errors, panics, or delays — deterministically
+// or probabilistically — and the serving layer's recovery paths are
+// exercised against real injected failures instead of mocks.
+package faults
+
+import (
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Rule describes what happens when an armed site fires. Zero-valued
+// fields are inert: a Rule with only Err set returns that error, one
+// with only PanicMsg set panics, one with only Delay set sleeps.
+type Rule struct {
+	// Prob is the firing probability in [0,1]; 0 means always fire
+	// (the common deterministic-test case).
+	Prob float64
+	// Times bounds how often the rule fires; 0 means unlimited. After
+	// the budget is spent the site reverts to a nop.
+	Times int64
+	// Delay is slept before any error or panic, simulating stalls.
+	Delay time.Duration
+	// Err, if non-nil, is returned from Inject.
+	Err error
+	// PanicMsg, if non-empty, makes Inject panic — the worker-death
+	// scenario the server's recover paths must contain.
+	PanicMsg string
+}
+
+// site is one armed injection point.
+type site struct {
+	rule  Rule
+	fired atomic.Int64
+	rng   uint64 // xorshift state for Prob; guarded by registry.mu
+}
+
+var registry struct {
+	mu    sync.Mutex
+	sites map[string]*site
+}
+
+// armed short-circuits Inject when nothing is enabled, keeping the
+// production fast path to a single atomic load.
+var armed atomic.Bool
+
+// Enable arms the named site with a rule. Re-enabling replaces the
+// previous rule and resets its fire count.
+func Enable(name string, r Rule) {
+	registry.mu.Lock()
+	defer registry.mu.Unlock()
+	if registry.sites == nil {
+		registry.sites = map[string]*site{}
+	}
+	registry.sites[name] = &site{rule: r, rng: 0x9e3779b97f4a7c15}
+	armed.Store(true)
+}
+
+// Disable disarms the named site.
+func Disable(name string) {
+	registry.mu.Lock()
+	defer registry.mu.Unlock()
+	delete(registry.sites, name)
+	armed.Store(len(registry.sites) > 0)
+}
+
+// Reset disarms every site.
+func Reset() {
+	registry.mu.Lock()
+	defer registry.mu.Unlock()
+	registry.sites = nil
+	armed.Store(false)
+}
+
+// Fired reports how many times the named site has fired.
+func Fired(name string) int64 {
+	registry.mu.Lock()
+	defer registry.mu.Unlock()
+	if s := registry.sites[name]; s != nil {
+		return s.fired.Load()
+	}
+	return 0
+}
+
+// Inject fires the named site if armed: it sleeps Rule.Delay, then
+// panics with Rule.PanicMsg or returns Rule.Err. Disarmed sites (the
+// production state) return nil immediately.
+func Inject(name string) error {
+	if !armed.Load() {
+		return nil
+	}
+	registry.mu.Lock()
+	s := registry.sites[name]
+	if s == nil {
+		registry.mu.Unlock()
+		return nil
+	}
+	r := s.rule
+	if r.Times > 0 && s.fired.Load() >= r.Times {
+		registry.mu.Unlock()
+		return nil
+	}
+	if r.Prob > 0 && r.Prob < 1 {
+		// xorshift64: deterministic per-site sequence, no global rand.
+		s.rng ^= s.rng << 13
+		s.rng ^= s.rng >> 7
+		s.rng ^= s.rng << 17
+		if float64(s.rng>>11)/float64(1<<53) >= r.Prob {
+			registry.mu.Unlock()
+			return nil
+		}
+	}
+	s.fired.Add(1)
+	registry.mu.Unlock()
+
+	if r.Delay > 0 {
+		time.Sleep(r.Delay)
+	}
+	if r.PanicMsg != "" {
+		panic(fmt.Sprintf("faults: injected panic at %s: %s", name, r.PanicMsg))
+	}
+	return r.Err
+}

@@ -1,0 +1,97 @@
+package faults
+
+import (
+	"errors"
+	"testing"
+	"time"
+)
+
+func TestDisarmedIsNop(t *testing.T) {
+	Reset()
+	if err := Inject("nowhere"); err != nil {
+		t.Fatalf("disarmed inject returned %v", err)
+	}
+}
+
+func TestErrRule(t *testing.T) {
+	defer Reset()
+	want := errors.New("boom")
+	Enable("a", Rule{Err: want})
+	if err := Inject("a"); !errors.Is(err, want) {
+		t.Fatalf("got %v, want %v", err, want)
+	}
+	// A different site stays inert.
+	if err := Inject("b"); err != nil {
+		t.Fatalf("unarmed site fired: %v", err)
+	}
+	if Fired("a") != 1 {
+		t.Fatalf("Fired = %d, want 1", Fired("a"))
+	}
+}
+
+func TestTimesBudget(t *testing.T) {
+	defer Reset()
+	want := errors.New("limited")
+	Enable("lim", Rule{Err: want, Times: 2})
+	for i := 0; i < 2; i++ {
+		if err := Inject("lim"); !errors.Is(err, want) {
+			t.Fatalf("fire %d: got %v", i, err)
+		}
+	}
+	if err := Inject("lim"); err != nil {
+		t.Fatalf("budget-exhausted site fired: %v", err)
+	}
+	if Fired("lim") != 2 {
+		t.Fatalf("Fired = %d, want 2", Fired("lim"))
+	}
+}
+
+func TestPanicRule(t *testing.T) {
+	defer Reset()
+	Enable("p", Rule{PanicMsg: "worker died"})
+	defer func() {
+		if recover() == nil {
+			t.Fatal("panic rule did not panic")
+		}
+	}()
+	Inject("p")
+}
+
+func TestDelayRule(t *testing.T) {
+	defer Reset()
+	Enable("d", Rule{Delay: 20 * time.Millisecond})
+	start := time.Now()
+	if err := Inject("d"); err != nil {
+		t.Fatal(err)
+	}
+	if time.Since(start) < 20*time.Millisecond {
+		t.Fatal("delay rule did not sleep")
+	}
+}
+
+func TestProbabilisticRoughlyHonoured(t *testing.T) {
+	defer Reset()
+	Enable("pr", Rule{Prob: 0.5, Err: errors.New("x")})
+	fired := 0
+	const n = 2000
+	for i := 0; i < n; i++ {
+		if Inject("pr") != nil {
+			fired++
+		}
+	}
+	if fired < n/4 || fired > 3*n/4 {
+		t.Fatalf("prob 0.5 fired %d/%d times", fired, n)
+	}
+}
+
+func TestDisableRearm(t *testing.T) {
+	defer Reset()
+	Enable("x", Rule{Err: errors.New("x")})
+	Disable("x")
+	if err := Inject("x"); err != nil {
+		t.Fatalf("disabled site fired: %v", err)
+	}
+	if armed.Load() {
+		t.Fatal("registry still armed with no sites")
+	}
+}

@@ -5,6 +5,7 @@ import (
 	"encoding/binary"
 	"errors"
 	"fmt"
+	"hash/crc32"
 	"io"
 	"math"
 
@@ -23,101 +24,236 @@ const (
 	forestMagic = uint32(0xb017f04e) // "bolt forest"
 	deepMagic   = uint32(0xb017dee9) // "bolt deep"
 	// formatVersion 2 added regression fields (kind, bias, additive,
-	// node values); version-1 readers never shipped.
-	formatVersion = uint16(2)
+	// node values); version-1 readers never shipped. Version 3 appends
+	// a CRC32 (IEEE) trailer over every preceding non-trailer byte, so
+	// truncated or bit-flipped model files fail loudly at load time
+	// instead of silently changing predictions. Decode still accepts
+	// version 2 (no trailer); Encode always writes version 3.
+	formatVersion    = uint16(3)
+	minFormatVersion = uint16(2)
 
 	// maxReasonable bounds decoded counts so corrupt or adversarial
 	// files fail fast instead of attempting huge allocations.
 	maxReasonable = 1 << 28
 )
 
-// Encode writes the forest to w in the binary model format.
+// modelWriter wraps the output stream with a running CRC32 over every
+// hashed byte. Trailers are written unhashed, so in a cascade each
+// member's trailer covers the entire stream up to that point.
+type modelWriter struct {
+	bw  *bufio.Writer
+	crc uint32
+}
+
+func newModelWriter(w io.Writer) *modelWriter { return &modelWriter{bw: bufio.NewWriter(w)} }
+
+func (w *modelWriter) writeBytes(b []byte) {
+	w.crc = crc32.Update(w.crc, crc32.IEEETable, b)
+	w.bw.Write(b)
+}
+
+func (w *modelWriter) writeU8(v uint8) { w.writeBytes([]byte{v}) }
+func (w *modelWriter) writeU16(v uint16) {
+	var b [2]byte
+	binary.LittleEndian.PutUint16(b[:], v)
+	w.writeBytes(b[:])
+}
+func (w *modelWriter) writeU32(v uint32) {
+	var b [4]byte
+	binary.LittleEndian.PutUint32(b[:], v)
+	w.writeBytes(b[:])
+}
+func (w *modelWriter) writeU64(v uint64) {
+	var b [8]byte
+	binary.LittleEndian.PutUint64(b[:], v)
+	w.writeBytes(b[:])
+}
+
+// writeTrailer emits the current CRC without hashing it.
+func (w *modelWriter) writeTrailer() {
+	var b [4]byte
+	binary.LittleEndian.PutUint32(b[:], w.crc)
+	w.bw.Write(b[:])
+}
+
+// modelReader mirrors modelWriter: every consumed byte updates the
+// running CRC except trailer bytes, which are compared against it.
+type modelReader struct {
+	br  *bufio.Reader
+	crc uint32
+}
+
+func newModelReader(r io.Reader) *modelReader { return &modelReader{br: bufio.NewReader(r)} }
+
+func (r *modelReader) readBytes(b []byte) error {
+	if _, err := io.ReadFull(r.br, b); err != nil {
+		return err
+	}
+	r.crc = crc32.Update(r.crc, crc32.IEEETable, b)
+	return nil
+}
+
+func (r *modelReader) readU8() (uint8, error) {
+	var b [1]byte
+	if err := r.readBytes(b[:]); err != nil {
+		return 0, err
+	}
+	return b[0], nil
+}
+func (r *modelReader) readU16() (uint16, error) {
+	var b [2]byte
+	if err := r.readBytes(b[:]); err != nil {
+		return 0, err
+	}
+	return binary.LittleEndian.Uint16(b[:]), nil
+}
+func (r *modelReader) readU32() (uint32, error) {
+	var b [4]byte
+	if err := r.readBytes(b[:]); err != nil {
+		return 0, err
+	}
+	return binary.LittleEndian.Uint32(b[:]), nil
+}
+func (r *modelReader) readU64() (uint64, error) {
+	var b [8]byte
+	if err := r.readBytes(b[:]); err != nil {
+		return 0, err
+	}
+	return binary.LittleEndian.Uint64(b[:]), nil
+}
+
+// checkTrailer reads a 4-byte CRC trailer (unhashed) and compares it
+// against the CRC of everything consumed so far.
+func (r *modelReader) checkTrailer() error {
+	want := r.crc
+	var b [4]byte
+	if _, err := io.ReadFull(r.br, b[:]); err != nil {
+		return fmt.Errorf("forest: reading checksum trailer (model truncated?): %w", err)
+	}
+	if got := binary.LittleEndian.Uint32(b[:]); got != want {
+		return fmt.Errorf("forest: checksum mismatch (stored %#08x, computed %#08x): model file corrupt", got, want)
+	}
+	return nil
+}
+
+// expectEOF rejects trailing bytes after a complete model stream.
+func (r *modelReader) expectEOF() error {
+	if _, err := r.br.Peek(1); err != io.EOF {
+		return errors.New("forest: trailing bytes after model (corrupt length field or downgraded version)")
+	}
+	return nil
+}
+
+// Encode writes the forest to w in the binary model format (version 3,
+// with a CRC32 integrity trailer).
 func Encode(w io.Writer, f *Forest) error {
 	if err := f.Validate(); err != nil {
 		return fmt.Errorf("forest: refusing to encode invalid model: %w", err)
 	}
-	bw := bufio.NewWriter(w)
-	writeU32(bw, forestMagic)
-	writeU16(bw, formatVersion)
-	writeU32(bw, uint32(f.NumFeatures))
-	writeU32(bw, uint32(f.NumClasses))
-	writeU8(bw, uint8(f.Kind))
+	mw := newModelWriter(w)
+	encodeForestInto(mw, f)
+	mw.writeTrailer()
+	return mw.bw.Flush()
+}
+
+// encodeForestInto writes magic | version | body through mw's hashing
+// layer. Cascade encoding reuses it per member so one running CRC can
+// cover the whole file.
+func encodeForestInto(mw *modelWriter, f *Forest) {
+	mw.writeU32(forestMagic)
+	mw.writeU16(formatVersion)
+	mw.writeU32(uint32(f.NumFeatures))
+	mw.writeU32(uint32(f.NumClasses))
+	mw.writeU8(uint8(f.Kind))
 	if f.Additive {
-		writeU8(bw, 1)
+		mw.writeU8(1)
 	} else {
-		writeU8(bw, 0)
+		mw.writeU8(0)
 	}
-	writeU64(bw, uint64(f.Bias))
-	writeU32(bw, uint32(len(f.Trees)))
+	mw.writeU64(uint64(f.Bias))
+	mw.writeU32(uint32(len(f.Trees)))
 	if f.Weights != nil {
-		writeU8(bw, 1)
+		mw.writeU8(1)
 		for _, wt := range f.Weights {
-			writeU64(bw, uint64(wt))
+			mw.writeU64(uint64(wt))
 		}
 	} else {
-		writeU8(bw, 0)
+		mw.writeU8(0)
 	}
 	for _, t := range f.Trees {
-		writeU32(bw, uint32(len(t.Nodes)))
+		mw.writeU32(uint32(len(t.Nodes)))
 		for i := range t.Nodes {
 			n := &t.Nodes[i]
-			writeU32(bw, uint32(n.Feature))
-			writeU32(bw, floatBits(n.Threshold))
-			writeU32(bw, uint32(n.Left))
-			writeU32(bw, uint32(n.Right))
-			writeU32(bw, uint32(n.Label))
-			writeU32(bw, floatBits(n.Value))
-			writeU32(bw, uint32(len(n.Counts)))
+			mw.writeU32(uint32(n.Feature))
+			mw.writeU32(floatBits(n.Threshold))
+			mw.writeU32(uint32(n.Left))
+			mw.writeU32(uint32(n.Right))
+			mw.writeU32(uint32(n.Label))
+			mw.writeU32(floatBits(n.Value))
+			mw.writeU32(uint32(len(n.Counts)))
 			for _, c := range n.Counts {
-				writeU32(bw, uint32(c))
+				mw.writeU32(uint32(c))
 			}
 		}
 	}
-	return bw.Flush()
 }
 
-// Decode reads a forest from r and validates it.
+// Decode reads a forest from r, verifies its integrity trailer (v3
+// files), and validates it.
 func Decode(r io.Reader) (*Forest, error) {
-	br := bufio.NewReader(r)
-	magic, err := readU32(br)
+	mr := newModelReader(r)
+	magic, err := mr.readU32()
 	if err != nil {
 		return nil, fmt.Errorf("forest: reading magic: %w", err)
 	}
 	if magic != forestMagic {
 		return nil, fmt.Errorf("forest: bad magic %#x (not a forest model file)", magic)
 	}
-	return decodeBody(br)
+	f, err := decodeBody(mr)
+	if err != nil {
+		return nil, err
+	}
+	// Trailing bytes mean a corrupted length field somewhere — or a v3
+	// file whose version field was flipped to 2, leaving its trailer
+	// unread. Either way the file is not what its header claims.
+	if err := mr.expectEOF(); err != nil {
+		return nil, err
+	}
+	return f, nil
 }
 
-func decodeBody(br *bufio.Reader) (*Forest, error) {
-	version, err := readU16(br)
+// decodeBody reads version | body after the magic. For version-3
+// streams it finishes by checking the CRC trailer, which in a cascade
+// covers every byte of the file consumed so far.
+func decodeBody(mr *modelReader) (*Forest, error) {
+	version, err := mr.readU16()
 	if err != nil {
 		return nil, err
 	}
-	if version != formatVersion {
+	if version < minFormatVersion || version > formatVersion {
 		return nil, fmt.Errorf("forest: unsupported model version %d", version)
 	}
-	nf, err := readU32(br)
+	nf, err := mr.readU32()
 	if err != nil {
 		return nil, err
 	}
-	nc, err := readU32(br)
+	nc, err := mr.readU32()
 	if err != nil {
 		return nil, err
 	}
-	kindByte, err := readU8(br)
+	kindByte, err := mr.readU8()
 	if err != nil {
 		return nil, err
 	}
-	additiveByte, err := readU8(br)
+	additiveByte, err := mr.readU8()
 	if err != nil {
 		return nil, err
 	}
-	bias, err := readU64(br)
+	bias, err := mr.readU64()
 	if err != nil {
 		return nil, err
 	}
-	nt, err := readU32(br)
+	nt, err := mr.readU32()
 	if err != nil {
 		return nil, err
 	}
@@ -135,14 +271,14 @@ func decodeBody(br *bufio.Reader) (*Forest, error) {
 		Additive:    additiveByte == 1,
 		Bias:        int64(bias),
 	}
-	hasWeights, err := readU8(br)
+	hasWeights, err := mr.readU8()
 	if err != nil {
 		return nil, err
 	}
 	if hasWeights == 1 {
 		f.Weights = make([]int64, nt)
 		for i := range f.Weights {
-			v, err := readU64(br)
+			v, err := mr.readU64()
 			if err != nil {
 				return nil, err
 			}
@@ -152,7 +288,7 @@ func decodeBody(br *bufio.Reader) (*Forest, error) {
 		return nil, fmt.Errorf("forest: corrupt weights flag %d", hasWeights)
 	}
 	for ti := range f.Trees {
-		nn, err := readU32(br)
+		nn, err := mr.readU32()
 		if err != nil {
 			return nil, err
 		}
@@ -169,7 +305,7 @@ func decodeBody(br *bufio.Reader) (*Forest, error) {
 			n := &t.Nodes[i]
 			vals := make([]uint32, 7)
 			for j := range vals {
-				if vals[j], err = readU32(br); err != nil {
+				if vals[j], err = mr.readU32(); err != nil {
 					return nil, fmt.Errorf("forest: tree %d node %d: %w", ti, i, err)
 				}
 			}
@@ -186,7 +322,7 @@ func decodeBody(br *bufio.Reader) (*Forest, error) {
 			if ncounts > 0 {
 				n.Counts = make([]int32, ncounts)
 				for k := range n.Counts {
-					v, err := readU32(br)
+					v, err := mr.readU32()
 					if err != nil {
 						return nil, err
 					}
@@ -196,65 +332,72 @@ func decodeBody(br *bufio.Reader) (*Forest, error) {
 		}
 		f.Trees[ti] = t
 	}
+	if version >= 3 {
+		if err := mr.checkTrailer(); err != nil {
+			return nil, err
+		}
+	}
 	if err := f.Validate(); err != nil {
 		return nil, fmt.Errorf("forest: decoded model invalid: %w", err)
 	}
 	return f, nil
 }
 
-// EncodeDeep writes a deep forest cascade to w.
+// EncodeDeep writes a deep forest cascade to w. The version-3 layout
+// keeps one running CRC over the whole file: each member forest ends
+// with a trailer covering everything before it, and a final trailer
+// seals the cascade header and layer counts too.
 func EncodeDeep(w io.Writer, df *DeepForest) error {
 	if err := df.Validate(); err != nil {
 		return fmt.Errorf("forest: refusing to encode invalid cascade: %w", err)
 	}
-	bw := bufio.NewWriter(w)
-	writeU32(bw, deepMagic)
-	writeU16(bw, formatVersion)
-	writeU32(bw, uint32(df.NumFeatures))
-	writeU32(bw, uint32(df.NumClasses))
-	writeU32(bw, uint32(len(df.Layers)))
-	if err := bw.Flush(); err != nil {
-		return err
-	}
+	mw := newModelWriter(w)
+	mw.writeU32(deepMagic)
+	mw.writeU16(formatVersion)
+	mw.writeU32(uint32(df.NumFeatures))
+	mw.writeU32(uint32(df.NumClasses))
+	mw.writeU32(uint32(len(df.Layers)))
 	for _, layer := range df.Layers {
-		if err := binary.Write(w, binary.LittleEndian, uint32(len(layer))); err != nil {
-			return err
-		}
+		mw.writeU32(uint32(len(layer)))
 		for _, f := range layer {
-			if err := Encode(w, f); err != nil {
-				return err
+			if err := f.Validate(); err != nil {
+				return fmt.Errorf("forest: refusing to encode invalid cascade member: %w", err)
 			}
+			encodeForestInto(mw, f)
+			mw.writeTrailer()
 		}
 	}
-	return nil
+	mw.writeTrailer()
+	return mw.bw.Flush()
 }
 
-// DecodeDeep reads a deep forest cascade from r and validates it.
+// DecodeDeep reads a deep forest cascade from r, verifies the
+// integrity trailers (v3 files), and validates it.
 func DecodeDeep(r io.Reader) (*DeepForest, error) {
-	br := bufio.NewReader(r)
-	magic, err := readU32(br)
+	mr := newModelReader(r)
+	magic, err := mr.readU32()
 	if err != nil {
 		return nil, fmt.Errorf("forest: reading magic: %w", err)
 	}
 	if magic != deepMagic {
 		return nil, fmt.Errorf("forest: bad magic %#x (not a deep forest file)", magic)
 	}
-	version, err := readU16(br)
+	version, err := mr.readU16()
 	if err != nil {
 		return nil, err
 	}
-	if version != formatVersion {
+	if version < minFormatVersion || version > formatVersion {
 		return nil, fmt.Errorf("forest: unsupported cascade version %d", version)
 	}
-	nf, err := readU32(br)
+	nf, err := mr.readU32()
 	if err != nil {
 		return nil, err
 	}
-	nc, err := readU32(br)
+	nc, err := mr.readU32()
 	if err != nil {
 		return nil, err
 	}
-	nl, err := readU32(br)
+	nl, err := mr.readU32()
 	if err != nil {
 		return nil, err
 	}
@@ -267,7 +410,7 @@ func DecodeDeep(r io.Reader) (*DeepForest, error) {
 		NumClasses:  int(nc),
 	}
 	for l := range df.Layers {
-		cnt, err := readU32(br)
+		cnt, err := mr.readU32()
 		if err != nil {
 			return nil, err
 		}
@@ -276,65 +419,30 @@ func DecodeDeep(r io.Reader) (*DeepForest, error) {
 		}
 		df.Layers[l] = make([]*Forest, cnt)
 		for j := range df.Layers[l] {
-			magic, err := readU32(br)
+			magic, err := mr.readU32()
 			if err != nil {
 				return nil, err
 			}
 			if magic != forestMagic {
 				return nil, errors.New("forest: cascade member missing forest magic")
 			}
-			f, err := decodeBody(br)
+			f, err := decodeBody(mr)
 			if err != nil {
 				return nil, fmt.Errorf("forest: layer %d member %d: %w", l, j, err)
 			}
 			df.Layers[l][j] = f
 		}
 	}
+	if version >= 3 {
+		if err := mr.checkTrailer(); err != nil {
+			return nil, err
+		}
+	}
+	if err := mr.expectEOF(); err != nil {
+		return nil, err
+	}
 	if err := df.Validate(); err != nil {
 		return nil, fmt.Errorf("forest: decoded cascade invalid: %w", err)
 	}
 	return df, nil
-}
-
-func writeU8(w *bufio.Writer, v uint8) { w.WriteByte(v) }
-func writeU16(w *bufio.Writer, v uint16) {
-	var b [2]byte
-	binary.LittleEndian.PutUint16(b[:], v)
-	w.Write(b[:])
-}
-func writeU32(w *bufio.Writer, v uint32) {
-	var b [4]byte
-	binary.LittleEndian.PutUint32(b[:], v)
-	w.Write(b[:])
-}
-func writeU64(w *bufio.Writer, v uint64) {
-	var b [8]byte
-	binary.LittleEndian.PutUint64(b[:], v)
-	w.Write(b[:])
-}
-
-func readU8(r *bufio.Reader) (uint8, error) { return r.ReadByte() }
-
-func readU16(r *bufio.Reader) (uint16, error) {
-	var b [2]byte
-	if _, err := io.ReadFull(r, b[:]); err != nil {
-		return 0, err
-	}
-	return binary.LittleEndian.Uint16(b[:]), nil
-}
-
-func readU32(r *bufio.Reader) (uint32, error) {
-	var b [4]byte
-	if _, err := io.ReadFull(r, b[:]); err != nil {
-		return 0, err
-	}
-	return binary.LittleEndian.Uint32(b[:]), nil
-}
-
-func readU64(r *bufio.Reader) (uint64, error) {
-	var b [8]byte
-	if _, err := io.ReadFull(r, b[:]); err != nil {
-		return 0, err
-	}
-	return binary.LittleEndian.Uint64(b[:]), nil
 }

@@ -1,0 +1,125 @@
+package forest
+
+import (
+	"bytes"
+	"encoding/binary"
+	"testing"
+
+	"bolt/internal/dataset"
+	"bolt/internal/tree"
+)
+
+// asV2 converts a v3 flat-forest encoding to the legacy v2 layout:
+// same bytes with the version field rewritten and the CRC trailer
+// stripped. This is exactly what the v2 encoder produced.
+func asV2(v3 []byte) []byte {
+	v2 := append([]byte(nil), v3[:len(v3)-4]...)
+	binary.LittleEndian.PutUint16(v2[4:], 2)
+	return v2
+}
+
+func TestDecodeAcceptsLegacyV2(t *testing.T) {
+	f, d := blobForest(t, 61)
+	var buf bytes.Buffer
+	if err := Encode(&buf, f); err != nil {
+		t.Fatal(err)
+	}
+	g, err := Decode(bytes.NewReader(asV2(buf.Bytes())))
+	if err != nil {
+		t.Fatalf("legacy v2 model rejected: %v", err)
+	}
+	for _, x := range d.X[:50] {
+		if f.Predict(x) != g.Predict(x) {
+			t.Fatal("v2-decoded forest mispredicts")
+		}
+	}
+}
+
+func TestDecodeDetectsBitFlips(t *testing.T) {
+	f, _ := blobForest(t, 62)
+	var buf bytes.Buffer
+	if err := Encode(&buf, f); err != nil {
+		t.Fatal(err)
+	}
+	good := buf.Bytes()
+	// A v2 reader would silently accept a flipped threshold bit; the v3
+	// trailer must reject a flip anywhere, including in the trailer
+	// itself and in node payload bytes that decode structurally fine.
+	for _, pos := range []int{6, len(good) / 3, len(good) / 2, len(good) - 10, len(good) - 1} {
+		bad := append([]byte(nil), good...)
+		bad[pos] ^= 0x01
+		if _, err := Decode(bytes.NewReader(bad)); err == nil {
+			t.Errorf("bit flip at offset %d accepted", pos)
+		}
+	}
+}
+
+func TestDecodeDetectsTruncatedTrailer(t *testing.T) {
+	f, _ := blobForest(t, 63)
+	var buf bytes.Buffer
+	if err := Encode(&buf, f); err != nil {
+		t.Fatal(err)
+	}
+	good := buf.Bytes()
+	for cut := 1; cut <= 4; cut++ {
+		if _, err := Decode(bytes.NewReader(good[:len(good)-cut])); err == nil {
+			t.Errorf("model missing %d trailer bytes accepted", cut)
+		}
+	}
+}
+
+func TestDeepDecodeAcceptsLegacyV2(t *testing.T) {
+	d := dataset.SyntheticBlobs(120, 4, 2, 1.0, 64)
+	df := TrainDeep(d, DeepConfig{
+		NumLayers: 2, ForestsPerLayer: 2,
+		Forest: Config{NumTrees: 3, Tree: tree.Config{MaxDepth: 2}}, Seed: 65,
+	})
+	// Hand-assemble the legacy layout: v2 header, per-layer counts, and
+	// v2 member encodings with no trailers anywhere.
+	var legacy bytes.Buffer
+	hdr := make([]byte, 18)
+	binary.LittleEndian.PutUint32(hdr, deepMagic)
+	binary.LittleEndian.PutUint16(hdr[4:], 2)
+	binary.LittleEndian.PutUint32(hdr[6:], uint32(df.NumFeatures))
+	binary.LittleEndian.PutUint32(hdr[10:], uint32(df.NumClasses))
+	binary.LittleEndian.PutUint32(hdr[14:], uint32(len(df.Layers)))
+	legacy.Write(hdr)
+	for _, layer := range df.Layers {
+		var cnt [4]byte
+		binary.LittleEndian.PutUint32(cnt[:], uint32(len(layer)))
+		legacy.Write(cnt[:])
+		for _, f := range layer {
+			var m bytes.Buffer
+			if err := Encode(&m, f); err != nil {
+				t.Fatal(err)
+			}
+			legacy.Write(asV2(m.Bytes()))
+		}
+	}
+	back, err := DecodeDeep(&legacy)
+	if err != nil {
+		t.Fatalf("legacy v2 cascade rejected: %v", err)
+	}
+	for _, x := range d.X[:50] {
+		if df.Predict(x) != back.Predict(x) {
+			t.Fatal("v2-decoded cascade mispredicts")
+		}
+	}
+}
+
+func TestDeepDecodeDetectsBitFlips(t *testing.T) {
+	d := dataset.SyntheticBlobs(100, 4, 2, 1.0, 66)
+	df := TrainDeep(d, DeepConfig{Forest: Config{NumTrees: 2, Tree: tree.Config{MaxDepth: 2}}, Seed: 67})
+	var buf bytes.Buffer
+	if err := EncodeDeep(&buf, df); err != nil {
+		t.Fatal(err)
+	}
+	good := buf.Bytes()
+	for _, pos := range []int{7, len(good) / 2, len(good) - 6, len(good) - 1} {
+		bad := append([]byte(nil), good...)
+		bad[pos] ^= 0x80
+		if _, err := DecodeDeep(bytes.NewReader(bad)); err == nil {
+			t.Errorf("cascade bit flip at offset %d accepted", pos)
+		}
+	}
+}

@@ -4,17 +4,38 @@ import (
 	"bufio"
 	"errors"
 	"fmt"
+	"math/rand"
 	"net"
 	"sort"
 	"time"
 )
 
+// RetryPolicy configures automatic retry of idempotent requests over a
+// reconnected socket. Retries use exponential backoff with jitter so a
+// fleet of clients hammering a restarting server doesn't stampede it.
+type RetryPolicy struct {
+	// MaxRetries is the number of additional attempts after the first
+	// failure; zero disables retry.
+	MaxRetries int
+	// Backoff is the delay before the first retry; it doubles per
+	// attempt. Zero defaults to 10ms.
+	Backoff time.Duration
+	// MaxBackoff caps the doubling; zero defaults to 1s.
+	MaxBackoff time.Duration
+}
+
 // Client is a synchronous front-end connection: one request in flight
 // at a time, matching the paper's unbatched sequential evaluation.
+// With a RetryPolicy set, transport failures on idempotent ops (Ping,
+// Classify, Value, Batch, Stats, Health) reconnect and retry; response
+// frames carrying StatusErr are application errors and never retried.
 type Client struct {
+	path    string
 	conn    net.Conn
 	rw      *bufio.ReadWriter
 	timeout time.Duration
+	retry   RetryPolicy
+	rng     *rand.Rand
 }
 
 // Dial connects to a server's UNIX socket with no I/O deadline; a hung
@@ -33,14 +54,32 @@ func DialTimeout(socketPath string, timeout time.Duration) (*Client, error) {
 		return nil, fmt.Errorf("serve: dial %s: %w", socketPath, err)
 	}
 	return &Client{
+		path:    socketPath,
 		conn:    conn,
 		rw:      bufio.NewReadWriter(bufio.NewReader(conn), bufio.NewWriter(conn)),
 		timeout: timeout,
+		rng:     rand.New(rand.NewSource(time.Now().UnixNano())),
 	}, nil
 }
 
 // SetTimeout changes the per-round-trip deadline; zero disables it.
 func (c *Client) SetTimeout(d time.Duration) { c.timeout = d }
+
+// SetRetry installs the retry policy for idempotent requests.
+func (c *Client) SetRetry(p RetryPolicy) { c.retry = p }
+
+// reconnect replaces a connection whose stream state is unknown after
+// a transport error.
+func (c *Client) reconnect() error {
+	c.conn.Close()
+	conn, err := net.DialTimeout("unix", c.path, c.timeout)
+	if err != nil {
+		return fmt.Errorf("serve: reconnect %s: %w", c.path, err)
+	}
+	c.conn = conn
+	c.rw = bufio.NewReadWriter(bufio.NewReader(conn), bufio.NewWriter(conn))
+	return nil
+}
 
 func (c *Client) roundTrip(op byte, payload []byte) (byte, []byte, error) {
 	if c.timeout > 0 {
@@ -58,9 +97,42 @@ func (c *Client) roundTrip(op byte, payload []byte) (byte, []byte, error) {
 	return readFrame(c.rw)
 }
 
+// retryRoundTrip runs roundTrip under the retry policy. After any
+// transport failure the stream may hold a half-written frame, so every
+// retry starts from a fresh connection.
+func (c *Client) retryRoundTrip(op byte, payload []byte) (byte, []byte, error) {
+	status, resp, err := c.roundTrip(op, payload)
+	if err == nil || c.retry.MaxRetries <= 0 {
+		return status, resp, err
+	}
+	backoff := c.retry.Backoff
+	if backoff <= 0 {
+		backoff = 10 * time.Millisecond
+	}
+	maxBackoff := c.retry.MaxBackoff
+	if maxBackoff <= 0 {
+		maxBackoff = time.Second
+	}
+	for attempt := 0; attempt < c.retry.MaxRetries; attempt++ {
+		// Full jitter over [backoff/2, backoff).
+		time.Sleep(backoff/2 + time.Duration(c.rng.Int63n(int64(backoff/2)+1)))
+		if backoff *= 2; backoff > maxBackoff {
+			backoff = maxBackoff
+		}
+		if rerr := c.reconnect(); rerr != nil {
+			err = rerr
+			continue
+		}
+		if status, resp, err = c.roundTrip(op, payload); err == nil {
+			return status, resp, nil
+		}
+	}
+	return 0, nil, fmt.Errorf("serve: request failed after %d retries: %w", c.retry.MaxRetries, err)
+}
+
 // Ping checks server liveness.
 func (c *Client) Ping() error {
-	status, _, err := c.roundTrip(OpPing, nil)
+	status, _, err := c.retryRoundTrip(OpPing, nil)
 	if err != nil {
 		return err
 	}
@@ -73,7 +145,7 @@ func (c *Client) Ping() error {
 // Classify sends one sample and returns the predicted label plus the
 // server-side service time in nanoseconds.
 func (c *Client) Classify(x []float32) (label int, serviceNs uint64, err error) {
-	status, payload, err := c.roundTrip(OpClassify, encodeFloats(x))
+	status, payload, err := c.retryRoundTrip(OpClassify, encodeFloats(x))
 	if err != nil {
 		return 0, 0, err
 	}
@@ -86,7 +158,7 @@ func (c *Client) Classify(x []float32) (label int, serviceNs uint64, err error) 
 // ClassifyBatch classifies many samples in one round trip, returning
 // the labels and the total server-side service time in nanoseconds.
 func (c *Client) ClassifyBatch(X [][]float32) (labels []int, serviceNs uint64, err error) {
-	status, payload, err := c.roundTrip(OpBatch, encodeBatchRequest(X))
+	status, payload, err := c.retryRoundTrip(OpBatch, encodeBatchRequest(X))
 	if err != nil {
 		return nil, 0, err
 	}
@@ -103,7 +175,7 @@ func (c *Client) ClassifyBatch(X [][]float32) (labels []int, serviceNs uint64, e
 // PredictValue sends one sample to a regression engine and returns the
 // predicted value plus the server-side service time in nanoseconds.
 func (c *Client) PredictValue(x []float32) (value float32, serviceNs uint64, err error) {
-	status, payload, err := c.roundTrip(OpValue, encodeFloats(x))
+	status, payload, err := c.retryRoundTrip(OpValue, encodeFloats(x))
 	if err != nil {
 		return 0, 0, err
 	}
@@ -125,10 +197,39 @@ func (c *Client) Salience(x []float32) ([]int, error) {
 	return decodeCounts(payload)
 }
 
+// Health fetches the server's readiness state, worker count, reload
+// count and model checksum.
+func (c *Client) Health() (Health, error) {
+	status, payload, err := c.retryRoundTrip(OpHealth, nil)
+	if err != nil {
+		return Health{}, err
+	}
+	if status != StatusOK {
+		return Health{}, fmt.Errorf("serve: %s", payload)
+	}
+	return decodeHealth(payload)
+}
+
+// TriggerReload asks the server to rebuild its engine pool from the
+// model at path (empty = the model it was started with) and returns
+// the new model checksum. Reloads are not retried automatically: a
+// transport error leaves the outcome unknown, and the caller should
+// check Health before re-issuing.
+func (c *Client) TriggerReload(path string) (checksum string, err error) {
+	status, payload, err := c.roundTrip(OpReload, []byte(path))
+	if err != nil {
+		return "", err
+	}
+	if status != StatusOK {
+		return "", fmt.Errorf("serve: %s", payload)
+	}
+	return string(payload), nil
+}
+
 // Stats fetches a snapshot of the server's request counters and
 // per-op latency histograms.
 func (c *Client) Stats() (ServerStats, error) {
-	status, payload, err := c.roundTrip(OpStats, nil)
+	status, payload, err := c.retryRoundTrip(OpStats, nil)
 	if err != nil {
 		return ServerStats{}, err
 	}

@@ -1,0 +1,101 @@
+package serve
+
+import (
+	"bytes"
+	"testing"
+)
+
+// FuzzReadFrame throws arbitrary byte streams at the frame reader: it
+// must never panic, never allocate beyond the frame bound, and any
+// frame it accepts must survive a write/read round trip bit-exactly.
+func FuzzReadFrame(f *testing.F) {
+	var seed bytes.Buffer
+	writeFrame(&seed, OpClassify, encodeFloats([]float32{1, 2, 3}))
+	f.Add(seed.Bytes())
+	var ping bytes.Buffer
+	writeFrame(&ping, OpPing, nil)
+	f.Add(ping.Bytes())
+	f.Add([]byte{})
+	f.Add([]byte{OpBatch, 0xFF, 0xFF, 0xFF, 0xFF}) // oversized length prefix
+	f.Add([]byte{OpStats, 4, 0, 0, 0, 1, 2})       // truncated payload
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		op, payload, err := readFrame(bytes.NewReader(data))
+		if err != nil {
+			return
+		}
+		if len(payload) > MaxFrameBytes {
+			t.Fatalf("accepted %d-byte payload beyond the %d bound", len(payload), MaxFrameBytes)
+		}
+		var rt bytes.Buffer
+		if err := writeFrame(&rt, op, payload); err != nil {
+			t.Fatalf("re-encoding accepted frame: %v", err)
+		}
+		op2, payload2, err := readFrame(&rt)
+		if err != nil || op2 != op || !bytes.Equal(payload2, payload) {
+			t.Fatalf("frame round trip diverged: %v", err)
+		}
+	})
+}
+
+// FuzzDecodeStats exercises the stats payload decoder with arbitrary
+// bytes; accepted payloads must re-encode to the same bytes.
+func FuzzDecodeStats(f *testing.F) {
+	st := ServerStats{Requests: 10, Errors: 1, Panics: 2, Reloads: 3, InFlight: 1, Workers: 4}
+	var op OpStat
+	op.Op = OpClassify
+	op.Count = 9
+	op.Buckets[5] = 9
+	st.Ops = append(st.Ops, op)
+	f.Add(encodeStats(st))
+	f.Add(encodeStats(ServerStats{}))
+	f.Add([]byte{})
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		st, err := decodeStats(data)
+		if err != nil {
+			return
+		}
+		if !bytes.Equal(encodeStats(st), data) {
+			t.Fatal("stats round trip diverged")
+		}
+	})
+}
+
+// FuzzDecodeHealth mirrors FuzzDecodeStats for health payloads.
+func FuzzDecodeHealth(f *testing.F) {
+	f.Add(encodeHealth(Health{State: HealthReady, Workers: 4, Reloads: 2, ModelChecksum: "crc32:deadbeef"}))
+	f.Add([]byte{})
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		h, err := decodeHealth(data)
+		if err != nil {
+			return
+		}
+		if !bytes.Equal(encodeHealth(h), data) {
+			t.Fatal("health round trip diverged")
+		}
+	})
+}
+
+// FuzzDecodeBatchRequest guards the batch decoder's length checks: the
+// row-count field must be validated against the payload size before any
+// allocation sized from it.
+func FuzzDecodeBatchRequest(f *testing.F) {
+	f.Add(encodeBatchRequest([][]float32{{1, 2}, {3, 4}}), 2)
+	f.Add([]byte{0xFF, 0xFF, 0xFF, 0xFF}, 3)
+	f.Add([]byte{}, 1)
+
+	f.Fuzz(func(t *testing.T, data []byte, rowLen int) {
+		if rowLen < 1 || rowLen > 1024 {
+			return
+		}
+		X, err := decodeBatchRequest(data, rowLen)
+		if err != nil {
+			return
+		}
+		if len(X)*rowLen*4 != len(data)-4 {
+			t.Fatalf("accepted %d rows of %d features from %d payload bytes", len(X), rowLen, len(data))
+		}
+	})
+}

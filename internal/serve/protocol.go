@@ -33,7 +33,65 @@ const (
 	// OpStats requests a snapshot of the server's request counters and
 	// per-op latency histograms.
 	OpStats = byte('S')
+	// OpHealth requests the server's readiness state, worker count and
+	// model checksum — the probe an operator or load balancer polls.
+	OpHealth = byte('H')
+	// OpReload asks the server to rebuild its engine pool from a model
+	// path (empty payload = the path it was started with) and swap it
+	// in without dropping in-flight requests.
+	OpReload = byte('R')
 )
+
+// Health states reported by OpHealth.
+const (
+	HealthLoading  = byte(0) // building or rebuilding the engine pool
+	HealthReady    = byte(1) // serving
+	HealthDraining = byte(2) // shutting down, draining in-flight work
+)
+
+// HealthStateName renders a health state byte for humans.
+func HealthStateName(s byte) string {
+	switch s {
+	case HealthLoading:
+		return "loading"
+	case HealthReady:
+		return "ready"
+	case HealthDraining:
+		return "draining"
+	default:
+		return fmt.Sprintf("unknown(%d)", s)
+	}
+}
+
+// Health is a decoded OpHealth response.
+type Health struct {
+	State         byte
+	Workers       int
+	Reloads       uint64
+	ModelChecksum string
+}
+
+// encodeHealth packs state | workers | reloads | checksum bytes.
+func encodeHealth(h Health) []byte {
+	buf := make([]byte, 13+len(h.ModelChecksum))
+	buf[0] = h.State
+	binary.LittleEndian.PutUint32(buf[1:], uint32(h.Workers))
+	binary.LittleEndian.PutUint64(buf[5:], h.Reloads)
+	copy(buf[13:], h.ModelChecksum)
+	return buf
+}
+
+func decodeHealth(payload []byte) (Health, error) {
+	if len(payload) < 13 {
+		return Health{}, fmt.Errorf("serve: health payload of %d bytes truncated", len(payload))
+	}
+	return Health{
+		State:         payload[0],
+		Workers:       int(binary.LittleEndian.Uint32(payload[1:])),
+		Reloads:       binary.LittleEndian.Uint64(payload[5:]),
+		ModelChecksum: string(payload[13:]),
+	}, nil
+}
 
 // Response status codes.
 const (

@@ -1,12 +1,16 @@
 package serve
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"io"
 	"net"
 	"sync"
+	"sync/atomic"
 	"time"
+
+	"bolt/internal/faults"
 )
 
 // Engine is the pluggable inference backend: Bolt forests, baseline
@@ -33,27 +37,95 @@ type ValuePredictor interface {
 	PredictValue(x []float32) float32
 }
 
-// Server answers classification requests on a UNIX domain socket.
-// Inference runs on a bounded pool of engines: each connection handler
-// checks an engine out of the pool per request, so up to `workers`
-// requests execute concurrently and OpBatch frames are sharded across
-// idle workers. A pool of one reproduces the paper's serialized,
-// single-writer engine discipline (§6).
-type Server struct {
+// ReloadFunc rebuilds the serving artifacts from a model path. It
+// returns the new engine factory, the model's feature count and a
+// human-readable checksum of the artifact. An empty path means "the
+// model the server was started with".
+type ReloadFunc func(path string) (factory EngineFactory, numFeatures int, checksum string, err error)
+
+// enginePool is one immutable generation of engines. The server swaps
+// whole generations atomically on reload: requests that checked an
+// engine out of an old generation return it there and the generation
+// is garbage-collected once drained, so a swap drops zero requests.
+type enginePool struct {
+	// engines holds the idle engines; receiving checks one out,
+	// sending returns it. Capacity equals workers, so the channel
+	// never blocks on return.
+	engines     chan Engine
+	workers     int
 	rep         Engine // representative engine for interface checks
 	numFeatures int
-	workers     int
-	ln          net.Listener
+}
+
+func newEnginePool(factory EngineFactory, numFeatures, workers int) (*enginePool, error) {
+	if factory == nil {
+		return nil, errors.New("serve: nil engine factory")
+	}
+	if numFeatures <= 0 {
+		return nil, fmt.Errorf("serve: invalid feature count %d", numFeatures)
+	}
+	if workers < 1 {
+		return nil, fmt.Errorf("serve: invalid worker count %d", workers)
+	}
+	if err := faults.Inject("serve/factory"); err != nil {
+		return nil, err
+	}
+	p := &enginePool{
+		engines:     make(chan Engine, workers),
+		workers:     workers,
+		numFeatures: numFeatures,
+	}
+	for i := 0; i < workers; i++ {
+		e := factory()
+		if e == nil {
+			return nil, errors.New("serve: engine factory returned nil")
+		}
+		if i == 0 {
+			p.rep = e
+		}
+		p.engines <- e
+	}
+	return p, nil
+}
+
+// Server answers classification requests on a UNIX domain socket.
+// Inference runs on a bounded pool of engines: each connection handler
+// checks an engine out of the current pool generation per request, so
+// up to `workers` requests execute concurrently and OpBatch frames are
+// sharded across idle workers. A pool of one reproduces the paper's
+// serialized, single-writer engine discipline (§6).
+//
+// The server is fault-tolerant by construction: engine and dispatch
+// panics are recovered into StatusErr responses (counted in Stats),
+// OpReload/SIGHUP swap in a freshly built pool without dropping
+// in-flight requests, and Shutdown drains gracefully with a deadline.
+type Server struct {
+	ln net.Listener
+
+	// pool is the current engine generation, swapped atomically by
+	// Reload. Every request loads it once and uses that snapshot
+	// throughout, so a mid-request swap never splits a batch across
+	// generations.
+	pool atomic.Pointer[enginePool]
+
+	// health is a HealthLoading/HealthReady/HealthDraining byte.
+	health atomic.Uint32
+
+	// modelSum is the checksum string reported by OpHealth.
+	modelSum atomic.Value // string
+
+	reloadMu sync.Mutex
+	reloader ReloadFunc
 
 	mu     sync.Mutex
 	conns  map[net.Conn]struct{}
 	closed bool
+	lnErr  error
 	wg     sync.WaitGroup
-
-	// pool holds the idle engines; receiving checks one out, sending
-	// returns it. Capacity equals workers, so the channel never blocks
-	// on return.
-	pool chan Engine
+	// drained is closed once every handler goroutine has exited; it is
+	// armed by the first Shutdown/Close so concurrent callers share one
+	// drain.
+	drained chan struct{}
 
 	stats serverStats
 }
@@ -73,39 +145,21 @@ func NewServer(socketPath string, engine Engine, numFeatures int) (*Server, erro
 // `workers` engines built by the factory. workers < 1 is an error:
 // callers choose the concurrency (typically the core count).
 func NewPool(socketPath string, factory EngineFactory, numFeatures, workers int) (*Server, error) {
-	if factory == nil {
-		return nil, errors.New("serve: nil engine factory")
-	}
-	if numFeatures <= 0 {
-		return nil, fmt.Errorf("serve: invalid feature count %d", numFeatures)
-	}
-	if workers < 1 {
-		return nil, fmt.Errorf("serve: invalid worker count %d", workers)
-	}
-	pool := make(chan Engine, workers)
-	var rep Engine
-	for i := 0; i < workers; i++ {
-		e := factory()
-		if e == nil {
-			return nil, errors.New("serve: engine factory returned nil")
-		}
-		if i == 0 {
-			rep = e
-		}
-		pool <- e
+	p, err := newEnginePool(factory, numFeatures, workers)
+	if err != nil {
+		return nil, err
 	}
 	ln, err := net.Listen("unix", socketPath)
 	if err != nil {
 		return nil, fmt.Errorf("serve: listen on %s: %w", socketPath, err)
 	}
 	s := &Server{
-		rep:         rep,
-		numFeatures: numFeatures,
-		workers:     workers,
-		ln:          ln,
-		conns:       map[net.Conn]struct{}{},
-		pool:        pool,
+		ln:      ln,
+		conns:   map[net.Conn]struct{}{},
+		drained: make(chan struct{}),
 	}
+	s.pool.Store(p)
+	s.health.Store(uint32(HealthReady))
 	s.wg.Add(1)
 	go s.acceptLoop()
 	return s, nil
@@ -114,11 +168,74 @@ func NewPool(socketPath string, factory EngineFactory, numFeatures, workers int)
 // Addr returns the listening socket path.
 func (s *Server) Addr() string { return s.ln.Addr().String() }
 
-// Workers returns the engine-pool size.
-func (s *Server) Workers() int { return s.workers }
+// Workers returns the current engine-pool size.
+func (s *Server) Workers() int { return s.pool.Load().workers }
 
 // Stats returns a snapshot of the server's request counters.
-func (s *Server) Stats() ServerStats { return s.stats.snapshot(s.workers) }
+func (s *Server) Stats() ServerStats { return s.stats.snapshot(s.Workers()) }
+
+// SetModelChecksum records the checksum OpHealth reports, typically
+// set once at startup and refreshed automatically by Reload.
+func (s *Server) SetModelChecksum(sum string) { s.modelSum.Store(sum) }
+
+func (s *Server) modelChecksum() string {
+	if v, ok := s.modelSum.Load().(string); ok {
+		return v
+	}
+	return ""
+}
+
+// SetReloader installs the callback OpReload and Server.Reload use to
+// rebuild engines from a model path. Without one, reload requests are
+// rejected.
+func (s *Server) SetReloader(fn ReloadFunc) {
+	s.reloadMu.Lock()
+	s.reloader = fn
+	s.reloadMu.Unlock()
+}
+
+// Reload rebuilds the engine pool from the model at path (empty =
+// startup model) and swaps it in. In-flight requests keep their old
+// engines and drain naturally; new requests see the new pool as soon
+// as the swap lands, so no request is dropped. On any error the old
+// pool keeps serving untouched.
+func (s *Server) Reload(path string) error {
+	s.reloadMu.Lock()
+	defer s.reloadMu.Unlock()
+	fn := s.reloader
+	if fn == nil {
+		return errors.New("serve: no reloader configured")
+	}
+	// Announce loading unless a shutdown already owns the state; a
+	// draining server refuses to reload.
+	if !s.health.CompareAndSwap(uint32(HealthReady), uint32(HealthLoading)) {
+		return fmt.Errorf("serve: cannot reload while %s", HealthStateName(byte(s.health.Load())))
+	}
+	defer s.health.CompareAndSwap(uint32(HealthLoading), uint32(HealthReady))
+
+	factory, numFeatures, sum, err := fn(path)
+	if err != nil {
+		return fmt.Errorf("serve: reload: %w", err)
+	}
+	p, err := newEnginePool(factory, numFeatures, s.pool.Load().workers)
+	if err != nil {
+		return fmt.Errorf("serve: reload: %w", err)
+	}
+	s.pool.Store(p)
+	s.modelSum.Store(sum)
+	s.stats.reloads.Add(1)
+	return nil
+}
+
+// Healthz reports the server's current health snapshot.
+func (s *Server) Healthz() Health {
+	return Health{
+		State:         byte(s.health.Load()),
+		Workers:       s.Workers(),
+		Reloads:       s.stats.reloads.Load(),
+		ModelChecksum: s.modelChecksum(),
+	}
+}
 
 func (s *Server) acceptLoop() {
 	defer s.wg.Done()
@@ -139,6 +256,8 @@ func (s *Server) acceptLoop() {
 		go s.handle(conn)
 	}
 }
+
+func (s *Server) draining() bool { return s.health.Load() == uint32(HealthDraining) }
 
 func (s *Server) handle(conn net.Conn) {
 	defer s.wg.Done()
@@ -166,6 +285,11 @@ func (s *Server) handle(conn net.Conn) {
 				}
 				continue
 			}
+			if s.draining() {
+				// Shutdown nudged this connection awake with an expired
+				// read deadline; no request was in flight, so just close.
+				return
+			}
 			if !errors.Is(err, io.EOF) && !errors.Is(err, net.ErrClosed) {
 				// Protocol violation: answer once if possible, then drop.
 				s.stats.errors.Add(1)
@@ -175,12 +299,34 @@ func (s *Server) handle(conn net.Conn) {
 		}
 		s.stats.requests.Add(1)
 		s.stats.inFlight.Add(1)
-		err = s.dispatch(conn, op, payload)
+		err = s.serveRequest(conn, op, payload)
 		s.stats.inFlight.Add(-1)
 		if err != nil {
 			return
 		}
+		if s.draining() {
+			// The request that was in flight when Shutdown began has
+			// been answered; release the connection.
+			return
+		}
 	}
+}
+
+// serveRequest dispatches one frame with per-connection panic
+// isolation: a panic anywhere in decode or dispatch answers StatusErr
+// and bumps the panic counter, and the connection loop keeps serving.
+func (s *Server) serveRequest(conn net.Conn, op byte, payload []byte) (err error) {
+	start := time.Now()
+	defer func() {
+		if r := recover(); r != nil {
+			s.stats.panics.Add(1)
+			err = s.reply(conn, op, start, StatusErr, []byte(fmt.Sprintf("serve: request handler panicked: %v", r)))
+		}
+	}()
+	if ferr := faults.Inject("serve/conn"); ferr != nil {
+		return s.reply(conn, op, start, StatusErr, []byte(ferr.Error()))
+	}
+	return s.dispatch(conn, op, payload, start)
 }
 
 // reply records the op's dispatch latency and outcome, then writes the
@@ -197,15 +343,24 @@ func (s *Server) reply(conn net.Conn, op byte, start time.Time, status byte, pay
 	return writeFrame(conn, status, payload)
 }
 
-func (s *Server) dispatch(conn net.Conn, op byte, payload []byte) error {
-	start := time.Now()
+func (s *Server) dispatch(conn net.Conn, op byte, payload []byte, start time.Time) error {
+	// One pool snapshot per request: a concurrent reload never mixes
+	// engine generations or feature counts within a request.
+	p := s.pool.Load()
 	switch op {
 	case OpPing:
 		return s.reply(conn, op, start, StatusOK, nil)
 	case OpStats:
-		return s.reply(conn, op, start, StatusOK, encodeStats(s.Stats()))
+		return s.reply(conn, op, start, StatusOK, encodeStats(s.stats.snapshot(p.workers)))
+	case OpHealth:
+		return s.reply(conn, op, start, StatusOK, encodeHealth(s.Healthz()))
+	case OpReload:
+		if err := s.Reload(string(payload)); err != nil {
+			return s.reply(conn, op, start, StatusErr, []byte(err.Error()))
+		}
+		return s.reply(conn, op, start, StatusOK, []byte(s.modelChecksum()))
 	case OpClassify:
-		x, err := s.decodeInput(payload)
+		x, err := s.decodeInput(p, payload)
 		if err != nil {
 			return s.reply(conn, op, start, StatusErr, []byte(err.Error()))
 		}
@@ -213,50 +368,50 @@ func (s *Server) dispatch(conn net.Conn, op byte, payload []byte) error {
 		// excluded — the clock starts after the frame is fully read.
 		var label int
 		svc := time.Now()
-		err = s.withEngine(func(e Engine) { label = e.Predict(x) })
+		err = s.withEngine(p, func(e Engine) { label = e.Predict(x) })
 		elapsed := time.Since(svc)
 		if err != nil {
 			return s.reply(conn, op, start, StatusErr, []byte(err.Error()))
 		}
 		return s.reply(conn, op, start, StatusOK, encodeClassifyResponse(label, uint64(elapsed.Nanoseconds())))
 	case OpValue:
-		if _, ok := s.rep.(ValuePredictor); !ok {
+		if _, ok := p.rep.(ValuePredictor); !ok {
 			return s.reply(conn, op, start, StatusErr, []byte("serve: engine does not support regression"))
 		}
-		x, err := s.decodeInput(payload)
+		x, err := s.decodeInput(p, payload)
 		if err != nil {
 			return s.reply(conn, op, start, StatusErr, []byte(err.Error()))
 		}
 		var value float32
 		svc := time.Now()
-		err = s.withEngine(func(e Engine) { value = e.(ValuePredictor).PredictValue(x) })
+		err = s.withEngine(p, func(e Engine) { value = e.(ValuePredictor).PredictValue(x) })
 		elapsed := time.Since(svc)
 		if err != nil {
 			return s.reply(conn, op, start, StatusErr, []byte(err.Error()))
 		}
 		return s.reply(conn, op, start, StatusOK, encodeValueResponse(value, uint64(elapsed.Nanoseconds())))
 	case OpBatch:
-		X, err := decodeBatchRequest(payload, s.numFeatures)
+		X, err := decodeBatchRequest(payload, p.numFeatures)
 		if err != nil {
 			return s.reply(conn, op, start, StatusErr, []byte(err.Error()))
 		}
 		svc := time.Now()
-		labels, err := s.predictBatch(X)
+		labels, err := s.predictBatch(p, X)
 		elapsed := time.Since(svc)
 		if err != nil {
 			return s.reply(conn, op, start, StatusErr, []byte(err.Error()))
 		}
 		return s.reply(conn, op, start, StatusOK, encodeBatchResponse(labels, uint64(elapsed.Nanoseconds())))
 	case OpSalience:
-		if _, ok := s.rep.(Explainer); !ok {
+		if _, ok := p.rep.(Explainer); !ok {
 			return s.reply(conn, op, start, StatusErr, []byte("serve: engine does not support salience"))
 		}
-		x, err := s.decodeInput(payload)
+		x, err := s.decodeInput(p, payload)
 		if err != nil {
 			return s.reply(conn, op, start, StatusErr, []byte(err.Error()))
 		}
 		var counts []int
-		if err := s.withEngine(func(e Engine) { counts = e.(Explainer).Salience(x) }); err != nil {
+		if err := s.withEngine(p, func(e Engine) { counts = e.(Explainer).Salience(x) }); err != nil {
 			return s.reply(conn, op, start, StatusErr, []byte(err.Error()))
 		}
 		return s.reply(conn, op, start, StatusOK, encodeCounts(counts))
@@ -265,34 +420,39 @@ func (s *Server) dispatch(conn net.Conn, op byte, payload []byte) error {
 	}
 }
 
-// withEngine checks an engine out of the pool, runs fn, and converts
-// engine panics (e.g. a classification request sent to a regression
-// engine) into protocol errors instead of killing the service. The
-// engine is always returned to the pool, panic or not.
-func (s *Server) withEngine(fn func(Engine)) (err error) {
-	e := <-s.pool
+// withEngine checks an engine out of the given pool generation, runs
+// fn, and converts engine panics (a killed worker, a classification
+// request sent to a regression engine) into protocol errors instead of
+// killing the service. The engine is always returned to its own
+// generation, panic or not.
+func (s *Server) withEngine(p *enginePool, fn func(Engine)) (err error) {
+	e := <-p.engines
 	defer func() {
-		s.pool <- e
+		p.engines <- e
 		if r := recover(); r != nil {
+			s.stats.panics.Add(1)
 			err = fmt.Errorf("serve: engine rejected request: %v", r)
 		}
 	}()
+	if err := faults.Inject("serve/engine"); err != nil {
+		return err
+	}
 	fn(e)
 	return nil
 }
 
 // predictBatch classifies a batch, sharding the rows across idle
-// workers. Shard count never exceeds the pool size, so every shard
-// goroutine eventually checks out an engine; with one worker the batch
-// degenerates to the old sequential scan.
-func (s *Server) predictBatch(X [][]float32) ([]int, error) {
+// workers of one pool generation. Shard count never exceeds the pool
+// size, so every shard goroutine eventually checks out an engine; with
+// one worker the batch degenerates to the old sequential scan.
+func (s *Server) predictBatch(p *enginePool, X [][]float32) ([]int, error) {
 	labels := make([]int, len(X))
-	shards := s.workers
+	shards := p.workers
 	if shards > len(X) {
 		shards = len(X)
 	}
 	if shards <= 1 {
-		err := s.withEngine(func(e Engine) {
+		err := s.withEngine(p, func(e Engine) {
 			for i, x := range X {
 				labels[i] = e.Predict(x)
 			}
@@ -311,7 +471,7 @@ func (s *Server) predictBatch(X [][]float32) ([]int, error) {
 		wg.Add(1)
 		go func(sh, lo, hi int) {
 			defer wg.Done()
-			errs[sh] = s.withEngine(func(e Engine) {
+			errs[sh] = s.withEngine(p, func(e Engine) {
 				for i := lo; i < hi; i++ {
 					labels[i] = e.Predict(X[i])
 				}
@@ -327,31 +487,71 @@ func (s *Server) predictBatch(X [][]float32) ([]int, error) {
 	return labels, nil
 }
 
-func (s *Server) decodeInput(payload []byte) ([]float32, error) {
+func (s *Server) decodeInput(p *enginePool, payload []byte) ([]float32, error) {
 	x, err := decodeFloats(payload)
 	if err != nil {
 		return nil, err
 	}
-	if len(x) != s.numFeatures {
-		return nil, fmt.Errorf("serve: request has %d features, engine expects %d", len(x), s.numFeatures)
+	if len(x) != p.numFeatures {
+		return nil, fmt.Errorf("serve: request has %d features, engine expects %d", len(x), p.numFeatures)
 	}
 	return x, nil
 }
 
-// Close stops accepting, closes open connections, and waits for
-// handlers to drain.
-func (s *Server) Close() error {
+// shutdownForceGrace bounds how long a forced shutdown waits for
+// handlers after closing their connections. A handler stuck inside an
+// engine cannot be killed from the outside; after the grace it is
+// abandoned (the process is exiting anyway).
+const shutdownForceGrace = time.Second
+
+// Shutdown gracefully stops the server: it stops accepting, marks the
+// health state draining, lets requests already in flight finish, and
+// closes idle connections. If ctx expires before the drain completes,
+// remaining connections are closed forcibly and handlers that still do
+// not exit (a worker wedged inside an engine) are abandoned after a
+// short grace. Concurrent calls share one drain.
+func (s *Server) Shutdown(ctx context.Context) error {
 	s.mu.Lock()
-	if s.closed {
-		s.mu.Unlock()
-		return nil
+	if !s.closed {
+		s.closed = true
+		s.health.Store(uint32(HealthDraining))
+		s.lnErr = s.ln.Close()
+		// Wake idle connections parked in readFrame: an expired read
+		// deadline errors their next read without touching the
+		// response write of any request still being served.
+		now := time.Now()
+		for conn := range s.conns {
+			conn.SetReadDeadline(now)
+		}
+		go func() {
+			s.wg.Wait()
+			close(s.drained)
+		}()
 	}
-	s.closed = true
-	err := s.ln.Close()
+	err := s.lnErr
+	s.mu.Unlock()
+
+	select {
+	case <-s.drained:
+		return err
+	case <-ctx.Done():
+	}
+	s.mu.Lock()
 	for conn := range s.conns {
 		conn.Close()
 	}
 	s.mu.Unlock()
-	s.wg.Wait()
+	select {
+	case <-s.drained:
+	case <-time.After(shutdownForceGrace):
+	}
 	return err
+}
+
+// Close stops the server immediately: open connections are closed
+// without waiting for in-flight requests. Use Shutdown to drain.
+func (s *Server) Close() error {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	return s.Shutdown(ctx)
 }

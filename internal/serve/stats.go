@@ -15,7 +15,7 @@ import (
 const HistBuckets = 31
 
 // trackedOps lists the op codes with per-op counters, in wire order.
-var trackedOps = [...]byte{OpPing, OpClassify, OpValue, OpBatch, OpSalience, OpStats}
+var trackedOps = [...]byte{OpPing, OpClassify, OpValue, OpBatch, OpSalience, OpStats, OpHealth, OpReload}
 
 // opIndex maps an op code to its counter slot; unknown ops share the
 // last slot so protocol probes still show up in the totals.
@@ -53,6 +53,8 @@ func (c *opCounter) observe(d time.Duration) {
 type serverStats struct {
 	requests atomic.Uint64
 	errors   atomic.Uint64
+	panics   atomic.Uint64
+	reloads  atomic.Uint64
 	inFlight atomic.Int64
 	ops      [len(trackedOps)]opCounter
 }
@@ -66,6 +68,8 @@ func (s *serverStats) snapshot(workers int) ServerStats {
 	out := ServerStats{
 		Requests: s.requests.Load(),
 		Errors:   s.errors.Load(),
+		Panics:   s.panics.Load(),
+		Reloads:  s.reloads.Load(),
 		InFlight: s.inFlight.Load(),
 		Workers:  workers,
 	}
@@ -131,22 +135,30 @@ func (o OpStat) QuantileNs(q float64) uint64 {
 type ServerStats struct {
 	Requests uint64
 	Errors   uint64
+	// Panics counts recovered worker/dispatch panics: each one turned
+	// into a StatusErr response instead of a dead process.
+	Panics uint64
+	// Reloads counts successful hot engine-pool swaps.
+	Reloads  uint64
 	InFlight int64
 	Workers  int
 	Ops      []OpStat
 }
 
-// encodeStats packs requests | errors | inFlight | workers | numOps |
-// ops, each op as op | count | errors | totalNs | buckets.
+// encodeStats packs requests | errors | panics | reloads | inFlight |
+// workers | numOps | ops, each op as op | count | errors | totalNs |
+// buckets.
 func encodeStats(st ServerStats) []byte {
 	const opBytes = 1 + 8 + 8 + 8 + HistBuckets*8
-	buf := make([]byte, 8+8+8+4+1+len(st.Ops)*opBytes)
+	buf := make([]byte, 8+8+8+8+8+4+1+len(st.Ops)*opBytes)
 	binary.LittleEndian.PutUint64(buf, st.Requests)
 	binary.LittleEndian.PutUint64(buf[8:], st.Errors)
-	binary.LittleEndian.PutUint64(buf[16:], uint64(st.InFlight))
-	binary.LittleEndian.PutUint32(buf[24:], uint32(st.Workers))
-	buf[28] = byte(len(st.Ops))
-	off := 29
+	binary.LittleEndian.PutUint64(buf[16:], st.Panics)
+	binary.LittleEndian.PutUint64(buf[24:], st.Reloads)
+	binary.LittleEndian.PutUint64(buf[32:], uint64(st.InFlight))
+	binary.LittleEndian.PutUint32(buf[40:], uint32(st.Workers))
+	buf[44] = byte(len(st.Ops))
+	off := 45
 	for _, op := range st.Ops {
 		buf[off] = op.Op
 		binary.LittleEndian.PutUint64(buf[off+1:], op.Count)
@@ -164,20 +176,22 @@ func encodeStats(st ServerStats) []byte {
 // decodeStats unpacks an OpStats response payload.
 func decodeStats(payload []byte) (ServerStats, error) {
 	const opBytes = 1 + 8 + 8 + 8 + HistBuckets*8
-	if len(payload) < 29 {
+	if len(payload) < 45 {
 		return ServerStats{}, fmt.Errorf("serve: stats payload of %d bytes truncated", len(payload))
 	}
 	st := ServerStats{
 		Requests: binary.LittleEndian.Uint64(payload),
 		Errors:   binary.LittleEndian.Uint64(payload[8:]),
-		InFlight: int64(binary.LittleEndian.Uint64(payload[16:])),
-		Workers:  int(binary.LittleEndian.Uint32(payload[24:])),
+		Panics:   binary.LittleEndian.Uint64(payload[16:]),
+		Reloads:  binary.LittleEndian.Uint64(payload[24:]),
+		InFlight: int64(binary.LittleEndian.Uint64(payload[32:])),
+		Workers:  int(binary.LittleEndian.Uint32(payload[40:])),
 	}
-	n := int(payload[28])
-	if len(payload) != 29+n*opBytes {
+	n := int(payload[44])
+	if len(payload) != 45+n*opBytes {
 		return ServerStats{}, fmt.Errorf("serve: stats payload %d bytes does not hold %d ops", len(payload), n)
 	}
-	off := 29
+	off := 45
 	for i := 0; i < n; i++ {
 		op := OpStat{
 			Op:      payload[off],

@@ -57,4 +57,66 @@ echo "$stats"
 echo "$stats" | grep -q "4 workers" || { echo "stats missing worker count" >&2; exit 1; }
 echo "$stats" | grep -Eq "op C: +[1-9]" || { echo "stats missing classify counters" >&2; exit 1; }
 
+# Tear down the compiled-artifact server before the reload scenario.
+kill "$serve_pid" 2>/dev/null || true
+wait "$serve_pid" 2>/dev/null || true
+serve_pid=""
+rm -f "$sock"
+
+echo "== reload under load =="
+# Serve from the raw model path so SIGHUP recompiles whatever is on
+# disk; swap the model mid-traffic and require zero client errors.
+"$workdir/bolt-serve" -model "$workdir/forest.bin" -socket "$sock" \
+    -workers 4 -drain 5s > "$workdir/serve.log" &
+serve_pid=$!
+for _ in $(seq 50); do
+    [ -S "$sock" ] && break
+    kill -0 "$serve_pid" 2>/dev/null || { echo "bolt-serve died" >&2; exit 1; }
+    sleep 0.1
+done
+[ -S "$sock" ] || { echo "socket never appeared" >&2; exit 1; }
+
+"$workdir/bolt-client" health -socket "$sock" -timeout 10s \
+    | grep -q "state ready" || { echo "health not ready" >&2; exit 1; }
+
+# Background traffic: batches with retries armed, spanning the swap.
+"$workdir/bolt-client" -socket "$sock" -dataset lstw -n 2000 -batch 20 \
+    -retries 5 -backoff 5ms -timeout 10s > "$workdir/client.log" 2>&1 &
+client_pid=$!
+
+# Retrain into the same path with a different seed, then hot-reload.
+sleep 0.2
+"$workdir/bolt-train" -dataset lstw -samples 600 -trees 5 -depth 4 \
+    -seed 4242 -out "$workdir/forest.bin" > /dev/null
+kill -HUP "$serve_pid"
+
+wait "$client_pid" || {
+    echo "client failed during reload:" >&2
+    cat "$workdir/client.log" >&2
+    exit 1
+}
+grep -q "classified 2000 samples" "$workdir/client.log" || {
+    echo "reload-under-load traffic incomplete" >&2
+    cat "$workdir/client.log" >&2
+    exit 1
+}
+
+health=$("$workdir/bolt-client" health -socket "$sock" -timeout 10s)
+echo "$health"
+echo "$health" | grep -Eq "[1-9][0-9]* reloads" || { echo "reload not recorded" >&2; exit 1; }
+
+stats=$("$workdir/bolt-client" stats -socket "$sock" -timeout 10s)
+echo "$stats"
+echo "$stats" | grep -q " 0 errors" || { echo "server saw errors across reload" >&2; exit 1; }
+
+# Graceful SIGTERM must print the final stats snapshot.
+kill -TERM "$serve_pid"
+wait "$serve_pid" || true
+serve_pid=""
+grep -q "served .* requests" "$workdir/serve.log" || {
+    echo "final stats snapshot missing from serve log" >&2
+    cat "$workdir/serve.log" >&2
+    exit 1
+}
+
 echo "smoke OK"

@@ -31,6 +31,28 @@ type Server = serve.Server
 // ServiceClient is a synchronous front-end connection.
 type ServiceClient = serve.Client
 
+// RetryPolicy configures ServiceClient's automatic retry of idempotent
+// requests (reconnect + exponential backoff with jitter).
+type RetryPolicy = serve.RetryPolicy
+
+// ServiceHealth is a server readiness snapshot (state, workers, reload
+// count, model checksum) fetched with ServiceClient.Health.
+type ServiceHealth = serve.Health
+
+// ReloadFunc rebuilds serving artifacts from a model path for
+// Server.Reload / the OpReload admin op / SIGHUP in bolt-serve.
+type ReloadFunc = serve.ReloadFunc
+
+// Health states reported by ServiceHealth.State.
+const (
+	HealthLoading  = serve.HealthLoading
+	HealthReady    = serve.HealthReady
+	HealthDraining = serve.HealthDraining
+)
+
+// HealthStateName renders a health state byte for humans.
+func HealthStateName(s byte) string { return serve.HealthStateName(s) }
+
 // LatencyStats summarises service-time observations.
 type LatencyStats = serve.LatencyStats
 
@@ -66,14 +88,19 @@ func ServePool(socketPath string, factory EngineFactory, numFeatures, workers in
 	return serve.NewPool(socketPath, factory, numFeatures, workers)
 }
 
+// ForestEngineFactory returns an EngineFactory producing one Predictor
+// per pool worker over a shared compiled forest — the factory shape
+// Server.Reload swaps in on a hot model reload.
+func ForestEngineFactory(bf *CompiledForest) EngineFactory {
+	return func() Engine { return &predictorEngine{NewPredictor(bf)} }
+}
+
 // ServeForest starts a service over a compiled Bolt forest with a pool
 // of `workers` predictors, each owning its scratch buffers (the
 // compiled forest itself is immutable and shared). workers < 1
 // defaults to GOMAXPROCS.
 func ServeForest(socketPath string, bf *CompiledForest, workers int) (*Server, error) {
-	return ServePool(socketPath, func() Engine {
-		return &predictorEngine{NewPredictor(bf)}
-	}, bf.NumFeatures, workers)
+	return ServePool(socketPath, ForestEngineFactory(bf), bf.NumFeatures, workers)
 }
 
 // predictorEngine adapts Predictor to serve.Engine, serve.Explainer
