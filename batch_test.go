@@ -1,0 +1,83 @@
+package bolt_test
+
+import (
+	"testing"
+
+	"bolt"
+	"bolt/internal/serve"
+)
+
+// TestBatchJourney exercises the public batch API end to end: the batch
+// predictor agrees with per-row Predict, the Into variant is
+// allocation-free once warm, and the pool engine factory produces
+// engines the server can batch through.
+func TestBatchJourney(t *testing.T) {
+	data := bolt.SyntheticMNIST(800, 21)
+	train, test := data.Split(0.8, 22)
+
+	f := bolt.Train(train, bolt.ForestConfig{
+		NumTrees: 10,
+		Tree:     bolt.TreeConfig{MaxDepth: 4},
+		Seed:     23,
+	})
+	bf, err := bolt.Compile(f, bolt.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := bolt.NewPredictor(bf)
+
+	got := p.PredictBatch(test.X)
+	if len(got) != test.Len() {
+		t.Fatalf("PredictBatch returned %d labels for %d rows", len(got), test.Len())
+	}
+	ref := bolt.NewPredictor(bf)
+	for i, x := range test.X {
+		if want := ref.Predict(x); got[i] != want {
+			t.Fatalf("sample %d: batch %d, per-row %d", i, got[i], want)
+		}
+	}
+
+	out := make([]int, test.Len())
+	p.PredictBatchInto(test.X, out) // warm the batch scratch
+	allocs := testing.AllocsPerRun(20, func() {
+		p.PredictBatchInto(test.X, out)
+	})
+	if allocs != 0 {
+		t.Errorf("PredictBatchInto allocates %.1f objects per call, want 0", allocs)
+	}
+
+	votes := make([]int64, test.Len()*bf.NumClasses)
+	p.VotesBatch(test.X, votes)
+	rowVotes := make([]int64, bf.NumClasses)
+	for i, x := range test.X {
+		ref.Votes(x, rowVotes)
+		for c, v := range rowVotes {
+			if votes[i*bf.NumClasses+c] != v {
+				t.Fatalf("sample %d class %d: batch votes %d, row %d", i, c, votes[i*bf.NumClasses+c], v)
+			}
+		}
+	}
+
+	counts := make([]int, bf.NumFeatures)
+	p.SalienceInto(test.X[0], counts)
+	want := p.Salience(test.X[0])
+	for j := range counts {
+		if counts[j] != want[j] {
+			t.Fatalf("feature %d: SalienceInto %d, Salience %d", j, counts[j], want[j])
+		}
+	}
+
+	// The pool engine factory must produce batch-capable engines so
+	// served OpBatch shards hit the kernel.
+	if _, ok := bolt.ForestEngineFactory(bf)().(serve.BatchPredictor); !ok {
+		t.Fatal("ForestEngineFactory engine does not implement serve.BatchPredictor")
+	}
+
+	// Profile-derived block sizes stay inside the kernel's contract.
+	for _, prof := range []bolt.HardwareProfile{bolt.ProfileXeonE52650, bolt.ProfileECSmall, bolt.ProfileECLarge} {
+		b := bolt.BatchBlockForProfile(bf, prof)
+		if b < 64 || b > 4096 || b%64 != 0 {
+			t.Errorf("%s: block %d out of contract", prof.Name, b)
+		}
+	}
+}

@@ -83,12 +83,54 @@ func benchPredict(b *testing.B, predict func(x []float32) int, X [][]float32) {
 	}
 }
 
+// BenchmarkBatchKernel compares row-at-a-time inference against the
+// cache-blocked batch kernel on the Fig. 8 synthetic workloads. Both
+// sub-benchmarks classify the whole test set per iteration, so their
+// ns/op are directly comparable; the ns/sample metric divides out the
+// batch size.
+func BenchmarkBatchKernel(b *testing.B) {
+	for _, c := range []struct{ trees, height int }{
+		{10, 4},  // the paper's Fig. 10 shape: short dictionary
+		{20, 8},  // long dictionary: entry scan dominates
+		{30, 10}, // longer still
+	} {
+		fx := getFixture(b, "mnist", c.trees, c.height)
+		p := bolt.NewPredictor(fx.bolt)
+		X := fx.test.X
+		out := make([]int, len(X))
+		perSample := func(b *testing.B) {
+			b.ReportMetric(float64(b.Elapsed().Nanoseconds())/float64(b.N*len(X)), "ns/sample")
+		}
+		b.Run(fmt.Sprintf("t=%d/h=%d/rows", c.trees, c.height), func(b *testing.B) {
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				for j, x := range X {
+					out[j] = p.Predict(x)
+				}
+			}
+			perSample(b)
+		})
+		b.Run(fmt.Sprintf("t=%d/h=%d/batch", c.trees, c.height), func(b *testing.B) {
+			p.PredictBatchInto(X, out) // warm: grow batch scratch
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				p.PredictBatchInto(X, out)
+			}
+			perSample(b)
+		})
+	}
+}
+
 // BenchmarkFig08Layout reports Fig. 8's bytes-per-entry for the Bolt
 // and decompressed layouts (metrics, not time).
 func BenchmarkFig08Layout(b *testing.B) {
 	fx := getFixture(b, "mnist", 10, 4)
 	var acc layout.Accounting
 	var err error
+	b.ReportAllocs()
+	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		acc, err = layout.Measure(fx.bolt)
 		if err != nil {
@@ -117,6 +159,7 @@ func BenchmarkFig09Architectures(b *testing.B) {
 				sim.Predict(x, m)
 			}
 			m.C = perfsim.Counters{}
+			b.ReportAllocs()
 			b.ResetTimer()
 			for i := 0; i < b.N; i++ {
 				sim.Predict(fx.test.X[i%len(fx.test.X)], m)
@@ -194,6 +237,7 @@ func BenchmarkFig12Counters(b *testing.B) {
 				s.predict(x, m)
 			}
 			m.C = perfsim.Counters{}
+			b.ReportAllocs()
 			b.ResetTimer()
 			for i := 0; i < b.N; i++ {
 				s.predict(fx.test.X[i%len(fx.test.X)], m)

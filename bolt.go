@@ -130,6 +130,36 @@ func (p *Predictor) Predict(x []float32) int { return p.bf.Predict(x, p.s) }
 // (length NumClasses).
 func (p *Predictor) Votes(x []float32, votes []int64) { p.bf.Votes(x, p.s, votes) }
 
+// PredictBatch classifies every row of X with the cache-blocked batch
+// kernel: the codebook is evaluated for a block of samples into one
+// contiguous bitset block and the dictionary is scanned once per block
+// instead of once per sample.
+func (p *Predictor) PredictBatch(X [][]float32) []int {
+	out := make([]int, len(X))
+	p.bf.PredictBatchInto(X, p.s, out)
+	return out
+}
+
+// PredictBatchInto is PredictBatch writing into a caller-provided
+// buffer (length len(X)); steady-state calls allocate nothing.
+func (p *Predictor) PredictBatchInto(X [][]float32, out []int) {
+	p.bf.PredictBatchInto(X, p.s, out)
+}
+
+// VotesBatch accumulates weighted votes for every row of X into votes,
+// a flattened len(X)×NumClasses matrix (one row per sample), using the
+// batch kernel. Works for regression forests too, where the row width
+// is 1.
+func (p *Predictor) VotesBatch(X [][]float32, votes []int64) {
+	p.bf.VotesBatch(X, p.s, votes)
+}
+
+// SalienceInto computes per-feature salience counts for x into counts
+// (length NumFeatures) without allocating.
+func (p *Predictor) SalienceInto(x []float32, counts []int) {
+	p.bf.SalienceInto(x, p.s, counts)
+}
+
 // Salience returns per-feature salience counts for x — the paper's
 // local-explanation workload.
 func (p *Predictor) Salience(x []float32) []int { return p.bf.Salience(x, p.s) }

@@ -7,6 +7,7 @@
 //	bolt-bench                 # every figure, full-size workloads
 //	bolt-bench -exp fig11a     # one figure
 //	bolt-bench -quick          # shrunken workloads (seconds, for CI)
+//	bolt-bench -json dev       # batch-kernel report to BENCH_dev.json
 //	bolt-bench -list
 package main
 
@@ -35,6 +36,7 @@ func run(args []string) error {
 		train  = fs.Int("train", 0, "override training samples per dataset")
 		test   = fs.Int("test", 0, "override test samples per dataset")
 		rounds = fs.Int("rounds", 0, "override timed rounds")
+		jsonL  = fs.String("json", "", "also run the batch-kernel experiment and write BENCH_<label>.json (the perf-trajectory artifact; schema in EXPERIMENTS.md)")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -52,8 +54,34 @@ func run(args []string) error {
 		TestSamples:  *test,
 		Rounds:       *rounds,
 	}
+	if *jsonL != "" {
+		return writeBatchJSON(cfg, *jsonL)
+	}
 	if *exp == "all" {
 		return bench.RunAll(cfg, os.Stdout)
 	}
 	return bench.Run(*exp, cfg, os.Stdout)
+}
+
+// writeBatchJSON measures the batch kernel, renders the table to
+// stdout, and writes the machine-readable report to BENCH_<label>.json.
+func writeBatchJSON(cfg bench.Config, label string) error {
+	rep, err := bench.BatchKernelReport(cfg)
+	if err != nil {
+		return err
+	}
+	if err := bench.RenderBatchReport(rep, os.Stdout); err != nil {
+		return err
+	}
+	path := fmt.Sprintf("BENCH_%s.json", label)
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	if err := rep.WriteJSON(f, label); err != nil {
+		return err
+	}
+	fmt.Printf("wrote %s\n", path)
+	return f.Close()
 }

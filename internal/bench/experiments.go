@@ -600,6 +600,7 @@ var Experiments = []struct {
 	{"fig15", "two-layer deep forests", Fig15DeepForest},
 	{"ablate", "design-choice ablations (extra, not a paper figure)", Ablations},
 	{"skew", "FP calibration-mismatch study, §2.1 (extra)", Skew},
+	{"batch", "cache-blocked batch kernel vs row-at-a-time (extra)", FigBatch},
 }
 
 // Run executes one experiment by ID and renders it to w.

@@ -37,3 +37,59 @@ func TestPredictZeroAlloc(t *testing.T) {
 		t.Errorf("Predict allocates %.1f objects per call, want 0", allocs)
 	}
 }
+
+// The batch kernel must also be allocation-free once the scratch has
+// grown: the first call sizes the row/column/vote blocks, every later
+// call reuses them.
+func TestVotesBatchZeroAlloc(t *testing.T) {
+	f, d := trainForest(t, 133, 10, 4)
+	bf, err := Compile(f, Options{ClusterThreshold: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := bf.NewScratch()
+	X := d.X[:200]
+	votes := make([]int64, len(X)*bf.VoteWidth())
+	bf.VotesBatch(X, s, votes) // warm: grow batch scratch
+	allocs := testing.AllocsPerRun(50, func() {
+		bf.VotesBatch(X, s, votes)
+	})
+	if allocs != 0 {
+		t.Errorf("VotesBatch allocates %.1f objects per call, want 0", allocs)
+	}
+}
+
+func TestPredictBatchIntoZeroAlloc(t *testing.T) {
+	f, d := trainForest(t, 134, 10, 4)
+	bf, err := Compile(f, Options{ClusterThreshold: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := bf.NewScratch()
+	X := d.X[:200]
+	out := make([]int, len(X))
+	bf.PredictBatchInto(X, s, out) // warm: grow batch scratch
+	allocs := testing.AllocsPerRun(50, func() {
+		bf.PredictBatchInto(X, s, out)
+	})
+	if allocs != 0 {
+		t.Errorf("PredictBatchInto allocates %.1f objects per call, want 0", allocs)
+	}
+}
+
+func TestSalienceIntoZeroAlloc(t *testing.T) {
+	f, d := trainForest(t, 135, 10, 4)
+	bf, err := Compile(f, Options{ClusterThreshold: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := bf.NewScratch()
+	counts := make([]int, bf.NumFeatures)
+	x := d.X[0]
+	allocs := testing.AllocsPerRun(200, func() {
+		bf.SalienceInto(x, s, counts)
+	})
+	if allocs != 0 {
+		t.Errorf("SalienceInto allocates %.1f objects per call, want 0", allocs)
+	}
+}

@@ -1,0 +1,247 @@
+package core
+
+import (
+	"fmt"
+	"math/bits"
+
+	"bolt/internal/bitpack"
+	"bolt/internal/forest"
+	"bolt/internal/tree"
+)
+
+// The batch kernel (VotesBatch / PredictBatchInto) processes samples in
+// cache-resident blocks of B rows:
+//
+//  1. evaluate the codebook once per row into a contiguous sample-major
+//     bitset block (B rows × words words);
+//  2. transpose each 64-row chunk into predicate-major columns, so
+//     column p holds predicate p's outcome for 64 samples in one word;
+//  3. interchange the loops — dictionary entries outer, samples inner.
+//     Each entry tests its common pairs with one AND (or AND-NOT) per
+//     pair per 64 samples, early-exiting when no sample still matches,
+//     then gathers addresses and probes the table only for the
+//     surviving samples.
+//
+// Step 3 is where the asymptotic win lives: the row-at-a-time path
+// spends words AND+XOR words per entry per sample, the column path
+// spends at most NumCommon ops per entry per 64 samples — and dictionary
+// entries, table slots and filter lines are streamed through cache once
+// per block instead of once per sample.
+
+const (
+	// batchCacheBudget bounds the kernel's working set — the bitset
+	// block, its transpose, and the vote accumulators — so it stays
+	// resident in a per-core cache while the dictionary streams over
+	// it. 192 KiB targets the common private-L2 sizes (256 KiB–1 MiB)
+	// of the paper's evaluation machines (§6.2) with headroom for the
+	// dictionary stream itself. perfsim owns the full hardware model
+	// but imports this package, so the default budget is a constant
+	// here; profile-aware callers can size blocks themselves with
+	// BatchBlockFor and Scratch.SetBatchBlock.
+	batchCacheBudget = 192 << 10
+
+	minBatchBlock = 64
+	maxBatchBlock = 4096
+)
+
+// BatchBlockFor returns the largest batch block size (a multiple of 64,
+// clamped to [64, 4096]) whose working set fits a cache of cacheBytes:
+// per sample, `words` row words, `words` column words, and voteWidth
+// vote accumulators.
+func BatchBlockFor(cacheBytes, words, voteWidth int) int {
+	if words < 1 {
+		words = 1
+	}
+	perSample := 16*words + 8*voteWidth
+	b := cacheBytes / perSample
+	b &^= 63
+	if b < minBatchBlock {
+		return minBatchBlock
+	}
+	if b > maxBatchBlock {
+		return maxBatchBlock
+	}
+	return b
+}
+
+// DefaultBatchBlock returns the block size the batch kernel uses for
+// this forest absent an explicit Scratch.SetBatchBlock override.
+func (bf *Forest) DefaultBatchBlock() int {
+	return BatchBlockFor(batchCacheBudget, bf.Flat.Words(), bf.VoteWidth())
+}
+
+// SetBatchBlock overrides the samples-per-block choice for subsequent
+// batch calls on this scratch. b is rounded up to a multiple of 64 and
+// clamped to [64, 4096]; b <= 0 restores the forest default.
+func (s *Scratch) SetBatchBlock(b int) {
+	if b <= 0 {
+		s.block = 0
+		return
+	}
+	b = (b + 63) &^ 63
+	if b < minBatchBlock {
+		b = minBatchBlock
+	}
+	if b > maxBatchBlock {
+		b = maxBatchBlock
+	}
+	s.block = b
+}
+
+// ensureBatch picks the block size and grows the batch buffers to hold
+// one block. Buffers only ever grow, so steady state allocates nothing.
+func (s *Scratch) ensureBatch(bf *Forest) int {
+	if s.block == 0 {
+		s.block = bf.DefaultBatchBlock()
+	}
+	b := s.block
+	w := bf.Flat.Words()
+	if len(s.rowBits) < b*w {
+		s.rowBits = make([]uint64, b*w)
+		s.cols = make([]uint64, b*w)
+	}
+	return b
+}
+
+// VotesBatch runs Bolt inference for every row of X, accumulating into
+// votes — a flattened matrix of len(X) rows × VoteWidth columns, zeroed
+// first. It is bit-exact with calling Votes per row (CheckSafety and
+// FuzzVotesBatch enforce this) and allocates nothing once the scratch
+// has grown.
+func (bf *Forest) VotesBatch(X [][]float32, s *Scratch, votes []int64) {
+	vw := bf.VoteWidth()
+	if len(votes) != len(X)*vw {
+		panic(fmt.Sprintf("core: votes buffer length %d, want %d (%d samples × %d)",
+			len(votes), len(X)*vw, len(X), vw))
+	}
+	b := s.ensureBatch(bf)
+	for start := 0; start < len(X); start += b {
+		end := start + b
+		if end > len(X) {
+			end = len(X)
+		}
+		bf.votesBlock(X[start:end], s, votes[start*vw:end*vw])
+	}
+}
+
+// votesBlock is the per-block kernel; len(X) must be at most the block
+// size the scratch buffers were grown for.
+func (bf *Forest) votesBlock(X [][]float32, s *Scratch, votes []int64) {
+	n := len(X)
+	for i := range votes {
+		votes[i] = 0
+	}
+	fd := bf.Flat
+	w := fd.Words()
+	cw := w * 64
+	// Step 1: sample-major rows. Rows beyond n keep stale bits; the
+	// per-chunk tail mask below keeps them out of every match.
+	for i, x := range X {
+		if len(x) != bf.NumFeatures {
+			panic(fmt.Sprintf("core: batch row %d has %d features, forest expects %d", i, len(x), bf.NumFeatures))
+		}
+		bf.Codebook.EvaluateWords(x, s.rowBits[i*w:(i+1)*w])
+	}
+	// Step 2: predicate-major columns, one transpose per 64-row chunk.
+	chunks := (n + 63) / 64
+	for c := 0; c < chunks; c++ {
+		bitpack.TransposeBlock(s.rowBits[c*cw:], s.cols[c*cw:], w)
+	}
+	// Step 3: entries outer, samples inner.
+	vw := bf.VoteWidth()
+	table, filter := bf.Table, bf.Filter
+	for e, ne := 0, fd.Len(); e < ne; e++ {
+		common := fd.Common(e)
+		unc := fd.Uncommon(e)
+		id := fd.ID(e)
+		for c := 0; c < chunks; c++ {
+			matched := ^uint64(0)
+			if tail := uint(n - c*64); tail < 64 {
+				matched = (1 << tail) - 1
+			}
+			cc := s.cols[c*cw : (c+1)*cw]
+			for _, packed := range common {
+				col := cc[packed>>1]
+				if packed&1 == 0 {
+					col = ^col
+				}
+				matched &= col
+				if matched == 0 {
+					break
+				}
+			}
+			if len(unc) == 0 {
+				// Fully-common entry: every matched sample shares address
+				// 0, so one filter check and one table probe serve the
+				// whole chunk.
+				if matched == 0 {
+					continue
+				}
+				if filter != nil && !filter.Contains(Key(id, 0)) {
+					continue
+				}
+				ri, ok := table.Lookup(id, 0)
+				if !ok {
+					continue
+				}
+				ev := table.Votes(ri)
+				for matched != 0 {
+					bit := matched & (-matched)
+					matched ^= bit
+					si := c*64 + bits.TrailingZeros64(bit)
+					row := votes[si*vw : (si+1)*vw]
+					for k, v := range ev {
+						row[k] += v
+					}
+				}
+				continue
+			}
+			for matched != 0 {
+				bit := matched & (-matched)
+				matched ^= bit
+				sb := uint(bits.TrailingZeros64(bit))
+				addr := uint64(0)
+				for j, pred := range unc {
+					addr |= ((cc[pred] >> sb) & 1) << uint(j)
+				}
+				if filter != nil && !filter.Contains(Key(id, addr)) {
+					continue
+				}
+				if ri, ok := table.Lookup(id, addr); ok {
+					row := votes[(c*64+int(sb))*vw : (c*64+int(sb)+1)*vw]
+					for k, v := range table.Votes(ri) {
+						row[k] += v
+					}
+				}
+			}
+		}
+	}
+}
+
+// PredictBatchInto classifies every row of X into out (length len(X))
+// using the batch kernel. Zero allocations once the scratch has grown.
+func (bf *Forest) PredictBatchInto(X [][]float32, s *Scratch, out []int) {
+	if bf.Kind == tree.Regression {
+		panic("core: PredictBatchInto on a regression forest (use VotesBatch)")
+	}
+	if len(out) != len(X) {
+		panic(fmt.Sprintf("core: out buffer length %d, want %d", len(out), len(X)))
+	}
+	b := s.ensureBatch(bf)
+	vw := bf.VoteWidth()
+	if len(s.batchVotes) < b*vw {
+		s.batchVotes = make([]int64, b*vw)
+	}
+	for start := 0; start < len(X); start += b {
+		end := start + b
+		if end > len(X) {
+			end = len(X)
+		}
+		n := end - start
+		bv := s.batchVotes[:n*vw]
+		bf.votesBlock(X[start:end], s, bv)
+		for i := 0; i < n; i++ {
+			out[start+i] = forest.Argmax(bv[i*vw : (i+1)*vw])
+		}
+	}
+}

@@ -55,8 +55,11 @@ func (o Options) normalized() Options {
 type Forest struct {
 	Codebook *paths.Codebook
 	Dict     *Dictionary
-	Table    *LookupTable
-	Filter   *bloom.Filter // nil when disabled
+	// Flat is the SoA flattening of Dict used by the inference hot
+	// loops; Compile and DecodeCompiled keep it in sync with Dict.
+	Flat   *FlatDict
+	Table  *LookupTable
+	Filter *bloom.Filter // nil when disabled
 
 	NumFeatures int
 	NumClasses  int
@@ -191,6 +194,7 @@ func (c *Compilation) Compile(opts Options) (*Forest, error) {
 	return &Forest{
 		Codebook:    c.cb,
 		Dict:        dict,
+		Flat:        NewFlatDict(dict),
 		Table:       table,
 		Filter:      filter,
 		NumFeatures: c.f.NumFeatures,

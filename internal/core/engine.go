@@ -2,7 +2,6 @@ package core
 
 import (
 	"fmt"
-	"math/bits"
 
 	"bolt/internal/bitpack"
 	"bolt/internal/forest"
@@ -10,10 +9,48 @@ import (
 )
 
 // Scratch holds the per-goroutine reusable buffers of the inference hot
-// path, so steady-state inference performs zero allocations.
+// path, so steady-state inference performs zero allocations. The batch
+// buffers are grown on first batch use and reused afterwards.
 type Scratch struct {
 	bits  *bitpack.Bitset
 	votes []int64
+
+	// Batch kernel state (see batch.go). block is the samples-per-block
+	// choice (0 until first use or SetBatchBlock); rowBits holds the
+	// sample-major bitset block, cols its predicate-major transpose,
+	// batchVotes the per-block vote accumulators for PredictBatchInto.
+	block      int
+	rowBits    []uint64
+	cols       []uint64
+	batchVotes []int64
+}
+
+// forEachHit is the shared per-sample dictionary scan: for every entry
+// whose common-mask membership test passes on the evaluated input words
+// and whose (entryID, address) key survives the bloom filter and
+// verifies in the recombined table, it calls fn with the entry index and
+// the table's result index. Votes and SalienceInto both route through
+// it; the closure stays on the stack, so the scan allocates nothing.
+func (bf *Forest) forEachHit(inputWords []uint64, fn func(entry int, result uint32)) {
+	fd := bf.Flat
+	for i, n := 0, fd.Len(); i < n; i++ {
+		mask, vals := fd.MaskVals(i)
+		if !bitpack.MatchesMasked(inputWords, mask, vals) {
+			continue
+		}
+		addr := uint64(0)
+		for bi, pred := range fd.Uncommon(i) {
+			bit := (inputWords[pred>>6] >> uint(pred&63)) & 1
+			addr |= bit << uint(bi)
+		}
+		id := fd.ID(i)
+		if bf.Filter != nil && !bf.Filter.Contains(Key(id, addr)) {
+			continue
+		}
+		if ri, ok := bf.Table.Lookup(id, addr); ok {
+			fn(i, ri)
+		}
+	}
 }
 
 // Votes runs Bolt inference for x, accumulating per-class weighted
@@ -39,22 +76,12 @@ func (bf *Forest) Votes(x []float32, s *Scratch, votes []int64) {
 		votes[i] = 0
 	}
 	bf.Codebook.Evaluate(x, s.bits)
-	inputWords := s.bits.Words()
-	for i := range bf.Dict.Entries {
-		e := &bf.Dict.Entries[i]
-		if !bitpack.MatchesMasked(inputWords, e.CommonMask, e.CommonVals) {
-			continue
+	table := bf.Table
+	bf.forEachHit(s.bits.Words(), func(_ int, ri uint32) {
+		for c, v := range table.Votes(ri) {
+			votes[c] += v
 		}
-		addr := bf.Dict.Address(e, s.bits)
-		if bf.Filter != nil && !bf.Filter.Contains(Key(e.ID, addr)) {
-			continue
-		}
-		if ri, ok := bf.Table.Lookup(e.ID, addr); ok {
-			for c, v := range bf.Table.Votes(ri) {
-				votes[c] += v
-			}
-		}
-	}
+	})
 }
 
 // Predict returns the weighted-majority class for x using the provided
@@ -85,23 +112,26 @@ func (bf *Forest) PredictValue(x []float32, s *Scratch) float32 {
 	return float32(float64(bf.Bias+s.votes[0]) / float64(denom))
 }
 
-// PredictBatch classifies every row of X with a private scratch.
+// PredictBatch classifies every row of X with a private scratch,
+// running the cache-blocked batch kernel (see batch.go).
 func (bf *Forest) PredictBatch(X [][]float32) []int {
 	s := bf.NewScratch()
 	out := make([]int, len(X))
-	for i, x := range X {
-		out[i] = bf.Predict(x, s)
-	}
+	bf.PredictBatchInto(X, s, out)
 	return out
 }
 
 // CheckSafety verifies the paper's safety property (footnote 1) on the
 // given inputs: Bolt's accumulated votes must equal the original
 // forest's for every sample — per-class weighted votes for
-// classification, the integer value contribution for regression. It
+// classification, the integer value contribution for regression — and
+// the batch kernel must be bit-exact with the per-sample path. It
 // returns the first divergence found.
 func (bf *Forest) CheckSafety(f *forest.Forest, X [][]float32) error {
 	s := bf.NewScratch()
+	vw := bf.VoteWidth()
+	batch := make([]int64, len(X)*vw)
+	bf.VotesBatch(X, s, batch)
 	if bf.Kind == tree.Regression {
 		boltVotes := make([]int64, 1)
 		for i, x := range X {
@@ -109,6 +139,10 @@ func (bf *Forest) CheckSafety(f *forest.Forest, X [][]float32) error {
 			if ref := f.ValueVotes(x); boltVotes[0] != ref {
 				return fmt.Errorf("core: regression safety violation on sample %d: bolt=%d forest=%d",
 					i, boltVotes[0], ref)
+			}
+			if batch[i] != boltVotes[0] {
+				return fmt.Errorf("core: batch kernel diverges on sample %d: batch=%d row=%d",
+					i, batch[i], boltVotes[0])
 			}
 		}
 		return nil
@@ -123,42 +157,44 @@ func (bf *Forest) CheckSafety(f *forest.Forest, X [][]float32) error {
 				return fmt.Errorf("core: safety violation on sample %d class %d: bolt=%d forest=%d",
 					i, c, boltVotes[c], refVotes[c])
 			}
+			if batch[i*vw+c] != boltVotes[c] {
+				return fmt.Errorf("core: batch kernel diverges on sample %d class %d: batch=%d row=%d",
+					i, c, batch[i*vw+c], boltVotes[c])
+			}
 		}
 	}
 	return nil
 }
 
-// Salience returns, for sample x, how many matched paths used each
+// SalienceInto computes, for sample x, how many matched paths used each
 // feature — Bolt's local-explanation workload (§2: "Bolt uses
 // associative arrays to track salient features ... with one memory
 // access per tree inference"). The count for a feature is the number of
-// matched dictionary entries whose common pairs or address bits test it.
+// matched dictionary entries whose common pairs or address bits test
+// it. counts must have length NumFeatures; it is zeroed first, and the
+// call allocates nothing.
+func (bf *Forest) SalienceInto(x []float32, s *Scratch, counts []int) {
+	if len(counts) != bf.NumFeatures {
+		panic(fmt.Sprintf("core: counts buffer length %d, want %d", len(counts), bf.NumFeatures))
+	}
+	for i := range counts {
+		counts[i] = 0
+	}
+	bf.Codebook.Evaluate(x, s.bits)
+	fd, cb := bf.Flat, bf.Codebook
+	bf.forEachHit(s.bits.Words(), func(e int, _ uint32) {
+		for _, packed := range fd.Common(e) {
+			counts[cb.Predicate(packed>>1).Feature]++
+		}
+		for _, pred := range fd.Uncommon(e) {
+			counts[cb.Predicate(pred).Feature]++
+		}
+	})
+}
+
+// Salience is the allocating convenience wrapper around SalienceInto.
 func (bf *Forest) Salience(x []float32, s *Scratch) []int {
 	counts := make([]int, bf.NumFeatures)
-	bf.Codebook.Evaluate(x, s.bits)
-	inputWords := s.bits.Words()
-	for i := range bf.Dict.Entries {
-		e := &bf.Dict.Entries[i]
-		if !bitpack.MatchesMasked(inputWords, e.CommonMask, e.CommonVals) {
-			continue
-		}
-		addr := bf.Dict.Address(e, s.bits)
-		if _, ok := bf.Table.Lookup(e.ID, addr); !ok {
-			continue
-		}
-		// Common features.
-		for w, mask := range e.CommonMask {
-			for mask != 0 {
-				b := mask & (-mask)
-				pred := int32(w*64 + bits.TrailingZeros64(b))
-				counts[bf.Codebook.Predicate(pred).Feature]++
-				mask ^= b
-			}
-		}
-		// Uncommon (address) features.
-		for _, pred := range e.Uncommon {
-			counts[bf.Codebook.Predicate(pred).Feature]++
-		}
-	}
+	bf.SalienceInto(x, s, counts)
 	return counts
 }

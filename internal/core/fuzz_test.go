@@ -38,3 +38,45 @@ func FuzzDecodeCompiled(f *testing.F) {
 		}
 	})
 }
+
+// FuzzVotesBatch is the differential fuzz target for the batch kernel:
+// random forest shapes, compile options, batch geometries and input
+// perturbations, asserting VotesBatch is bit-exact against per-sample
+// Votes — the CheckSafety discipline extended to the batch path.
+func FuzzVotesBatch(f *testing.F) {
+	f.Add(uint64(1), uint8(4), uint8(6), uint8(3), uint16(70), uint16(0))
+	f.Add(uint64(2), uint8(1), uint8(2), uint8(1), uint16(1), uint16(64))
+	f.Add(uint64(3), uint8(16), uint8(12), uint8(5), uint16(129), uint16(100))
+	f.Add(uint64(4), uint8(8), uint8(3), uint8(2), uint16(64), uint16(1))
+
+	f.Fuzz(func(t *testing.T, seed uint64, thresholdRaw, treesRaw, depthRaw uint8, nRaw, blockRaw uint16) {
+		trees := int(treesRaw%12) + 2
+		depth := int(depthRaw%5) + 1
+		fr, d := trainForest(t, seed, trees, depth)
+		opts := Options{ClusterThreshold: int(thresholdRaw%16) + 1, Seed: seed}
+		if thresholdRaw%3 == 0 {
+			opts.BloomBitsPerKey = -1
+		}
+		bf, err := Compile(fr, opts)
+		if err != nil {
+			t.Fatalf("compile failed: %v", err)
+		}
+		n := int(nRaw % 300)
+		X := randomInputs(n, d.NumFeatures, seed^0xbeef)
+		s := bf.NewScratch()
+		s.SetBatchBlock(int(blockRaw % 512)) // 0 keeps the default
+		vw := bf.VoteWidth()
+		batch := make([]int64, n*vw)
+		bf.VotesBatch(X, s, batch)
+		row := make([]int64, vw)
+		for i, x := range X {
+			bf.Votes(x, s, row)
+			for c := range row {
+				if batch[i*vw+c] != row[c] {
+					t.Fatalf("seed=%d n=%d sample %d class %d: batch=%d row=%d",
+						seed, n, i, c, batch[i*vw+c], row[c])
+				}
+			}
+		}
+	})
+}

@@ -279,6 +279,9 @@ func DecodeCompiled(r io.Reader) (*Forest, error) {
 		d.Entries = append(d.Entries, e)
 	}
 	bf.Dict = d
+	if readErr == nil {
+		bf.Flat = NewFlatDict(d)
+	}
 
 	// Lookup table.
 	t := &LookupTable{}

@@ -70,7 +70,18 @@ func (c *Codebook) Evaluate(x []float32, bits *bitpack.Bitset) {
 	if bits.Len() < len(c.preds) {
 		panic(fmt.Sprintf("paths: bitset capacity %d < %d predicates", bits.Len(), len(c.preds)))
 	}
-	words := bits.Words()
+	c.EvaluateWords(x, bits.Words())
+}
+
+// EvaluateWords is Evaluate writing directly into raw backing words —
+// the form the batch kernel uses to fill one row of a contiguous
+// sample-major bitset block without materialising a Bitset per row.
+// words must hold at least ceil(Len()/64) words; words beyond the last
+// predicate word are left untouched.
+func (c *Codebook) EvaluateWords(x []float32, words []uint64) {
+	if len(words)*64 < len(c.preds) {
+		panic(fmt.Sprintf("paths: %d words cannot hold %d predicates", len(words), len(c.preds)))
+	}
 	preds := c.preds
 	for w := 0; w*64 < len(preds); w++ {
 		end := (w + 1) * 64

@@ -1,0 +1,120 @@
+package serve
+
+import (
+	"path/filepath"
+	"sync/atomic"
+	"testing"
+
+	"bolt/internal/core"
+	"bolt/internal/dataset"
+	"bolt/internal/forest"
+	"bolt/internal/tree"
+)
+
+// batchEngine is a Bolt engine exposing the cache-blocked batch kernel,
+// counting how rows arrive so tests can prove OpBatch shards take the
+// batch path instead of row-at-a-time Predict.
+type batchEngine struct {
+	bf           *core.Forest
+	s            *core.Scratch
+	predictCalls atomic.Int64
+	batchRows    atomic.Int64
+}
+
+func (e *batchEngine) Predict(x []float32) int {
+	e.predictCalls.Add(1)
+	return e.bf.Predict(x, e.s)
+}
+
+func (e *batchEngine) PredictBatchInto(X [][]float32, out []int) {
+	e.batchRows.Add(int64(len(X)))
+	e.bf.PredictBatchInto(X, e.s, out)
+}
+
+func batchTestForest(t testing.TB) (*core.Forest, *dataset.Dataset) {
+	t.Helper()
+	d := dataset.SyntheticBlobs(300, 6, 3, 1.0, 501)
+	f := forest.Train(d, forest.Config{NumTrees: 6, Tree: tree.Config{MaxDepth: 4}, Seed: 502})
+	bf, err := core.Compile(f, core.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return bf, d
+}
+
+// TestBatchPredictorUsed proves OpBatch shards run the engine's batch
+// kernel: every row of a sharded batch arrives via PredictBatchInto and
+// none via Predict, and the labels match the reference row path.
+func TestBatchPredictorUsed(t *testing.T) {
+	bf, d := batchTestForest(t)
+	engines := make([]*batchEngine, 0, 4)
+	sock := filepath.Join(t.TempDir(), "batch.sock")
+	srv, err := NewPool(sock, func() Engine {
+		e := &batchEngine{bf: bf, s: bf.NewScratch()}
+		engines = append(engines, e)
+		return e
+	}, d.NumFeatures, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+	cl, err := Dial(sock)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cl.Close()
+
+	labels, _, err := cl.ClassifyBatch(d.X)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := bf.NewScratch()
+	for i, x := range d.X {
+		if want := bf.Predict(x, s); labels[i] != want {
+			t.Fatalf("sample %d: batch served %d, reference %d", i, labels[i], want)
+		}
+	}
+	var batchRows, predictCalls int64
+	for _, e := range engines {
+		batchRows += e.batchRows.Load()
+		predictCalls += e.predictCalls.Load()
+	}
+	if batchRows != int64(d.Len()) {
+		t.Errorf("batch kernel saw %d rows, want %d", batchRows, d.Len())
+	}
+	if predictCalls != 0 {
+		t.Errorf("%d rows leaked to row-at-a-time Predict", predictCalls)
+	}
+}
+
+// Engines without the optional interface must keep working through the
+// row-at-a-time fallback.
+func TestRunBatchFallback(t *testing.T) {
+	bf, d := batchTestForest(t)
+	e := &boltEngine{bf: bf, s: bf.NewScratch()}
+	out := make([]int, 50)
+	runBatch(e, d.X[:50], out)
+	s := bf.NewScratch()
+	for i, x := range d.X[:50] {
+		if want := bf.Predict(x, s); out[i] != want {
+			t.Fatalf("sample %d: fallback %d, reference %d", i, out[i], want)
+		}
+	}
+}
+
+// The shard body itself must not allocate in steady state: once the
+// engine's scratch has grown, runBatch over a warm batch engine is
+// allocation-free.
+func TestRunBatchZeroAlloc(t *testing.T) {
+	bf, d := batchTestForest(t)
+	e := &batchEngine{bf: bf, s: bf.NewScratch()}
+	X := d.X[:200]
+	out := make([]int, len(X))
+	runBatch(e, X, out) // warm: grow batch scratch
+	allocs := testing.AllocsPerRun(50, func() {
+		runBatch(e, X, out)
+	})
+	if allocs != 0 {
+		t.Errorf("batch shard path allocates %.1f objects per call, want 0", allocs)
+	}
+}

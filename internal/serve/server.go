@@ -37,6 +37,13 @@ type ValuePredictor interface {
 	PredictValue(x []float32) float32
 }
 
+// BatchPredictor is the optional batch extension: engines that expose a
+// cache-blocked batch kernel classify OpBatch shards in one call
+// instead of row-at-a-time Predict. out has the same length as X.
+type BatchPredictor interface {
+	PredictBatchInto(X [][]float32, out []int)
+}
+
 // ReloadFunc rebuilds the serving artifacts from a model path. It
 // returns the new engine factory, the model's feature count and a
 // human-readable checksum of the artifact. An empty path means "the
@@ -453,9 +460,7 @@ func (s *Server) predictBatch(p *enginePool, X [][]float32) ([]int, error) {
 	}
 	if shards <= 1 {
 		err := s.withEngine(p, func(e Engine) {
-			for i, x := range X {
-				labels[i] = e.Predict(x)
-			}
+			runBatch(e, X, labels)
 		})
 		return labels, err
 	}
@@ -472,9 +477,7 @@ func (s *Server) predictBatch(p *enginePool, X [][]float32) ([]int, error) {
 		go func(sh, lo, hi int) {
 			defer wg.Done()
 			errs[sh] = s.withEngine(p, func(e Engine) {
-				for i := lo; i < hi; i++ {
-					labels[i] = e.Predict(X[i])
-				}
+				runBatch(e, X[lo:hi], labels[lo:hi])
 			})
 		}(sh, lo, hi)
 	}
@@ -485,6 +488,19 @@ func (s *Server) predictBatch(p *enginePool, X [][]float32) ([]int, error) {
 		}
 	}
 	return labels, nil
+}
+
+// runBatch classifies one shard on a checked-out engine, taking the
+// engine's batch kernel when it offers one and falling back to
+// row-at-a-time Predict otherwise.
+func runBatch(e Engine, X [][]float32, out []int) {
+	if bp, ok := e.(BatchPredictor); ok {
+		bp.PredictBatchInto(X, out)
+		return
+	}
+	for i, x := range X {
+		out[i] = e.Predict(x)
+	}
 }
 
 func (s *Server) decodeInput(p *enginePool, payload []byte) ([]float32, error) {

@@ -4,6 +4,7 @@ import (
 	"runtime"
 	"time"
 
+	"bolt/internal/core"
 	"bolt/internal/perfsim"
 	"bolt/internal/serve"
 	"bolt/internal/tuning"
@@ -23,6 +24,20 @@ var (
 	// ProfileECLarge is the e2-standard-32 cloud instance.
 	ProfileECLarge = perfsim.ECLarge
 )
+
+// BatchBlockForProfile sizes the batch kernel's block for a target
+// machine: each serving worker gets an even share of the profile's LLC,
+// and the block is chosen so the bitset block, its transpose and the
+// vote accumulators stay resident in that share. Apply the result with
+// a Predictor's scratch via core's SetBatchBlock, or just rely on the
+// built-in default, which targets common per-core L2 sizes.
+func BatchBlockForProfile(bf *CompiledForest, prof HardwareProfile) int {
+	cores := prof.Cores
+	if cores < 1 {
+		cores = 1
+	}
+	return core.BatchBlockFor(prof.LLCBytes/cores, bf.Flat.Words(), bf.VoteWidth())
+}
 
 // Server is a classification service on a UNIX domain socket (the
 // paper's front-end/engine split, §4.5 and §6).
@@ -113,6 +128,12 @@ type predictorEngine struct{ p *Predictor }
 func (e *predictorEngine) Predict(x []float32) int          { return e.p.Predict(x) }
 func (e *predictorEngine) Salience(x []float32) []int       { return e.p.Salience(x) }
 func (e *predictorEngine) PredictValue(x []float32) float32 { return e.p.PredictValue(x) }
+
+// PredictBatchInto satisfies serve.BatchPredictor, so OpBatch shards
+// run the cache-blocked batch kernel instead of row-at-a-time Predict.
+func (e *predictorEngine) PredictBatchInto(X [][]float32, out []int) {
+	e.p.PredictBatchInto(X, out)
+}
 
 // DialService connects to a running classification service.
 func DialService(socketPath string) (*ServiceClient, error) { return serve.Dial(socketPath) }
