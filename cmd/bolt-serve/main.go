@@ -17,9 +17,11 @@ package main
 import (
 	"bytes"
 	"context"
+	"errors"
 	"flag"
 	"fmt"
 	"hash/crc32"
+	"io/fs"
 	"os"
 	"os/signal"
 	"syscall"
@@ -146,9 +148,11 @@ func run(args []string) error {
 // SIGINT/SIGTERM drain in-flight requests within the deadline and
 // always print the request counters accumulated over the run.
 func serveForest(bf *bolt.CompiledForest, sum string, reloader bolt.ReloadFunc, socket string, workers int, drain time.Duration) error {
-	// Remove a stale socket from a previous run.
-	if _, err := os.Stat(socket); err == nil {
-		os.Remove(socket)
+	// Remove a stale socket from a previous run. A removal that fails
+	// for any reason other than the socket not existing would otherwise
+	// resurface as a confusing bind error below.
+	if err := os.Remove(socket); err != nil && !errors.Is(err, fs.ErrNotExist) {
+		return fmt.Errorf("removing stale socket %s: %w", socket, err)
 	}
 	srv, err := bolt.ServeForest(socket, bf, workers)
 	if err != nil {

@@ -1,0 +1,106 @@
+// Command boltvet runs bolt's project-specific static-analysis suite
+// (internal/analysis): hotalloc, atomicengine, opsync and errwrite —
+// the compile-time guards for the zero-allocation kernel, the atomic
+// engine-pool swap and the wire protocol's op set.
+//
+// Standalone, it loads packages like the go tool and analyzes package
+// and test sources together:
+//
+//	boltvet ./...
+//	boltvet -tests=false ./internal/serve
+//	boltvet -list
+//
+// It also speaks the go vet vettool protocol (-V=full, -flags and
+// single-argument *.cfg invocations), so CI can run it under the vet
+// driver instead:
+//
+//	go build -o /tmp/boltvet ./cmd/boltvet
+//	go vet -vettool=/tmp/boltvet ./...
+//
+// Exit status is 0 when the tree is clean, 2 when findings are
+// reported (matching go vet), and 1 on operational errors.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"bolt/internal/analysis"
+)
+
+func main() {
+	os.Exit(run(os.Args[1:]))
+}
+
+func run(args []string) int {
+	// go vet probes its vettool before handing it packages.
+	if len(args) > 0 {
+		switch args[0] {
+		case "-V=full", "-V":
+			fmt.Println("boltvet version 1 (bolt project analyzers: hotalloc atomicengine opsync errwrite)")
+			return 0
+		case "-flags":
+			fmt.Println("[]")
+			return 0
+		}
+	}
+	if len(args) == 1 && strings.HasSuffix(args[0], ".cfg") {
+		return runVetTool(args[0])
+	}
+
+	fs := flag.NewFlagSet("boltvet", flag.ContinueOnError)
+	var (
+		tests = fs.Bool("tests", true, "also analyze test files (per-package test variants)")
+		list  = fs.Bool("list", false, "list the analyzers and exit")
+	)
+	fs.Usage = func() {
+		fmt.Fprintf(fs.Output(), "usage: boltvet [-tests=false] [-list] [packages]\n")
+		fs.PrintDefaults()
+	}
+	if err := fs.Parse(args); err != nil {
+		return 1
+	}
+	if *list {
+		for _, a := range analysis.Analyzers() {
+			fmt.Printf("%-14s %s\n", a.Name, a.Doc)
+		}
+		return 0
+	}
+	patterns := fs.Args()
+	if len(patterns) == 0 {
+		patterns = []string{"./..."}
+	}
+
+	pkgs, err := analysis.Load(analysis.LoadConfig{Tests: *tests}, patterns...)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "boltvet:", err)
+		return 1
+	}
+	found := 0
+	seen := map[string]bool{}
+	for _, pkg := range pkgs {
+		diags, err := analysis.RunAnalyzers(pkg, analysis.Analyzers()...)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "boltvet:", err)
+			return 1
+		}
+		for _, d := range diags {
+			// A package and its test variant share files; report each
+			// finding once.
+			line := d.String()
+			if seen[line] {
+				continue
+			}
+			seen[line] = true
+			fmt.Println(line)
+			found++
+		}
+	}
+	if found > 0 {
+		fmt.Fprintf(os.Stderr, "boltvet: %d finding(s)\n", found)
+		return 2
+	}
+	return 0
+}

@@ -1,0 +1,37 @@
+package main
+
+import "testing"
+
+// TestVetDriverProbes covers the argument shapes go vet sends before
+// handing the tool any packages; all must succeed without touching the
+// filesystem.
+func TestVetDriverProbes(t *testing.T) {
+	for _, args := range [][]string{{"-V=full"}, {"-V"}, {"-flags"}} {
+		if code := run(args); code != 0 {
+			t.Errorf("run(%v) = %d, want 0", args, code)
+		}
+	}
+}
+
+func TestListAnalyzers(t *testing.T) {
+	if code := run([]string{"-list"}); code != 0 {
+		t.Errorf("run(-list) = %d, want 0", code)
+	}
+}
+
+func TestBadFlag(t *testing.T) {
+	if code := run([]string{"-no-such-flag"}); code != 1 {
+		t.Errorf("run(-no-such-flag) = %d, want 1", code)
+	}
+}
+
+// TestAnalyzeCleanPackage drives the standalone loader end to end on a
+// small package that must stay free of findings.
+func TestAnalyzeCleanPackage(t *testing.T) {
+	if testing.Short() {
+		t.Skip("shells out to go list -export; skipped in -short mode")
+	}
+	if code := run([]string{"bolt/internal/bitpack"}); code != 0 {
+		t.Errorf("run(bolt/internal/bitpack) = %d, want 0", code)
+	}
+}

@@ -1,0 +1,78 @@
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"go/token"
+	"io"
+	"os"
+
+	"bolt/internal/analysis"
+)
+
+// vetConfig mirrors the subset of the go vet unit-checker config file
+// boltvet consumes. The vet driver writes one such *.cfg per package
+// and invokes the vettool with its path as the sole argument.
+type vetConfig struct {
+	ImportPath  string
+	Dir         string
+	GoFiles     []string
+	ImportMap   map[string]string
+	PackageFile map[string]string
+	VetxOnly    bool
+	VetxOutput  string
+}
+
+// runVetTool analyzes one package under the go vet driver protocol:
+// type-check the listed files against the export data vet already
+// compiled, report findings on stderr, and always produce the (empty —
+// boltvet exchanges no facts) .vetx output vet expects.
+func runVetTool(cfgPath string) int {
+	raw, err := os.ReadFile(cfgPath)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "boltvet:", err)
+		return 1
+	}
+	var cfg vetConfig
+	if err := json.Unmarshal(raw, &cfg); err != nil {
+		fmt.Fprintf(os.Stderr, "boltvet: parsing %s: %v\n", cfgPath, err)
+		return 1
+	}
+	if cfg.VetxOutput != "" {
+		if err := os.WriteFile(cfg.VetxOutput, nil, 0o666); err != nil {
+			fmt.Fprintln(os.Stderr, "boltvet:", err)
+			return 1
+		}
+	}
+	if cfg.VetxOnly {
+		return 0
+	}
+	lookup := func(importPath string) (io.ReadCloser, error) {
+		resolved := importPath
+		if mapped, ok := cfg.ImportMap[importPath]; ok {
+			resolved = mapped
+		}
+		file, ok := cfg.PackageFile[resolved]
+		if !ok {
+			return nil, fmt.Errorf("no export data for %q (importing %s)", importPath, cfg.ImportPath)
+		}
+		return os.Open(file)
+	}
+	pkg, err := analysis.LoadFiles(token.NewFileSet(), cfg.ImportPath, cfg.Dir, cfg.GoFiles, lookup)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "boltvet:", err)
+		return 1
+	}
+	diags, err := analysis.RunAnalyzers(pkg, analysis.Analyzers()...)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "boltvet:", err)
+		return 1
+	}
+	for _, d := range diags {
+		fmt.Fprintln(os.Stderr, d.String())
+	}
+	if len(diags) > 0 {
+		return 2
+	}
+	return 0
+}

@@ -1,0 +1,250 @@
+// Package analysis is bolt's project-specific static-analysis suite:
+// a small, dependency-free mirror of the golang.org/x/tools/go/analysis
+// vocabulary (Analyzer, Pass, Diagnostic) built directly on go/ast and
+// go/types, plus the four analyzers that guard the invariants Bolt's
+// speedup rests on:
+//
+//   - hotalloc: functions annotated //bolt:hotpath must not allocate or
+//     block (the compile-time face of the AllocsPerRun tests in
+//     internal/core/alloc_test.go and internal/serve/batch_test.go);
+//   - atomicengine: atomic-guarded struct fields may only be touched
+//     through their atomic methods;
+//   - opsync: every Op* protocol constant must be handled by both the
+//     encode- and decode-side switches marked //bolt:ops;
+//   - errwrite: write-side calls (frame/conn writes, model encoders)
+//     must not drop their error.
+//
+// The x/tools module is deliberately not imported: the suite must build
+// offline from a bare module cache, so the loader (load.go) drives
+// `go list -export` and the type checker itself.
+//
+// False positives are suppressed in place with
+//
+//	//bolt:allow <analyzer>[,<analyzer>...] [reason]
+//
+// on the offending line or the line directly above it. Suppressions are
+// part of the reviewed source: every one should carry a reason.
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+	"strings"
+)
+
+// An Analyzer describes one static check. This is the stdlib-only
+// analogue of golang.org/x/tools/go/analysis.Analyzer.
+type Analyzer struct {
+	// Name identifies the analyzer in diagnostics and in //bolt:allow
+	// suppressions.
+	Name string
+	// Doc is the help text shown by `boltvet -list`.
+	Doc string
+	// Run reports findings on one type-checked package via pass.Report.
+	Run func(*Pass) error
+}
+
+// A Pass presents one type-checked package to one analyzer.
+type Pass struct {
+	Analyzer  *Analyzer
+	Fset      *token.FileSet
+	Files     []*ast.File
+	Pkg       *types.Package
+	TypesInfo *types.Info
+
+	diags *[]Diagnostic
+}
+
+// A Diagnostic is one finding, resolved to a file position.
+type Diagnostic struct {
+	Pos      token.Position
+	Analyzer string
+	Message  string
+}
+
+func (d Diagnostic) String() string {
+	return fmt.Sprintf("%s:%d:%d: %s (boltvet/%s)", d.Pos.Filename, d.Pos.Line, d.Pos.Column, d.Message, d.Analyzer)
+}
+
+// Report records a finding at pos.
+func (p *Pass) Report(pos token.Pos, format string, args ...any) {
+	*p.diags = append(*p.diags, Diagnostic{
+		Pos:      p.Fset.Position(pos),
+		Analyzer: p.Analyzer.Name,
+		Message:  fmt.Sprintf(format, args...),
+	})
+}
+
+// Analyzers returns the full suite in stable order.
+func Analyzers() []*Analyzer {
+	return []*Analyzer{HotAlloc, AtomicEngine, OpSync, ErrWrite}
+}
+
+// RunAnalyzers applies the given analyzers to one loaded package and
+// returns the findings that survive //bolt:allow suppression, sorted by
+// position. Analyzer errors (not findings) are returned as an error.
+func RunAnalyzers(pkg *Package, analyzers ...*Analyzer) ([]Diagnostic, error) {
+	var diags []Diagnostic
+	for _, a := range analyzers {
+		pass := &Pass{
+			Analyzer:  a,
+			Fset:      pkg.Fset,
+			Files:     pkg.Files,
+			Pkg:       pkg.Types,
+			TypesInfo: pkg.Info,
+			diags:     &diags,
+		}
+		if err := a.Run(pass); err != nil {
+			return nil, fmt.Errorf("analysis %s on %s: %w", a.Name, pkg.ImportPath, err)
+		}
+	}
+	diags = suppress(pkg, diags)
+	sort.Slice(diags, func(i, j int) bool {
+		a, b := diags[i], diags[j]
+		if a.Pos.Filename != b.Pos.Filename {
+			return a.Pos.Filename < b.Pos.Filename
+		}
+		if a.Pos.Line != b.Pos.Line {
+			return a.Pos.Line < b.Pos.Line
+		}
+		if a.Pos.Column != b.Pos.Column {
+			return a.Pos.Column < b.Pos.Column
+		}
+		return a.Analyzer < b.Analyzer
+	})
+	return diags, nil
+}
+
+// allowKey identifies one suppressed (file, line, analyzer) site.
+type allowKey struct {
+	file     string
+	line     int
+	analyzer string
+}
+
+// suppress drops diagnostics covered by a //bolt:allow comment on the
+// reported line or the line directly above it.
+func suppress(pkg *Package, diags []Diagnostic) []Diagnostic {
+	allowed := map[allowKey]bool{}
+	for _, f := range pkg.Files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				names, ok := parseAllow(c.Text)
+				if !ok {
+					continue
+				}
+				pos := pkg.Fset.Position(c.Pos())
+				for _, name := range names {
+					// The comment covers its own line (trailing form) and
+					// the line below (standalone form above the statement).
+					allowed[allowKey{pos.Filename, pos.Line, name}] = true
+					allowed[allowKey{pos.Filename, pos.Line + 1, name}] = true
+				}
+			}
+		}
+	}
+	if len(allowed) == 0 {
+		return diags
+	}
+	kept := diags[:0]
+	for _, d := range diags {
+		if allowed[allowKey{d.Pos.Filename, d.Pos.Line, d.Analyzer}] ||
+			allowed[allowKey{d.Pos.Filename, d.Pos.Line, "all"}] {
+			continue
+		}
+		kept = append(kept, d)
+	}
+	return kept
+}
+
+// parseAllow extracts the analyzer names from a //bolt:allow comment.
+func parseAllow(text string) ([]string, bool) {
+	const prefix = "//bolt:allow"
+	if !strings.HasPrefix(text, prefix) {
+		return nil, false
+	}
+	rest := strings.TrimSpace(strings.TrimPrefix(text, prefix))
+	first, _, _ := strings.Cut(rest, " ")
+	if first == "" {
+		return nil, false
+	}
+	return strings.Split(first, ","), true
+}
+
+// hasPragma reports whether a doc comment group carries the given
+// //bolt:<name> pragma as a standalone directive line.
+func hasPragma(doc *ast.CommentGroup, name string) bool {
+	if doc == nil {
+		return false
+	}
+	directive := "//bolt:" + name
+	for _, c := range doc.List {
+		if c.Text == directive || strings.HasPrefix(c.Text, directive+" ") {
+			return true
+		}
+	}
+	return false
+}
+
+// linePragmas maps source lines to the //bolt:<name> directive comment
+// starting there, so statement-level pragmas (e.g. //bolt:ops on a
+// switch) can be looked up by the line above the statement.
+func linePragmas(fset *token.FileSet, f *ast.File) map[int]string {
+	m := map[int]string{}
+	for _, cg := range f.Comments {
+		for _, c := range cg.List {
+			if strings.HasPrefix(c.Text, "//bolt:") {
+				m[fset.Position(c.Pos()).Line] = c.Text
+			}
+		}
+	}
+	return m
+}
+
+// WalkStack walks root in depth-first order, calling fn with each node
+// and the stack of its ancestors (outermost first, excluding n itself).
+func WalkStack(root ast.Node, fn func(n ast.Node, stack []ast.Node)) {
+	var stack []ast.Node
+	ast.Inspect(root, func(n ast.Node) bool {
+		if n == nil {
+			stack = stack[:len(stack)-1]
+			return true
+		}
+		fn(n, stack)
+		stack = append(stack, n)
+		return true
+	})
+}
+
+// namedFromSyncAtomic reports whether t (after pointer dereference) is
+// a named type from sync/atomic, returning its name (e.g. "Pointer").
+func namedFromSyncAtomic(t types.Type) (string, bool) {
+	if p, ok := t.(*types.Pointer); ok {
+		t = p.Elem()
+	}
+	named, ok := t.(*types.Named)
+	if !ok {
+		return "", false
+	}
+	obj := named.Obj()
+	if obj == nil || obj.Pkg() == nil || obj.Pkg().Path() != "sync/atomic" {
+		return "", false
+	}
+	return obj.Name(), true
+}
+
+// calleeObject resolves the object a call expression invokes, looking
+// through parentheses. It returns nil for builtins, conversions and
+// indirect calls through function values.
+func calleeObject(info *types.Info, call *ast.CallExpr) types.Object {
+	switch fun := ast.Unparen(call.Fun).(type) {
+	case *ast.Ident:
+		return info.Uses[fun]
+	case *ast.SelectorExpr:
+		return info.Uses[fun.Sel]
+	}
+	return nil
+}

@@ -1,0 +1,94 @@
+// Package analysistest verifies bolt's analyzers against golden
+// packages. Sources under testdata/src/<name> carry trailing
+// `// want "regexp"` comments marking the lines where the analyzer
+// must report; Run fails the test on any mismatch in either direction,
+// so deleting an analyzer (or weakening a check) breaks its golden
+// test rather than silently passing.
+package analysistest
+
+import (
+	"fmt"
+	"regexp"
+	"strconv"
+	"testing"
+
+	"bolt/internal/analysis"
+)
+
+var (
+	wantRe   = regexp.MustCompile(`//\s*want\s+(.*)$`)
+	quotedRe = regexp.MustCompile(`"(?:[^"\\]|\\.)*"`)
+)
+
+type expectation struct {
+	re      *regexp.Regexp
+	matched bool
+}
+
+// Run loads the golden package at pattern (relative to the test's
+// working directory, e.g. ./testdata/src/hotalloc), runs the analyzer
+// on it, and checks the diagnostics against the // want comments.
+func Run(t *testing.T, a *analysis.Analyzer, pattern string) {
+	t.Helper()
+	pkgs, err := analysis.Load(analysis.LoadConfig{}, pattern)
+	if err != nil {
+		t.Fatalf("loading %s: %v", pattern, err)
+	}
+	for _, pkg := range pkgs {
+		runPackage(t, a, pkg)
+	}
+}
+
+func runPackage(t *testing.T, a *analysis.Analyzer, pkg *analysis.Package) {
+	t.Helper()
+	wants := map[string][]*expectation{} // "file:line" -> pending patterns
+	for _, f := range pkg.Files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				m := wantRe.FindStringSubmatch(c.Text)
+				if m == nil {
+					continue
+				}
+				pos := pkg.Fset.Position(c.Pos())
+				key := fmt.Sprintf("%s:%d", pos.Filename, pos.Line)
+				for _, q := range quotedRe.FindAllString(m[1], -1) {
+					text, err := strconv.Unquote(q)
+					if err != nil {
+						t.Fatalf("%s: unquoting want pattern %s: %v", key, q, err)
+					}
+					re, err := regexp.Compile(text)
+					if err != nil {
+						t.Fatalf("%s: bad want pattern %q: %v", key, text, err)
+					}
+					wants[key] = append(wants[key], &expectation{re: re})
+				}
+			}
+		}
+	}
+
+	diags, err := analysis.RunAnalyzers(pkg, a)
+	if err != nil {
+		t.Fatalf("running %s on %s: %v", a.Name, pkg.ImportPath, err)
+	}
+	for _, d := range diags {
+		key := fmt.Sprintf("%s:%d", d.Pos.Filename, d.Pos.Line)
+		matched := false
+		for _, exp := range wants[key] {
+			if !exp.matched && exp.re.MatchString(d.Message) {
+				exp.matched = true
+				matched = true
+				break
+			}
+		}
+		if !matched {
+			t.Errorf("unexpected diagnostic: %s", d.String())
+		}
+	}
+	for key, exps := range wants {
+		for _, exp := range exps {
+			if !exp.matched {
+				t.Errorf("%s: no %s diagnostic matched %q", key, a.Name, exp.re)
+			}
+		}
+	}
+}

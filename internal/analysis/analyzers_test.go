@@ -1,0 +1,29 @@
+package analysis_test
+
+import (
+	"testing"
+
+	"bolt/internal/analysis"
+	"bolt/internal/analysis/analysistest"
+)
+
+// Each analyzer runs against its golden package under testdata/src:
+// the // want comments there pin both the findings and the exemptions,
+// so removing an analyzer (or weakening a rule) fails its test.
+
+func TestHotAlloc(t *testing.T) {
+	analysistest.Run(t, analysis.HotAlloc, "./testdata/src/hotalloc")
+}
+
+func TestAtomicEngine(t *testing.T) {
+	analysistest.Run(t, analysis.AtomicEngine, "./testdata/src/atomicengine")
+}
+
+func TestOpSync(t *testing.T) {
+	analysistest.Run(t, analysis.OpSync, "./testdata/src/opsync")
+	analysistest.Run(t, analysis.OpSync, "./testdata/src/opsyncrole")
+}
+
+func TestErrWrite(t *testing.T) {
+	analysistest.Run(t, analysis.ErrWrite, "./testdata/src/errwrite")
+}

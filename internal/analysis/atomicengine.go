@@ -1,0 +1,90 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// AtomicEngine guards the lock-free engine-pool discipline of
+// internal/serve: struct fields typed as sync/atomic values
+// (atomic.Pointer[T], atomic.Value, atomic.Uint32, ...) are the
+// synchronization points of the serving stack — Server.pool is the
+// generation swap hot-reload relies on, Server.health the drain state.
+// Reading or writing such a field through anything but its atomic
+// methods (Load, Store, Swap, CompareAndSwap, Add, Or, And) is a data
+// race that the race detector only catches if a test happens to
+// interleave the access; this analyzer rejects it at compile time.
+//
+// The declaring file is exempt so the type's own implementation can
+// take the field's address where it must; everywhere else — including
+// _test.go files, where reaching into s.pool "just for the test" is
+// exactly how races ship — only atomic method calls are accepted.
+var AtomicEngine = &Analyzer{
+	Name: "atomicengine",
+	Doc:  "require atomic-typed struct fields to be accessed only via their atomic methods",
+	Run:  runAtomicEngine,
+}
+
+// atomicMethods are the accessor methods the sync/atomic types expose.
+var atomicMethods = map[string]bool{
+	"Load": true, "Store": true, "Swap": true,
+	"CompareAndSwap": true, "Add": true, "Or": true, "And": true,
+}
+
+func runAtomicEngine(pass *Pass) error {
+	info := pass.TypesInfo
+	for _, f := range pass.Files {
+		WalkStack(f, func(n ast.Node, stack []ast.Node) {
+			se, ok := n.(*ast.SelectorExpr)
+			if !ok {
+				return
+			}
+			sel := info.Selections[se]
+			if sel == nil || sel.Kind() != types.FieldVal {
+				return
+			}
+			field, ok := sel.Obj().(*types.Var)
+			if !ok {
+				return
+			}
+			atomicName, ok := namedFromSyncAtomic(field.Type())
+			if !ok {
+				return
+			}
+			// Accesses in the file that declares the field are the
+			// implementation's own business.
+			if pass.Fset.Position(se.Pos()).Filename == pass.Fset.Position(field.Pos()).Filename {
+				return
+			}
+			if isAtomicMethodCall(se, stack) {
+				return
+			}
+			pass.Report(se.Sel.Pos(),
+				"field %s is guarded by atomic.%s; access it only via %s outside its declaring file",
+				field.Name(), atomicName, atomicMethodList(atomicName))
+		})
+	}
+	return nil
+}
+
+// isAtomicMethodCall reports whether the selected field is immediately
+// the receiver of an invoked atomic accessor: stack[...] holds
+// CallExpr{Fun: SelectorExpr{X: se, Sel: Load/Store/...}}.
+func isAtomicMethodCall(se *ast.SelectorExpr, stack []ast.Node) bool {
+	if len(stack) < 2 {
+		return false
+	}
+	method, ok := stack[len(stack)-1].(*ast.SelectorExpr)
+	if !ok || method.X != se || !atomicMethods[method.Sel.Name] {
+		return false
+	}
+	call, ok := stack[len(stack)-2].(*ast.CallExpr)
+	return ok && call.Fun == method
+}
+
+func atomicMethodList(atomicName string) string {
+	if atomicName == "Value" {
+		return "Load/Store/Swap/CompareAndSwap"
+	}
+	return "Load/Store/CompareAndSwap"
+}

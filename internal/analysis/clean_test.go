@@ -1,0 +1,36 @@
+package analysis_test
+
+import (
+	"testing"
+
+	"bolt/internal/analysis"
+)
+
+// TestTreeClean runs the full suite over the module — package and test
+// sources — and requires zero findings: the same gate CI's boltvet job
+// enforces. Skipped under -short because it shells out to
+// `go list -export` for the whole dependency graph.
+func TestTreeClean(t *testing.T) {
+	if testing.Short() {
+		t.Skip("whole-tree analysis shells out to the go tool; skipped in -short mode")
+	}
+	pkgs, err := analysis.Load(analysis.LoadConfig{Dir: "../..", Tests: true}, "./...")
+	if err != nil {
+		t.Fatalf("loading module: %v", err)
+	}
+	seen := map[string]bool{}
+	for _, pkg := range pkgs {
+		diags, err := analysis.RunAnalyzers(pkg, analysis.Analyzers()...)
+		if err != nil {
+			t.Fatalf("analyzing %s: %v", pkg.ImportPath, err)
+		}
+		for _, d := range diags {
+			line := d.String()
+			if seen[line] {
+				continue
+			}
+			seen[line] = true
+			t.Errorf("finding: %s", line)
+		}
+	}
+}

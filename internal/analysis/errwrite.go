@@ -1,0 +1,143 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+)
+
+// ErrWrite flags write-side calls whose error result is silently
+// discarded as a bare statement. A dropped writeFrame error desyncs the
+// wire protocol, a dropped encoder error ships a truncated model file,
+// and a dropped Remove leaves a stale socket for the next listener —
+// all failures that surface far from their cause. The check is scoped
+// to write-shaped callees (Write*, Encode*, Marshal*, Flush*, Sync*,
+// Remove) rather than every error return, so read-side conveniences
+// stay quiet.
+//
+// Intentional drops must say so: either assign the result (`_ = ...`),
+// which documents the decision in the code, or suppress with
+// `//bolt:allow errwrite <reason>` where keeping the error would
+// obscure a best-effort path (e.g. answering a protocol violation
+// before dropping the connection). Deferred calls are exempt: `defer
+// f.Close()` after a checked Sync/Close is the established idiom.
+// Methods on strings.Builder, bytes.Buffer and hash.Hash are exempt
+// too: those writers document that they never return an error, so the
+// error result exists only to satisfy io interfaces.
+var ErrWrite = &Analyzer{
+	Name: "errwrite",
+	Doc:  "flag discarded errors from write-side calls (frame/conn writes, encoders, Flush, Sync, Remove)",
+	Run:  runErrWrite,
+}
+
+// errWritePrefixes match callee names that perform writes, compared
+// case-insensitively so unexported helpers (writeFrame, encodeTo)
+// count.
+var errWritePrefixes = []string{"write", "encode", "flush", "sync", "marshal"}
+
+// errWriteExact completes the set with state-mutating names that do not
+// share a prefix. Close is deliberately absent: best-effort teardown of
+// an abandoned connection is idiomatic and checked Closes on written
+// files are enforced by review, not this analyzer.
+var errWriteExact = map[string]bool{"remove": true, "removeall": true}
+
+func runErrWrite(pass *Pass) error {
+	info := pass.TypesInfo
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			stmt, ok := n.(*ast.ExprStmt)
+			if !ok {
+				return true
+			}
+			call, ok := stmt.X.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			name, ok := calleeName(call)
+			if !ok || !isWriteName(name) {
+				return true
+			}
+			if !returnsError(info, call) {
+				return true
+			}
+			if neverFailingWriter(info, call) {
+				return true
+			}
+			pass.Report(call.Pos(),
+				"result of %s is an error and is dropped; check it, assign to _, or //bolt:allow errwrite with a reason", name)
+			return true
+		})
+	}
+	return nil
+}
+
+func calleeName(call *ast.CallExpr) (string, bool) {
+	switch fun := ast.Unparen(call.Fun).(type) {
+	case *ast.Ident:
+		return fun.Name, true
+	case *ast.SelectorExpr:
+		return fun.Sel.Name, true
+	}
+	return "", false
+}
+
+func isWriteName(name string) bool {
+	name = strings.ToLower(name)
+	if errWriteExact[name] {
+		return true
+	}
+	for _, p := range errWritePrefixes {
+		if strings.HasPrefix(name, p) {
+			return true
+		}
+	}
+	return false
+}
+
+// neverFailingWriters are receiver types whose write methods document
+// that they never return a non-nil error (the result exists only to
+// satisfy io.Writer and friends). Dropping those errors carries no
+// information loss, so the analyzer stays quiet.
+var neverFailingWriters = map[string]bool{
+	"strings.Builder": true,
+	"bytes.Buffer":    true,
+	"hash.Hash":       true,
+	"hash.Hash32":     true,
+	"hash.Hash64":     true,
+}
+
+// neverFailingWriter reports whether the call is a method call on one
+// of the neverFailingWriters receiver types.
+func neverFailingWriter(info *types.Info, call *ast.CallExpr) bool {
+	sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+	if !ok {
+		return false
+	}
+	recv := info.TypeOf(sel.X)
+	if recv == nil {
+		return false
+	}
+	if ptr, ok := recv.(*types.Pointer); ok {
+		recv = ptr.Elem()
+	}
+	named, ok := recv.(*types.Named)
+	if !ok || named.Obj().Pkg() == nil {
+		return false
+	}
+	return neverFailingWriters[named.Obj().Pkg().Path()+"."+named.Obj().Name()]
+}
+
+// returnsError reports whether the call's final result is an error.
+func returnsError(info *types.Info, call *ast.CallExpr) bool {
+	sig, ok := info.TypeOf(call.Fun).(*types.Signature)
+	if !ok {
+		return false
+	}
+	res := sig.Results()
+	if res.Len() == 0 {
+		return false
+	}
+	last := res.At(res.Len() - 1).Type()
+	named, ok := last.(*types.Named)
+	return ok && named.Obj().Pkg() == nil && named.Obj().Name() == "error"
+}

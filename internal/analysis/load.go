@@ -1,0 +1,188 @@
+package analysis
+
+import (
+	"bytes"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"go/ast"
+	"go/build"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"io"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"strings"
+)
+
+// The loader resolves packages with `go list -export -deps -json` and
+// type-checks the targets from source, importing their dependencies
+// from the compiler export data the build cache already holds. This is
+// the same shape as go/packages' export-data mode, rebuilt on the
+// standard library alone so the suite works with an empty module cache
+// and no network.
+
+// Package is one loaded, type-checked package ready for analysis.
+type Package struct {
+	// ImportPath is the package's import path; test variants carry the
+	// `pkg [pkg.test]` form the go tool reports.
+	ImportPath string
+	Dir        string
+	Fset       *token.FileSet
+	Files      []*ast.File
+	Types      *types.Package
+	Info       *types.Info
+}
+
+// LoadConfig configures Load.
+type LoadConfig struct {
+	// Dir is the working directory for the go tool; empty means the
+	// current directory. It must lie inside the target module.
+	Dir string
+	// Tests additionally loads each package's test variant, so _test.go
+	// files are analyzed with the same rigor as shipped code.
+	Tests bool
+}
+
+// listPackage mirrors the subset of `go list -json` output the loader
+// consumes.
+type listPackage struct {
+	ImportPath string
+	Dir        string
+	Name       string
+	Export     string
+	GoFiles    []string
+	ImportMap  map[string]string
+	DepOnly    bool
+	Standard   bool
+	Error      *struct{ Err string }
+}
+
+// Load lists the packages matching patterns and type-checks every
+// non-dependency target from source.
+func Load(cfg LoadConfig, patterns ...string) ([]*Package, error) {
+	if len(patterns) == 0 {
+		patterns = []string{"./..."}
+	}
+	args := []string{"list", "-e", "-export", "-deps", "-json"}
+	if cfg.Tests {
+		args = append(args, "-test")
+	}
+	args = append(args, patterns...)
+	cmd := exec.Command("go", args...)
+	cmd.Dir = cfg.Dir
+	var stdout, stderr bytes.Buffer
+	cmd.Stdout = &stdout
+	cmd.Stderr = &stderr
+	if err := cmd.Run(); err != nil {
+		return nil, fmt.Errorf("go list %s: %w\n%s", strings.Join(patterns, " "), err, stderr.String())
+	}
+
+	byPath := map[string]*listPackage{}
+	var order []*listPackage
+	dec := json.NewDecoder(&stdout)
+	for {
+		lp := new(listPackage)
+		if err := dec.Decode(lp); err == io.EOF {
+			break
+		} else if err != nil {
+			return nil, fmt.Errorf("go list: decoding output: %w", err)
+		}
+		byPath[lp.ImportPath] = lp
+		order = append(order, lp)
+	}
+
+	fset := token.NewFileSet()
+	var pkgs []*Package
+	for _, lp := range order {
+		if lp.DepOnly || lp.Standard || len(lp.GoFiles) == 0 {
+			continue
+		}
+		// Skip the synthesized test-binary mains; the interesting test
+		// code lives in the `pkg [pkg.test]` variants.
+		if strings.HasSuffix(lp.ImportPath, ".test") {
+			continue
+		}
+		if lp.Error != nil {
+			return nil, fmt.Errorf("go list %s: %s", lp.ImportPath, lp.Error.Err)
+		}
+		pkg, err := typeCheck(fset, lp, byPath)
+		if err != nil {
+			return nil, err
+		}
+		pkgs = append(pkgs, pkg)
+	}
+	if len(pkgs) == 0 {
+		return nil, fmt.Errorf("go list %s: no packages matched", strings.Join(patterns, " "))
+	}
+	return pkgs, nil
+}
+
+// typeCheck parses and checks one target package from source. Imports
+// resolve through the export data `go list -export` produced, mapped
+// through the package's ImportMap so test variants see their in-test
+// dependency graph.
+func typeCheck(fset *token.FileSet, lp *listPackage, byPath map[string]*listPackage) (*Package, error) {
+	lookup := func(importPath string) (io.ReadCloser, error) {
+		resolved := importPath
+		if mapped, ok := lp.ImportMap[importPath]; ok {
+			resolved = mapped
+		}
+		dep := byPath[resolved]
+		if dep == nil || dep.Export == "" {
+			return nil, fmt.Errorf("no export data for %q (imported by %s)", importPath, lp.ImportPath)
+		}
+		return os.Open(dep.Export)
+	}
+	return LoadFiles(fset, lp.ImportPath, lp.Dir, lp.GoFiles, lookup)
+}
+
+// LoadFiles parses and type-checks one package from an explicit file
+// list, resolving imports through lookup — the shape both the package
+// loader above and the go vet vettool protocol (cmd/boltvet) provide.
+// Relative file names are resolved against dir.
+func LoadFiles(fset *token.FileSet, importPath, dir string, goFiles []string, lookup func(string) (io.ReadCloser, error)) (*Package, error) {
+	var files []*ast.File
+	for _, name := range goFiles {
+		path := name
+		if !filepath.IsAbs(path) {
+			path = filepath.Join(dir, name)
+		}
+		f, err := parser.ParseFile(fset, path, nil, parser.ParseComments|parser.SkipObjectResolution)
+		if err != nil {
+			return nil, fmt.Errorf("parsing %s: %w", path, err)
+		}
+		files = append(files, f)
+	}
+	conf := types.Config{
+		Importer: importer.ForCompiler(fset, "gc", lookup),
+		Sizes:    types.SizesFor("gc", build.Default.GOARCH),
+		Error:    func(error) {}, // collect every error, report the first
+	}
+	info := &types.Info{
+		Types:      map[ast.Expr]types.TypeAndValue{},
+		Defs:       map[*ast.Ident]types.Object{},
+		Uses:       map[*ast.Ident]types.Object{},
+		Selections: map[*ast.SelectorExpr]*types.Selection{},
+		Implicits:  map[ast.Node]types.Object{},
+	}
+	tpkg, err := conf.Check(importPath, fset, files, info)
+	if err != nil {
+		var te types.Error
+		if errors.As(err, &te) {
+			return nil, fmt.Errorf("type-checking %s: %s: %s", importPath, fset.Position(te.Pos), te.Msg)
+		}
+		return nil, fmt.Errorf("type-checking %s: %w", importPath, err)
+	}
+	return &Package{
+		ImportPath: importPath,
+		Dir:        dir,
+		Fset:       fset,
+		Files:      files,
+		Types:      tpkg,
+		Info:       info,
+	}, nil
+}

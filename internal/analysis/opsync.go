@@ -1,0 +1,156 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+	"strings"
+)
+
+// OpSync keeps the wire protocol's op set from half-landing. Every Op*
+// constant declared in a package (OpClassify, OpBatch, OpReload, ...)
+// must be handled by every switch statement marked with a //bolt:ops
+// directive, and a package that declares ops must mark at least one
+// encode-side and one decode-side switch:
+//
+//	//bolt:ops decode
+//	switch op { case OpClassify: ... }   // server dispatch
+//
+//	//bolt:ops encode
+//	switch op { case OpClassify: ... }   // client-side op policy
+//
+// Adding an OpReload-style op then fails the build gate until both
+// sides of the protocol handle it — the regression PR 2 fixed at
+// runtime (a new op accepted by the client but unknown to the server)
+// becomes unrepresentable. A default clause does not satisfy the
+// check: the point is that every op is named on both sides.
+var OpSync = &Analyzer{
+	Name: "opsync",
+	Doc:  "require every Op* protocol constant to appear in all //bolt:ops-marked switches, with encode and decode sides present",
+	Run:  runOpSync,
+}
+
+func runOpSync(pass *Pass) error {
+	info := pass.TypesInfo
+
+	// Collect the package's own Op* constants, keyed by object.
+	ops := map[types.Object]bool{}
+	var opNames []string
+	var firstOpPos token.Pos
+	for _, f := range pass.Files {
+		for _, decl := range f.Decls {
+			gd, ok := decl.(*ast.GenDecl)
+			if !ok || gd.Tok != token.CONST {
+				continue
+			}
+			for _, spec := range gd.Specs {
+				vs, ok := spec.(*ast.ValueSpec)
+				if !ok {
+					continue
+				}
+				for _, name := range vs.Names {
+					if !isOpName(name.Name) {
+						continue
+					}
+					obj := info.Defs[name]
+					if obj == nil {
+						continue
+					}
+					ops[obj] = true
+					opNames = append(opNames, name.Name)
+					if !firstOpPos.IsValid() {
+						firstOpPos = name.Pos()
+					}
+				}
+			}
+		}
+	}
+	if len(ops) == 0 {
+		return nil
+	}
+	sort.Strings(opNames)
+
+	roles := map[string]bool{}
+	for _, f := range pass.Files {
+		pragmas := linePragmas(pass.Fset, f)
+		WalkStack(f, func(n ast.Node, _ []ast.Node) {
+			sw, ok := n.(*ast.SwitchStmt)
+			if !ok {
+				return
+			}
+			role, ok := opsRole(pass.Fset, pragmas, sw)
+			if !ok {
+				return
+			}
+			roles[role] = true
+			checkOpSwitch(pass, sw, role, ops)
+		})
+	}
+
+	// The directive presence itself is enforced, so deleting a marked
+	// switch (or its mark) is a finding, not a silent weakening.
+	for _, want := range []string{"encode", "decode"} {
+		if !roles[want] {
+			pass.Report(firstOpPos,
+				"package declares op constants (%s) but has no switch marked `//bolt:ops %s`",
+				strings.Join(opNames, ", "), want)
+		}
+	}
+	return nil
+}
+
+// opsRole returns the role named by a //bolt:ops directive attached to
+// the switch: on the line directly above it, or trailing on its line.
+func opsRole(fset *token.FileSet, pragmas map[int]string, sw *ast.SwitchStmt) (string, bool) {
+	line := fset.Position(sw.Pos()).Line
+	for _, l := range []int{line - 1, line} {
+		if text, ok := pragmas[l]; ok && strings.HasPrefix(text, "//bolt:ops") {
+			role := strings.TrimSpace(strings.TrimPrefix(text, "//bolt:ops"))
+			if role == "" {
+				role = "unnamed"
+			}
+			return role, true
+		}
+	}
+	return "", false
+}
+
+func checkOpSwitch(pass *Pass, sw *ast.SwitchStmt, role string, ops map[types.Object]bool) {
+	seen := map[types.Object]bool{}
+	for _, stmt := range sw.Body.List {
+		cc, ok := stmt.(*ast.CaseClause)
+		if !ok {
+			continue
+		}
+		for _, expr := range cc.List {
+			ast.Inspect(expr, func(n ast.Node) bool {
+				if id, ok := n.(*ast.Ident); ok {
+					if obj := pass.TypesInfo.Uses[id]; obj != nil && ops[obj] {
+						seen[obj] = true
+					}
+				}
+				return true
+			})
+		}
+	}
+	var missing []string
+	for obj := range ops {
+		if !seen[obj] {
+			missing = append(missing, obj.Name())
+		}
+	}
+	if len(missing) == 0 {
+		return
+	}
+	sort.Strings(missing)
+	pass.Report(sw.Pos(), "switch marked `//bolt:ops %s` does not handle %s",
+		role, strings.Join(missing, ", "))
+}
+
+// isOpName matches the protocol constant convention: Op followed by an
+// exported-looking name (OpClassify, OpBatch), excluding the bare "Op".
+func isOpName(name string) bool {
+	return len(name) > 2 && strings.HasPrefix(name, "Op") &&
+		name[2] >= 'A' && name[2] <= 'Z'
+}

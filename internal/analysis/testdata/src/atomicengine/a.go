@@ -1,0 +1,22 @@
+// Package atomicengine is the golden corpus for the atomicengine
+// analyzer: fields guarded by sync/atomic types may be touched
+// directly only in their declaring file; everywhere else the atomic
+// accessors are required.
+package atomicengine
+
+import "sync/atomic"
+
+type pool struct{ n int }
+
+type server struct {
+	pool  atomic.Pointer[pool]
+	reqs  atomic.Int64
+	plain int
+}
+
+// Accesses in the declaring file are the implementation's own
+// business, accessor or not.
+func (s *server) init(p *pool) {
+	s.pool.Store(p)
+	_ = &s.pool
+}

@@ -1,0 +1,25 @@
+package atomicengine
+
+// swap uses only the atomic accessors: clean from any file.
+func (s *server) swap(p *pool) *pool {
+	old := s.pool.Load()
+	s.pool.CompareAndSwap(old, p)
+	s.reqs.Add(1)
+	s.plain++ // unguarded field: no constraint
+	return old
+}
+
+// bad touches guarded fields outside their declaring file without
+// going through an accessor.
+func (s *server) bad() int64 {
+	ptr := &s.pool // want "guarded by atomic.Pointer"
+	_ = ptr
+	n := s.reqs // want "guarded by atomic.Int64"
+	return n.Load()
+}
+
+// allowed shows the suppression escape hatch.
+func (s *server) allowed() {
+	//bolt:allow atomicengine snapshot for a debug dump
+	_ = &s.pool
+}

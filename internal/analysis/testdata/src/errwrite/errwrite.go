@@ -1,0 +1,41 @@
+// Package errwrite is the golden corpus for the errwrite analyzer:
+// write-shaped calls that drop their error as a bare statement are
+// flagged; explicit drops, deferred calls, read-shaped names and
+// never-failing writers are not.
+package errwrite
+
+import (
+	"bytes"
+	"os"
+	"strings"
+)
+
+type enc struct{}
+
+func (enc) writeFrame(b []byte) error { return nil }
+func (enc) encodeHeader() error       { return nil }
+func (enc) readFrame() error          { return nil }
+
+func syncFile() error { return nil }
+
+func drops(e enc, b []byte) {
+	e.writeFrame(b)     // want "result of writeFrame is an error and is dropped"
+	e.encodeHeader()    // want "result of encodeHeader"
+	os.Remove("x.sock") // want "result of Remove"
+	e.readFrame()       // read-shaped name: out of scope
+}
+
+func clean(e enc, b []byte) error {
+	if err := e.writeFrame(b); err != nil {
+		return err
+	}
+	_ = e.encodeHeader() // explicit drop: the decision is in the code
+	//bolt:allow errwrite best-effort teardown on an abandoned path
+	e.writeFrame(nil)
+	defer syncFile() // deferred: exempt by construction
+	var sb strings.Builder
+	sb.WriteString("ok") // strings.Builder documents err is always nil
+	var buf bytes.Buffer
+	buf.Write(b) // bytes.Buffer likewise never fails
+	return nil
+}

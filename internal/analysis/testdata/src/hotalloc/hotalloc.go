@@ -1,0 +1,98 @@
+// Package hotalloc is the golden corpus for the hotalloc analyzer: the
+// want comments pin each construct it must flag inside //bolt:hotpath
+// functions, and the clean functions pin what it must ignore.
+package hotalloc
+
+import (
+	"fmt"
+	"sync"
+	"time"
+)
+
+type point struct{ x int }
+
+var (
+	sinkInt   int
+	sinkAny   any
+	sinkStr   string
+	sinkSlice []int
+	sinkMap   map[string]int
+	sinkPtr   *point
+	leaked    func(int)
+	mu        sync.Mutex
+	table     = map[string]int{"a": 1}
+	stream    = make(chan int, 1)
+)
+
+func helper() {}
+
+func visit(fn func(int)) { fn(0) }
+
+func sink(v any) { sinkAny = v }
+
+// Hot exercises the statement- and call-shaped violations.
+//
+//bolt:hotpath
+func Hot(n int) {
+	sinkSlice = make([]int, n)       // want "hot path calls make"
+	sinkSlice = append(sinkSlice, n) // want "hot path calls append"
+	sinkPtr = new(point)             // want "hot path calls new"
+	sinkStr = fmt.Sprintf("%d", n)   // want "hot path calls fmt.Sprintf"
+	sinkInt = int(time.Now().Unix()) // want "hot path calls time.Now"
+	mu.Lock()                        // want "takes a mutex"
+	mu.Unlock()                      // want "takes a mutex"
+	for k := range table {           // want "hot path iterates a map"
+		sinkStr = k
+	}
+	stream <- n        // want "hot path sends on a channel"
+	sinkInt = <-stream // want "hot path receives from a channel"
+	go helper()        // want "hot path spawns a goroutine"
+	select {           // want "hot path blocks in select"
+	default:
+	}
+	sinkSlice = []int{n}       // want "hot path allocates a slice literal"
+	sinkMap = map[string]int{} // want "hot path allocates a map literal"
+	sinkPtr = &point{x: n}     // want "heap-allocates a composite literal"
+}
+
+// HotBoxing exercises the interface-boxing paths: arguments,
+// assignments, conversions and panic values. Constants stay exempt.
+//
+//bolt:hotpath
+func HotBoxing(n int) {
+	sink(n)          // want "boxes int into"
+	sinkAny = n      // want "boxes int into any"
+	sinkAny = any(n) // want "boxes int into any"
+	sink(42)         // constant: materialized in static data, not flagged
+	panic(n)         // want "boxes int into"
+}
+
+// HotReturn boxes through the return statement.
+//
+//bolt:hotpath
+func HotReturn(n int) any {
+	return n // want "boxes int into any"
+}
+
+// HotClosure pins the visitor exemption: a literal passed directly to
+// a same-package callee stays on the stack, anything else escapes.
+//
+//bolt:hotpath
+func HotClosure() {
+	visit(func(int) {})
+	leaked = func(int) {} // want "closure that escapes"
+}
+
+// HotAllowed shows the documented escape hatch.
+//
+//bolt:hotpath
+func HotAllowed(n int) {
+	//bolt:allow hotalloc warmup growth, measured cold by alloc tests
+	sinkSlice = make([]int, n)
+}
+
+// Cold is unannotated: the same constructs pass without comment.
+func Cold(n int) {
+	sinkSlice = make([]int, n)
+	sinkStr = fmt.Sprintf("%d", n)
+}

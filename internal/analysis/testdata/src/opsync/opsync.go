@@ -1,0 +1,44 @@
+// Package opsync is the golden corpus for the opsync analyzer: every
+// Op* constant must be named in each //bolt:ops-marked switch, and the
+// package must mark both an encode- and a decode-side switch.
+package opsync
+
+// Op codes.
+const (
+	OpGet = byte(iota + 1)
+	OpPut
+	OpDel
+)
+
+// decode names every op: clean.
+func decode(op byte) int {
+	//bolt:ops decode
+	switch op {
+	case OpGet:
+		return 1
+	case OpPut:
+		return 2
+	case OpDel:
+		return 3
+	}
+	return 0
+}
+
+// encode misses OpDel: the switch itself is flagged.
+func encode(op byte) bool {
+	//bolt:ops encode
+	switch op { // want "does not handle OpDel"
+	case OpGet, OpPut:
+		return true
+	}
+	return false
+}
+
+// unmarked switches carry no obligation.
+func classify(op byte) bool {
+	switch op {
+	case OpGet:
+		return true
+	}
+	return false
+}

@@ -1,0 +1,20 @@
+// Package opsyncrole pins opsync's role requirement: a package that
+// declares op constants but marks no encode-side switch is flagged at
+// the first constant, so deleting a marked switch (or its mark) is a
+// finding rather than a silent weakening.
+package opsyncrole
+
+// Op codes.
+const (
+	OpPing = byte('P') // want "but has no switch marked"
+	OpPong = byte('Q')
+)
+
+func decode(op byte) bool {
+	//bolt:ops decode
+	switch op {
+	case OpPing, OpPong:
+		return true
+	}
+	return false
+}

@@ -6,6 +6,8 @@ package bitpack
 // masked exchanges instead of 4096 single-bit moves. The batch
 // inference kernel uses it to turn 64 per-sample predicate bitsets
 // (sample-major) into per-predicate sample columns (predicate-major).
+//
+//bolt:hotpath
 func Transpose64(a *[64]uint64) {
 	m := uint64(0x00000000FFFFFFFF)
 	for j := 32; j != 0; j, m = j>>1, m^(m<<uint(j>>1)) {
@@ -22,6 +24,8 @@ func Transpose64(a *[64]uint64) {
 // word w at rows[i*words+w]); cols receives words*64 column words where
 // bit i of cols[p] is bit p of row i (p < words*64). Rows and cols must
 // not alias.
+//
+//bolt:hotpath
 func TransposeBlock(rows, cols []uint64, words int) {
 	if len(rows) < 64*words || len(cols) < 64*words {
 		panic("bitpack: TransposeBlock buffers too short")

@@ -103,16 +103,36 @@ func (s *Scratch) ensureBatch(bf *Forest) int {
 	return b
 }
 
+// ensureBatchVotes grows the per-block vote accumulator. Cold: runs
+// once per batch, before the //bolt:hotpath kernel loops.
+func (s *Scratch) ensureBatchVotes(n int) {
+	if len(s.batchVotes) < n {
+		s.batchVotes = make([]int64, n)
+	}
+}
+
+// Cold panic helpers for the batch kernels; see panicBufLen in
+// engine.go for why the formatting lives outside the hot functions.
+func panicBatchVotesLen(got, samples, vw int) {
+	panic(fmt.Sprintf("core: votes buffer length %d, want %d (%d samples × %d)",
+		got, samples*vw, samples, vw))
+}
+
+func panicRowFeatures(row, got, want int) {
+	panic(fmt.Sprintf("core: batch row %d has %d features, forest expects %d", row, got, want))
+}
+
 // VotesBatch runs Bolt inference for every row of X, accumulating into
 // votes — a flattened matrix of len(X) rows × VoteWidth columns, zeroed
 // first. It is bit-exact with calling Votes per row (CheckSafety and
 // FuzzVotesBatch enforce this) and allocates nothing once the scratch
 // has grown.
+//
+//bolt:hotpath
 func (bf *Forest) VotesBatch(X [][]float32, s *Scratch, votes []int64) {
 	vw := bf.VoteWidth()
 	if len(votes) != len(X)*vw {
-		panic(fmt.Sprintf("core: votes buffer length %d, want %d (%d samples × %d)",
-			len(votes), len(X)*vw, len(X), vw))
+		panicBatchVotesLen(len(votes), len(X), vw)
 	}
 	b := s.ensureBatch(bf)
 	for start := 0; start < len(X); start += b {
@@ -126,6 +146,8 @@ func (bf *Forest) VotesBatch(X [][]float32, s *Scratch, votes []int64) {
 
 // votesBlock is the per-block kernel; len(X) must be at most the block
 // size the scratch buffers were grown for.
+//
+//bolt:hotpath
 func (bf *Forest) votesBlock(X [][]float32, s *Scratch, votes []int64) {
 	n := len(X)
 	for i := range votes {
@@ -138,7 +160,7 @@ func (bf *Forest) votesBlock(X [][]float32, s *Scratch, votes []int64) {
 	// per-chunk tail mask below keeps them out of every match.
 	for i, x := range X {
 		if len(x) != bf.NumFeatures {
-			panic(fmt.Sprintf("core: batch row %d has %d features, forest expects %d", i, len(x), bf.NumFeatures))
+			panicRowFeatures(i, len(x), bf.NumFeatures)
 		}
 		bf.Codebook.EvaluateWords(x, s.rowBits[i*w:(i+1)*w])
 	}
@@ -220,18 +242,18 @@ func (bf *Forest) votesBlock(X [][]float32, s *Scratch, votes []int64) {
 
 // PredictBatchInto classifies every row of X into out (length len(X))
 // using the batch kernel. Zero allocations once the scratch has grown.
+//
+//bolt:hotpath
 func (bf *Forest) PredictBatchInto(X [][]float32, s *Scratch, out []int) {
 	if bf.Kind == tree.Regression {
 		panic("core: PredictBatchInto on a regression forest (use VotesBatch)")
 	}
 	if len(out) != len(X) {
-		panic(fmt.Sprintf("core: out buffer length %d, want %d", len(out), len(X)))
+		panicBufLen("out", len(out), len(X))
 	}
 	b := s.ensureBatch(bf)
 	vw := bf.VoteWidth()
-	if len(s.batchVotes) < b*vw {
-		s.batchVotes = make([]int64, b*vw)
-	}
+	s.ensureBatchVotes(b * vw)
 	for start := 0; start < len(X); start += b {
 		end := start + b
 		if end > len(X) {

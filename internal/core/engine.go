@@ -31,6 +31,8 @@ type Scratch struct {
 // verifies in the recombined table, it calls fn with the entry index and
 // the table's result index. Votes and SalienceInto both route through
 // it; the closure stays on the stack, so the scan allocates nothing.
+//
+//bolt:hotpath
 func (bf *Forest) forEachHit(inputWords []uint64, fn func(entry int, result uint32)) {
 	fd := bf.Flat
 	for i, n := 0, fd.Len(); i < n; i++ {
@@ -65,12 +67,14 @@ func (bf *Forest) forEachHit(inputWords []uint64, fn func(entry int, result uint
 //     recombined table, which verifies the (entryID, address) key to
 //     reject false positives (§4.3);
 //  4. a verified hit contributes its pre-summed vote vector.
+//
+//bolt:hotpath
 func (bf *Forest) Votes(x []float32, s *Scratch, votes []int64) {
 	if len(x) != bf.NumFeatures {
-		panic(fmt.Sprintf("core: input has %d features, forest expects %d", len(x), bf.NumFeatures))
+		panicFeatures(len(x), bf.NumFeatures)
 	}
 	if len(votes) != bf.VoteWidth() {
-		panic(fmt.Sprintf("core: votes buffer length %d, want %d", len(votes), bf.VoteWidth()))
+		panicBufLen("votes", len(votes), bf.VoteWidth())
 	}
 	for i := range votes {
 		votes[i] = 0
@@ -173,9 +177,11 @@ func (bf *Forest) CheckSafety(f *forest.Forest, X [][]float32) error {
 // matched dictionary entries whose common pairs or address bits test
 // it. counts must have length NumFeatures; it is zeroed first, and the
 // call allocates nothing.
+//
+//bolt:hotpath
 func (bf *Forest) SalienceInto(x []float32, s *Scratch, counts []int) {
 	if len(counts) != bf.NumFeatures {
-		panic(fmt.Sprintf("core: counts buffer length %d, want %d", len(counts), bf.NumFeatures))
+		panicBufLen("counts", len(counts), bf.NumFeatures)
 	}
 	for i := range counts {
 		counts[i] = 0
@@ -190,6 +196,18 @@ func (bf *Forest) SalienceInto(x []float32, s *Scratch, counts []int) {
 			counts[cb.Predicate(pred).Feature]++
 		}
 	})
+}
+
+// Cold panic helpers. Hoisting the fmt formatting out of the
+// //bolt:hotpath kernels keeps their bodies free of allocating
+// constructs (boltvet's hotalloc analyzer enforces this); the helpers
+// only run on contract violations, where allocation is irrelevant.
+func panicFeatures(got, want int) {
+	panic(fmt.Sprintf("core: input has %d features, forest expects %d", got, want))
+}
+
+func panicBufLen(what string, got, want int) {
+	panic(fmt.Sprintf("core: %s buffer length %d, want %d", what, got, want))
 }
 
 // Salience is the allocating convenience wrapper around SalienceInto.

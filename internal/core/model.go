@@ -31,10 +31,12 @@ const (
 // EncodeCompiled writes the compiled forest to w.
 func EncodeCompiled(w io.Writer, bf *Forest) error {
 	bw := bufio.NewWriter(w)
-	wU32 := func(v uint32) { var b [4]byte; binary.LittleEndian.PutUint32(b[:], v); bw.Write(b[:]) }
-	wU64 := func(v uint64) { var b [8]byte; binary.LittleEndian.PutUint64(b[:], v); bw.Write(b[:]) }
-	wU16 := func(v uint16) { var b [2]byte; binary.LittleEndian.PutUint16(b[:], v); bw.Write(b[:]) }
-	wU8 := func(v uint8) { bw.WriteByte(v) }
+	// bufio.Writer has a sticky error: intermediate write errors are
+	// dropped here and surface from the final Flush.
+	wU32 := func(v uint32) { var b [4]byte; binary.LittleEndian.PutUint32(b[:], v); _, _ = bw.Write(b[:]) }
+	wU64 := func(v uint64) { var b [8]byte; binary.LittleEndian.PutUint64(b[:], v); _, _ = bw.Write(b[:]) }
+	wU16 := func(v uint16) { var b [2]byte; binary.LittleEndian.PutUint16(b[:], v); _, _ = bw.Write(b[:]) }
+	wU8 := func(v uint8) { _ = bw.WriteByte(v) }
 	wBool := func(v bool) {
 		if v {
 			wU8(1)
@@ -131,7 +133,7 @@ func EncodeCompiled(w io.Writer, bf *Forest) error {
 			return err
 		}
 		wU32(uint32(len(blob)))
-		bw.Write(blob)
+		_, _ = bw.Write(blob)
 	} else {
 		wBool(false)
 	}

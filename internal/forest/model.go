@@ -49,7 +49,8 @@ func newModelWriter(w io.Writer) *modelWriter { return &modelWriter{bw: bufio.Ne
 
 func (w *modelWriter) writeBytes(b []byte) {
 	w.crc = crc32.Update(w.crc, crc32.IEEETable, b)
-	w.bw.Write(b)
+	// bufio.Writer's error is sticky; the caller's final Flush reports it.
+	_, _ = w.bw.Write(b)
 }
 
 func (w *modelWriter) writeU8(v uint8) { w.writeBytes([]byte{v}) }
@@ -73,7 +74,7 @@ func (w *modelWriter) writeU64(v uint64) {
 func (w *modelWriter) writeTrailer() {
 	var b [4]byte
 	binary.LittleEndian.PutUint32(b[:], w.crc)
-	w.bw.Write(b[:])
+	_, _ = w.bw.Write(b[:])
 }
 
 // modelReader mirrors modelWriter: every consumed byte updates the

@@ -97,12 +97,29 @@ func (c *Client) roundTrip(op byte, payload []byte) (byte, []byte, error) {
 	return readFrame(c.rw)
 }
 
+// opIdempotent is the client side of the op policy: whether a request
+// may be transparently re-sent on a fresh connection after a transport
+// failure. OpReload mutates server state and OpSalience is the
+// explanation path callers drive interactively, so both run exactly
+// one attempt; everything else is a pure read and retries freely.
+func opIdempotent(op byte) bool {
+	//bolt:ops encode
+	switch op {
+	case OpPing, OpClassify, OpValue, OpBatch, OpStats, OpHealth:
+		return true
+	case OpSalience, OpReload:
+		return false
+	}
+	return false
+}
+
 // retryRoundTrip runs roundTrip under the retry policy. After any
 // transport failure the stream may hold a half-written frame, so every
-// retry starts from a fresh connection.
+// retry starts from a fresh connection. Non-idempotent ops (see
+// opIdempotent) never retry regardless of policy.
 func (c *Client) retryRoundTrip(op byte, payload []byte) (byte, []byte, error) {
 	status, resp, err := c.roundTrip(op, payload)
-	if err == nil || c.retry.MaxRetries <= 0 {
+	if err == nil || !opIdempotent(op) || c.retry.MaxRetries <= 0 {
 		return status, resp, err
 	}
 	backoff := c.retry.Backoff
@@ -187,7 +204,7 @@ func (c *Client) PredictValue(x []float32) (value float32, serviceNs uint64, err
 
 // Salience returns the per-feature salience counts for one sample.
 func (c *Client) Salience(x []float32) ([]int, error) {
-	status, payload, err := c.roundTrip(OpSalience, encodeFloats(x))
+	status, payload, err := c.retryRoundTrip(OpSalience, encodeFloats(x))
 	if err != nil {
 		return nil, err
 	}
@@ -212,11 +229,11 @@ func (c *Client) Health() (Health, error) {
 
 // TriggerReload asks the server to rebuild its engine pool from the
 // model at path (empty = the model it was started with) and returns
-// the new model checksum. Reloads are not retried automatically: a
-// transport error leaves the outcome unknown, and the caller should
-// check Health before re-issuing.
+// the new model checksum. Reloads are never retried automatically
+// (opIdempotent): a transport error leaves the outcome unknown, and
+// the caller should check Health before re-issuing.
 func (c *Client) TriggerReload(path string) (checksum string, err error) {
-	status, payload, err := c.roundTrip(OpReload, []byte(path))
+	status, payload, err := c.retryRoundTrip(OpReload, []byte(path))
 	if err != nil {
 		return "", err
 	}

@@ -10,10 +10,10 @@ import (
 // frame it accepts must survive a write/read round trip bit-exactly.
 func FuzzReadFrame(f *testing.F) {
 	var seed bytes.Buffer
-	writeFrame(&seed, OpClassify, encodeFloats([]float32{1, 2, 3}))
+	_ = writeFrame(&seed, OpClassify, encodeFloats([]float32{1, 2, 3}))
 	f.Add(seed.Bytes())
 	var ping bytes.Buffer
-	writeFrame(&ping, OpPing, nil)
+	_ = writeFrame(&ping, OpPing, nil)
 	f.Add(ping.Bytes())
 	f.Add([]byte{})
 	f.Add([]byte{OpBatch, 0xFF, 0xFF, 0xFF, 0xFF}) // oversized length prefix

@@ -300,6 +300,7 @@ func (s *Server) handle(conn net.Conn) {
 			if !errors.Is(err, io.EOF) && !errors.Is(err, net.ErrClosed) {
 				// Protocol violation: answer once if possible, then drop.
 				s.stats.errors.Add(1)
+				//bolt:allow errwrite best-effort reply before dropping the connection
 				writeFrame(conn, StatusErr, []byte(err.Error()))
 			}
 			return
@@ -354,6 +355,7 @@ func (s *Server) dispatch(conn net.Conn, op byte, payload []byte, start time.Tim
 	// One pool snapshot per request: a concurrent reload never mixes
 	// engine generations or feature counts within a request.
 	p := s.pool.Load()
+	//bolt:ops decode
 	switch op {
 	case OpPing:
 		return s.reply(conn, op, start, StatusOK, nil)
@@ -492,7 +494,10 @@ func (s *Server) predictBatch(p *enginePool, X [][]float32) ([]int, error) {
 
 // runBatch classifies one shard on a checked-out engine, taking the
 // engine's batch kernel when it offers one and falling back to
-// row-at-a-time Predict otherwise.
+// row-at-a-time Predict otherwise. TestRunBatchZeroAlloc pins the
+// steady-state allocation count at zero.
+//
+//bolt:hotpath
 func runBatch(e Engine, X [][]float32, out []int) {
 	if bp, ok := e.(BatchPredictor); ok {
 		bp.PredictBatchInto(X, out)

@@ -1,0 +1,12 @@
+#!/usr/bin/env bash
+# Full static gate in one command, exactly as CI runs it: compile,
+# stock go vet, then the project analysis suite (boltvet) over package
+# and test sources. Run it locally before pushing.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+go build ./...
+go vet ./...
+go build -o "${TMPDIR:-/tmp}/boltvet" ./cmd/boltvet
+"${TMPDIR:-/tmp}/boltvet" ./...
+echo "vet.sh: clean"
