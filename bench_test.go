@@ -123,6 +123,43 @@ func BenchmarkBatchKernel(b *testing.B) {
 	}
 }
 
+// BenchmarkParallelBatchKernel compares the serial cache-blocked batch
+// kernel against the persistent-runtime parallel kernel across worker
+// counts. On a single-core host the workers=1 row measures pure
+// dispatch overhead; on multi-core hosts the larger counts show the
+// scaling curve (bolt-bench -exp pbatch records it as BENCH_pbatch.json).
+func BenchmarkParallelBatchKernel(b *testing.B) {
+	fx := getFixture(b, "mnist", 20, 8)
+	X := fx.test.X
+	out := make([]int, len(X))
+	perSample := func(b *testing.B) {
+		b.ReportMetric(float64(b.Elapsed().Nanoseconds())/float64(b.N*len(X)), "ns/sample")
+	}
+	serial := bolt.NewPredictor(fx.bolt)
+	b.Run("serial", func(b *testing.B) {
+		serial.PredictBatchInto(X, out) // warm: grow batch scratch
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			serial.PredictBatchInto(X, out)
+		}
+		perSample(b)
+	})
+	for _, workers := range []int{1, 2, 4} {
+		p := bolt.NewParallelPredictor(fx.bolt, workers)
+		b.Run(fmt.Sprintf("workers=%d", workers), func(b *testing.B) {
+			p.PredictBatchParallelInto(X, out) // warm: grow worker scratches
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				p.PredictBatchParallelInto(X, out)
+			}
+			perSample(b)
+		})
+		p.Close()
+	}
+}
+
 // BenchmarkFig08Layout reports Fig. 8's bytes-per-entry for the Bolt
 // and decompressed layouts (metrics, not time).
 func BenchmarkFig08Layout(b *testing.B) {

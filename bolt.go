@@ -66,6 +66,13 @@ type Stats = core.Stats
 // the dictionary and lookup table (Fig. 4 of the paper).
 type PartitionedEngine = core.PartitionedEngine
 
+// Runtime is a persistent multi-core worker pool bound to one compiled
+// forest: created once, reused across calls, zero steady-state
+// dispatch allocation. It powers the parallel batch kernel
+// (Predictor.PredictBatchParallelInto / VotesBatchParallel) and can be
+// shared by several Predictors (e.g. one per serving pool worker).
+type Runtime = core.Runtime
+
 // Train fits a random forest on d by bootstrap aggregation.
 func Train(d *Dataset, cfg ForestConfig) *Forest { return forest.Train(d, cfg) }
 
@@ -110,17 +117,43 @@ func NewPartitioned(bf *CompiledForest, dictParts, tableParts int) (*Partitioned
 	return core.NewPartitioned(bf, dictParts, tableParts)
 }
 
+// NewRuntime builds a persistent worker pool over a compiled forest.
+// workers < 1 defaults to GOMAXPROCS. The pool's goroutines are
+// released when the Runtime is garbage-collected, or eagerly via
+// Runtime.Close.
+func NewRuntime(bf *CompiledForest, workers int) *Runtime {
+	return core.NewRuntime(bf, workers)
+}
+
 // Predictor bundles a compiled forest with its reusable scratch
 // buffers. It is not safe for concurrent use; create one per goroutine
-// with NewPredictor.
+// with NewPredictor. A predictor built by NewParallelPredictor or
+// NewPredictorWithRuntime additionally carries a multi-core Runtime
+// for the parallel batch methods (the runtime itself serialises
+// concurrent dispatches, so several predictors may share one).
 type Predictor struct {
 	bf *core.Forest
 	s  *core.Scratch
+	rt *core.Runtime
 }
 
 // NewPredictor returns a single-goroutine predictor over bf.
 func NewPredictor(bf *CompiledForest) *Predictor {
 	return &Predictor{bf: bf, s: bf.NewScratch()}
+}
+
+// NewParallelPredictor returns a predictor whose batch methods can
+// fan out across a private worker pool of the given size (workers < 1
+// defaults to GOMAXPROCS).
+func NewParallelPredictor(bf *CompiledForest, workers int) *Predictor {
+	return NewPredictorWithRuntime(bf, core.NewRuntime(bf, workers))
+}
+
+// NewPredictorWithRuntime returns a predictor that dispatches its
+// parallel batch methods onto rt, which may be shared with other
+// predictors over the same compiled forest.
+func NewPredictorWithRuntime(bf *CompiledForest, rt *Runtime) *Predictor {
+	return &Predictor{bf: bf, s: bf.NewScratch(), rt: rt}
 }
 
 // Predict classifies one sample.
@@ -152,6 +185,52 @@ func (p *Predictor) PredictBatchInto(X [][]float32, out []int) {
 // is 1.
 func (p *Predictor) VotesBatch(X [][]float32, votes []int64) {
 	p.bf.VotesBatch(X, p.s, votes)
+}
+
+// PredictBatchParallelInto classifies every row of X into out (length
+// len(X)) with the parallel batch kernel: the 64-sample column chunks
+// of the batch are sharded across the predictor's runtime workers,
+// each running the cache-blocked kernel on its own pinned scratch.
+// Bit-exact with PredictBatchInto and allocation-free in steady state.
+// Without a runtime (NewPredictor), or when the batch is too small to
+// shard, it falls back to the serial kernel.
+func (p *Predictor) PredictBatchParallelInto(X [][]float32, out []int) {
+	if p.rt == nil {
+		p.bf.PredictBatchInto(X, p.s, out)
+		return
+	}
+	p.bf.PredictBatchParallelInto(X, p.rt, out)
+}
+
+// VotesBatchParallel is VotesBatch on the parallel batch kernel; see
+// PredictBatchParallelInto for the dispatch and fallback rules.
+func (p *Predictor) VotesBatchParallel(X [][]float32, votes []int64) {
+	if p.rt == nil {
+		p.bf.VotesBatch(X, p.s, votes)
+		return
+	}
+	p.bf.VotesBatchParallel(X, p.rt, votes)
+}
+
+// ParallelWorkers returns the size of the predictor's worker pool, or
+// 0 for a serial-only predictor.
+func (p *Predictor) ParallelWorkers() int {
+	if p.rt == nil {
+		return 0
+	}
+	return p.rt.Workers()
+}
+
+// Runtime returns the predictor's worker pool (nil for serial-only
+// predictors), e.g. to share it with further predictors.
+func (p *Predictor) Runtime() *Runtime { return p.rt }
+
+// Close releases the predictor's runtime workers, if any. The
+// predictor remains usable; batch calls degrade to the serial kernel.
+func (p *Predictor) Close() {
+	if p.rt != nil {
+		p.rt.Close()
+	}
 }
 
 // SalienceInto computes per-feature salience counts for x into counts

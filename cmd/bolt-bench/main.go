@@ -55,6 +55,9 @@ func run(args []string) error {
 		Rounds:       *rounds,
 	}
 	if *jsonL != "" {
+		if *exp == "pbatch" {
+			return writePBatchJSON(cfg, *jsonL)
+		}
 		return writeBatchJSON(cfg, *jsonL)
 	}
 	if *exp == "all" {
@@ -73,13 +76,30 @@ func writeBatchJSON(cfg bench.Config, label string) error {
 	if err := bench.RenderBatchReport(rep, os.Stdout); err != nil {
 		return err
 	}
+	return writeJSONArtifact(label, func(f *os.File) error { return rep.WriteJSON(f, label) })
+}
+
+// writePBatchJSON is writeBatchJSON for the parallel-batch scaling
+// experiment (-exp pbatch -json pbatch → BENCH_pbatch.json).
+func writePBatchJSON(cfg bench.Config, label string) error {
+	rep, err := bench.PBatchReportRun(cfg)
+	if err != nil {
+		return err
+	}
+	if err := bench.RenderPBatchReport(rep, os.Stdout); err != nil {
+		return err
+	}
+	return writeJSONArtifact(label, func(f *os.File) error { return rep.WriteJSON(f, label) })
+}
+
+func writeJSONArtifact(label string, write func(*os.File) error) error {
 	path := fmt.Sprintf("BENCH_%s.json", label)
 	f, err := os.Create(path)
 	if err != nil {
 		return err
 	}
 	defer f.Close()
-	if err := rep.WriteJSON(f, label); err != nil {
+	if err := write(f); err != nil {
 		return err
 	}
 	fmt.Printf("wrote %s\n", path)

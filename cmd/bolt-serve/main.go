@@ -50,6 +50,7 @@ func run(args []string) error {
 		dsName    = fs.String("dataset", "mnist", "dataset generating tuning probes (with -tune)")
 		seed      = fs.Uint64("seed", 2022, "random seed")
 		workers   = fs.Int("workers", 0, "engine-pool size; concurrent requests run on separate engines (0 = GOMAXPROCS)")
+		kWorkers  = fs.Int("kernel-workers", 0, "parallel batch-kernel worker count shared by the engine pool (0 = GOMAXPROCS)")
 		drain     = fs.Duration("drain", 10*time.Second, "graceful-shutdown deadline for in-flight requests")
 	)
 	if err := fs.Parse(args); err != nil {
@@ -138,23 +139,23 @@ func run(args []string) error {
 		if err != nil {
 			return nil, 0, "", err
 		}
-		return bolt.ForestEngineFactory(nbf), nbf.NumFeatures, nsum, nil
+		return bolt.ParallelForestEngineFactory(nbf, *kWorkers), nbf.NumFeatures, nsum, nil
 	}
-	return serveForest(bf, sum, reloader, *socket, *workers, *drain)
+	return serveForest(bf, sum, reloader, *socket, *workers, *kWorkers, *drain)
 }
 
 // serveForest runs the service until interrupted. One signal handler
 // covers the whole lifecycle: SIGHUP hot-reloads the model, while
 // SIGINT/SIGTERM drain in-flight requests within the deadline and
 // always print the request counters accumulated over the run.
-func serveForest(bf *bolt.CompiledForest, sum string, reloader bolt.ReloadFunc, socket string, workers int, drain time.Duration) error {
+func serveForest(bf *bolt.CompiledForest, sum string, reloader bolt.ReloadFunc, socket string, workers, kernelWorkers int, drain time.Duration) error {
 	// Remove a stale socket from a previous run. A removal that fails
 	// for any reason other than the socket not existing would otherwise
 	// resurface as a confusing bind error below.
 	if err := os.Remove(socket); err != nil && !errors.Is(err, fs.ErrNotExist) {
 		return fmt.Errorf("removing stale socket %s: %w", socket, err)
 	}
-	srv, err := bolt.ServeForest(socket, bf, workers)
+	srv, err := bolt.ServePool(socket, bolt.ParallelForestEngineFactory(bf, kernelWorkers), bf.NumFeatures, workers)
 	if err != nil {
 		return err
 	}

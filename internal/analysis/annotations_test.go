@@ -19,6 +19,7 @@ func TestHotPathAnnotations(t *testing.T) {
 	}{
 		{"../core/engine.go", []string{"forEachHit", "Votes", "SalienceInto"}},
 		{"../core/batch.go", []string{"VotesBatch", "votesBlock", "PredictBatchInto"}},
+		{"../core/runtime.go", []string{"runVotesShard", "runPredictShard", "runPartitionShard"}},
 		{"../bitpack/transpose.go", []string{"Transpose64", "TransposeBlock"}},
 		{"../serve/server.go", []string{"runBatch"}},
 	}

@@ -29,11 +29,12 @@ type BatchRecord struct {
 // BatchReport is the machine-readable artifact bolt-bench -json emits
 // (BENCH_<label>.json); EXPERIMENTS.md documents the schema.
 type BatchReport struct {
-	Label   string        `json:"label"`
-	GOOS    string        `json:"goos"`
-	GOARCH  string        `json:"goarch"`
-	NumCPU  int           `json:"num_cpu"`
-	Records []BatchRecord `json:"records"`
+	Label      string        `json:"label"`
+	GOOS       string        `json:"goos"`
+	GOARCH     string        `json:"goarch"`
+	NumCPU     int           `json:"num_cpu"`
+	GOMAXPROCS int           `json:"gomaxprocs"`
+	Records    []BatchRecord `json:"records"`
 }
 
 // batchShapes are the Fig. 8 synthetic workload shapes measured by the
@@ -60,9 +61,10 @@ func BatchKernelReport(cfg Config) (*BatchReport, error) {
 		shapes = shapes[:2]
 	}
 	rep := &BatchReport{
-		GOOS:   runtime.GOOS,
-		GOARCH: runtime.GOARCH,
-		NumCPU: runtime.NumCPU(),
+		GOOS:       runtime.GOOS,
+		GOARCH:     runtime.GOARCH,
+		NumCPU:     runtime.NumCPU(),
+		GOMAXPROCS: runtime.GOMAXPROCS(0),
 	}
 	for _, sh := range shapes {
 		var w Workload

@@ -601,6 +601,7 @@ var Experiments = []struct {
 	{"ablate", "design-choice ablations (extra, not a paper figure)", Ablations},
 	{"skew", "FP calibration-mismatch study, §2.1 (extra)", Skew},
 	{"batch", "cache-blocked batch kernel vs row-at-a-time (extra)", FigBatch},
+	{"pbatch", "parallel batch kernel scaling on the persistent runtime (extra)", FigPBatch},
 }
 
 // Run executes one experiment by ID and renders it to w.

@@ -1,0 +1,160 @@
+package bench
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"runtime"
+
+	"bolt/internal/core"
+)
+
+// PBatchRecord is one (workload, forest shape, worker count)
+// measurement of the parallel batch kernel against the serial
+// cache-blocked kernel. Speedup is serial/parallel; workers=1 measures
+// pure runtime dispatch overhead (the acceptance criterion: within 10%
+// of serial on the recorded host), larger counts record the scaling
+// curve, meaningful only up to the host's core count.
+type PBatchRecord struct {
+	Workload            string  `json:"workload"`
+	Trees               int     `json:"trees"`
+	Height              int     `json:"height"`
+	Threshold           int     `json:"threshold"`
+	Samples             int     `json:"samples"`
+	Block               int     `json:"block"`
+	DictEntries         int     `json:"dict_entries"`
+	TableSlots          int     `json:"table_slots"`
+	Workers             int     `json:"workers"`
+	SerialNsPerSample   float64 `json:"serial_ns_per_sample"`
+	ParallelNsPerSample float64 `json:"parallel_ns_per_sample"`
+	Speedup             float64 `json:"speedup"`
+}
+
+// PBatchReport is the machine-readable artifact of the parallel-batch
+// scaling experiment (bolt-bench -exp pbatch -json pbatch →
+// BENCH_pbatch.json); EXPERIMENTS.md documents the schema. GOMAXPROCS
+// is recorded alongside NumCPU because it, not the physical core
+// count, bounds how many runtime workers can actually run.
+type PBatchReport struct {
+	Label      string         `json:"label"`
+	GOOS       string         `json:"goos"`
+	GOARCH     string         `json:"goarch"`
+	NumCPU     int            `json:"num_cpu"`
+	GOMAXPROCS int            `json:"gomaxprocs"`
+	Records    []PBatchRecord `json:"records"`
+}
+
+// pbatchShapes are the forest shapes of the scaling experiment: the
+// long-dictionary regimes where a batch is worth fanning out.
+var pbatchShapes = []struct {
+	workload string
+	trees    int
+	height   int
+}{
+	{"mnist", 20, 8},
+	{"mnist", 30, 10},
+	{"lstw", 10, 8},
+}
+
+// pbatchWorkerCounts is the scaling curve's x-axis.
+var pbatchWorkerCounts = []int{1, 2, 4, 8}
+
+// PBatchReportRun measures the parallel batch kernel across shapes and
+// worker counts and returns the report.
+func PBatchReportRun(cfg Config) (*PBatchReport, error) {
+	cfg = cfg.normalized()
+	shapes := pbatchShapes
+	if cfg.Quick {
+		shapes = shapes[:1]
+	}
+	rep := &PBatchReport{
+		GOOS:       runtime.GOOS,
+		GOARCH:     runtime.GOARCH,
+		NumCPU:     runtime.NumCPU(),
+		GOMAXPROCS: runtime.GOMAXPROCS(0),
+	}
+	for _, sh := range shapes {
+		var w Workload
+		switch sh.workload {
+		case "mnist":
+			w = MNISTWorkload(cfg)
+		case "lstw":
+			w = LSTWWorkload(cfg)
+		case "yelp":
+			w = YelpWorkload(cfg)
+		default:
+			return nil, fmt.Errorf("bench: unknown pbatch workload %q", sh.workload)
+		}
+		f := TrainForest(w, sh.trees, sh.height, cfg.Seed^uint64(sh.trees*1000+sh.height))
+		bf, th, err := CompileAuto(f, cfg, w.Test.X)
+		if err != nil {
+			return nil, err
+		}
+		X := w.Test.X
+		s := bf.NewScratch()
+		out := make([]int, len(X))
+		serial := timeBatch(func() { bf.PredictBatchInto(X, s, out) }, len(X), cfg.Rounds)
+		stats := bf.Stats()
+		for _, workers := range pbatchWorkerCounts {
+			rt := core.NewRuntime(bf, workers)
+			parallel := timeBatch(func() { bf.PredictBatchParallelInto(X, rt, out) }, len(X), cfg.Rounds)
+			rt.Close()
+			rep.Records = append(rep.Records, PBatchRecord{
+				Workload:            w.Name,
+				Trees:               sh.trees,
+				Height:              sh.height,
+				Threshold:           th,
+				Samples:             len(X),
+				Block:               bf.DefaultBatchBlock(),
+				DictEntries:         stats.DictEntries,
+				TableSlots:          stats.TableSlots,
+				Workers:             workers,
+				SerialNsPerSample:   serial,
+				ParallelNsPerSample: parallel,
+				Speedup:             serial / parallel,
+			})
+		}
+	}
+	return rep, nil
+}
+
+// WriteJSON renders the report with the given label.
+func (r *PBatchReport) WriteJSON(w io.Writer, label string) error {
+	r.Label = label
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(r)
+}
+
+// FigPBatch renders the parallel-batch scaling experiment as a text
+// table (extra experiment, not a paper figure: the persistent runtime
+// is this repo's real multi-core counterpart of Fig. 13A's model).
+func FigPBatch(cfg Config) (*Table, error) {
+	rep, err := PBatchReportRun(cfg)
+	if err != nil {
+		return nil, err
+	}
+	return pbatchTable(rep), nil
+}
+
+// RenderPBatchReport renders an already-measured report as the same
+// table FigPBatch produces.
+func RenderPBatchReport(rep *PBatchReport, w io.Writer) error {
+	return pbatchTable(rep).Render(w)
+}
+
+func pbatchTable(rep *PBatchReport) *Table {
+	t := &Table{
+		Title:   "PBatch: parallel batch kernel scaling vs serial, ns/sample",
+		Columns: []string{"workload", "trees", "height", "dict-entries", "workers", "serial ns", "parallel ns", "speedup"},
+	}
+	for _, r := range rep.Records {
+		t.AddRow(r.Workload, fmt.Sprintf("%d", r.Trees), fmt.Sprintf("%d", r.Height),
+			fmt.Sprintf("%d", r.DictEntries), fmt.Sprintf("%d", r.Workers),
+			r.SerialNsPerSample, r.ParallelNsPerSample, r.Speedup)
+	}
+	t.Note("host: %d CPU(s), GOMAXPROCS %d; 64-sample column chunks sharded across persistent "+
+		"runtime workers; speedup beyond GOMAXPROCS is not expected (workers time-slice)",
+		rep.NumCPU, rep.GOMAXPROCS)
+	return t
+}

@@ -129,8 +129,9 @@ func (bf *Forest) PredictBatch(X [][]float32) []int {
 // given inputs: Bolt's accumulated votes must equal the original
 // forest's for every sample — per-class weighted votes for
 // classification, the integer value contribution for regression — and
-// the batch kernel must be bit-exact with the per-sample path. It
-// returns the first divergence found.
+// the batch kernel (serial and parallel, across worker counts 1..8)
+// must be bit-exact with the per-sample path. It returns the first
+// divergence found.
 func (bf *Forest) CheckSafety(f *forest.Forest, X [][]float32) error {
 	s := bf.NewScratch()
 	vw := bf.VoteWidth()
@@ -149,7 +150,7 @@ func (bf *Forest) CheckSafety(f *forest.Forest, X [][]float32) error {
 					i, batch[i], boltVotes[0])
 			}
 		}
-		return nil
+		return bf.checkParallelBatch(X, batch)
 	}
 	boltVotes := make([]int64, bf.NumClasses)
 	refVotes := make([]int64, bf.NumClasses)
@@ -164,6 +165,29 @@ func (bf *Forest) CheckSafety(f *forest.Forest, X [][]float32) error {
 			if batch[i*vw+c] != boltVotes[c] {
 				return fmt.Errorf("core: batch kernel diverges on sample %d class %d: batch=%d row=%d",
 					i, c, batch[i*vw+c], boltVotes[c])
+			}
+		}
+	}
+	return bf.checkParallelBatch(X, batch)
+}
+
+// checkParallelBatch compares the parallel batch kernel against the
+// serial batch votes for every worker count 1..8. batch has already
+// been verified bit-exact with the row path by CheckSafety, so a clean
+// pass here proves the parallel kernel against both references.
+func (bf *Forest) checkParallelBatch(X [][]float32, batch []int64) error {
+	vw := bf.VoteWidth()
+	par := make([]int64, len(X)*vw)
+	for workers := 1; workers <= 8; workers++ {
+		rt := NewRuntime(bf, workers)
+		bf.VotesBatchParallel(X, rt, par)
+		rt.Close()
+		for i := 0; i < len(X); i++ {
+			for c := 0; c < vw; c++ {
+				if par[i*vw+c] != batch[i*vw+c] {
+					return fmt.Errorf("core: parallel batch kernel (workers=%d) diverges on sample %d class %d: parallel=%d serial=%d",
+						workers, i, c, par[i*vw+c], batch[i*vw+c])
+				}
 			}
 		}
 	}

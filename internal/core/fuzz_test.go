@@ -80,3 +80,53 @@ func FuzzVotesBatch(f *testing.F) {
 		}
 	})
 }
+
+// FuzzVotesBatchParallel extends the differential discipline to the
+// persistent runtime: for random forest shapes, batch geometries and
+// every worker count 1..8, the parallel batch kernel must be bit-exact
+// against both the serial batch kernel and the per-sample row path.
+func FuzzVotesBatchParallel(f *testing.F) {
+	f.Add(uint64(1), uint8(4), uint8(6), uint8(3), uint16(70), uint8(2))
+	f.Add(uint64(2), uint8(1), uint8(2), uint8(1), uint16(1), uint8(8))
+	f.Add(uint64(3), uint8(16), uint8(12), uint8(5), uint16(129), uint8(3))
+	f.Add(uint64(4), uint8(8), uint8(3), uint8(2), uint16(64), uint8(5))
+
+	f.Fuzz(func(t *testing.T, seed uint64, thresholdRaw, treesRaw, depthRaw uint8, nRaw uint16, workersRaw uint8) {
+		trees := int(treesRaw%12) + 2
+		depth := int(depthRaw%5) + 1
+		fr, d := trainForest(t, seed, trees, depth)
+		opts := Options{ClusterThreshold: int(thresholdRaw%16) + 1, Seed: seed}
+		if thresholdRaw%3 == 0 {
+			opts.BloomBitsPerKey = -1
+		}
+		bf, err := Compile(fr, opts)
+		if err != nil {
+			t.Fatalf("compile failed: %v", err)
+		}
+		n := int(nRaw % 300)
+		workers := int(workersRaw%8) + 1
+		X := randomInputs(n, d.NumFeatures, seed^0xfeed)
+		s := bf.NewScratch()
+		vw := bf.VoteWidth()
+		batch := make([]int64, n*vw)
+		bf.VotesBatch(X, s, batch)
+		rt := NewRuntime(bf, workers)
+		defer rt.Close()
+		par := make([]int64, n*vw)
+		bf.VotesBatchParallel(X, rt, par)
+		row := make([]int64, vw)
+		for i, x := range X {
+			bf.Votes(x, s, row)
+			for c := range row {
+				if par[i*vw+c] != batch[i*vw+c] {
+					t.Fatalf("seed=%d n=%d workers=%d sample %d class %d: parallel=%d batch=%d",
+						seed, n, workers, i, c, par[i*vw+c], batch[i*vw+c])
+				}
+				if par[i*vw+c] != row[c] {
+					t.Fatalf("seed=%d n=%d workers=%d sample %d class %d: parallel=%d row=%d",
+						seed, n, workers, i, c, par[i*vw+c], row[c])
+				}
+			}
+		}
+	})
+}

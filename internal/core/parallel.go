@@ -2,9 +2,9 @@ package core
 
 import (
 	"fmt"
+	"runtime"
 	"sync"
 
-	"bolt/internal/bitpack"
 	"bolt/internal/forest"
 	"bolt/internal/tree"
 )
@@ -22,13 +22,26 @@ import (
 // may straddle partition boundaries, so ownership follows the primary
 // slot, preserving "exactly one core performs each lookup" without
 // losing the bounded two-probe lookup.
+//
+// The engine dispatches its workers onto a persistent Runtime (one
+// goroutine per worker, created once and reused for every sample)
+// instead of spawning goroutines per call: the per-worker vote
+// accumulators live on the runtime workers, so a steady-state Votes
+// call allocates nothing (TestPartitionedVotesZeroAlloc). Calls are
+// serialised by the runtime's dispatch lock; concurrent callers queue.
 type PartitionedEngine struct {
-	bf          *Forest
-	dictParts   int
-	tableParts  int
-	dictBounds  []int // dictBounds[i] .. dictBounds[i+1] is partition i
-	workers     []partWorker
-	scratchPool sync.Pool
+	bf         *Forest
+	dictParts  int
+	tableParts int
+	dictBounds []int // dictBounds[i] .. dictBounds[i+1] is partition i
+	workers    []partWorker
+	rt         *Runtime
+	s          *Scratch // input-encoding scratch, guarded by rt's dispatch lock
+
+	// predictMu guards predictVotes, the reusable buffer Predict and
+	// PredictValue aggregate into (Votes has its own serialisation).
+	predictMu    sync.Mutex
+	predictVotes []int64
 }
 
 type partWorker struct {
@@ -38,7 +51,9 @@ type partWorker struct {
 
 // NewPartitioned builds an engine with the given dictionary and table
 // partition counts; the worker count ("cores", per §5: "the final
-// number of cores must be t × d") is their product.
+// number of cores must be t × d") is their product. The engine's
+// runtime workers are released by a finalizer when the engine is
+// dropped, or eagerly via Close.
 func NewPartitioned(bf *Forest, dictParts, tableParts int) (*PartitionedEngine, error) {
 	if dictParts < 1 || tableParts < 1 {
 		return nil, fmt.Errorf("core: partition counts must be >= 1 (got d=%d t=%d)", dictParts, tableParts)
@@ -50,9 +65,11 @@ func NewPartitioned(bf *Forest, dictParts, tableParts int) (*PartitionedEngine, 
 		}
 	}
 	pe := &PartitionedEngine{
-		bf:         bf,
-		dictParts:  dictParts,
-		tableParts: tableParts,
+		bf:           bf,
+		dictParts:    dictParts,
+		tableParts:   tableParts,
+		s:            bf.NewScratch(),
+		predictVotes: make([]int64, bf.VoteWidth()),
 	}
 	n := len(bf.Dict.Entries)
 	pe.dictBounds = make([]int, dictParts+1)
@@ -68,12 +85,21 @@ func NewPartitioned(bf *Forest, dictParts, tableParts int) (*PartitionedEngine, 
 			})
 		}
 	}
-	pe.scratchPool.New = func() any { return bf.NewScratch() }
+	pe.rt = NewRuntime(bf, len(pe.workers))
+	st := pe.rt.runtimeState
+	st.pe = pe
+	for i, w := range st.workers {
+		w.part = pe.workers[i]
+	}
 	return pe, nil
 }
 
 // Cores returns the number of workers (d × t).
 func (pe *PartitionedEngine) Cores() int { return len(pe.workers) }
+
+// Close releases the engine's runtime workers; further calls fall back
+// to a serial in-place scan of every partition.
+func (pe *PartitionedEngine) Close() { pe.rt.Close() }
 
 // tableOwner maps a key to its owning table partition via its primary
 // slot index.
@@ -84,69 +110,40 @@ func (pe *PartitionedEngine) tableOwner(key uint64) int {
 
 // Votes runs one sample across all workers and aggregates their votes.
 // The predicate bitset is computed once and shared read-only, mirroring
-// the paper's single input encoding distributed to cores.
+// the paper's single input encoding distributed to cores. Steady-state
+// calls allocate nothing: the scratch, the workers and their
+// accumulators are created once with the engine.
 func (pe *PartitionedEngine) Votes(x []float32, votes []int64) {
 	if len(votes) != pe.bf.VoteWidth() {
-		panic(fmt.Sprintf("core: votes buffer length %d, want %d", len(votes), pe.bf.VoteWidth()))
+		panicBufLen("votes", len(votes), pe.bf.VoteWidth())
 	}
-	s := pe.scratchPool.Get().(*Scratch)
-	defer pe.scratchPool.Put(s)
-	pe.bf.Codebook.Evaluate(x, s.bits)
-
-	var wg sync.WaitGroup
-	partial := make([][]int64, len(pe.workers))
-	for w := range pe.workers {
-		wg.Add(1)
-		go func(w int) {
-			defer wg.Done()
-			partial[w] = pe.runWorker(&pe.workers[w], s.bits)
-		}(w)
+	st := pe.rt.runtimeState
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	pe.bf.Codebook.Evaluate(x, pe.s.bits)
+	st.bits = pe.s.bits.Words()
+	if st.closed {
+		// Runtime released: run every partition's scan on the calling
+		// goroutine. Same code path as the workers, same accumulators,
+		// same merge — just sequential.
+		for _, w := range st.workers {
+			w.runPartitionShard(st)
+		}
+		st.mergePartitionVotes(votes)
+	} else {
+		st.partitionVotes(votes)
 	}
-	wg.Wait()
-	for i := range votes {
-		votes[i] = 0
-	}
-	for _, p := range partial {
-		for c, v := range p {
-			votes[c] += v
-		}
-	}
-}
-
-// runWorker scans the worker's dictionary slice, performing only the
-// lookups its table partition owns.
-func (pe *PartitionedEngine) runWorker(w *partWorker, bits *bitpack.Bitset) []int64 {
-	bf := pe.bf
-	votes := make([]int64, bf.VoteWidth())
-	words := bits.Words()
-	for i := w.dictLo; i < w.dictHi; i++ {
-		e := &bf.Dict.Entries[i]
-		if !bitpack.MatchesMasked(words, e.CommonMask, e.CommonVals) {
-			continue
-		}
-		addr := bf.Dict.Address(e, bits)
-		key := Key(e.ID, addr)
-		if pe.tableOwner(key) != w.tablePart {
-			continue // another core owns this lookup (§4.5)
-		}
-		if bf.Filter != nil && !bf.Filter.Contains(key) {
-			continue
-		}
-		if ri, ok := bf.Table.Lookup(e.ID, addr); ok {
-			for c, v := range bf.Table.Votes(ri) {
-				votes[c] += v
-			}
-		}
-	}
-	return votes
+	st.bits = nil
+	runtime.KeepAlive(pe.rt)
 }
 
 // Predict returns the weighted-majority class for x (classification
 // engines).
 func (pe *PartitionedEngine) Predict(x []float32) int {
-	votes := make([]int64, pe.bf.VoteWidth())
-	pe.Votes(x, votes)
-	return forest.Argmax(votes)
+	pe.predictMu.Lock()
+	defer pe.predictMu.Unlock()
+	pe.Votes(x, pe.predictVotes)
+	return forest.Argmax(pe.predictVotes)
 }
 
 // PredictValue returns the regression output for x (regression
@@ -156,11 +153,12 @@ func (pe *PartitionedEngine) PredictValue(x []float32) float32 {
 	if bf.Kind != tree.Regression {
 		panic("core: PredictValue on a classification engine")
 	}
-	votes := make([]int64, 1)
-	pe.Votes(x, votes)
+	pe.predictMu.Lock()
+	defer pe.predictMu.Unlock()
+	pe.Votes(x, pe.predictVotes)
 	denom := bf.TotalWeight
 	if bf.Additive {
 		denom = forest.WeightOne
 	}
-	return float32(float64(bf.Bias+votes[0]) / float64(denom))
+	return float32(float64(bf.Bias+pe.predictVotes[0]) / float64(denom))
 }

@@ -1,0 +1,355 @@
+package core
+
+import (
+	"sync"
+	"testing"
+
+	"bolt/internal/dataset"
+	"bolt/internal/forest"
+	"bolt/internal/tree"
+)
+
+// TestVotesBatchParallelMatchesSerial pins the tentpole invariant: the
+// parallel batch kernel is bit-exact with the serial batch kernel for
+// every worker count and for batch geometries around the 64-sample
+// chunk boundaries the sharder aligns to.
+func TestVotesBatchParallelMatchesSerial(t *testing.T) {
+	f, d := trainForest(t, 171, 10, 4)
+	bf, err := Compile(f, Options{ClusterThreshold: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	vw := bf.VoteWidth()
+	s := bf.NewScratch()
+	for _, n := range []int{0, 1, 63, 64, 65, 128, 200, 513} {
+		X := randomInputs(n, d.NumFeatures, uint64(172+n))
+		want := make([]int64, n*vw)
+		bf.VotesBatch(X, s, want)
+		for workers := 1; workers <= 8; workers++ {
+			rt := NewRuntime(bf, workers)
+			got := make([]int64, n*vw)
+			bf.VotesBatchParallel(X, rt, got)
+			rt.Close()
+			for i := range want {
+				if got[i] != want[i] {
+					t.Fatalf("n=%d workers=%d: votes[%d]=%d, serial %d",
+						n, workers, i, got[i], want[i])
+				}
+			}
+		}
+	}
+}
+
+func TestPredictBatchParallelMatchesSerial(t *testing.T) {
+	f, d := trainForest(t, 173, 10, 4)
+	bf, err := Compile(f, Options{ClusterThreshold: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := bf.NewScratch()
+	for _, n := range []int{1, 64, 65, 300} {
+		X := randomInputs(n, d.NumFeatures, uint64(174+n))
+		want := make([]int, n)
+		bf.PredictBatchInto(X, s, want)
+		for workers := 1; workers <= 8; workers++ {
+			rt := NewRuntime(bf, workers)
+			got := make([]int, n)
+			bf.PredictBatchParallelInto(X, rt, got)
+			rt.Close()
+			for i := range want {
+				if got[i] != want[i] {
+					t.Fatalf("n=%d workers=%d sample %d: label %d, serial %d",
+						n, workers, i, got[i], want[i])
+				}
+			}
+		}
+	}
+}
+
+// TestVotesBatchParallelRegression covers the vote-width-1 regression
+// shape on the parallel path (PredictBatchParallelInto rejects it, but
+// VotesBatchParallel must carry the value votes exactly).
+func TestVotesBatchParallelRegression(t *testing.T) {
+	d := dataset.SyntheticFriedman(300, 0.5, 175)
+	rf := forest.TrainRegressionForest(d, forest.Config{
+		NumTrees: 8, Tree: tree.Config{MaxDepth: 4}, Seed: 176,
+	})
+	bf, err := Compile(rf, Options{ClusterThreshold: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	X := d.X[:200]
+	s := bf.NewScratch()
+	want := make([]int64, len(X))
+	bf.VotesBatch(X, s, want)
+	rt := NewRuntime(bf, 4)
+	defer rt.Close()
+	got := make([]int64, len(X))
+	bf.VotesBatchParallel(X, rt, got)
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("sample %d: parallel value votes %d, serial %d", i, got[i], want[i])
+		}
+	}
+}
+
+// Zero-allocation gates for the persistent runtime: after the first
+// (warming) call has grown the worker scratches and accumulators,
+// dispatching a parallel batch must allocate nothing — the whole point
+// of keeping the pool alive between calls.
+func TestVotesBatchParallelZeroAlloc(t *testing.T) {
+	f, d := trainForest(t, 177, 10, 4)
+	bf, err := Compile(f, Options{ClusterThreshold: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rt := NewRuntime(bf, 4)
+	defer rt.Close()
+	X := randomInputs(256, d.NumFeatures, 178)
+	votes := make([]int64, len(X)*bf.VoteWidth())
+	bf.VotesBatchParallel(X, rt, votes) // warm: grow worker scratches
+	allocs := testing.AllocsPerRun(50, func() {
+		bf.VotesBatchParallel(X, rt, votes)
+	})
+	if allocs != 0 {
+		t.Errorf("VotesBatchParallel allocates %.1f objects per call, want 0", allocs)
+	}
+}
+
+func TestPredictBatchParallelZeroAlloc(t *testing.T) {
+	f, d := trainForest(t, 179, 10, 4)
+	bf, err := Compile(f, Options{ClusterThreshold: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rt := NewRuntime(bf, 4)
+	defer rt.Close()
+	X := randomInputs(256, d.NumFeatures, 180)
+	out := make([]int, len(X))
+	bf.PredictBatchParallelInto(X, rt, out) // warm: grow worker scratches
+	allocs := testing.AllocsPerRun(50, func() {
+		bf.PredictBatchParallelInto(X, rt, out)
+	})
+	if allocs != 0 {
+		t.Errorf("PredictBatchParallelInto allocates %.1f objects per call, want 0", allocs)
+	}
+}
+
+// TestPartitionedVotesZeroAlloc gates the reworked single-sample
+// engine: per-call goroutine spawning and result channels are gone, so
+// a steady-state Votes call on the persistent runtime allocates
+// nothing.
+func TestPartitionedVotesZeroAlloc(t *testing.T) {
+	f, d := trainForest(t, 181, 10, 4)
+	bf, err := Compile(f, Options{ClusterThreshold: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	pe, err := NewPartitioned(bf, 2, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer pe.Close()
+	votes := make([]int64, bf.VoteWidth())
+	x := d.X[0]
+	pe.Votes(x, votes) // warm
+	allocs := testing.AllocsPerRun(100, func() {
+		pe.Votes(x, votes)
+	})
+	if allocs != 0 {
+		t.Errorf("PartitionedEngine.Votes allocates %.1f objects per call, want 0", allocs)
+	}
+	allocs = testing.AllocsPerRun(100, func() {
+		pe.Predict(x)
+	})
+	if allocs != 0 {
+		t.Errorf("PartitionedEngine.Predict allocates %.1f objects per call, want 0", allocs)
+	}
+}
+
+// TestRuntimeClosedFallsBack: a closed runtime degrades every path to
+// the serial kernels with identical results — batch calls, and a
+// partitioned engine whose pool has been released.
+func TestRuntimeClosedFallsBack(t *testing.T) {
+	f, d := trainForest(t, 182, 8, 4)
+	bf, err := Compile(f, Options{ClusterThreshold: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	X := randomInputs(200, d.NumFeatures, 183)
+	s := bf.NewScratch()
+	vw := bf.VoteWidth()
+	want := make([]int64, len(X)*vw)
+	bf.VotesBatch(X, s, want)
+
+	rt := NewRuntime(bf, 4)
+	rt.Close()
+	rt.Close() // idempotent
+	got := make([]int64, len(X)*vw)
+	bf.VotesBatchParallel(X, rt, got)
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("closed runtime: votes[%d]=%d, serial %d", i, got[i], want[i])
+		}
+	}
+
+	pe, err := NewPartitioned(bf, 2, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pe.Close()
+	serial := make([]int64, vw)
+	parallel := make([]int64, vw)
+	for _, x := range d.X[:40] {
+		bf.Votes(x, s, serial)
+		pe.Votes(x, parallel)
+		for c := range serial {
+			if serial[c] != parallel[c] {
+				t.Fatalf("closed partitioned engine diverges (class %d: %d vs %d)",
+					c, serial[c], parallel[c])
+			}
+		}
+	}
+}
+
+// TestRuntimeForestMismatchPanics: dispatching a forest onto a runtime
+// built for a different forest must panic, not silently mix scratch
+// geometries.
+func TestRuntimeForestMismatchPanics(t *testing.T) {
+	f1, d := trainForest(t, 184, 6, 3)
+	f2, _ := trainForest(t, 185, 6, 3)
+	bf1, err := Compile(f1, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	bf2, err := Compile(f2, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rt := NewRuntime(bf1, 2)
+	defer rt.Close()
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic on mismatched forest")
+		}
+	}()
+	X := randomInputs(4, d.NumFeatures, 186)
+	bf2.VotesBatchParallel(X, rt, make([]int64, len(X)*bf2.VoteWidth()))
+}
+
+// TestPredictBatchParallelRejectsRegression mirrors the serial
+// kernel's contract.
+func TestPredictBatchParallelRejectsRegression(t *testing.T) {
+	d := dataset.SyntheticFriedman(100, 0.5, 187)
+	rf := forest.TrainRegressionForest(d, forest.Config{
+		NumTrees: 4, Tree: tree.Config{MaxDepth: 3}, Seed: 188,
+	})
+	bf, err := Compile(rf, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rt := NewRuntime(bf, 2)
+	defer rt.Close()
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic on regression forest")
+		}
+	}()
+	bf.PredictBatchParallelInto(d.X[:4], rt, make([]int, 4))
+}
+
+// TestRuntimeWorkerPanicPropagates: a contract violation inside a
+// worker shard must re-panic on the dispatching goroutine (keeping the
+// serving layer's panic isolation), and the runtime must stay usable
+// afterwards.
+func TestRuntimeWorkerPanicPropagates(t *testing.T) {
+	f, d := trainForest(t, 189, 8, 4)
+	bf, err := Compile(f, Options{ClusterThreshold: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rt := NewRuntime(bf, 4)
+	defer rt.Close()
+	X := randomInputs(200, d.NumFeatures, 190)
+	// A ragged row deep in the batch: validated on the caller before
+	// dispatch, so it panics exactly like the serial kernel.
+	X[137] = X[137][:3]
+	func() {
+		defer func() {
+			if recover() == nil {
+				t.Fatal("expected panic on ragged batch")
+			}
+		}()
+		bf.VotesBatchParallel(X, rt, make([]int64, len(X)*bf.VoteWidth()))
+	}()
+	// The pool must still work after the panic.
+	X[137] = randomInputs(1, d.NumFeatures, 191)[0]
+	s := bf.NewScratch()
+	want := make([]int64, len(X)*bf.VoteWidth())
+	bf.VotesBatch(X, s, want)
+	got := make([]int64, len(X)*bf.VoteWidth())
+	bf.VotesBatchParallel(X, rt, got)
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("after panic: votes[%d]=%d, serial %d", i, got[i], want[i])
+		}
+	}
+}
+
+// TestRuntimeConcurrentDispatch hammers one shared runtime from many
+// goroutines mixing parallel batch predicts, parallel votes and Close
+// racing a dispatch — the -race CI job turns any protocol violation
+// into a failure. Results are checked against the serial kernel.
+func TestRuntimeConcurrentDispatch(t *testing.T) {
+	f, d := trainForest(t, 192, 8, 4)
+	bf, err := Compile(f, Options{ClusterThreshold: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	X := randomInputs(256, d.NumFeatures, 193)
+	s := bf.NewScratch()
+	wantLabels := make([]int, len(X))
+	bf.PredictBatchInto(X, s, wantLabels)
+	vw := bf.VoteWidth()
+	wantVotes := make([]int64, len(X)*vw)
+	bf.VotesBatch(X, s, wantVotes)
+
+	rt := NewRuntime(bf, 4)
+	defer rt.Close()
+	var wg sync.WaitGroup
+	errs := make(chan string, 16)
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			if g%2 == 0 {
+				out := make([]int, len(X))
+				for iter := 0; iter < 10; iter++ {
+					bf.PredictBatchParallelInto(X, rt, out)
+					for i := range out {
+						if out[i] != wantLabels[i] {
+							errs <- "labels diverge under concurrency"
+							return
+						}
+					}
+				}
+			} else {
+				votes := make([]int64, len(X)*vw)
+				for iter := 0; iter < 10; iter++ {
+					bf.VotesBatchParallel(X, rt, votes)
+					for i := range votes {
+						if votes[i] != wantVotes[i] {
+							errs <- "votes diverge under concurrency"
+							return
+						}
+					}
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+	close(errs)
+	for msg := range errs {
+		t.Fatal(msg)
+	}
+}

@@ -44,6 +44,19 @@ type BatchPredictor interface {
 	PredictBatchInto(X [][]float32, out []int)
 }
 
+// ParallelBatchPredictor is the optional multi-core batch extension:
+// engines backed by a persistent worker pool classify a whole batch
+// with the parallel cache-blocked kernel in one call. A large OpBatch
+// arriving at a fully idle pool takes this path instead of row-sharding
+// across pool workers — one kernel spanning every core beats
+// re-scanning the dictionary once per shard. ParallelKernelWorkers
+// reports the pool size so the server can skip the takeover when the
+// kernel could not actually fan out (a single-core host).
+type ParallelBatchPredictor interface {
+	PredictBatchParallelInto(X [][]float32, out []int)
+	ParallelKernelWorkers() int
+}
+
 // ReloadFunc rebuilds the serving artifacts from a model path. It
 // returns the new engine factory, the model's feature count and a
 // human-readable checksum of the artifact. An empty path means "the
@@ -436,8 +449,15 @@ func (s *Server) dispatch(conn net.Conn, op byte, payload []byte, start time.Tim
 // generation, panic or not.
 func (s *Server) withEngine(p *enginePool, fn func(Engine)) (err error) {
 	e := <-p.engines
+	defer func() { p.engines <- e }()
+	return s.runProtected(func() { fn(e) })
+}
+
+// runProtected runs fn with the server's engine fault injection and
+// panic isolation: a panic anywhere inside becomes a protocol error
+// and a bumped panic counter instead of a dead process.
+func (s *Server) runProtected(fn func()) (err error) {
 	defer func() {
-		p.engines <- e
 		if r := recover(); r != nil {
 			s.stats.panics.Add(1)
 			err = fmt.Errorf("serve: engine rejected request: %v", r)
@@ -446,15 +466,28 @@ func (s *Server) withEngine(p *enginePool, fn func(Engine)) (err error) {
 	if err := faults.Inject("serve/engine"); err != nil {
 		return err
 	}
-	fn(e)
+	fn()
 	return nil
 }
 
-// predictBatch classifies a batch, sharding the rows across idle
-// workers of one pool generation. Shard count never exceeds the pool
-// size, so every shard goroutine eventually checks out an engine; with
-// one worker the batch degenerates to the old sequential scan.
+// parallelBatchMinRows gates the whole-pool parallel-kernel takeover:
+// below it, per-shard dispatch overhead is negligible and row-sharding
+// (or a single serial kernel call) serves the batch without making
+// concurrent single-sample requests wait behind an all-core kernel.
+const parallelBatchMinRows = 256
+
+// predictBatch classifies a batch. A batch of at least
+// parallelBatchMinRows rows meeting a fully idle pool whose engines
+// expose the multi-core kernel (ParallelBatchPredictor) is classified
+// by one engine fanning out across every core; otherwise the rows are
+// sharded across idle pool workers as before.
 func (s *Server) predictBatch(p *enginePool, X [][]float32) ([]int, error) {
+	if pb, ok := p.rep.(ParallelBatchPredictor); ok &&
+		len(X) >= parallelBatchMinRows && pb.ParallelKernelWorkers() > 1 {
+		if labels, took, err := s.predictBatchParallel(p, X); took {
+			return labels, err
+		}
+	}
 	labels := make([]int, len(X))
 	shards := p.workers
 	if shards > len(X) {
@@ -490,6 +523,48 @@ func (s *Server) predictBatch(p *enginePool, X [][]float32) ([]int, error) {
 		}
 	}
 	return labels, nil
+}
+
+// predictBatchParallel attempts the whole-pool takeover: it claims
+// every engine of the generation without blocking — the parallel
+// kernel is about to use every core, so nothing else should run — and
+// classifies the batch with one ParallelBatchPredictor engine. If any
+// engine is busy the claim is abandoned (took=false) and the caller
+// falls back to row-sharding; two concurrent batches can each grab
+// part of the pool, both back off, and both shard — engines always
+// return to the channel, so no request deadlocks.
+func (s *Server) predictBatchParallel(p *enginePool, X [][]float32) (labels []int, took bool, err error) {
+	taken := make([]Engine, 0, p.workers)
+	defer func() {
+		for _, e := range taken {
+			p.engines <- e
+		}
+	}()
+	for len(taken) < p.workers {
+		select {
+		case e := <-p.engines:
+			taken = append(taken, e)
+		default:
+			return nil, false, nil
+		}
+	}
+	var pb ParallelBatchPredictor
+	for _, e := range taken {
+		if c, ok := e.(ParallelBatchPredictor); ok {
+			pb = c
+			break
+		}
+	}
+	if pb == nil {
+		return nil, false, nil
+	}
+	labels = make([]int, len(X))
+	s.stats.parallelBatches.Add(1)
+	err = s.runProtected(func() { pb.PredictBatchParallelInto(X, labels) })
+	if err != nil {
+		return nil, true, err
+	}
+	return labels, true, nil
 }
 
 // runBatch classifies one shard on a checked-out engine, taking the

@@ -49,14 +49,18 @@ func (c *opCounter) observe(d time.Duration) {
 	c.buckets[b].Add(1)
 }
 
-// serverStats is the server's live counter block.
+// serverStats is the server's live counter block. parallelBatches
+// counts whole-pool parallel-kernel takeovers (predictBatchParallel);
+// it is observability for tests and debugging, not part of the OpStats
+// wire snapshot.
 type serverStats struct {
-	requests atomic.Uint64
-	errors   atomic.Uint64
-	panics   atomic.Uint64
-	reloads  atomic.Uint64
-	inFlight atomic.Int64
-	ops      [len(trackedOps)]opCounter
+	requests        atomic.Uint64
+	errors          atomic.Uint64
+	panics          atomic.Uint64
+	reloads         atomic.Uint64
+	parallelBatches atomic.Uint64
+	inFlight        atomic.Int64
+	ops             [len(trackedOps)]opCounter
 }
 
 func (s *serverStats) op(op byte) *opCounter { return &s.ops[opIndex(op)] }

@@ -105,9 +105,24 @@ func ServePool(socketPath string, factory EngineFactory, numFeatures, workers in
 
 // ForestEngineFactory returns an EngineFactory producing one Predictor
 // per pool worker over a shared compiled forest — the factory shape
-// Server.Reload swaps in on a hot model reload.
+// Server.Reload swaps in on a hot model reload. The predictors share
+// one parallel-kernel Runtime sized to GOMAXPROCS, so a large OpBatch
+// meeting an idle pool runs the multi-core batch kernel (see
+// ParallelForestEngineFactory for explicit sizing).
 func ForestEngineFactory(bf *CompiledForest) EngineFactory {
-	return func() Engine { return &predictorEngine{NewPredictor(bf)} }
+	return ParallelForestEngineFactory(bf, 0)
+}
+
+// ParallelForestEngineFactory is ForestEngineFactory with an explicit
+// parallel-kernel worker count: every predictor the factory builds
+// shares one Runtime of kernelWorkers workers (< 1 = GOMAXPROCS, the
+// default). The runtime's dispatch lock serialises whole-batch
+// parallel calls; per-request row paths never touch it. Its goroutines
+// are released when the engine generation is garbage-collected (e.g.
+// after a hot reload swaps in a fresh factory).
+func ParallelForestEngineFactory(bf *CompiledForest, kernelWorkers int) EngineFactory {
+	rt := NewRuntime(bf, kernelWorkers)
+	return func() Engine { return &predictorEngine{p: NewPredictorWithRuntime(bf, rt)} }
 }
 
 // ServeForest starts a service over a compiled Bolt forest with a pool
@@ -134,6 +149,16 @@ func (e *predictorEngine) PredictValue(x []float32) float32 { return e.p.Predict
 func (e *predictorEngine) PredictBatchInto(X [][]float32, out []int) {
 	e.p.PredictBatchInto(X, out)
 }
+
+// PredictBatchParallelInto and ParallelKernelWorkers satisfy
+// serve.ParallelBatchPredictor: a large OpBatch arriving at an idle
+// pool runs the multi-core parallel kernel on one engine instead of
+// row-sharding across pool workers.
+func (e *predictorEngine) PredictBatchParallelInto(X [][]float32, out []int) {
+	e.p.PredictBatchParallelInto(X, out)
+}
+
+func (e *predictorEngine) ParallelKernelWorkers() int { return e.p.ParallelWorkers() }
 
 // DialService connects to a running classification service.
 func DialService(socketPath string) (*ServiceClient, error) { return serve.Dial(socketPath) }
