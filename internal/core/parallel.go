@@ -51,9 +51,13 @@ type partWorker struct {
 
 // NewPartitioned builds an engine with the given dictionary and table
 // partition counts; the worker count ("cores", per §5: "the final
-// number of cores must be t × d") is their product. The engine's
-// runtime workers are released by a finalizer when the engine is
-// dropped, or eagerly via Close.
+// number of cores must be t × d") is their product. Counts beyond the
+// runtime's worker budget are clamped (dictParts first to the
+// dictionary size, then d·t to the pool maximum) so that every
+// partition is always backed by a live worker — a partition without a
+// worker would silently drop its votes. The engine's runtime workers
+// are released by a finalizer when the engine is dropped, or eagerly
+// via Close.
 func NewPartitioned(bf *Forest, dictParts, tableParts int) (*PartitionedEngine, error) {
 	if dictParts < 1 || tableParts < 1 {
 		return nil, fmt.Errorf("core: partition counts must be >= 1 (got d=%d t=%d)", dictParts, tableParts)
@@ -63,6 +67,12 @@ func NewPartitioned(bf *Forest, dictParts, tableParts int) (*PartitionedEngine, 
 		if dictParts == 0 {
 			dictParts = 1
 		}
+	}
+	if dictParts > maxRuntimeWorkers {
+		dictParts = maxRuntimeWorkers
+	}
+	if tableParts > maxRuntimeWorkers/dictParts {
+		tableParts = maxRuntimeWorkers / dictParts
 	}
 	pe := &PartitionedEngine{
 		bf:           bf,
@@ -87,7 +97,17 @@ func NewPartitioned(bf *Forest, dictParts, tableParts int) (*PartitionedEngine, 
 	}
 	pe.rt = NewRuntime(bf, len(pe.workers))
 	st := pe.rt.runtimeState
-	st.pe = pe
+	if len(st.workers) != len(pe.workers) {
+		// Unreachable after the clamps above, but a partition without a
+		// worker means silently dropped votes — fail loudly, never scan
+		// a subset.
+		pe.rt.Close()
+		return nil, fmt.Errorf("core: runtime built %d workers for %d partitions", len(st.workers), len(pe.workers))
+	}
+	// Workers need only the table-ownership parameter, not the engine:
+	// a back-pointer to pe would make pe.rt reachable from the parked
+	// worker goroutines and the runtime's finalizer could never fire.
+	st.tableParts = pe.tableParts
 	for i, w := range st.workers {
 		w.part = pe.workers[i]
 	}
@@ -122,6 +142,9 @@ func (pe *PartitionedEngine) Votes(x []float32, votes []int64) {
 	defer st.mu.Unlock()
 	pe.bf.Codebook.Evaluate(x, pe.s.bits)
 	st.bits = pe.s.bits.Words()
+	// Deferred so a worker panic re-raised by dispatch cannot leave the
+	// stale predicate words pinned on the runtime.
+	defer func() { st.bits = nil }()
 	if st.closed {
 		// Runtime released: run every partition's scan on the calling
 		// goroutine. Same code path as the workers, same accumulators,
@@ -133,7 +156,6 @@ func (pe *PartitionedEngine) Votes(x []float32, votes []int64) {
 	} else {
 		st.partitionVotes(votes)
 	}
-	st.bits = nil
 	runtime.KeepAlive(pe.rt)
 }
 

@@ -114,6 +114,47 @@ func TestPartitionedClampsDictParts(t *testing.T) {
 	pe.Votes(randomInputs(1, bf.NumFeatures, 65)[0], votes)
 }
 
+// TestPartitionedClampsWorkerBudget: partition products beyond the
+// runtime pool maximum must be clamped so every partition keeps a live
+// worker. Before the clamp, d·t > maxRuntimeWorkers left the excess
+// partitions unscanned — silently wrong votes, which the serial
+// comparison here would catch.
+func TestPartitionedClampsWorkerBudget(t *testing.T) {
+	f, d := trainForest(t, 68, 10, 4)
+	bf, err := Compile(f, Options{ClusterThreshold: 6})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, cfg := range [][2]int{{4, 100}, {1, 1000}, {300, 300}} {
+		pe, err := NewPartitioned(bf, cfg[0], cfg[1])
+		if err != nil {
+			t.Fatal(err)
+		}
+		if pe.Cores() > maxRuntimeWorkers {
+			t.Fatalf("d=%d t=%d: %d cores exceed the pool maximum %d",
+				cfg[0], cfg[1], pe.Cores(), maxRuntimeWorkers)
+		}
+		if pe.Cores() != pe.rt.Workers() {
+			t.Fatalf("d=%d t=%d: %d partitions on %d workers — unbacked partitions drop votes",
+				cfg[0], cfg[1], pe.Cores(), pe.rt.Workers())
+		}
+		s := bf.NewScratch()
+		serial := make([]int64, bf.NumClasses)
+		parallel := make([]int64, bf.NumClasses)
+		for _, x := range d.X[:20] {
+			bf.Votes(x, s, serial)
+			pe.Votes(x, parallel)
+			for c := range serial {
+				if serial[c] != parallel[c] {
+					t.Fatalf("d=%d t=%d: votes diverge (class %d: %d vs %d)",
+						cfg[0], cfg[1], c, serial[c], parallel[c])
+				}
+			}
+		}
+		pe.Close()
+	}
+}
+
 func TestPartitionedVotesBufferPanics(t *testing.T) {
 	f, _ := trainForest(t, 66, 3, 2)
 	bf, err := Compile(f, Options{})

@@ -5,6 +5,7 @@ import (
 	"sync"
 
 	"bolt/internal/bitpack"
+	"bolt/internal/faults"
 	"bolt/internal/tree"
 )
 
@@ -59,7 +60,14 @@ type runtimeState struct {
 	votes []int64     // rtVotes: the caller's flattened vote matrix
 	out   []int       // rtPredict: the caller's label buffer
 	bits  []uint64    // rtPartition: the sample's evaluated predicate words
-	pe    *PartitionedEngine
+
+	// tableParts is the backing PartitionedEngine's table partition
+	// count — the one piece of engine state rtPartition workers need.
+	// Deliberately not a *PartitionedEngine back-pointer: the engine
+	// holds the only Runtime handle, so a reference from here would keep
+	// the handle reachable from the parked workers and defeat the
+	// finalizer that cleans up dropped engines.
+	tableParts int
 }
 
 // Task modes.
@@ -169,6 +177,12 @@ func (st *runtimeState) runTask(w *rtWorker) {
 		}
 		st.wg.Done()
 	}()
+	// Fault site for resilience tests: arming it with a panic rule kills
+	// every active worker in one task, exercising the dispatcher's
+	// all-worker panic sweep. Disarmed it is one atomic load.
+	if err := faults.Inject("core/runtime-task"); err != nil {
+		panic(err)
+	}
 	switch st.mode {
 	case rtVotes:
 		w.runVotesShard(st)
@@ -182,17 +196,28 @@ func (st *runtimeState) runTask(w *rtWorker) {
 // dispatch wakes the first active workers and blocks until all have
 // finished, then re-raises any captured worker panic. Steady state it
 // allocates nothing: the task description lives in reused fields.
+//
+// The panic sweep clears every worker's flag before re-raising the
+// first capture: several workers can panic in one task (a fault hit by
+// every shard), and a flag left set would be spuriously re-raised on
+// the next, unrelated dispatch.
 func (st *runtimeState) dispatch(active int) {
 	st.wg.Add(active)
 	for i := 0; i < active; i++ {
 		st.workers[i].wake <- struct{}{}
 	}
 	st.wg.Wait()
+	var first any
 	for i := 0; i < active; i++ {
 		if r := st.workers[i].panicked; r != nil {
 			st.workers[i].panicked = nil
-			panic(r)
+			if first == nil {
+				first = r
+			}
 		}
+	}
+	if first != nil {
+		panic(first)
 	}
 }
 
@@ -287,8 +312,10 @@ func (bf *Forest) VotesBatchParallel(X [][]float32, rt *Runtime, votes []int64) 
 	}
 	st.growShardVotes(active, vw)
 	st.mode, st.x, st.votes = rtVotes, X, votes
+	// Deferred so a re-raised worker panic cannot leave the caller's
+	// batch pinned on the runtime.
+	defer func() { st.x, st.votes = nil, nil }()
 	st.dispatch(active)
-	st.x, st.votes = nil, nil
 	runtime.KeepAlive(rt)
 }
 
@@ -345,8 +372,10 @@ func (bf *Forest) PredictBatchParallelInto(X [][]float32, rt *Runtime, out []int
 		return
 	}
 	st.mode, st.x, st.out = rtPredict, X, out
+	// Deferred so a re-raised worker panic cannot leave the caller's
+	// batch pinned on the runtime.
+	defer func() { st.x, st.out = nil, nil }()
 	st.dispatch(active)
-	st.x, st.out = nil, nil
 	runtime.KeepAlive(rt)
 }
 
@@ -369,7 +398,6 @@ func (w *rtWorker) runPredictShard(st *runtimeState) {
 //bolt:hotpath
 func (w *rtWorker) runPartitionShard(st *runtimeState) {
 	bf := st.bf
-	pe := st.pe
 	words := st.bits
 	votes := w.votes[:bf.VoteWidth()]
 	for i := range votes {
@@ -377,6 +405,7 @@ func (w *rtWorker) runPartitionShard(st *runtimeState) {
 	}
 	fd := bf.Flat
 	table, filter := bf.Table, bf.Filter
+	tp, slots := uint64(st.tableParts), uint64(table.NumSlots())
 	for i := w.part.dictLo; i < w.part.dictHi; i++ {
 		mask, vals := fd.MaskVals(i)
 		if !bitpack.MatchesMasked(words, mask, vals) {
@@ -389,7 +418,7 @@ func (w *rtWorker) runPartitionShard(st *runtimeState) {
 		}
 		id := fd.ID(i)
 		key := Key(id, addr)
-		if pe.tableOwner(key) != w.part.tablePart {
+		if int(table.h1(key)*tp/slots) != w.part.tablePart {
 			continue // another core owns this lookup (§4.5)
 		}
 		if filter != nil && !filter.Contains(key) {

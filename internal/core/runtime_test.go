@@ -1,10 +1,13 @@
 package core
 
 import (
+	"runtime"
 	"sync"
 	"testing"
+	"time"
 
 	"bolt/internal/dataset"
+	"bolt/internal/faults"
 	"bolt/internal/forest"
 	"bolt/internal/tree"
 )
@@ -293,6 +296,93 @@ func TestRuntimeWorkerPanicPropagates(t *testing.T) {
 		if got[i] != want[i] {
 			t.Fatalf("after panic: votes[%d]=%d, serial %d", i, got[i], want[i])
 		}
+	}
+}
+
+// TestRuntimeMultiWorkerPanicSweep arms the core/runtime-task fault so
+// EVERY active worker panics in one dispatch. Exactly one panic must
+// reach the caller, every worker's panic flag must be swept (a flag
+// left set would spuriously fail the next, unrelated call), and the
+// task fields must be reset so the panicking batch is not pinned.
+func TestRuntimeMultiWorkerPanicSweep(t *testing.T) {
+	defer faults.Reset()
+	f, d := trainForest(t, 194, 8, 4)
+	bf, err := Compile(f, Options{ClusterThreshold: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rt := NewRuntime(bf, 4)
+	defer rt.Close()
+	X := randomInputs(256, d.NumFeatures, 195) // 4 chunks: all 4 workers active
+	votes := make([]int64, len(X)*bf.VoteWidth())
+	faults.Enable("core/runtime-task", faults.Rule{PanicMsg: "injected worker fault"})
+	func() {
+		defer func() {
+			if recover() == nil {
+				t.Fatal("expected panic from injected worker fault")
+			}
+		}()
+		bf.VotesBatchParallel(X, rt, votes)
+	}()
+	faults.Reset()
+
+	st := rt.runtimeState
+	st.mu.Lock()
+	for i, w := range st.workers {
+		if w.panicked != nil {
+			t.Errorf("worker %d panic flag still set after dispatch sweep", i)
+		}
+	}
+	if st.x != nil || st.votes != nil {
+		t.Error("task fields not reset on the panic path")
+	}
+	st.mu.Unlock()
+
+	// The next, unrelated dispatch must succeed and match serial.
+	s := bf.NewScratch()
+	want := make([]int64, len(X)*bf.VoteWidth())
+	bf.VotesBatch(X, s, want)
+	bf.VotesBatchParallel(X, rt, votes)
+	for i := range want {
+		if votes[i] != want[i] {
+			t.Fatalf("after multi-worker panic: votes[%d]=%d, serial %d", i, votes[i], want[i])
+		}
+	}
+}
+
+// TestPartitionedFinalizerReleasesRuntime: a PartitionedEngine dropped
+// without Close must still release its worker goroutines. The engine
+// holds the only Runtime handle, and the runtime state must not point
+// back at the engine — a back-pointer would keep the handle reachable
+// from the parked workers and the finalizer could never fire.
+func TestPartitionedFinalizerReleasesRuntime(t *testing.T) {
+	f, d := trainForest(t, 196, 6, 3)
+	bf, err := Compile(f, Options{ClusterThreshold: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	st := func() *runtimeState {
+		pe, err := NewPartitioned(bf, 2, 2)
+		if err != nil {
+			t.Fatal(err)
+		}
+		votes := make([]int64, bf.VoteWidth())
+		pe.Votes(d.X[0], votes) // engine is live before being dropped
+		return pe.rt.runtimeState
+	}()
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		runtime.GC() // one cycle queues the finalizer, a later one observes Close
+		st.mu.Lock()
+		closed := st.closed
+		st.mu.Unlock()
+		if closed {
+			return
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("dropped PartitionedEngine never released its runtime workers (finalizer unreachable)")
+		}
+		time.Sleep(10 * time.Millisecond)
 	}
 }
 
