@@ -55,8 +55,11 @@ func run(args []string) error {
 		Rounds:       *rounds,
 	}
 	if *jsonL != "" {
-		if *exp == "pbatch" {
+		switch *exp {
+		case "pbatch":
 			return writePBatchJSON(cfg, *jsonL)
+		case "coalesce":
+			return writeCoalesceJSON(cfg, *jsonL)
 		}
 		return writeBatchJSON(cfg, *jsonL)
 	}
@@ -87,6 +90,20 @@ func writePBatchJSON(cfg bench.Config, label string) error {
 		return err
 	}
 	if err := bench.RenderPBatchReport(rep, os.Stdout); err != nil {
+		return err
+	}
+	return writeJSONArtifact(label, func(f *os.File) error { return rep.WriteJSON(f, label) })
+}
+
+// writeCoalesceJSON is writeBatchJSON for the request-coalescing
+// serving experiment (-exp coalesce -json coalesce →
+// BENCH_coalesce.json).
+func writeCoalesceJSON(cfg bench.Config, label string) error {
+	rep, err := bench.CoalesceReportRun(cfg)
+	if err != nil {
+		return err
+	}
+	if err := bench.RenderCoalesceReport(rep, os.Stdout); err != nil {
 		return err
 	}
 	return writeJSONArtifact(label, func(f *os.File) error { return rep.WriteJSON(f, label) })

@@ -202,6 +202,9 @@ func runStats(args []string) error {
 	}
 	fmt.Printf("server: %d workers, %d requests, %d errors, %d panics recovered, %d reloads, %d in flight\n",
 		st.Workers, st.Requests, st.Errors, st.Panics, st.Reloads, st.InFlight)
+	fmt.Printf("coalesced batches: %d (%d requests, %d rows; mean %.1f rows/batch, p99 <%d)\n",
+		st.CoalescedBatches, st.CoalescedRequests, st.CoalescedRows,
+		st.CoalesceMeanRows(), st.CoalesceSizeQuantile(0.99))
 	for _, op := range st.Ops {
 		fmt.Printf("  op %c: %6d reqs  %4d errs  avg %8v  p50 <%8v  p99 <%8v\n",
 			op.Op, op.Count, op.Errors,

@@ -52,6 +52,8 @@ func run(args []string) error {
 		workers   = fs.Int("workers", 0, "engine-pool size; concurrent requests run on separate engines (0 = GOMAXPROCS)")
 		kWorkers  = fs.Int("kernel-workers", 0, "parallel batch-kernel worker count shared by the engine pool (0 = GOMAXPROCS)")
 		drain     = fs.Duration("drain", 10*time.Second, "graceful-shutdown deadline for in-flight requests")
+		coHold    = fs.Duration("coalesce-hold", bolt.DefaultCoalesceHold, "max time a small request waits to join a coalesced batch (0 disables coalescing)")
+		coMax     = fs.Int("coalesce-max", bolt.DefaultCoalesceMaxRows, "row cap per coalesced batch; requests of this many rows or more run alone")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -141,14 +143,15 @@ func run(args []string) error {
 		}
 		return bolt.ParallelForestEngineFactory(nbf, *kWorkers), nbf.NumFeatures, nsum, nil
 	}
-	return serveForest(bf, sum, reloader, *socket, *workers, *kWorkers, *drain)
+	return serveForest(bf, sum, reloader, *socket, *workers, *kWorkers, *drain,
+		bolt.CoalesceConfig{Hold: *coHold, MaxRows: *coMax})
 }
 
 // serveForest runs the service until interrupted. One signal handler
 // covers the whole lifecycle: SIGHUP hot-reloads the model, while
 // SIGINT/SIGTERM drain in-flight requests within the deadline and
 // always print the request counters accumulated over the run.
-func serveForest(bf *bolt.CompiledForest, sum string, reloader bolt.ReloadFunc, socket string, workers, kernelWorkers int, drain time.Duration) error {
+func serveForest(bf *bolt.CompiledForest, sum string, reloader bolt.ReloadFunc, socket string, workers, kernelWorkers int, drain time.Duration, coalesce bolt.CoalesceConfig) error {
 	// Remove a stale socket from a previous run. A removal that fails
 	// for any reason other than the socket not existing would otherwise
 	// resurface as a confusing bind error below.
@@ -161,9 +164,15 @@ func serveForest(bf *bolt.CompiledForest, sum string, reloader bolt.ReloadFunc, 
 	}
 	srv.SetModelChecksum(sum)
 	srv.SetReloader(reloader)
+	srv.SetCoalescing(coalesce)
 	st := bf.Stats()
 	fmt.Printf("serving %d-tree forest on %s with %d workers (%d dict entries, %d table slots, model %s)\n",
 		bf.NumTrees, socket, srv.Workers(), st.DictEntries, st.TableSlots, sum)
+	if coalesce.Hold > 0 && coalesce.MaxRows > 1 {
+		fmt.Printf("request coalescing on: hold %s, max %d rows/batch\n", coalesce.Hold, coalesce.MaxRows)
+	} else {
+		fmt.Println("request coalescing off")
+	}
 
 	sigs := make(chan os.Signal, 1)
 	signal.Notify(sigs, os.Interrupt, syscall.SIGTERM, syscall.SIGHUP)
@@ -190,6 +199,11 @@ func serveForest(bf *bolt.CompiledForest, sum string, reloader bolt.ReloadFunc, 
 func printStats(st bolt.ServerStats) {
 	fmt.Printf("served %d requests (%d errors, %d panics recovered, %d reloads, %d in flight) on %d workers\n",
 		st.Requests, st.Errors, st.Panics, st.Reloads, st.InFlight, st.Workers)
+	if st.CoalescedBatches > 0 {
+		fmt.Printf("  coalesced batches: %d (%d requests, %d rows; mean %.1f rows/batch, p99 <%d)\n",
+			st.CoalescedBatches, st.CoalescedRequests, st.CoalescedRows,
+			st.CoalesceMeanRows(), st.CoalesceSizeQuantile(0.99))
+	}
 	for _, op := range st.Ops {
 		fmt.Printf("  op %c: %6d reqs  %4d errs  avg %8v  p50 <%8v  p99 <%8v\n",
 			op.Op, op.Count, op.Errors,

@@ -1,0 +1,225 @@
+package bench
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"bolt/internal/core"
+	"bolt/internal/serve"
+)
+
+// CoalesceRecord is one connection-count measurement of the serving
+// stack under closed-loop single-row traffic: the same clients run
+// once against the plain row path and once with request coalescing on,
+// so Speedup isolates what cross-connection micro-batching buys at
+// that concurrency. At conns=1 the solo bypass should hold Speedup
+// near 1.0 — the coalescer must not tax lone clients.
+type CoalesceRecord struct {
+	Workload         string  `json:"workload"`
+	Trees            int     `json:"trees"`
+	Height           int     `json:"height"`
+	Conns            int     `json:"conns"`
+	Workers          int     `json:"workers"`
+	Requests         int     `json:"requests"`
+	HoldUs           float64 `json:"hold_us"`
+	MaxRows          int     `json:"max_rows"`
+	RowRps           float64 `json:"row_rps"`
+	CoalescedRps     float64 `json:"coalesced_rps"`
+	Speedup          float64 `json:"speedup"`
+	CoalescedBatches uint64  `json:"coalesced_batches"`
+	MeanRowsPerBatch float64 `json:"mean_rows_per_batch"`
+}
+
+// CoalesceReport is the machine-readable artifact of the request
+// coalescing experiment (bolt-bench -exp coalesce -json coalesce →
+// BENCH_coalesce.json); EXPERIMENTS.md X5 documents the schema.
+type CoalesceReport struct {
+	Label      string           `json:"label"`
+	GOOS       string           `json:"goos"`
+	GOARCH     string           `json:"goarch"`
+	NumCPU     int              `json:"num_cpu"`
+	GOMAXPROCS int              `json:"gomaxprocs"`
+	Records    []CoalesceRecord `json:"records"`
+}
+
+// coalesceConnCounts is the concurrency axis: from a lone client
+// (bypass regime) to well past the worker count (batching regime).
+var coalesceConnCounts = []int{1, 4, 16, 64}
+
+// coalesceEngine adapts a compiled forest to the serve interfaces the
+// pool dispatch escalates through, sharing one parallel-kernel runtime
+// across the pool like production factories do.
+type coalesceEngine struct {
+	bf *core.Forest
+	s  *core.Scratch
+	rt *core.Runtime
+}
+
+func (e *coalesceEngine) Predict(x []float32) int { return e.bf.Predict(x, e.s) }
+func (e *coalesceEngine) PredictBatchInto(X [][]float32, out []int) {
+	e.bf.PredictBatchInto(X, e.s, out)
+}
+func (e *coalesceEngine) PredictBatchParallelInto(X [][]float32, out []int) {
+	e.bf.PredictBatchParallelInto(X, e.rt, out)
+}
+func (e *coalesceEngine) ParallelKernelWorkers() int { return e.rt.Workers() }
+
+// coalesceCell serves totalReqs single-row requests from conns
+// closed-loop connections against a fresh server and returns the
+// request throughput plus the server's final counters.
+func coalesceCell(bf *core.Forest, X [][]float32, numFeatures, workers, conns, totalReqs int, co serve.CoalesceConfig) (float64, serve.ServerStats, error) {
+	dir, err := os.MkdirTemp("", "bolt-coalesce")
+	if err != nil {
+		return 0, serve.ServerStats{}, err
+	}
+	defer os.RemoveAll(dir)
+	rt := core.NewRuntime(bf, 0)
+	defer rt.Close()
+	sock := filepath.Join(dir, "bench.sock")
+	srv, err := serve.NewPool(sock, func() serve.Engine {
+		return &coalesceEngine{bf: bf, s: bf.NewScratch(), rt: rt}
+	}, numFeatures, workers)
+	if err != nil {
+		return 0, serve.ServerStats{}, err
+	}
+	defer srv.Close()
+	srv.SetCoalescing(co)
+
+	var next atomic.Int64
+	errs := make([]error, conns)
+	var wg sync.WaitGroup
+	start := time.Now()
+	for c := 0; c < conns; c++ {
+		wg.Add(1)
+		go func(c int) {
+			defer wg.Done()
+			cl, err := serve.Dial(sock)
+			if err != nil {
+				errs[c] = err
+				return
+			}
+			defer cl.Close()
+			for {
+				i := next.Add(1)
+				if i > int64(totalReqs) {
+					return
+				}
+				if _, _, err := cl.Classify(X[int(i)%len(X)]); err != nil {
+					errs[c] = err
+					return
+				}
+			}
+		}(c)
+	}
+	wg.Wait()
+	elapsed := time.Since(start)
+	for _, err := range errs {
+		if err != nil {
+			return 0, serve.ServerStats{}, err
+		}
+	}
+	st := srv.Stats()
+	return float64(totalReqs) / elapsed.Seconds(), st, nil
+}
+
+// CoalesceReportRun measures closed-loop single-row serving throughput
+// with coalescing off and on across connection counts.
+func CoalesceReportRun(cfg Config) (*CoalesceReport, error) {
+	cfg = cfg.normalized()
+	const trees, height = 20, 8
+	conns := coalesceConnCounts
+	totalReqs := 8000
+	if cfg.Quick {
+		conns = []int{1, 16}
+		totalReqs = 1500
+	}
+	w := MNISTWorkload(cfg)
+	f := TrainForest(w, trees, height, cfg.Seed^0xc0a1)
+	bf, _, err := CompileAuto(f, cfg, w.Test.X)
+	if err != nil {
+		return nil, err
+	}
+	workers := runtime.GOMAXPROCS(0)
+	co := serve.CoalesceConfig{Hold: serve.DefaultCoalesceHold, MaxRows: serve.DefaultCoalesceMaxRows}
+	rep := &CoalesceReport{
+		GOOS:       runtime.GOOS,
+		GOARCH:     runtime.GOARCH,
+		NumCPU:     runtime.NumCPU(),
+		GOMAXPROCS: workers,
+	}
+	for _, c := range conns {
+		rowRps, _, err := coalesceCell(bf, w.Test.X, w.Test.NumFeatures, workers, c, totalReqs, serve.CoalesceConfig{})
+		if err != nil {
+			return nil, err
+		}
+		coRps, st, err := coalesceCell(bf, w.Test.X, w.Test.NumFeatures, workers, c, totalReqs, co)
+		if err != nil {
+			return nil, err
+		}
+		rep.Records = append(rep.Records, CoalesceRecord{
+			Workload:         w.Name,
+			Trees:            trees,
+			Height:           height,
+			Conns:            c,
+			Workers:          workers,
+			Requests:         totalReqs,
+			HoldUs:           float64(co.Hold) / float64(time.Microsecond),
+			MaxRows:          co.MaxRows,
+			RowRps:           rowRps,
+			CoalescedRps:     coRps,
+			Speedup:          coRps / rowRps,
+			CoalescedBatches: st.CoalescedBatches,
+			MeanRowsPerBatch: st.CoalesceMeanRows(),
+		})
+	}
+	return rep, nil
+}
+
+// WriteJSON renders the report with the given label.
+func (r *CoalesceReport) WriteJSON(w io.Writer, label string) error {
+	r.Label = label
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(r)
+}
+
+// FigCoalesce renders the request-coalescing experiment as a text
+// table (extra experiment, not a paper figure: it measures the serving
+// stack the paper's §4.5 front-end sketches, under the single-row
+// flood the batch kernel alone cannot reach).
+func FigCoalesce(cfg Config) (*Table, error) {
+	rep, err := CoalesceReportRun(cfg)
+	if err != nil {
+		return nil, err
+	}
+	return coalesceTable(rep), nil
+}
+
+// RenderCoalesceReport renders an already-measured report as the same
+// table FigCoalesce produces.
+func RenderCoalesceReport(rep *CoalesceReport, w io.Writer) error {
+	return coalesceTable(rep).Render(w)
+}
+
+func coalesceTable(rep *CoalesceReport) *Table {
+	t := &Table{
+		Title:   "Coalesce: closed-loop single-row serving throughput, coalescing off vs on",
+		Columns: []string{"workload", "conns", "workers", "row rps", "coalesced rps", "speedup", "batches", "rows/batch"},
+	}
+	for _, r := range rep.Records {
+		t.AddRow(r.Workload, fmt.Sprintf("%d", r.Conns), fmt.Sprintf("%d", r.Workers),
+			r.RowRps, r.CoalescedRps, r.Speedup,
+			fmt.Sprintf("%d", r.CoalescedBatches), r.MeanRowsPerBatch)
+	}
+	t.Note("host: %d CPU(s), GOMAXPROCS %d; hold %.0fµs, max %d rows/batch; conns=1 rides the solo "+
+		"bypass, so its speedup should sit near 1.0",
+		rep.NumCPU, rep.GOMAXPROCS, rep.Records[0].HoldUs, rep.Records[0].MaxRows)
+	return t
+}

@@ -602,6 +602,7 @@ var Experiments = []struct {
 	{"skew", "FP calibration-mismatch study, §2.1 (extra)", Skew},
 	{"batch", "cache-blocked batch kernel vs row-at-a-time (extra)", FigBatch},
 	{"pbatch", "parallel batch kernel scaling on the persistent runtime (extra)", FigPBatch},
+	{"coalesce", "request coalescing: single-row serving throughput off vs on (extra)", FigCoalesce},
 }
 
 // Run executes one experiment by ID and renders it to w.

@@ -1,0 +1,417 @@
+package serve
+
+import (
+	"fmt"
+	"net"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Request coalescing: the cross-connection micro-batching stage.
+//
+// Production traffic is a flood of single-row OpClassify frames on many
+// connections, but the cache-blocked batch kernel only pays off at
+// batch sizes. The coalescer closes that gap server-side: small
+// requests park in a shared ingest queue for a bounded hold, are
+// classified together by one predictBatch call (which escalates to the
+// multi-core parallel kernel exactly as a client-sent batch would), and
+// the per-request replies scatter back to their connections in order.
+// The wire protocol is untouched — a client cannot tell whether its
+// reply came from the row path or a coalesced batch, and the labels are
+// bit-exact either way.
+
+// DefaultCoalesceHold and DefaultCoalesceMaxRows are the coalescing
+// defaults installed by NewPool; see CoalesceConfig.
+const (
+	DefaultCoalesceHold    = 250 * time.Microsecond
+	DefaultCoalesceMaxRows = 256
+)
+
+// CoalesceConfig tunes the coalescing stage. Hold is the longest a
+// request may wait in the ingest queue before its batch is flushed: the
+// worst-case latency tax on a request that never finds batch-mates.
+// MaxRows caps a coalesced batch and is also the row count at which an
+// OpBatch stops joining the queue and runs alone — the default equals
+// the parallel-kernel takeover threshold, so the batches the coalescer
+// refuses are exactly the ones already big enough for predictBatch's
+// own multi-core path. Hold <= 0 or MaxRows <= 1 disables coalescing.
+type CoalesceConfig struct {
+	Hold    time.Duration
+	MaxRows int
+}
+
+// pipelineDepth bounds how many replies a connection may have pending
+// in submission order before its reader blocks — backpressure against
+// a client that pipelines requests faster than the server answers.
+const pipelineDepth = 128
+
+// pendingReply is one request's slot in its connection's in-order
+// reply queue. The reader submits slots in request order; whichever
+// goroutine finishes the work (the reader itself for inline ops, a
+// coalescer flush otherwise) completes the slot; the connection's
+// writer goroutine writes replies strictly in submission order, so the
+// lockstep request→reply contract survives the handoff.
+type pendingReply struct {
+	op    byte
+	start time.Time
+	// observe marks dispatched requests: the writer records dispatch
+	// latency, error counters and the in-flight decrement when the
+	// reply reaches it. Raw protocol-error replies pre-count instead.
+	observe bool
+	status  byte
+	payload []byte
+	// ready carries the completion signal: one-slot so complete never
+	// blocks, pooled with its reply so steady state does not allocate.
+	ready chan struct{}
+}
+
+var replyPool = sync.Pool{New: func() any {
+	return &pendingReply{ready: make(chan struct{}, 1)}
+}}
+
+func newReply(op byte) *pendingReply {
+	r := replyPool.Get().(*pendingReply)
+	r.op = op
+	r.start = time.Now()
+	r.observe = true
+	r.status = StatusOK
+	r.payload = nil
+	return r
+}
+
+// complete publishes the reply. Every submitted slot is completed
+// exactly once, on every path — a slot that never completes would wedge
+// its connection's writer, and a second completion would corrupt a
+// recycled reply — so each dispatch path ends at its complete call.
+func (r *pendingReply) complete(status byte, payload []byte) {
+	r.status = status
+	r.payload = payload
+	r.ready <- struct{}{}
+}
+
+// connWriter owns the write half of one connection: the submit side of
+// the submit/complete pipeline. Replies are written strictly in
+// submission (= request) order regardless of which goroutine computed
+// them or in what order they completed.
+type connWriter struct {
+	s    *Server
+	conn net.Conn
+	q    chan *pendingReply
+	done chan struct{}
+}
+
+func (s *Server) newConnWriter(conn net.Conn) *connWriter {
+	w := &connWriter{
+		s:    s,
+		conn: conn,
+		q:    make(chan *pendingReply, pipelineDepth),
+		done: make(chan struct{}),
+	}
+	s.wg.Add(1)
+	go w.run()
+	return w
+}
+
+// submit reserves the next in-order reply slot.
+func (w *connWriter) submit(r *pendingReply) { w.q <- r }
+
+// submitRaw enqueues an already-final reply that bypassed dispatch
+// (frame-level protocol errors); the caller did its own counting.
+func (w *connWriter) submitRaw(op byte, status byte, payload []byte) {
+	r := newReply(op)
+	r.observe = false
+	r.complete(status, payload)
+	w.q <- r
+}
+
+// finish closes the submission side and waits until every pending
+// reply has been written (or discarded on a dead connection).
+func (w *connWriter) finish() {
+	close(w.q)
+	<-w.done
+}
+
+func (w *connWriter) run() {
+	defer w.s.wg.Done()
+	defer close(w.done)
+	dead := false
+	for r := range w.q {
+		<-r.ready
+		if r.observe {
+			// Bookkeeping before the write, as the lockstep loop did:
+			// the latency histogram covers decode + queueing + engine
+			// time, and in-flight drops before the reply can provoke
+			// the client's next request.
+			c := w.s.stats.op(r.op)
+			c.observe(time.Since(r.start))
+			if r.status == StatusErr {
+				c.errors.Add(1)
+				w.s.stats.errors.Add(1)
+			}
+			w.s.stats.inFlight.Add(-1)
+		}
+		if !dead {
+			if writeFrame(w.conn, r.status, r.payload) != nil {
+				// The client is gone. Completions for requests already
+				// in flight still drain here so engines and counters
+				// settle; the frames just have nowhere to go. Closing
+				// the conn wakes the reader out of readFrame.
+				dead = true
+				w.conn.Close()
+			}
+		}
+		r.payload = nil
+		replyPool.Put(r)
+	}
+}
+
+// coalesceReq is one parked request: its reply slot, decoded rows, the
+// pool generation that must serve it, and the enqueue time anchoring
+// the serviceNs its client sees (receipt to aggregation output, hold
+// included — the §4.5 clock keeps being honest about queueing).
+type coalesceReq struct {
+	r     *pendingReply
+	rows  [][]float32
+	p     *enginePool
+	svc   time.Time
+	batch bool // OpBatch reply shape (vs OpClassify)
+	// one backs rows for single-row classifies so parking allocates
+	// nothing beyond the pooled coalesceReq itself.
+	one [1][]float32
+}
+
+var coalesceReqPool = sync.Pool{New: func() any { return new(coalesceReq) }}
+
+// coalescer is the shared ingest queue and its flusher. Small requests
+// from every connection park here; the flusher drains the queue into
+// generation-pure predictBatch calls when a batch fills, when everything
+// in flight is already parked, when the hold deadline expires, or when
+// the server drains — parked requests are never dropped.
+type coalescer struct {
+	s       *Server
+	holdNs  atomic.Int64
+	maxRows atomic.Int64
+
+	mu         sync.Mutex
+	pending    []*coalesceReq
+	queuedRows int
+	// queued mirrors len(pending) for the lock-free bypass check.
+	queued atomic.Int64
+
+	wake     chan struct{} // one-slot: the queue just went non-empty
+	kickc    chan struct{} // one-slot: flush now, skip the rest of the hold
+	stop     chan struct{}
+	stopOnce sync.Once
+}
+
+func newCoalescer(s *Server) *coalescer {
+	c := &coalescer{
+		s:     s,
+		wake:  make(chan struct{}, 1),
+		kickc: make(chan struct{}, 1),
+		stop:  make(chan struct{}),
+	}
+	c.holdNs.Store(int64(DefaultCoalesceHold))
+	c.maxRows.Store(DefaultCoalesceMaxRows)
+	go c.run()
+	return c
+}
+
+func (c *coalescer) configure(cfg CoalesceConfig) {
+	c.holdNs.Store(int64(cfg.Hold))
+	c.maxRows.Store(int64(cfg.MaxRows))
+	c.kick() // re-evaluate anything parked under the old policy
+}
+
+func (c *coalescer) config() CoalesceConfig {
+	return CoalesceConfig{
+		Hold:    time.Duration(c.holdNs.Load()),
+		MaxRows: int(c.maxRows.Load()),
+	}
+}
+
+func (c *coalescer) enabled() bool { return c.holdNs.Load() > 0 && c.maxRows.Load() > 1 }
+
+func signal(ch chan struct{}) {
+	select {
+	case ch <- struct{}{}:
+	default:
+	}
+}
+
+func (c *coalescer) kick() { signal(c.kickc) }
+
+// stopFlusher ends the flusher after one final safety flush. Called
+// only once every connection has drained, so no submit can race it.
+func (c *coalescer) stopFlusher() { c.stopOnce.Do(func() { close(c.stop) }) }
+
+// shouldCoalesce is the adaptive admission policy. Kernel-sized batches
+// run alone (predictBatch already escalates them), and a lone request —
+// nothing else in flight, nothing parked — gains no batch-mates from
+// waiting, so it bypasses to the inline row path at zero added latency.
+// The server only pays the hold when there is concurrency to harvest.
+func (c *coalescer) shouldCoalesce(rows int) bool {
+	if !c.enabled() || rows <= 0 || int64(rows) >= c.maxRows.Load() {
+		return false
+	}
+	// inFlight includes the request being admitted.
+	if c.queued.Load() == 0 && c.s.stats.inFlight.Load() <= 1 {
+		return false
+	}
+	return true
+}
+
+// submitClassify parks a single-row OpClassify. A false return means
+// the caller must serve the request inline.
+func (c *coalescer) submitClassify(p *enginePool, r *pendingReply, x []float32) bool {
+	if !c.shouldCoalesce(1) {
+		return false
+	}
+	q := coalesceReqPool.Get().(*coalesceReq)
+	q.one[0] = x
+	q.rows = q.one[:1]
+	q.batch = false
+	c.park(p, r, q)
+	return true
+}
+
+// submitBatch parks a sub-threshold OpBatch whole; its rows stay
+// contiguous in the flush, so the reply never mixes pool generations.
+func (c *coalescer) submitBatch(p *enginePool, r *pendingReply, X [][]float32) bool {
+	if !c.shouldCoalesce(len(X)) {
+		return false
+	}
+	q := coalesceReqPool.Get().(*coalesceReq)
+	q.rows = X
+	q.batch = true
+	c.park(p, r, q)
+	return true
+}
+
+func (c *coalescer) park(p *enginePool, r *pendingReply, q *coalesceReq) {
+	q.r, q.p, q.svc = r, p, time.Now()
+	c.mu.Lock()
+	wasEmpty := len(c.pending) == 0
+	c.pending = append(c.pending, q)
+	c.queuedRows += len(q.rows)
+	nReqs := int64(len(c.pending))
+	nRows := c.queuedRows
+	c.queued.Store(nReqs)
+	c.mu.Unlock()
+	if wasEmpty {
+		signal(c.wake)
+	}
+	// Flush early once the batch is kernel-sized, once everything in
+	// flight is already parked (no more batch-mates can arrive, so the
+	// rest of the hold would be pure latency), or once the server is
+	// draining and held requests must get out.
+	if int64(nRows) >= c.maxRows.Load() || nReqs >= c.s.stats.inFlight.Load() || c.s.draining() {
+		c.kick()
+	}
+}
+
+func (c *coalescer) run() {
+	timer := time.NewTimer(time.Hour)
+	if !timer.Stop() {
+		<-timer.C
+	}
+	for {
+		select {
+		case <-c.stop:
+			c.flush()
+			return
+		case <-c.wake:
+		}
+		hold := time.Duration(c.holdNs.Load())
+		if hold <= 0 {
+			hold = time.Microsecond
+		}
+		timer.Reset(hold)
+		select {
+		case <-timer.C:
+		case <-c.kickc:
+			if !timer.Stop() {
+				<-timer.C
+			}
+		case <-c.stop:
+			if !timer.Stop() {
+				<-timer.C
+			}
+			c.flush()
+			return
+		}
+		c.flush()
+	}
+}
+
+// flush swaps out everything parked and serves it in generation-pure
+// groups, each on its own goroutine so ingest continues while kernels
+// run. A request is never split across groups, so every reply is
+// computed entirely by the pool generation it was admitted under.
+func (c *coalescer) flush() {
+	c.mu.Lock()
+	reqs := c.pending
+	c.pending = nil
+	c.queuedRows = 0
+	c.queued.Store(0)
+	c.mu.Unlock()
+	for len(reqs) > 0 {
+		p := reqs[0].p
+		maxRows := int(c.maxRows.Load())
+		n, rows := 1, len(reqs[0].rows)
+		for n < len(reqs) && reqs[n].p == p && rows+len(reqs[n].rows) <= maxRows {
+			rows += len(reqs[n].rows)
+			n++
+		}
+		group := reqs[:n:n]
+		reqs = reqs[n:]
+		go c.serveGroup(p, group, rows)
+	}
+}
+
+// serveGroup gathers one group's rows, runs them through the same
+// predictBatch path a client-sent batch takes, and scatters the labels
+// back to each request's reply slot.
+func (c *coalescer) serveGroup(p *enginePool, reqs []*coalesceReq, rows int) {
+	X := make([][]float32, 0, rows)
+	for _, q := range reqs {
+		X = append(X, q.rows...)
+	}
+	labels, err := c.predictGroup(p, X)
+	c.s.stats.coalescedBatches.Add(1)
+	c.s.stats.coalescedRequests.Add(uint64(len(reqs)))
+	c.s.stats.coalescedRows.Add(uint64(rows))
+	c.s.stats.observeCoalesceSize(rows)
+	lo := 0
+	for _, q := range reqs {
+		hi := lo + len(q.rows)
+		elapsed := uint64(time.Since(q.svc).Nanoseconds())
+		switch {
+		case err != nil:
+			q.r.complete(StatusErr, []byte(err.Error()))
+		case q.batch:
+			q.r.complete(StatusOK, encodeBatchResponse(labels[lo:hi], elapsed))
+		default:
+			q.r.complete(StatusOK, encodeClassifyResponse(labels[lo], elapsed))
+		}
+		lo = hi
+		q.r, q.p, q.rows, q.one[0] = nil, nil, nil, nil
+		coalesceReqPool.Put(q)
+	}
+}
+
+// predictGroup is predictBatch plus a last-ditch recover: a panic here
+// would strand every writer in the group on a reply that never
+// completes, so it becomes a group-wide protocol error instead.
+// (Engine panics are already converted inside predictBatch; this guards
+// the batch plumbing itself.)
+func (c *coalescer) predictGroup(p *enginePool, X [][]float32) (labels []int, err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			c.s.stats.panics.Add(1)
+			err = fmt.Errorf("serve: coalesced batch failed: %v", r)
+		}
+	}()
+	return c.s.predictBatch(p, X)
+}

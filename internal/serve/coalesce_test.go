@@ -1,0 +1,585 @@
+package serve
+
+import (
+	"context"
+	"path/filepath"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"bolt/internal/core"
+	"bolt/internal/dataset"
+	"bolt/internal/forest"
+	"bolt/internal/tree"
+)
+
+// gateEngine wraps a compiled forest and blocks the first armed
+// Predict until released. With a one-worker pool this pins the engine
+// busy, so tests can pile requests into the coalescer deterministically
+// instead of racing the scheduler.
+type gateEngine struct {
+	bf      *core.Forest
+	s       *core.Scratch
+	armed   atomic.Bool
+	entered chan struct{}
+	release chan struct{}
+}
+
+func (e *gateEngine) Predict(x []float32) int {
+	if e.armed.CompareAndSwap(true, false) {
+		e.entered <- struct{}{}
+		<-e.release
+	}
+	return e.bf.Predict(x, e.s)
+}
+
+func (e *gateEngine) PredictBatchInto(X [][]float32, out []int) {
+	e.bf.PredictBatchInto(X, e.s, out)
+}
+
+func newGateServer(t *testing.T) (*Server, *gateEngine, *core.Forest, *dataset.Dataset, string) {
+	t.Helper()
+	bf, d := batchTestForest(t)
+	eng := &gateEngine{
+		bf:      bf,
+		s:       bf.NewScratch(),
+		entered: make(chan struct{}, 1),
+		release: make(chan struct{}),
+	}
+	sock := filepath.Join(t.TempDir(), "coalesce.sock")
+	srv, err := NewServer(sock, eng, d.NumFeatures)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { srv.Close() })
+	return srv, eng, bf, d, sock
+}
+
+// pinEngine occupies the pool's only engine with a bypassed classify on
+// its own connection and returns once the engine is provably busy. The
+// returned wait func releases nothing — callers close eng.release —
+// but collects the blocker's reply and checks it.
+func pinEngine(t *testing.T, eng *gateEngine, bf *core.Forest, d *dataset.Dataset, sock string) (wait func()) {
+	t.Helper()
+	eng.armed.Store(true)
+	blocker, err := Dial(sock)
+	if err != nil {
+		t.Fatal(err)
+	}
+	done := make(chan struct{})
+	var label int
+	var cerr error
+	go func() {
+		defer close(done)
+		label, _, cerr = blocker.Classify(d.X[0])
+	}()
+	<-eng.entered
+	return func() {
+		defer blocker.Close()
+		<-done
+		if cerr != nil {
+			t.Fatalf("blocker classify: %v", cerr)
+		}
+		if want := bf.Predict(d.X[0], bf.NewScratch()); label != want {
+			t.Fatalf("blocker label %d, reference %d", label, want)
+		}
+	}
+}
+
+// waitInFlight polls the server until exactly n requests are in flight
+// (they cannot complete while the gate engine is pinned, so reaching n
+// means every one of them has been admitted — and, with the engine
+// busy, parked in the coalescer rather than bypassed).
+func waitInFlight(t *testing.T, srv *Server, n int64) {
+	t.Helper()
+	deadline := time.Now().Add(10 * time.Second)
+	for srv.Stats().InFlight < n {
+		if time.Now().After(deadline) {
+			t.Fatalf("in-flight stuck at %d, want %d", srv.Stats().InFlight, n)
+		}
+		time.Sleep(time.Millisecond)
+	}
+}
+
+// TestCoalesceManyConnsBitExact is the acceptance scenario: 64
+// concurrent single-row connections must be served through coalesced
+// batches (counter > 0) with every label bit-exact against the serial
+// row path, and zero errors.
+func TestCoalesceManyConnsBitExact(t *testing.T) {
+	srv, eng, bf, d, sock := newGateServer(t)
+	cfg := CoalesceConfig{Hold: 2 * time.Millisecond, MaxRows: 256}
+	srv.SetCoalescing(cfg)
+	if got := srv.Coalescing(); got != cfg {
+		t.Fatalf("Coalescing() = %+v, want %+v", got, cfg)
+	}
+	waitBlocker := pinEngine(t, eng, bf, d, sock)
+
+	const n = 64
+	labels := make([]int, n)
+	errs := make([]error, n)
+	var wg sync.WaitGroup
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			cl, err := Dial(sock)
+			if err != nil {
+				errs[i] = err
+				return
+			}
+			defer cl.Close()
+			labels[i], _, errs[i] = cl.Classify(d.X[i+1])
+		}(i)
+	}
+	waitInFlight(t, srv, n+1) // 64 parked + the blocker
+	close(eng.release)
+	wg.Wait()
+	waitBlocker()
+
+	s := bf.NewScratch()
+	for i := 0; i < n; i++ {
+		if errs[i] != nil {
+			t.Fatalf("client %d: %v", i, errs[i])
+		}
+		if want := bf.Predict(d.X[i+1], s); labels[i] != want {
+			t.Errorf("client %d: coalesced label %d, row path %d", i, labels[i], want)
+		}
+	}
+	st := srv.Stats()
+	if st.CoalescedBatches == 0 {
+		t.Error("no coalesced batches ran")
+	}
+	if st.CoalescedRequests != n || st.CoalescedRows != n {
+		t.Errorf("coalesced %d requests / %d rows, want %d / %d",
+			st.CoalescedRequests, st.CoalescedRows, n, n)
+	}
+	if st.Errors != 0 || st.Panics != 0 {
+		t.Errorf("errors=%d panics=%d, want 0/0", st.Errors, st.Panics)
+	}
+	if st.CoalesceMeanRows() <= 1 {
+		t.Errorf("mean coalesced batch of %.1f rows never exceeded 1", st.CoalesceMeanRows())
+	}
+}
+
+// TestCoalesceSubBatchJoins proves sub-threshold OpBatch requests join
+// the shared queue whole — each reply carries exactly its own rows —
+// while a kernel-sized batch and an empty batch stay on the inline
+// path.
+func TestCoalesceSubBatchJoins(t *testing.T) {
+	srv, eng, bf, d, sock := newGateServer(t)
+	waitBlocker := pinEngine(t, eng, bf, d, sock)
+
+	sizes := []int{3, 5, 7, 9}
+	total := 0
+	offs := make([]int, len(sizes))
+	for i, sz := range sizes {
+		offs[i] = 1 + total
+		total += sz
+	}
+	results := make([][]int, len(sizes))
+	errs := make([]error, len(sizes))
+	var wg sync.WaitGroup
+	for i, sz := range sizes {
+		wg.Add(1)
+		go func(i, sz int) {
+			defer wg.Done()
+			cl, err := Dial(sock)
+			if err != nil {
+				errs[i] = err
+				return
+			}
+			defer cl.Close()
+			results[i], _, errs[i] = cl.ClassifyBatch(d.X[offs[i] : offs[i]+sz])
+		}(i, sz)
+	}
+	waitInFlight(t, srv, int64(len(sizes))+1)
+	close(eng.release)
+	wg.Wait()
+	waitBlocker()
+
+	s := bf.NewScratch()
+	for i, sz := range sizes {
+		if errs[i] != nil {
+			t.Fatalf("batch client %d: %v", i, errs[i])
+		}
+		if len(results[i]) != sz {
+			t.Fatalf("batch client %d got %d labels, want %d", i, len(results[i]), sz)
+		}
+		for j, x := range d.X[offs[i] : offs[i]+sz] {
+			if want := bf.Predict(x, s); results[i][j] != want {
+				t.Errorf("batch client %d row %d: %d, row path %d", i, j, results[i][j], want)
+			}
+		}
+	}
+	st := srv.Stats()
+	if st.CoalescedRequests != uint64(len(sizes)) || st.CoalescedRows != uint64(total) {
+		t.Errorf("coalesced %d requests / %d rows, want %d / %d",
+			st.CoalescedRequests, st.CoalescedRows, len(sizes), total)
+	}
+
+	// A kernel-sized batch and an empty batch must bypass the queue.
+	cl, err := Dial(sock)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cl.Close()
+	if _, _, err := cl.ClassifyBatch(d.X); err != nil { // 300 rows >= MaxRows
+		t.Fatal(err)
+	}
+	if got, _, err := cl.ClassifyBatch(nil); err != nil || len(got) != 0 {
+		t.Fatalf("empty batch: %v (%d labels)", err, len(got))
+	}
+	if after := srv.Stats(); after.CoalescedRows != st.CoalescedRows {
+		t.Errorf("large/empty batch was coalesced: rows %d -> %d", st.CoalescedRows, after.CoalescedRows)
+	}
+	if st.Errors != 0 {
+		t.Errorf("errors=%d, want 0", st.Errors)
+	}
+}
+
+// TestCoalesceFlushOnShutdown: requests parked in the coalescer when
+// Shutdown begins must flush and answer, never drop.
+func TestCoalesceFlushOnShutdown(t *testing.T) {
+	srv, eng, bf, d, sock := newGateServer(t)
+	srv.SetCoalescing(CoalesceConfig{Hold: time.Hour, MaxRows: 256}) // only drain may flush
+	waitBlocker := pinEngine(t, eng, bf, d, sock)
+
+	const n = 8
+	labels := make([]int, n)
+	errs := make([]error, n)
+	var wg sync.WaitGroup
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			cl, err := Dial(sock)
+			if err != nil {
+				errs[i] = err
+				return
+			}
+			defer cl.Close()
+			labels[i], _, errs[i] = cl.Classify(d.X[i+1])
+		}(i)
+	}
+	waitInFlight(t, srv, n+1)
+
+	shutdownErr := make(chan error, 1)
+	go func() {
+		ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+		defer cancel()
+		shutdownErr <- srv.Shutdown(ctx)
+	}()
+	// Give the drain a moment to kick the flusher, then unblock the
+	// engine so the flushed batch can run.
+	time.Sleep(10 * time.Millisecond)
+	close(eng.release)
+	wg.Wait()
+	waitBlocker()
+	if err := <-shutdownErr; err != nil {
+		t.Fatalf("shutdown: %v", err)
+	}
+
+	s := bf.NewScratch()
+	for i := 0; i < n; i++ {
+		if errs[i] != nil {
+			t.Fatalf("client %d dropped across drain: %v", i, errs[i])
+		}
+		if want := bf.Predict(d.X[i+1], s); labels[i] != want {
+			t.Errorf("client %d: %d, row path %d", i, labels[i], want)
+		}
+	}
+	st := srv.Stats()
+	if st.CoalescedRequests != n {
+		t.Errorf("coalesced %d requests, want %d", st.CoalescedRequests, n)
+	}
+	if st.Errors != 0 {
+		t.Errorf("errors=%d, want 0", st.Errors)
+	}
+}
+
+// TestCoalesceDisabled: Hold <= 0 switches coalescing off and every
+// request takes the inline path, concurrency or not.
+func TestCoalesceDisabled(t *testing.T) {
+	srv, bf, d, sock := newPoolServer(t, 4)
+	srv.SetCoalescing(CoalesceConfig{})
+
+	const clients = 16
+	var wg sync.WaitGroup
+	errCh := make(chan error, clients)
+	for c := 0; c < clients; c++ {
+		wg.Add(1)
+		go func(c int) {
+			defer wg.Done()
+			cl, err := Dial(sock)
+			if err != nil {
+				errCh <- err
+				return
+			}
+			defer cl.Close()
+			s := bf.NewScratch()
+			for j := 0; j < 10; j++ {
+				x := d.X[(c*31+j)%d.Len()]
+				label, _, err := cl.Classify(x)
+				if err != nil {
+					errCh <- err
+					return
+				}
+				if want := bf.Predict(x, s); label != want {
+					t.Errorf("client %d: %d, want %d", c, label, want)
+				}
+			}
+		}(c)
+	}
+	wg.Wait()
+	close(errCh)
+	for err := range errCh {
+		t.Fatal(err)
+	}
+	if st := srv.Stats(); st.CoalescedBatches != 0 {
+		t.Errorf("disabled coalescer still ran %d batches", st.CoalescedBatches)
+	}
+}
+
+// TestCoalesceReloadShutdownRace drives many concurrent single-row
+// connections through the coalescer across hot reloads and a graceful
+// shutdown. Every reply that arrives must be bit-exact for the sample
+// that connection sent (distinct per client, so a misrouted reply
+// shows up as a wrong label), the server must record zero errors, and
+// requests in flight when the drain begins must still answer. Run
+// under -race in CI, this is the pipeline's data-race certificate.
+func TestCoalesceReloadShutdownRace(t *testing.T) {
+	srv, bf, d, sock := newPoolServer(t, 4)
+	srv.SetCoalescing(CoalesceConfig{Hold: 100 * time.Microsecond, MaxRows: 64})
+	srv.SetReloader(func(path string) (EngineFactory, int, string, error) {
+		return func() Engine {
+			return &boltEngine{bf: bf, s: bf.NewScratch()}
+		}, d.NumFeatures, "reloaded", nil
+	})
+
+	want := make([]int, d.Len())
+	s := bf.NewScratch()
+	for i, x := range d.X {
+		want[i] = bf.Predict(x, s)
+	}
+
+	const clients = 32
+	const iters = 50
+	var draining atomic.Bool
+	var served atomic.Int64
+	start := make(chan struct{})
+	var wg sync.WaitGroup
+	for c := 0; c < clients; c++ {
+		wg.Add(1)
+		go func(c int) {
+			defer wg.Done()
+			cl, err := Dial(sock)
+			if err != nil {
+				t.Error(err)
+				return
+			}
+			defer cl.Close()
+			<-start
+			for j := 0; j < iters; j++ {
+				i := (c*61 + j*17) % d.Len()
+				label, _, err := cl.Classify(d.X[i])
+				if err != nil {
+					if !draining.Load() {
+						t.Errorf("client %d iter %d: %v", c, j, err)
+					}
+					return
+				}
+				if label != want[i] {
+					t.Errorf("client %d iter %d: label %d, want %d (misrouted?)", c, j, label, want[i])
+				}
+				served.Add(1)
+			}
+		}(c)
+	}
+
+	reloads := make(chan struct{})
+	go func() {
+		defer close(reloads)
+		for r := 0; r < 10; r++ {
+			if err := srv.Reload(""); err != nil && !draining.Load() {
+				t.Errorf("reload %d: %v", r, err)
+			}
+			time.Sleep(2 * time.Millisecond)
+		}
+	}()
+
+	close(start)
+	time.Sleep(25 * time.Millisecond)
+	draining.Store(true)
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+	if err := srv.Shutdown(ctx); err != nil {
+		t.Fatalf("shutdown: %v", err)
+	}
+	wg.Wait()
+	<-reloads
+
+	st := srv.Stats()
+	if st.Errors != 0 || st.Panics != 0 {
+		t.Errorf("server recorded errors=%d panics=%d, want 0/0", st.Errors, st.Panics)
+	}
+	if served.Load() == 0 {
+		t.Error("no request completed before the drain")
+	}
+	if st.CoalescedBatches == 0 {
+		t.Error("no coalesced batches formed under 32 concurrent clients")
+	}
+	t.Logf("served %d replies, %d coalesced batches (mean %.1f rows), %d reloads",
+		served.Load(), st.CoalescedBatches, st.CoalesceMeanRows(), st.Reloads)
+}
+
+var (
+	coalesceFuzzOnce sync.Once
+	coalesceFuzzBF   *core.Forest
+	coalesceFuzzD    *dataset.Dataset
+	coalesceFuzzWant []int
+)
+
+func coalesceFuzzModel() (*core.Forest, *dataset.Dataset, []int) {
+	coalesceFuzzOnce.Do(func() {
+		d := dataset.SyntheticBlobs(256, 6, 3, 1.0, 701)
+		f := forest.Train(d, forest.Config{NumTrees: 6, Tree: tree.Config{MaxDepth: 4}, Seed: 702})
+		bf, err := core.Compile(f, core.Options{})
+		if err != nil {
+			panic(err)
+		}
+		want := make([]int, d.Len())
+		s := bf.NewScratch()
+		for i, x := range d.X {
+			want[i] = bf.Predict(x, s)
+		}
+		coalesceFuzzBF, coalesceFuzzD, coalesceFuzzWant = bf, d, want
+	})
+	return coalesceFuzzBF, coalesceFuzzD, coalesceFuzzWant
+}
+
+// FuzzCoalesceDifferential feeds arbitrary interleavings of request
+// sizes across concurrent connections through a coalescing server and
+// requires every reply to be bit-exact with the serial row path. Byte
+// 0 picks the connection count; each further byte becomes one request
+// on a connection (round-robin): the high bits choose a batch size (0 =
+// single-row classify), the low bits an offset into the dataset.
+func FuzzCoalesceDifferential(f *testing.F) {
+	f.Add([]byte{3, 0, 5, 17, 129, 0, 33, 255, 64})
+	f.Add([]byte{1, 0, 0, 0})
+	f.Add([]byte{6, 2, 250, 2, 9, 2, 77, 2, 180, 2})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		if len(data) < 2 || len(data) > 48 {
+			return
+		}
+		bf, d, want := coalesceFuzzModel()
+		nConns := int(data[0])%6 + 1
+		scripts := make([][]byte, nConns)
+		for i, b := range data[1:] {
+			scripts[i%nConns] = append(scripts[i%nConns], b)
+		}
+		sock := filepath.Join(t.TempDir(), "fuzz.sock")
+		srv, err := NewPool(sock, func() Engine {
+			return &boltEngine{bf: bf, s: bf.NewScratch()}
+		}, d.NumFeatures, 4)
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer srv.Close()
+		srv.SetCoalescing(CoalesceConfig{Hold: 200 * time.Microsecond, MaxRows: 32})
+
+		var wg sync.WaitGroup
+		for c, script := range scripts {
+			if len(script) == 0 {
+				continue
+			}
+			wg.Add(1)
+			go func(c int, script []byte) {
+				defer wg.Done()
+				cl, err := Dial(sock)
+				if err != nil {
+					t.Error(err)
+					return
+				}
+				defer cl.Close()
+				for j, b := range script {
+					sz := int(b >> 3)
+					off := int(b&7) * 31 % d.Len()
+					if sz == 0 {
+						label, _, err := cl.Classify(d.X[off])
+						if err != nil {
+							t.Errorf("conn %d req %d: %v", c, j, err)
+							return
+						}
+						if label != want[off] {
+							t.Errorf("conn %d req %d: label %d, row path %d", c, j, label, want[off])
+						}
+						continue
+					}
+					if off+sz > d.Len() {
+						sz = d.Len() - off
+					}
+					labels, _, err := cl.ClassifyBatch(d.X[off : off+sz])
+					if err != nil {
+						t.Errorf("conn %d req %d: %v", c, j, err)
+						return
+					}
+					for k := range labels {
+						if labels[k] != want[off+k] {
+							t.Errorf("conn %d req %d row %d: label %d, row path %d",
+								c, j, k, labels[k], want[off+k])
+						}
+					}
+				}
+			}(c, script)
+		}
+		wg.Wait()
+	})
+}
+
+// BenchmarkCoalescedSingleRow measures closed-loop single-row traffic
+// from 16 connections through the coalescing pipeline — the CI bitrot
+// run keeps it compiling and serving.
+func BenchmarkCoalescedSingleRow(b *testing.B) {
+	bf, d := batchTestForest(b)
+	sock := filepath.Join(b.TempDir(), "bench.sock")
+	srv, err := NewPool(sock, func() Engine {
+		return &boltEngine{bf: bf, s: bf.NewScratch()}
+	}, d.NumFeatures, 4)
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer srv.Close()
+
+	const conns = 16
+	var next atomic.Int64
+	b.ResetTimer()
+	var wg sync.WaitGroup
+	for c := 0; c < conns; c++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			cl, err := Dial(sock)
+			if err != nil {
+				b.Error(err)
+				return
+			}
+			defer cl.Close()
+			for {
+				i := next.Add(1)
+				if i > int64(b.N) {
+					return
+				}
+				if _, _, err := cl.Classify(d.X[int(i)%d.Len()]); err != nil {
+					b.Error(err)
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	b.StopTimer()
+	if st := srv.Stats(); st.CoalescedBatches > 0 {
+		b.ReportMetric(float64(st.CoalescedRows)/float64(st.CoalescedBatches), "rows/batch")
+	}
+}

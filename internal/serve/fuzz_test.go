@@ -48,6 +48,9 @@ func FuzzDecodeStats(f *testing.F) {
 	op.Buckets[5] = 9
 	st.Ops = append(st.Ops, op)
 	f.Add(encodeStats(st))
+	st.CoalescedBatches, st.CoalescedRequests, st.CoalescedRows = 4, 30, 60
+	st.CoalesceSize[4] = 4
+	f.Add(encodeStats(st))
 	f.Add(encodeStats(ServerStats{}))
 	f.Add([]byte{})
 

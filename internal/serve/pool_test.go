@@ -270,7 +270,11 @@ func TestStatsEndToEnd(t *testing.T) {
 }
 
 func TestStatsRoundTrip(t *testing.T) {
-	in := ServerStats{Requests: 7, Errors: 2, InFlight: 1, Workers: 4}
+	in := ServerStats{
+		Requests: 7, Errors: 2, InFlight: 1, Workers: 4,
+		CoalescedBatches: 3, CoalescedRequests: 17, CoalescedRows: 21,
+	}
+	in.CoalesceSize[5] = 3
 	var op OpStat
 	op.Op = OpClassify
 	op.Count = 5
@@ -286,6 +290,20 @@ func TestStatsRoundTrip(t *testing.T) {
 	if out.Requests != in.Requests || out.Errors != in.Errors ||
 		out.InFlight != in.InFlight || out.Workers != in.Workers {
 		t.Fatalf("header mismatch: %+v vs %+v", out, in)
+	}
+	if out.CoalescedBatches != in.CoalescedBatches ||
+		out.CoalescedRequests != in.CoalescedRequests ||
+		out.CoalescedRows != in.CoalescedRows ||
+		out.CoalesceSize != in.CoalesceSize {
+		t.Fatalf("coalesce block mismatch: %+v vs %+v", out, in)
+	}
+	if got := out.CoalesceMeanRows(); got != 7 {
+		t.Errorf("CoalesceMeanRows = %v, want 7", got)
+	}
+	// All three batches sit in bucket 5, so every quantile resolves to
+	// its upper edge.
+	if got := out.CoalesceSizeQuantile(0.5); got != 1<<5 {
+		t.Errorf("CoalesceSizeQuantile(0.5) = %d, want %d", got, 1<<5)
 	}
 	if len(out.Ops) != 1 || out.Ops[0] != in.Ops[0] {
 		t.Fatalf("ops mismatch: %+v vs %+v", out.Ops, in.Ops)

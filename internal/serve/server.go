@@ -147,6 +147,11 @@ type Server struct {
 	// drain.
 	drained chan struct{}
 
+	// co is the request-coalescing stage: small requests from every
+	// connection park in its shared ingest queue and are served by
+	// cross-connection batch calls (see coalesce.go).
+	co *coalescer
+
 	stats serverStats
 }
 
@@ -180,10 +185,19 @@ func NewPool(socketPath string, factory EngineFactory, numFeatures, workers int)
 	}
 	s.pool.Store(p)
 	s.health.Store(uint32(HealthReady))
+	s.co = newCoalescer(s)
 	s.wg.Add(1)
 	go s.acceptLoop()
 	return s, nil
 }
+
+// SetCoalescing reconfigures the request-coalescing stage. Safe on a
+// live server: requests already parked are flushed and re-admission
+// follows the new policy.
+func (s *Server) SetCoalescing(cfg CoalesceConfig) { s.co.configure(cfg) }
+
+// Coalescing reports the current coalescing configuration.
+func (s *Server) Coalescing() CoalesceConfig { return s.co.config() }
 
 // Addr returns the listening socket path.
 func (s *Server) Addr() string { return s.ln.Addr().String() }
@@ -244,6 +258,10 @@ func (s *Server) Reload(path string) error {
 	s.pool.Store(p)
 	s.modelSum.Store(sum)
 	s.stats.reloads.Add(1)
+	// Requests parked before the swap captured the old generation;
+	// flush them now so the old pool drains promptly and nothing waits
+	// out a hold across the swap.
+	s.co.kick()
 	return nil
 }
 
@@ -281,7 +299,11 @@ func (s *Server) draining() bool { return s.health.Load() == uint32(HealthDraini
 
 func (s *Server) handle(conn net.Conn) {
 	defer s.wg.Done()
+	w := s.newConnWriter(conn)
 	defer func() {
+		// Stop submitting, let every pending reply reach the wire, then
+		// release the connection.
+		w.finish()
 		conn.Close()
 		s.mu.Lock()
 		delete(s.conns, conn)
@@ -297,9 +319,7 @@ func (s *Server) handle(conn net.Conn) {
 				s.stats.requests.Add(1)
 				s.stats.errors.Add(1)
 				s.stats.op(op).errors.Add(1)
-				if writeFrame(conn, StatusErr, []byte(err.Error())) != nil {
-					return
-				}
+				w.submitRaw(op, StatusErr, []byte(err.Error()))
 				if _, err := io.CopyN(io.Discard, conn, int64(tooBig.n)); err != nil {
 					return
 				}
@@ -313,78 +333,77 @@ func (s *Server) handle(conn net.Conn) {
 			if !errors.Is(err, io.EOF) && !errors.Is(err, net.ErrClosed) {
 				// Protocol violation: answer once if possible, then drop.
 				s.stats.errors.Add(1)
-				//bolt:allow errwrite best-effort reply before dropping the connection
-				writeFrame(conn, StatusErr, []byte(err.Error()))
+				w.submitRaw(op, StatusErr, []byte(err.Error()))
 			}
 			return
 		}
 		s.stats.requests.Add(1)
 		s.stats.inFlight.Add(1)
-		err = s.serveRequest(conn, op, payload)
-		s.stats.inFlight.Add(-1)
-		if err != nil {
-			return
-		}
+		s.serveRequest(w, op, payload)
 		if s.draining() {
-			// The request that was in flight when Shutdown began has
-			// been answered; release the connection.
+			// The request in flight when Shutdown began has a reply
+			// slot reserved; the deferred finish delivers it before the
+			// connection closes.
 			return
 		}
 	}
 }
 
-// serveRequest dispatches one frame with per-connection panic
-// isolation: a panic anywhere in decode or dispatch answers StatusErr
-// and bumps the panic counter, and the connection loop keeps serving.
-func (s *Server) serveRequest(conn net.Conn, op byte, payload []byte) (err error) {
-	start := time.Now()
+// serveRequest reserves the connection's next in-order reply slot and
+// dispatches one frame with per-connection panic isolation: a panic
+// anywhere in decode or dispatch completes the slot with StatusErr and
+// bumps the panic counter, and the connection loop keeps serving.
+// Whatever happens, the reserved slot is completed exactly once —
+// inline here, or later by a coalescer flush.
+func (s *Server) serveRequest(w *connWriter, op byte, payload []byte) {
+	r := newReply(op)
+	w.submit(r)
 	defer func() {
-		if r := recover(); r != nil {
+		if rec := recover(); rec != nil {
 			s.stats.panics.Add(1)
-			err = s.reply(conn, op, start, StatusErr, []byte(fmt.Sprintf("serve: request handler panicked: %v", r)))
+			r.complete(StatusErr, []byte(fmt.Sprintf("serve: request handler panicked: %v", rec)))
 		}
 	}()
 	if ferr := faults.Inject("serve/conn"); ferr != nil {
-		return s.reply(conn, op, start, StatusErr, []byte(ferr.Error()))
+		r.complete(StatusErr, []byte(ferr.Error()))
+		return
 	}
-	return s.dispatch(conn, op, payload, start)
+	s.dispatch(r, op, payload)
 }
 
-// reply records the op's dispatch latency and outcome, then writes the
-// response frame. The latency histogram covers decode + engine time
-// (queueing for an idle engine included); the serviceNs carried inside
-// successful responses remains the engine-only time of §4.5.
-func (s *Server) reply(conn net.Conn, op byte, start time.Time, status byte, payload []byte) error {
-	c := s.stats.op(op)
-	c.observe(time.Since(start))
-	if status == StatusErr {
-		c.errors.Add(1)
-		s.stats.errors.Add(1)
-	}
-	return writeFrame(conn, status, payload)
-}
-
-func (s *Server) dispatch(conn net.Conn, op byte, payload []byte, start time.Time) error {
+// dispatch serves one decoded frame, ending every path at exactly one
+// complete call (or a coalescer handoff that guarantees the same). The
+// latency histogram the writer records covers decode + queueing +
+// engine time; the serviceNs inside successful responses remains the
+// receipt-to-output clock of §4.5 — for coalesced requests that clock
+// includes the hold, since the request really did wait.
+func (s *Server) dispatch(r *pendingReply, op byte, payload []byte) {
 	// One pool snapshot per request: a concurrent reload never mixes
-	// engine generations or feature counts within a request.
+	// engine generations or feature counts within a request, coalesced
+	// or not.
 	p := s.pool.Load()
 	//bolt:ops decode
 	switch op {
 	case OpPing:
-		return s.reply(conn, op, start, StatusOK, nil)
+		r.complete(StatusOK, nil)
 	case OpStats:
-		return s.reply(conn, op, start, StatusOK, encodeStats(s.stats.snapshot(p.workers)))
+		r.complete(StatusOK, encodeStats(s.stats.snapshot(p.workers)))
 	case OpHealth:
-		return s.reply(conn, op, start, StatusOK, encodeHealth(s.Healthz()))
+		r.complete(StatusOK, encodeHealth(s.Healthz()))
 	case OpReload:
 		if err := s.Reload(string(payload)); err != nil {
-			return s.reply(conn, op, start, StatusErr, []byte(err.Error()))
+			r.complete(StatusErr, []byte(err.Error()))
+			return
 		}
-		return s.reply(conn, op, start, StatusOK, []byte(s.modelChecksum()))
+		r.complete(StatusOK, []byte(s.modelChecksum()))
 	case OpClassify:
 		x, err := s.decodeInput(p, payload)
 		if err != nil {
-			return s.reply(conn, op, start, StatusErr, []byte(err.Error()))
+			r.complete(StatusErr, []byte(err.Error()))
+			return
+		}
+		if s.co.submitClassify(p, r, x) {
+			return // parked; a coalesced flush completes the reply
 		}
 		// Service time: receipt to aggregation output (§4.5), network
 		// excluded — the clock starts after the frame is fully read.
@@ -393,52 +412,64 @@ func (s *Server) dispatch(conn net.Conn, op byte, payload []byte, start time.Tim
 		err = s.withEngine(p, func(e Engine) { label = e.Predict(x) })
 		elapsed := time.Since(svc)
 		if err != nil {
-			return s.reply(conn, op, start, StatusErr, []byte(err.Error()))
+			r.complete(StatusErr, []byte(err.Error()))
+			return
 		}
-		return s.reply(conn, op, start, StatusOK, encodeClassifyResponse(label, uint64(elapsed.Nanoseconds())))
+		r.complete(StatusOK, encodeClassifyResponse(label, uint64(elapsed.Nanoseconds())))
 	case OpValue:
 		if _, ok := p.rep.(ValuePredictor); !ok {
-			return s.reply(conn, op, start, StatusErr, []byte("serve: engine does not support regression"))
+			r.complete(StatusErr, []byte("serve: engine does not support regression"))
+			return
 		}
 		x, err := s.decodeInput(p, payload)
 		if err != nil {
-			return s.reply(conn, op, start, StatusErr, []byte(err.Error()))
+			r.complete(StatusErr, []byte(err.Error()))
+			return
 		}
 		var value float32
 		svc := time.Now()
 		err = s.withEngine(p, func(e Engine) { value = e.(ValuePredictor).PredictValue(x) })
 		elapsed := time.Since(svc)
 		if err != nil {
-			return s.reply(conn, op, start, StatusErr, []byte(err.Error()))
+			r.complete(StatusErr, []byte(err.Error()))
+			return
 		}
-		return s.reply(conn, op, start, StatusOK, encodeValueResponse(value, uint64(elapsed.Nanoseconds())))
+		r.complete(StatusOK, encodeValueResponse(value, uint64(elapsed.Nanoseconds())))
 	case OpBatch:
 		X, err := decodeBatchRequest(payload, p.numFeatures)
 		if err != nil {
-			return s.reply(conn, op, start, StatusErr, []byte(err.Error()))
+			r.complete(StatusErr, []byte(err.Error()))
+			return
+		}
+		if len(X) > 0 && s.co.submitBatch(p, r, X) {
+			return // parked; a coalesced flush completes the reply
 		}
 		svc := time.Now()
 		labels, err := s.predictBatch(p, X)
 		elapsed := time.Since(svc)
 		if err != nil {
-			return s.reply(conn, op, start, StatusErr, []byte(err.Error()))
+			r.complete(StatusErr, []byte(err.Error()))
+			return
 		}
-		return s.reply(conn, op, start, StatusOK, encodeBatchResponse(labels, uint64(elapsed.Nanoseconds())))
+		r.complete(StatusOK, encodeBatchResponse(labels, uint64(elapsed.Nanoseconds())))
 	case OpSalience:
 		if _, ok := p.rep.(Explainer); !ok {
-			return s.reply(conn, op, start, StatusErr, []byte("serve: engine does not support salience"))
+			r.complete(StatusErr, []byte("serve: engine does not support salience"))
+			return
 		}
 		x, err := s.decodeInput(p, payload)
 		if err != nil {
-			return s.reply(conn, op, start, StatusErr, []byte(err.Error()))
+			r.complete(StatusErr, []byte(err.Error()))
+			return
 		}
 		var counts []int
 		if err := s.withEngine(p, func(e Engine) { counts = e.(Explainer).Salience(x) }); err != nil {
-			return s.reply(conn, op, start, StatusErr, []byte(err.Error()))
+			r.complete(StatusErr, []byte(err.Error()))
+			return
 		}
-		return s.reply(conn, op, start, StatusOK, encodeCounts(counts))
+		r.complete(StatusOK, encodeCounts(counts))
 	default:
-		return s.reply(conn, op, start, StatusErr, []byte(fmt.Sprintf("serve: unknown op %#x", op)))
+		r.complete(StatusErr, []byte(fmt.Sprintf("serve: unknown op %#x", op)))
 	}
 }
 
@@ -504,6 +535,11 @@ func (s *Server) predictBatch(p *enginePool, X [][]float32) ([]int, error) {
 	var wg sync.WaitGroup
 	for sh := 0; sh < shards; sh++ {
 		lo := sh * chunk
+		if lo >= len(X) {
+			// Ceil-divided chunks can leave trailing shards empty
+			// (e.g. 5 rows over 4 workers); nothing left to assign.
+			break
+		}
 		hi := lo + chunk
 		if hi > len(X) {
 			hi = len(X)
@@ -619,8 +655,15 @@ func (s *Server) Shutdown(ctx context.Context) error {
 		for conn := range s.conns {
 			conn.SetReadDeadline(now)
 		}
+		// Requests parked in the coalescer must flush, never drop: kick
+		// the hold immediately (submits that land after this see the
+		// draining state and kick again themselves).
+		s.co.kick()
 		go func() {
 			s.wg.Wait()
+			// All readers and writers are gone, so nothing can park or
+			// await another reply; retire the flusher.
+			s.co.stopFlusher()
 			close(s.drained)
 		}()
 	}

@@ -60,22 +60,47 @@ type serverStats struct {
 	reloads         atomic.Uint64
 	parallelBatches atomic.Uint64
 	inFlight        atomic.Int64
-	ops             [len(trackedOps)]opCounter
+
+	// Coalescing counters: batches flushed by the coalescer, the
+	// requests and rows they carried, and a log2 batch-size histogram
+	// (coalesceSize[b] counts flushes of rows with bits.Len64(rows) ==
+	// b). All part of the OpStats wire snapshot, so operators can see
+	// whether micro-batching is actually forming batches.
+	coalescedBatches  atomic.Uint64
+	coalescedRequests atomic.Uint64
+	coalescedRows     atomic.Uint64
+	coalesceSize      [HistBuckets]atomic.Uint64
+
+	ops [len(trackedOps)]opCounter
 }
 
 func (s *serverStats) op(op byte) *opCounter { return &s.ops[opIndex(op)] }
+
+func (s *serverStats) observeCoalesceSize(rows int) {
+	b := bits.Len64(uint64(rows))
+	if b >= HistBuckets {
+		b = HistBuckets - 1
+	}
+	s.coalesceSize[b].Add(1)
+}
 
 // snapshot copies the counters into an exportable ServerStats. The
 // copy is not a consistent cut across counters (requests may tick
 // between reads) but every individual value is a valid atomic load.
 func (s *serverStats) snapshot(workers int) ServerStats {
 	out := ServerStats{
-		Requests: s.requests.Load(),
-		Errors:   s.errors.Load(),
-		Panics:   s.panics.Load(),
-		Reloads:  s.reloads.Load(),
-		InFlight: s.inFlight.Load(),
-		Workers:  workers,
+		Requests:          s.requests.Load(),
+		Errors:            s.errors.Load(),
+		Panics:            s.panics.Load(),
+		Reloads:           s.reloads.Load(),
+		InFlight:          s.inFlight.Load(),
+		Workers:           workers,
+		CoalescedBatches:  s.coalescedBatches.Load(),
+		CoalescedRequests: s.coalescedRequests.Load(),
+		CoalescedRows:     s.coalescedRows.Load(),
+	}
+	for b := range s.coalesceSize {
+		out.CoalesceSize[b] = s.coalesceSize[b].Load()
 	}
 	for i := range s.ops {
 		c := &s.ops[i]
@@ -146,23 +171,76 @@ type ServerStats struct {
 	Reloads  uint64
 	InFlight int64
 	Workers  int
-	Ops      []OpStat
+	// CoalescedBatches counts cross-connection batches flushed by the
+	// request coalescer; CoalescedRequests and CoalescedRows are the
+	// requests and sample rows those batches carried. CoalesceSize is a
+	// log2 histogram of rows per coalesced batch (bucket b counts
+	// flushes with bits.Len64(rows) == b).
+	CoalescedBatches  uint64
+	CoalescedRequests uint64
+	CoalescedRows     uint64
+	CoalesceSize      [HistBuckets]uint64
+	Ops               []OpStat
 }
 
-// encodeStats packs requests | errors | panics | reloads | inFlight |
-// workers | numOps | ops, each op as op | count | errors | totalNs |
-// buckets.
+// CoalesceMeanRows is the mean rows per coalesced batch.
+func (s ServerStats) CoalesceMeanRows() float64 {
+	if s.CoalescedBatches == 0 {
+		return 0
+	}
+	return float64(s.CoalescedRows) / float64(s.CoalescedBatches)
+}
+
+// CoalesceSizeQuantile returns an upper bound on the q-quantile rows
+// per coalesced batch from the log2 histogram (exact to within a
+// factor of two).
+func (s ServerStats) CoalesceSizeQuantile(q float64) uint64 {
+	if s.CoalescedBatches == 0 {
+		return 0
+	}
+	if q < 0 {
+		q = 0
+	} else if q > 1 {
+		q = 1
+	}
+	rank := uint64(q * float64(s.CoalescedBatches-1))
+	var seen uint64
+	for b, n := range s.CoalesceSize {
+		seen += n
+		if seen > rank {
+			return uint64(1) << b
+		}
+	}
+	return uint64(1) << (HistBuckets - 1)
+}
+
+// statsHeaderBytes is the fixed prefix of an OpStats payload:
+// requests | errors | panics | reloads | inFlight | workers |
+// coalescedBatches | coalescedRequests | coalescedRows |
+// coalesceSize histogram | numOps.
+const statsHeaderBytes = 8 + 8 + 8 + 8 + 8 + 4 + 8 + 8 + 8 + HistBuckets*8 + 1
+
+// encodeStats packs the header above followed by the ops, each op as
+// op | count | errors | totalNs | buckets.
 func encodeStats(st ServerStats) []byte {
 	const opBytes = 1 + 8 + 8 + 8 + HistBuckets*8
-	buf := make([]byte, 8+8+8+8+8+4+1+len(st.Ops)*opBytes)
+	buf := make([]byte, statsHeaderBytes+len(st.Ops)*opBytes)
 	binary.LittleEndian.PutUint64(buf, st.Requests)
 	binary.LittleEndian.PutUint64(buf[8:], st.Errors)
 	binary.LittleEndian.PutUint64(buf[16:], st.Panics)
 	binary.LittleEndian.PutUint64(buf[24:], st.Reloads)
 	binary.LittleEndian.PutUint64(buf[32:], uint64(st.InFlight))
 	binary.LittleEndian.PutUint32(buf[40:], uint32(st.Workers))
-	buf[44] = byte(len(st.Ops))
-	off := 45
+	binary.LittleEndian.PutUint64(buf[44:], st.CoalescedBatches)
+	binary.LittleEndian.PutUint64(buf[52:], st.CoalescedRequests)
+	binary.LittleEndian.PutUint64(buf[60:], st.CoalescedRows)
+	off := 68
+	for _, b := range st.CoalesceSize {
+		binary.LittleEndian.PutUint64(buf[off:], b)
+		off += 8
+	}
+	buf[off] = byte(len(st.Ops))
+	off++
 	for _, op := range st.Ops {
 		buf[off] = op.Op
 		binary.LittleEndian.PutUint64(buf[off+1:], op.Count)
@@ -180,22 +258,30 @@ func encodeStats(st ServerStats) []byte {
 // decodeStats unpacks an OpStats response payload.
 func decodeStats(payload []byte) (ServerStats, error) {
 	const opBytes = 1 + 8 + 8 + 8 + HistBuckets*8
-	if len(payload) < 45 {
+	if len(payload) < statsHeaderBytes {
 		return ServerStats{}, fmt.Errorf("serve: stats payload of %d bytes truncated", len(payload))
 	}
 	st := ServerStats{
-		Requests: binary.LittleEndian.Uint64(payload),
-		Errors:   binary.LittleEndian.Uint64(payload[8:]),
-		Panics:   binary.LittleEndian.Uint64(payload[16:]),
-		Reloads:  binary.LittleEndian.Uint64(payload[24:]),
-		InFlight: int64(binary.LittleEndian.Uint64(payload[32:])),
-		Workers:  int(binary.LittleEndian.Uint32(payload[40:])),
+		Requests:          binary.LittleEndian.Uint64(payload),
+		Errors:            binary.LittleEndian.Uint64(payload[8:]),
+		Panics:            binary.LittleEndian.Uint64(payload[16:]),
+		Reloads:           binary.LittleEndian.Uint64(payload[24:]),
+		InFlight:          int64(binary.LittleEndian.Uint64(payload[32:])),
+		Workers:           int(binary.LittleEndian.Uint32(payload[40:])),
+		CoalescedBatches:  binary.LittleEndian.Uint64(payload[44:]),
+		CoalescedRequests: binary.LittleEndian.Uint64(payload[52:]),
+		CoalescedRows:     binary.LittleEndian.Uint64(payload[60:]),
 	}
-	n := int(payload[44])
-	if len(payload) != 45+n*opBytes {
+	off := 68
+	for b := range st.CoalesceSize {
+		st.CoalesceSize[b] = binary.LittleEndian.Uint64(payload[off:])
+		off += 8
+	}
+	n := int(payload[off])
+	off++
+	if len(payload) != statsHeaderBytes+n*opBytes {
 		return ServerStats{}, fmt.Errorf("serve: stats payload %d bytes does not hold %d ops", len(payload), n)
 	}
-	off := 45
 	for i := 0; i < n; i++ {
 		op := OpStat{
 			Op:      payload[off],

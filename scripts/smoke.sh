@@ -119,4 +119,67 @@ grep -q "served .* requests" "$workdir/serve.log" || {
     exit 1
 }
 
+echo "== coalesce under concurrency =="
+# Fresh server with a generous hold so CI's slow schedulers still form
+# batches. A serial baseline client records the row-path answers; 16
+# concurrent single-row clients then send the identical probe set, and
+# every one must report the exact same accuracy line (bit-exact labels)
+# while the server's stats prove coalesced batches actually ran.
+rm -f "$sock"
+"$workdir/bolt-serve" -compiled "$workdir/forest.bfc" -socket "$sock" \
+    -workers 4 -coalesce-hold 1ms > "$workdir/coserve.log" &
+serve_pid=$!
+for _ in $(seq 50); do
+    [ -S "$sock" ] && break
+    kill -0 "$serve_pid" 2>/dev/null || { echo "bolt-serve died" >&2; exit 1; }
+    sleep 0.1
+done
+[ -S "$sock" ] || { echo "socket never appeared" >&2; exit 1; }
+grep -q "request coalescing on" "$workdir/coserve.log" || {
+    echo "server did not announce coalescing" >&2
+    cat "$workdir/coserve.log" >&2
+    exit 1
+}
+
+base=$("$workdir/bolt-client" -socket "$sock" -dataset lstw -n 120 -timeout 10s \
+    | grep "classified 120 samples") || { echo "baseline classify failed" >&2; exit 1; }
+
+# The tiny smoke forest predicts in ~1µs, so the adaptive solo bypass
+# wins most of the time on a lightly loaded host; batch formation under
+# a client wave is probabilistic. Counters are cumulative, so run up to
+# three waves and stop as soon as the server reports a coalesced batch.
+stats=""
+for wave in 1 2 3; do
+    copids=()
+    for i in $(seq 32); do
+        "$workdir/bolt-client" -socket "$sock" -dataset lstw -n 120 -timeout 30s \
+            > "$workdir/co.$i.log" 2>&1 &
+        copids+=($!)
+    done
+    for pid in "${copids[@]}"; do
+        wait "$pid" || {
+            echo "concurrent coalesce client failed (wave $wave):" >&2
+            cat "$workdir"/co.*.log >&2
+            exit 1
+        }
+    done
+    for i in $(seq 32); do
+        grep -qF "$base" "$workdir/co.$i.log" || {
+            echo "coalesced replies diverged from row-path baseline (wave $wave, client $i):" >&2
+            echo "baseline: $base" >&2
+            cat "$workdir/co.$i.log" >&2
+            exit 1
+        }
+    done
+    stats=$("$workdir/bolt-client" stats -socket "$sock" -timeout 10s)
+    echo "$stats" | grep -Eq "coalesced batches: [1-9]" && break
+done
+
+echo "$stats"
+echo "$stats" | grep -Eq "coalesced batches: [1-9]" || {
+    echo "no coalesced batches formed across 3 waves of 32 concurrent clients" >&2
+    exit 1
+}
+echo "$stats" | grep -q " 0 errors" || { echo "server saw errors under coalesced load" >&2; exit 1; }
+
 echo "smoke OK"

@@ -78,6 +78,19 @@ type ServerStats = serve.ServerStats
 // OpStat is one op's counters in a ServerStats snapshot.
 type OpStat = serve.OpStat
 
+// CoalesceConfig tunes the server's request-coalescing stage: small
+// requests from concurrent connections are held up to Hold and served
+// together by one cache-blocked batch call of at most MaxRows rows.
+// Apply with Server.SetCoalescing; Hold <= 0 or MaxRows <= 1 disables
+// coalescing. Replies are bit-exact with the row path either way.
+type CoalesceConfig = serve.CoalesceConfig
+
+// Coalescing defaults installed by every new server.
+const (
+	DefaultCoalesceHold    = serve.DefaultCoalesceHold
+	DefaultCoalesceMaxRows = serve.DefaultCoalesceMaxRows
+)
+
 // Engine is the pluggable inference backend accepted by Serve.
 type Engine = serve.Engine
 
