@@ -50,7 +50,7 @@ func run(args []string) error {
 	}
 	fs := flag.NewFlagSet("bolt-client", flag.ContinueOnError)
 	var (
-		socket   = fs.String("socket", "/tmp/bolt.sock", "UNIX socket path")
+		socket   = fs.String("socket", "/tmp/bolt.sock", "server address: UNIX socket path or TCP host:port")
 		dsName   = fs.String("dataset", "mnist", "dataset: mnist, lstw, yelp or friedman")
 		n        = fs.Int("n", 1000, "samples to send")
 		seed     = fs.Uint64("seed", 909, "probe dataset seed (differs from training)")
@@ -63,6 +63,21 @@ func run(args []string) error {
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
+	}
+	if *n < 1 {
+		return fmt.Errorf("-n must be at least 1, got %d", *n)
+	}
+	if *batch < 0 {
+		return fmt.Errorf("-batch must not be negative, got %d (0 classifies one at a time)", *batch)
+	}
+	if *retries < 0 {
+		return fmt.Errorf("-retries must not be negative, got %d (0 disables retry)", *retries)
+	}
+	if *timeout < 0 {
+		return fmt.Errorf("-timeout must not be negative, got %v (0 waits forever)", *timeout)
+	}
+	if *retries > 0 && *backoff <= 0 {
+		return fmt.Errorf("-backoff must be positive when -retries is set, got %v", *backoff)
 	}
 
 	var d *bolt.Dataset
@@ -185,7 +200,7 @@ func dial(socket string, timeout time.Duration, retries int, backoff time.Durati
 func runStats(args []string) error {
 	fs := flag.NewFlagSet("bolt-client stats", flag.ContinueOnError)
 	var (
-		socket  = fs.String("socket", "/tmp/bolt.sock", "UNIX socket path")
+		socket  = fs.String("socket", "/tmp/bolt.sock", "server address: UNIX socket path or TCP host:port")
 		timeout = fs.Duration("timeout", 30*time.Second, "per-request deadline; 0 waits forever")
 	)
 	if err := fs.Parse(args); err != nil {
@@ -205,6 +220,15 @@ func runStats(args []string) error {
 	fmt.Printf("coalesced batches: %d (%d requests, %d rows; mean %.1f rows/batch, p99 <%d)\n",
 		st.CoalescedBatches, st.CoalescedRequests, st.CoalescedRows,
 		st.CoalesceMeanRows(), st.CoalesceSizeQuantile(0.99))
+	if st.Router != nil {
+		// The snapshot came from bolt-router: show the tier breakdown.
+		fmt.Printf("router: %d shed, %d failover retries\n", st.Router.Shed, st.Router.Retries)
+		for _, b := range st.Router.Backends {
+			fmt.Printf("  backend %s: state=%s routed=%d retried=%d failures=%d trips=%d readmits=%d inflight=%d\n",
+				b.Addr, bolt.BackendStateName(b.State), b.Routed, b.Retried,
+				b.Failures, b.BreakerTrips, b.Readmits, b.InFlight)
+		}
+	}
 	for _, op := range st.Ops {
 		fmt.Printf("  op %c: %6d reqs  %4d errs  avg %8v  p50 <%8v  p99 <%8v\n",
 			op.Op, op.Count, op.Errors,
@@ -219,7 +243,7 @@ func runStats(args []string) error {
 func runHealth(args []string) error {
 	fs := flag.NewFlagSet("bolt-client health", flag.ContinueOnError)
 	var (
-		socket  = fs.String("socket", "/tmp/bolt.sock", "UNIX socket path")
+		socket  = fs.String("socket", "/tmp/bolt.sock", "server address: UNIX socket path or TCP host:port")
 		timeout = fs.Duration("timeout", 30*time.Second, "per-request deadline; 0 waits forever")
 	)
 	if err := fs.Parse(args); err != nil {
@@ -244,7 +268,7 @@ func runHealth(args []string) error {
 func runReload(args []string) error {
 	fs := flag.NewFlagSet("bolt-client reload", flag.ContinueOnError)
 	var (
-		socket  = fs.String("socket", "/tmp/bolt.sock", "UNIX socket path")
+		socket  = fs.String("socket", "/tmp/bolt.sock", "server address: UNIX socket path or TCP host:port")
 		path    = fs.String("path", "", "model path to load; empty reloads the server's configured path")
 		timeout = fs.Duration("timeout", 30*time.Second, "per-request deadline; 0 waits forever")
 	)

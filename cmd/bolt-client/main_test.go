@@ -73,3 +73,29 @@ func TestRunErrors(t *testing.T) {
 		t.Error("feature mismatch accepted")
 	}
 }
+
+// TestRunRejectsBadFlags pins the flag validation sweep: nonsense
+// sizings fail fast with a clear error instead of surfacing as odd
+// behaviour mid-run.
+func TestRunRejectsBadFlags(t *testing.T) {
+	bad := [][]string{
+		{"-n", "0"},
+		{"-n", "-5"},
+		{"-batch", "-1"},
+		{"-retries", "-1"},
+		{"-timeout", "-1s"},
+		{"-retries", "3", "-backoff", "0s"},
+		{"-retries", "3", "-backoff", "-5ms"},
+	}
+	for _, args := range bad {
+		if err := run(args); err == nil {
+			t.Errorf("args %q accepted", args)
+		}
+	}
+	// Documented zero semantics must survive the sweep: -retries 0 with
+	// any -backoff is fine (retry disabled), -timeout 0 waits forever.
+	sock := startServer(t)
+	if err := run([]string{"-socket", sock, "-dataset", "lstw", "-n", "5", "-retries", "0", "-backoff", "0s", "-timeout", "0s"}); err != nil {
+		t.Errorf("documented zero values rejected: %v", err)
+	}
+}

@@ -1,0 +1,172 @@
+// Command bolt-router fronts N replicated bolt-serve backends with one
+// fault-tolerant endpoint speaking the same wire protocol, so any
+// bolt-client (or serve.Client) works against it unchanged.
+//
+// Robustness layers: periodic health probes drive per-backend
+// up/draining/down membership; idempotent requests fail over to the
+// next healthy replica with exponential backoff; a consecutive-failure
+// circuit breaker (with half-open probe re-admission) stops the router
+// hammering a sick replica; and a bounded in-flight budget plus
+// deadline-bounded queue shed with an "overloaded" reply instead of
+// letting latency collapse. SIGINT/SIGTERM drain in-flight requests
+// and print the final per-backend routing counters.
+//
+// Usage:
+//
+//	bolt-router -backends /tmp/bolt0.sock,/tmp/bolt1.sock,/tmp/bolt2.sock
+//	bolt-router -listen tcp:127.0.0.1:9900 -backends tcp:10.0.0.1:9000,tcp:10.0.0.2:9000
+//	bolt-client -socket /tmp/bolt-router.sock -dataset mnist -n 1000
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"io/fs"
+	"os"
+	"os/signal"
+	"strings"
+	"syscall"
+	"time"
+
+	"bolt"
+)
+
+func main() {
+	if err := run(os.Args[1:]); err != nil {
+		fmt.Fprintln(os.Stderr, "bolt-router:", err)
+		os.Exit(1)
+	}
+}
+
+// buildConfig parses flags into the listen address, router config and
+// drain deadline, rejecting values the router could not run with.
+func buildConfig(args []string) (listen string, cfg bolt.RouterConfig, drain time.Duration, err error) {
+	fs := flag.NewFlagSet("bolt-router", flag.ContinueOnError)
+	var (
+		listenF   = fs.String("listen", "/tmp/bolt-router.sock", "listen address: unix:/path, tcp:host:port, or a bare socket path")
+		backends  = fs.String("backends", "", "comma-separated backend addresses (required)")
+		probeIv   = fs.Duration("probe-interval", 250*time.Millisecond, "health-probe cadence per backend")
+		probeTo   = fs.Duration("probe-timeout", time.Second, "deadline for one health probe (dial+write+read)")
+		dialTo    = fs.Duration("dial-timeout", 2*time.Second, "deadline for data-path dials to a backend")
+		reqTo     = fs.Duration("request-timeout", 30*time.Second, "deadline for one forwarded round trip; negative disables")
+		inflight  = fs.Int("max-inflight", 32, "per-backend in-flight request budget")
+		queue     = fs.Int("queue", 256, "max requests waiting for backend capacity before immediate shed")
+		queueWait = fs.Duration("queue-wait", 100*time.Millisecond, "how long a request waits for capacity before being shed")
+		retries   = fs.Int("retries", 2, "failover attempts after the first try for idempotent requests; negative disables")
+		backoff   = fs.Duration("backoff", 5*time.Millisecond, "initial failover backoff (doubles per attempt, with jitter)")
+		maxBack   = fs.Duration("max-backoff", 250*time.Millisecond, "failover backoff cap")
+		brkThresh = fs.Int("breaker-threshold", 3, "consecutive failures that trip a backend's circuit breaker")
+		brkCool   = fs.Duration("breaker-cooldown", time.Second, "how long a tripped breaker stays open before a probe may re-admit the backend")
+		drainF    = fs.Duration("drain", 10*time.Second, "graceful-shutdown deadline for in-flight requests")
+	)
+	if err := fs.Parse(args); err != nil {
+		return "", bolt.RouterConfig{}, 0, err
+	}
+
+	var list []string
+	for _, b := range strings.Split(*backends, ",") {
+		if b = strings.TrimSpace(b); b != "" {
+			list = append(list, b)
+		}
+	}
+	if len(list) == 0 {
+		return "", bolt.RouterConfig{}, 0, errors.New("-backends is required (comma-separated addresses)")
+	}
+	for _, check := range []struct {
+		name string
+		v    time.Duration
+	}{
+		{"-probe-interval", *probeIv},
+		{"-probe-timeout", *probeTo},
+		{"-dial-timeout", *dialTo},
+		{"-queue-wait", *queueWait},
+		{"-backoff", *backoff},
+		{"-max-backoff", *maxBack},
+		{"-breaker-cooldown", *brkCool},
+		{"-drain", *drainF},
+	} {
+		if check.v <= 0 {
+			return "", bolt.RouterConfig{}, 0, fmt.Errorf("%s must be positive, got %v", check.name, check.v)
+		}
+	}
+	if *inflight < 1 {
+		return "", bolt.RouterConfig{}, 0, fmt.Errorf("-max-inflight must be at least 1, got %d", *inflight)
+	}
+	if *queue < 0 {
+		return "", bolt.RouterConfig{}, 0, fmt.Errorf("-queue must not be negative, got %d", *queue)
+	}
+	if *brkThresh < 1 {
+		return "", bolt.RouterConfig{}, 0, fmt.Errorf("-breaker-threshold must be at least 1, got %d", *brkThresh)
+	}
+	cfg = bolt.RouterConfig{
+		Backends:         list,
+		ProbeInterval:    *probeIv,
+		ProbeTimeout:     *probeTo,
+		DialTimeout:      *dialTo,
+		RequestTimeout:   *reqTo,
+		MaxInFlight:      *inflight,
+		MaxQueue:         *queue,
+		QueueWait:        *queueWait,
+		MaxRetries:       *retries,
+		RetryBackoff:     *backoff,
+		MaxRetryBackoff:  *maxBack,
+		BreakerThreshold: *brkThresh,
+		BreakerCooldown:  *brkCool,
+	}
+	return *listenF, cfg, *drainF, nil
+}
+
+func run(args []string) error {
+	listen, cfg, drain, err := buildConfig(args)
+	if err != nil {
+		return err
+	}
+	// Remove a stale socket from a previous run, as bolt-serve does; a
+	// removal failing for any reason other than absence would resurface
+	// as a confusing bind error.
+	if network, addr, err := bolt.ParseRouterAddr(listen); err == nil && network == "unix" {
+		if err := os.Remove(addr); err != nil && !errors.Is(err, fs.ErrNotExist) {
+			return fmt.Errorf("removing stale socket %s: %w", addr, err)
+		}
+	}
+	rt, err := bolt.NewRouter(listen, cfg)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("routing %s across %d backends (%s)\n", rt.Addr(), len(cfg.Backends), strings.Join(cfg.Backends, ", "))
+
+	sigs := make(chan os.Signal, 1)
+	signal.Notify(sigs, os.Interrupt, syscall.SIGTERM)
+	sig := <-sigs
+	fmt.Printf("caught %s, draining (deadline %s)\n", sig, drain)
+	ctx, cancel := context.WithTimeout(context.Background(), drain)
+	defer cancel()
+	err = rt.Shutdown(ctx)
+	printRouterStats(rt.Stats())
+	return err
+}
+
+// printRouterStats renders the final snapshot: tier totals, admission
+// and failover counters, and one line per backend. The smoke test
+// greps these lines, so keep the key=value shape stable.
+func printRouterStats(st bolt.ServerStats) {
+	fmt.Printf("routed %d requests (%d errors, %d panics recovered, %d reloads, %d in flight) across %d backends in rotation\n",
+		st.Requests, st.Errors, st.Panics, st.Reloads, st.InFlight, st.Workers)
+	if st.Router != nil {
+		fmt.Printf("admission: shed %d, failover retries %d\n", st.Router.Shed, st.Router.Retries)
+		for _, b := range st.Router.Backends {
+			fmt.Printf("  backend %s: state=%s routed=%d retried=%d failures=%d trips=%d readmits=%d inflight=%d\n",
+				b.Addr, bolt.BackendStateName(b.State), b.Routed, b.Retried,
+				b.Failures, b.BreakerTrips, b.Readmits, b.InFlight)
+		}
+	}
+	for _, op := range st.Ops {
+		fmt.Printf("  op %c: %6d reqs  %4d errs  avg %8v  p50 <%8v  p99 <%8v\n",
+			op.Op, op.Count, op.Errors,
+			time.Duration(op.AvgNs()),
+			time.Duration(op.QuantileNs(0.50)),
+			time.Duration(op.QuantileNs(0.99)))
+	}
+}

@@ -1,0 +1,109 @@
+package main
+
+import (
+	"path/filepath"
+	"strings"
+	"testing"
+	"time"
+
+	"bolt"
+)
+
+// run() blocks on signals, so these tests cover flag parsing and the
+// construction path; the full routed serve/client loop is exercised by
+// internal/router's tests and the smoke script.
+
+func TestBuildConfig(t *testing.T) {
+	listen, cfg, drain, err := buildConfig([]string{
+		"-listen", "tcp:127.0.0.1:9900",
+		"-backends", " /tmp/a.sock, tcp:10.0.0.2:9000 ,,",
+		"-max-inflight", "7",
+		"-retries", "-1",
+		"-drain", "3s",
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if listen != "tcp:127.0.0.1:9900" || drain != 3*time.Second {
+		t.Fatalf("listen=%q drain=%v", listen, drain)
+	}
+	if len(cfg.Backends) != 2 || cfg.Backends[0] != "/tmp/a.sock" || cfg.Backends[1] != "tcp:10.0.0.2:9000" {
+		t.Fatalf("backends = %q", cfg.Backends)
+	}
+	if cfg.MaxInFlight != 7 || cfg.MaxRetries != -1 {
+		t.Fatalf("cfg = %+v", cfg)
+	}
+}
+
+func TestBuildConfigRejectsBadFlags(t *testing.T) {
+	bad := [][]string{
+		{"-zzz"},
+		{},                    // no backends
+		{"-backends", " , ,"}, // only empty backends
+		{"-backends", "/a", "-max-inflight", "0"},
+		{"-backends", "/a", "-max-inflight", "-3"},
+		{"-backends", "/a", "-queue", "-1"},
+		{"-backends", "/a", "-breaker-threshold", "0"},
+		{"-backends", "/a", "-probe-interval", "0s"},
+		{"-backends", "/a", "-probe-timeout", "-1s"},
+		{"-backends", "/a", "-queue-wait", "0s"},
+		{"-backends", "/a", "-backoff", "0s"},
+		{"-backends", "/a", "-max-backoff", "-5ms"},
+		{"-backends", "/a", "-breaker-cooldown", "0s"},
+		{"-backends", "/a", "-drain", "0s"},
+	}
+	for _, args := range bad {
+		if _, _, _, err := buildConfig(args); err == nil {
+			t.Errorf("args %q accepted", args)
+		}
+	}
+}
+
+// TestRouterConstruction drives the real construction path end to end:
+// a router over one live backend, reachable through bolt.DialService,
+// without the signal loop.
+func TestRouterConstruction(t *testing.T) {
+	d := bolt.SyntheticLSTW(300, 1)
+	f := bolt.Train(d, bolt.ForestConfig{NumTrees: 4, Tree: bolt.TreeConfig{MaxDepth: 4}, Seed: 2})
+	bf, err := bolt.Compile(f, bolt.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	dir := t.TempDir()
+	be := filepath.Join(dir, "be.sock")
+	srv, err := bolt.ServeForest(be, bf, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+
+	_, cfg, _, err := buildConfig([]string{"-backends", be})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rt, err := bolt.NewRouter(filepath.Join(dir, "router.sock"), cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer rt.Close()
+
+	c, err := bolt.DialService(filepath.Join(dir, "router.sock"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	label, _, err := c.Classify(d.X[0])
+	if err != nil {
+		t.Fatal(err)
+	}
+	if want := bolt.NewPredictor(bf).Predict(d.X[0]); label != want {
+		t.Fatalf("routed label %d, want %d", label, want)
+	}
+}
+
+func TestRunRejectsMissingBackends(t *testing.T) {
+	err := run([]string{"-listen", filepath.Join(t.TempDir(), "r.sock")})
+	if err == nil || !strings.Contains(err.Error(), "-backends") {
+		t.Fatalf("got %v, want -backends requirement", err)
+	}
+}

@@ -58,6 +58,24 @@ func run(args []string) error {
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
+	// Reject nonsense sizings up front: a typo like -workers -4 should
+	// fail loudly here, not surface as a confusing pool default or a
+	// coalescer that silently never forms a batch.
+	if *workers < 0 {
+		return fmt.Errorf("-workers must not be negative, got %d (0 selects GOMAXPROCS)", *workers)
+	}
+	if *kWorkers < 0 {
+		return fmt.Errorf("-kernel-workers must not be negative, got %d (0 selects GOMAXPROCS)", *kWorkers)
+	}
+	if *coHold < 0 {
+		return fmt.Errorf("-coalesce-hold must not be negative, got %v (0 disables coalescing)", *coHold)
+	}
+	if *coMax < 1 {
+		return fmt.Errorf("-coalesce-max must be at least 1, got %d (1 disables coalescing)", *coMax)
+	}
+	if *drain <= 0 {
+		return fmt.Errorf("-drain must be positive, got %v", *drain)
+	}
 
 	// loadCompiled rebuilds serving artifacts from a path: it is both
 	// the startup path and the SIGHUP/OpReload path, so a reload picks

@@ -28,6 +28,30 @@ func TestRunErrors(t *testing.T) {
 	}
 }
 
+// TestRunRejectsBadFlags pins the flag validation sweep: sizing typos
+// fail before any model is even read (the model path here does not
+// exist, so reaching the load would error differently).
+func TestRunRejectsBadFlags(t *testing.T) {
+	bad := [][]string{
+		{"-workers", "-1"},
+		{"-kernel-workers", "-2"},
+		{"-coalesce-hold", "-1ms"},
+		{"-coalesce-max", "0"},
+		{"-coalesce-max", "-8"},
+		{"-drain", "0s"},
+	}
+	for _, args := range bad {
+		err := run(append([]string{"-model", "/nonexistent.bin"}, args...))
+		if err == nil {
+			t.Errorf("args %q accepted", args)
+			continue
+		}
+		if os.IsNotExist(err) {
+			t.Errorf("args %q reached the model load instead of failing validation: %v", args, err)
+		}
+	}
+}
+
 func TestRunTuneErrors(t *testing.T) {
 	d := bolt.SyntheticBlobs(200, 16, 3, 1.5, 1)
 	f := bolt.Train(d, bolt.ForestConfig{NumTrees: 3, Tree: bolt.TreeConfig{MaxDepth: 3}, Seed: 2})

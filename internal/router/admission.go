@@ -1,0 +1,134 @@
+package router
+
+import (
+	"fmt"
+	"math/rand"
+	"time"
+
+	"bolt/internal/serve"
+)
+
+// forward routes one data-path frame: admit under the in-flight
+// budget, round trip to the least-loaded healthy backend, and — for
+// idempotent ops — fail over to another replica on transport errors,
+// backing off with full jitter between attempts. A StatusErr reply
+// from a backend is an application error and returns as-is; only
+// transport failures trigger failover. When no slot frees up within
+// QueueWait the request is shed with StatusOverloaded rather than
+// queued unboundedly — clients with a retry policy treat the shed as
+// retryable because the request was never dispatched.
+func (rt *Router) forward(op byte, payload []byte) (byte, []byte) {
+	attempts := 1
+	if serve.OpIdempotent(op) && rt.cfg.MaxRetries > 0 {
+		attempts += rt.cfg.MaxRetries
+	}
+	backoff := rt.cfg.RetryBackoff
+	var exclude *backend
+	var lastErr error
+	for attempt := 0; attempt < attempts; attempt++ {
+		if attempt > 0 {
+			// Full jitter over [backoff/2, backoff): a fleet of routers
+			// retrying a restarted backend must not stampede it.
+			time.Sleep(backoff/2 + time.Duration(rand.Int63n(int64(backoff/2)+1)))
+			if backoff *= 2; backoff > rt.cfg.MaxRetryBackoff {
+				backoff = rt.cfg.MaxRetryBackoff
+			}
+		}
+		b := rt.acquire(exclude, time.Now().Add(rt.cfg.QueueWait))
+		if b == nil {
+			rt.stats.shed.Add(1)
+			return serve.StatusOverloaded, []byte("router: overloaded: all backends saturated or down")
+		}
+		if attempt > 0 {
+			rt.stats.retries.Add(1)
+			b.retried.Add(1)
+		}
+		status, resp, err := b.roundTrip(op, payload, rt.cfg.DialTimeout, rt.cfg.RequestTimeout)
+		rt.release(b)
+		if err == nil {
+			b.recordSuccess()
+			b.routed.Add(1)
+			return status, resp
+		}
+		b.recordFailure(rt.cfg.BreakerThreshold)
+		lastErr = err
+		exclude = b
+	}
+	return serve.StatusErr, []byte(fmt.Sprintf("router: request failed after %d attempts: %v", attempts, lastErr))
+}
+
+// acquire claims an in-flight slot on some healthy backend, waiting in
+// the bounded admission queue until the deadline if the tier is
+// momentarily full. Returns nil when the request should be shed: queue
+// full, deadline passed, or the router is draining. exclude skips the
+// backend a previous attempt just failed on (unless it is the only
+// candidate left — retrying there still beats shedding).
+func (rt *Router) acquire(exclude *backend, deadline time.Time) *backend {
+	if b := rt.tryAcquire(exclude); b != nil {
+		return b
+	}
+	if rt.queued.Add(1) > int64(rt.cfg.MaxQueue) {
+		rt.queued.Add(-1)
+		return nil
+	}
+	defer rt.queued.Add(-1)
+	timer := time.NewTimer(time.Until(deadline))
+	defer timer.Stop()
+	for {
+		if rt.draining() {
+			// Pass the wakeup on so every parked waiter unwinds.
+			signal(rt.capacity)
+			return nil
+		}
+		select {
+		case <-rt.capacity:
+			if b := rt.tryAcquire(exclude); b != nil {
+				// More capacity may remain from the same release burst;
+				// let the next waiter check rather than sleep to deadline.
+				signal(rt.capacity)
+				return b
+			}
+		case <-timer.C:
+			return nil
+		}
+	}
+}
+
+// tryAcquire picks the least-loaded backend in rotation with budget to
+// spare and claims one in-flight slot on it. The claim is optimistic:
+// racing claimers may overshoot the budget, in which case the loser
+// rolls back and reports no capacity.
+func (rt *Router) tryAcquire(exclude *backend) *backend {
+	budget := int64(rt.cfg.MaxInFlight)
+	pick := func(skip *backend) *backend {
+		var best *backend
+		var bestLoad int64
+		for _, b := range rt.backends {
+			if b == skip || State(b.state.Load()) != StateUp {
+				continue
+			}
+			if load := b.inFlight.Load(); load < budget && (best == nil || load < bestLoad) {
+				best, bestLoad = b, load
+			}
+		}
+		return best
+	}
+	best := pick(exclude)
+	if best == nil && exclude != nil {
+		best = pick(nil) // only the just-failed backend has capacity
+	}
+	if best == nil {
+		return nil
+	}
+	if best.inFlight.Add(1) > budget {
+		best.inFlight.Add(-1)
+		return nil
+	}
+	return best
+}
+
+// release returns an in-flight slot and wakes one queued waiter.
+func (rt *Router) release(b *backend) {
+	b.inFlight.Add(-1)
+	signal(rt.capacity)
+}

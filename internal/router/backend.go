@@ -1,0 +1,247 @@
+package router
+
+import (
+	"bufio"
+	"net"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"bolt/internal/faults"
+	"bolt/internal/serve"
+)
+
+// State is the router's membership view of one backend.
+type State int32
+
+const (
+	// StateUp: in rotation, taking new requests.
+	StateUp State = iota
+	// StateDraining: the backend reported loading or draining; it keeps
+	// its in-flight work but gets nothing new until it is ready again.
+	StateDraining
+	// StateDown: probe failures or a tripped circuit breaker took it
+	// out of rotation; only the membership loop can re-admit it.
+	StateDown
+)
+
+// String renders a state for logs and snapshots.
+func (s State) String() string { return serve.BackendStateName(s.wire()) }
+
+// wire maps a State onto the serve.Backend* byte the stats protocol
+// carries.
+func (s State) wire() byte {
+	switch s {
+	case StateUp:
+		return serve.BackendUp
+	case StateDraining:
+		return serve.BackendDraining
+	default:
+		return serve.BackendDown
+	}
+}
+
+// backend is one replica: its address, membership state, circuit
+// breaker, in-flight budget, connection pool and counters. All
+// cross-goroutine fields are atomics; the mutex guards only the idle
+// connection pool and the last-probed checksum.
+type backend struct {
+	network string
+	addr    string
+
+	state atomic.Int32 // State
+
+	// Circuit breaker: consecFails counts consecutive failures (data
+	// path and probes combined); crossing the threshold opens the
+	// breaker, records openedAtNs, and drops the backend from rotation.
+	// A successful health probe after the cooldown closes it again —
+	// the probe is the half-open trial request.
+	consecFails atomic.Int64
+	breakerOpen atomic.Bool
+	openedAtNs  atomic.Int64
+	trips       atomic.Uint64
+	readmits    atomic.Uint64
+
+	inFlight atomic.Int64
+	routed   atomic.Uint64
+	retried  atomic.Uint64
+	failures atomic.Uint64
+
+	mu       sync.Mutex
+	idle     []*beConn
+	maxIdle  int
+	modelSum string
+}
+
+// beConn is one pooled backend connection.
+type beConn struct {
+	c  net.Conn
+	rw *bufio.ReadWriter
+}
+
+func newBackend(network, addr string, maxIdle int) *backend {
+	b := &backend{network: network, addr: addr, maxIdle: maxIdle}
+	// Optimistic start: usable before the first probe lands; a dead
+	// backend fails its first dial and the breaker takes it from there.
+	b.state.Store(int32(StateUp))
+	return b
+}
+
+func (b *backend) checksum() string {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.modelSum
+}
+
+func (b *backend) setChecksum(sum string) {
+	b.mu.Lock()
+	b.modelSum = sum
+	b.mu.Unlock()
+}
+
+// getConn pops an idle pooled connection or dials a fresh one. The
+// "router/dial" fault site simulates a blackholed backend (errors) or
+// a slow network (delays).
+func (b *backend) getConn(dialTimeout time.Duration) (*beConn, error) {
+	b.mu.Lock()
+	if n := len(b.idle); n > 0 {
+		bc := b.idle[n-1]
+		b.idle = b.idle[:n-1]
+		b.mu.Unlock()
+		return bc, nil
+	}
+	b.mu.Unlock()
+	if err := faults.Inject("router/dial"); err != nil {
+		return nil, err
+	}
+	c, err := net.DialTimeout(b.network, b.addr, dialTimeout)
+	if err != nil {
+		return nil, err
+	}
+	return &beConn{c: c, rw: bufio.NewReadWriter(bufio.NewReader(c), bufio.NewWriter(c))}, nil
+}
+
+// putConn returns a connection whose round trip completed cleanly.
+// Anything that errored is closed by the caller instead: after a
+// transport failure the stream may hold a half-written frame.
+func (b *backend) putConn(bc *beConn) {
+	b.mu.Lock()
+	if len(b.idle) < b.maxIdle {
+		b.idle = append(b.idle, bc)
+		b.mu.Unlock()
+		return
+	}
+	b.mu.Unlock()
+	bc.c.Close()
+}
+
+// closeIdle empties the connection pool (breaker trip, shutdown).
+func (b *backend) closeIdle() {
+	b.mu.Lock()
+	idle := b.idle
+	b.idle = nil
+	b.mu.Unlock()
+	for _, bc := range idle {
+		bc.c.Close()
+	}
+}
+
+// roundTrip forwards one frame to the backend and reads the reply.
+// requestTimeout bounds the whole exchange on the wire; the
+// "router/forward" site injects failures before the request is written
+// (safe to retry anywhere) and "router/reply" after it was written but
+// before the reply is read — the mid-reply disconnect case, where an
+// idempotent request may already have executed.
+func (b *backend) roundTrip(op byte, payload []byte, dialTimeout, requestTimeout time.Duration) (status byte, resp []byte, err error) {
+	if err := faults.Inject("router/forward"); err != nil {
+		return 0, nil, err
+	}
+	bc, err := b.getConn(dialTimeout)
+	if err != nil {
+		return 0, nil, err
+	}
+	ok := false
+	defer func() {
+		if ok {
+			b.putConn(bc)
+		} else {
+			bc.c.Close()
+		}
+	}()
+	if requestTimeout > 0 {
+		if err := bc.c.SetDeadline(time.Now().Add(requestTimeout)); err != nil {
+			return 0, nil, err
+		}
+		defer bc.c.SetDeadline(time.Time{})
+	}
+	if err := serve.WriteFrame(bc.rw, op, payload); err != nil {
+		return 0, nil, err
+	}
+	if err := bc.rw.Flush(); err != nil {
+		return 0, nil, err
+	}
+	if err := faults.Inject("router/reply"); err != nil {
+		return 0, nil, err
+	}
+	status, resp, err = serve.ReadFrame(bc.rw)
+	if err != nil {
+		return 0, nil, err
+	}
+	ok = true
+	return status, resp, nil
+}
+
+// recordSuccess resets the consecutive-failure streak. It never closes
+// an open breaker — re-admission is the membership loop's job, so a
+// lone lucky request cannot flap a sick backend back into rotation.
+func (b *backend) recordSuccess() { b.consecFails.Store(0) }
+
+// recordFailure counts one failure (data path or probe) and trips the
+// breaker at the threshold: the backend leaves rotation, its idle
+// connections are dropped, and only a successful health probe after
+// the cooldown brings it back.
+func (b *backend) recordFailure(threshold int) {
+	b.failures.Add(1)
+	if b.consecFails.Add(1) < int64(threshold) {
+		return
+	}
+	if b.breakerOpen.CompareAndSwap(false, true) {
+		b.trips.Add(1)
+		b.openedAtNs.Store(time.Now().UnixNano())
+		b.state.Store(int32(StateDown))
+		b.closeIdle()
+	}
+}
+
+// tryReadmit closes an open breaker after the cooldown, on the back of
+// a successful health probe (the half-open trial). Reports whether the
+// backend re-entered rotation.
+func (b *backend) tryReadmit(cooldown time.Duration) bool {
+	if !b.breakerOpen.Load() {
+		return false
+	}
+	if time.Since(time.Unix(0, b.openedAtNs.Load())) < cooldown {
+		return false
+	}
+	if !b.breakerOpen.CompareAndSwap(true, false) {
+		return false
+	}
+	b.consecFails.Store(0)
+	b.readmits.Add(1)
+	b.state.Store(int32(StateUp))
+	return true
+}
+
+// snapshot copies the backend's counters for a stats reply.
+func (b *backend) snapshot() serve.BackendStat {
+	return serve.BackendStat{
+		Addr:         b.network + ":" + b.addr,
+		State:        State(b.state.Load()).wire(),
+		Routed:       b.routed.Load(),
+		Retried:      b.retried.Load(),
+		Failures:     b.failures.Load(),
+		BreakerTrips: b.trips.Load(),
+		Readmits:     b.readmits.Load(),
+		InFlight:     b.inFlight.Load(),
+	}
+}

@@ -1,0 +1,124 @@
+package router
+
+import (
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"bolt/internal/serve"
+)
+
+// TestRouterKillRestartStorm is the liveness-through-failure
+// certificate, run under -race in CI: concurrent clients hammer a
+// 3-replica tier while a chaos loop SIGKILL-equivalents one backend at
+// a time (Close drops its listener and every connection mid-whatever)
+// and restarts it on the same socket. Every client request must
+// complete with a bit-exact label — no lost replies, no duplicated or
+// crossed replies, no client-visible errors — and the breaker must
+// both trip and re-admit along the way.
+func TestRouterKillRestartStorm(t *testing.T) {
+	clients, rounds := 12, 3
+	if testing.Short() {
+		clients, rounds = 6, 1
+	}
+	tr := newTier(t, 3, func(c *Config) {
+		c.ProbeInterval = 5 * time.Millisecond
+		c.BreakerThreshold = 2
+		c.BreakerCooldown = 10 * time.Millisecond
+		c.MaxRetries = 6
+		c.QueueWait = time.Second
+		c.RequestTimeout = 2 * time.Second
+		c.DialTimeout = 500 * time.Millisecond
+	})
+
+	var stop atomic.Bool
+	var served atomic.Int64
+	errs := make(chan error, clients+1)
+	var wg sync.WaitGroup
+	for id := 0; id < clients; id++ {
+		wg.Add(1)
+		go func(id int) {
+			defer wg.Done()
+			c, err := serve.Dial(tr.routerSock)
+			if err != nil {
+				errs <- err
+				return
+			}
+			defer c.Close()
+			c.SetRetry(serve.RetryPolicy{MaxRetries: 10, Backoff: 2 * time.Millisecond, MaxBackoff: 20 * time.Millisecond})
+			for j := 0; !stop.Load(); j++ {
+				i := (id*31 + j*7) % 97
+				label, _, err := c.Classify(sample(i))
+				if err != nil {
+					errs <- fmt.Errorf("client %d iter %d: %w", id, j, err)
+					return
+				}
+				if label != i {
+					errs <- fmt.Errorf("client %d iter %d: label %d, want %d", id, j, label, i)
+					return
+				}
+				served.Add(1)
+			}
+		}(id)
+	}
+
+	// Chaos loop: kill one backend, leave it dead long enough for the
+	// breaker to trip, bring it back, wait for re-admission, move on.
+	backendUp := func(k int) bool {
+		return tr.rt.Stats().Router.Backends[k].State == serve.BackendUp
+	}
+	chaosErr := func() error {
+		for round := 0; round < rounds; round++ {
+			for k := range tr.backends {
+				tr.backends[k].Close()
+				time.Sleep(40 * time.Millisecond)
+				srv, err := serve.NewPool(tr.socks[k], echoFactory, tierFeatures, 2)
+				if err != nil {
+					return fmt.Errorf("restart backend %d: %w", k, err)
+				}
+				tr.backends[k] = srv
+				t.Cleanup(func() { srv.Close() })
+				deadline := time.Now().Add(5 * time.Second)
+				for !backendUp(k) {
+					if time.Now().After(deadline) {
+						return fmt.Errorf("backend %d not re-admitted after restart", k)
+					}
+					time.Sleep(2 * time.Millisecond)
+				}
+			}
+		}
+		return nil
+	}()
+	stop.Store(true)
+	wg.Wait()
+	close(errs)
+	if chaosErr != nil {
+		t.Fatal(chaosErr)
+	}
+	for err := range errs {
+		t.Error(err)
+	}
+	if t.Failed() {
+		return
+	}
+	if served.Load() == 0 {
+		t.Fatal("no client requests completed")
+	}
+
+	st := tr.rt.Stats()
+	var trips, readmits uint64
+	for _, b := range st.Router.Backends {
+		if b.State != serve.BackendUp {
+			t.Errorf("backend %s finished %s, want up", b.Addr, serve.BackendStateName(b.State))
+		}
+		trips += b.BreakerTrips
+		readmits += b.Readmits
+	}
+	if trips == 0 || readmits == 0 {
+		t.Errorf("storm saw %d trips / %d readmits, want both > 0", trips, readmits)
+	}
+	t.Logf("storm: %d requests served, %d retries, %d shed, %d trips, %d readmits",
+		served.Load(), st.Router.Retries, st.Router.Shed, trips, readmits)
+}

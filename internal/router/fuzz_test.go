@@ -1,0 +1,111 @@
+package router
+
+import (
+	"bytes"
+	"encoding/binary"
+	"io"
+	"net"
+	"os"
+	"path/filepath"
+	"sync"
+	"testing"
+	"time"
+
+	"bolt/internal/serve"
+)
+
+// fuzzTier lazily starts one backend plus a router shared by every
+// fuzz iteration in this process; fuzz workers each get their own.
+var fuzzTier struct {
+	once sync.Once
+	sock string
+	err  error
+}
+
+func fuzzRouterSock() (string, error) {
+	fuzzTier.once.Do(func() {
+		dir, err := os.MkdirTemp("", "bolt-router-fuzz")
+		if err != nil {
+			fuzzTier.err = err
+			return
+		}
+		be := filepath.Join(dir, "be.sock")
+		if _, err := serve.NewPool(be, echoFactory, tierFeatures, 2); err != nil {
+			fuzzTier.err = err
+			return
+		}
+		rs := filepath.Join(dir, "router.sock")
+		cfg := fastConfig([]string{be})
+		cfg.RequestTimeout = 2 * time.Second
+		if _, err := New(rs, cfg); err != nil {
+			fuzzTier.err = err
+			return
+		}
+		fuzzTier.sock = rs
+	})
+	return fuzzTier.sock, fuzzTier.err
+}
+
+func frame(op byte, payload []byte) []byte {
+	var buf bytes.Buffer
+	if err := serve.WriteFrame(&buf, op, payload); err != nil {
+		panic(err)
+	}
+	return buf.Bytes()
+}
+
+// FuzzRouterFrame throws arbitrary bytes at a live router connection
+// and checks the router survives: whatever the fuzzer sends — garbage
+// headers, oversized lengths, truncated payloads, or valid frames that
+// get forwarded to the backend — the router must keep answering pings
+// on a fresh connection afterwards.
+func FuzzRouterFrame(f *testing.F) {
+	x := make([]byte, 4*tierFeatures)
+	for i := 0; i < tierFeatures; i++ {
+		binary.LittleEndian.PutUint32(x[i*4:], 0x40400000) // 3.0f
+	}
+	f.Add(frame(serve.OpPing, nil))
+	f.Add(frame(serve.OpClassify, x))
+	f.Add(frame(serve.OpStats, nil))
+	f.Add(frame(serve.OpHealth, nil))
+	f.Add([]byte{serve.OpClassify, 0xff, 0xff, 0xff, 0xff}) // oversized length
+	f.Add([]byte{serve.OpBatch, 0x10, 0x00, 0x00})          // truncated header
+	f.Add(append(frame(serve.OpPing, nil), frame(serve.OpClassify, x[:7])...))
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		sock, err := fuzzRouterSock()
+		if err != nil {
+			t.Fatalf("fuzz tier: %v", err)
+		}
+		conn, err := net.Dial("unix", sock)
+		if err != nil {
+			t.Fatalf("dial router: %v", err)
+		}
+		conn.SetDeadline(time.Now().Add(time.Second))
+		// Errors from here to the drain are expected: garbage
+		// legitimately gets the connection dropped mid-write.
+		_, _ = conn.Write(data)
+		// Half-close so the router sees EOF once it has consumed the
+		// input, then drain whatever replies came back.
+		if uc, ok := conn.(*net.UnixConn); ok {
+			_ = uc.CloseWrite()
+		}
+		_, _ = io.Copy(io.Discard, io.LimitReader(conn, 1<<20))
+		conn.Close()
+
+		// Liveness: the router must still answer a well-formed client.
+		c, err := serve.Dial(sock)
+		if err != nil {
+			t.Fatalf("router dead after %q: %v", data, err)
+		}
+		defer c.Close()
+		c.SetTimeout(2 * time.Second)
+		if err := c.Ping(); err != nil {
+			t.Fatalf("router unresponsive after %q: %v", data, err)
+		}
+		label, _, err := c.Classify([]float32{42, 0, 0})
+		if err != nil || label != 42 {
+			t.Fatalf("router misroutes after %q: label=%d err=%v", data, label, err)
+		}
+	})
+}

@@ -1,0 +1,73 @@
+package router
+
+import (
+	"time"
+
+	"bolt/internal/faults"
+	"bolt/internal/serve"
+)
+
+// probeLoop is one backend's membership goroutine: an immediate first
+// probe (so a dead replica leaves rotation before the first tick), then
+// one OpHealth round trip per ProbeInterval until shutdown. Probe
+// outcomes feed the same consecutive-failure streak as data-path
+// errors, so a backend that answers probes but fails requests — or the
+// reverse — trips the one breaker either way.
+func (rt *Router) probeLoop(b *backend) {
+	defer rt.wg.Done()
+	rt.probeOnce(b)
+	ticker := time.NewTicker(rt.cfg.ProbeInterval)
+	defer ticker.Stop()
+	for {
+		select {
+		case <-rt.stopProbes:
+			return
+		case <-ticker.C:
+			rt.probeOnce(b)
+		}
+	}
+}
+
+// probeOnce runs one health probe and applies its verdict to the
+// backend's membership state. The "router/probe" fault site lets tests
+// flap membership deterministically without touching real sockets.
+func (rt *Router) probeOnce(b *backend) {
+	var h serve.Health
+	err := faults.Inject("router/probe")
+	if err == nil {
+		h, err = serve.ProbeHealth(b.network, b.addr, rt.cfg.ProbeTimeout)
+	}
+	if err != nil {
+		b.recordFailure(rt.cfg.BreakerThreshold)
+		if !b.breakerOpen.Load() {
+			// Failing probes take the backend out of rotation even before
+			// the breaker trips; a later good probe restores it directly.
+			b.state.Store(int32(StateDown))
+		}
+		return
+	}
+	b.setChecksum(h.ModelChecksum)
+	switch h.State {
+	case serve.HealthReady:
+		if b.tryReadmit(rt.cfg.BreakerCooldown) {
+			// Half-open trial passed: breaker closed, backend back in
+			// rotation, capacity worth waking a parked request for.
+			signal(rt.capacity)
+			return
+		}
+		if !b.breakerOpen.Load() {
+			b.recordSuccess()
+			if b.state.Swap(int32(StateUp)) != int32(StateUp) {
+				signal(rt.capacity)
+			}
+		}
+	default:
+		// Draining or loading: healthy enough to finish what it has, not
+		// healthy enough to take more. Not a failure — a reloading
+		// replica must not burn its breaker budget.
+		b.recordSuccess()
+		if !b.breakerOpen.Load() {
+			b.state.Store(int32(StateDraining))
+		}
+	}
+}

@@ -1,0 +1,470 @@
+// Package router implements bolt-router: a fault-tolerant front-end
+// that speaks the bolt frame protocol to clients and fans requests out
+// across N replicated bolt-serve backends. Robustness is layered:
+//
+//   - membership: periodic OpHealth probes drive an up/draining/down
+//     state machine per backend, so dead or reloading replicas leave
+//     rotation without dropping in-flight replies;
+//   - failover: idempotent ops (serve.OpIdempotent) retry on the next
+//     healthy backend with exponential backoff and jitter, and a
+//     consecutive-failure circuit breaker with half-open probe
+//     re-admission stops the router hammering a sick replica;
+//   - admission control: a bounded per-backend in-flight budget plus a
+//     deadline-bounded global queue; when the whole tier is saturated
+//     the router sheds with StatusOverloaded instead of letting
+//     latency collapse (clients treat the shed as retryable);
+//   - graceful degradation: Shutdown(ctx) mirrors the server's drain
+//     contract — stop accepting, flush in-flight, final stats.
+//
+// Clients need zero changes: the router answers the same wire protocol
+// bolt-serve does, so serve.Client (and bolt-client) work unchanged.
+package router
+
+import (
+	"bufio"
+	"context"
+	"errors"
+	"fmt"
+	"io"
+	"net"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"bolt/internal/serve"
+)
+
+// Config tunes the router. The zero value of every field selects the
+// default noted on it; Backends is the only required field.
+type Config struct {
+	// Backends are the replica addresses: "unix:/path", "tcp:host:port",
+	// a bare path containing a '/' (unix), or host:port (tcp).
+	Backends []string
+
+	// ProbeInterval is the membership loop's OpHealth cadence per
+	// backend (default 250ms); ProbeTimeout bounds each probe's dial,
+	// write and read together (default 1s).
+	ProbeInterval time.Duration
+	ProbeTimeout  time.Duration
+
+	// DialTimeout bounds data-path dials to a backend (default 2s).
+	// RequestTimeout bounds one forwarded round trip on the backend
+	// connection (default 30s; negative disables).
+	DialTimeout    time.Duration
+	RequestTimeout time.Duration
+
+	// MaxInFlight is the per-backend in-flight budget (default 32).
+	// MaxQueue bounds how many requests may wait for capacity at once
+	// (default 256); QueueWait is the deadline-bounded wait before a
+	// saturated tier sheds with StatusOverloaded (default 100ms).
+	MaxInFlight int
+	MaxQueue    int
+	QueueWait   time.Duration
+
+	// MaxRetries caps failover attempts after the first try for
+	// idempotent ops (default 2; negative disables). RetryBackoff is
+	// the first backoff, doubling per attempt with full jitter up to
+	// MaxRetryBackoff (defaults 5ms and 250ms).
+	MaxRetries      int
+	RetryBackoff    time.Duration
+	MaxRetryBackoff time.Duration
+
+	// BreakerThreshold trips a backend's circuit breaker after that
+	// many consecutive failures, data path and probes combined (default
+	// 3). BreakerCooldown is how long the breaker stays open before a
+	// successful health probe may re-admit the backend — the half-open
+	// trial is the probe itself (default 1s).
+	BreakerThreshold int
+	BreakerCooldown  time.Duration
+}
+
+// withDefaults returns cfg with every zero field resolved.
+func (cfg Config) withDefaults() Config {
+	def := func(d *time.Duration, v time.Duration) {
+		if *d == 0 {
+			*d = v
+		}
+	}
+	def(&cfg.ProbeInterval, 250*time.Millisecond)
+	def(&cfg.ProbeTimeout, time.Second)
+	def(&cfg.DialTimeout, 2*time.Second)
+	def(&cfg.RequestTimeout, 30*time.Second)
+	def(&cfg.QueueWait, 100*time.Millisecond)
+	def(&cfg.RetryBackoff, 5*time.Millisecond)
+	def(&cfg.MaxRetryBackoff, 250*time.Millisecond)
+	def(&cfg.BreakerCooldown, time.Second)
+	if cfg.MaxInFlight == 0 {
+		cfg.MaxInFlight = 32
+	}
+	if cfg.MaxQueue == 0 {
+		cfg.MaxQueue = 256
+	}
+	if cfg.MaxRetries == 0 {
+		cfg.MaxRetries = 2
+	}
+	if cfg.BreakerThreshold == 0 {
+		cfg.BreakerThreshold = 3
+	}
+	return cfg
+}
+
+// validate rejects configurations that cannot work.
+func (cfg Config) validate() error {
+	if len(cfg.Backends) == 0 {
+		return errors.New("router: no backends configured")
+	}
+	if cfg.MaxInFlight < 1 {
+		return fmt.Errorf("router: invalid per-backend in-flight budget %d", cfg.MaxInFlight)
+	}
+	if cfg.MaxQueue < 0 {
+		return fmt.Errorf("router: invalid queue bound %d", cfg.MaxQueue)
+	}
+	if cfg.BreakerThreshold < 1 {
+		return fmt.Errorf("router: invalid breaker threshold %d", cfg.BreakerThreshold)
+	}
+	for _, d := range []struct {
+		name string
+		v    time.Duration
+	}{
+		{"probe-interval", cfg.ProbeInterval},
+		{"probe-timeout", cfg.ProbeTimeout},
+		{"dial-timeout", cfg.DialTimeout},
+		{"queue-wait", cfg.QueueWait},
+		{"breaker-cooldown", cfg.BreakerCooldown},
+	} {
+		if d.v <= 0 {
+			return fmt.Errorf("router: %s must be positive, got %v", d.name, d.v)
+		}
+	}
+	return nil
+}
+
+// ParseAddr splits a backend or listen address into (network, addr).
+// Explicit "unix:" and "tcp:" prefixes win; otherwise anything with a
+// path separator is a unix socket and the rest is a TCP host:port —
+// the same convention the client dialers use (serve.SplitAddr).
+func ParseAddr(s string) (network, addr string, err error) {
+	return serve.SplitAddr(s)
+}
+
+// Router is the replicated-serving front-end. Create one with New,
+// stop it with Shutdown (graceful) or Close (immediate).
+type Router struct {
+	ln  net.Listener
+	cfg Config
+
+	backends []*backend
+
+	// health is the router's own HealthReady/HealthDraining byte,
+	// mirroring the single server's drain contract.
+	health atomic.Uint32
+
+	// queued is the admission-control queue depth; capacity is the
+	// one-slot wakeup released slots signal so a parked request
+	// re-checks the tier without polling.
+	queued   atomic.Int64
+	capacity chan struct{}
+
+	stats routerCounters
+
+	mu     sync.Mutex
+	conns  map[net.Conn]struct{}
+	closed bool
+	lnErr  error
+	wg     sync.WaitGroup
+	// stopProbes ends the membership loops; drained closes once every
+	// handler and prober has exited.
+	stopProbes chan struct{}
+	drained    chan struct{}
+}
+
+// New listens on the given address ("unix:/path", "tcp:host:port", or
+// the bare forms ParseAddr accepts) and starts routing to
+// cfg.Backends. Backends start in rotation optimistically; the first
+// probe round corrects the picture within one ProbeInterval.
+func New(listen string, cfg Config) (*Router, error) {
+	cfg = cfg.withDefaults()
+	if err := cfg.validate(); err != nil {
+		return nil, err
+	}
+	network, addr, err := ParseAddr(listen)
+	if err != nil {
+		return nil, err
+	}
+	rt := &Router{
+		cfg:        cfg,
+		capacity:   make(chan struct{}, 1),
+		conns:      map[net.Conn]struct{}{},
+		stopProbes: make(chan struct{}),
+		drained:    make(chan struct{}),
+	}
+	for _, b := range cfg.Backends {
+		bn, ba, err := ParseAddr(b)
+		if err != nil {
+			return nil, err
+		}
+		rt.backends = append(rt.backends, newBackend(bn, ba, cfg.MaxInFlight))
+	}
+	rt.ln, err = net.Listen(network, addr)
+	if err != nil {
+		return nil, fmt.Errorf("router: listen on %s: %w", addr, err)
+	}
+	rt.health.Store(uint32(serve.HealthReady))
+	for _, b := range rt.backends {
+		rt.wg.Add(1)
+		go rt.probeLoop(b)
+	}
+	rt.wg.Add(1)
+	go rt.acceptLoop()
+	return rt, nil
+}
+
+// Addr returns the listening address.
+func (rt *Router) Addr() string { return rt.ln.Addr().String() }
+
+func (rt *Router) draining() bool { return rt.health.Load() == uint32(serve.HealthDraining) }
+
+func (rt *Router) acceptLoop() {
+	defer rt.wg.Done()
+	for {
+		conn, err := rt.ln.Accept()
+		if err != nil {
+			return // listener closed
+		}
+		rt.mu.Lock()
+		if rt.closed {
+			rt.mu.Unlock()
+			conn.Close()
+			return
+		}
+		rt.conns[conn] = struct{}{}
+		rt.mu.Unlock()
+		rt.wg.Add(1)
+		go rt.handle(conn)
+	}
+}
+
+// handle serves one client connection in request→reply lockstep: the
+// router's concurrency comes from connections, and a synchronous loop
+// keeps the failure surface (and the exactly-once reply invariant)
+// simple — every frame read produces exactly one reply frame, whatever
+// the backends do in between.
+func (rt *Router) handle(conn net.Conn) {
+	defer rt.wg.Done()
+	defer func() {
+		conn.Close()
+		rt.mu.Lock()
+		delete(rt.conns, conn)
+		rt.mu.Unlock()
+	}()
+	br := bufio.NewReader(conn)
+	bw := bufio.NewWriter(conn)
+	reply := func(status byte, payload []byte) bool {
+		if serve.WriteFrame(bw, status, payload) != nil {
+			return false
+		}
+		return bw.Flush() == nil
+	}
+	for {
+		op, payload, err := serve.ReadFrame(br)
+		if err != nil {
+			var tooBig *serve.FrameTooLargeError
+			if errors.As(err, &tooBig) {
+				// Frame boundary known: reject, drain, keep serving.
+				rt.stats.requests.Add(1)
+				rt.stats.errors.Add(1)
+				if !reply(serve.StatusErr, []byte(err.Error())) {
+					return
+				}
+				if _, err := io.CopyN(io.Discard, br, int64(tooBig.N)); err != nil {
+					return
+				}
+				continue
+			}
+			if rt.draining() {
+				return // shutdown nudged an idle connection awake
+			}
+			if !errors.Is(err, io.EOF) && !errors.Is(err, net.ErrClosed) {
+				rt.stats.errors.Add(1)
+				reply(serve.StatusErr, []byte(err.Error()))
+			}
+			return
+		}
+		rt.stats.requests.Add(1)
+		rt.stats.inFlight.Add(1)
+		start := time.Now()
+		status, resp := rt.serveRequest(op, payload)
+		rt.stats.observe(op, time.Since(start), status)
+		rt.stats.inFlight.Add(-1)
+		if !reply(status, resp) {
+			return
+		}
+		if rt.draining() {
+			// The in-flight request got its reply; now let go.
+			return
+		}
+	}
+}
+
+// serveRequest dispatches one frame with panic isolation: whatever
+// breaks inside routing becomes a StatusErr reply, never a dead
+// router.
+func (rt *Router) serveRequest(op byte, payload []byte) (status byte, resp []byte) {
+	defer func() {
+		if rec := recover(); rec != nil {
+			rt.stats.panics.Add(1)
+			status = serve.StatusErr
+			resp = []byte(fmt.Sprintf("router: request handler panicked: %v", rec))
+		}
+	}()
+	switch op {
+	case serve.OpPing:
+		// Liveness of the router itself; backend liveness is OpHealth's
+		// membership view.
+		return serve.StatusOK, nil
+	case serve.OpHealth:
+		return serve.StatusOK, serve.EncodeHealth(rt.healthz())
+	case serve.OpStats:
+		return serve.StatusOK, serve.EncodeStats(rt.serverStats())
+	case serve.OpReload:
+		return rt.broadcastReload(payload)
+	default:
+		// Data-path ops (and anything the router does not know) are
+		// pure passthrough: the backend owns the semantics.
+		return rt.forward(op, payload)
+	}
+}
+
+// healthz is the router's own readiness snapshot: Workers counts the
+// backends currently in rotation, ModelChecksum is the tier's
+// consensus checksum ("mixed" while replicas disagree, e.g. mid-rolling
+// reload; empty before any probe reported one).
+func (rt *Router) healthz() serve.Health {
+	h := serve.Health{
+		State:   byte(rt.health.Load()),
+		Reloads: rt.stats.reloads.Load(),
+	}
+	for _, b := range rt.backends {
+		if State(b.state.Load()) != StateUp {
+			continue
+		}
+		h.Workers++
+		sum := b.checksum()
+		switch {
+		case sum == "":
+		case h.ModelChecksum == "":
+			h.ModelChecksum = sum
+		case h.ModelChecksum != sum:
+			h.ModelChecksum = "mixed"
+		}
+	}
+	return h
+}
+
+// broadcastReload fans an OpReload out to every backend not marked
+// down. Reload is not idempotent, so each backend gets exactly one
+// attempt; any failure reports StatusErr naming the failed replicas
+// while the others keep their new model — the operator re-issues until
+// the tier converges (Health says "mixed" until it does).
+func (rt *Router) broadcastReload(payload []byte) (byte, []byte) {
+	var errs []string
+	var sum []byte
+	n := 0
+	for _, b := range rt.backends {
+		if State(b.state.Load()) == StateDown {
+			continue
+		}
+		n++
+		status, resp, err := b.roundTrip(serve.OpReload, payload, rt.cfg.DialTimeout, rt.cfg.RequestTimeout)
+		switch {
+		case err != nil:
+			b.recordFailure(rt.cfg.BreakerThreshold)
+			errs = append(errs, fmt.Sprintf("%s: %v", b.addr, err))
+		case status != serve.StatusOK:
+			errs = append(errs, fmt.Sprintf("%s: %s", b.addr, resp))
+		default:
+			b.recordSuccess()
+			sum = resp
+		}
+	}
+	if n == 0 {
+		return serve.StatusErr, []byte("router: no backend in rotation to reload")
+	}
+	if len(errs) > 0 {
+		return serve.StatusErr, []byte(fmt.Sprintf("router: reload failed on %d/%d backends: %s",
+			len(errs), n, strings.Join(errs, "; ")))
+	}
+	rt.stats.reloads.Add(1)
+	return serve.StatusOK, sum
+}
+
+// shutdownForceGrace mirrors serve.Server: how long a forced shutdown
+// waits for handlers after closing their connections.
+const shutdownForceGrace = time.Second
+
+// Shutdown gracefully stops the router, mirroring the server's drain
+// contract: stop accepting, mark the health state draining, let
+// requests already in flight reach their reply, close idle
+// connections, and stop the membership loops. If ctx expires first the
+// remaining connections are closed forcibly. Concurrent calls share
+// one drain.
+func (rt *Router) Shutdown(ctx context.Context) error {
+	rt.mu.Lock()
+	if !rt.closed {
+		rt.closed = true
+		rt.health.Store(uint32(serve.HealthDraining))
+		rt.lnErr = rt.ln.Close()
+		close(rt.stopProbes)
+		// Wake idle connections parked in ReadFrame: an expired read
+		// deadline errors their next read without touching the reply
+		// write of any request still being routed.
+		now := time.Now()
+		for conn := range rt.conns {
+			conn.SetReadDeadline(now)
+		}
+		// Sheddable waiters should stop waiting for capacity that the
+		// drain will never grant.
+		signal(rt.capacity)
+		go func() {
+			rt.wg.Wait()
+			for _, b := range rt.backends {
+				b.closeIdle()
+			}
+			close(rt.drained)
+		}()
+	}
+	err := rt.lnErr
+	rt.mu.Unlock()
+
+	select {
+	case <-rt.drained:
+		return err
+	case <-ctx.Done():
+	}
+	rt.mu.Lock()
+	for conn := range rt.conns {
+		conn.Close()
+	}
+	rt.mu.Unlock()
+	select {
+	case <-rt.drained:
+	case <-time.After(shutdownForceGrace):
+	}
+	return err
+}
+
+// Close stops the router immediately: open connections are closed
+// without waiting for in-flight requests. Use Shutdown to drain.
+func (rt *Router) Close() error {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	return rt.Shutdown(ctx)
+}
+
+func signal(ch chan struct{}) {
+	select {
+	case ch <- struct{}{}:
+	default:
+	}
+}

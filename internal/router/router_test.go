@@ -1,0 +1,530 @@
+package router
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"path/filepath"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"bolt/internal/faults"
+	"bolt/internal/serve"
+)
+
+// echoEngine labels a sample with its first feature. Every replica
+// computes the same pure function — exactly like identical copies of
+// one model — so any reply mix-up between backends or requests shows
+// up as a wrong label, without the cost of training a forest per test.
+type echoEngine struct{}
+
+func (echoEngine) Predict(x []float32) int { return int(x[0]) }
+
+func echoFactory() serve.Engine { return echoEngine{} }
+
+const tierFeatures = 3
+
+// tier is a replicated deployment under test: n in-process bolt-serve
+// backends plus a router in front of them.
+type tier struct {
+	rt         *Router
+	backends   []*serve.Server
+	socks      []string
+	routerSock string
+}
+
+// fastConfig shrinks every timing knob so membership transitions land
+// in milliseconds instead of seconds.
+func fastConfig(socks []string) Config {
+	return Config{
+		Backends:         socks,
+		ProbeInterval:    10 * time.Millisecond,
+		ProbeTimeout:     200 * time.Millisecond,
+		DialTimeout:      time.Second,
+		RequestTimeout:   5 * time.Second,
+		QueueWait:        200 * time.Millisecond,
+		RetryBackoff:     2 * time.Millisecond,
+		MaxRetryBackoff:  20 * time.Millisecond,
+		MaxRetries:       4,
+		BreakerThreshold: 3,
+		BreakerCooldown:  30 * time.Millisecond,
+	}
+}
+
+func startBackend(t *testing.T, sock string) *serve.Server {
+	t.Helper()
+	srv, err := serve.NewPool(sock, echoFactory, tierFeatures, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { srv.Close() })
+	return srv
+}
+
+func newTier(t *testing.T, n int, mutate func(*Config)) *tier {
+	t.Helper()
+	dir := t.TempDir()
+	tr := &tier{routerSock: filepath.Join(dir, "router.sock")}
+	for i := 0; i < n; i++ {
+		sock := filepath.Join(dir, fmt.Sprintf("be%d.sock", i))
+		tr.backends = append(tr.backends, startBackend(t, sock))
+		tr.socks = append(tr.socks, sock)
+	}
+	cfg := fastConfig(tr.socks)
+	if mutate != nil {
+		mutate(&cfg)
+	}
+	rt, err := New(tr.routerSock, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { rt.Close() })
+	tr.rt = rt
+	return tr
+}
+
+func dialRouter(t *testing.T, tr *tier) *serve.Client {
+	t.Helper()
+	c, err := serve.Dial(tr.routerSock)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { c.Close() })
+	return c
+}
+
+// waitFor polls cond until it holds or the deadline expires.
+func waitFor(t *testing.T, d time.Duration, what string, cond func() bool) {
+	t.Helper()
+	deadline := time.Now().Add(d)
+	for !cond() {
+		if time.Now().After(deadline) {
+			t.Fatalf("timed out waiting for %s", what)
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+}
+
+func sample(i int) []float32 { return []float32{float32(i), 0, 0} }
+
+// TestRouterTCPListen pins the TCP front of the front-end: a router
+// listening on loopback TCP in front of UNIX-socket backends, reached
+// by the stock client through the shared SplitAddr convention.
+func TestRouterTCPListen(t *testing.T) {
+	dir := t.TempDir()
+	sock := filepath.Join(dir, "be.sock")
+	startBackend(t, sock)
+	rt, err := New("tcp:127.0.0.1:0", fastConfig([]string{sock}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { rt.Close() })
+
+	c, err := serve.Dial(rt.Addr()) // host:port, no prefix: classified as TCP
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { c.Close() })
+	for i := 0; i < 10; i++ {
+		label, _, err := c.Classify(sample(i))
+		if err != nil {
+			t.Fatalf("classify over tcp: %v", err)
+		}
+		if label != i {
+			t.Fatalf("classify over tcp: label %d, want %d", label, i)
+		}
+	}
+	h, err := c.Health()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if h.State != serve.HealthReady || h.Workers != 1 {
+		t.Fatalf("health over tcp: state %d workers %d", h.State, h.Workers)
+	}
+}
+
+func TestParseAddr(t *testing.T) {
+	cases := []struct {
+		in, network, addr string
+		wantErr           bool
+	}{
+		{in: "unix:/tmp/x.sock", network: "unix", addr: "/tmp/x.sock"},
+		{in: "tcp:127.0.0.1:9000", network: "tcp", addr: "127.0.0.1:9000"},
+		{in: "/tmp/bare.sock", network: "unix", addr: "/tmp/bare.sock"},
+		{in: "localhost:9000", network: "tcp", addr: "localhost:9000"},
+		{in: "unix:", wantErr: true},
+		{in: "", wantErr: true},
+	}
+	for _, c := range cases {
+		network, addr, err := ParseAddr(c.in)
+		if c.wantErr {
+			if err == nil {
+				t.Errorf("ParseAddr(%q): no error", c.in)
+			}
+			continue
+		}
+		if err != nil || network != c.network || addr != c.addr {
+			t.Errorf("ParseAddr(%q) = (%q, %q, %v), want (%q, %q)", c.in, network, addr, err, c.network, c.addr)
+		}
+	}
+}
+
+func TestConfigValidation(t *testing.T) {
+	if _, err := New(filepath.Join(t.TempDir(), "r.sock"), Config{}); err == nil {
+		t.Error("New with no backends succeeded")
+	}
+	bad := []func(*Config){
+		func(c *Config) { c.MaxInFlight = -1 },
+		func(c *Config) { c.BreakerThreshold = -2 },
+		func(c *Config) { c.ProbeInterval = -time.Second },
+		func(c *Config) { c.QueueWait = -time.Millisecond },
+	}
+	for i, mutate := range bad {
+		cfg := Config{Backends: []string{"/tmp/nonexistent.sock"}}
+		cfg = cfg.withDefaults()
+		mutate(&cfg)
+		if err := cfg.validate(); err == nil {
+			t.Errorf("bad config %d validated", i)
+		}
+	}
+}
+
+// TestRouterPassthrough proves a serve.Client needs zero changes: the
+// full op surface works through the router, labels are bit-exact, and
+// the stats round trip carries the router section over the real wire.
+func TestRouterPassthrough(t *testing.T) {
+	tr := newTier(t, 3, nil)
+	c := dialRouter(t, tr)
+
+	if err := c.Ping(); err != nil {
+		t.Fatal(err)
+	}
+	const singles = 100
+	for i := 0; i < singles; i++ {
+		label, _, err := c.Classify(sample(i))
+		if err != nil {
+			t.Fatalf("classify %d: %v", i, err)
+		}
+		if label != i {
+			t.Fatalf("classify %d: label %d", i, label)
+		}
+	}
+	X := make([][]float32, 17)
+	for i := range X {
+		X[i] = sample(i * 3)
+	}
+	labels, _, err := c.ClassifyBatch(X)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, l := range labels {
+		if l != i*3 {
+			t.Fatalf("batch row %d: label %d, want %d", i, l, i*3)
+		}
+	}
+	h, err := c.Health()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if h.State != serve.HealthReady || h.Workers != 3 {
+		t.Fatalf("health = %+v, want ready with 3 workers", h)
+	}
+
+	st, err := c.Stats()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Router == nil {
+		t.Fatal("router stats missing Router section")
+	}
+	if len(st.Router.Backends) != 3 {
+		t.Fatalf("router section has %d backends, want 3", len(st.Router.Backends))
+	}
+	var routed uint64
+	for _, b := range st.Router.Backends {
+		if b.State != serve.BackendUp {
+			t.Errorf("backend %s state %s, want up", b.Addr, serve.BackendStateName(b.State))
+		}
+		routed += b.Routed
+	}
+	if want := uint64(singles + 1); routed != want {
+		t.Errorf("sum of per-backend routed = %d, want %d", routed, want)
+	}
+	if st.Router.Shed != 0 || st.Router.Retries != 0 {
+		t.Errorf("healthy tier shed %d / retried %d, want 0 / 0", st.Router.Shed, st.Router.Retries)
+	}
+}
+
+// TestRouterReloadAndChecksumConsensus drives the rolling-reload story:
+// Health reports the tier consensus checksum, "mixed" while replicas
+// disagree, and OpReload fans out to every backend in rotation.
+func TestRouterReloadAndChecksumConsensus(t *testing.T) {
+	tr := newTier(t, 2, nil)
+	for _, srv := range tr.backends {
+		srv.SetModelChecksum("aaa")
+		srv.SetReloader(func(path string) (serve.EngineFactory, int, string, error) {
+			return echoFactory, tierFeatures, "ccc", nil
+		})
+	}
+	c := dialRouter(t, tr)
+
+	waitFor(t, 2*time.Second, "checksum consensus aaa", func() bool {
+		h, err := c.Health()
+		return err == nil && h.ModelChecksum == "aaa" && h.Workers == 2
+	})
+	tr.backends[1].SetModelChecksum("bbb")
+	waitFor(t, 2*time.Second, `checksum "mixed"`, func() bool {
+		h, err := c.Health()
+		return err == nil && h.ModelChecksum == "mixed"
+	})
+
+	sum, err := c.TriggerReload("")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sum != "ccc" {
+		t.Fatalf("reload checksum %q, want ccc", sum)
+	}
+	waitFor(t, 2*time.Second, "checksum consensus ccc", func() bool {
+		h, err := c.Health()
+		return err == nil && h.ModelChecksum == "ccc" && h.Reloads == 1
+	})
+}
+
+// TestRouterShedsWhenSaturated fills the single in-flight slot with a
+// slow request and checks that admission control sheds the overflow
+// with StatusOverloaded instead of queueing unboundedly — and that a
+// retry-armed client rides the shed out.
+func TestRouterShedsWhenSaturated(t *testing.T) {
+	defer faults.Reset()
+	tr := newTier(t, 1, func(c *Config) {
+		c.MaxInFlight = 1
+		c.MaxQueue = 1
+		c.QueueWait = 20 * time.Millisecond
+		c.MaxRetries = -1
+	})
+
+	faults.Enable("serve/engine", faults.Rule{Delay: 400 * time.Millisecond, Times: 1})
+	blockerDone := make(chan error, 1)
+	blocker := dialRouter(t, tr)
+	go func() {
+		_, _, err := blocker.Classify(sample(1))
+		blockerDone <- err
+	}()
+	waitFor(t, 2*time.Second, "blocker in flight", func() bool {
+		return tr.rt.Stats().InFlight >= 1
+	})
+
+	var wg sync.WaitGroup
+	shedErrs := make(chan error, 3)
+	for i := 0; i < 3; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			c, err := serve.Dial(tr.routerSock)
+			if err != nil {
+				shedErrs <- err
+				return
+			}
+			defer c.Close()
+			_, _, err = c.Classify(sample(2))
+			shedErrs <- err
+		}()
+	}
+	wg.Wait()
+	close(shedErrs)
+	for err := range shedErrs {
+		if err == nil {
+			t.Fatal("request admitted past a saturated tier")
+		}
+		if !strings.Contains(err.Error(), "overloaded") {
+			t.Fatalf("shed error %v does not mention overload", err)
+		}
+	}
+	if shed := tr.rt.Stats().Router.Shed; shed != 3 {
+		t.Errorf("Shed = %d, want 3", shed)
+	}
+	if err := <-blockerDone; err != nil {
+		t.Fatalf("blocked request should have completed: %v", err)
+	}
+
+	// A client with a retry policy sees the shed as retryable: start a
+	// fresh slow blocker, then classify with retries and win the slot
+	// once the blocker drains.
+	faults.Enable("serve/engine", faults.Rule{Delay: 100 * time.Millisecond, Times: 1})
+	go func() {
+		_, _, err := blocker.Classify(sample(1))
+		blockerDone <- err
+	}()
+	waitFor(t, 2*time.Second, "second blocker in flight", func() bool {
+		return tr.rt.Stats().InFlight >= 1
+	})
+	patient := dialRouter(t, tr)
+	patient.SetRetry(serve.RetryPolicy{MaxRetries: 30, Backoff: 20 * time.Millisecond, MaxBackoff: 40 * time.Millisecond})
+	label, _, err := patient.Classify(sample(9))
+	if err != nil || label != 9 {
+		t.Fatalf("retry-armed client should outlast the shed: label=%d err=%v", label, err)
+	}
+	if err := <-blockerDone; err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestRouterBreakerProbeFlap flaps the health probe deterministically
+// (faults.Rule.Times) and walks the breaker through its whole cycle:
+// trip on consecutive probe failures, shed while open, half-open probe
+// re-admission after the cooldown, then normal service.
+func TestRouterBreakerProbeFlap(t *testing.T) {
+	defer faults.Reset()
+	probeErr := errors.New("probe blackholed")
+	// Enable the flap before the router exists so the very first probes
+	// fail: three consecutive failures, then probes heal.
+	faults.Enable("router/probe", faults.Rule{Err: probeErr, Times: 3})
+	tr := newTier(t, 1, func(c *Config) {
+		c.ProbeInterval = 5 * time.Millisecond
+		c.BreakerThreshold = 3
+		c.BreakerCooldown = 150 * time.Millisecond
+		c.QueueWait = 10 * time.Millisecond
+		c.MaxRetries = -1
+	})
+
+	waitFor(t, 2*time.Second, "breaker trip", func() bool {
+		return tr.rt.Stats().Router.Backends[0].BreakerTrips == 1
+	})
+	c := dialRouter(t, tr)
+	if _, _, err := c.Classify(sample(1)); err == nil || !strings.Contains(err.Error(), "overloaded") {
+		t.Fatalf("request against a fully-down tier got %v, want overload shed", err)
+	}
+
+	waitFor(t, 2*time.Second, "half-open re-admission", func() bool {
+		b := tr.rt.Stats().Router.Backends[0]
+		return b.Readmits == 1 && b.State == serve.BackendUp
+	})
+	label, _, err := c.Classify(sample(4))
+	if err != nil || label != 4 {
+		t.Fatalf("classify after re-admission: label=%d err=%v", label, err)
+	}
+	if fired := faults.Fired("router/probe"); fired != 3 {
+		t.Errorf("probe fault fired %d times, want 3", fired)
+	}
+}
+
+// TestRouterFailoverOnTransportFaults injects the two data-path fault
+// sites — dial failure (request never sent, trivially safe to retry)
+// and mid-reply disconnect (request sent, reply lost) — and checks the
+// router fails over to the other replica both times.
+func TestRouterFailoverOnTransportFaults(t *testing.T) {
+	defer faults.Reset()
+	tr := newTier(t, 2, nil)
+	c := dialRouter(t, tr)
+	if err := c.Ping(); err != nil {
+		t.Fatal(err)
+	}
+
+	faults.Enable("router/dial", faults.Rule{Err: errors.New("backend blackholed"), Times: 1})
+	if label, _, err := c.Classify(sample(6)); err != nil || label != 6 {
+		t.Fatalf("failover after dial fault: label=%d err=%v", label, err)
+	}
+	faults.Enable("router/reply", faults.Rule{Err: errors.New("mid-reply disconnect"), Times: 1})
+	if label, _, err := c.Classify(sample(8)); err != nil || label != 8 {
+		t.Fatalf("failover after mid-reply fault: label=%d err=%v", label, err)
+	}
+
+	st := tr.rt.Stats()
+	if st.Router.Retries != 2 {
+		t.Errorf("Retries = %d, want 2", st.Router.Retries)
+	}
+	var retried, failures uint64
+	for _, b := range st.Router.Backends {
+		retried += b.Retried
+		failures += b.Failures
+	}
+	if retried != 2 || failures != 2 {
+		t.Errorf("per-backend retried/failures = %d/%d, want 2/2", retried, failures)
+	}
+}
+
+// TestRouterSlowLorisBackend holds a forwarded request hostage with a
+// long stall and checks the router's request timeout cuts it loose and
+// fails over instead of wedging the client forever.
+func TestRouterSlowLorisBackend(t *testing.T) {
+	defer faults.Reset()
+	tr := newTier(t, 2, func(c *Config) {
+		c.RequestTimeout = 50 * time.Millisecond
+	})
+	c := dialRouter(t, tr)
+
+	// The stall outlasts RequestTimeout, so attempt 1 times out on the
+	// wire and attempt 2 (fault exhausted) succeeds elsewhere.
+	faults.Enable("serve/engine", faults.Rule{Delay: 300 * time.Millisecond, Times: 1})
+	start := time.Now()
+	label, _, err := c.Classify(sample(5))
+	if err != nil || label != 5 {
+		t.Fatalf("classify through slow-loris backend: label=%d err=%v", label, err)
+	}
+	if elapsed := time.Since(start); elapsed > 250*time.Millisecond {
+		t.Errorf("failover took %v; request timeout did not cut the stall loose", elapsed)
+	}
+	if r := tr.rt.Stats().Router.Retries; r < 1 {
+		t.Errorf("Retries = %d, want >= 1", r)
+	}
+}
+
+// TestRouterDrain mirrors the server's shutdown contract: a request in
+// flight when Shutdown starts still gets its reply, and the listener
+// refuses new connections afterwards.
+func TestRouterDrain(t *testing.T) {
+	defer faults.Reset()
+	tr := newTier(t, 1, nil)
+	c := dialRouter(t, tr)
+	if err := c.Ping(); err != nil {
+		t.Fatal(err)
+	}
+
+	faults.Enable("serve/engine", faults.Rule{Delay: 150 * time.Millisecond, Times: 1})
+	inFlight := make(chan error, 1)
+	go func() {
+		label, _, err := c.Classify(sample(3))
+		if err == nil && label != 3 {
+			err = fmt.Errorf("drained reply label %d, want 3", label)
+		}
+		inFlight <- err
+	}()
+	waitFor(t, 2*time.Second, "request in flight", func() bool {
+		return tr.rt.Stats().InFlight >= 1
+	})
+
+	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+	defer cancel()
+	if err := tr.rt.Shutdown(ctx); err != nil {
+		t.Fatalf("shutdown: %v", err)
+	}
+	if err := <-inFlight; err != nil {
+		t.Fatalf("in-flight request dropped by drain: %v", err)
+	}
+	if _, err := serve.Dial(tr.routerSock); err == nil {
+		t.Fatal("dial succeeded after drain")
+	}
+}
+
+// TestRouterPanicIsolated turns a routing panic into a StatusErr reply
+// on that request while the connection keeps serving.
+func TestRouterPanicIsolated(t *testing.T) {
+	defer faults.Reset()
+	tr := newTier(t, 1, func(c *Config) { c.MaxRetries = -1 })
+	c := dialRouter(t, tr)
+
+	faults.Enable("router/forward", faults.Rule{PanicMsg: "routing exploded", Times: 1})
+	if _, _, err := c.Classify(sample(1)); err == nil || !strings.Contains(err.Error(), "panicked") {
+		t.Fatalf("panicking route returned %v, want panic StatusErr", err)
+	}
+	label, _, err := c.Classify(sample(2))
+	if err != nil || label != 2 {
+		t.Fatalf("router did not survive handler panic: label=%d err=%v", label, err)
+	}
+	if p := tr.rt.Stats().Panics; p != 1 {
+		t.Errorf("Panics = %d, want 1", p)
+	}
+}

@@ -1,0 +1,99 @@
+package router
+
+import (
+	"math/bits"
+	"sync/atomic"
+	"time"
+
+	"bolt/internal/serve"
+)
+
+// routerCounters is the router's live counter block, mirroring the
+// server's: totals, per-op latency histograms, and the routing-specific
+// shed/retry counts. All atomics — handlers update them concurrently.
+type routerCounters struct {
+	requests atomic.Uint64
+	errors   atomic.Uint64
+	panics   atomic.Uint64
+	shed     atomic.Uint64
+	retries  atomic.Uint64
+	reloads  atomic.Uint64
+	inFlight atomic.Int64
+
+	ops [serve.NumTrackedOps]routerOpCounter
+}
+
+// routerOpCounter accumulates one op's count, errors and end-to-end
+// routing latency (queue wait + failover + backend service time).
+type routerOpCounter struct {
+	count   atomic.Uint64
+	errors  atomic.Uint64
+	totalNs atomic.Uint64
+	buckets [serve.HistBuckets]atomic.Uint64
+}
+
+// observe records one routed request's outcome and latency.
+func (rc *routerCounters) observe(op byte, d time.Duration, status byte) {
+	c := &rc.ops[serve.OpIndex(op)]
+	ns := uint64(d.Nanoseconds())
+	c.count.Add(1)
+	c.totalNs.Add(ns)
+	b := bits.Len64(ns)
+	if b >= serve.HistBuckets {
+		b = serve.HistBuckets - 1
+	}
+	c.buckets[b].Add(1)
+	if status != serve.StatusOK {
+		c.errors.Add(1)
+		rc.errors.Add(1)
+	}
+}
+
+// serverStats snapshots the router as a ServerStats so OpStats replies
+// stay wire-compatible with a single bolt-serve: Workers counts the
+// backends in rotation, the Ops histograms are the router's end-to-end
+// view, and the Router section carries the per-backend breakdown.
+func (rt *Router) serverStats() serve.ServerStats {
+	rc := &rt.stats
+	section := &serve.RouterSection{
+		Shed:    rc.shed.Load(),
+		Retries: rc.retries.Load(),
+	}
+	workers := 0
+	for _, b := range rt.backends {
+		if State(b.state.Load()) == StateUp {
+			workers++
+		}
+		section.Backends = append(section.Backends, b.snapshot())
+	}
+	st := serve.ServerStats{
+		Requests: rc.requests.Load(),
+		Errors:   rc.errors.Load(),
+		Panics:   rc.panics.Load(),
+		Reloads:  rc.reloads.Load(),
+		InFlight: rc.inFlight.Load(),
+		Workers:  workers,
+		Router:   section,
+	}
+	for i := range rc.ops {
+		c := &rc.ops[i]
+		op := serve.OpStat{
+			Op:      serve.TrackedOp(i),
+			Count:   c.count.Load(),
+			Errors:  c.errors.Load(),
+			TotalNs: c.totalNs.Load(),
+		}
+		if op.Count == 0 {
+			continue
+		}
+		for b := range c.buckets {
+			op.Buckets[b] = c.buckets[b].Load()
+		}
+		st.Ops = append(st.Ops, op)
+	}
+	return st
+}
+
+// Stats returns the router's snapshot in decoded form, for embedders
+// and tests; the wire path goes through serverStats + serve.EncodeStats.
+func (rt *Router) Stats() serve.ServerStats { return rt.serverStats() }

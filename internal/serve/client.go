@@ -7,6 +7,7 @@ import (
 	"math/rand"
 	"net"
 	"sort"
+	"strings"
 	"time"
 )
 
@@ -34,22 +35,52 @@ type Client struct {
 	conn    net.Conn
 	rw      *bufio.ReadWriter
 	timeout time.Duration
-	retry   RetryPolicy
-	rng     *rand.Rand
+	// probeTimeout bounds the OpHealth round trip independently of the
+	// whole-op timeout: 0 means DefaultProbeTimeout, negative disables
+	// the probe-specific bound. See SetProbeTimeout.
+	probeTimeout time.Duration
+	retry        RetryPolicy
+	rng          *rand.Rand
 }
 
-// Dial connects to a server's UNIX socket with no I/O deadline; a hung
+// SplitAddr classifies an endpoint address into (network, addr).
+// Explicit "unix:" and "tcp:" prefixes win; otherwise anything with a
+// path separator is a unix socket and the rest is a TCP host:port.
+// The same convention is shared by the client dialers and the router.
+func SplitAddr(s string) (network, addr string, err error) {
+	switch {
+	case strings.HasPrefix(s, "unix:"):
+		network, addr = "unix", strings.TrimPrefix(s, "unix:")
+	case strings.HasPrefix(s, "tcp:"):
+		network, addr = "tcp", strings.TrimPrefix(s, "tcp:")
+	case strings.ContainsRune(s, '/'):
+		network, addr = "unix", s
+	default:
+		network, addr = "tcp", s
+	}
+	if addr == "" {
+		return "", "", fmt.Errorf("serve: empty address in %q", s)
+	}
+	return network, addr, nil
+}
+
+// Dial connects to a server endpoint (SplitAddr convention: bare paths
+// are UNIX sockets, host:port is TCP) with no I/O deadline; a hung
 // server blocks forever. Prefer DialTimeout for anything unattended.
 func Dial(socketPath string) (*Client, error) {
 	return DialTimeout(socketPath, 0)
 }
 
-// DialTimeout connects to a server's UNIX socket. A positive timeout
+// DialTimeout connects to a server endpoint. A positive timeout
 // bounds the dial and every subsequent request round trip: a server
 // that accepts but never answers surfaces as a deadline error instead
 // of a wedged client.
 func DialTimeout(socketPath string, timeout time.Duration) (*Client, error) {
-	conn, err := net.DialTimeout("unix", socketPath, timeout)
+	network, addr, err := SplitAddr(socketPath)
+	if err != nil {
+		return nil, err
+	}
+	conn, err := net.DialTimeout(network, addr, timeout)
 	if err != nil {
 		return nil, fmt.Errorf("serve: dial %s: %w", socketPath, err)
 	}
@@ -65,6 +96,36 @@ func DialTimeout(socketPath string, timeout time.Duration) (*Client, error) {
 // SetTimeout changes the per-round-trip deadline; zero disables it.
 func (c *Client) SetTimeout(d time.Duration) { c.timeout = d }
 
+// DefaultProbeTimeout bounds a Health round trip when the client has no
+// tighter whole-op deadline. Health is the probe membership loops and
+// load balancers poll, so it must fail fast on a wedged server — a
+// probe that blocks forever wedges the loop that drives failover.
+const DefaultProbeTimeout = 2 * time.Second
+
+// SetProbeTimeout overrides the per-probe I/O deadline applied to
+// Health round trips: 0 restores DefaultProbeTimeout, negative
+// disables the probe-specific bound (the whole-op timeout, if any,
+// still applies).
+func (c *Client) SetProbeTimeout(d time.Duration) { c.probeTimeout = d }
+
+// deadlineFor picks the I/O deadline for one round trip. Health gets
+// an explicit per-probe bound even when the client has no whole-op
+// timeout, so a stalled server cannot wedge a membership loop that
+// forgot to configure one.
+func (c *Client) deadlineFor(op byte) time.Duration {
+	d := c.timeout
+	if op == OpHealth {
+		p := c.probeTimeout
+		if p == 0 {
+			p = DefaultProbeTimeout
+		}
+		if p > 0 && (d == 0 || p < d) {
+			d = p
+		}
+	}
+	return d
+}
+
 // SetRetry installs the retry policy for idempotent requests.
 func (c *Client) SetRetry(p RetryPolicy) { c.retry = p }
 
@@ -72,7 +133,11 @@ func (c *Client) SetRetry(p RetryPolicy) { c.retry = p }
 // a transport error.
 func (c *Client) reconnect() error {
 	c.conn.Close()
-	conn, err := net.DialTimeout("unix", c.path, c.timeout)
+	network, addr, err := SplitAddr(c.path)
+	if err != nil {
+		return err
+	}
+	conn, err := net.DialTimeout(network, addr, c.timeout)
 	if err != nil {
 		return fmt.Errorf("serve: reconnect %s: %w", c.path, err)
 	}
@@ -82,8 +147,8 @@ func (c *Client) reconnect() error {
 }
 
 func (c *Client) roundTrip(op byte, payload []byte) (byte, []byte, error) {
-	if c.timeout > 0 {
-		if err := c.conn.SetDeadline(time.Now().Add(c.timeout)); err != nil {
+	if d := c.deadlineFor(op); d > 0 {
+		if err := c.conn.SetDeadline(time.Now().Add(d)); err != nil {
 			return 0, nil, err
 		}
 		defer c.conn.SetDeadline(time.Time{})
@@ -97,12 +162,15 @@ func (c *Client) roundTrip(op byte, payload []byte) (byte, []byte, error) {
 	return readFrame(c.rw)
 }
 
-// opIdempotent is the client side of the op policy: whether a request
-// may be transparently re-sent on a fresh connection after a transport
-// failure. OpReload mutates server state and OpSalience is the
-// explanation path callers drive interactively, so both run exactly
-// one attempt; everything else is a pure read and retries freely.
-func opIdempotent(op byte) bool {
+// OpIdempotent is the client side of the op policy: whether a request
+// may be transparently re-sent after a transport failure (on a fresh
+// connection) or an overload shed (the request was never dispatched).
+// OpReload mutates server state and OpSalience is the explanation path
+// callers drive interactively, so both run exactly one attempt;
+// everything else is a pure read and retries freely. The router reuses
+// this classification to decide which requests fail over to another
+// backend.
+func OpIdempotent(op byte) bool {
 	//bolt:ops encode
 	switch op {
 	case OpPing, OpClassify, OpValue, OpBatch, OpStats, OpHealth:
@@ -115,11 +183,13 @@ func opIdempotent(op byte) bool {
 
 // retryRoundTrip runs roundTrip under the retry policy. After any
 // transport failure the stream may hold a half-written frame, so every
-// retry starts from a fresh connection. Non-idempotent ops (see
-// opIdempotent) never retry regardless of policy.
+// such retry starts from a fresh connection; a StatusOverloaded reply
+// arrived on an intact stream (the shed was a complete frame) and
+// retries on the same connection after backing off. Non-idempotent ops
+// (see OpIdempotent) never retry regardless of policy.
 func (c *Client) retryRoundTrip(op byte, payload []byte) (byte, []byte, error) {
 	status, resp, err := c.roundTrip(op, payload)
-	if err == nil || !opIdempotent(op) || c.retry.MaxRetries <= 0 {
+	if (err == nil && status != StatusOverloaded) || !OpIdempotent(op) || c.retry.MaxRetries <= 0 {
 		return status, resp, err
 	}
 	backoff := c.retry.Backoff
@@ -136,13 +206,20 @@ func (c *Client) retryRoundTrip(op byte, payload []byte) (byte, []byte, error) {
 		if backoff *= 2; backoff > maxBackoff {
 			backoff = maxBackoff
 		}
-		if rerr := c.reconnect(); rerr != nil {
-			err = rerr
-			continue
+		if err != nil {
+			if rerr := c.reconnect(); rerr != nil {
+				err = rerr
+				continue
+			}
 		}
-		if status, resp, err = c.roundTrip(op, payload); err == nil {
+		if status, resp, err = c.roundTrip(op, payload); err == nil && status != StatusOverloaded {
 			return status, resp, nil
 		}
+	}
+	if err == nil {
+		// Still overloaded after every retry: surface the final shed
+		// reply so the caller sees the service's own message.
+		return status, resp, nil
 	}
 	return 0, nil, fmt.Errorf("serve: request failed after %d retries: %w", c.retry.MaxRetries, err)
 }

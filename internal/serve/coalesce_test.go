@@ -426,9 +426,12 @@ func TestCoalesceReloadShutdownRace(t *testing.T) {
 	if served.Load() == 0 {
 		t.Error("no request completed before the drain")
 	}
-	if st.CoalescedBatches == 0 {
-		t.Error("no coalesced batches formed under 32 concurrent clients")
-	}
+	// Whether batches actually form here depends on goroutine overlap:
+	// on a starved host the clients can serialize enough that every
+	// request takes the solo bypass, which is correct behaviour. Batch
+	// formation itself is pinned deterministically (engine gated, so
+	// requests must park) by TestCoalesceManyConnsBitExact; this test
+	// is about the reload/shutdown race.
 	t.Logf("served %d replies, %d coalesced batches (mean %.1f rows), %d reloads",
 		served.Load(), st.CoalescedBatches, st.CoalesceMeanRows(), st.Reloads)
 }

@@ -51,6 +51,16 @@ func FuzzDecodeStats(f *testing.F) {
 	st.CoalescedBatches, st.CoalescedRequests, st.CoalescedRows = 4, 30, 60
 	st.CoalesceSize[4] = 4
 	f.Add(encodeStats(st))
+	st.Router = &RouterSection{
+		Shed:    5,
+		Retries: 7,
+		Backends: []BackendStat{
+			{Addr: "unix:/tmp/a.sock", State: BackendUp, Routed: 100, InFlight: 2},
+			{Addr: "tcp:127.0.0.1:9000", State: BackendDown, Retried: 3, Failures: 9, BreakerTrips: 1, Readmits: 1},
+		},
+	}
+	f.Add(encodeStats(st))
+	f.Add(encodeStats(ServerStats{Router: &RouterSection{}}))
 	f.Add(encodeStats(ServerStats{}))
 	f.Add([]byte{})
 

@@ -1,0 +1,40 @@
+package serve
+
+import (
+	"fmt"
+	"net"
+	"time"
+)
+
+// ProbeHealth runs one OpHealth round trip against network/addr on a
+// fresh connection and closes it. The timeout bounds the whole probe —
+// dial, write and read — so a blackholed or wedged backend surfaces as
+// a deadline error instead of wedging the caller; timeout <= 0 falls
+// back to DefaultProbeTimeout. This is the membership primitive the
+// router polls: dialing fresh every time also proves the backend is
+// still accepting connections, which a pooled connection would not.
+func ProbeHealth(network, addr string, timeout time.Duration) (Health, error) {
+	if timeout <= 0 {
+		timeout = DefaultProbeTimeout
+	}
+	deadline := time.Now().Add(timeout)
+	conn, err := net.DialTimeout(network, addr, timeout)
+	if err != nil {
+		return Health{}, fmt.Errorf("serve: probe %s: %w", addr, err)
+	}
+	defer conn.Close()
+	if err := conn.SetDeadline(deadline); err != nil {
+		return Health{}, err
+	}
+	if err := writeFrame(conn, OpHealth, nil); err != nil {
+		return Health{}, fmt.Errorf("serve: probe %s: %w", addr, err)
+	}
+	status, payload, err := readFrame(conn)
+	if err != nil {
+		return Health{}, fmt.Errorf("serve: probe %s: %w", addr, err)
+	}
+	if status != StatusOK {
+		return Health{}, fmt.Errorf("serve: probe %s: %s", addr, payload)
+	}
+	return decodeHealth(payload)
+}

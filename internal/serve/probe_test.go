@@ -1,0 +1,207 @@
+package serve
+
+import (
+	"net"
+	"path/filepath"
+	"reflect"
+	"strings"
+	"testing"
+	"time"
+)
+
+// silentListener accepts connections and never answers — the shape of
+// a wedged or blackholed server that membership probes must not hang
+// on.
+func silentListener(t *testing.T) (net.Listener, string) {
+	t.Helper()
+	sock := filepath.Join(t.TempDir(), "silent.sock")
+	ln, err := net.Listen("unix", sock)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { ln.Close() })
+	go func() {
+		for {
+			conn, err := ln.Accept()
+			if err != nil {
+				return
+			}
+			defer conn.Close()
+		}
+	}()
+	return ln, sock
+}
+
+// TestProbeDeadlineOnWedgedServer checks the per-probe I/O deadline: a
+// Health round trip against a server that accepts but never replies
+// must fail within the probe bound even when the client has no
+// whole-op timeout configured.
+func TestProbeDeadlineOnWedgedServer(t *testing.T) {
+	_, sock := silentListener(t)
+	c, err := Dial(sock) // no whole-op timeout on purpose
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	c.SetProbeTimeout(50 * time.Millisecond)
+
+	start := time.Now()
+	_, err = c.Health()
+	if err == nil {
+		t.Fatal("health probe against a silent server succeeded")
+	}
+	if elapsed := time.Since(start); elapsed > time.Second {
+		t.Fatalf("probe took %v; deadline did not bound it", elapsed)
+	}
+}
+
+// TestProbeHealthBounds covers serve.ProbeHealth directly: success
+// against a live server, a deadline error against a silent one, and a
+// prompt dial error against a dead address.
+func TestProbeHealthBounds(t *testing.T) {
+	_, _, _, sock := newTestServer(t)
+	h, err := ProbeHealth("unix", sock, time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if h.State != HealthReady {
+		t.Fatalf("probe state %s, want ready", HealthStateName(h.State))
+	}
+
+	_, silent := silentListener(t)
+	start := time.Now()
+	if _, err := ProbeHealth("unix", silent, 50*time.Millisecond); err == nil {
+		t.Fatal("probe against a silent server succeeded")
+	}
+	if elapsed := time.Since(start); elapsed > time.Second {
+		t.Fatalf("silent probe took %v; timeout did not bound it", elapsed)
+	}
+
+	if _, err := ProbeHealth("unix", filepath.Join(t.TempDir(), "gone.sock"), 50*time.Millisecond); err == nil {
+		t.Fatal("probe against a dead address succeeded")
+	}
+}
+
+// shedServer speaks just enough of the frame protocol to reply
+// StatusOverloaded n times, then echo StatusOK with an empty payload.
+func shedServer(t *testing.T, n int) string {
+	t.Helper()
+	sock := filepath.Join(t.TempDir(), "shed.sock")
+	ln, err := net.Listen("unix", sock)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { ln.Close() })
+	sheds := n
+	go func() {
+		for {
+			conn, err := ln.Accept()
+			if err != nil {
+				return
+			}
+			go func(conn net.Conn) {
+				defer conn.Close()
+				for {
+					op, _, err := readFrame(conn)
+					if err != nil {
+						return
+					}
+					status := StatusOK
+					if sheds > 0 {
+						sheds--
+						status = StatusOverloaded
+					}
+					var payload []byte
+					if status == StatusOverloaded {
+						payload = []byte("overloaded")
+					} else if op == OpPing {
+						payload = nil
+					}
+					if err := writeFrame(conn, status, payload); err != nil {
+						return
+					}
+				}
+			}(conn)
+		}
+	}()
+	return sock
+}
+
+// TestClientRetriesOverloaded checks a StatusOverloaded reply is
+// treated as retryable for idempotent ops: the shed arrived on an
+// intact stream, so the client backs off and re-sends on the same
+// connection until the server admits it.
+func TestClientRetriesOverloaded(t *testing.T) {
+	sock := shedServer(t, 2)
+	c, err := Dial(sock)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	c.SetRetry(RetryPolicy{MaxRetries: 4, Backoff: time.Millisecond, MaxBackoff: 5 * time.Millisecond})
+	if err := c.Ping(); err != nil {
+		t.Fatalf("ping should survive two sheds: %v", err)
+	}
+}
+
+// TestClientSurfacesFinalShed checks that when every retry is shed the
+// client reports the service's own overload message rather than a
+// generic retry-exhausted error.
+func TestClientSurfacesFinalShed(t *testing.T) {
+	sock := shedServer(t, 1000)
+	c, err := Dial(sock)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	c.SetRetry(RetryPolicy{MaxRetries: 2, Backoff: time.Millisecond, MaxBackoff: 2 * time.Millisecond})
+	_, _, err = c.Classify([]float32{1})
+	if err == nil || !strings.Contains(err.Error(), "overloaded") {
+		t.Fatalf("got %v, want the server's overload message", err)
+	}
+}
+
+// TestRouterSectionRoundTrip pins the stats wire extension: a snapshot
+// with a Router section decodes back field-for-field, and a plain
+// snapshot still decodes with Router == nil.
+func TestRouterSectionRoundTrip(t *testing.T) {
+	in := ServerStats{Requests: 42, Workers: 3}
+	in.Router = &RouterSection{
+		Shed:    9,
+		Retries: 4,
+		Backends: []BackendStat{
+			{Addr: "unix:/tmp/a.sock", State: BackendUp, Routed: 40, InFlight: 1},
+			{Addr: "tcp:10.0.0.2:9000", State: BackendDraining, Retried: 2, Failures: 5},
+			{Addr: "tcp:10.0.0.3:9000", State: BackendDown, BreakerTrips: 2, Readmits: 1},
+		},
+	}
+	out, err := decodeStats(encodeStats(in))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out.Router == nil {
+		t.Fatal("router section lost in round trip")
+	}
+	if out.Router.Shed != in.Router.Shed || out.Router.Retries != in.Router.Retries {
+		t.Fatalf("section totals %+v, want %+v", out.Router, in.Router)
+	}
+	if !reflect.DeepEqual(out.Router.Backends, in.Router.Backends) {
+		t.Fatalf("backends mismatch:\n got %+v\nwant %+v", out.Router.Backends, in.Router.Backends)
+	}
+
+	plain, err := decodeStats(encodeStats(ServerStats{Requests: 1}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if plain.Router != nil {
+		t.Fatal("plain snapshot grew a router section")
+	}
+
+	// Truncations inside the section must error, not panic.
+	full := encodeStats(in)
+	for cut := len(full) - 1; cut > len(full)-backendStatBytes; cut-- {
+		if _, err := decodeStats(full[:cut]); err == nil {
+			t.Fatalf("truncated section (%d bytes) accepted", cut)
+		}
+	}
+}

@@ -97,6 +97,12 @@ func decodeHealth(payload []byte) (Health, error) {
 const (
 	StatusOK  = byte(0)
 	StatusErr = byte(1)
+	// StatusOverloaded is admission control's shed signal: the service
+	// (bolt-router, or any front-end) refused the request because every
+	// backend is saturated or unavailable, rather than queueing it into
+	// latency collapse. Clients treat it as retryable for idempotent
+	// ops — the request was never dispatched, so re-sending is safe.
+	StatusOverloaded = byte(2)
 )
 
 // MaxFrameBytes bounds request payloads (features are float32, so this
@@ -116,13 +122,14 @@ func writeFrame(w io.Writer, op byte, payload []byte) error {
 	return err
 }
 
-// frameTooLargeError reports an over-limit length prefix. The frame
+// FrameTooLargeError reports an over-limit length prefix. The frame
 // boundary is still known, so the server can drain the payload and
-// keep the connection instead of dropping it mid-stream.
-type frameTooLargeError struct{ n uint32 }
+// keep the connection instead of dropping it mid-stream. N is the
+// rejected frame's declared payload size.
+type FrameTooLargeError struct{ N uint32 }
 
-func (e *frameTooLargeError) Error() string {
-	return fmt.Sprintf("serve: frame of %d bytes exceeds limit %d", e.n, MaxFrameBytes)
+func (e *FrameTooLargeError) Error() string {
+	return fmt.Sprintf("serve: frame of %d bytes exceeds limit %d", e.N, MaxFrameBytes)
 }
 
 // readFrame reads one frame, enforcing the size bound.
@@ -133,7 +140,7 @@ func readFrame(r io.Reader) (op byte, payload []byte, err error) {
 	}
 	n := binary.LittleEndian.Uint32(hdr[1:])
 	if n > MaxFrameBytes {
-		return hdr[0], nil, &frameTooLargeError{n}
+		return hdr[0], nil, &FrameTooLargeError{n}
 	}
 	payload = make([]byte, n)
 	if _, err := io.ReadFull(r, payload); err != nil {
@@ -141,6 +148,25 @@ func readFrame(r io.Reader) (op byte, payload []byte, err error) {
 	}
 	return hdr[0], payload, nil
 }
+
+// WriteFrame writes one op | length | payload frame. Exported for the
+// router front-end, which speaks this wire protocol on both its client
+// and backend sides.
+func WriteFrame(w io.Writer, op byte, payload []byte) error { return writeFrame(w, op, payload) }
+
+// ReadFrame reads one frame, enforcing MaxFrameBytes; an over-limit
+// length prefix returns *FrameTooLargeError with the stream positioned
+// at the start of the oversized payload, so the caller can drain it
+// and keep the connection.
+func ReadFrame(r io.Reader) (op byte, payload []byte, err error) { return readFrame(r) }
+
+// EncodeHealth packs a Health snapshot the way OpHealth responses are
+// framed; DecodeHealth reverses it. Exported for the router, which
+// answers OpHealth with its own membership-derived snapshot.
+func EncodeHealth(h Health) []byte { return encodeHealth(h) }
+
+// DecodeHealth unpacks an OpHealth response payload.
+func DecodeHealth(payload []byte) (Health, error) { return decodeHealth(payload) }
 
 // encodeFloats packs a feature vector.
 func encodeFloats(x []float32) []byte {

@@ -312,7 +312,7 @@ func (s *Server) handle(conn net.Conn) {
 	for {
 		op, payload, err := readFrame(conn)
 		if err != nil {
-			var tooBig *frameTooLargeError
+			var tooBig *FrameTooLargeError
 			if errors.As(err, &tooBig) {
 				// The frame boundary is known: reject, drain the payload
 				// to stay in sync, and keep serving the connection.
@@ -320,7 +320,7 @@ func (s *Server) handle(conn net.Conn) {
 				s.stats.errors.Add(1)
 				s.stats.op(op).errors.Add(1)
 				w.submitRaw(op, StatusErr, []byte(err.Error()))
-				if _, err := io.CopyN(io.Discard, conn, int64(tooBig.n)); err != nil {
+				if _, err := io.CopyN(io.Discard, conn, int64(tooBig.N)); err != nil {
 					return
 				}
 				continue

@@ -28,6 +28,17 @@ func opIndex(op byte) int {
 	return len(trackedOps) - 1
 }
 
+// NumTrackedOps is the number of per-op counter slots; OpIndex and
+// TrackedOp expose the slot mapping so the router can keep its own
+// per-op histograms in the same wire order a server uses.
+const NumTrackedOps = len(trackedOps)
+
+// OpIndex maps an op code to its counter slot (see opIndex).
+func OpIndex(op byte) int { return opIndex(op) }
+
+// TrackedOp returns the op code occupying counter slot i.
+func TrackedOp(i int) byte { return trackedOps[i] }
+
 // opCounter accumulates one op's request count, error count and
 // dispatch-latency histogram. All fields are atomics: workers update
 // them concurrently without locks.
@@ -181,6 +192,10 @@ type ServerStats struct {
 	CoalescedRows     uint64
 	CoalesceSize      [HistBuckets]uint64
 	Ops               []OpStat
+	// Router carries the replicated-tier extension when the snapshot
+	// came from bolt-router (per-backend routing, failover and breaker
+	// counters); nil from a plain bolt-serve.
+	Router *RouterSection
 }
 
 // CoalesceMeanRows is the mean rows per coalesced batch.
@@ -189,6 +204,64 @@ func (s ServerStats) CoalesceMeanRows() float64 {
 		return 0
 	}
 	return float64(s.CoalescedRows) / float64(s.CoalescedBatches)
+}
+
+// Backend membership states reported in a RouterSection. (Distinct
+// from the Health* states a single server reports about itself: these
+// are the router's view of a replica, circuit breaker included.)
+const (
+	BackendUp       = byte(0) // in rotation
+	BackendDraining = byte(1) // reloading or shutting down; finishing in-flight work, no new requests
+	BackendDown     = byte(2) // probe failures or a tripped breaker took it out of rotation
+)
+
+// BackendStateName renders a backend membership state for humans.
+func BackendStateName(s byte) string {
+	switch s {
+	case BackendUp:
+		return "up"
+	case BackendDraining:
+		return "draining"
+	case BackendDown:
+		return "down"
+	default:
+		return fmt.Sprintf("unknown(%d)", s)
+	}
+}
+
+// BackendStat is one replica's counters inside a router's OpStats
+// reply: where its traffic went, how often it failed over, and what
+// the circuit breaker did. Plain bolt-serve reports none.
+type BackendStat struct {
+	Addr string
+	// State is a Backend* membership state byte.
+	State byte
+	// Routed counts requests dispatched to this backend; Retried counts
+	// the failed attempts here that were retried on another replica;
+	// Failures is every transport-level failure observed (data path and
+	// probes).
+	Routed   uint64
+	Retried  uint64
+	Failures uint64
+	// BreakerTrips counts circuit-breaker opens; Readmits counts the
+	// half-open probe successes that closed it again.
+	BreakerTrips uint64
+	Readmits     uint64
+	InFlight     int64
+}
+
+// RouterSection is the router-level extension of a stats snapshot:
+// admission-control and failover totals plus per-backend counters.
+// Nil on snapshots from a plain bolt-serve; bolt-router fills it so
+// `bolt-client stats` pointed at a router shows the whole tier.
+type RouterSection struct {
+	// Shed counts requests refused with StatusOverloaded because every
+	// backend was saturated or out of rotation for the whole queue wait.
+	Shed uint64
+	// Retries counts failover attempts: requests re-dispatched to
+	// another backend after a transport failure.
+	Retries  uint64
+	Backends []BackendStat
 }
 
 // CoalesceSizeQuantile returns an upper bound on the q-quantile rows
@@ -220,11 +293,39 @@ func (s ServerStats) CoalesceSizeQuantile(q float64) uint64 {
 // coalesceSize histogram | numOps.
 const statsHeaderBytes = 8 + 8 + 8 + 8 + 8 + 4 + 8 + 8 + 8 + HistBuckets*8 + 1
 
+// backendStatBytes is the fixed part of one encoded BackendStat:
+// addrLen | state | routed | retried | failures | trips | readmits |
+// inFlight (the addr bytes follow addrLen).
+const backendStatBytes = 1 + 1 + 8*6
+
+// routerSectionBytes is the fixed prefix of an encoded RouterSection:
+// shed | retries | numBackends.
+const routerSectionBytes = 8 + 8 + 1
+
 // encodeStats packs the header above followed by the ops, each op as
-// op | count | errors | totalNs | buckets.
+// op | count | errors | totalNs | buckets. A non-nil Router section
+// appends shed | retries | numBackends | backends, each backend as
+// addrLen | addr | state | routed | retried | failures | trips |
+// readmits | inFlight; addresses are truncated to 255 bytes on the
+// wire. Snapshots without a section (every plain bolt-serve) end at
+// the ops, so the v2 payload shape is unchanged.
 func encodeStats(st ServerStats) []byte {
 	const opBytes = 1 + 8 + 8 + 8 + HistBuckets*8
-	buf := make([]byte, statsHeaderBytes+len(st.Ops)*opBytes)
+	var backends []BackendStat
+	if st.Router != nil {
+		backends = st.Router.Backends
+		if len(backends) > 255 {
+			backends = backends[:255] // 1-byte count on the wire
+		}
+	}
+	n := statsHeaderBytes + len(st.Ops)*opBytes
+	if st.Router != nil {
+		n += routerSectionBytes
+		for _, b := range backends {
+			n += backendStatBytes + len(trimAddr(b.Addr))
+		}
+	}
+	buf := make([]byte, n)
 	binary.LittleEndian.PutUint64(buf, st.Requests)
 	binary.LittleEndian.PutUint64(buf[8:], st.Errors)
 	binary.LittleEndian.PutUint64(buf[16:], st.Panics)
@@ -252,8 +353,45 @@ func encodeStats(st ServerStats) []byte {
 			off += 8
 		}
 	}
+	if st.Router != nil {
+		binary.LittleEndian.PutUint64(buf[off:], st.Router.Shed)
+		binary.LittleEndian.PutUint64(buf[off+8:], st.Router.Retries)
+		buf[off+16] = byte(len(backends))
+		off += routerSectionBytes
+		for _, b := range backends {
+			addr := trimAddr(b.Addr)
+			buf[off] = byte(len(addr))
+			copy(buf[off+1:], addr)
+			off += 1 + len(addr)
+			buf[off] = b.State
+			binary.LittleEndian.PutUint64(buf[off+1:], b.Routed)
+			binary.LittleEndian.PutUint64(buf[off+9:], b.Retried)
+			binary.LittleEndian.PutUint64(buf[off+17:], b.Failures)
+			binary.LittleEndian.PutUint64(buf[off+25:], b.BreakerTrips)
+			binary.LittleEndian.PutUint64(buf[off+33:], b.Readmits)
+			binary.LittleEndian.PutUint64(buf[off+41:], uint64(b.InFlight))
+			off += backendStatBytes - 1
+		}
+	}
 	return buf
 }
+
+// trimAddr bounds a backend address to the 1-byte length prefix the
+// wire uses; real socket paths and host:port strings fit comfortably.
+func trimAddr(addr string) string {
+	if len(addr) > 255 {
+		return addr[:255]
+	}
+	return addr
+}
+
+// EncodeStats packs a ServerStats snapshot the way OpStats responses
+// are framed; DecodeStats reverses it. Exported for the router, which
+// answers OpStats with its own tier-wide aggregation.
+func EncodeStats(st ServerStats) []byte { return encodeStats(st) }
+
+// DecodeStats unpacks an OpStats response payload.
+func DecodeStats(payload []byte) (ServerStats, error) { return decodeStats(payload) }
 
 // decodeStats unpacks an OpStats response payload.
 func decodeStats(payload []byte) (ServerStats, error) {
@@ -279,7 +417,7 @@ func decodeStats(payload []byte) (ServerStats, error) {
 	}
 	n := int(payload[off])
 	off++
-	if len(payload) != statsHeaderBytes+n*opBytes {
+	if len(payload) < statsHeaderBytes+n*opBytes {
 		return ServerStats{}, fmt.Errorf("serve: stats payload %d bytes does not hold %d ops", len(payload), n)
 	}
 	for i := 0; i < n; i++ {
@@ -296,5 +434,41 @@ func decodeStats(payload []byte) (ServerStats, error) {
 		}
 		st.Ops = append(st.Ops, op)
 	}
+	if off == len(payload) {
+		return st, nil // no router section: a plain bolt-serve snapshot
+	}
+	if len(payload)-off < routerSectionBytes {
+		return ServerStats{}, fmt.Errorf("serve: stats router section of %d bytes truncated", len(payload)-off)
+	}
+	rs := &RouterSection{
+		Shed:    binary.LittleEndian.Uint64(payload[off:]),
+		Retries: binary.LittleEndian.Uint64(payload[off+8:]),
+	}
+	nb := int(payload[off+16])
+	off += routerSectionBytes
+	for i := 0; i < nb; i++ {
+		if len(payload)-off < 1 {
+			return ServerStats{}, fmt.Errorf("serve: stats backend %d truncated", i)
+		}
+		alen := int(payload[off])
+		if len(payload)-off < backendStatBytes+alen {
+			return ServerStats{}, fmt.Errorf("serve: stats backend %d truncated", i)
+		}
+		b := BackendStat{Addr: string(payload[off+1 : off+1+alen])}
+		off += 1 + alen
+		b.State = payload[off]
+		b.Routed = binary.LittleEndian.Uint64(payload[off+1:])
+		b.Retried = binary.LittleEndian.Uint64(payload[off+9:])
+		b.Failures = binary.LittleEndian.Uint64(payload[off+17:])
+		b.BreakerTrips = binary.LittleEndian.Uint64(payload[off+25:])
+		b.Readmits = binary.LittleEndian.Uint64(payload[off+33:])
+		b.InFlight = int64(binary.LittleEndian.Uint64(payload[off+41:]))
+		off += backendStatBytes - 1
+		rs.Backends = append(rs.Backends, b)
+	}
+	if off != len(payload) {
+		return ServerStats{}, fmt.Errorf("serve: stats payload has %d trailing bytes", len(payload)-off)
+	}
+	st.Router = rs
 	return st, nil
 }

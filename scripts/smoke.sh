@@ -8,15 +8,20 @@ set -euo pipefail
 workdir=$(mktemp -d)
 sock="$workdir/bolt.sock"
 serve_pid=""
+extra_pids=()
 cleanup() {
     [ -n "$serve_pid" ] && kill "$serve_pid" 2>/dev/null || true
     [ -n "$serve_pid" ] && wait "$serve_pid" 2>/dev/null || true
+    for p in ${extra_pids[@]+"${extra_pids[@]}"}; do
+        kill "$p" 2>/dev/null || true
+        wait "$p" 2>/dev/null || true
+    done
     rm -rf "$workdir"
 }
 trap cleanup EXIT
 
 echo "== build =="
-go build -o "$workdir" ./cmd/bolt-train ./cmd/bolt-compile ./cmd/bolt-serve ./cmd/bolt-client
+go build -o "$workdir" ./cmd/bolt-train ./cmd/bolt-compile ./cmd/bolt-serve ./cmd/bolt-client ./cmd/bolt-router
 
 echo "== train =="
 "$workdir/bolt-train" -dataset lstw -samples 600 -trees 5 -depth 4 \
@@ -181,5 +186,107 @@ echo "$stats" | grep -Eq "coalesced batches: [1-9]" || {
     exit 1
 }
 echo "$stats" | grep -q " 0 errors" || { echo "server saw errors under coalesced load" >&2; exit 1; }
+
+# Tear down the coalesce server before the replicated-tier scenario.
+kill "$serve_pid" 2>/dev/null || true
+wait "$serve_pid" 2>/dev/null || true
+serve_pid=""
+
+echo "== replicated tier through bolt-router =="
+# Three backends behind one router; SIGKILL a backend mid-wave and
+# require zero client-visible errors, then prove the breaker tripped
+# and re-admitted the restarted replica.
+for i in 0 1 2; do
+    "$workdir/bolt-serve" -compiled "$workdir/forest.bfc" -socket "$workdir/be$i.sock" \
+        -workers 2 > "$workdir/be$i.log" &
+    extra_pids+=($!)
+done
+for i in 0 1 2; do
+    for _ in $(seq 50); do
+        [ -S "$workdir/be$i.sock" ] && break
+        sleep 0.1
+    done
+    [ -S "$workdir/be$i.sock" ] || { echo "backend $i socket never appeared" >&2; exit 1; }
+done
+
+rsock="$workdir/router.sock"
+"$workdir/bolt-router" -listen "$rsock" \
+    -backends "$workdir/be0.sock,$workdir/be1.sock,$workdir/be2.sock" \
+    -probe-interval 25ms -probe-timeout 500ms -breaker-threshold 2 \
+    -breaker-cooldown 100ms -retries 4 -queue-wait 2s -drain 5s \
+    > "$workdir/router.log" &
+router_pid=$!
+extra_pids+=("$router_pid")
+for _ in $(seq 50); do
+    [ -S "$rsock" ] && break
+    kill -0 "$router_pid" 2>/dev/null || { echo "bolt-router died" >&2; cat "$workdir/router.log" >&2; exit 1; }
+    sleep 0.1
+done
+[ -S "$rsock" ] || { echo "router socket never appeared" >&2; exit 1; }
+
+# A stock bolt-client works against the router unchanged.
+"$workdir/bolt-client" health -socket "$rsock" -timeout 10s | grep -q "3 workers" || {
+    echo "router health does not report 3 backends in rotation" >&2
+    exit 1
+}
+
+# Client wave with retries armed, spanning the backend kill.
+"$workdir/bolt-client" -socket "$rsock" -dataset lstw -n 4000 \
+    -retries 8 -backoff 5ms -timeout 10s > "$workdir/rclient.log" 2>&1 &
+rclient_pid=$!
+
+sleep 0.2
+# SIGKILL backend 1 mid-wave: no drain, connections die mid-whatever.
+kill -9 "${extra_pids[1]}" 2>/dev/null || true
+sleep 0.4   # probes (25ms apart, threshold 2) trip the breaker here
+"$workdir/bolt-serve" -compiled "$workdir/forest.bfc" -socket "$workdir/be1.sock" \
+    -workers 2 > "$workdir/be1-restarted.log" &
+extra_pids[1]=$!
+for _ in $(seq 50); do
+    [ -S "$workdir/be1.sock" ] && break
+    sleep 0.1
+done
+
+wait "$rclient_pid" || {
+    echo "client saw errors while a backend was killed and restarted:" >&2
+    cat "$workdir/rclient.log" >&2
+    exit 1
+}
+grep -q "classified 4000 samples" "$workdir/rclient.log" || {
+    echo "router wave traffic incomplete" >&2
+    cat "$workdir/rclient.log" >&2
+    exit 1
+}
+
+# Wait for the half-open probe to re-admit the restarted backend.
+readmitted=""
+for _ in $(seq 100); do
+    if "$workdir/bolt-client" health -socket "$rsock" -timeout 10s | grep -q "3 workers"; then
+        readmitted=yes
+        break
+    fi
+    sleep 0.1
+done
+[ -n "$readmitted" ] || { echo "restarted backend never re-admitted" >&2; exit 1; }
+
+stats=$("$workdir/bolt-client" stats -socket "$rsock" -timeout 10s)
+echo "$stats"
+echo "$stats" | grep -q "router:" || { echo "stats missing router section" >&2; exit 1; }
+echo "$stats" | grep -Eq "trips=[1-9]" || { echo "breaker never tripped" >&2; exit 1; }
+echo "$stats" | grep -Eq "readmits=[1-9]" || { echo "breaker never re-closed" >&2; exit 1; }
+
+# Graceful SIGTERM must print the final routing snapshot.
+kill -TERM "$router_pid"
+wait "$router_pid" 2>/dev/null || true
+grep -q "routed .* requests" "$workdir/router.log" || {
+    echo "final routing snapshot missing from router log" >&2
+    cat "$workdir/router.log" >&2
+    exit 1
+}
+grep -Eq "trips=[1-9]" "$workdir/router.log" || {
+    echo "final snapshot missing breaker trip" >&2
+    cat "$workdir/router.log" >&2
+    exit 1
+}
 
 echo "smoke OK"

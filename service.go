@@ -6,6 +6,7 @@ import (
 
 	"bolt/internal/core"
 	"bolt/internal/perfsim"
+	"bolt/internal/router"
 	"bolt/internal/serve"
 	"bolt/internal/tuning"
 )
@@ -186,6 +187,50 @@ func DialServiceTimeout(socketPath string, timeout time.Duration) (*ServiceClien
 // SummarizeLatencies computes latency statistics from nanosecond
 // samples.
 func SummarizeLatencies(ns []uint64) LatencyStats { return serve.Summarize(ns) }
+
+// Router is the fault-tolerant replicated-serving front-end: it speaks
+// the same wire protocol a Server does, so ServiceClient and
+// DialService work against it unchanged, and fans requests out across
+// N backends with health-driven membership, failover for idempotent
+// ops, a circuit breaker per backend, and admission control that sheds
+// with StatusOverloaded when the tier saturates. Stop it with
+// Shutdown(ctx) (drain, mirroring Server) or Close (immediate).
+type Router = router.Router
+
+// RouterConfig tunes a Router; zero fields select documented defaults
+// and Backends is the only required field.
+type RouterConfig = router.Config
+
+// RouterSection is the router-level extension of a ServerStats
+// snapshot (shed/retry totals plus per-backend counters); nil on
+// snapshots from a plain Server.
+type RouterSection = serve.RouterSection
+
+// BackendStat is one replica's counters inside a RouterSection.
+type BackendStat = serve.BackendStat
+
+// Backend membership states in a BackendStat.
+const (
+	BackendUp       = serve.BackendUp
+	BackendDraining = serve.BackendDraining
+	BackendDown     = serve.BackendDown
+)
+
+// BackendStateName renders a backend membership state for humans.
+func BackendStateName(s byte) string { return serve.BackendStateName(s) }
+
+// NewRouter starts a Router listening on listen ("unix:/path",
+// "tcp:host:port", or the bare forms) in front of cfg.Backends.
+func NewRouter(listen string, cfg RouterConfig) (*Router, error) {
+	return router.New(listen, cfg)
+}
+
+// ParseRouterAddr splits a router listen or backend address into its
+// (network, addr) pair: explicit "unix:"/"tcp:" prefixes win, a bare
+// path containing '/' is a unix socket, anything else is TCP.
+func ParseRouterAddr(s string) (network, addr string, err error) {
+	return router.ParseAddr(s)
+}
 
 // TuneConfig controls the Phase 2 parameter search.
 type TuneConfig = tuning.Config
