@@ -123,6 +123,40 @@ func BenchmarkBatchKernel(b *testing.B) {
 	}
 }
 
+// BenchmarkCompactKernel compares the batch kernel under the flat and
+// §5 compact memory layouts on the same compiled forest (SetCompactScan
+// forces each in turn). The flat/compact ns/sample pair is the kernel
+// cost of the compressed layout; bolt-bench -exp footprint records the
+// same comparison as BENCH_compact.json.
+func BenchmarkCompactKernel(b *testing.B) {
+	for _, c := range []struct{ trees, height int }{
+		{10, 4}, // the paper's small forest
+		{20, 8}, // long dictionary
+	} {
+		fx := getFixture(b, "mnist", c.trees, c.height)
+		X := fx.test.X
+		out := make([]int, len(X))
+		perSample := func(b *testing.B) {
+			b.ReportMetric(float64(b.Elapsed().Nanoseconds())/float64(b.N*len(X)), "ns/sample")
+		}
+		chosen := fx.bolt.CompactScan()
+		for _, layoutName := range []string{"flat", "compact"} {
+			fx.bolt.SetCompactScan(layoutName == "compact")
+			p := bolt.NewPredictor(fx.bolt)
+			b.Run(fmt.Sprintf("t=%d/h=%d/%s", c.trees, c.height, layoutName), func(b *testing.B) {
+				p.PredictBatchInto(X, out) // warm: grow batch scratch
+				b.ReportAllocs()
+				b.ResetTimer()
+				for i := 0; i < b.N; i++ {
+					p.PredictBatchInto(X, out)
+				}
+				perSample(b)
+			})
+		}
+		fx.bolt.SetCompactScan(chosen) // other benchmarks share the fixture
+	}
+}
+
 // BenchmarkParallelBatchKernel compares the serial cache-blocked batch
 // kernel against the persistent-runtime parallel kernel across worker
 // counts. On a single-core host the workers=1 row measures pure

@@ -62,6 +62,22 @@ type CompiledDeepForest = core.DeepBolt
 // Stats summarises a compiled forest's structures.
 type Stats = core.Stats
 
+// Footprint reports a compiled forest's memory layouts: flat and §5
+// compact byte sizes for the dictionary, lookup-table slots and result
+// store, plus which layout the scan paths actually use. Obtain one
+// with CompiledForest.Footprint().
+type Footprint = core.Footprint
+
+// Memory-layout names reported in Footprint.Layout.
+const (
+	// LayoutFlat is the uncompressed layout: 16 B mask/value pairs,
+	// 32-bit split pairs, 24 B table slots, full int64 vote vectors.
+	LayoutFlat = core.LayoutFlat
+	// LayoutCompact is the §5 compressed layout: bit-sized masks,
+	// bit-packed split pairs, narrow IDs/tags and knee-point results.
+	LayoutCompact = core.LayoutCompact
+)
+
 // PartitionedEngine parallelises one sample across cores by splitting
 // the dictionary and lookup table (Fig. 4 of the paper).
 type PartitionedEngine = core.PartitionedEngine

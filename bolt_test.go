@@ -230,6 +230,16 @@ func TestServiceJourney(t *testing.T) {
 	if sst.Workers != 2 || sst.Requests < 50 || sst.Errors != 0 {
 		t.Fatalf("implausible server stats %+v", sst)
 	}
+	// Bolt engines report their resident model footprint in stats; the
+	// layout byte must match the compiled forest's active layout.
+	fp := bf.Footprint()
+	if sst.DictBytes != uint64(fp.ActiveDictBytes()) || sst.TableBytes != uint64(fp.ActiveTableBytes()) {
+		t.Fatalf("stats footprint (%d,%d) does not match forest (%d,%d)",
+			sst.DictBytes, sst.TableBytes, fp.ActiveDictBytes(), fp.ActiveTableBytes())
+	}
+	if sst.Layout == 0 {
+		t.Fatal("bolt engine reported no layout")
+	}
 
 	// A timeout-bounded client works against a live server.
 	tc, err := bolt.DialServiceTimeout(sock, 5*time.Second)

@@ -60,6 +60,8 @@ func run(args []string) error {
 			return writePBatchJSON(cfg, *jsonL)
 		case "coalesce":
 			return writeCoalesceJSON(cfg, *jsonL)
+		case "footprint":
+			return writeFootprintJSON(cfg, *jsonL)
 		}
 		return writeBatchJSON(cfg, *jsonL)
 	}
@@ -104,6 +106,19 @@ func writeCoalesceJSON(cfg bench.Config, label string) error {
 		return err
 	}
 	if err := bench.RenderCoalesceReport(rep, os.Stdout); err != nil {
+		return err
+	}
+	return writeJSONArtifact(label, func(f *os.File) error { return rep.WriteJSON(f, label) })
+}
+
+// writeFootprintJSON is writeBatchJSON for the compact-layout
+// experiment (-exp footprint -json compact → BENCH_compact.json).
+func writeFootprintJSON(cfg bench.Config, label string) error {
+	rep, err := bench.FootprintReportRun(cfg)
+	if err != nil {
+		return err
+	}
+	if err := bench.RenderFootprintReport(rep, os.Stdout); err != nil {
 		return err
 	}
 	return writeJSONArtifact(label, func(f *os.File) error { return rep.WriteJSON(f, label) })

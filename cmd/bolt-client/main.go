@@ -217,6 +217,10 @@ func runStats(args []string) error {
 	}
 	fmt.Printf("server: %d workers, %d requests, %d errors, %d panics recovered, %d reloads, %d in flight\n",
 		st.Workers, st.Requests, st.Errors, st.Panics, st.Reloads, st.InFlight)
+	if st.Layout != bolt.StatsLayoutUnknown {
+		fmt.Printf("model: %s layout, %d dictionary B + %d table B resident\n",
+			bolt.StatsLayoutName(st.Layout), st.DictBytes, st.TableBytes)
+	}
 	fmt.Printf("coalesced batches: %d (%d requests, %d rows; mean %.1f rows/batch, p99 <%d)\n",
 		st.CoalescedBatches, st.CoalescedRequests, st.CoalescedRows,
 		st.CoalesceMeanRows(), st.CoalesceSizeQuantile(0.99))

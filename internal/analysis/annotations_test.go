@@ -17,8 +17,10 @@ func TestHotPathAnnotations(t *testing.T) {
 		file string
 		fns  []string
 	}{
-		{"../core/engine.go", []string{"forEachHit", "Votes", "SalienceInto"}},
-		{"../core/batch.go", []string{"VotesBatch", "votesBlock", "PredictBatchInto"}},
+		{"../core/engine.go", []string{"forEachHit", "forEachHitFlat", "Votes", "SalienceInto"}},
+		{"../core/batch.go", []string{"VotesBatch", "votesBlock", "votesBlockFlat", "encodeBlock", "PredictBatchInto"}},
+		{"../core/compactscan.go", []string{"forEachHitCompact", "compactHit", "votesBlockCompact"}},
+		{"../core/compactdict.go", []string{"ID", "decodeCommon", "decodeUncommon", "Lookup", "AccumulateInto", "DecodeInto", "escape", "get"}},
 		{"../core/runtime.go", []string{"runVotesShard", "runPredictShard", "runPartitionShard"}},
 		{"../bitpack/transpose.go", []string{"Transpose64", "TransposeBlock"}},
 		{"../serve/server.go", []string{"runBatch"}},

@@ -603,6 +603,7 @@ var Experiments = []struct {
 	{"batch", "cache-blocked batch kernel vs row-at-a-time (extra)", FigBatch},
 	{"pbatch", "parallel batch kernel scaling on the persistent runtime (extra)", FigPBatch},
 	{"coalesce", "request coalescing: single-row serving throughput off vs on (extra)", FigCoalesce},
+	{"footprint", "§5 compact memory layout vs flat: bytes and kernel delta (extra)", FigFootprint},
 }
 
 // Run executes one experiment by ID and renders it to w.

@@ -1,0 +1,264 @@
+package bench
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"math"
+	"runtime"
+	"time"
+
+	"bolt/internal/core"
+)
+
+// FootprintRecord is one (workload, forest shape) measurement of the
+// §5 compact memory layout against the flat layout: resident bytes per
+// dictionary entry and per table slot for both forms, plus the
+// single-core batch-kernel ns/sample under each layout (forced via
+// SetCompactScan, so both are measured on the same compiled forest).
+type FootprintRecord struct {
+	Workload    string `json:"workload"`
+	Trees       int    `json:"trees"`
+	Height      int    `json:"height"`
+	Threshold   int    `json:"threshold"`
+	Samples     int    `json:"samples"`
+	DictEntries int    `json:"dict_entries"`
+	TableSlots  int    `json:"table_slots"`
+	MaskWords   int    `json:"mask_words"`
+	Layout      string `json:"layout"` // layout the size heuristic selected
+
+	FlatDictBytesPerEntry    float64 `json:"flat_dict_bytes_per_entry"`
+	CompactDictBytesPerEntry float64 `json:"compact_dict_bytes_per_entry"`
+	FlatTableBytesPerSlot    float64 `json:"flat_table_bytes_per_slot"`
+	CompactTableBytesPerSlot float64 `json:"compact_table_bytes_per_slot"`
+	FlatTotalBytes           int     `json:"flat_total_bytes"`
+	CompactTotalBytes        int     `json:"compact_total_bytes"`
+	// DictShrink is flat/compact dictionary bytes per entry; TotalShrink
+	// is the whole-model ratio including the table and result store.
+	DictShrink  float64 `json:"dict_shrink"`
+	TotalShrink float64 `json:"total_shrink"`
+
+	// Cache-budgeted batch block under each layout: a smaller scan
+	// footprint leaves more LLC share for rows, so blocks may grow.
+	FlatBlock    int `json:"flat_block"`
+	CompactBlock int `json:"compact_block"`
+
+	FlatNsPerSample    float64 `json:"flat_ns_per_sample"`
+	CompactNsPerSample float64 `json:"compact_ns_per_sample"`
+	// KernelDelta is compact/flat - 1: negative means the compact scan
+	// is faster, positive is the decode overhead.
+	KernelDelta float64 `json:"kernel_delta"`
+}
+
+// FootprintReport is the machine-readable artifact bolt-bench
+// `-exp footprint -json compact` emits (BENCH_compact.json).
+type FootprintReport struct {
+	Label      string            `json:"label"`
+	GOOS       string            `json:"goos"`
+	GOARCH     string            `json:"goarch"`
+	NumCPU     int               `json:"num_cpu"`
+	GOMAXPROCS int               `json:"gomaxprocs"`
+	Records    []FootprintRecord `json:"records"`
+}
+
+// footprintShapes are the workloads of the compact-layout experiment:
+// the paper's digit-recognition forest (small and scaled up) plus a
+// 32-feature blob problem whose masks span several words.
+var footprintShapes = []struct {
+	workload string
+	trees    int
+	height   int
+}{
+	{"mnist", paperTrees, paperHeight},
+	{"mnist", 20, 8},
+	{"blobs", 12, 6},
+}
+
+// FootprintReportRun measures every footprint shape and returns the
+// report.
+func FootprintReportRun(cfg Config) (*FootprintReport, error) {
+	cfg = cfg.normalized()
+	shapes := footprintShapes
+	if cfg.Quick {
+		shapes = []struct {
+			workload string
+			trees    int
+			height   int
+		}{{"mnist", paperTrees, paperHeight}, {"blobs", 8, 4}}
+	}
+	rep := &FootprintReport{
+		GOOS:       runtime.GOOS,
+		GOARCH:     runtime.GOARCH,
+		NumCPU:     runtime.NumCPU(),
+		GOMAXPROCS: runtime.GOMAXPROCS(0),
+	}
+	for _, sh := range shapes {
+		var w Workload
+		switch sh.workload {
+		case "mnist":
+			w = MNISTWorkload(cfg)
+		case "blobs":
+			w = BlobsWorkload(cfg)
+		default:
+			return nil, fmt.Errorf("bench: unknown footprint workload %q", sh.workload)
+		}
+		f := TrainForest(w, sh.trees, sh.height, cfg.Seed^uint64(sh.trees*100+sh.height))
+		bf, th, err := CompileAuto(f, cfg, w.Test.X)
+		if err != nil {
+			return nil, err
+		}
+		rec, err := measureFootprint(bf, w, sh.trees, sh.height, th, cfg)
+		if err != nil {
+			return nil, err
+		}
+		rep.Records = append(rep.Records, rec)
+	}
+	return rep, nil
+}
+
+// measureFootprint sizes both layouts of one compiled forest and times
+// the single-core batch kernel under each, restoring the heuristic's
+// layout choice afterwards.
+func measureFootprint(bf *core.Forest, w Workload, trees, height, th int, cfg Config) (FootprintRecord, error) {
+	fp := bf.Footprint()
+	if fp.CompactBytes() == 0 {
+		return FootprintRecord{}, fmt.Errorf("bench: %s forest has no compact layout", w.Name)
+	}
+	X := w.Test.X
+	chosen := bf.CompactScan()
+	defer bf.SetCompactScan(chosen)
+	type layoutRun struct {
+		s     *core.Scratch
+		out   []int
+		ns    float64
+		block int
+	}
+	warm := time.Duration(0)
+	setup := func(compact bool) *layoutRun {
+		bf.SetCompactScan(compact)
+		lr := &layoutRun{
+			s:   bf.NewScratch(), // fresh scratch: block sizing follows the layout
+			out: make([]int, len(X)),
+			ns:  math.Inf(1),
+		}
+		start := time.Now() // warm buffers and caches, sizing the round budget
+		bf.PredictBatchInto(X, lr.s, lr.out)
+		if d := time.Since(start); d > warm {
+			warm = d
+		}
+		lr.block = bf.DefaultBatchBlock()
+		return lr
+	}
+	flat, compact := setup(false), setup(true)
+	// Interleave the layouts and keep each one's best round: min-of-N
+	// under alternation cancels machine noise and drift, which would
+	// otherwise swamp a few-percent kernel delta. Small workloads finish
+	// a round in well under a millisecond, where timer and scheduling
+	// jitter dominate, so the round count scales to a fixed time budget
+	// per layout.
+	rounds := cfg.Rounds
+	if warm > 0 {
+		if byTime := int(100*time.Millisecond/warm) + 1; byTime > rounds {
+			rounds = byTime
+		}
+	}
+	if rounds < 5 {
+		rounds = 5
+	}
+	if rounds > 300 {
+		rounds = 300
+	}
+	for r := 0; r < rounds; r++ {
+		for _, lr := range []struct {
+			run     *layoutRun
+			compact bool
+		}{{flat, false}, {compact, true}} {
+			bf.SetCompactScan(lr.compact)
+			start := time.Now()
+			bf.PredictBatchInto(X, lr.run.s, lr.run.out)
+			if ns := float64(time.Since(start).Nanoseconds()) / float64(len(X)); ns < lr.run.ns {
+				lr.run.ns = ns
+			}
+		}
+	}
+	flatNs, flatBlock := flat.ns, flat.block
+	compactNs, compactBlock := compact.ns, compact.block
+	rec := FootprintRecord{
+		Workload:    w.Name,
+		Trees:       trees,
+		Height:      height,
+		Threshold:   th,
+		Samples:     len(X),
+		DictEntries: fp.DictEntries,
+		TableSlots:  fp.TableSlots,
+		MaskWords:   bf.Flat.Words(),
+		Layout:      fp.Layout,
+
+		FlatDictBytesPerEntry:    fp.DictBytesPerEntry(false),
+		CompactDictBytesPerEntry: fp.DictBytesPerEntry(true),
+		FlatTableBytesPerSlot:    fp.TableBytesPerSlot(false),
+		CompactTableBytesPerSlot: fp.TableBytesPerSlot(true),
+		FlatTotalBytes:           fp.FlatBytes(),
+		CompactTotalBytes:        fp.CompactBytes(),
+
+		FlatBlock:    flatBlock,
+		CompactBlock: compactBlock,
+
+		FlatNsPerSample:    flatNs,
+		CompactNsPerSample: compactNs,
+	}
+	if rec.CompactDictBytesPerEntry > 0 {
+		rec.DictShrink = rec.FlatDictBytesPerEntry / rec.CompactDictBytesPerEntry
+	}
+	if rec.CompactTotalBytes > 0 {
+		rec.TotalShrink = float64(rec.FlatTotalBytes) / float64(rec.CompactTotalBytes)
+	}
+	if flatNs > 0 {
+		rec.KernelDelta = compactNs/flatNs - 1
+	}
+	return rec, nil
+}
+
+// WriteJSON renders the report with the given label.
+func (r *FootprintReport) WriteJSON(w io.Writer, label string) error {
+	r.Label = label
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(r)
+}
+
+// FigFootprint renders the compact-layout comparison as a text table
+// (extra experiment: the §5 compressed layouts measured end to end on
+// this implementation).
+func FigFootprint(cfg Config) (*Table, error) {
+	rep, err := FootprintReportRun(cfg)
+	if err != nil {
+		return nil, err
+	}
+	return footprintTable(rep), nil
+}
+
+// RenderFootprintReport renders an already-measured report as the same
+// table FigFootprint produces.
+func RenderFootprintReport(rep *FootprintReport, w io.Writer) error {
+	return footprintTable(rep).Render(w)
+}
+
+func footprintTable(rep *FootprintReport) *Table {
+	t := &Table{
+		Title: "Footprint: §5 compact layout vs flat, bytes and single-core kernel",
+		Columns: []string{"workload", "trees", "height", "entries",
+			"flat B/entry", "compact B/entry", "dict shrink",
+			"flat B/slot", "compact B/slot", "kernel delta"},
+	}
+	for _, r := range rep.Records {
+		t.AddRow(r.Workload, fmt.Sprintf("%d", r.Trees), fmt.Sprintf("%d", r.Height),
+			fmt.Sprintf("%d", r.DictEntries),
+			r.FlatDictBytesPerEntry, r.CompactDictBytesPerEntry, r.DictShrink,
+			r.FlatTableBytesPerSlot, r.CompactTableBytesPerSlot,
+			fmt.Sprintf("%+.1f%%", r.KernelDelta*100))
+	}
+	t.Note("bit-sized masks + packed split pairs + knee-point results + narrow IDs; " +
+		"kernel delta = compact/flat batch ns/sample - 1 (single core, per-block decode)")
+	return t
+}

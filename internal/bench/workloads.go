@@ -110,6 +110,17 @@ func YelpWorkload(cfg Config) Workload {
 	return Workload{Name: "yelp", Train: train, Test: test}
 }
 
+// BlobsWorkload builds a Gaussian-blob workload with enough features
+// (32) that compiled dictionaries span several mask words — the regime
+// where the §5 compact layout's sparse-word elision pays.
+func BlobsWorkload(cfg Config) Workload {
+	cfg = cfg.normalized()
+	n := cfg.TrainSamples + cfg.TestSamples
+	d := dataset.SyntheticBlobs(n, 32, 6, 1.5, cfg.Seed^0x41)
+	train, test := d.Split(float64(cfg.TrainSamples)/float64(n), cfg.Seed^0x42)
+	return Workload{Name: "blobs", Train: train, Test: test}
+}
+
 // TrainForest trains the paper's standard ensemble shape on a workload.
 func TrainForest(w Workload, trees, height int, seed uint64) *forest.Forest {
 	return forest.Train(w.Train, forest.Config{

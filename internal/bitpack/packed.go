@@ -24,7 +24,11 @@ func NewPackedArray(n int, width uint) *PackedArray {
 		panic(fmt.Sprintf("bitpack: negative packed length %d", n))
 	}
 	totalBits := uint64(n) * uint64(width)
-	words := make([]uint64, (totalBits+wordBits-1)/wordBits)
+	// One guard word past the end lets Get and Next read the following
+	// word unconditionally — the straddle test becomes branch-free
+	// arithmetic (a shift count ≥ 64 yields 0 in Go, so the guard word
+	// contributes nothing when the value doesn't straddle).
+	words := make([]uint64, (totalBits+wordBits-1)/wordBits+1)
 	mask := ^uint64(0)
 	if width < 64 {
 		mask = (1 << width) - 1
@@ -38,8 +42,11 @@ func (p *PackedArray) Len() int { return p.n }
 // Width returns the per-value bit width.
 func (p *PackedArray) Width() uint { return p.width }
 
-// SizeBytes returns the backing storage size in bytes.
-func (p *PackedArray) SizeBytes() int { return len(p.words) * 8 }
+// SizeBytes returns the payload storage size in bytes (the guard word
+// is a fixed 8-byte overhead excluded from the accounting).
+func (p *PackedArray) SizeBytes() int {
+	return int((uint64(p.n)*uint64(p.width) + wordBits - 1) / wordBits * 8)
+}
 
 // Set stores v at index i, truncating v to the array's width.
 func (p *PackedArray) Set(i int, v uint64) {
@@ -65,11 +72,41 @@ func (p *PackedArray) Get(i int) uint64 {
 	bitPos := uint64(i) * uint64(p.width)
 	w := bitPos / wordBits
 	off := uint(bitPos % wordBits)
-	v := p.words[w] >> off
-	if off+p.width > wordBits {
-		v |= p.words[w+1] << (wordBits - off)
-	}
+	v := p.words[w]>>off | p.words[w+1]<<(wordBits-off)
 	return v & p.mask
+}
+
+// PackedReader streams consecutive values out of a PackedArray without
+// per-element bounds arithmetic — the accessor the compressed-layout
+// scan loops use (§5): seek once per entry, then one Next per value.
+// The zero value is not usable; obtain readers from ReaderAt. Readers
+// do not bounds-check against the array length; reading past the end
+// returns whatever padding bits remain and eventually panics on the
+// backing slice, so callers must know their element counts (the
+// compact dictionary's offset arrays provide them).
+type PackedReader struct {
+	words []uint64
+	width uint
+	mask  uint64
+	bit   uint64
+}
+
+// ReaderAt returns a sequential reader positioned at element i.
+func (p *PackedArray) ReaderAt(i int) PackedReader {
+	if i < 0 || i > p.n {
+		panic(fmt.Sprintf("bitpack: packed reader index %d out of range [0,%d]", i, p.n))
+	}
+	return PackedReader{words: p.words, width: p.width, mask: p.mask, bit: uint64(i) * uint64(p.width)}
+}
+
+// Next returns the value at the current position and advances one
+// element.
+func (r *PackedReader) Next() uint64 {
+	w := r.bit / wordBits
+	off := uint(r.bit % wordBits)
+	v := r.words[w]>>off | r.words[w+1]<<(wordBits-off)
+	r.bit += uint64(r.width)
+	return v & r.mask
 }
 
 // WidthFor returns the minimum bit width able to represent v (at least 1).

@@ -136,3 +136,36 @@ func TestPackedArraySizeBytes(t *testing.T) {
 		t.Errorf("SizeBytes = %d, want 16", p.SizeBytes())
 	}
 }
+
+// TestPackedReader checks the sequential reader against Get across
+// widths (including word-straddling ones) and start positions.
+func TestPackedReader(t *testing.T) {
+	for _, width := range []uint{1, 3, 7, 13, 31, 33, 63, 64} {
+		p := NewPackedArray(100, width)
+		for i := 0; i < p.Len(); i++ {
+			p.Set(i, uint64(i)*0x9e3779b97f4a7c15)
+		}
+		for _, start := range []int{0, 1, 7, 50, 99, 100} {
+			r := p.ReaderAt(start)
+			for i := start; i < p.Len(); i++ {
+				if got, want := r.Next(), p.Get(i); got != want {
+					t.Fatalf("width %d start %d: Next()[%d] = %#x, want %#x", width, start, i, got, want)
+				}
+			}
+		}
+	}
+}
+
+func TestPackedReaderPanicsOutOfRange(t *testing.T) {
+	p := NewPackedArray(4, 3)
+	for _, i := range []int{-1, 5} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("ReaderAt(%d) did not panic", i)
+				}
+			}()
+			p.ReaderAt(i)
+		}()
+	}
+}

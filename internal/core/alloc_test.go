@@ -77,6 +77,42 @@ func TestPredictBatchIntoZeroAlloc(t *testing.T) {
 	}
 }
 
+// TestCompactScanZeroAlloc pins the zero-alloc property on the §5
+// compact scan path explicitly for every steady-state entry point; the
+// gates above cover whichever layout the size heuristic picked, this
+// one forces compact.
+func TestCompactScanZeroAlloc(t *testing.T) {
+	f, d := trainForest(t, 136, 10, 4)
+	bf, err := Compile(f, Options{ClusterThreshold: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	bf.SetCompactScan(true)
+	s := bf.NewScratch()
+	X := d.X[:200]
+	x := d.X[0]
+	votes := make([]int64, bf.NumClasses)
+	batch := make([]int64, len(X)*bf.VoteWidth())
+	out := make([]int, len(X))
+	counts := make([]int, bf.NumFeatures)
+	bf.VotesBatch(X, s, batch)     // warm: grow batch scratch
+	bf.PredictBatchInto(X, s, out) // warm: grow batch votes
+	gates := []struct {
+		name string
+		fn   func()
+	}{
+		{"Votes", func() { bf.Votes(x, s, votes) }},
+		{"VotesBatch", func() { bf.VotesBatch(X, s, batch) }},
+		{"PredictBatchInto", func() { bf.PredictBatchInto(X, s, out) }},
+		{"SalienceInto", func() { bf.SalienceInto(x, s, counts) }},
+	}
+	for _, g := range gates {
+		if allocs := testing.AllocsPerRun(50, g.fn); allocs != 0 {
+			t.Errorf("compact %s allocates %.1f objects per call, want 0", g.name, allocs)
+		}
+	}
+}
+
 func TestSalienceIntoZeroAlloc(t *testing.T) {
 	f, d := trainForest(t, 135, 10, 4)
 	bf, err := Compile(f, Options{ClusterThreshold: 4})

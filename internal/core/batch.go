@@ -64,10 +64,27 @@ func BatchBlockFor(cacheBytes, words, voteWidth int) int {
 	return b
 }
 
+// BatchBlockForLayout sizes the batch block for a cache shared between
+// the per-sample block working set and the dictionary stream of the
+// active memory layout: scanBytes — the layout's dictionary + table +
+// results footprint (Forest.ScanBytes) — is reserved first, capped at
+// half the budget so oversized models degrade to the BatchBlockFor
+// floor instead of starving the block, and the block grows into the
+// remainder. A compressed layout reserves less, so its blocks are
+// larger — the §5 payoff for the blocked kernel.
+func BatchBlockForLayout(cacheBytes, scanBytes, words, voteWidth int) int {
+	reserve := scanBytes
+	if m := cacheBytes / 2; reserve > m {
+		reserve = m
+	}
+	return BatchBlockFor(cacheBytes-reserve, words, voteWidth)
+}
+
 // DefaultBatchBlock returns the block size the batch kernel uses for
-// this forest absent an explicit Scratch.SetBatchBlock override.
+// this forest absent an explicit Scratch.SetBatchBlock override,
+// budgeting for the bytes the active layout actually streams.
 func (bf *Forest) DefaultBatchBlock() int {
-	return BatchBlockFor(batchCacheBudget, bf.Flat.Words(), bf.VoteWidth())
+	return BatchBlockForLayout(batchCacheBudget, bf.ScanBytes(), bf.Flat.Words(), bf.VoteWidth())
 }
 
 // SetBatchBlock overrides the samples-per-block choice for subsequent
@@ -99,6 +116,22 @@ func (s *Scratch) ensureBatch(bf *Forest) int {
 	if len(s.rowBits) < b*w {
 		s.rowBits = make([]uint64, b*w)
 		s.cols = make([]uint64, b*w)
+	}
+	if cd := bf.Compact; cd != nil {
+		// Compact-path decode buffers (CheckSafety runs the inactive
+		// layout too, so grow them regardless of scanCompact).
+		if len(s.pairBuf) < cd.maxCommon {
+			s.pairBuf = make([]int32, cd.maxCommon)
+		}
+		if len(s.uncBuf) < cd.maxUncommon {
+			s.uncBuf = make([]int32, cd.maxUncommon)
+		}
+		if nr := cd.Table.Results.NumValues(); len(s.resDec) < nr {
+			// Hydrate the knee-point store once; the kernel then adds
+			// plain int64 vectors per hit, exactly like the flat path.
+			s.resDec = make([]int64, nr)
+			cd.Table.Results.DecodeAll(s.resDec)
+		}
 	}
 	return b
 }
@@ -144,20 +177,35 @@ func (bf *Forest) VotesBatch(X [][]float32, s *Scratch, votes []int64) {
 	}
 }
 
-// votesBlock is the per-block kernel; len(X) must be at most the block
-// size the scratch buffers were grown for.
+// votesBlock is the per-block kernel dispatcher; len(X) must be at
+// most the block size the scratch buffers were grown for. The active
+// memory layout (flat or §5 compact, chosen at compile time by size)
+// picks the scan.
 //
 //bolt:hotpath
 func (bf *Forest) votesBlock(X [][]float32, s *Scratch, votes []int64) {
+	if bf.scanCompact {
+		bf.votesBlockCompact(X, s, votes)
+		return
+	}
+	bf.votesBlockFlat(X, s, votes)
+}
+
+// encodeBlock is the shared front half of both block kernels: zero the
+// accumulators, evaluate the codebook into sample-major rows, and
+// transpose each 64-row chunk to predicate-major columns. Returns the
+// chunk count.
+//
+//bolt:hotpath
+func (bf *Forest) encodeBlock(X [][]float32, s *Scratch, votes []int64) int {
 	n := len(X)
 	for i := range votes {
 		votes[i] = 0
 	}
-	fd := bf.Flat
-	w := fd.Words()
+	w := bf.Flat.Words()
 	cw := w * 64
 	// Step 1: sample-major rows. Rows beyond n keep stale bits; the
-	// per-chunk tail mask below keeps them out of every match.
+	// per-chunk tail mask in the kernels keeps them out of every match.
 	for i, x := range X {
 		if len(x) != bf.NumFeatures {
 			panicRowFeatures(i, len(x), bf.NumFeatures)
@@ -169,6 +217,17 @@ func (bf *Forest) votesBlock(X [][]float32, s *Scratch, votes []int64) {
 	for c := 0; c < chunks; c++ {
 		bitpack.TransposeBlock(s.rowBits[c*cw:], s.cols[c*cw:], w)
 	}
+	return chunks
+}
+
+// votesBlockFlat scans the uncompressed FlatDict form.
+//
+//bolt:hotpath
+func (bf *Forest) votesBlockFlat(X [][]float32, s *Scratch, votes []int64) {
+	n := len(X)
+	chunks := bf.encodeBlock(X, s, votes)
+	fd := bf.Flat
+	cw := fd.Words() * 64
 	// Step 3: entries outer, samples inner.
 	vw := bf.VoteWidth()
 	table, filter := bf.Table, bf.Filter

@@ -1,0 +1,208 @@
+package core
+
+import (
+	"bytes"
+	"reflect"
+	"testing"
+
+	"bolt/internal/rng"
+)
+
+// The §5 compact layout invariants: identical probe results, exact
+// knee-point decode, deterministic reconstruction from the unchanged
+// serialised format, and a footprint that actually shrinks.
+
+func compileSmall(t *testing.T, opts Options) *Forest {
+	t.Helper()
+	f, _ := trainForest(t, 61, 12, 5)
+	bf, err := Compile(f, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return bf
+}
+
+// TestCompactTableEquivalence probes every inserted key plus a sweep of
+// absent keys through both tables and requires identical outcomes, in
+// strict and CompactIDs modes.
+func TestCompactTableEquivalence(t *testing.T) {
+	for _, compactIDs := range []bool{false, true} {
+		bf := compileSmall(t, Options{CompactIDs: compactIDs})
+		ct := bf.Compact.Table
+		// Present keys: every occupied slot, via the flat table's view.
+		bf.Table.ForEach(func(entryID uint32, addr uint64, _ []int64) {
+			// In compact mode the stored tag is already mod-256; probing
+			// with it is how the scan path behaves.
+			fr, fok := bf.Table.Lookup(entryID, addr)
+			cr, cok := ct.Lookup(entryID, addr)
+			if fok != cok || (fok && fr != cr) {
+				t.Fatalf("compactIDs=%v: lookup(%d,%#x) flat=(%d,%v) compact=(%d,%v)",
+					compactIDs, entryID, addr, fr, fok, cr, cok)
+			}
+		})
+		// Absent and out-of-width keys, including IDs past the tag width
+		// and addresses past the packed address width.
+		r := rng.New(77)
+		for i := 0; i < 5000; i++ {
+			id := uint32(r.Uint64())
+			addr := r.Uint64() >> (r.Uint64() % 64)
+			fr, fok := bf.Table.Lookup(id, addr)
+			cr, cok := ct.Lookup(id, addr)
+			if fok != cok || (fok && fr != cr) {
+				t.Fatalf("compactIDs=%v: random lookup(%d,%#x) flat=(%d,%v) compact=(%d,%v)",
+					compactIDs, id, addr, fr, fok, cr, cok)
+			}
+		}
+	}
+}
+
+// TestCompactResultsExact decodes every result vector and requires
+// exact equality with the flat vote vectors, both via DecodeInto and
+// via accumulation.
+func TestCompactResultsExact(t *testing.T) {
+	bf := compileSmall(t, Options{})
+	cr := bf.Compact.Table.Results
+	vw := bf.VoteWidth()
+	dec := make([]int64, vw)
+	acc := make([]int64, vw)
+	for ri := 0; ri < bf.Table.NumResults(); ri++ {
+		want := bf.Table.Votes(uint32(ri))
+		cr.DecodeInto(dec, uint32(ri))
+		for i := range acc {
+			acc[i] = 0
+		}
+		cr.AccumulateInto(acc, uint32(ri))
+		for c := 0; c < vw; c++ {
+			if dec[c] != want[c] || acc[c] != want[c] {
+				t.Fatalf("result %d class %d: decode=%d acc=%d want=%d", ri, c, dec[c], acc[c], want[c])
+			}
+		}
+	}
+}
+
+// TestCompactResultsKneeEscape exercises the escape side table with a
+// synthetic distribution: many small values and a >1% tail of large
+// positive and negative outliers, including values that collide with
+// the sentinel code.
+func TestCompactResultsKneeEscape(t *testing.T) {
+	var results [][]int64
+	for i := 0; i < 400; i++ {
+		results = append(results, []int64{int64(i % 7), -int64(i % 5), 3})
+	}
+	// Tail: huge magnitudes of both signs, plus values whose zigzag code
+	// equals plausible sentinels.
+	results = append(results,
+		[]int64{1 << 40, -(1 << 40), 0},
+		[]int64{-1, 7, 1 << 62},
+		[]int64{127, -128, 255}, // around one-byte sentinel codes
+	)
+	cr := newCompactResults(results, 3)
+	if cr.Width() >= 40 {
+		t.Fatalf("knee width %d did not stay near the 99th percentile", cr.Width())
+	}
+	if cr.NumEscapes() == 0 {
+		t.Fatal("no escapes recorded for an outlier tail")
+	}
+	dec := make([]int64, 3)
+	for ri, want := range results {
+		cr.DecodeInto(dec, uint32(ri))
+		for c := range want {
+			if dec[c] != want[c] {
+				t.Fatalf("result %d class %d: decode=%d want=%d", ri, c, dec[c], want[c])
+			}
+		}
+	}
+}
+
+// TestCompactRoundTrip proves DecodeCompiled rebuilds an identical
+// CompactDict from the unchanged serialised format: same packed bytes,
+// same layout selection.
+func TestCompactRoundTrip(t *testing.T) {
+	for _, opts := range []Options{{}, {CompactIDs: true}, {ClusterThreshold: 2, BloomBitsPerKey: -1}} {
+		bf := compileSmall(t, opts)
+		var buf bytes.Buffer
+		if err := EncodeCompiled(&buf, bf); err != nil {
+			t.Fatal(err)
+		}
+		got, err := DecodeCompiled(&buf)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !reflect.DeepEqual(got.Compact, bf.Compact) {
+			t.Fatalf("opts %+v: decoded CompactDict differs from compiled one", opts)
+		}
+		if got.CompactScan() != bf.CompactScan() {
+			t.Fatalf("opts %+v: layout selection diverged: decoded=%v compiled=%v",
+				opts, got.CompactScan(), bf.CompactScan())
+		}
+	}
+}
+
+// TestCompactShrinks pins the point of the layout: the compact form
+// must be smaller than the flat form on a realistic forest, and the
+// size heuristic must therefore select it.
+func TestCompactShrinks(t *testing.T) {
+	bf := compileSmall(t, Options{})
+	fp := bf.Footprint()
+	if fp.CompactBytes() >= fp.FlatBytes() {
+		t.Fatalf("compact %d B not smaller than flat %d B", fp.CompactBytes(), fp.FlatBytes())
+	}
+	if !bf.CompactScan() {
+		t.Fatal("size heuristic did not select the compact layout")
+	}
+	if fp.Layout != LayoutCompact {
+		t.Fatalf("footprint layout %q, want %q", fp.Layout, LayoutCompact)
+	}
+	if fp.DictBytesPerEntry(true) >= fp.DictBytesPerEntry(false) {
+		t.Fatalf("compact dict bytes/entry %.1f not below flat %.1f",
+			fp.DictBytesPerEntry(true), fp.DictBytesPerEntry(false))
+	}
+	if fp.TableBytesPerSlot(true) >= fp.TableBytesPerSlot(false) {
+		t.Fatalf("compact table bytes/slot %.2f not below flat %.2f",
+			fp.TableBytesPerSlot(true), fp.TableBytesPerSlot(false))
+	}
+}
+
+// TestSetCompactScan pins the override used by benches and ablations:
+// both layouts stay available and bit-exact.
+func TestSetCompactScan(t *testing.T) {
+	bf := compileSmall(t, Options{})
+	X := randomInputs(200, 8, 99)
+	vw := bf.VoteWidth()
+	run := func(compact bool) []int64 {
+		bf.SetCompactScan(compact)
+		if bf.CompactScan() != compact {
+			t.Fatalf("SetCompactScan(%v) not applied", compact)
+		}
+		s := bf.NewScratch()
+		votes := make([]int64, len(X)*vw)
+		bf.VotesBatch(X, s, votes)
+		return votes
+	}
+	flat := run(false)
+	compact := run(true)
+	for i := range flat {
+		if flat[i] != compact[i] {
+			t.Fatalf("layouts diverge at %d: flat=%d compact=%d", i, flat[i], compact[i])
+		}
+	}
+}
+
+// TestBatchBlockForLayout pins the block-sizing contract: results stay
+// multiples of 64 in [64,4096], and a smaller scan footprint never
+// shrinks the block.
+func TestBatchBlockForLayout(t *testing.T) {
+	for _, cache := range []int{0, 4 << 10, 192 << 10, 8 << 20} {
+		for _, scan := range []int{0, 1 << 10, 64 << 10, 10 << 20} {
+			b := BatchBlockForLayout(cache, scan, 4, 10)
+			if b < minBatchBlock || b > maxBatchBlock || b%64 != 0 {
+				t.Fatalf("BatchBlockForLayout(%d,%d)=%d out of contract", cache, scan, b)
+			}
+		}
+		small := BatchBlockForLayout(cache, 1<<10, 4, 10)
+		large := BatchBlockForLayout(cache, 1<<20, 4, 10)
+		if small < large {
+			t.Fatalf("cache %d: smaller footprint produced smaller block (%d < %d)", cache, small, large)
+		}
+	}
+}

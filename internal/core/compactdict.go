@@ -1,0 +1,626 @@
+package core
+
+import (
+	"math/bits"
+	"sort"
+
+	"bolt/internal/bitpack"
+	"bolt/internal/rng"
+)
+
+// CompactDict is the §5 compressed companion of FlatDict: the same
+// dictionary, re-encoded so a cache-blocked scan streams fewer bytes per
+// entry. Like FlatDict it is derived state — Compile and DecodeCompiled
+// build it next to the flat form from the authoritative *Dictionary and
+// *LookupTable, the serialised format is unchanged, and construction is
+// deterministic (no map iteration), so an encode/decode round trip
+// rebuilds an identical structure. Four techniques, per the paper:
+//
+//   - bit-sized masks: instead of `words` mask words + `words` value
+//     words per entry, each entry stores a word map (one bit per mask
+//     word) and only its live (mask, value) word pairs. The pairs of
+//     all entries are concatenated; an entry's pairs start where the
+//     previous entry's ended, so the scan keeps a running cursor and
+//     advances it by 2×popcount(map) — the popcount-indexed word map
+//     replaces a per-entry offset array.
+//   - split-value-sized features: the common (pred<<1)|valBit pairs and
+//     the uncommon predicate indices are bit-packed to the width of the
+//     largest value actually present (bitpack.PackedArray) instead of
+//     int32 each. The per-entry offsets into both streams are packed
+//     the same way.
+//   - 1-byte entry IDs: ids shrink to 1 byte when every ID fits
+//     (dictionaries ≤256 entries), 2 bytes below 65536, else 4.
+//   - knee-point results: see CompactResults.
+//
+// Two storage disciplines, chosen by access pattern: structures decoded
+// once per block or entry (masks, split pairs, offsets, word maps) are
+// bit-packed for maximum density; structures read per hit (IDs, table
+// tags/addresses/result indices, result votes) are byte-aligned narrow
+// arrays (narrow64) so the hot loops issue single loads instead of bit
+// extraction — that is what keeps the compact kernel within a few
+// percent of the flat one.
+//
+// A CompactDict is immutable after construction and safe for concurrent
+// readers.
+type CompactDict struct {
+	words    int // mask words per entry (same as FlatDict)
+	n        int // entries
+	mapWords int // words of word map per entry: ceil(words/64)
+
+	// Word maps: mapPacked when one map word suffices (words ≤ 64, the
+	// common case) at `words` bits per entry; wordMap否 otherwise at
+	// mapWords uint64s per entry.
+	mapPacked *bitpack.PackedArray
+	wordMap   []uint64
+
+	liveMV []uint64 // concatenated (mask, value) pairs of live words only
+
+	common    *bitpack.PackedArray // packed (pred<<1)|valBit pairs
+	commonOff *bitpack.PackedArray // n+1 element offsets into common
+	uncommon  *bitpack.PackedArray // packed address predicate indices
+	uncOff    *bitpack.PackedArray // n+1 element offsets into uncommon
+
+	maxCommon   int // widest per-entry common run (scratch sizing)
+	maxUncommon int // widest per-entry uncommon run
+
+	ids narrow64 // entry IDs at 1, 2 or 4 bytes
+
+	// Table is the compressed recombined lookup table matching this
+	// dictionary; the compact scan path probes it instead of the flat
+	// LookupTable.
+	Table *CompactTable
+}
+
+// NewCompactDict compresses fd and t into the §5 layout. voteWidth is
+// the per-result vote-vector length (Forest.VoteWidth()).
+func NewCompactDict(fd *FlatDict, t *LookupTable, voteWidth int) *CompactDict {
+	n := fd.Len()
+	w := fd.Words()
+	cd := &CompactDict{
+		words:    w,
+		n:        n,
+		mapWords: (w + 63) / 64,
+	}
+
+	// Pass 1: word maps, live pair count, packed-value maxima.
+	maps := make([]uint64, n*cd.mapWords)
+	live := 0
+	maxPacked, maxPred, maxID := uint64(0), uint64(0), uint64(0)
+	totalCommon, totalUnc := 0, 0
+	for i := 0; i < n; i++ {
+		mask, _ := fd.MaskVals(i)
+		for wi, m := range mask {
+			if m != 0 {
+				maps[i*cd.mapWords+wi/64] |= 1 << uint(wi%64)
+				live++
+			}
+		}
+		common := fd.Common(i)
+		totalCommon += len(common)
+		if len(common) > cd.maxCommon {
+			cd.maxCommon = len(common)
+		}
+		for _, p := range common {
+			if uint64(p) > maxPacked {
+				maxPacked = uint64(p)
+			}
+		}
+		unc := fd.Uncommon(i)
+		totalUnc += len(unc)
+		if len(unc) > cd.maxUncommon {
+			cd.maxUncommon = len(unc)
+		}
+		for _, p := range unc {
+			if uint64(p) > maxPred {
+				maxPred = uint64(p)
+			}
+		}
+		if uint64(fd.ID(i)) > maxID {
+			maxID = uint64(fd.ID(i))
+		}
+	}
+	if cd.mapWords == 1 {
+		// One bit per mask word per entry instead of a whole uint64.
+		width := uint(w)
+		if width == 0 {
+			width = 1
+		}
+		cd.mapPacked = bitpack.NewPackedArray(n, width)
+		for i, m := range maps {
+			cd.mapPacked.Set(i, m)
+		}
+	} else {
+		cd.wordMap = maps
+	}
+
+	// Pass 2: fill the live pairs and the packed arrays.
+	cd.liveMV = make([]uint64, 0, 2*live)
+	cd.common = bitpack.NewPackedArray(totalCommon, bitpack.WidthFor(maxPacked))
+	cd.commonOff = bitpack.NewPackedArray(n+1, bitpack.WidthFor(uint64(totalCommon)))
+	cd.uncommon = bitpack.NewPackedArray(totalUnc, bitpack.WidthFor(maxPred))
+	cd.uncOff = bitpack.NewPackedArray(n+1, bitpack.WidthFor(uint64(totalUnc)))
+	ci, ui := 0, 0
+	for i := 0; i < n; i++ {
+		mask, vals := fd.MaskVals(i)
+		for wi, m := range mask {
+			if m != 0 {
+				cd.liveMV = append(cd.liveMV, m, vals[wi])
+			}
+		}
+		for _, p := range fd.Common(i) {
+			cd.common.Set(ci, uint64(p))
+			ci++
+		}
+		cd.commonOff.Set(i+1, uint64(ci))
+		for _, p := range fd.Uncommon(i) {
+			cd.uncommon.Set(ui, uint64(p))
+			ui++
+		}
+		cd.uncOff.Set(i+1, uint64(ui))
+	}
+
+	// IDs at the narrowest byte width that fits.
+	cd.ids = newNarrow64(n, bitpack.WidthFor(maxID))
+	for i := 0; i < n; i++ {
+		cd.ids.set(i, uint64(fd.ID(i)))
+	}
+
+	cd.Table = newCompactTable(t, voteWidth)
+	return cd
+}
+
+// Len returns the number of entries.
+func (cd *CompactDict) Len() int { return cd.n }
+
+// Words returns the mask words per entry of the uncompressed form.
+func (cd *CompactDict) Words() int { return cd.words }
+
+// IDBytes returns the bytes per stored entry ID (1, 2, 4 or 8).
+func (cd *CompactDict) IDBytes() int { return cd.ids.bits / 8 }
+
+// ID returns entry i's dictionary ID.
+//
+//bolt:hotpath
+func (cd *CompactDict) ID(i int) uint32 { return uint32(cd.ids.get(i)) }
+
+// decodeCommon expands entry e's packed common pairs into buf (length
+// at least maxCommon) and returns the filled prefix. The batch kernel
+// decodes once per entry per block, then scans the int32 form exactly
+// like the flat path.
+//
+//bolt:hotpath
+func (cd *CompactDict) decodeCommon(e int, buf []int32) []int32 {
+	lo, hi := int(cd.commonOff.Get(e)), int(cd.commonOff.Get(e+1))
+	out := buf[:hi-lo]
+	r := cd.common.ReaderAt(lo)
+	for k := range out {
+		out[k] = int32(r.Next())
+	}
+	return out
+}
+
+// decodeUncommon is decodeCommon for the address predicates.
+//
+//bolt:hotpath
+func (cd *CompactDict) decodeUncommon(e int, buf []int32) []int32 {
+	lo, hi := int(cd.uncOff.Get(e)), int(cd.uncOff.Get(e+1))
+	out := buf[:hi-lo]
+	r := cd.uncommon.ReaderAt(lo)
+	for k := range out {
+		out[k] = int32(r.Next())
+	}
+	return out
+}
+
+// SizeBytes returns the dictionary-side footprint (word maps, live
+// pairs, packed pairs, offsets, ids) — the bytes the scan streams per
+// block, excluding the table.
+func (cd *CompactDict) SizeBytes() int {
+	b := len(cd.liveMV) * 8
+	if cd.mapPacked != nil {
+		b += cd.mapPacked.SizeBytes()
+	} else {
+		b += len(cd.wordMap) * 8
+	}
+	b += cd.common.SizeBytes() + cd.commonOff.SizeBytes()
+	b += cd.uncommon.SizeBytes() + cd.uncOff.SizeBytes()
+	b += cd.ids.sizeBytes()
+	return b
+}
+
+// TotalBytes returns the full compact footprint: dictionary, table
+// slots and encoded results.
+func (cd *CompactDict) TotalBytes() int {
+	return cd.SizeBytes() + cd.Table.SlotBytes() + cd.Table.Results.SizeBytes()
+}
+
+// narrow64 is a byte-aligned unsigned integer array — the §5 "narrow
+// values" storage for fields read per table hit. Widths round up to
+// 8/16/32/64 bits: slightly larger than exact bit-packing, but a hot
+// read is one indexed load instead of shift-and-mask extraction across
+// a word boundary.
+type narrow64 struct {
+	bits int // 8, 16, 32 or 64
+	u8   []uint8
+	u16  []uint16
+	u32  []uint32
+	u64  []uint64
+}
+
+// newNarrow64 sizes an n-element array for values of the given bit
+// width.
+func newNarrow64(n int, width uint) narrow64 {
+	switch {
+	case width <= 8:
+		return narrow64{bits: 8, u8: make([]uint8, n)}
+	case width <= 16:
+		return narrow64{bits: 16, u16: make([]uint16, n)}
+	case width <= 32:
+		return narrow64{bits: 32, u32: make([]uint32, n)}
+	}
+	return narrow64{bits: 64, u64: make([]uint64, n)}
+}
+
+//bolt:hotpath
+func (a *narrow64) get(i int) uint64 {
+	switch a.bits {
+	case 8:
+		return uint64(a.u8[i])
+	case 16:
+		return uint64(a.u16[i])
+	case 32:
+		return uint64(a.u32[i])
+	}
+	return a.u64[i]
+}
+
+func (a *narrow64) set(i int, v uint64) {
+	switch a.bits {
+	case 8:
+		a.u8[i] = uint8(v)
+	case 16:
+		a.u16[i] = uint16(v)
+	case 32:
+		a.u32[i] = uint32(v)
+	default:
+		a.u64[i] = v
+	}
+}
+
+func (a *narrow64) len() int {
+	return len(a.u8) + len(a.u16) + len(a.u32) + len(a.u64)
+}
+
+func (a *narrow64) sizeBytes() int { return a.len() * a.bits / 8 }
+
+// CompactTable is the §5 compressed form of LookupTable. Slot positions
+// and probe sequence are identical — it copies the cuckoo seeds and
+// mask — but a slot costs 1 presence bit plus three narrow fields (tag,
+// address, result index) sized to the largest value present, instead of
+// a 24-byte struct. In CompactIDs mode the tag is the paper's one-byte
+// mod-256 entry ID and the address column is dropped entirely,
+// reproducing the flat table's probabilistic semantics bit for bit.
+type CompactTable struct {
+	seed1, seed2, mask uint64
+	compact            bool // one-byte mod-256 tags, no address check
+	n                  int
+
+	used  []uint64 // presence bitmap, one bit per slot
+	tags  narrow64 // stored entry IDs (or mod-256 tags)
+	addrs narrow64 // zero-width in compact-ID mode
+	res   narrow64 // result indices
+
+	tagBits  uint // stored tag width (bits; aligned)
+	addrBits uint // stored address width (bits; aligned), 0 in compact mode
+
+	// Results holds the knee-point-encoded vote vectors shared by every
+	// slot; indices match LookupTable.Votes.
+	Results *CompactResults
+}
+
+// newCompactTable compresses t. Deterministic: a slot-order scan fixes
+// every width and value.
+func newCompactTable(t *LookupTable, voteWidth int) *CompactTable {
+	nSlots := len(t.slots)
+	ct := &CompactTable{
+		seed1:   t.seed1,
+		seed2:   t.seed2,
+		mask:    t.mask,
+		compact: t.compact,
+		n:       t.n,
+		used:    make([]uint64, (nSlots+63)/64),
+	}
+	maxTag, maxAddr, maxRes := uint64(0), uint64(0), uint64(0)
+	for i := range t.slots {
+		s := &t.slots[i]
+		if !s.used {
+			continue
+		}
+		ct.used[i/64] |= 1 << uint(i%64)
+		if uint64(s.entryID) > maxTag {
+			maxTag = uint64(s.entryID)
+		}
+		if s.addr > maxAddr {
+			maxAddr = s.addr
+		}
+		if uint64(s.result) > maxRes {
+			maxRes = uint64(s.result)
+		}
+	}
+	tagWidth := bitpack.WidthFor(maxTag)
+	if ct.compact {
+		tagWidth = 8 // the paper's one-byte tag
+	}
+	ct.tags = newNarrow64(nSlots, tagWidth)
+	ct.tagBits = uint(ct.tags.bits)
+	ct.res = newNarrow64(nSlots, bitpack.WidthFor(maxRes))
+	if !ct.compact {
+		ct.addrs = newNarrow64(nSlots, bitpack.WidthFor(maxAddr))
+		ct.addrBits = uint(ct.addrs.bits)
+	}
+	for i := range t.slots {
+		s := &t.slots[i]
+		if !s.used {
+			continue
+		}
+		ct.tags.set(i, uint64(s.entryID))
+		ct.res.set(i, uint64(s.result))
+		if !ct.compact {
+			ct.addrs.set(i, s.addr)
+		}
+	}
+	ct.Results = newCompactResults(t.results, voteWidth)
+	return ct
+}
+
+func (ct *CompactTable) h1(key uint64) uint64 { return rng.Mix64(key^ct.seed1) & ct.mask }
+func (ct *CompactTable) h2(key uint64) uint64 { return rng.Mix64(key^ct.seed2) & ct.mask }
+
+// Lookup probes the two candidate slots for (entryID, addr), bit-exact
+// with LookupTable.Lookup on the same build: a key whose tag or address
+// exceeds the stored width cannot have been stored, hence cannot match.
+//
+//bolt:hotpath
+func (ct *CompactTable) Lookup(entryID uint32, addr uint64) (result uint32, ok bool) {
+	want := uint64(entryID)
+	if ct.compact {
+		want &= 0xff
+	} else if want>>ct.tagBits != 0 || (ct.addrBits < 64 && addr>>ct.addrBits != 0) {
+		return 0, false
+	}
+	key := Key(entryID, addr)
+	p := ct.h1(key)
+	if ct.used[p/64]&(1<<uint(p%64)) != 0 && ct.tags.get(int(p)) == want &&
+		(ct.compact || ct.addrs.get(int(p)) == addr) {
+		return uint32(ct.res.get(int(p))), true
+	}
+	p = ct.h2(key)
+	if ct.used[p/64]&(1<<uint(p%64)) != 0 && ct.tags.get(int(p)) == want &&
+		(ct.compact || ct.addrs.get(int(p)) == addr) {
+		return uint32(ct.res.get(int(p))), true
+	}
+	return 0, false
+}
+
+// NumSlots returns the table capacity.
+func (ct *CompactTable) NumSlots() int { return int(ct.mask) + 1 }
+
+// SlotBytes returns the slot-side footprint: presence bitmap plus the
+// narrow tag, address and result columns.
+func (ct *CompactTable) SlotBytes() int {
+	return len(ct.used)*8 + ct.tags.sizeBytes() + ct.addrs.sizeBytes() + ct.res.sizeBytes()
+}
+
+// CompactResults is the §5 knee-point encoding of the deduplicated
+// result vectors: every vote is zigzag-mapped to unsigned and stored at
+// the narrow byte width covering the 99th percentile of observed values
+// (8, 16 or 32 bits — byte-aligned because the scan reads one vector
+// per table hit). The all-ones code at that width is reserved as an
+// escape sentinel; the tail beyond the knee lives in a sorted (flat
+// index → value) side table found by binary search. Decoding is exact
+// for every value.
+type CompactResults struct {
+	vw       int
+	sentinel uint64
+	data     narrow64 // nResults*vw zigzag codes
+	escIdx   []int    // sorted flat indices (ri*vw+k) of escapes
+	escVal   []int64
+}
+
+// newCompactResults encodes the vectors. Iteration order is result then
+// class, so the escape table comes out sorted with no explicit sort.
+func newCompactResults(results [][]int64, voteWidth int) *CompactResults {
+	cr := &CompactResults{vw: voteWidth}
+	zz := make([]uint64, 0, len(results)*voteWidth)
+	for _, votes := range results {
+		for _, v := range votes {
+			zz = append(zz, zigzag(v))
+		}
+	}
+	cr.data = newNarrow64(len(zz), kneeWidth(zz))
+	if cr.data.bits < 64 {
+		cr.sentinel = 1<<uint(cr.data.bits) - 1
+	} else {
+		cr.sentinel = ^uint64(0)
+	}
+	for i, u := range zz {
+		if u >= cr.sentinel {
+			cr.data.set(i, cr.sentinel)
+			cr.escIdx = append(cr.escIdx, i)
+			cr.escVal = append(cr.escVal, unzigzag(u))
+			continue
+		}
+		cr.data.set(i, u)
+	}
+	return cr
+}
+
+// AccumulateInto adds result ri's vote vector into votes (length vw) —
+// the compact counterpart of ranging over LookupTable.Votes(ri). The
+// width switch runs once per call, not per vote: each case ranges over
+// the typed backing slice directly, and the sentinel test drops out of
+// the common widths when the encoder recorded no escapes.
+//
+//bolt:hotpath
+func (cr *CompactResults) AccumulateInto(votes []int64, ri uint32) {
+	base := int(ri) * cr.vw
+	switch cr.data.bits {
+	case 8:
+		if len(cr.escIdx) == 0 {
+			for k, u := range cr.data.u8[base : base+cr.vw] {
+				votes[k] += unzigzag(uint64(u))
+			}
+			return
+		}
+		for k, u := range cr.data.u8[base : base+cr.vw] {
+			if uint64(u) >= cr.sentinel {
+				votes[k] += cr.escape(base + k)
+				continue
+			}
+			votes[k] += unzigzag(uint64(u))
+		}
+	case 16:
+		if len(cr.escIdx) == 0 {
+			for k, u := range cr.data.u16[base : base+cr.vw] {
+				votes[k] += unzigzag(uint64(u))
+			}
+			return
+		}
+		for k, u := range cr.data.u16[base : base+cr.vw] {
+			if uint64(u) >= cr.sentinel {
+				votes[k] += cr.escape(base + k)
+				continue
+			}
+			votes[k] += unzigzag(uint64(u))
+		}
+	default:
+		for k := 0; k < cr.vw; k++ {
+			u := cr.data.get(base + k)
+			if u >= cr.sentinel {
+				votes[k] += cr.escape(base + k)
+				continue
+			}
+			votes[k] += unzigzag(u)
+		}
+	}
+}
+
+// DecodeInto writes result ri's vote vector into dst (length vw). The
+// batch kernel's fully-common fast path decodes once per chunk and
+// accumulates the decoded form per sample.
+//
+//bolt:hotpath
+func (cr *CompactResults) DecodeInto(dst []int64, ri uint32) {
+	base := int(ri) * cr.vw
+	switch cr.data.bits {
+	case 8:
+		if len(cr.escIdx) == 0 {
+			for k, u := range cr.data.u8[base : base+cr.vw] {
+				dst[k] = unzigzag(uint64(u))
+			}
+			return
+		}
+		for k, u := range cr.data.u8[base : base+cr.vw] {
+			if uint64(u) >= cr.sentinel {
+				dst[k] = cr.escape(base + k)
+				continue
+			}
+			dst[k] = unzigzag(uint64(u))
+		}
+	case 16:
+		if len(cr.escIdx) == 0 {
+			for k, u := range cr.data.u16[base : base+cr.vw] {
+				dst[k] = unzigzag(uint64(u))
+			}
+			return
+		}
+		for k, u := range cr.data.u16[base : base+cr.vw] {
+			if uint64(u) >= cr.sentinel {
+				dst[k] = cr.escape(base + k)
+				continue
+			}
+			dst[k] = unzigzag(uint64(u))
+		}
+	default:
+		for k := 0; k < cr.vw; k++ {
+			u := cr.data.get(base + k)
+			if u >= cr.sentinel {
+				dst[k] = cr.escape(base + k)
+				continue
+			}
+			dst[k] = unzigzag(u)
+		}
+	}
+}
+
+// escape resolves a sentinel code via binary search on the sorted side
+// table. Every sentinel stored by the encoder has an escape record, so
+// the search always lands.
+//
+//bolt:hotpath
+func (cr *CompactResults) escape(idx int) int64 {
+	lo, hi := 0, len(cr.escIdx)
+	for lo < hi {
+		mid := int(uint(lo+hi) >> 1)
+		if cr.escIdx[mid] < idx {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	return cr.escVal[lo]
+}
+
+// NumValues returns the total stored codes (results × vote width).
+func (cr *CompactResults) NumValues() int { return cr.data.len() }
+
+// DecodeAll hydrates every vote vector into dst (length NumValues) in
+// flat index order. Cold: Scratch calls it once so the batch kernel can
+// accumulate hits without per-vote decode.
+func (cr *CompactResults) DecodeAll(dst []int64) {
+	for i := range dst {
+		u := cr.data.get(i)
+		if u >= cr.sentinel {
+			dst[i] = cr.escape(i)
+			continue
+		}
+		dst[i] = unzigzag(u)
+	}
+}
+
+// Width returns the stored bit width per vote (byte-aligned knee
+// point).
+func (cr *CompactResults) Width() uint { return uint(cr.data.bits) }
+
+// NumEscapes returns the tail size beyond the knee.
+func (cr *CompactResults) NumEscapes() int { return len(cr.escIdx) }
+
+// SizeBytes returns the encoded-results footprint: narrow codes plus
+// the escape side table.
+func (cr *CompactResults) SizeBytes() int {
+	return cr.data.sizeBytes() + len(cr.escIdx)*8 + len(cr.escVal)*8
+}
+
+// kneeWidth picks the smallest bit width covering the 99th percentile
+// of the zigzag codes (≥1); values at or above the width's all-ones
+// sentinel escape. This mirrors layout.KneePoint, which models the same
+// §5 choice for the Fig. 8 byte accounting.
+func kneeWidth(zz []uint64) uint {
+	if len(zz) == 0 {
+		return 1
+	}
+	sorted := append([]uint64(nil), zz...)
+	sort.Slice(sorted, func(i, j int) bool { return sorted[i] < sorted[j] })
+	p99 := sorted[(len(sorted)-1)*99/100]
+	return bitpack.WidthFor(p99)
+}
+
+// zigzag maps signed to unsigned so small-magnitude votes of either
+// sign get small codes.
+func zigzag(v int64) uint64 { return uint64(v<<1) ^ uint64(v>>63) }
+
+//bolt:hotpath
+func unzigzag(u uint64) int64 { return int64(u>>1) ^ -int64(u&1) }
+
+// popcount alias so the scan files read naturally.
+func popcount(x uint64) int { return bits.OnesCount64(x) }

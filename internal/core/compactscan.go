@@ -1,0 +1,185 @@
+package core
+
+import (
+	"math/bits"
+)
+
+// The compact scan path: the same two kernels as the flat path (the
+// per-sample forEachHit scan and the per-block batch kernel), reading
+// the §5 compressed layout instead. Both are proven bit-exact with the
+// flat path by CheckSafety and FuzzCompactDict; the dispatchers in
+// engine.go and batch.go pick a path per forest (scanCompact), so every
+// caller — Votes, SalienceInto, VotesBatch, PredictBatchInto, and the
+// parallel runtime whose shards call the serial kernels — switches
+// automatically.
+
+// forEachHitCompact is forEachHit over the compact layout. The mask
+// membership test walks only the live (mask, value) word pairs named by
+// each entry's word map; the running cursor advances by 2×popcount(map)
+// whether or not the entry matches, which is what lets the layout drop
+// per-entry offsets. When one map word covers every mask word (the
+// common case) the maps stream out of a bit-packed array.
+//
+//bolt:hotpath
+func (bf *Forest) forEachHitCompact(inputWords []uint64, fn func(entry int, result uint32)) {
+	cd := bf.Compact
+	if cd.mapPacked != nil {
+		r := cd.mapPacked.ReaderAt(0)
+		cursor := 0
+		for i, n := 0, cd.n; i < n; i++ {
+			m := r.Next()
+			pos := cursor
+			cursor += 2 * popcount(m)
+			matched := true
+			for m != 0 {
+				b := bits.TrailingZeros64(m)
+				m &= m - 1
+				if inputWords[b]&cd.liveMV[pos] != cd.liveMV[pos+1] {
+					matched = false
+					break
+				}
+				pos += 2
+			}
+			if matched {
+				bf.compactHit(i, inputWords, fn)
+			}
+		}
+		return
+	}
+	mw := cd.mapWords
+	cursor := 0
+	for i, n := 0, cd.n; i < n; i++ {
+		pos := cursor
+		matched := true
+		for wi := 0; wi < mw; wi++ {
+			m := cd.wordMap[i*mw+wi]
+			cursor += 2 * popcount(m)
+			for matched && m != 0 {
+				b := bits.TrailingZeros64(m)
+				m &= m - 1
+				if inputWords[wi*64+b]&cd.liveMV[pos] != cd.liveMV[pos+1] {
+					matched = false
+					break
+				}
+				pos += 2
+			}
+		}
+		if matched {
+			bf.compactHit(i, inputWords, fn)
+		}
+	}
+}
+
+// compactHit finishes a mask match: gather the address bits, consult
+// the filter, probe the compact table, and report the hit. Shared by
+// both forEachHitCompact map loops.
+//
+//bolt:hotpath
+func (bf *Forest) compactHit(i int, inputWords []uint64, fn func(entry int, result uint32)) {
+	cd := bf.Compact
+	addr := uint64(0)
+	uo, ue := int(cd.uncOff.Get(i)), int(cd.uncOff.Get(i+1))
+	if ue > uo {
+		r := cd.uncommon.ReaderAt(uo)
+		for bi := 0; bi < ue-uo; bi++ {
+			pred := int(r.Next())
+			bit := (inputWords[pred>>6] >> uint(pred&63)) & 1
+			addr |= bit << uint(bi)
+		}
+	}
+	id := cd.ID(i)
+	if bf.Filter != nil && !bf.Filter.Contains(Key(id, addr)) {
+		return
+	}
+	if ri, ok := cd.Table.Lookup(id, addr); ok {
+		fn(i, ri)
+	}
+}
+
+// votesBlockCompact is the per-block batch kernel over the compact
+// layout: identical loop structure to votesBlockFlat, but each entry's
+// packed common pairs and address predicates are decoded once per block
+// into scratch (amortised over every chunk and sample in the block).
+// Hits accumulate from the scratch-hydrated result store (s.resDec), so
+// the per-hit work matches the flat path exactly; the knee-point form
+// stays resident only in the model. The memory streamed per block is
+// the compressed dictionary, which is the point: more entries per cache
+// line.
+//
+//bolt:hotpath
+func (bf *Forest) votesBlockCompact(X [][]float32, s *Scratch, votes []int64) {
+	n := len(X)
+	chunks := bf.encodeBlock(X, s, votes)
+	vw := bf.VoteWidth()
+	cd := bf.Compact
+	ct := cd.Table
+	filter := bf.Filter
+	cw := cd.words * 64
+	resDec := s.resDec
+	for e, ne := 0, cd.n; e < ne; e++ {
+		common := cd.decodeCommon(e, s.pairBuf)
+		unc := cd.decodeUncommon(e, s.uncBuf)
+		id := cd.ID(e)
+		for c := 0; c < chunks; c++ {
+			matched := ^uint64(0)
+			if tail := uint(n - c*64); tail < 64 {
+				matched = (1 << tail) - 1
+			}
+			cc := s.cols[c*cw : (c+1)*cw]
+			for _, packed := range common {
+				col := cc[packed>>1]
+				if packed&1 == 0 {
+					col = ^col
+				}
+				matched &= col
+				if matched == 0 {
+					break
+				}
+			}
+			if len(unc) == 0 {
+				// Fully-common entry: one probe, shared by every
+				// matched sample in the chunk.
+				if matched == 0 {
+					continue
+				}
+				if filter != nil && !filter.Contains(Key(id, 0)) {
+					continue
+				}
+				ri, ok := ct.Lookup(id, 0)
+				if !ok {
+					continue
+				}
+				rv := resDec[int(ri)*vw : int(ri+1)*vw]
+				for matched != 0 {
+					bit := matched & (-matched)
+					matched ^= bit
+					si := c*64 + bits.TrailingZeros64(bit)
+					row := votes[si*vw : (si+1)*vw]
+					for k, v := range rv {
+						row[k] += v
+					}
+				}
+				continue
+			}
+			for matched != 0 {
+				bit := matched & (-matched)
+				matched ^= bit
+				sb := uint(bits.TrailingZeros64(bit))
+				addr := uint64(0)
+				for j, pred := range unc {
+					addr |= ((cc[pred] >> sb) & 1) << uint(j)
+				}
+				if filter != nil && !filter.Contains(Key(id, addr)) {
+					continue
+				}
+				if ri, ok := ct.Lookup(id, addr); ok {
+					si := c*64 + int(sb)
+					row := votes[si*vw : (si+1)*vw]
+					for k, v := range resDec[int(ri)*vw : int(ri+1)*vw] {
+						row[k] += v
+					}
+				}
+			}
+		}
+	}
+}

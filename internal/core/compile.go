@@ -61,6 +61,12 @@ type Forest struct {
 	Table  *LookupTable
 	Filter *bloom.Filter // nil when disabled
 
+	// Compact is the §5 compressed layout built next to Flat; the scan
+	// paths use it when scanCompact is set (chosen per forest: compact
+	// wins when its total footprint is smaller — see buildCompact).
+	Compact     *CompactDict
+	scanCompact bool
+
 	NumFeatures int
 	NumClasses  int
 	NumTrees    int
@@ -191,7 +197,7 @@ func (c *Compilation) Compile(opts Options) (*Forest, error) {
 	for i := range c.f.Trees {
 		totalWeight += c.f.Weight(i)
 	}
-	return &Forest{
+	bf := &Forest{
 		Codebook:    c.cb,
 		Dict:        dict,
 		Flat:        NewFlatDict(dict),
@@ -205,7 +211,9 @@ func (c *Compilation) Compile(opts Options) (*Forest, error) {
 		Bias:        c.f.Bias,
 		Additive:    c.f.Additive,
 		opts:        opts,
-	}, nil
+	}
+	bf.buildCompact()
+	return bf, nil
 }
 
 // Compile transforms a trained forest into a Bolt forest, running

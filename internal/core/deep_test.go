@@ -87,11 +87,14 @@ func TestDeepCheckSafetyDetectsCorruption(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	// Corrupt the final layer's tables.
+	// Corrupt the final layer's tables. Results live in both memory
+	// layouts (flat and §5 compact); rebuilding the derived compact
+	// copy propagates the corruption to whichever layout the scan uses.
 	for _, bf := range db.Layers[len(db.Layers)-1] {
 		for i := range bf.Table.results {
 			bf.Table.results[i][0] += 999
 		}
+		bf.buildCompact()
 	}
 	if err := db.CheckSafety(df, d.X[:50]); err == nil {
 		t.Fatal("corrupted cascade passed CheckSafety")

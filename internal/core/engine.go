@@ -23,6 +23,15 @@ type Scratch struct {
 	rowBits    []uint64
 	cols       []uint64
 	batchVotes []int64
+
+	// Compact-path state (see compactscan.go): per-entry decode buffers
+	// for the packed common pairs and address predicates, plus the
+	// knee-point result store hydrated to flat int64 once per scratch —
+	// the batch kernel accumulates hits from resDec at flat-path speed
+	// while the resident model keeps the compressed form.
+	pairBuf []int32
+	uncBuf  []int32
+	resDec  []int64
 }
 
 // forEachHit is the shared per-sample dictionary scan: for every entry
@@ -31,9 +40,21 @@ type Scratch struct {
 // verifies in the recombined table, it calls fn with the entry index and
 // the table's result index. Votes and SalienceInto both route through
 // it; the closure stays on the stack, so the scan allocates nothing.
+// The active memory layout picks the scan (see compactscan.go).
 //
 //bolt:hotpath
 func (bf *Forest) forEachHit(inputWords []uint64, fn func(entry int, result uint32)) {
+	if bf.scanCompact {
+		bf.forEachHitCompact(inputWords, fn)
+		return
+	}
+	bf.forEachHitFlat(inputWords, fn)
+}
+
+// forEachHitFlat scans the uncompressed FlatDict form.
+//
+//bolt:hotpath
+func (bf *Forest) forEachHitFlat(inputWords []uint64, fn func(entry int, result uint32)) {
 	fd := bf.Flat
 	for i, n := 0, fd.Len(); i < n; i++ {
 		mask, vals := fd.MaskVals(i)
@@ -80,8 +101,17 @@ func (bf *Forest) Votes(x []float32, s *Scratch, votes []int64) {
 		votes[i] = 0
 	}
 	bf.Codebook.Evaluate(x, s.bits)
+	if bf.scanCompact {
+		// Compact layout: scan the compressed dictionary and decode
+		// knee-point results straight into the accumulators.
+		cr := bf.Compact.Table.Results
+		bf.forEachHitCompact(s.bits.Words(), func(_ int, ri uint32) {
+			cr.AccumulateInto(votes, ri)
+		})
+		return
+	}
 	table := bf.Table
-	bf.forEachHit(s.bits.Words(), func(_ int, ri uint32) {
+	bf.forEachHitFlat(s.bits.Words(), func(_ int, ri uint32) {
 		for c, v := range table.Votes(ri) {
 			votes[c] += v
 		}
@@ -130,8 +160,13 @@ func (bf *Forest) PredictBatch(X [][]float32) []int {
 // forest's for every sample — per-class weighted votes for
 // classification, the integer value contribution for regression — and
 // the batch kernel (serial and parallel, across worker counts 1..8)
-// must be bit-exact with the per-sample path. It returns the first
-// divergence found.
+// must be bit-exact with the per-sample path. Both memory layouts are
+// exercised: after the active layout verifies, the inactive one (flat
+// or §5 compact, whichever the size heuristic did not pick) is run
+// through the row and batch paths against the same votes. It returns
+// the first divergence found. CheckSafety briefly toggles the layout
+// selection, so it must not run concurrently with inference on the
+// same forest.
 func (bf *Forest) CheckSafety(f *forest.Forest, X [][]float32) error {
 	s := bf.NewScratch()
 	vw := bf.VoteWidth()
@@ -150,7 +185,10 @@ func (bf *Forest) CheckSafety(f *forest.Forest, X [][]float32) error {
 					i, batch[i], boltVotes[0])
 			}
 		}
-		return bf.checkParallelBatch(X, batch)
+		if err := bf.checkParallelBatch(X, batch); err != nil {
+			return err
+		}
+		return bf.checkAltLayout(X, batch)
 	}
 	boltVotes := make([]int64, bf.NumClasses)
 	refVotes := make([]int64, bf.NumClasses)
@@ -168,7 +206,40 @@ func (bf *Forest) CheckSafety(f *forest.Forest, X [][]float32) error {
 			}
 		}
 	}
-	return bf.checkParallelBatch(X, batch)
+	if err := bf.checkParallelBatch(X, batch); err != nil {
+		return err
+	}
+	return bf.checkAltLayout(X, batch)
+}
+
+// checkAltLayout re-runs the row and serial batch paths with the
+// layout selection inverted and compares against the already-verified
+// batch votes, so both the flat and compact scans are proven bit-exact
+// regardless of which one the forest actively uses.
+func (bf *Forest) checkAltLayout(X [][]float32, batch []int64) error {
+	saved := bf.scanCompact
+	defer func() { bf.scanCompact = saved }()
+	bf.scanCompact = !saved
+	layout := bf.LayoutName()
+	vw := bf.VoteWidth()
+	s := bf.NewScratch()
+	alt := make([]int64, len(X)*vw)
+	bf.VotesBatch(X, s, alt)
+	row := make([]int64, vw)
+	for i, x := range X {
+		bf.Votes(x, s, row)
+		for c := 0; c < vw; c++ {
+			if alt[i*vw+c] != batch[i*vw+c] {
+				return fmt.Errorf("core: %s batch kernel diverges on sample %d class %d: %s=%d active=%d",
+					layout, i, c, layout, alt[i*vw+c], batch[i*vw+c])
+			}
+			if row[c] != batch[i*vw+c] {
+				return fmt.Errorf("core: %s row path diverges on sample %d class %d: %s=%d active=%d",
+					layout, i, c, layout, row[c], batch[i*vw+c])
+			}
+		}
+	}
+	return nil
 }
 
 // checkParallelBatch compares the parallel batch kernel against the
@@ -211,8 +282,25 @@ func (bf *Forest) SalienceInto(x []float32, s *Scratch, counts []int) {
 		counts[i] = 0
 	}
 	bf.Codebook.Evaluate(x, s.bits)
-	fd, cb := bf.Flat, bf.Codebook
-	bf.forEachHit(s.bits.Words(), func(e int, _ uint32) {
+	cb := bf.Codebook
+	if bf.scanCompact {
+		cd := bf.Compact
+		bf.forEachHitCompact(s.bits.Words(), func(e int, _ uint32) {
+			co, ce := int(cd.commonOff.Get(e)), int(cd.commonOff.Get(e+1))
+			r := cd.common.ReaderAt(co)
+			for k := co; k < ce; k++ {
+				counts[cb.Predicate(int32(r.Next())>>1).Feature]++
+			}
+			uo, ue := int(cd.uncOff.Get(e)), int(cd.uncOff.Get(e+1))
+			ur := cd.uncommon.ReaderAt(uo)
+			for k := uo; k < ue; k++ {
+				counts[cb.Predicate(int32(ur.Next())).Feature]++
+			}
+		})
+		return
+	}
+	fd := bf.Flat
+	bf.forEachHitFlat(s.bits.Words(), func(e int, _ uint32) {
 		for _, packed := range fd.Common(e) {
 			counts[cb.Predicate(packed>>1).Feature]++
 		}

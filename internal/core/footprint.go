@@ -1,0 +1,171 @@
+package core
+
+// Memory-layout accounting and selection. A compiled forest carries
+// both the flat SoA layout (FlatDict + LookupTable) and the §5
+// compressed layout (CompactDict + CompactTable); buildCompact picks
+// the smaller one as the active scan layout, and Footprint exposes the
+// byte accounting of both for benches, perfsim's cost model, block
+// sizing and the serving stats.
+
+// Layout names reported by Forest.LayoutName and Footprint.Layout.
+const (
+	LayoutFlat    = "flat"
+	LayoutCompact = "compact"
+)
+
+// Footprint is the byte accounting of a compiled forest's two memory
+// layouts, split into the three streams the scan touches: the
+// dictionary (masks, packed pairs, ids), the table slots, and the
+// result vectors.
+type Footprint struct {
+	Layout        string // active scan layout: LayoutFlat or LayoutCompact
+	DictEntries   int
+	TableSlots    int
+	ResultVectors int
+
+	FlatDictBytes   int
+	FlatSlotBytes   int
+	FlatResultBytes int
+
+	CompactDictBytes   int
+	CompactSlotBytes   int
+	CompactResultBytes int
+}
+
+// FlatBytes returns the total flat-layout scan footprint.
+func (fp Footprint) FlatBytes() int {
+	return fp.FlatDictBytes + fp.FlatSlotBytes + fp.FlatResultBytes
+}
+
+// CompactBytes returns the total compact-layout scan footprint.
+func (fp Footprint) CompactBytes() int {
+	return fp.CompactDictBytes + fp.CompactSlotBytes + fp.CompactResultBytes
+}
+
+// ActiveBytes returns the total footprint of the active layout.
+func (fp Footprint) ActiveBytes() int {
+	if fp.Layout == LayoutCompact {
+		return fp.CompactBytes()
+	}
+	return fp.FlatBytes()
+}
+
+// ActiveDictBytes returns the dictionary bytes of the active layout.
+func (fp Footprint) ActiveDictBytes() int {
+	if fp.Layout == LayoutCompact {
+		return fp.CompactDictBytes
+	}
+	return fp.FlatDictBytes
+}
+
+// ActiveTableBytes returns slot + result bytes of the active layout.
+func (fp Footprint) ActiveTableBytes() int {
+	if fp.Layout == LayoutCompact {
+		return fp.CompactSlotBytes + fp.CompactResultBytes
+	}
+	return fp.FlatSlotBytes + fp.FlatResultBytes
+}
+
+// DictBytesPerEntry returns the per-entry dictionary footprint of the
+// requested layout — the number the §5 shrink factor is quoted in.
+func (fp Footprint) DictBytesPerEntry(compact bool) float64 {
+	if fp.DictEntries == 0 {
+		return 0
+	}
+	if compact {
+		return float64(fp.CompactDictBytes) / float64(fp.DictEntries)
+	}
+	return float64(fp.FlatDictBytes) / float64(fp.DictEntries)
+}
+
+// TableBytesPerSlot returns the per-slot table footprint (slots only,
+// excluding the shared result vectors) of the requested layout.
+func (fp Footprint) TableBytesPerSlot(compact bool) float64 {
+	if fp.TableSlots == 0 {
+		return 0
+	}
+	if compact {
+		return float64(fp.CompactSlotBytes) / float64(fp.TableSlots)
+	}
+	return float64(fp.FlatSlotBytes) / float64(fp.TableSlots)
+}
+
+// flatSlotBytes is the in-memory size of one LookupTable slot struct
+// (bool + uint32 + uint64 + uint32, padded).
+const flatSlotBytes = 24
+
+// SizeBytes returns the flat dictionary's scan footprint: ids,
+// interleaved mask/value words, packed pairs and their offsets.
+func (fd *FlatDict) SizeBytes() int {
+	return len(fd.ids)*4 + len(fd.maskvals)*8 +
+		(len(fd.common)+len(fd.commonOff)+len(fd.uncommon)+len(fd.uncOff))*4
+}
+
+// SlotBytes returns the slot-array footprint.
+func (t *LookupTable) SlotBytes() int { return len(t.slots) * flatSlotBytes }
+
+// ResultBytes returns the deduplicated result-vector data bytes.
+func (t *LookupTable) ResultBytes() int {
+	total := 0
+	for _, votes := range t.results {
+		total += len(votes) * 8
+	}
+	return total
+}
+
+// buildCompact constructs the §5 compact layout next to the flat one
+// and selects the smaller of the two as the active scan layout. Both
+// Compile and DecodeCompiled call it, so the choice is a pure function
+// of the (unchanged) serialised model.
+func (bf *Forest) buildCompact() {
+	bf.Compact = NewCompactDict(bf.Flat, bf.Table, bf.VoteWidth())
+	flatTotal := bf.Flat.SizeBytes() + bf.Table.SlotBytes() + bf.Table.ResultBytes()
+	bf.scanCompact = bf.Compact.TotalBytes() < flatTotal
+}
+
+// Footprint returns the byte accounting of both memory layouts.
+func (bf *Forest) Footprint() Footprint {
+	fp := Footprint{
+		Layout:          bf.LayoutName(),
+		DictEntries:     bf.Flat.Len(),
+		TableSlots:      bf.Table.NumSlots(),
+		ResultVectors:   bf.Table.NumResults(),
+		FlatDictBytes:   bf.Flat.SizeBytes(),
+		FlatSlotBytes:   bf.Table.SlotBytes(),
+		FlatResultBytes: bf.Table.ResultBytes(),
+	}
+	if cd := bf.Compact; cd != nil {
+		fp.CompactDictBytes = cd.SizeBytes()
+		fp.CompactSlotBytes = cd.Table.SlotBytes()
+		fp.CompactResultBytes = cd.Table.Results.SizeBytes()
+	}
+	return fp
+}
+
+// ScanBytes returns the bytes the active layout streams per scan —
+// dictionary, table slots and results — the quantity block sizing
+// reserves cache for.
+func (bf *Forest) ScanBytes() int {
+	return bf.Footprint().ActiveBytes()
+}
+
+// LayoutName returns the active scan layout ("flat" or "compact").
+func (bf *Forest) LayoutName() string {
+	if bf.scanCompact {
+		return LayoutCompact
+	}
+	return LayoutFlat
+}
+
+// CompactScan reports whether the compact layout is active.
+func (bf *Forest) CompactScan() bool { return bf.scanCompact }
+
+// SetCompactScan overrides the layout selection (benches and
+// ablations; both layouts are always present and bit-exact). Not safe
+// concurrently with inference on the same forest.
+func (bf *Forest) SetCompactScan(on bool) {
+	if bf.Compact == nil {
+		return
+	}
+	bf.scanCompact = on
+}

@@ -81,6 +81,58 @@ func FuzzVotesBatch(f *testing.F) {
 	})
 }
 
+// FuzzCompactDict is the differential fuzz target for the §5 compact
+// layout: for random forest shapes, compile options (including
+// CompactIDs mode and disabled bloom filters) and batch geometries, the
+// compact batch kernel and compact row path must be bit-exact with
+// their flat counterparts.
+func FuzzCompactDict(f *testing.F) {
+	f.Add(uint64(1), uint8(4), uint8(6), uint8(3), uint16(70), uint16(0))
+	f.Add(uint64(2), uint8(1), uint8(2), uint8(1), uint16(1), uint16(64))
+	f.Add(uint64(3), uint8(16), uint8(12), uint8(5), uint16(129), uint16(100))
+	f.Add(uint64(5), uint8(9), uint8(7), uint8(4), uint16(200), uint16(2))
+
+	f.Fuzz(func(t *testing.T, seed uint64, thresholdRaw, treesRaw, depthRaw uint8, nRaw, blockRaw uint16) {
+		trees := int(treesRaw%12) + 2
+		depth := int(depthRaw%5) + 1
+		fr, d := trainForest(t, seed, trees, depth)
+		opts := Options{ClusterThreshold: int(thresholdRaw%16) + 1, Seed: seed}
+		if thresholdRaw%3 == 0 {
+			opts.BloomBitsPerKey = -1
+		}
+		opts.CompactIDs = seed%2 == 0
+		bf, err := Compile(fr, opts)
+		if err != nil {
+			t.Fatalf("compile failed: %v", err)
+		}
+		n := int(nRaw % 300)
+		X := randomInputs(n, d.NumFeatures, seed^0xc0de)
+		vw := bf.VoteWidth()
+		batches := make(map[bool][]int64, 2)
+		rows := make(map[bool][]int64, 2)
+		for _, compact := range []bool{false, true} {
+			bf.SetCompactScan(compact)
+			s := bf.NewScratch()
+			s.SetBatchBlock(int(blockRaw % 512)) // 0 keeps the default
+			batch := make([]int64, n*vw)
+			bf.VotesBatch(X, s, batch)
+			batches[compact] = batch
+			row := make([]int64, n*vw)
+			for i, x := range X {
+				bf.Votes(x, s, row[i*vw:(i+1)*vw])
+			}
+			rows[compact] = row
+		}
+		for i := 0; i < n*vw; i++ {
+			want := batches[false][i]
+			if rows[false][i] != want || batches[true][i] != want || rows[true][i] != want {
+				t.Fatalf("seed=%d n=%d index %d: flat batch=%d flat row=%d compact batch=%d compact row=%d",
+					seed, n, i, want, rows[false][i], batches[true][i], rows[true][i])
+			}
+		}
+	})
+}
+
 // FuzzVotesBatchParallel extends the differential discipline to the
 // persistent runtime: for random forest shapes, batch geometries and
 // every worker count 1..8, the parallel batch kernel must be bit-exact

@@ -377,6 +377,9 @@ func DecodeCompiled(r io.Reader) (*Forest, error) {
 			}
 		}
 	}
+	// Rebuild the derived §5 compact layout; construction is
+	// deterministic, so this reproduces Compile's CompactDict exactly.
+	bf.buildCompact()
 	return bf, nil
 }
 

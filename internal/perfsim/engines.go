@@ -214,13 +214,21 @@ func (s *FPSim) Predict(x []float32, m *Machine) int {
 // BoltSim replays Bolt inference through its real compiled structures:
 // the binarization pass, the dictionary mask scan, the bloom filter and
 // the verified table probes, in exactly the order core.Forest.Votes
-// performs them.
+// performs them. Memory charges are sized from the forest's ACTIVE
+// layout footprint (flat or §5 compact), so a compressed model streams
+// proportionally fewer bytes through the simulated hierarchy.
 type BoltSim struct {
 	bf       *core.Forest
 	costs    CostModel
 	bits     *bitpack.Bitset
 	scratch  *core.Scratch
 	probeBuf []uint64
+
+	// Per-element byte charges of the active layout: dictionary bytes
+	// per entry, slot bytes per probe, result-vector bytes per hit.
+	entryBytes  uint64
+	slotBytes   int
+	resultBytes int
 }
 
 // NewBoltSim wraps a compiled Bolt forest for simulation.
@@ -229,7 +237,28 @@ func NewBoltSim(bf *core.Forest, costs CostModel) *BoltSim {
 	if n == 0 {
 		n = 1
 	}
-	return &BoltSim{bf: bf, costs: costs, bits: bitpack.New(n), scratch: bf.NewScratch()}
+	s := &BoltSim{bf: bf, costs: costs, bits: bitpack.New(n), scratch: bf.NewScratch()}
+	fp := bf.Footprint()
+	slotTotal, resTotal := fp.FlatSlotBytes, fp.FlatResultBytes
+	if fp.Layout == core.LayoutCompact {
+		slotTotal, resTotal = fp.CompactSlotBytes, fp.CompactResultBytes
+	}
+	s.entryBytes = uint64(ceilDiv(fp.ActiveDictBytes(), fp.DictEntries))
+	s.slotBytes = ceilDiv(slotTotal, fp.TableSlots)
+	s.resultBytes = ceilDiv(resTotal, fp.ResultVectors)
+	return s
+}
+
+// ceilDiv is ceil(a/b) floored at 1, for per-element byte charges.
+func ceilDiv(a, b int) int {
+	if b <= 0 {
+		return 1
+	}
+	v := (a + b - 1) / b
+	if v < 1 {
+		v = 1
+	}
+	return v
 }
 
 // Predict runs one sample, charging m.
@@ -251,12 +280,11 @@ func (s *BoltSim) Predict(x []float32, m *Machine) int {
 		m.Load(inputBase+uint64(f), 64) // input vector, sequential
 	}
 
-	words := bf.Dict.Words()
 	dictOff := uint64(0)
-	entryBytes := uint64(words*16 + 8)
+	entryBytes := s.entryBytes
 	for i := range bf.Dict.Entries {
 		e := &bf.Dict.Entries[i]
-		m.Load(boltDictBase+dictOff, words*16)
+		m.Load(boltDictBase+dictOff, int(entryBytes))
 		m.Inst(s.costs.BoltPerDictEntry)
 		m.Branch(pcBoltLoop, true)
 		dictOff += entryBytes
@@ -283,16 +311,17 @@ func (s *BoltSim) Predict(x []float32, m *Machine) int {
 		}
 		h1, h2 := bf.Table.SlotIndices(e.ID, addr)
 		probes := bf.Table.ProbesFor(e.ID, addr)
-		m.Load(boltTableBase+h1*24, 24)
+		sb := uint64(s.slotBytes)
+		m.Load(boltTableBase+h1*sb, s.slotBytes)
 		m.Inst(s.costs.BoltPerTableProbe)
 		if probes > 1 {
-			m.Load(boltTableBase+h2*24, 24)
+			m.Load(boltTableBase+h2*sb, s.slotBytes)
 			m.Inst(s.costs.BoltPerTableProbe)
 		}
 		ri, ok := bf.Table.Lookup(e.ID, addr)
 		m.Branch(pcBoltLookup, ok)
 		if ok {
-			m.LoadDep(boltResultBase+uint64(ri)*uint64(bf.NumClasses)*8, bf.NumClasses*8)
+			m.LoadDep(boltResultBase+uint64(ri)*uint64(s.resultBytes), s.resultBytes)
 			if s.costs.BoltVoteWidth > 0 {
 				m.Inst(bf.NumClasses/s.costs.BoltVoteWidth + 1)
 			}

@@ -273,6 +273,7 @@ func TestStatsRoundTrip(t *testing.T) {
 	in := ServerStats{
 		Requests: 7, Errors: 2, InFlight: 1, Workers: 4,
 		CoalescedBatches: 3, CoalescedRequests: 17, CoalescedRows: 21,
+		DictBytes: 4096, TableBytes: 8192, Layout: LayoutCompact,
 	}
 	in.CoalesceSize[5] = 3
 	var op OpStat
@@ -299,6 +300,9 @@ func TestStatsRoundTrip(t *testing.T) {
 	}
 	if got := out.CoalesceMeanRows(); got != 7 {
 		t.Errorf("CoalesceMeanRows = %v, want 7", got)
+	}
+	if out.DictBytes != in.DictBytes || out.TableBytes != in.TableBytes || out.Layout != in.Layout {
+		t.Fatalf("footprint block mismatch: %+v vs %+v", out, in)
 	}
 	// All three batches sit in bucket 5, so every quantile resolves to
 	// its upper edge.

@@ -57,6 +57,15 @@ type ParallelBatchPredictor interface {
 	ParallelKernelWorkers() int
 }
 
+// FootprintReporter is the optional memory-observability extension:
+// engines that know their resident model size report dictionary and
+// table bytes plus the active layout (a Layout* wire byte), and the
+// server surfaces them in OpStats snapshots. Baseline adapters that do
+// not implement it leave the fields zero (LayoutUnknown).
+type FootprintReporter interface {
+	ModelFootprint() (dictBytes, tableBytes uint64, layout byte)
+}
+
 // ReloadFunc rebuilds the serving artifacts from a model path. It
 // returns the new engine factory, the model's feature count and a
 // human-readable checksum of the artifact. An empty path means "the
@@ -206,7 +215,17 @@ func (s *Server) Addr() string { return s.ln.Addr().String() }
 func (s *Server) Workers() int { return s.pool.Load().workers }
 
 // Stats returns a snapshot of the server's request counters.
-func (s *Server) Stats() ServerStats { return s.stats.snapshot(s.Workers()) }
+func (s *Server) Stats() ServerStats { return s.statsFor(s.pool.Load()) }
+
+// statsFor snapshots the counters and stamps in the pool's model
+// footprint when its engines report one.
+func (s *Server) statsFor(p *enginePool) ServerStats {
+	st := s.stats.snapshot(p.workers)
+	if fr, ok := p.rep.(FootprintReporter); ok {
+		st.DictBytes, st.TableBytes, st.Layout = fr.ModelFootprint()
+	}
+	return st
+}
 
 // SetModelChecksum records the checksum OpHealth reports, typically
 // set once at startup and refreshed automatically by Reload.
@@ -387,7 +406,7 @@ func (s *Server) dispatch(r *pendingReply, op byte, payload []byte) {
 	case OpPing:
 		r.complete(StatusOK, nil)
 	case OpStats:
-		r.complete(StatusOK, encodeStats(s.stats.snapshot(p.workers)))
+		r.complete(StatusOK, encodeStats(s.statsFor(p)))
 	case OpHealth:
 		r.complete(StatusOK, encodeHealth(s.Healthz()))
 	case OpReload:

@@ -191,11 +191,42 @@ type ServerStats struct {
 	CoalescedRequests uint64
 	CoalescedRows     uint64
 	CoalesceSize      [HistBuckets]uint64
-	Ops               []OpStat
+	// DictBytes and TableBytes are the resident model footprint of the
+	// engine pool's active memory layout: dictionary bytes and
+	// lookup-table bytes (slots + result store). Layout says which
+	// layout those bytes describe (Layout* constants); LayoutUnknown
+	// means the engine does not report a footprint — a baseline adapter,
+	// or an aggregated router snapshot.
+	DictBytes  uint64
+	TableBytes uint64
+	Layout     byte
+	Ops        []OpStat
 	// Router carries the replicated-tier extension when the snapshot
 	// came from bolt-router (per-backend routing, failover and breaker
 	// counters); nil from a plain bolt-serve.
 	Router *RouterSection
+}
+
+// Model-layout bytes reported in a stats snapshot (distinct from the
+// core package's layout names: these are wire values).
+const (
+	LayoutUnknown = byte(0) // engine reports no footprint
+	LayoutFlat    = byte(1) // uncompressed flat dictionary + 24 B slots
+	LayoutCompact = byte(2) // §5 compressed layout (bit-sized masks, packed values, knee-point results)
+)
+
+// LayoutName renders a layout byte for humans.
+func LayoutName(l byte) string {
+	switch l {
+	case LayoutUnknown:
+		return "unknown"
+	case LayoutFlat:
+		return "flat"
+	case LayoutCompact:
+		return "compact"
+	default:
+		return fmt.Sprintf("unknown(%d)", l)
+	}
 }
 
 // CoalesceMeanRows is the mean rows per coalesced batch.
@@ -290,8 +321,8 @@ func (s ServerStats) CoalesceSizeQuantile(q float64) uint64 {
 // statsHeaderBytes is the fixed prefix of an OpStats payload:
 // requests | errors | panics | reloads | inFlight | workers |
 // coalescedBatches | coalescedRequests | coalescedRows |
-// coalesceSize histogram | numOps.
-const statsHeaderBytes = 8 + 8 + 8 + 8 + 8 + 4 + 8 + 8 + 8 + HistBuckets*8 + 1
+// dictBytes | tableBytes | layout | coalesceSize histogram | numOps.
+const statsHeaderBytes = 8 + 8 + 8 + 8 + 8 + 4 + 8 + 8 + 8 + 8 + 8 + 1 + HistBuckets*8 + 1
 
 // backendStatBytes is the fixed part of one encoded BackendStat:
 // addrLen | state | routed | retried | failures | trips | readmits |
@@ -335,7 +366,10 @@ func encodeStats(st ServerStats) []byte {
 	binary.LittleEndian.PutUint64(buf[44:], st.CoalescedBatches)
 	binary.LittleEndian.PutUint64(buf[52:], st.CoalescedRequests)
 	binary.LittleEndian.PutUint64(buf[60:], st.CoalescedRows)
-	off := 68
+	binary.LittleEndian.PutUint64(buf[68:], st.DictBytes)
+	binary.LittleEndian.PutUint64(buf[76:], st.TableBytes)
+	buf[84] = st.Layout
+	off := 85
 	for _, b := range st.CoalesceSize {
 		binary.LittleEndian.PutUint64(buf[off:], b)
 		off += 8
@@ -409,8 +443,11 @@ func decodeStats(payload []byte) (ServerStats, error) {
 		CoalescedBatches:  binary.LittleEndian.Uint64(payload[44:]),
 		CoalescedRequests: binary.LittleEndian.Uint64(payload[52:]),
 		CoalescedRows:     binary.LittleEndian.Uint64(payload[60:]),
+		DictBytes:         binary.LittleEndian.Uint64(payload[68:]),
+		TableBytes:        binary.LittleEndian.Uint64(payload[76:]),
+		Layout:            payload[84],
 	}
-	off := 68
+	off := 85
 	for b := range st.CoalesceSize {
 		st.CoalesceSize[b] = binary.LittleEndian.Uint64(payload[off:])
 		off += 8

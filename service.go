@@ -28,16 +28,19 @@ var (
 
 // BatchBlockForProfile sizes the batch kernel's block for a target
 // machine: each serving worker gets an even share of the profile's LLC,
-// and the block is chosen so the bitset block, its transpose and the
-// vote accumulators stay resident in that share. Apply the result with
-// a Predictor's scratch via core's SetBatchBlock, or just rely on the
-// built-in default, which targets common per-core L2 sizes.
+// part of that share is reserved for the scan-resident structures of
+// the forest's ACTIVE layout (flat or §5 compact — a compressed
+// dictionary leaves more room, so blocks grow), and the block is chosen
+// so the bitset block, its transpose and the vote accumulators stay
+// resident in the remainder. Apply the result with a Predictor's
+// scratch via core's SetBatchBlock, or just rely on the built-in
+// default, which targets common per-core L2 sizes.
 func BatchBlockForProfile(bf *CompiledForest, prof HardwareProfile) int {
 	cores := prof.Cores
 	if cores < 1 {
 		cores = 1
 	}
-	return core.BatchBlockFor(prof.LLCBytes/cores, bf.Flat.Words(), bf.VoteWidth())
+	return core.BatchBlockForLayout(prof.LLCBytes/cores, bf.ScanBytes(), bf.Flat.Words(), bf.VoteWidth())
 }
 
 // Server is a classification service on a UNIX domain socket (the
@@ -78,6 +81,17 @@ type ServerStats = serve.ServerStats
 
 // OpStat is one op's counters in a ServerStats snapshot.
 type OpStat = serve.OpStat
+
+// Model-layout bytes reported in ServerStats.Layout (wire values,
+// distinct from the Layout* name strings in Footprint.Layout).
+const (
+	StatsLayoutUnknown = serve.LayoutUnknown
+	StatsLayoutFlat    = serve.LayoutFlat
+	StatsLayoutCompact = serve.LayoutCompact
+)
+
+// StatsLayoutName renders a ServerStats.Layout byte for humans.
+func StatsLayoutName(l byte) string { return serve.LayoutName(l) }
 
 // CoalesceConfig tunes the server's request-coalescing stage: small
 // requests from concurrent connections are held up to Hold and served
@@ -173,6 +187,17 @@ func (e *predictorEngine) PredictBatchParallelInto(X [][]float32, out []int) {
 }
 
 func (e *predictorEngine) ParallelKernelWorkers() int { return e.p.ParallelWorkers() }
+
+// ModelFootprint satisfies serve.FootprintReporter: OpStats snapshots
+// report the resident bytes of the forest's active memory layout.
+func (e *predictorEngine) ModelFootprint() (dictBytes, tableBytes uint64, layout byte) {
+	fp := e.p.bf.Footprint()
+	l := serve.LayoutFlat
+	if fp.Layout == core.LayoutCompact {
+		l = serve.LayoutCompact
+	}
+	return uint64(fp.ActiveDictBytes()), uint64(fp.ActiveTableBytes()), l
+}
 
 // DialService connects to a running classification service.
 func DialService(socketPath string) (*ServiceClient, error) { return serve.Dial(socketPath) }
