@@ -1,7 +1,14 @@
 // Command boltvet runs bolt's project-specific static-analysis suite
-// (internal/analysis): hotalloc, atomicengine, opsync and errwrite —
-// the compile-time guards for the zero-allocation kernel, the atomic
-// engine-pool swap and the wire protocol's op set.
+// (internal/analysis): hotalloc, atomicengine, opsync, errwrite,
+// goroutinelife, connguard, faultcover and statuswire — the
+// compile-time guards for the zero-allocation kernel, the atomic
+// engine-pool swap, goroutine lifecycle and connection-deadline
+// discipline, the fault-site registry and the wire codec.
+//
+// Module-wide rules (faultcover's registry audit) need the whole tree
+// with tests in one load; they run on a full `boltvet ./...` with
+// -tests enabled and are skipped on narrower invocations, where the
+// absence of a test reference proves nothing.
 //
 // Standalone, it loads packages like the go tool and analyzes package
 // and test sources together:
@@ -39,7 +46,7 @@ func run(args []string) int {
 	if len(args) > 0 {
 		switch args[0] {
 		case "-V=full", "-V":
-			fmt.Println("boltvet version 1 (bolt project analyzers: hotalloc atomicengine opsync errwrite)")
+			fmt.Println("boltvet version 2 (bolt project analyzers: hotalloc atomicengine opsync errwrite goroutinelife connguard faultcover statuswire)")
 			return 0
 		case "-flags":
 			fmt.Println("[]")
@@ -78,14 +85,29 @@ func run(args []string) int {
 		fmt.Fprintln(os.Stderr, "boltvet:", err)
 		return 1
 	}
-	found := 0
-	seen := map[string]bool{}
+	var all [][]analysis.Diagnostic
 	for _, pkg := range pkgs {
 		diags, err := analysis.RunAnalyzers(pkg, analysis.Analyzers()...)
 		if err != nil {
 			fmt.Fprintln(os.Stderr, "boltvet:", err)
 			return 1
 		}
+		all = append(all, diags)
+	}
+	// Module-wide rules only make sense over a complete, tests-included
+	// load: on a partial load a site with no test reference may simply
+	// have its test outside the loaded set.
+	if *tests && len(patterns) == 1 && patterns[0] == "./..." {
+		diags, err := analysis.RunModuleAnalyzers(pkgs, analysis.Analyzers()...)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "boltvet:", err)
+			return 1
+		}
+		all = append(all, diags)
+	}
+	found := 0
+	seen := map[string]bool{}
+	for _, diags := range all {
 		for _, d := range diags {
 			// A package and its test variant share files; report each
 			// finding once.

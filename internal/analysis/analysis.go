@@ -1,8 +1,8 @@
 // Package analysis is bolt's project-specific static-analysis suite:
 // a small, dependency-free mirror of the golang.org/x/tools/go/analysis
 // vocabulary (Analyzer, Pass, Diagnostic) built directly on go/ast and
-// go/types, plus the four analyzers that guard the invariants Bolt's
-// speedup rests on:
+// go/types, plus the eight analyzers that guard the invariants Bolt's
+// speedup and robustness claims rest on:
 //
 //   - hotalloc: functions annotated //bolt:hotpath must not allocate or
 //     block (the compile-time face of the AllocsPerRun tests in
@@ -12,7 +12,22 @@
 //   - opsync: every Op* protocol constant must be handled by both the
 //     encode- and decode-side switches marked //bolt:ops;
 //   - errwrite: write-side calls (frame/conn writes, model encoders)
-//     must not drop their error.
+//     must not drop their error;
+//   - goroutinelife: every go statement in non-test code must carry a
+//     //bolt:goroutine <owner> annotation naming the WaitGroup, channel
+//     or finalizer that reclaims the goroutine, and the owner must
+//     resolve in scope;
+//   - connguard: non-test functions doing net.Conn I/O must set a
+//     connection deadline themselves or name, via //bolt:deadline, the
+//     function that guarantees one (the static face of the slow-loris
+//     tests);
+//   - faultcover: faults.Inject/Enable arguments must be Site*
+//     constants from the central registry, and (module-wide) every
+//     registered site must be injected in production code and armed by
+//     a test;
+//   - statuswire: //bolt:wire-marked encoder/decoder pairs must exist
+//     for every wire group, agree on the struct fields they touch, and
+//     have every decoder exercised by a Fuzz* round-trip test.
 //
 // The x/tools module is deliberately not imported: the suite must build
 // offline from a bare module cache, so the loader (load.go) drives
@@ -20,10 +35,13 @@
 //
 // False positives are suppressed in place with
 //
-//	//bolt:allow <analyzer>[,<analyzer>...] [reason]
+//	//bolt:allow <analyzer>[,<analyzer>...] <reason>
 //
 // on the offending line or the line directly above it. Suppressions are
-// part of the reviewed source: every one should carry a reason.
+// part of the reviewed source: a suppression without a reason is itself
+// a finding and suppresses nothing, and a suppression that no longer
+// matches any finding is reported as stale so dead allowances cannot
+// accumulate.
 package analysis
 
 import (
@@ -45,6 +63,11 @@ type Analyzer struct {
 	Doc string
 	// Run reports findings on one type-checked package via pass.Report.
 	Run func(*Pass) error
+	// RunModule, when set, additionally checks a cross-package property
+	// over every package of one load (see RunModuleAnalyzers). It only
+	// runs on whole-module loads, never under the per-package vettool
+	// protocol.
+	RunModule func(*ModulePass) error
 }
 
 // A Pass presents one type-checked package to one analyzer.
@@ -78,14 +101,36 @@ func (p *Pass) Report(pos token.Pos, format string, args ...any) {
 	})
 }
 
+// A ModulePass presents every package of one load to one analyzer's
+// RunModule hook, for properties that live across package boundaries
+// (e.g. "every fault site is exercised by some test somewhere").
+type ModulePass struct {
+	Analyzer *Analyzer
+	Packages []*Package
+
+	diags *[]Diagnostic
+}
+
+// Report records a module-level finding at pos within pkg.
+func (p *ModulePass) Report(pkg *Package, pos token.Pos, format string, args ...any) {
+	*p.diags = append(*p.diags, Diagnostic{
+		Pos:      pkg.Fset.Position(pos),
+		Analyzer: p.Analyzer.Name,
+		Message:  fmt.Sprintf(format, args...),
+	})
+}
+
 // Analyzers returns the full suite in stable order.
 func Analyzers() []*Analyzer {
-	return []*Analyzer{HotAlloc, AtomicEngine, OpSync, ErrWrite}
+	return []*Analyzer{HotAlloc, AtomicEngine, OpSync, ErrWrite,
+		GoroutineLife, ConnGuard, FaultCover, StatusWire}
 }
 
 // RunAnalyzers applies the given analyzers to one loaded package and
-// returns the findings that survive //bolt:allow suppression, sorted by
-// position. Analyzer errors (not findings) are returned as an error.
+// returns the findings that survive //bolt:allow suppression — plus the
+// suppression audit's own findings (missing reasons, stale allows) —
+// sorted by position. Analyzer errors (not findings) are returned as an
+// error.
 func RunAnalyzers(pkg *Package, analyzers ...*Analyzer) ([]Diagnostic, error) {
 	var diags []Diagnostic
 	for _, a := range analyzers {
@@ -101,7 +146,37 @@ func RunAnalyzers(pkg *Package, analyzers ...*Analyzer) ([]Diagnostic, error) {
 			return nil, fmt.Errorf("analysis %s on %s: %w", a.Name, pkg.ImportPath, err)
 		}
 	}
-	diags = suppress(pkg, diags)
+	ran := map[string]bool{}
+	for _, a := range analyzers {
+		ran[a.Name] = true
+	}
+	diags = suppress(pkg, diags, ran)
+	sortDiags(diags)
+	return diags, nil
+}
+
+// RunModuleAnalyzers applies the module-wide hook of every analyzer
+// that has one to the full package set of one load. Module findings
+// concern cross-package contracts (a registry out of sync with its
+// users), so they are not //bolt:allow-suppressible — the fix is at the
+// source. Callers must pass a whole-module, tests-included load;
+// partial loads would miss references and report false orphans.
+func RunModuleAnalyzers(pkgs []*Package, analyzers ...*Analyzer) ([]Diagnostic, error) {
+	var diags []Diagnostic
+	for _, a := range analyzers {
+		if a.RunModule == nil {
+			continue
+		}
+		mp := &ModulePass{Analyzer: a, Packages: pkgs, diags: &diags}
+		if err := a.RunModule(mp); err != nil {
+			return nil, fmt.Errorf("module analysis %s: %w", a.Name, err)
+		}
+	}
+	sortDiags(diags)
+	return diags, nil
+}
+
+func sortDiags(diags []Diagnostic) {
 	sort.Slice(diags, func(i, j int) bool {
 		a, b := diags[i], diags[j]
 		if a.Pos.Filename != b.Pos.Filename {
@@ -115,7 +190,6 @@ func RunAnalyzers(pkg *Package, analyzers ...*Analyzer) ([]Diagnostic, error) {
 		}
 		return a.Analyzer < b.Analyzer
 	})
-	return diags, nil
 }
 
 // allowKey identifies one suppressed (file, line, analyzer) site.
@@ -125,53 +199,119 @@ type allowKey struct {
 	analyzer string
 }
 
+// allowEntry is one parsed //bolt:allow comment during suppression.
+type allowEntry struct {
+	pos   token.Position
+	names []string
+	used  bool
+}
+
 // suppress drops diagnostics covered by a //bolt:allow comment on the
-// reported line or the line directly above it.
-func suppress(pkg *Package, diags []Diagnostic) []Diagnostic {
-	allowed := map[allowKey]bool{}
+// reported line or the line directly above it, and audits the
+// suppressions themselves: an allow without a reason is reported and
+// suppresses nothing, and an allow (for analyzers in the current run
+// set) that suppressed nothing is reported as stale. Audit findings
+// carry the pseudo-analyzer name "allow" and are not themselves
+// suppressible.
+func suppress(pkg *Package, diags []Diagnostic, ran map[string]bool) []Diagnostic {
+	var audit []Diagnostic
+	var entries []*allowEntry
+	allowed := map[allowKey]*allowEntry{}
 	for _, f := range pkg.Files {
 		for _, cg := range f.Comments {
 			for _, c := range cg.List {
-				names, ok := parseAllow(c.Text)
+				names, reason, ok := parseAllow(c.Text)
 				if !ok {
 					continue
 				}
 				pos := pkg.Fset.Position(c.Pos())
+				if reason == "" {
+					// A reasonless allow is inert: the finding it meant to
+					// cover stays reported alongside this audit finding.
+					audit = append(audit, Diagnostic{
+						Pos:      pos,
+						Analyzer: "allow",
+						Message: fmt.Sprintf("//bolt:allow %s must carry a reason; reasonless suppressions are ignored",
+							strings.Join(names, ",")),
+					})
+					continue
+				}
+				e := &allowEntry{pos: pos, names: names}
+				entries = append(entries, e)
 				for _, name := range names {
 					// The comment covers its own line (trailing form) and
 					// the line below (standalone form above the statement).
-					allowed[allowKey{pos.Filename, pos.Line, name}] = true
-					allowed[allowKey{pos.Filename, pos.Line + 1, name}] = true
+					allowed[allowKey{pos.Filename, pos.Line, name}] = e
+					allowed[allowKey{pos.Filename, pos.Line + 1, name}] = e
 				}
 			}
 		}
 	}
-	if len(allowed) == 0 {
-		return diags
-	}
 	kept := diags[:0]
 	for _, d := range diags {
-		if allowed[allowKey{d.Pos.Filename, d.Pos.Line, d.Analyzer}] ||
-			allowed[allowKey{d.Pos.Filename, d.Pos.Line, "all"}] {
+		if e := allowed[allowKey{d.Pos.Filename, d.Pos.Line, d.Analyzer}]; e != nil {
+			e.used = true
+			continue
+		}
+		if e := allowed[allowKey{d.Pos.Filename, d.Pos.Line, "all"}]; e != nil {
+			e.used = true
 			continue
 		}
 		kept = append(kept, d)
 	}
-	return kept
+	// Stale-suppression audit, scoped to the analyzers that actually ran
+	// so a single-analyzer run (analysistest, a future -run flag) cannot
+	// call another analyzer's live allow stale.
+	for _, e := range entries {
+		if e.used {
+			continue
+		}
+		auditable := len(ran) > 0
+		for _, name := range e.names {
+			if name != "all" && !ran[name] {
+				auditable = false
+			}
+		}
+		if auditable {
+			audit = append(audit, Diagnostic{
+				Pos:      e.pos,
+				Analyzer: "allow",
+				Message: fmt.Sprintf("unused //bolt:allow %s: it suppresses nothing and should be removed",
+					strings.Join(e.names, ",")),
+			})
+		}
+	}
+	return append(kept, audit...)
 }
 
-// parseAllow extracts the analyzer names from a //bolt:allow comment.
-func parseAllow(text string) ([]string, bool) {
-	const prefix = "//bolt:allow"
+// parseDirective splits a //bolt:<name> directive comment into its name
+// and space-separated arguments. ok is false for comments that are not
+// bolt directives (including `//bolt:` with no attached name).
+func parseDirective(text string) (name string, args []string, ok bool) {
+	const prefix = "//bolt:"
 	if !strings.HasPrefix(text, prefix) {
-		return nil, false
+		return "", nil, false
 	}
-	rest := strings.TrimSpace(strings.TrimPrefix(text, prefix))
-	first, _, _ := strings.Cut(rest, " ")
-	if first == "" {
-		return nil, false
+	rest := strings.TrimPrefix(text, prefix)
+	if i := strings.IndexAny(rest, " \t"); i >= 0 {
+		name, rest = rest[:i], rest[i:]
+	} else {
+		name, rest = rest, ""
 	}
-	return strings.Split(first, ","), true
+	if name == "" {
+		return "", nil, false
+	}
+	return name, strings.Fields(rest), true
+}
+
+// parseAllow extracts the analyzer names and the justification from a
+// //bolt:allow comment.
+func parseAllow(text string) (names []string, reason string, ok bool) {
+	name, args, ok := parseDirective(text)
+	if !ok || name != "allow" || len(args) == 0 {
+		return nil, "", false
+	}
+	return strings.Split(args[0], ","), strings.Join(args[1:], " "), true
 }
 
 // hasPragma reports whether a doc comment group carries the given
@@ -202,6 +342,29 @@ func linePragmas(fset *token.FileSet, f *ast.File) map[int]string {
 		}
 	}
 	return m
+}
+
+// directiveComments maps source lines to the //bolt: directive comment
+// starting there — like linePragmas, but keeping the comment node so
+// analyzers can report at the directive itself.
+func directiveComments(fset *token.FileSet, f *ast.File) map[int]*ast.Comment {
+	m := map[int]*ast.Comment{}
+	for _, cg := range f.Comments {
+		for _, c := range cg.List {
+			if strings.HasPrefix(c.Text, "//bolt:") {
+				m[fset.Position(c.Pos()).Line] = c
+			}
+		}
+	}
+	return m
+}
+
+// isTestFile reports whether pos lies in a _test.go file — the analyzers
+// guarding production-only invariants (goroutinelife, connguard) skip
+// test sources, where ad-hoc goroutines and raw connections are the
+// point.
+func isTestFile(fset *token.FileSet, f *ast.File) bool {
+	return strings.HasSuffix(fset.Position(f.Pos()).Filename, "_test.go")
 }
 
 // WalkStack walks root in depth-first order, calling fn with each node

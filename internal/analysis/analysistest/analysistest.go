@@ -1,9 +1,10 @@
 // Package analysistest verifies bolt's analyzers against golden
 // packages. Sources under testdata/src/<name> carry trailing
-// `// want "regexp"` comments marking the lines where the analyzer
-// must report; Run fails the test on any mismatch in either direction,
-// so deleting an analyzer (or weakening a check) breaks its golden
-// test rather than silently passing.
+// `// want "regexp"` comments (or `/* want "regexp" */` blocks, for
+// lines whose line comment is itself the directive under test) marking
+// the lines where the analyzer must report; Run fails the test on any
+// mismatch in either direction, so deleting an analyzer (or weakening
+// a check) breaks its golden test rather than silently passing.
 package analysistest
 
 import (
@@ -16,8 +17,9 @@ import (
 )
 
 var (
-	wantRe   = regexp.MustCompile(`//\s*want\s+(.*)$`)
-	quotedRe = regexp.MustCompile(`"(?:[^"\\]|\\.)*"`)
+	wantRe      = regexp.MustCompile(`//\s*want\s+(.*)$`)
+	blockWantRe = regexp.MustCompile(`(?s)/\*\s*want\s+(.*?)\*/`)
+	quotedRe    = regexp.MustCompile(`"(?:[^"\\]|\\.)*"`)
 )
 
 type expectation struct {
@@ -25,27 +27,51 @@ type expectation struct {
 	matched bool
 }
 
-// Run loads the golden package at pattern (relative to the test's
+// Run loads the golden packages at patterns (relative to the test's
 // working directory, e.g. ./testdata/src/hotalloc), runs the analyzer
-// on it, and checks the diagnostics against the // want comments.
-func Run(t *testing.T, a *analysis.Analyzer, pattern string) {
+// on each, and checks the diagnostics against the // want comments
+// across the whole load. Analyzers with a module hook additionally run
+// it over the full loaded set, so cross-package goldens (a registry
+// package plus its consumers) verify module-wide findings too.
+func Run(t *testing.T, a *analysis.Analyzer, patterns ...string) {
 	t.Helper()
-	pkgs, err := analysis.Load(analysis.LoadConfig{}, pattern)
+	pkgs, err := analysis.Load(analysis.LoadConfig{}, patterns...)
 	if err != nil {
-		t.Fatalf("loading %s: %v", pattern, err)
+		t.Fatalf("loading %v: %v", patterns, err)
 	}
+
+	wants := map[string][]*expectation{} // "file:line" -> pending patterns
 	for _, pkg := range pkgs {
-		runPackage(t, a, pkg)
+		collectWants(t, pkg, wants)
 	}
+
+	var diags []analysis.Diagnostic
+	for _, pkg := range pkgs {
+		ds, err := analysis.RunAnalyzers(pkg, a)
+		if err != nil {
+			t.Fatalf("running %s on %s: %v", a.Name, pkg.ImportPath, err)
+		}
+		diags = append(diags, ds...)
+	}
+	if a.RunModule != nil {
+		ds, err := analysis.RunModuleAnalyzers(pkgs, a)
+		if err != nil {
+			t.Fatalf("running %s module pass: %v", a.Name, err)
+		}
+		diags = append(diags, ds...)
+	}
+	checkDiags(t, a, diags, wants)
 }
 
-func runPackage(t *testing.T, a *analysis.Analyzer, pkg *analysis.Package) {
+func collectWants(t *testing.T, pkg *analysis.Package, wants map[string][]*expectation) {
 	t.Helper()
-	wants := map[string][]*expectation{} // "file:line" -> pending patterns
 	for _, f := range pkg.Files {
 		for _, cg := range f.Comments {
 			for _, c := range cg.List {
 				m := wantRe.FindStringSubmatch(c.Text)
+				if m == nil {
+					m = blockWantRe.FindStringSubmatch(c.Text)
+				}
 				if m == nil {
 					continue
 				}
@@ -65,11 +91,10 @@ func runPackage(t *testing.T, a *analysis.Analyzer, pkg *analysis.Package) {
 			}
 		}
 	}
+}
 
-	diags, err := analysis.RunAnalyzers(pkg, a)
-	if err != nil {
-		t.Fatalf("running %s on %s: %v", a.Name, pkg.ImportPath, err)
-	}
+func checkDiags(t *testing.T, a *analysis.Analyzer, diags []analysis.Diagnostic, wants map[string][]*expectation) {
+	t.Helper()
 	for _, d := range diags {
 		key := fmt.Sprintf("%s:%d", d.Pos.Filename, d.Pos.Line)
 		matched := false

@@ -1,6 +1,7 @@
 package analysis_test
 
 import (
+	"strings"
 	"testing"
 
 	"bolt/internal/analysis"
@@ -26,4 +27,61 @@ func TestOpSync(t *testing.T) {
 
 func TestErrWrite(t *testing.T) {
 	analysistest.Run(t, analysis.ErrWrite, "./testdata/src/errwrite")
+}
+
+func TestGoroutineLife(t *testing.T) {
+	analysistest.Run(t, analysis.GoroutineLife, "./testdata/src/goroutinelife")
+}
+
+func TestConnGuard(t *testing.T) {
+	analysistest.Run(t, analysis.ConnGuard, "./testdata/src/connguard")
+}
+
+// TestFaultCover loads registry and consumer together so the
+// module-wide audit sees both: the per-package findings land in
+// faultcover, the registry audit findings in faultsites.
+func TestFaultCover(t *testing.T) {
+	analysistest.Run(t, analysis.FaultCover,
+		"./testdata/src/faultsites", "./testdata/src/faultcover")
+}
+
+func TestStatusWire(t *testing.T) {
+	analysistest.Run(t, analysis.StatusWire, "./testdata/src/statuswire")
+}
+
+// TestAllowAudit pins the suppression contract through errwrite: a
+// reasonless allow is inert and reported, a justified allow suppresses
+// silently, a stale allow is reported.
+func TestAllowAudit(t *testing.T) {
+	analysistest.Run(t, analysis.ErrWrite, "./testdata/src/allow")
+}
+
+// TestStatusWireFuzzCoverage checks the fuzz rule on both variants of
+// the statuswirefuzz golden: the library variant (no test files) must
+// stay silent, the test variant must flag exactly the decoder no Fuzz
+// target reaches. Asserted by hand because // want comments cannot
+// distinguish package variants.
+func TestStatusWireFuzzCoverage(t *testing.T) {
+	pkgs, err := analysis.Load(analysis.LoadConfig{Tests: true}, "./testdata/src/statuswirefuzz")
+	if err != nil {
+		t.Fatalf("loading statuswirefuzz: %v", err)
+	}
+	checked := 0
+	for _, pkg := range pkgs {
+		diags, err := analysis.RunAnalyzers(pkg, analysis.StatusWire)
+		if err != nil {
+			t.Fatalf("running statuswire on %s: %v", pkg.ImportPath, err)
+		}
+		if strings.Contains(pkg.ImportPath, " [") {
+			if len(diags) != 1 || !strings.Contains(diags[0].Message, "wire decoder decodeRaw is not exercised by any Fuzz target") {
+				t.Errorf("test variant: want exactly the decodeRaw fuzz finding, got %v", diags)
+			}
+		} else if len(diags) != 0 {
+			t.Errorf("library variant: want no diagnostics, got %v", diags)
+		}
+		checked++
+	}
+	if checked < 2 {
+		t.Fatalf("expected library and test variants, loaded %d package(s)", checked)
+	}
 }

@@ -19,11 +19,7 @@ func TestTreeClean(t *testing.T) {
 		t.Fatalf("loading module: %v", err)
 	}
 	seen := map[string]bool{}
-	for _, pkg := range pkgs {
-		diags, err := analysis.RunAnalyzers(pkg, analysis.Analyzers()...)
-		if err != nil {
-			t.Fatalf("analyzing %s: %v", pkg.ImportPath, err)
-		}
+	report := func(diags []analysis.Diagnostic) {
 		for _, d := range diags {
 			line := d.String()
 			if seen[line] {
@@ -33,4 +29,18 @@ func TestTreeClean(t *testing.T) {
 			t.Errorf("finding: %s", line)
 		}
 	}
+	for _, pkg := range pkgs {
+		diags, err := analysis.RunAnalyzers(pkg, analysis.Analyzers()...)
+		if err != nil {
+			t.Fatalf("analyzing %s: %v", pkg.ImportPath, err)
+		}
+		report(diags)
+	}
+	// The tests-included whole-module load is exactly what the module
+	// rules need; the registry audit runs here too.
+	mdiags, err := analysis.RunModuleAnalyzers(pkgs, analysis.Analyzers()...)
+	if err != nil {
+		t.Fatalf("module analysis: %v", err)
+	}
+	report(mdiags)
 }

@@ -1,0 +1,196 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+)
+
+// ConnGuard is the static face of the slow-loris tests: any non-test
+// function that performs connection I/O — a Read/Write method on a
+// net.Conn, or a frame-level call (readFrame/writeFrame/ReadFrame/
+// WriteFrame/ReadFull/CopyN) while holding a net.Conn — must either
+// contain a SetDeadline/SetReadDeadline/SetWriteDeadline call itself or
+// name its deadline guarantor:
+//
+//	//bolt:deadline <func>
+//
+// on the function's doc comment, where <func> is a function or method
+// in the same package whose body does set a connection deadline (e.g. a
+// Shutdown that nudges every parked reader awake with an expired read
+// deadline). A trickling client can otherwise wedge the handler
+// forever; PR 7 proved the class dynamically, this analyzer stops new
+// unguarded reads from landing at all.
+var ConnGuard = &Analyzer{
+	Name: "connguard",
+	Doc:  "require net.Conn I/O in non-test code to set a deadline or name its //bolt:deadline guarantor",
+	Run:  runConnGuard,
+}
+
+// connIONames are the callee names that move bytes on a connection when
+// the surrounding function holds a net.Conn: the project's frame codec
+// entry points plus the io helpers the drain paths use.
+var connIONames = map[string]bool{
+	"ReadFrame": true, "WriteFrame": true,
+	"readFrame": true, "writeFrame": true,
+	"ReadFull": true, "CopyN": true,
+}
+
+// deadlineNames are the calls that bound connection I/O.
+var deadlineNames = map[string]bool{
+	"SetDeadline": true, "SetReadDeadline": true, "SetWriteDeadline": true,
+}
+
+func runConnGuard(pass *Pass) error {
+	// First pass: which package functions set a deadline themselves?
+	// These are both self-guarded and valid //bolt:deadline guarantors.
+	setsDeadline := map[string]bool{}
+	for _, f := range pass.Files {
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			if containsDeadlineCall(fd.Body) {
+				setsDeadline[fd.Name.Name] = true
+			}
+		}
+	}
+	for _, f := range pass.Files {
+		if isTestFile(pass.Fset, f) {
+			continue
+		}
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			checkConnFunc(pass, fd, setsDeadline)
+		}
+	}
+	return nil
+}
+
+func checkConnFunc(pass *Pass, fd *ast.FuncDecl, setsDeadline map[string]bool) {
+	info := pass.TypesInfo
+	var firstIO ast.Node
+	refsConn := false
+	ast.Inspect(fd, func(n ast.Node) bool {
+		if e, ok := n.(ast.Expr); ok && !refsConn {
+			if t := info.TypeOf(e); t != nil && isNetConn(t) {
+				refsConn = true
+			}
+		}
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		if firstIO == nil && isConnIO(info, call) {
+			firstIO = call
+		}
+		return true
+	})
+	if firstIO == nil || !refsConn {
+		return
+	}
+	if containsDeadlineCall(fd.Body) {
+		return // self-guarded
+	}
+	guarantor, ok := deadlineDirective(fd.Doc)
+	if !ok {
+		pass.Report(firstIO.Pos(),
+			"connection I/O in %s is unbounded: set a read/write deadline here or annotate the function //bolt:deadline <guarantor>",
+			fd.Name.Name)
+		return
+	}
+	base := guarantor
+	if i := strings.LastIndexByte(base, '.'); i >= 0 {
+		base = base[i+1:]
+	}
+	base = strings.TrimSuffix(base, ")")
+	if !setsDeadline[base] {
+		declared := false
+		for _, f := range pass.Files {
+			for _, decl := range f.Decls {
+				if d, ok := decl.(*ast.FuncDecl); ok && d.Name.Name == base {
+					declared = true
+				}
+			}
+		}
+		if !declared {
+			pass.Report(firstIO.Pos(),
+				"//bolt:deadline names %s, which is not a function in this package", guarantor)
+		} else {
+			pass.Report(firstIO.Pos(),
+				"//bolt:deadline names %s, which never sets a connection deadline", guarantor)
+		}
+	}
+}
+
+// deadlineDirective extracts the guarantor named by a //bolt:deadline
+// directive in a function's doc comment.
+func deadlineDirective(doc *ast.CommentGroup) (string, bool) {
+	if doc == nil {
+		return "", false
+	}
+	for _, c := range doc.List {
+		if name, args, ok := parseDirective(c.Text); ok && name == "deadline" && len(args) == 1 {
+			return args[0], true
+		}
+	}
+	return "", false
+}
+
+// isConnIO reports whether a call moves bytes on a connection: a
+// Read/Write method on a net.Conn receiver, or any of the frame-codec
+// and io-helper names in connIONames.
+func isConnIO(info *types.Info, call *ast.CallExpr) bool {
+	switch fun := ast.Unparen(call.Fun).(type) {
+	case *ast.Ident:
+		return connIONames[fun.Name]
+	case *ast.SelectorExpr:
+		if connIONames[fun.Sel.Name] {
+			return true
+		}
+		if fun.Sel.Name != "Read" && fun.Sel.Name != "Write" {
+			return false
+		}
+		recv := info.TypeOf(fun.X)
+		return recv != nil && isNetConn(recv)
+	}
+	return false
+}
+
+// containsDeadlineCall reports whether the node calls any Set*Deadline
+// method.
+func containsDeadlineCall(root ast.Node) bool {
+	found := false
+	ast.Inspect(root, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		if sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr); ok && deadlineNames[sel.Sel.Name] {
+			found = true
+		}
+		return !found
+	})
+	return found
+}
+
+// isNetConn reports whether t (after pointer dereference) is the
+// net.Conn interface or a named net connection type.
+func isNetConn(t types.Type) bool {
+	if p, ok := t.(*types.Pointer); ok {
+		t = p.Elem()
+	}
+	named, ok := t.(*types.Named)
+	if !ok {
+		return false
+	}
+	obj := named.Obj()
+	if obj == nil || obj.Pkg() == nil || obj.Pkg().Path() != "net" {
+		return false
+	}
+	return strings.HasSuffix(obj.Name(), "Conn")
+}

@@ -1,0 +1,270 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/constant"
+	"go/token"
+	"go/types"
+	"sort"
+	"strings"
+)
+
+// FaultCover keeps the fault-injection surface honest against the
+// central site registry (internal/faults/sites.go). Per package, every
+// faults.Inject/Enable/Disable/Fired argument must be a Site* constant
+// from the registry package — scattered string literals are exactly the
+// drift the registry exists to prevent. Module-wide (whole-module loads
+// only), the registry itself is audited: every Site* constant must be
+// listed in Sites(), injected somewhere in non-test code (no orphan
+// sites), and exercised by at least one Enable/Disable/Fired reference
+// or test-side Inject (no untested failure modes). The registry package
+// itself is exempt from the constants-only rule: its own unit tests arm
+// ad-hoc names to test the injection machinery, not the sites.
+var FaultCover = &Analyzer{
+	Name:      "faultcover",
+	Doc:       "require fault-injection calls to use registry Site* constants, and (module-wide) every registered site to be injected and test-exercised",
+	Run:       runFaultCover,
+	RunModule: runFaultCoverModule,
+}
+
+// faultCallNames are the registry entry points whose first argument
+// names a site.
+var faultCallNames = map[string]bool{
+	"Inject": true, "Enable": true, "Disable": true, "Fired": true,
+}
+
+func runFaultCover(pass *Pass) error {
+	self := basePackagePath(pass.Pkg.Path())
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok || len(call.Args) == 0 {
+				return true
+			}
+			obj := calleeObject(pass.TypesInfo, call)
+			fpkg := faultRegistryPackage(obj)
+			// Both paths carry test-variant decorations during a
+			// `pkg [pkg.test]` load; compare the base packages.
+			if fpkg == nil || basePackagePath(fpkg.Path()) == self {
+				return true
+			}
+			arg := ast.Unparen(call.Args[0])
+			if !isSiteConst(pass.TypesInfo, arg, fpkg) {
+				pass.Report(arg.Pos(),
+					"%s argument must be a Site* constant from %s, not an ad-hoc string",
+					obj.Name(), fpkg.Path())
+			}
+			return true
+		})
+	}
+	return nil
+}
+
+// siteConst is one Site* constant in the registry package.
+type siteConst struct {
+	name  string
+	value string
+	pos   token.Pos
+}
+
+func runFaultCoverModule(mp *ModulePass) error {
+	table := findFaultRegistry(mp.Packages)
+	if table == nil {
+		return nil // partial load without the registry: nothing to audit
+	}
+	consts := registrySiteConsts(table)
+	if len(consts) == 0 {
+		return nil
+	}
+	registered := registeredSites(mp, table)
+
+	injected := map[string]bool{}  // Inject in non-test code
+	exercised := map[string]bool{} // Enable/Disable/Fired anywhere, or Inject in a test
+	for _, pkg := range mp.Packages {
+		for _, f := range pkg.Files {
+			inTest := isTestFile(pkg.Fset, f)
+			ast.Inspect(f, func(n ast.Node) bool {
+				call, ok := n.(*ast.CallExpr)
+				if !ok || len(call.Args) == 0 {
+					return true
+				}
+				obj := calleeObject(pkg.Info, call)
+				fpkg := faultRegistryPackage(obj)
+				if fpkg == nil || basePackagePath(fpkg.Path()) != basePackagePath(table.Types.Path()) {
+					return true
+				}
+				tv, ok := pkg.Info.Types[ast.Unparen(call.Args[0])]
+				if !ok || tv.Value == nil || tv.Value.Kind() != constant.String {
+					return true
+				}
+				v := constant.StringVal(tv.Value)
+				if obj.Name() == "Inject" && !inTest {
+					injected[v] = true
+				} else {
+					exercised[v] = true
+				}
+				return true
+			})
+		}
+	}
+
+	sort.Slice(consts, func(i, j int) bool { return consts[i].name < consts[j].name })
+	for _, c := range consts {
+		if !registered[c.value] {
+			mp.Report(table, c.pos, "fault site %s (%q) is not registered in Sites()", c.name, c.value)
+		}
+		if !injected[c.value] {
+			mp.Report(table, c.pos, "fault site %s is never injected in non-test code", c.name)
+		}
+		if !exercised[c.value] {
+			mp.Report(table, c.pos, "fault site %s is never exercised by a test (no Enable/Disable/Fired reference)", c.name)
+		}
+	}
+	return nil
+}
+
+// faultRegistryPackage resolves obj to the fault-registry package it
+// belongs to: a function named like a fault call, declared in a package
+// that also declares the Sites() accessor. Matching on shape rather
+// than a hard-coded import path keeps the analyzer testable against
+// golden registries.
+func faultRegistryPackage(obj types.Object) *types.Package {
+	fn, ok := obj.(*types.Func)
+	if !ok || !faultCallNames[fn.Name()] {
+		return nil
+	}
+	pkg := fn.Pkg()
+	if pkg == nil {
+		return nil
+	}
+	if _, ok := pkg.Scope().Lookup("Sites").(*types.Func); !ok {
+		return nil
+	}
+	return pkg
+}
+
+// findFaultRegistry picks the loaded package that declares the site
+// table, preferring the plain library variant over `pkg [pkg.test]`.
+func findFaultRegistry(pkgs []*Package) *Package {
+	var best *Package
+	for _, p := range pkgs {
+		scope := p.Types.Scope()
+		if _, ok := scope.Lookup("Sites").(*types.Func); !ok {
+			continue
+		}
+		if _, ok := scope.Lookup("Inject").(*types.Func); !ok {
+			continue
+		}
+		if len(registrySiteConsts(p)) == 0 {
+			continue
+		}
+		if best == nil || (strings.Contains(best.ImportPath, " [") && !strings.Contains(p.ImportPath, " [")) {
+			best = p
+		}
+	}
+	return best
+}
+
+// registrySiteConsts collects the Site*-prefixed string constants the
+// registry declares, with their declaration positions for reporting.
+func registrySiteConsts(pkg *Package) []siteConst {
+	var out []siteConst
+	for _, f := range pkg.Files {
+		for _, decl := range f.Decls {
+			gd, ok := decl.(*ast.GenDecl)
+			if !ok || gd.Tok != token.CONST {
+				continue
+			}
+			for _, spec := range gd.Specs {
+				vs, ok := spec.(*ast.ValueSpec)
+				if !ok {
+					continue
+				}
+				for _, name := range vs.Names {
+					if !isSiteName(name.Name) {
+						continue
+					}
+					c, ok := pkg.Info.Defs[name].(*types.Const)
+					if !ok || c.Val().Kind() != constant.String {
+						continue
+					}
+					out = append(out, siteConst{
+						name:  name.Name,
+						value: constant.StringVal(c.Val()),
+						pos:   name.Pos(),
+					})
+				}
+			}
+		}
+	}
+	return out
+}
+
+// registeredSites reads the Sites() table literal: the set of site
+// values it returns. Entries that are not Site* constants are findings
+// — the table must stay a reviewable list of named sites.
+func registeredSites(mp *ModulePass, table *Package) map[string]bool {
+	out := map[string]bool{}
+	for _, f := range table.Files {
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Name.Name != "Sites" || fd.Body == nil {
+				continue
+			}
+			ast.Inspect(fd.Body, func(n ast.Node) bool {
+				cl, ok := n.(*ast.CompositeLit)
+				if !ok {
+					return true
+				}
+				for _, elt := range cl.Elts {
+					id, ok := ast.Unparen(elt).(*ast.Ident)
+					if !ok {
+						mp.Report(table, elt.Pos(), "Sites() entries must be Site* constants")
+						continue
+					}
+					c, ok := table.Info.Uses[id].(*types.Const)
+					if !ok || !isSiteName(c.Name()) || c.Val().Kind() != constant.String {
+						mp.Report(table, elt.Pos(), "Sites() entries must be Site* constants")
+						continue
+					}
+					out[constant.StringVal(c.Val())] = true
+				}
+				return true
+			})
+		}
+	}
+	return out
+}
+
+// isSiteConst reports whether arg names a Site* constant declared in
+// the registry package.
+func isSiteConst(info *types.Info, arg ast.Expr, registry *types.Package) bool {
+	var id *ast.Ident
+	switch e := arg.(type) {
+	case *ast.Ident:
+		id = e
+	case *ast.SelectorExpr:
+		id = e.Sel
+	default:
+		return false
+	}
+	c, ok := info.Uses[id].(*types.Const)
+	return ok && isSiteName(c.Name()) && c.Pkg() == registry
+}
+
+// isSiteName matches the registry convention: Site followed by an
+// exported-looking name (SiteServeConn), excluding the bare "Site".
+func isSiteName(name string) bool {
+	return len(name) > 4 && strings.HasPrefix(name, "Site") &&
+		name[4] >= 'A' && name[4] <= 'Z'
+}
+
+// basePackagePath strips the test-variant decorations from an import
+// path: `pkg [pkg.test]` and the external `pkg_test` package both
+// reduce to pkg.
+func basePackagePath(path string) string {
+	if i := strings.Index(path, " ["); i >= 0 {
+		path = path[:i]
+	}
+	return strings.TrimSuffix(path, "_test")
+}

@@ -1,0 +1,64 @@
+package analysis
+
+import (
+	"strings"
+	"testing"
+)
+
+// FuzzAnnotationParser throws arbitrary comment text at the //bolt:
+// directive parser. The parser fronts every analyzer and runs over
+// every comment in the tree, so it must never panic, and on accepted
+// input its invariants must hold: a non-empty directive name with no
+// whitespace, fields-split arguments, and parseAllow consistent with
+// the raw directive it is built on.
+func FuzzAnnotationParser(f *testing.F) {
+	f.Add("//bolt:goroutine s.wg")
+	f.Add("//bolt:allow errwrite,hotalloc cleanup is best-effort")
+	f.Add("//bolt:allow errwrite")
+	f.Add("//bolt:deadline Shutdown")
+	f.Add("//bolt:wire stats encode")
+	f.Add("//bolt:")
+	f.Add("//bolt: hotpath")
+	f.Add("// plain comment")
+	f.Add("//bolt:allow \t ")
+	f.Add("//bolt:allow a,,b  reason with  spaces")
+
+	f.Fuzz(func(t *testing.T, text string) {
+		name, args, ok := parseDirective(text)
+		if !ok {
+			if name != "" || args != nil {
+				t.Fatalf("rejected directive %q leaked name=%q args=%v", text, name, args)
+			}
+		} else {
+			if name == "" || strings.ContainsAny(name, " \t") {
+				t.Fatalf("parseDirective(%q) accepted bad name %q", text, name)
+			}
+			if !strings.HasPrefix(text, "//bolt:"+name) {
+				t.Fatalf("parseDirective(%q) invented name %q", text, name)
+			}
+			for _, a := range args {
+				if a == "" || strings.ContainsAny(a, " \t") {
+					t.Fatalf("parseDirective(%q) produced bad arg %q in %v", text, a, args)
+				}
+			}
+		}
+
+		names, reason, aok := parseAllow(text)
+		if aok {
+			if !ok || name != "allow" || len(args) == 0 {
+				t.Fatalf("parseAllow(%q) accepted what parseDirective called %q/%v/%v", text, name, args, ok)
+			}
+			if len(names) == 0 {
+				t.Fatalf("parseAllow(%q) returned no analyzer names", text)
+			}
+			if strings.Join(names, ",") != args[0] {
+				t.Fatalf("parseAllow(%q) names %v do not rejoin to %q", text, names, args[0])
+			}
+			if reason != strings.Join(args[1:], " ") {
+				t.Fatalf("parseAllow(%q) reason %q diverges from args %v", text, reason, args)
+			}
+		} else if names != nil || reason != "" {
+			t.Fatalf("rejected allow %q leaked names=%v reason=%q", text, names, reason)
+		}
+	})
+}

@@ -1,0 +1,103 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+)
+
+// GoroutineLife ties every goroutine in non-test code to a documented
+// shutdown path. A `go` statement must carry, on its own line or the
+// line directly above, the annotation
+//
+//	//bolt:goroutine <owner>
+//
+// where <owner> is a dotted expression (s.wg, c.stop, w.wake, wg)
+// naming the WaitGroup, channel or other object whose Wait/Close/
+// finalizer reclaims the goroutine. The annotation is load-bearing in
+// two ways: an unannotated spawn is a finding (someone added
+// concurrency without deciding who joins it), and an owner that does
+// not resolve at the spawn site is a finding too (the shutdown story
+// rotted — the field was renamed or the join moved). Test files are
+// exempt: tests spawn throwaway goroutines by design, and the dynamic
+// twin of this check (faults.VerifyNoLeaks) covers them.
+var GoroutineLife = &Analyzer{
+	Name: "goroutinelife",
+	Doc:  "require //bolt:goroutine <owner> on every go statement in non-test code, with an owner that resolves at the spawn site",
+	Run:  runGoroutineLife,
+}
+
+func runGoroutineLife(pass *Pass) error {
+	for _, f := range pass.Files {
+		if isTestFile(pass.Fset, f) {
+			continue
+		}
+		directives := directiveComments(pass.Fset, f)
+		used := map[int]bool{}
+		ast.Inspect(f, func(n ast.Node) bool {
+			g, ok := n.(*ast.GoStmt)
+			if !ok {
+				return true
+			}
+			line := pass.Fset.Position(g.Pos()).Line
+			var c *ast.Comment
+			var cline int
+			for _, l := range []int{line - 1, line} {
+				if cand, ok := directives[l]; ok {
+					if name, _, _ := parseDirective(cand.Text); name == "goroutine" {
+						c, cline = cand, l
+					}
+				}
+			}
+			if c == nil {
+				pass.Report(g.Pos(), "go statement has no //bolt:goroutine <owner> annotation naming its shutdown path")
+				return true
+			}
+			used[cline] = true
+			_, args, _ := parseDirective(c.Text)
+			if len(args) != 1 {
+				pass.Report(g.Pos(), "malformed //bolt:goroutine: want exactly one <owner> argument, got %d", len(args))
+				return true
+			}
+			checkGoroutineOwner(pass, g, args[0])
+			return true
+		})
+		// A //bolt:goroutine not attached to any go statement is itself
+		// rot: the spawn it documented moved or vanished.
+		for line, c := range directives {
+			if used[line] {
+				continue
+			}
+			if name, _, _ := parseDirective(c.Text); name == "goroutine" {
+				pass.Report(c.Pos(), "//bolt:goroutine directive is not attached to a go statement")
+			}
+		}
+	}
+	return nil
+}
+
+// checkGoroutineOwner resolves the annotation's dotted owner path at
+// the spawn site: the first segment through the innermost scope, each
+// further segment as a field or method of the previous one.
+func checkGoroutineOwner(pass *Pass, g *ast.GoStmt, owner string) {
+	segs := strings.Split(owner, ".")
+	scope := pass.Pkg.Scope().Innermost(g.Pos())
+	if scope == nil {
+		scope = pass.Pkg.Scope()
+	}
+	_, obj := scope.LookupParent(segs[0], g.Pos())
+	if obj == nil {
+		pass.Report(g.Pos(), "//bolt:goroutine owner %s: %s does not resolve at the spawn site", owner, segs[0])
+		return
+	}
+	t := obj.Type()
+	for _, seg := range segs[1:] {
+		field, _, _ := types.LookupFieldOrMethod(t, true, pass.Pkg, seg)
+		if field == nil {
+			pass.Report(g.Pos(), "//bolt:goroutine owner %s: %s has no field or method %s",
+				owner, types.TypeString(t, types.RelativeTo(pass.Pkg)), seg)
+			return
+		}
+		t = field.Type()
+	}
+}

@@ -1,0 +1,226 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/types"
+	"sort"
+	"strings"
+)
+
+// StatusWire audits the hand-rolled wire codec. Encoder/decoder pairs
+// declare themselves with a doc-comment directive:
+//
+//	//bolt:wire <group> encode
+//	//bolt:wire <group> decode
+//
+// and the analyzer enforces three properties per group. First, both
+// roles exist — a lonely encoder means bytes nothing can parse, a
+// lonely decoder means a format nothing produces. Second, field parity:
+// every same-package struct field the encoder touches must also be
+// touched by a decoder in the group, so adding a field to a message and
+// serializing it without teaching the reader is caught at vet time
+// instead of as silent truncation in production. The check is
+// one-directional by design: decoders may touch extra fields (error
+// types they construct on hostile input, defaults they backfill).
+// Third, in passes that include test files, every decoder must be
+// reachable from a Fuzz* target — decoders parse bytes from the
+// network and get hostile-input coverage or they don't ship.
+var StatusWire = &Analyzer{
+	Name: "statuswire",
+	Doc:  "check //bolt:wire encoder/decoder pairs for role completeness, field parity, and fuzz coverage",
+	Run:  runStatusWire,
+}
+
+// wireGroup collects the declarations annotated into one wire group.
+type wireGroup struct {
+	encoders []*ast.FuncDecl
+	decoders []*ast.FuncDecl
+}
+
+func runStatusWire(pass *Pass) error {
+	groups := map[string]*wireGroup{}
+	hasTestFiles := false
+	for _, f := range pass.Files {
+		if isTestFile(pass.Fset, f) {
+			hasTestFiles = true
+		}
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Doc == nil {
+				continue
+			}
+			for _, c := range fd.Doc.List {
+				name, args, ok := parseDirective(c.Text)
+				if !ok || name != "wire" {
+					continue
+				}
+				if len(args) != 2 || (args[1] != "encode" && args[1] != "decode") {
+					pass.Report(c.Pos(), "malformed //bolt:wire: want //bolt:wire <group> encode|decode")
+					continue
+				}
+				g := groups[args[0]]
+				if g == nil {
+					g = &wireGroup{}
+					groups[args[0]] = g
+				}
+				if args[1] == "encode" {
+					g.encoders = append(g.encoders, fd)
+				} else {
+					g.decoders = append(g.decoders, fd)
+				}
+			}
+		}
+	}
+
+	names := make([]string, 0, len(groups))
+	for name := range groups {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+
+	for _, name := range names {
+		g := groups[name]
+		if len(g.decoders) == 0 {
+			for _, fd := range g.encoders {
+				pass.Report(fd.Pos(), "wire group %s has an encoder but no decoder", name)
+			}
+			continue
+		}
+		if len(g.encoders) == 0 {
+			for _, fd := range g.decoders {
+				pass.Report(fd.Pos(), "wire group %s has a decoder but no encoder", name)
+			}
+			continue
+		}
+		enc := wireFields(pass, g.encoders)
+		dec := wireFields(pass, g.decoders)
+		missing := make([]string, 0)
+		for field := range enc {
+			if !dec[field] {
+				missing = append(missing, field)
+			}
+		}
+		sort.Strings(missing)
+		for _, field := range missing {
+			pass.Report(g.encoders[0].Pos(),
+				"wire group %s: encoder touches %s but no decoder in the group does; the field is silently dropped on read",
+				name, field)
+		}
+	}
+
+	if hasTestFiles {
+		refs := fuzzReferencedObjects(pass)
+		for _, name := range names {
+			for _, fd := range groups[name].decoders {
+				obj := pass.TypesInfo.Defs[fd.Name]
+				if obj != nil && !refs[obj] {
+					pass.Report(fd.Pos(),
+						"wire decoder %s is not exercised by any Fuzz target; hostile-input coverage is missing",
+						fd.Name.Name)
+				}
+			}
+		}
+	}
+	return nil
+}
+
+// wireFields walks the given declarations and records every
+// same-package struct field they touch, keyed Type.Field. Selector
+// reads and writes count, as do composite-literal keys; a positional
+// composite literal counts every field of the struct.
+func wireFields(pass *Pass, fns []*ast.FuncDecl) map[string]bool {
+	out := map[string]bool{}
+	info := pass.TypesInfo
+	for _, fd := range fns {
+		ast.Inspect(fd, func(n ast.Node) bool {
+			switch e := n.(type) {
+			case *ast.SelectorExpr:
+				sel := info.Selections[e]
+				if sel == nil || sel.Kind() != types.FieldVal {
+					return true
+				}
+				if named := localNamedStruct(pass, sel.Recv()); named != nil {
+					out[named.Obj().Name()+"."+sel.Obj().Name()] = true
+				}
+			case *ast.CompositeLit:
+				named := localNamedStruct(pass, info.TypeOf(e))
+				if named == nil {
+					return true
+				}
+				st, ok := named.Underlying().(*types.Struct)
+				if !ok {
+					return true
+				}
+				keyed := false
+				for _, elt := range e.Elts {
+					if kv, ok := elt.(*ast.KeyValueExpr); ok {
+						keyed = true
+						if id, ok := kv.Key.(*ast.Ident); ok {
+							out[named.Obj().Name()+"."+id.Name] = true
+						}
+					}
+				}
+				if !keyed && len(e.Elts) > 0 {
+					for i := 0; i < st.NumFields(); i++ {
+						out[named.Obj().Name()+"."+st.Field(i).Name()] = true
+					}
+				}
+			}
+			return true
+		})
+	}
+	return out
+}
+
+// localNamedStruct returns the named struct type behind t (through one
+// pointer) if it is declared in the package under analysis, else nil.
+// Fields of foreign types (time.Time, net.Conn wrappers) are not part
+// of this package's wire surface.
+func localNamedStruct(pass *Pass, t types.Type) *types.Named {
+	if t == nil {
+		return nil
+	}
+	if p, ok := t.(*types.Pointer); ok {
+		t = p.Elem()
+	}
+	named, ok := t.(*types.Named)
+	if !ok {
+		return nil
+	}
+	obj := named.Obj()
+	if obj == nil || obj.Pkg() != pass.Pkg {
+		return nil
+	}
+	if _, ok := named.Underlying().(*types.Struct); !ok {
+		return nil
+	}
+	return named
+}
+
+// fuzzReferencedObjects collects every object referenced from the body
+// of a Fuzz* function in the pass's test files. A decoder handed to
+// f.Fuzz inside a closure still shows up: the closure body is part of
+// the Fuzz function's AST.
+func fuzzReferencedObjects(pass *Pass) map[types.Object]bool {
+	refs := map[types.Object]bool{}
+	for _, f := range pass.Files {
+		if !isTestFile(pass.Fset, f) {
+			continue
+		}
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil || !strings.HasPrefix(fd.Name.Name, "Fuzz") {
+				continue
+			}
+			ast.Inspect(fd.Body, func(n ast.Node) bool {
+				if id, ok := n.(*ast.Ident); ok {
+					if obj := pass.TypesInfo.Uses[id]; obj != nil {
+						refs[obj] = true
+					}
+				}
+				return true
+			})
+		}
+	}
+	return refs
+}

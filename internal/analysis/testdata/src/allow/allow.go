@@ -1,0 +1,26 @@
+// Package allow is the golden corpus for the //bolt:allow audit,
+// exercised through the errwrite analyzer: a reasonless allow is inert
+// and reported, a reasoned allow covering a live finding suppresses it
+// silently, and a reasoned allow covering nothing is reported as stale.
+package allow
+
+import "os"
+
+func reasonless() {
+	/* want "//bolt:allow errwrite must carry a reason; reasonless suppressions are ignored" */ //bolt:allow errwrite
+	os.Remove("a.sock")                                                                         // want "result of Remove"
+}
+
+func justified() {
+	//bolt:allow errwrite socket cleanup is best-effort; the bind below reports the real error
+	os.Remove("b.sock")
+}
+
+func justifiedTrailing() {
+	os.Remove("c.sock") //bolt:allow errwrite socket cleanup is best-effort
+}
+
+func stale() {
+	/* want "unused //bolt:allow errwrite: it suppresses nothing and should be removed" */ //bolt:allow errwrite this suppressed a call that was deleted
+	_ = os.Getpid()
+}

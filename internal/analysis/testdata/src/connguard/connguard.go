@@ -1,0 +1,66 @@
+// Package connguard is the golden corpus for the connguard analyzer:
+// non-test functions that move bytes on a net.Conn must set a deadline
+// in their own body or name a valid //bolt:deadline guarantor.
+package connguard
+
+import (
+	"io"
+	"net"
+	"time"
+)
+
+// readFrame holds connection-I/O shaped calls but only sees an
+// io.Reader: without a net.Conn in scope it is out of the analyzer's
+// blast radius (the caller owns the deadline).
+func readFrame(r io.Reader) ([]byte, error) {
+	buf := make([]byte, 4)
+	_, err := io.ReadFull(r, buf)
+	return buf, err
+}
+
+func selfGuarded(c net.Conn) ([]byte, error) {
+	if err := c.SetReadDeadline(time.Now().Add(time.Second)); err != nil {
+		return nil, err
+	}
+	return readFrame(c)
+}
+
+func unguarded(c net.Conn) ([]byte, error) {
+	return readFrame(c) // want "connection I/O in unguarded is unbounded"
+}
+
+func rawRead(c net.Conn, buf []byte) (int, error) {
+	return c.Read(buf) // want "connection I/O in rawRead is unbounded"
+}
+
+// annotated leans on Shutdown, which nudges every connection with an
+// expired deadline; the directive makes that contract checkable.
+//
+//bolt:deadline Shutdown
+func annotated(c net.Conn) ([]byte, error) {
+	return readFrame(c)
+}
+
+//bolt:deadline missing
+func badGuarantor(c net.Conn) ([]byte, error) {
+	return readFrame(c) // want "names missing, which is not a function in this package"
+}
+
+//bolt:deadline noop
+func weakGuarantor(c net.Conn) ([]byte, error) {
+	return readFrame(c) // want "names noop, which never sets a connection deadline"
+}
+
+func noop() {}
+
+type srv struct {
+	conns []net.Conn
+}
+
+// Shutdown is a valid guarantor: it sets a deadline on every tracked
+// connection.
+func (s *srv) Shutdown() {
+	for _, c := range s.conns {
+		_ = c.SetReadDeadline(time.Unix(0, 0))
+	}
+}

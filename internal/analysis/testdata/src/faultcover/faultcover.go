@@ -1,0 +1,35 @@
+// Package faultcover is the consumer side of the faultcover goldens:
+// fault calls must pass Site* constants from the registry package, and
+// what this package injects/arms determines the module-wide audit
+// findings over in ../faultsites.
+package faultcover
+
+import sites "bolt/internal/analysis/testdata/src/faultsites"
+
+func work() error {
+	if err := sites.Inject(sites.SiteAlpha); err != nil {
+		return err
+	}
+	if err := sites.Inject(sites.SiteBeta); err != nil {
+		return err
+	}
+	if err := sites.Inject(sites.SiteDelta); err != nil {
+		return err
+	}
+	if err := sites.Inject("x/adhoc"); err != nil { // want "Inject argument must be a Site\\* constant"
+		return err
+	}
+	name := "x/alpha"
+	if err := sites.Inject(name); err != nil { // want "Inject argument must be a Site\\* constant"
+		return err
+	}
+	return nil
+}
+
+func arm() {
+	sites.Enable(sites.SiteAlpha)
+	sites.Enable(sites.SiteGamma)
+	sites.Enable(sites.SiteDelta)
+	sites.Disable(sites.SiteAlpha)
+	_ = sites.Fired(sites.SiteAlpha)
+}

@@ -1,0 +1,43 @@
+// Package faultsites is a miniature fault registry for the faultcover
+// goldens: Site* constants, a Sites() table, and the injection entry
+// points, shaped like internal/faults. The module-wide audit findings
+// land on the constant declarations below; the consumer side lives in
+// ../faultcover.
+package faultsites
+
+const (
+	SiteAlpha = "x/alpha"
+	SiteBeta  = "x/beta"  // want "fault site SiteBeta is never exercised by a test"
+	SiteGamma = "x/gamma" // want "fault site SiteGamma is never injected in non-test code"
+	SiteDelta = "x/delta" // want "fault site SiteDelta \\(\"x/delta\"\\) is not registered in Sites"
+)
+
+// Sites returns the registered table. SiteDelta is deliberately
+// absent, and the raw literal is deliberately present.
+func Sites() []string {
+	return []string{
+		SiteAlpha,
+		SiteBeta,
+		SiteGamma,
+		"x/raw", // want "Sites\\(\\) entries must be Site\\* constants"
+	}
+}
+
+var armed = map[string]bool{}
+
+type injected struct{ site string }
+
+func (e *injected) Error() string { return "fault injected at " + e.site }
+
+func Inject(site string) error {
+	if armed[site] {
+		return &injected{site}
+	}
+	return nil
+}
+
+func Enable(site string)  { armed[site] = true }
+func Disable(site string) { delete(armed, site) }
+func Fired(site string) bool {
+	return armed[site]
+}

@@ -1,0 +1,45 @@
+// Package goroutinelife is the golden corpus for the goroutinelife
+// analyzer: every go statement must carry a //bolt:goroutine <owner>
+// annotation whose owner resolves at the spawn site, and every such
+// annotation must sit on a go statement.
+package goroutinelife
+
+import "sync"
+
+type server struct {
+	wg   sync.WaitGroup
+	done chan struct{}
+}
+
+func (s *server) loop() {}
+
+func (s *server) start() {
+	//bolt:goroutine s.wg
+	go s.loop()
+
+	go s.loop() //bolt:goroutine s.done
+
+	go s.loop() // want "go statement has no //bolt:goroutine <owner> annotation"
+
+	//bolt:goroutine s.wg extra
+	go s.loop() // want "malformed //bolt:goroutine: want exactly one <owner> argument, got 2"
+
+	//bolt:goroutine nope
+	go s.loop() // want "owner nope: nope does not resolve at the spawn site"
+
+	//bolt:goroutine s.missing
+	go s.loop() // want "owner s.missing: \\*server has no field or method missing"
+}
+
+func local() {
+	var wg sync.WaitGroup
+	wg.Add(1)
+	//bolt:goroutine wg
+	go func() { wg.Done() }()
+	wg.Wait()
+}
+
+// A directive with no spawn under it is rot: the goroutine it
+// documented moved or was deleted.
+/* want "//bolt:goroutine directive is not attached to a go statement" */ //bolt:goroutine s.wg
+func quiet()                                                              {}

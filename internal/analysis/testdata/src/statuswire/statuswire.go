@@ -1,0 +1,63 @@
+// Package statuswire is the golden corpus for the statuswire analyzer:
+// //bolt:wire groups must have both roles, encoders must not touch
+// struct fields no decoder in the group reads back, and the directive
+// itself must be well-formed. Decoder-only fields (the decodeErr it
+// builds on hostile input) are allowed: the parity check is
+// one-directional.
+package statuswire
+
+import "encoding/binary"
+
+type msg struct {
+	A uint32
+	B uint32
+	C uint32
+}
+
+type decodeErr struct{ n int }
+
+func (e *decodeErr) Error() string { return "statuswire: short message" }
+
+//bolt:wire msg encode
+func encodeMsg(m msg) []byte { // want "wire group msg: encoder touches msg.C but no decoder in the group does"
+	out := make([]byte, 12)
+	binary.BigEndian.PutUint32(out[0:], m.A)
+	binary.BigEndian.PutUint32(out[4:], m.B)
+	binary.BigEndian.PutUint32(out[8:], m.C)
+	return out
+}
+
+//bolt:wire msg decode
+func decodeMsg(b []byte) (msg, error) {
+	if len(b) < 12 {
+		return msg{}, &decodeErr{len(b)}
+	}
+	var m msg
+	m.A = binary.BigEndian.Uint32(b[0:])
+	m.B = binary.BigEndian.Uint32(b[4:])
+	return m, nil
+}
+
+type ping struct{ Seq uint32 }
+
+//bolt:wire ping encode
+func encodePing(p ping) []byte { // want "wire group ping has an encoder but no decoder"
+	out := make([]byte, 4)
+	binary.BigEndian.PutUint32(out, p.Seq)
+	return out
+}
+
+//bolt:wire pong decode
+func decodePong(b []byte) (uint32, error) { // want "wire group pong has a decoder but no encoder"
+	if len(b) < 4 {
+		return 0, &decodeErr{len(b)}
+	}
+	return binary.BigEndian.Uint32(b), nil
+}
+
+/* want "malformed //bolt:wire" */ //bolt:wire bad serialize
+func encodeBad(p ping) []byte {
+	out := make([]byte, 4)
+	binary.BigEndian.PutUint32(out, p.Seq)
+	return out
+}

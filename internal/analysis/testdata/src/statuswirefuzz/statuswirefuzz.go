@@ -1,0 +1,43 @@
+// Package statuswirefuzz is the golden corpus for statuswire's fuzz
+// rule, which only fires on loads that include test files: decodePkt is
+// exercised by FuzzPkt (see the test file), decodeRaw is not. The
+// expectations are asserted manually in analyzers_test.go because the
+// finding exists on the test variant of the package and not the plain
+// library variant.
+package statuswirefuzz
+
+import "encoding/binary"
+
+type pkt struct{ V uint32 }
+
+//bolt:wire pkt encode
+func encodePkt(p pkt) []byte {
+	out := make([]byte, 4)
+	binary.BigEndian.PutUint32(out, p.V)
+	return out
+}
+
+//bolt:wire pkt decode
+func decodePkt(b []byte) (pkt, bool) {
+	if len(b) < 4 {
+		return pkt{}, false
+	}
+	return pkt{V: binary.BigEndian.Uint32(b)}, true
+}
+
+type raw struct{ N uint32 }
+
+//bolt:wire raw encode
+func encodeRaw(r raw) []byte {
+	out := make([]byte, 4)
+	binary.BigEndian.PutUint32(out, r.N)
+	return out
+}
+
+//bolt:wire raw decode
+func decodeRaw(b []byte) (raw, bool) {
+	if len(b) < 4 {
+		return raw{}, false
+	}
+	return raw{N: binary.BigEndian.Uint32(b)}, true
+}

@@ -1,0 +1,20 @@
+package statuswirefuzz
+
+import (
+	"bytes"
+	"testing"
+)
+
+// FuzzPkt covers decodePkt; decodeRaw deliberately has no fuzz target.
+func FuzzPkt(f *testing.F) {
+	f.Add([]byte{0, 0, 0, 7})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		p, ok := decodePkt(data)
+		if !ok {
+			return
+		}
+		if !bytes.Equal(encodePkt(p), data[:4]) {
+			t.Fatal("round trip diverged")
+		}
+	})
+}

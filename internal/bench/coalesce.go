@@ -98,7 +98,7 @@ func coalesceCell(bf *core.Forest, X [][]float32, numFeatures, workers, conns, t
 	start := time.Now()
 	for c := 0; c < conns; c++ {
 		wg.Add(1)
-		go func(c int) {
+		go func(c int) { //bolt:goroutine wg
 			defer wg.Done()
 			cl, err := serve.Dial(sock)
 			if err != nil {

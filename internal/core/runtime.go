@@ -129,7 +129,7 @@ func NewRuntime(bf *Forest, workers int) *Runtime {
 			votes: make([]int64, bf.VoteWidth()),
 		}
 		st.workers[i] = w
-		go st.workerLoop(w)
+		go st.workerLoop(w) //bolt:goroutine w.wake
 	}
 	rt := &Runtime{st}
 	runtime.SetFinalizer(rt, (*Runtime).Close)
@@ -180,7 +180,7 @@ func (st *runtimeState) runTask(w *rtWorker) {
 	// Fault site for resilience tests: arming it with a panic rule kills
 	// every active worker in one task, exercising the dispatcher's
 	// all-worker panic sweep. Disarmed it is one atomic load.
-	if err := faults.Inject("core/runtime-task"); err != nil {
+	if err := faults.Inject(faults.SiteCoreRuntimeTask); err != nil {
 		panic(err)
 	}
 	switch st.mode {

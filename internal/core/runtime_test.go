@@ -315,7 +315,7 @@ func TestRuntimeMultiWorkerPanicSweep(t *testing.T) {
 	defer rt.Close()
 	X := randomInputs(256, d.NumFeatures, 195) // 4 chunks: all 4 workers active
 	votes := make([]int64, len(X)*bf.VoteWidth())
-	faults.Enable("core/runtime-task", faults.Rule{PanicMsg: "injected worker fault"})
+	faults.Enable(faults.SiteCoreRuntimeTask, faults.Rule{PanicMsg: "injected worker fault"})
 	func() {
 		defer func() {
 			if recover() == nil {
@@ -377,13 +377,16 @@ func TestPartitionedFinalizerReleasesRuntime(t *testing.T) {
 		closed := st.closed
 		st.mu.Unlock()
 		if closed {
-			return
+			break
 		}
 		if time.Now().After(deadline) {
 			t.Fatal("dropped PartitionedEngine never released its runtime workers (finalizer unreachable)")
 		}
 		time.Sleep(10 * time.Millisecond)
 	}
+	// closed means the finalizer ran Close; the workers it owned must
+	// actually be gone, not just signalled.
+	faults.VerifyNoLeaks(t)
 }
 
 // TestRuntimeConcurrentDispatch hammers one shared runtime from many

@@ -1,0 +1,103 @@
+package faults
+
+import (
+	"runtime"
+	"strings"
+	"time"
+)
+
+// TB is the slice of testing.TB that VerifyNoLeaks needs. Declaring it
+// locally keeps the testing package out of production binaries while
+// letting *testing.T satisfy it directly.
+type TB interface {
+	Helper()
+	Errorf(format string, args ...any)
+}
+
+// VerifyNoLeaks fails the test if goroutines spawned by the code under
+// test are still alive once it returns. It is the dynamic twin of the
+// goroutinelife analyzer: the analyzer proves every spawn names a
+// shutdown owner, this check proves the owner actually fires. Call it
+// after the component's Close/Shutdown has returned, typically via
+//
+//	defer faults.VerifyNoLeaks(t)
+//
+// placed before the component starts (defers run last-in-first-out, so
+// the check runs after the deferred shutdown). Goroutines are matched
+// by their stack traces; substrings lists extra frame markers to
+// ignore, for suites that share long-lived background helpers.
+// Scheduling is racy by nature — a goroutine can be observed mid-exit —
+// so the check retries for a grace period before declaring a leak.
+func VerifyNoLeaks(t TB, substrings ...string) {
+	t.Helper()
+	deadline := time.Now().Add(2 * time.Second)
+	var leaked []string
+	for {
+		leaked = leakedStacks(substrings)
+		if len(leaked) == 0 {
+			return
+		}
+		if time.Now().After(deadline) {
+			break
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	t.Errorf("%d goroutine(s) leaked past shutdown:\n%s",
+		len(leaked), strings.Join(leaked, "\n\n"))
+}
+
+// leakedStacks snapshots all goroutine stacks and filters out the ones
+// that are not leaks: the current goroutine, the testing runner's own
+// machinery, the runtime's background workers, and anything matching a
+// caller-supplied marker.
+func leakedStacks(substrings []string) []string {
+	buf := make([]byte, 1<<20)
+	for {
+		n := runtime.Stack(buf, true)
+		if n < len(buf) {
+			buf = buf[:n]
+			break
+		}
+		buf = make([]byte, 2*len(buf))
+	}
+	stanzas := strings.Split(string(buf), "\n\n")
+	var leaked []string
+	for i, s := range stanzas {
+		if i == 0 {
+			continue // the goroutine running this check
+		}
+		if !isLeakStack(s, substrings) {
+			continue
+		}
+		leaked = append(leaked, s)
+	}
+	return leaked
+}
+
+// builtinIgnores mark goroutines that belong to the test harness or the
+// runtime rather than the code under test.
+var builtinIgnores = []string{
+	"testing.",
+	"faults.VerifyNoLeaks(",
+	"runtime.goexit0",
+	"runtime/trace",
+	"created by runtime",
+	"os/signal.signal_recv",
+}
+
+func isLeakStack(stanza string, substrings []string) bool {
+	if strings.TrimSpace(stanza) == "" {
+		return false
+	}
+	for _, m := range builtinIgnores {
+		if strings.Contains(stanza, m) {
+			return false
+		}
+	}
+	for _, m := range substrings {
+		if strings.Contains(stanza, m) {
+			return false
+		}
+	}
+	return true
+}

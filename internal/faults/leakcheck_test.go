@@ -1,0 +1,76 @@
+package faults
+
+import (
+	"strings"
+	"testing"
+	"time"
+)
+
+// recorder captures VerifyNoLeaks failures instead of failing the real
+// test.
+type recorder struct {
+	failures []string
+}
+
+func (r *recorder) Helper() {}
+func (r *recorder) Errorf(format string, args ...any) {
+	r.failures = append(r.failures, format)
+}
+
+func TestVerifyNoLeaksCleanAfterShutdown(t *testing.T) {
+	done := make(chan struct{})
+	stop := make(chan struct{})
+	go func() {
+		<-stop
+		close(done)
+	}()
+	close(stop)
+	<-done
+	var r recorder
+	VerifyNoLeaks(&r)
+	if len(r.failures) != 0 {
+		t.Fatalf("clean shutdown reported a leak: %v", r.failures)
+	}
+}
+
+func TestVerifyNoLeaksCatchesStuckGoroutine(t *testing.T) {
+	stop := make(chan struct{})
+	go leakyWorker(stop)
+	var r recorder
+	start := time.Now()
+	VerifyNoLeaks(&r)
+	close(stop)
+	if len(r.failures) == 0 {
+		t.Fatal("stuck goroutine was not reported")
+	}
+	if elapsed := time.Since(start); elapsed < time.Second {
+		t.Fatalf("leak declared after %v; the grace period should retry first", elapsed)
+	}
+}
+
+func TestVerifyNoLeaksIgnoreMarkers(t *testing.T) {
+	stop := make(chan struct{})
+	defer close(stop)
+	go leakyWorker(stop)
+	var r recorder
+	VerifyNoLeaks(&r, "leakyWorker")
+	if len(r.failures) != 0 {
+		t.Fatalf("ignored goroutine still reported: %v", r.failures)
+	}
+}
+
+func leakyWorker(stop chan struct{}) {
+	<-stop
+}
+
+func TestLeakStackFilter(t *testing.T) {
+	if isLeakStack("goroutine 7 [running]:\ntesting.tRunner(...)", nil) {
+		t.Error("testing runner counted as a leak")
+	}
+	if !isLeakStack("goroutine 9 [chan receive]:\nbolt/internal/serve.(*Server).acceptLoop(...)", nil) {
+		t.Error("parked server goroutine not counted as a leak")
+	}
+	if isLeakStack(strings.Repeat("\n", 3), nil) {
+		t.Error("empty stanza counted as a leak")
+	}
+}

@@ -1,0 +1,55 @@
+package faults
+
+// The fault-site registry: every injection point in the tree is named
+// here, once. Production code passes these constants to Inject and
+// tests pass them to Enable/Fired, so the set of failure modes the
+// system claims to survive is a single reviewable table instead of
+// string literals scattered across packages. The faultcover analyzer
+// (internal/analysis) enforces the contract statically: Inject/Enable
+// arguments must be Site* constants, every registered site must be
+// injected somewhere in production code, and every site must be armed
+// by at least one test — no orphan and no untested failure modes.
+const (
+	// SiteServeFactory fires inside engine-pool construction: a model
+	// that fails to build, at startup or during a hot reload.
+	SiteServeFactory = "serve/factory"
+	// SiteServeConn fires at the top of per-request dispatch: a
+	// corrupted or rejected frame on an otherwise healthy connection.
+	SiteServeConn = "serve/conn"
+	// SiteServeEngine fires inside the protected engine call: a worker
+	// that errors or dies mid-inference.
+	SiteServeEngine = "serve/engine"
+	// SiteRouterDial fires before a backend dial: a blackholed replica
+	// or a slow network.
+	SiteRouterDial = "router/dial"
+	// SiteRouterForward fires before a forwarded request is written:
+	// failure with the backend stream still intact (safe to retry).
+	SiteRouterForward = "router/forward"
+	// SiteRouterReply fires after the request was written but before
+	// the reply is read: the mid-reply disconnect, where an idempotent
+	// request may already have executed.
+	SiteRouterReply = "router/reply"
+	// SiteRouterProbe fires in the membership health probe, flapping a
+	// backend's rotation state without touching real sockets.
+	SiteRouterProbe = "router/probe"
+	// SiteCoreRuntimeTask fires inside a runtime pool worker's task,
+	// exercising the dispatcher's all-worker panic sweep.
+	SiteCoreRuntimeTask = "core/runtime-task"
+)
+
+// Sites returns the full fault-site table in declaration order. The
+// faultcover analyzer checks this list against the Site* constants, so
+// adding a site without registering it here (or vice versa) fails the
+// static gate.
+func Sites() []string {
+	return []string{
+		SiteServeFactory,
+		SiteServeConn,
+		SiteServeEngine,
+		SiteRouterDial,
+		SiteRouterForward,
+		SiteRouterReply,
+		SiteRouterProbe,
+		SiteCoreRuntimeTask,
+	}
+}

@@ -111,7 +111,7 @@ func (b *backend) getConn(dialTimeout time.Duration) (*beConn, error) {
 		return bc, nil
 	}
 	b.mu.Unlock()
-	if err := faults.Inject("router/dial"); err != nil {
+	if err := faults.Inject(faults.SiteRouterDial); err != nil {
 		return nil, err
 	}
 	c, err := net.DialTimeout(b.network, b.addr, dialTimeout)
@@ -153,7 +153,7 @@ func (b *backend) closeIdle() {
 // before the reply is read — the mid-reply disconnect case, where an
 // idempotent request may already have executed.
 func (b *backend) roundTrip(op byte, payload []byte, dialTimeout, requestTimeout time.Duration) (status byte, resp []byte, err error) {
-	if err := faults.Inject("router/forward"); err != nil {
+	if err := faults.Inject(faults.SiteRouterForward); err != nil {
 		return 0, nil, err
 	}
 	bc, err := b.getConn(dialTimeout)
@@ -180,7 +180,7 @@ func (b *backend) roundTrip(op byte, payload []byte, dialTimeout, requestTimeout
 	if err := bc.rw.Flush(); err != nil {
 		return 0, nil, err
 	}
-	if err := faults.Inject("router/reply"); err != nil {
+	if err := faults.Inject(faults.SiteRouterReply); err != nil {
 		return 0, nil, err
 	}
 	status, resp, err = serve.ReadFrame(bc.rw)

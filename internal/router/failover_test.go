@@ -7,6 +7,7 @@ import (
 	"testing"
 	"time"
 
+	"bolt/internal/faults"
 	"bolt/internal/serve"
 )
 
@@ -121,4 +122,14 @@ func TestRouterKillRestartStorm(t *testing.T) {
 	}
 	t.Logf("storm: %d requests served, %d retries, %d shed, %d trips, %d readmits",
 		served.Load(), st.Router.Retries, st.Router.Shed, trips, readmits)
+
+	// Tear the tier down in-body (Close is idempotent under the later
+	// t.Cleanup calls) so the leak check can verify that every probe
+	// loop, connection handler and backend goroutine the storm spawned
+	// is joined, not merely signalled.
+	tr.rt.Close()
+	for _, b := range tr.backends {
+		b.Close()
+	}
+	faults.VerifyNoLeaks(t)
 }

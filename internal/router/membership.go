@@ -33,7 +33,7 @@ func (rt *Router) probeLoop(b *backend) {
 // flap membership deterministically without touching real sockets.
 func (rt *Router) probeOnce(b *backend) {
 	var h serve.Health
-	err := faults.Inject("router/probe")
+	err := faults.Inject(faults.SiteRouterProbe)
 	if err == nil {
 		h, err = serve.ProbeHealth(b.network, b.addr, rt.cfg.ProbeTimeout)
 	}

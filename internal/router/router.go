@@ -213,10 +213,10 @@ func New(listen string, cfg Config) (*Router, error) {
 	rt.health.Store(uint32(serve.HealthReady))
 	for _, b := range rt.backends {
 		rt.wg.Add(1)
-		go rt.probeLoop(b)
+		go rt.probeLoop(b) //bolt:goroutine rt.wg
 	}
 	rt.wg.Add(1)
-	go rt.acceptLoop()
+	go rt.acceptLoop() //bolt:goroutine rt.wg
 	return rt, nil
 }
 
@@ -241,9 +241,14 @@ func (rt *Router) acceptLoop() {
 		rt.conns[conn] = struct{}{}
 		rt.mu.Unlock()
 		rt.wg.Add(1)
-		go rt.handle(conn)
+		go rt.handle(conn) //bolt:goroutine rt.wg
 	}
 }
+
+// oversizeDrainTimeout bounds how long a handler will spend draining
+// the payload of a rejected oversized frame. Mirrors the serve-side
+// handler; see there for why the drain must not park forever.
+var oversizeDrainTimeout = 5 * time.Second
 
 // handle serves one client connection in request→reply lockstep: the
 // router's concurrency comes from connections, and a synchronous loop
@@ -277,7 +282,17 @@ func (rt *Router) handle(conn net.Conn) {
 				if !reply(serve.StatusErr, []byte(err.Error())) {
 					return
 				}
-				if _, err := io.CopyN(io.Discard, br, int64(tooBig.N)); err != nil {
+				// Deadline-bound the drain: a trickling client must not
+				// wedge this handler in CopyN, and the re-check below
+				// restores Shutdown's nudge if it landed while the
+				// deadline was ours. Mirrors the serve-side handler.
+				conn.SetReadDeadline(time.Now().Add(oversizeDrainTimeout))
+				_, cerr := io.CopyN(io.Discard, br, int64(tooBig.N))
+				conn.SetReadDeadline(time.Time{})
+				if cerr != nil {
+					return
+				}
+				if rt.draining() {
 					return
 				}
 				continue
@@ -426,7 +441,7 @@ func (rt *Router) Shutdown(ctx context.Context) error {
 		// Sheddable waiters should stop waiting for capacity that the
 		// drain will never grant.
 		signal(rt.capacity)
-		go func() {
+		go func() { //bolt:goroutine rt.drained
 			rt.wg.Wait()
 			for _, b := range rt.backends {
 				b.closeIdle()

@@ -306,7 +306,7 @@ func TestRouterShedsWhenSaturated(t *testing.T) {
 		c.MaxRetries = -1
 	})
 
-	faults.Enable("serve/engine", faults.Rule{Delay: 400 * time.Millisecond, Times: 1})
+	faults.Enable(faults.SiteServeEngine, faults.Rule{Delay: 400 * time.Millisecond, Times: 1})
 	blockerDone := make(chan error, 1)
 	blocker := dialRouter(t, tr)
 	go func() {
@@ -353,7 +353,7 @@ func TestRouterShedsWhenSaturated(t *testing.T) {
 	// A client with a retry policy sees the shed as retryable: start a
 	// fresh slow blocker, then classify with retries and win the slot
 	// once the blocker drains.
-	faults.Enable("serve/engine", faults.Rule{Delay: 100 * time.Millisecond, Times: 1})
+	faults.Enable(faults.SiteServeEngine, faults.Rule{Delay: 100 * time.Millisecond, Times: 1})
 	go func() {
 		_, _, err := blocker.Classify(sample(1))
 		blockerDone <- err
@@ -381,7 +381,7 @@ func TestRouterBreakerProbeFlap(t *testing.T) {
 	probeErr := errors.New("probe blackholed")
 	// Enable the flap before the router exists so the very first probes
 	// fail: three consecutive failures, then probes heal.
-	faults.Enable("router/probe", faults.Rule{Err: probeErr, Times: 3})
+	faults.Enable(faults.SiteRouterProbe, faults.Rule{Err: probeErr, Times: 3})
 	tr := newTier(t, 1, func(c *Config) {
 		c.ProbeInterval = 5 * time.Millisecond
 		c.BreakerThreshold = 3
@@ -406,7 +406,7 @@ func TestRouterBreakerProbeFlap(t *testing.T) {
 	if err != nil || label != 4 {
 		t.Fatalf("classify after re-admission: label=%d err=%v", label, err)
 	}
-	if fired := faults.Fired("router/probe"); fired != 3 {
+	if fired := faults.Fired(faults.SiteRouterProbe); fired != 3 {
 		t.Errorf("probe fault fired %d times, want 3", fired)
 	}
 }
@@ -423,11 +423,11 @@ func TestRouterFailoverOnTransportFaults(t *testing.T) {
 		t.Fatal(err)
 	}
 
-	faults.Enable("router/dial", faults.Rule{Err: errors.New("backend blackholed"), Times: 1})
+	faults.Enable(faults.SiteRouterDial, faults.Rule{Err: errors.New("backend blackholed"), Times: 1})
 	if label, _, err := c.Classify(sample(6)); err != nil || label != 6 {
 		t.Fatalf("failover after dial fault: label=%d err=%v", label, err)
 	}
-	faults.Enable("router/reply", faults.Rule{Err: errors.New("mid-reply disconnect"), Times: 1})
+	faults.Enable(faults.SiteRouterReply, faults.Rule{Err: errors.New("mid-reply disconnect"), Times: 1})
 	if label, _, err := c.Classify(sample(8)); err != nil || label != 8 {
 		t.Fatalf("failover after mid-reply fault: label=%d err=%v", label, err)
 	}
@@ -458,7 +458,7 @@ func TestRouterSlowLorisBackend(t *testing.T) {
 
 	// The stall outlasts RequestTimeout, so attempt 1 times out on the
 	// wire and attempt 2 (fault exhausted) succeeds elsewhere.
-	faults.Enable("serve/engine", faults.Rule{Delay: 300 * time.Millisecond, Times: 1})
+	faults.Enable(faults.SiteServeEngine, faults.Rule{Delay: 300 * time.Millisecond, Times: 1})
 	start := time.Now()
 	label, _, err := c.Classify(sample(5))
 	if err != nil || label != 5 {
@@ -483,7 +483,7 @@ func TestRouterDrain(t *testing.T) {
 		t.Fatal(err)
 	}
 
-	faults.Enable("serve/engine", faults.Rule{Delay: 150 * time.Millisecond, Times: 1})
+	faults.Enable(faults.SiteServeEngine, faults.Rule{Delay: 150 * time.Millisecond, Times: 1})
 	inFlight := make(chan error, 1)
 	go func() {
 		label, _, err := c.Classify(sample(3))
@@ -516,7 +516,7 @@ func TestRouterPanicIsolated(t *testing.T) {
 	tr := newTier(t, 1, func(c *Config) { c.MaxRetries = -1 })
 	c := dialRouter(t, tr)
 
-	faults.Enable("router/forward", faults.Rule{PanicMsg: "routing exploded", Times: 1})
+	faults.Enable(faults.SiteRouterForward, faults.Rule{PanicMsg: "routing exploded", Times: 1})
 	if _, _, err := c.Classify(sample(1)); err == nil || !strings.Contains(err.Error(), "panicked") {
 		t.Fatalf("panicking route returned %v, want panic StatusErr", err)
 	}

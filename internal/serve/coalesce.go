@@ -109,7 +109,7 @@ func (s *Server) newConnWriter(conn net.Conn) *connWriter {
 		done: make(chan struct{}),
 	}
 	s.wg.Add(1)
-	go w.run()
+	go w.run() //bolt:goroutine s.wg
 	return w
 }
 
@@ -132,6 +132,12 @@ func (w *connWriter) finish() {
 	<-w.done
 }
 
+// run writes completed replies to the wire in submission order. Writes
+// here carry no per-call deadline; Shutdown bounds them by nudging
+// every tracked connection with an expired deadline, which surfaces in
+// the next Write and flips the writer into discard mode.
+//
+//bolt:deadline Shutdown
 func (w *connWriter) run() {
 	defer w.s.wg.Done()
 	defer close(w.done)
@@ -214,7 +220,7 @@ func newCoalescer(s *Server) *coalescer {
 	}
 	c.holdNs.Store(int64(DefaultCoalesceHold))
 	c.maxRows.Store(DefaultCoalesceMaxRows)
-	go c.run()
+	go c.run() //bolt:goroutine c.stop
 	return c
 }
 
@@ -366,7 +372,7 @@ func (c *coalescer) flush() {
 		}
 		group := reqs[:n:n]
 		reqs = reqs[n:]
-		go c.serveGroup(p, group, rows)
+		go c.serveGroup(p, group, rows) //bolt:goroutine c.s.wg
 	}
 }
 

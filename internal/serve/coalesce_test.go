@@ -10,6 +10,7 @@ import (
 
 	"bolt/internal/core"
 	"bolt/internal/dataset"
+	"bolt/internal/faults"
 	"bolt/internal/forest"
 	"bolt/internal/tree"
 )
@@ -242,6 +243,10 @@ func TestCoalesceSubBatchJoins(t *testing.T) {
 // Shutdown begins must flush and answer, never drop.
 func TestCoalesceFlushOnShutdown(t *testing.T) {
 	srv, eng, bf, d, sock := newGateServer(t)
+	// After the graceful drain below, every handler, flusher and
+	// serveGroup goroutine must be joined — flushing the parked
+	// requests is not enough.
+	defer faults.VerifyNoLeaks(t)
 	srv.SetCoalescing(CoalesceConfig{Hold: time.Hour, MaxRows: 256}) // only drain may flush
 	waitBlocker := pinEngine(t, eng, bf, d, sock)
 

@@ -41,7 +41,7 @@ func TestEnginePanicIsolated(t *testing.T) {
 	}
 	defer c.Close()
 
-	faults.Enable("serve/engine", faults.Rule{PanicMsg: "worker killed", Times: 1})
+	faults.Enable(faults.SiteServeEngine, faults.Rule{PanicMsg: "worker killed", Times: 1})
 	if _, _, err := c.Classify([]float32{1, 2, 3}); err == nil {
 		t.Fatal("request served by a panicking worker succeeded")
 	}
@@ -54,8 +54,8 @@ func TestEnginePanicIsolated(t *testing.T) {
 	if st.Panics != 1 {
 		t.Errorf("Panics = %d, want 1", st.Panics)
 	}
-	if faults.Fired("serve/engine") != 1 {
-		t.Errorf("fault fired %d times, want 1", faults.Fired("serve/engine"))
+	if faults.Fired(faults.SiteServeEngine) != 1 {
+		t.Errorf("fault fired %d times, want 1", faults.Fired(faults.SiteServeEngine))
 	}
 }
 
@@ -80,7 +80,7 @@ func TestWorkerPanicMidBatch(t *testing.T) {
 	for i := range X {
 		X[i] = []float32{float32(i), 1}
 	}
-	faults.Enable("serve/engine", faults.Rule{PanicMsg: "shard died", Times: 1})
+	faults.Enable(faults.SiteServeEngine, faults.Rule{PanicMsg: "shard died", Times: 1})
 	if _, _, err := c.ClassifyBatch(X); err == nil {
 		t.Fatal("batch with a killed shard worker succeeded")
 	}
@@ -114,7 +114,7 @@ func TestConnFaultKeepsConnection(t *testing.T) {
 	}
 	defer c.Close()
 
-	faults.Enable("serve/conn", faults.Rule{Err: errors.New("injected frame corruption"), Times: 1})
+	faults.Enable(faults.SiteServeConn, faults.Rule{Err: errors.New("injected frame corruption"), Times: 1})
 	if _, _, err := c.Classify([]float32{1, 2, 3}); err == nil {
 		t.Fatal("faulted request succeeded")
 	}
@@ -140,7 +140,7 @@ func TestConnPanicIsolated(t *testing.T) {
 	}
 	defer c.Close()
 
-	faults.Enable("serve/conn", faults.Rule{PanicMsg: "dispatch blew up", Times: 1})
+	faults.Enable(faults.SiteServeConn, faults.Rule{PanicMsg: "dispatch blew up", Times: 1})
 	if _, _, err := c.Classify([]float32{1, 2, 3}); err == nil {
 		t.Fatal("panicking dispatch succeeded")
 	}
@@ -251,7 +251,7 @@ func TestReloadFactoryFaultKeepsOldPool(t *testing.T) {
 		return constFactory(6), 3, "crc32:next", nil
 	})
 
-	faults.Enable("serve/factory", faults.Rule{Err: errors.New("injected build failure"), Times: 1})
+	faults.Enable(faults.SiteServeFactory, faults.Rule{Err: errors.New("injected build failure"), Times: 1})
 	if err := srv.Reload(""); err == nil {
 		t.Fatal("reload with failing factory succeeded")
 	}

@@ -112,3 +112,49 @@ func FuzzDecodeBatchRequest(f *testing.F) {
 		}
 	})
 }
+
+// FuzzDecodeResponses throws arbitrary payloads at the remaining
+// response-side decoders — floats, classify, value, batch response and
+// counts — completing hostile-input coverage of the wire surface (the
+// statuswire analyzer enforces that every //bolt:wire decoder appears
+// in some fuzz target). None may panic, and every accepted payload
+// must survive a decode→encode round trip bit-exactly: each format is
+// a fixed-layout little-endian record, so re-encoding what was decoded
+// must reproduce the input.
+func FuzzDecodeResponses(f *testing.F) {
+	f.Add([]byte{})
+	f.Add(encodeFloats([]float32{1.5, -2.25}))
+	f.Add(encodeClassifyResponse(7, 42))
+	f.Add(encodeValueResponse(3.5, 99))
+	f.Add(encodeBatchResponse([]int{1, 2, 3}, 1000))
+	f.Add(encodeCounts([]int{0, 5, 0, 9}))
+	f.Add([]byte{1, 2, 3}) // misaligned for every decoder
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		if x, err := decodeFloats(data); err == nil {
+			if !bytes.Equal(encodeFloats(x), data) {
+				t.Fatal("floats round trip diverged")
+			}
+		}
+		if label, ns, err := decodeClassifyResponse(data); err == nil {
+			if !bytes.Equal(encodeClassifyResponse(label, ns), data) {
+				t.Fatal("classify response round trip diverged")
+			}
+		}
+		if v, ns, err := decodeValueResponse(data); err == nil {
+			if !bytes.Equal(encodeValueResponse(v, ns), data) {
+				t.Fatal("value response round trip diverged")
+			}
+		}
+		if labels, ns, err := decodeBatchResponse(data); err == nil {
+			if !bytes.Equal(encodeBatchResponse(labels, ns), data) {
+				t.Fatal("batch response round trip diverged")
+			}
+		}
+		if counts, err := decodeCounts(data); err == nil {
+			if !bytes.Equal(encodeCounts(counts), data) {
+				t.Fatal("counts round trip diverged")
+			}
+		}
+	})
+}

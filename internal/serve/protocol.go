@@ -72,6 +72,8 @@ type Health struct {
 }
 
 // encodeHealth packs state | workers | reloads | checksum bytes.
+//
+//bolt:wire health encode
 func encodeHealth(h Health) []byte {
 	buf := make([]byte, 13+len(h.ModelChecksum))
 	buf[0] = h.State
@@ -81,6 +83,7 @@ func encodeHealth(h Health) []byte {
 	return buf
 }
 
+//bolt:wire health decode
 func decodeHealth(payload []byte) (Health, error) {
 	if len(payload) < 13 {
 		return Health{}, fmt.Errorf("serve: health payload of %d bytes truncated", len(payload))
@@ -111,6 +114,8 @@ const (
 const MaxFrameBytes = 8 << 20
 
 // writeFrame writes op | len(payload) | payload.
+//
+//bolt:wire frame encode
 func writeFrame(w io.Writer, op byte, payload []byte) error {
 	var hdr [5]byte
 	hdr[0] = op
@@ -133,6 +138,8 @@ func (e *FrameTooLargeError) Error() string {
 }
 
 // readFrame reads one frame, enforcing the size bound.
+//
+//bolt:wire frame decode
 func readFrame(r io.Reader) (op byte, payload []byte, err error) {
 	var hdr [5]byte
 	if _, err := io.ReadFull(r, hdr[:]); err != nil {
@@ -169,6 +176,8 @@ func EncodeHealth(h Health) []byte { return encodeHealth(h) }
 func DecodeHealth(payload []byte) (Health, error) { return decodeHealth(payload) }
 
 // encodeFloats packs a feature vector.
+//
+//bolt:wire floats encode
 func encodeFloats(x []float32) []byte {
 	buf := make([]byte, len(x)*4)
 	for i, v := range x {
@@ -178,6 +187,8 @@ func encodeFloats(x []float32) []byte {
 }
 
 // decodeFloats unpacks a feature vector.
+//
+//bolt:wire floats decode
 func decodeFloats(payload []byte) ([]float32, error) {
 	if len(payload)%4 != 0 {
 		return nil, fmt.Errorf("serve: feature payload of %d bytes is not float32-aligned", len(payload))
@@ -190,6 +201,8 @@ func decodeFloats(payload []byte) ([]float32, error) {
 }
 
 // encodeClassifyResponse packs label | serviceNs.
+//
+//bolt:wire classifyresp encode
 func encodeClassifyResponse(label int, serviceNs uint64) []byte {
 	buf := make([]byte, 12)
 	binary.LittleEndian.PutUint32(buf, uint32(label))
@@ -197,6 +210,7 @@ func encodeClassifyResponse(label int, serviceNs uint64) []byte {
 	return buf
 }
 
+//bolt:wire classifyresp decode
 func decodeClassifyResponse(payload []byte) (label int, serviceNs uint64, err error) {
 	if len(payload) != 12 {
 		return 0, 0, fmt.Errorf("serve: classify response of %d bytes, want 12", len(payload))
@@ -205,6 +219,8 @@ func decodeClassifyResponse(payload []byte) (label int, serviceNs uint64, err er
 }
 
 // encodeValueResponse packs value | serviceNs.
+//
+//bolt:wire valueresp encode
 func encodeValueResponse(value float32, serviceNs uint64) []byte {
 	buf := make([]byte, 12)
 	binary.LittleEndian.PutUint32(buf, math.Float32bits(value))
@@ -212,6 +228,7 @@ func encodeValueResponse(value float32, serviceNs uint64) []byte {
 	return buf
 }
 
+//bolt:wire valueresp decode
 func decodeValueResponse(payload []byte) (value float32, serviceNs uint64, err error) {
 	if len(payload) != 12 {
 		return 0, 0, fmt.Errorf("serve: value response of %d bytes, want 12", len(payload))
@@ -220,6 +237,8 @@ func decodeValueResponse(payload []byte) (value float32, serviceNs uint64, err e
 }
 
 // encodeBatchRequest packs count | count×features float32 rows.
+//
+//bolt:wire batchreq encode
 func encodeBatchRequest(X [][]float32) []byte {
 	if len(X) == 0 {
 		return []byte{0, 0, 0, 0}
@@ -238,6 +257,8 @@ func encodeBatchRequest(X [][]float32) []byte {
 }
 
 // decodeBatchRequest unpacks a batch into rows of rowLen features.
+//
+//bolt:wire batchreq decode
 func decodeBatchRequest(payload []byte, rowLen int) ([][]float32, error) {
 	if len(payload) < 4 {
 		return nil, fmt.Errorf("serve: batch request of %d bytes lacks a count", len(payload))
@@ -262,6 +283,8 @@ func decodeBatchRequest(payload []byte, rowLen int) ([][]float32, error) {
 }
 
 // encodeBatchResponse packs serviceNs | count×u32 labels.
+//
+//bolt:wire batchresp encode
 func encodeBatchResponse(labels []int, serviceNs uint64) []byte {
 	buf := make([]byte, 8+len(labels)*4)
 	binary.LittleEndian.PutUint64(buf, serviceNs)
@@ -271,6 +294,7 @@ func encodeBatchResponse(labels []int, serviceNs uint64) []byte {
 	return buf
 }
 
+//bolt:wire batchresp decode
 func decodeBatchResponse(payload []byte) (labels []int, serviceNs uint64, err error) {
 	if len(payload) < 8 || (len(payload)-8)%4 != 0 {
 		return nil, 0, fmt.Errorf("serve: batch response of %d bytes misshapen", len(payload))
@@ -284,6 +308,8 @@ func decodeBatchResponse(payload []byte) (labels []int, serviceNs uint64, err er
 }
 
 // encodeCounts packs a salience vector.
+//
+//bolt:wire counts encode
 func encodeCounts(counts []int) []byte {
 	buf := make([]byte, len(counts)*4)
 	for i, c := range counts {
@@ -292,6 +318,7 @@ func encodeCounts(counts []int) []byte {
 	return buf
 }
 
+//bolt:wire counts decode
 func decodeCounts(payload []byte) ([]int, error) {
 	if len(payload)%4 != 0 {
 		return nil, fmt.Errorf("serve: counts payload of %d bytes misaligned", len(payload))

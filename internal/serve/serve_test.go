@@ -10,6 +10,7 @@ import (
 
 	"bolt/internal/core"
 	"bolt/internal/dataset"
+	"bolt/internal/faults"
 	"bolt/internal/forest"
 	"bolt/internal/tree"
 )
@@ -201,6 +202,9 @@ func TestConcurrentClients(t *testing.T) {
 
 func TestServerCloseUnblocksClients(t *testing.T) {
 	srv, _, d, sock := newTestServer(t)
+	// Runs after the deferred client close: Close must join every
+	// handler and writer goroutine, not just unblock the clients.
+	defer faults.VerifyNoLeaks(t)
 	c, err := Dial(sock)
 	if err != nil {
 		t.Fatal(err)

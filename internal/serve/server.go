@@ -96,7 +96,7 @@ func newEnginePool(factory EngineFactory, numFeatures, workers int) (*enginePool
 	if workers < 1 {
 		return nil, fmt.Errorf("serve: invalid worker count %d", workers)
 	}
-	if err := faults.Inject("serve/factory"); err != nil {
+	if err := faults.Inject(faults.SiteServeFactory); err != nil {
 		return nil, err
 	}
 	p := &enginePool{
@@ -196,7 +196,7 @@ func NewPool(socketPath string, factory EngineFactory, numFeatures, workers int)
 	s.health.Store(uint32(HealthReady))
 	s.co = newCoalescer(s)
 	s.wg.Add(1)
-	go s.acceptLoop()
+	go s.acceptLoop() //bolt:goroutine s.wg
 	return s, nil
 }
 
@@ -310,11 +310,16 @@ func (s *Server) acceptLoop() {
 		s.conns[conn] = struct{}{}
 		s.mu.Unlock()
 		s.wg.Add(1)
-		go s.handle(conn)
+		go s.handle(conn) //bolt:goroutine s.wg
 	}
 }
 
 func (s *Server) draining() bool { return s.health.Load() == uint32(HealthDraining) }
+
+// oversizeDrainTimeout bounds how long a handler will spend draining
+// the payload of a rejected oversized frame. A variable, not a const,
+// so the slow-loris test can tighten it.
+var oversizeDrainTimeout = 5 * time.Second
 
 func (s *Server) handle(conn net.Conn) {
 	defer s.wg.Done()
@@ -339,7 +344,22 @@ func (s *Server) handle(conn net.Conn) {
 				s.stats.errors.Add(1)
 				s.stats.op(op).errors.Add(1)
 				w.submitRaw(op, StatusErr, []byte(err.Error()))
-				if _, err := io.CopyN(io.Discard, conn, int64(tooBig.N)); err != nil {
+				// The drain must be deadline-bounded: a client that
+				// declares an oversized frame and then trickles bytes
+				// (or goes silent) would otherwise park this handler
+				// in CopyN forever — the one read on this connection
+				// that Shutdown's expired-deadline nudge cannot reach
+				// if it starts after the nudge.
+				conn.SetReadDeadline(time.Now().Add(oversizeDrainTimeout))
+				_, cerr := io.CopyN(io.Discard, conn, int64(tooBig.N))
+				conn.SetReadDeadline(time.Time{})
+				if cerr != nil {
+					return
+				}
+				if s.draining() {
+					// Clearing the deadline above may have erased the
+					// shutdown nudge; re-check before parking in the
+					// next readFrame.
 					return
 				}
 				continue
@@ -383,7 +403,7 @@ func (s *Server) serveRequest(w *connWriter, op byte, payload []byte) {
 			r.complete(StatusErr, []byte(fmt.Sprintf("serve: request handler panicked: %v", rec)))
 		}
 	}()
-	if ferr := faults.Inject("serve/conn"); ferr != nil {
+	if ferr := faults.Inject(faults.SiteServeConn); ferr != nil {
 		r.complete(StatusErr, []byte(ferr.Error()))
 		return
 	}
@@ -513,7 +533,7 @@ func (s *Server) runProtected(fn func()) (err error) {
 			err = fmt.Errorf("serve: engine rejected request: %v", r)
 		}
 	}()
-	if err := faults.Inject("serve/engine"); err != nil {
+	if err := faults.Inject(faults.SiteServeEngine); err != nil {
 		return err
 	}
 	fn()
@@ -564,7 +584,7 @@ func (s *Server) predictBatch(p *enginePool, X [][]float32) ([]int, error) {
 			hi = len(X)
 		}
 		wg.Add(1)
-		go func(sh, lo, hi int) {
+		go func(sh, lo, hi int) { //bolt:goroutine wg
 			defer wg.Done()
 			errs[sh] = s.withEngine(p, func(e Engine) {
 				runBatch(e, X[lo:hi], labels[lo:hi])
@@ -678,7 +698,7 @@ func (s *Server) Shutdown(ctx context.Context) error {
 		// the hold immediately (submits that land after this see the
 		// draining state and kick again themselves).
 		s.co.kick()
-		go func() {
+		go func() { //bolt:goroutine s.drained
 			s.wg.Wait()
 			// All readers and writers are gone, so nothing can park or
 			// await another reply; retire the flusher.

@@ -340,6 +340,8 @@ const routerSectionBytes = 8 + 8 + 1
 // readmits | inFlight; addresses are truncated to 255 bytes on the
 // wire. Snapshots without a section (every plain bolt-serve) end at
 // the ops, so the v2 payload shape is unchanged.
+//
+//bolt:wire stats encode
 func encodeStats(st ServerStats) []byte {
 	const opBytes = 1 + 8 + 8 + 8 + HistBuckets*8
 	var backends []BackendStat
@@ -428,6 +430,8 @@ func EncodeStats(st ServerStats) []byte { return encodeStats(st) }
 func DecodeStats(payload []byte) (ServerStats, error) { return decodeStats(payload) }
 
 // decodeStats unpacks an OpStats response payload.
+//
+//bolt:wire stats decode
 func decodeStats(payload []byte) (ServerStats, error) {
 	const opBytes = 1 + 8 + 8 + 8 + HistBuckets*8
 	if len(payload) < statsHeaderBytes {
