@@ -89,6 +89,34 @@ type PartitionedEngine = core.PartitionedEngine
 // shared by several Predictors (e.g. one per serving pool worker).
 type Runtime = core.Runtime
 
+// TierStats counts staged-kernel outcomes: how many samples the tier-0
+// prefix answered and how many escalated to the full ensemble. The
+// tiered batch methods accumulate into it across calls.
+type TierStats = core.TierStats
+
+// TierConfig selects the escalation policy for a Predictor's tiered
+// batch methods. Margin is the vote-lead threshold: a sample whose
+// tier-0 leading class beats the runner-up by more than Margin is
+// answered without scanning the remaining trees. A negative Margin
+// selects exact mode — the threshold becomes the total weight of the
+// tier-1 trees (CompiledForest.ExactTierMargin), the one bound that
+// provably cannot flip the argmax, so predictions stay bit-identical
+// to the monolithic kernel. A Margin in [0, ExactTierMargin) trades a
+// bounded accuracy loss for a higher tier-0 answer rate; fit one with
+// CalibrateTier.
+type TierConfig struct {
+	Margin int64
+}
+
+// CalibrateTier fits a calibrated escalation margin on a holdout set:
+// the largest threshold whose label divergence from the monolithic
+// kernel stays within maxLoss (a fraction of len(X)). Store the result
+// on the model with CompiledForest.SetTierMargin before encoding, or
+// apply it per predictor with SetTier.
+func CalibrateTier(bf *CompiledForest, X [][]float32, maxLoss float64) (int64, error) {
+	return core.CalibrateTier(bf, X, maxLoss)
+}
+
 // Train fits a random forest on d by bootstrap aggregation.
 func Train(d *Dataset, cfg ForestConfig) *Forest { return forest.Train(d, cfg) }
 
@@ -151,11 +179,16 @@ type Predictor struct {
 	bf *core.Forest
 	s  *core.Scratch
 	rt *core.Runtime
+	// tierMargin is the escalation threshold the tiered batch methods
+	// use; initialised from the model's stored policy (a calibrated
+	// threshold if one was serialized, exact mode otherwise) and
+	// overridden with SetTier.
+	tierMargin int64
 }
 
 // NewPredictor returns a single-goroutine predictor over bf.
 func NewPredictor(bf *CompiledForest) *Predictor {
-	return &Predictor{bf: bf, s: bf.NewScratch()}
+	return &Predictor{bf: bf, s: bf.NewScratch(), tierMargin: bf.TierMargin}
 }
 
 // NewParallelPredictor returns a predictor whose batch methods can
@@ -169,7 +202,7 @@ func NewParallelPredictor(bf *CompiledForest, workers int) *Predictor {
 // parallel batch methods onto rt, which may be shared with other
 // predictors over the same compiled forest.
 func NewPredictorWithRuntime(bf *CompiledForest, rt *Runtime) *Predictor {
-	return &Predictor{bf: bf, s: bf.NewScratch(), rt: rt}
+	return &Predictor{bf: bf, s: bf.NewScratch(), rt: rt, tierMargin: bf.TierMargin}
 }
 
 // Predict classifies one sample.
@@ -226,6 +259,65 @@ func (p *Predictor) VotesBatchParallel(X [][]float32, votes []int64) {
 		return
 	}
 	p.bf.VotesBatchParallel(X, p.rt, votes)
+}
+
+// Tiered reports whether the predictor's model carries a tier split
+// (compiled with Options.TierTrees > 0). On an untier'd model the
+// tiered batch methods fall back to the monolithic kernel and report
+// every sample as escalated.
+func (p *Predictor) Tiered() bool { return p.bf.Tiered() }
+
+// SetTier installs the escalation policy the tiered batch methods use;
+// see TierConfig. Without a SetTier call the predictor follows the
+// model's stored policy.
+func (p *Predictor) SetTier(cfg TierConfig) {
+	p.tierMargin = cfg.Margin
+	if p.tierMargin < 0 {
+		p.tierMargin = -1
+	}
+}
+
+// Tier returns the predictor's current escalation policy.
+func (p *Predictor) Tier() TierConfig { return TierConfig{Margin: p.tierMargin} }
+
+// PredictBatchTiered classifies every row of X with the staged batch
+// kernel: the tier-0 tree prefix votes first and only samples whose
+// leading margin fails to clear the predictor's tier policy pay for
+// the remaining trees. Returns the labels and the tier outcome counts
+// for this call.
+func (p *Predictor) PredictBatchTiered(X [][]float32) ([]int, TierStats) {
+	out := make([]int, len(X))
+	var ts TierStats
+	p.bf.PredictBatchTieredInto(X, p.s, p.tierMargin, out, &ts)
+	return out, ts
+}
+
+// PredictBatchTieredInto is PredictBatchTiered writing into a
+// caller-provided buffer (length len(X)), accumulating outcome counts
+// into ts (which may be nil); steady-state calls allocate nothing.
+func (p *Predictor) PredictBatchTieredInto(X [][]float32, out []int, ts *TierStats) {
+	p.bf.PredictBatchTieredInto(X, p.s, p.tierMargin, out, ts)
+}
+
+// VotesBatchTiered accumulates weighted votes for every row of X into
+// votes (a flattened len(X)×NumClasses matrix) with the staged kernel.
+// Rows answered at tier 0 hold partial vote totals whose argmax is the
+// final label (in exact mode, provably; in calibrated mode, within the
+// fitted budget); escalated rows hold full-ensemble totals.
+func (p *Predictor) VotesBatchTiered(X [][]float32, votes []int64, ts *TierStats) {
+	p.bf.VotesBatchTiered(X, p.s, votes, p.tierMargin, ts)
+}
+
+// PredictBatchTieredParallelInto is PredictBatchTieredInto on the
+// parallel batch kernel: shards run the staged pipeline independently
+// on the predictor's runtime workers. Falls back to the serial staged
+// kernel without a runtime or when the batch is too small to shard.
+func (p *Predictor) PredictBatchTieredParallelInto(X [][]float32, out []int, ts *TierStats) {
+	if p.rt == nil {
+		p.bf.PredictBatchTieredInto(X, p.s, p.tierMargin, out, ts)
+		return
+	}
+	p.bf.PredictBatchTieredParallelInto(X, p.rt, p.tierMargin, out, ts)
 }
 
 // ParallelWorkers returns the size of the predictor's worker pool, or

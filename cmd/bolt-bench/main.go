@@ -62,6 +62,8 @@ func run(args []string) error {
 			return writeCoalesceJSON(cfg, *jsonL)
 		case "footprint":
 			return writeFootprintJSON(cfg, *jsonL)
+		case "tiered":
+			return writeTieredJSON(cfg, *jsonL)
 		}
 		return writeBatchJSON(cfg, *jsonL)
 	}
@@ -119,6 +121,19 @@ func writeFootprintJSON(cfg bench.Config, label string) error {
 		return err
 	}
 	if err := bench.RenderFootprintReport(rep, os.Stdout); err != nil {
+		return err
+	}
+	return writeJSONArtifact(label, func(f *os.File) error { return rep.WriteJSON(f, label) })
+}
+
+// writeTieredJSON is writeBatchJSON for the tiered early-exit
+// experiment (-exp tiered -json tiered → BENCH_tiered.json).
+func writeTieredJSON(cfg bench.Config, label string) error {
+	rep, err := bench.TieredReportRun(cfg)
+	if err != nil {
+		return err
+	}
+	if err := bench.RenderTieredReport(rep, os.Stdout); err != nil {
 		return err
 	}
 	return writeJSONArtifact(label, func(f *os.File) error { return rep.WriteJSON(f, label) })

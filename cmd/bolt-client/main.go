@@ -224,6 +224,22 @@ func runStats(args []string) error {
 	fmt.Printf("coalesced batches: %d (%d requests, %d rows; mean %.1f rows/batch, p99 <%d)\n",
 		st.CoalescedBatches, st.CoalescedRequests, st.CoalescedRows,
 		st.CoalesceMeanRows(), st.CoalesceSizeQuantile(0.99))
+	if st.Tier0Answered+st.TierEscalated > 0 {
+		fmt.Printf("tiered: %d answered at tier 0, %d escalated (escalation rate %.3f)\n",
+			st.Tier0Answered, st.TierEscalated, st.TierEscalationRate())
+		fmt.Print("  escalation-rate deciles:")
+		for b, n := range st.TierRate {
+			if n == 0 {
+				continue
+			}
+			if b == len(st.TierRate)-1 {
+				fmt.Printf("  [1.0]=%d", n)
+			} else {
+				fmt.Printf("  [%.1f,%.1f)=%d", float64(b)/10, float64(b+1)/10, n)
+			}
+		}
+		fmt.Println()
+	}
 	if st.Router != nil {
 		// The snapshot came from bolt-router: show the tier breakdown.
 		fmt.Printf("router: %d shed, %d failover retries\n", st.Router.Shed, st.Router.Retries)

@@ -40,20 +40,22 @@ func main() {
 func run(args []string) error {
 	fs := flag.NewFlagSet("bolt-serve", flag.ContinueOnError)
 	var (
-		model     = fs.String("model", "forest.bin", "trained forest model path")
-		compiled  = fs.String("compiled", "", "precompiled artifact from bolt-compile -out (skips compilation)")
-		socket    = fs.String("socket", "/tmp/bolt.sock", "UNIX socket path")
-		threshold = fs.Int("threshold", 8, "Phase 1 cluster threshold")
-		bloomBits = fs.Int("bloom", 8, "bloom filter bits per key; negative disables")
-		tune      = fs.Bool("tune", false, "Phase 2 tune before serving")
-		cores     = fs.Int("cores", 1, "core budget for -tune")
-		dsName    = fs.String("dataset", "mnist", "dataset generating tuning probes (with -tune)")
-		seed      = fs.Uint64("seed", 2022, "random seed")
-		workers   = fs.Int("workers", 0, "engine-pool size; concurrent requests run on separate engines (0 = GOMAXPROCS)")
-		kWorkers  = fs.Int("kernel-workers", 0, "parallel batch-kernel worker count shared by the engine pool (0 = GOMAXPROCS)")
-		drain     = fs.Duration("drain", 10*time.Second, "graceful-shutdown deadline for in-flight requests")
-		coHold    = fs.Duration("coalesce-hold", bolt.DefaultCoalesceHold, "max time a small request waits to join a coalesced batch (0 disables coalescing)")
-		coMax     = fs.Int("coalesce-max", bolt.DefaultCoalesceMaxRows, "row cap per coalesced batch; requests of this many rows or more run alone")
+		model      = fs.String("model", "forest.bin", "trained forest model path")
+		compiled   = fs.String("compiled", "", "precompiled artifact from bolt-compile -out (skips compilation)")
+		socket     = fs.String("socket", "/tmp/bolt.sock", "UNIX socket path")
+		threshold  = fs.Int("threshold", 8, "Phase 1 cluster threshold")
+		bloomBits  = fs.Int("bloom", 8, "bloom filter bits per key; negative disables")
+		tune       = fs.Bool("tune", false, "Phase 2 tune before serving")
+		cores      = fs.Int("cores", 1, "core budget for -tune")
+		dsName     = fs.String("dataset", "mnist", "dataset generating tuning probes (with -tune)")
+		seed       = fs.Uint64("seed", 2022, "random seed")
+		workers    = fs.Int("workers", 0, "engine-pool size; concurrent requests run on separate engines (0 = GOMAXPROCS)")
+		kWorkers   = fs.Int("kernel-workers", 0, "parallel batch-kernel worker count shared by the engine pool (0 = GOMAXPROCS)")
+		drain      = fs.Duration("drain", 10*time.Second, "graceful-shutdown deadline for in-flight requests")
+		coHold     = fs.Duration("coalesce-hold", bolt.DefaultCoalesceHold, "max time a small request waits to join a coalesced batch (0 disables coalescing)")
+		coMax      = fs.Int("coalesce-max", bolt.DefaultCoalesceMaxRows, "row cap per coalesced batch; requests of this many rows or more run alone")
+		tierTrees  = fs.Int("tier-trees", 0, "tier-0 tree prefix for staged early-exit inference, applied at compile time (0 disables; exact mode needs a majority prefix)")
+		tierMargin = fs.Int64("tier-margin", -1, "tiered escalation margin in vote units (negative = the model's stored policy: its calibrated threshold if one was saved, exact otherwise)")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -75,6 +77,15 @@ func run(args []string) error {
 	}
 	if *drain <= 0 {
 		return fmt.Errorf("-drain must be positive, got %v", *drain)
+	}
+	if *tierTrees < 0 {
+		return fmt.Errorf("-tier-trees must not be negative, got %d (0 disables tiering)", *tierTrees)
+	}
+	if *tierTrees > 0 && *compiled != "" {
+		return errors.New("-tier-trees only applies when compiling from -model; a -compiled artifact's tier split is baked in (recompile with bolt-compile or bolt-serve -model)")
+	}
+	if *tierTrees > 0 && *tune {
+		return errors.New("-tier-trees is incompatible with -tune; tune first, then serve the tuned parameters with -tier-trees")
 	}
 
 	// loadCompiled rebuilds serving artifacts from a path: it is both
@@ -110,11 +121,23 @@ func run(args []string) error {
 			ClusterThreshold: *threshold,
 			BloomBitsPerKey:  *bloomBits,
 			Seed:             *seed,
+			TierTrees:        *tierTrees,
 		})
 		if err != nil {
 			return nil, "", err
 		}
 		return bf, sum, nil
+	}
+
+	// mkFactory builds the engine factory for a (re)loaded forest: an
+	// explicit -tier-margin pins the escalation policy on every
+	// predictor, otherwise engines follow the policy stored on the model
+	// (exact mode for a freshly compiled tier split).
+	mkFactory := func(bf *bolt.CompiledForest) bolt.EngineFactory {
+		if *tierMargin >= 0 {
+			return bolt.TieredForestEngineFactory(bf, *kWorkers, bolt.TierConfig{Margin: *tierMargin})
+		}
+		return bolt.ParallelForestEngineFactory(bf, *kWorkers)
 	}
 
 	var bf *bolt.CompiledForest
@@ -159,9 +182,9 @@ func run(args []string) error {
 		if err != nil {
 			return nil, 0, "", err
 		}
-		return bolt.ParallelForestEngineFactory(nbf, *kWorkers), nbf.NumFeatures, nsum, nil
+		return mkFactory(nbf), nbf.NumFeatures, nsum, nil
 	}
-	return serveForest(bf, sum, reloader, *socket, *workers, *kWorkers, *drain,
+	return serveForest(bf, sum, mkFactory(bf), reloader, *socket, *workers, *tierMargin, *drain,
 		bolt.CoalesceConfig{Hold: *coHold, MaxRows: *coMax})
 }
 
@@ -169,14 +192,14 @@ func run(args []string) error {
 // covers the whole lifecycle: SIGHUP hot-reloads the model, while
 // SIGINT/SIGTERM drain in-flight requests within the deadline and
 // always print the request counters accumulated over the run.
-func serveForest(bf *bolt.CompiledForest, sum string, reloader bolt.ReloadFunc, socket string, workers, kernelWorkers int, drain time.Duration, coalesce bolt.CoalesceConfig) error {
+func serveForest(bf *bolt.CompiledForest, sum string, factory bolt.EngineFactory, reloader bolt.ReloadFunc, socket string, workers int, tierMargin int64, drain time.Duration, coalesce bolt.CoalesceConfig) error {
 	// Remove a stale socket from a previous run. A removal that fails
 	// for any reason other than the socket not existing would otherwise
 	// resurface as a confusing bind error below.
 	if err := os.Remove(socket); err != nil && !errors.Is(err, fs.ErrNotExist) {
 		return fmt.Errorf("removing stale socket %s: %w", socket, err)
 	}
-	srv, err := bolt.ServePool(socket, bolt.ParallelForestEngineFactory(bf, kernelWorkers), bf.NumFeatures, workers)
+	srv, err := bolt.ServePool(socket, factory, bf.NumFeatures, workers)
 	if err != nil {
 		return err
 	}
@@ -190,6 +213,19 @@ func serveForest(bf *bolt.CompiledForest, sum string, reloader bolt.ReloadFunc, 
 		fmt.Printf("request coalescing on: hold %s, max %d rows/batch\n", coalesce.Hold, coalesce.MaxRows)
 	} else {
 		fmt.Println("request coalescing off")
+	}
+	if bf.Tiered() {
+		margin := tierMargin
+		if margin < 0 {
+			margin = bf.TierMargin
+		}
+		policy := "calibrated"
+		if margin < 0 {
+			margin = bf.ExactTierMargin()
+			policy = "exact"
+		}
+		fmt.Printf("tiered inference on: %d of %d trees at tier 0 (%d entries), %s margin %d\n",
+			bf.TierTrees, bf.NumTrees, bf.TierEntries, policy, margin)
 	}
 
 	sigs := make(chan os.Signal, 1)
@@ -221,6 +257,10 @@ func printStats(st bolt.ServerStats) {
 		fmt.Printf("  coalesced batches: %d (%d requests, %d rows; mean %.1f rows/batch, p99 <%d)\n",
 			st.CoalescedBatches, st.CoalescedRequests, st.CoalescedRows,
 			st.CoalesceMeanRows(), st.CoalesceSizeQuantile(0.99))
+	}
+	if st.Tier0Answered+st.TierEscalated > 0 {
+		fmt.Printf("  tiered: %d answered at tier 0, %d escalated (escalation rate %.3f)\n",
+			st.Tier0Answered, st.TierEscalated, st.TierEscalationRate())
 	}
 	for _, op := range st.Ops {
 		fmt.Printf("  op %c: %6d reqs  %4d errs  avg %8v  p50 <%8v  p99 <%8v\n",

@@ -18,10 +18,11 @@ func TestHotPathAnnotations(t *testing.T) {
 		fns  []string
 	}{
 		{"../core/engine.go", []string{"forEachHit", "forEachHitFlat", "Votes", "SalienceInto"}},
-		{"../core/batch.go", []string{"VotesBatch", "votesBlock", "votesBlockFlat", "encodeBlock", "PredictBatchInto"}},
-		{"../core/compactscan.go", []string{"forEachHitCompact", "compactHit", "votesBlockCompact"}},
+		{"../core/batch.go", []string{"VotesBatch", "votesBlock", "votesBlockFlat", "scanEntriesFlat", "encodeBlock", "PredictBatchInto"}},
+		{"../core/compactscan.go", []string{"forEachHitCompact", "compactHit", "votesBlockCompact", "scanEntriesCompact"}},
 		{"../core/compactdict.go", []string{"ID", "decodeCommon", "decodeUncommon", "Lookup", "AccumulateInto", "DecodeInto", "escape", "get"}},
-		{"../core/runtime.go", []string{"runVotesShard", "runPredictShard", "runPartitionShard"}},
+		{"../core/runtime.go", []string{"runVotesShard", "runPredictShard", "runPartitionShard", "runTieredShard"}},
+		{"../core/tiered.go", []string{"tierLead", "VotesBatchTiered", "votesBlockTiered", "PredictBatchTieredInto"}},
 		{"../bitpack/transpose.go", []string{"Transpose64", "TransposeBlock"}},
 		{"../serve/server.go", []string{"runBatch"}},
 	}

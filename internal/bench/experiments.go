@@ -604,6 +604,7 @@ var Experiments = []struct {
 	{"pbatch", "parallel batch kernel scaling on the persistent runtime (extra)", FigPBatch},
 	{"coalesce", "request coalescing: single-row serving throughput off vs on (extra)", FigCoalesce},
 	{"footprint", "§5 compact memory layout vs flat: bytes and kernel delta (extra)", FigFootprint},
+	{"tiered", "tiered early exit: latency/accuracy frontier vs exit margin (extra)", FigTiered},
 }
 
 // Run executes one experiment by ID and renders it to w.

@@ -1,0 +1,318 @@
+package bench
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"math"
+	"runtime"
+	"time"
+
+	"bolt/internal/core"
+	"bolt/internal/dataset"
+)
+
+// TieredRecord is one point of the tiered latency/accuracy frontier:
+// a (workload, forest shape, tier split) compiled once, then measured
+// at one exit margin. The monolithic columns time the ordinary batch
+// kernel over the same compiled forest, so the delta isolates the
+// early exit itself rather than tier partitioning's effect on
+// clustering.
+type TieredRecord struct {
+	Workload     string `json:"workload"`
+	Trees        int    `json:"trees"`
+	TierTrees    int    `json:"tier_trees"`
+	Height       int    `json:"height"`
+	Threshold    int    `json:"threshold"`
+	Samples      int    `json:"samples"`
+	DictEntries  int    `json:"dict_entries"`
+	Tier0Entries int    `json:"tier0_entries"`
+
+	// Mode is "exact", "margin" (a swept fraction of the exact bound)
+	// or "calibrated" (fit by CalibrateTier to the loss budget).
+	Mode string `json:"mode"`
+	// Margin is the resolved exit threshold the kernel compared leads
+	// against; MarginFrac is Margin over the exact bound (tier-1
+	// weight), 1.0 being provably lossless.
+	Margin     int64   `json:"margin"`
+	MarginFrac float64 `json:"margin_frac"`
+
+	// EscalationRate is the fraction of test samples tier 0 could not
+	// decide at this margin.
+	EscalationRate float64 `json:"escalation_rate"`
+
+	MonoNsPerSample   float64 `json:"mono_ns_per_sample"`
+	TieredNsPerSample float64 `json:"tiered_ns_per_sample"`
+	// Speedup is mono/tiered: above 1 the staged kernel wins.
+	Speedup float64 `json:"speedup"`
+
+	MonoAccuracy   float64 `json:"mono_accuracy"`
+	TieredAccuracy float64 `json:"tiered_accuracy"`
+	// AccuracyDelta is tiered minus monolithic on the test split;
+	// exact mode is 0 by construction.
+	AccuracyDelta float64 `json:"accuracy_delta"`
+}
+
+// TieredReport is the machine-readable artifact bolt-bench
+// `-exp tiered -json tiered` emits (BENCH_tiered.json).
+type TieredReport struct {
+	Label      string         `json:"label"`
+	GOOS       string         `json:"goos"`
+	GOARCH     string         `json:"goarch"`
+	NumCPU     int            `json:"num_cpu"`
+	GOMAXPROCS int            `json:"gomaxprocs"`
+	Records    []TieredRecord `json:"records"`
+}
+
+// calibrateLoss is the holdout accuracy-loss budget of the report's
+// calibrated point.
+const calibrateLoss = 0.005
+
+// tieredShapes are the workloads of the tiered experiment. Exact-mode
+// exits need the tier-0 lead to beat the entire tier-1 weight, which
+// is unattainable unless tier 0 holds a majority of the trees — every
+// split here keeps three quarters of the ensemble in tier 0.
+var tieredShapes = []struct {
+	workload  string
+	trees     int
+	tierTrees int
+	height    int
+}{
+	{"mnist", 16, 12, paperHeight},
+	{"blobs", 12, 9, 5},
+}
+
+// TieredReportRun sweeps the exit margin over every tiered shape and
+// returns the report.
+func TieredReportRun(cfg Config) (*TieredReport, error) {
+	cfg = cfg.normalized()
+	shapes := tieredShapes
+	if cfg.Quick {
+		shapes = []struct {
+			workload  string
+			trees     int
+			tierTrees int
+			height    int
+		}{{"mnist", 12, 9, paperHeight}, {"blobs", 8, 6, 4}}
+	}
+	rep := &TieredReport{
+		GOOS:       runtime.GOOS,
+		GOARCH:     runtime.GOARCH,
+		NumCPU:     runtime.NumCPU(),
+		GOMAXPROCS: runtime.GOMAXPROCS(0),
+	}
+	for _, sh := range shapes {
+		var w Workload
+		switch sh.workload {
+		case "mnist":
+			w = MNISTWorkload(cfg)
+		case "blobs":
+			w = BlobsWorkload(cfg)
+		default:
+			return nil, fmt.Errorf("bench: unknown tiered workload %q", sh.workload)
+		}
+		f := TrainForest(w, sh.trees, sh.height, cfg.Seed^uint64(sh.trees*1000+sh.height))
+		comp, err := core.NewCompilation(f)
+		if err != nil {
+			return nil, err
+		}
+		th, _ := PickThreshold(comp, cfg.EntryBudget)
+		optTh := th
+		if optTh == 0 {
+			optTh = -1 // Options maps 0 to the default; negative means literal 0
+		}
+		bf, err := comp.Compile(core.Options{
+			ClusterThreshold: optTh,
+			Seed:             cfg.Seed,
+			TierTrees:        sh.tierTrees,
+		})
+		if err != nil {
+			return nil, fmt.Errorf("bench: compiling tiered %s: %w", w.Name, err)
+		}
+		if !bf.Tiered() {
+			return nil, fmt.Errorf("bench: %s forest did not tier at %d/%d trees",
+				w.Name, sh.tierTrees, sh.trees)
+		}
+		recs, err := measureTiered(bf, w, sh.trees, sh.tierTrees, sh.height, th, cfg)
+		if err != nil {
+			return nil, err
+		}
+		rep.Records = append(rep.Records, recs...)
+	}
+	return rep, nil
+}
+
+// resolveMargin mirrors the kernel's rule: a negative margin selects
+// exact mode, whose threshold is the tier-1 weight.
+func resolveMargin(m, exact int64) int64 {
+	if m < 0 {
+		return exact
+	}
+	return m
+}
+
+// tierPoint is one margin setting of the sweep.
+type tierPoint struct {
+	mode   string
+	margin int64 // the value passed to the kernel; negative = exact
+}
+
+// measureTiered times the monolithic kernel and the staged kernel at
+// each margin point over one compiled forest, interleaving rounds and
+// keeping each run's best (the footprint experiment's min-of-N
+// protocol — alternation cancels drift that would swamp the deltas).
+func measureTiered(bf *core.Forest, w Workload, trees, tierTrees, height, th int, cfg Config) ([]TieredRecord, error) {
+	X := w.Test.X
+	exact := bf.ExactTierMargin()
+	points := []tierPoint{
+		{"exact", -1},
+		{"margin", exact * 3 / 4},
+		{"margin", exact / 2},
+		{"margin", exact / 4},
+		{"margin", 0},
+	}
+	// Fit the calibrated point on training rows the kernel is not
+	// timed on; a degenerate fit (whole budget spent, margin 0) still
+	// gets reported — that is the knob's honest behaviour.
+	holdout := w.Train.X
+	if len(holdout) > 500 {
+		holdout = holdout[:500]
+	}
+	cal, err := core.CalibrateTier(bf, holdout, calibrateLoss)
+	if err != nil {
+		return nil, fmt.Errorf("bench: calibrating %s: %w", w.Name, err)
+	}
+	points = append(points, tierPoint{"calibrated", cal})
+
+	type run struct {
+		margin int64 // kernel argument; math.MinInt64 marks the monolithic run
+		out    []int
+		ns     float64
+	}
+	runs := make([]*run, 0, len(points)+1)
+	mono := &run{margin: math.MinInt64, out: make([]int, len(X)), ns: math.Inf(1)}
+	runs = append(runs, mono)
+	for _, pt := range points {
+		runs = append(runs, &run{margin: pt.margin, out: make([]int, len(X)), ns: math.Inf(1)})
+	}
+	s := bf.NewScratch()
+	step := func(r *run) {
+		if r.margin == math.MinInt64 {
+			bf.PredictBatchInto(X, s, r.out)
+			return
+		}
+		bf.PredictBatchTieredInto(X, s, r.margin, r.out, nil)
+	}
+	warm := time.Duration(0)
+	for _, r := range runs {
+		start := time.Now() // warm scratch and caches, sizing the round budget
+		step(r)
+		if d := time.Since(start); d > warm {
+			warm = d
+		}
+	}
+	rounds := cfg.Rounds
+	if warm > 0 {
+		if byTime := int(100*time.Millisecond/warm) + 1; byTime > rounds {
+			rounds = byTime
+		}
+	}
+	if rounds < 5 {
+		rounds = 5
+	}
+	if rounds > 300 {
+		rounds = 300
+	}
+	for r := 0; r < rounds; r++ {
+		for _, rn := range runs {
+			start := time.Now()
+			step(rn)
+			if ns := float64(time.Since(start).Nanoseconds()) / float64(len(X)); ns < rn.ns {
+				rn.ns = ns
+			}
+		}
+	}
+	monoAcc := dataset.Accuracy(mono.out, w.Test.Y)
+
+	recs := make([]TieredRecord, 0, len(points))
+	for i, pt := range points {
+		rn := runs[i+1]
+		var ts core.TierStats
+		bf.PredictBatchTieredInto(X, s, pt.margin, rn.out, &ts)
+		rec := TieredRecord{
+			Workload:     w.Name,
+			Trees:        trees,
+			TierTrees:    tierTrees,
+			Height:       height,
+			Threshold:    th,
+			Samples:      len(X),
+			DictEntries:  len(bf.Dict.Entries),
+			Tier0Entries: bf.TierEntries,
+
+			Mode:   pt.mode,
+			Margin: resolveMargin(pt.margin, exact),
+
+			EscalationRate: ts.EscalationRate(),
+
+			MonoNsPerSample:   mono.ns,
+			TieredNsPerSample: rn.ns,
+
+			MonoAccuracy:   monoAcc,
+			TieredAccuracy: dataset.Accuracy(rn.out, w.Test.Y),
+		}
+		if exact > 0 {
+			rec.MarginFrac = float64(rec.Margin) / float64(exact)
+		}
+		if rn.ns > 0 {
+			rec.Speedup = mono.ns / rn.ns
+		}
+		rec.AccuracyDelta = rec.TieredAccuracy - rec.MonoAccuracy
+		recs = append(recs, rec)
+	}
+	return recs, nil
+}
+
+// WriteJSON renders the report with the given label.
+func (r *TieredReport) WriteJSON(w io.Writer, label string) error {
+	r.Label = label
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(r)
+}
+
+// FigTiered renders the tiered latency/accuracy frontier as a text
+// table (extra experiment: staged vote accumulation with exact and
+// calibrated escalation).
+func FigTiered(cfg Config) (*Table, error) {
+	rep, err := TieredReportRun(cfg)
+	if err != nil {
+		return nil, err
+	}
+	return tieredTable(rep), nil
+}
+
+// RenderTieredReport renders an already-measured report as the same
+// table FigTiered produces.
+func RenderTieredReport(rep *TieredReport, w io.Writer) error {
+	return tieredTable(rep).Render(w)
+}
+
+func tieredTable(rep *TieredReport) *Table {
+	t := &Table{
+		Title: "Tiered early exit: escalation, latency and accuracy vs exit margin",
+		Columns: []string{"workload", "trees", "tier0", "mode", "margin/exact",
+			"escalation", "mono ns", "tiered ns", "speedup", "acc delta"},
+	}
+	for _, r := range rep.Records {
+		t.AddRow(r.Workload, fmt.Sprintf("%d", r.Trees), fmt.Sprintf("%d", r.TierTrees),
+			r.Mode, fmt.Sprintf("%.2f", r.MarginFrac),
+			fmt.Sprintf("%.3f", r.EscalationRate),
+			r.MonoNsPerSample, r.TieredNsPerSample,
+			fmt.Sprintf("%.2fx", r.Speedup),
+			fmt.Sprintf("%+.4f", r.AccuracyDelta))
+	}
+	t.Note("same compiled forest, monolithic vs staged kernel; margin/exact = exit threshold "+
+		"over tier-1 weight (1.0 provably lossless); calibrated point fit to a %.1f%% holdout loss budget",
+		calibrateLoss*100)
+	return t
+}

@@ -113,6 +113,47 @@ func TestCompactScanZeroAlloc(t *testing.T) {
 	}
 }
 
+// TestTieredZeroAlloc pins the zero-alloc property on the staged
+// kernel's steady state, on both layouts and at both an exact and a
+// lossy margin: the survivor compaction buffers live in Scratch and
+// only ever grow, so after the warm call nothing allocates — including
+// blocks where some samples decide and others escalate.
+func TestTieredZeroAlloc(t *testing.T) {
+	f, d := trainForest(t, 137, 12, 4)
+	bf, err := Compile(f, Options{ClusterThreshold: 4, TierTrees: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bf.Tiered() {
+		t.Fatal("test forest is not tiered")
+	}
+	X := d.X[:200]
+	var ts TierStats
+	for _, compact := range []bool{false, true} {
+		bf.SetCompactScan(compact)
+		s := bf.NewScratch()
+		votes := make([]int64, len(X)*bf.VoteWidth())
+		out := make([]int, len(X))
+		bf.VotesBatchTiered(X, s, votes, -1, &ts)     // warm: grow batch + survivor scratch
+		bf.PredictBatchTieredInto(X, s, -1, out, &ts) // warm: grow batch votes
+		for _, margin := range []int64{-1, bf.TierWeight / 2} {
+			gates := []struct {
+				name string
+				fn   func()
+			}{
+				{"VotesBatchTiered", func() { bf.VotesBatchTiered(X, s, votes, margin, &ts) }},
+				{"PredictBatchTieredInto", func() { bf.PredictBatchTieredInto(X, s, margin, out, &ts) }},
+			}
+			for _, g := range gates {
+				if allocs := testing.AllocsPerRun(50, g.fn); allocs != 0 {
+					t.Errorf("compact=%v margin=%d %s allocates %.1f objects per call, want 0",
+						compact, margin, g.name, allocs)
+				}
+			}
+		}
+	}
+}
+
 func TestSalienceIntoZeroAlloc(t *testing.T) {
 	f, d := trainForest(t, 135, 10, 4)
 	bf, err := Compile(f, Options{ClusterThreshold: 4})

@@ -224,14 +224,23 @@ func (bf *Forest) encodeBlock(X [][]float32, s *Scratch, votes []int64) int {
 //
 //bolt:hotpath
 func (bf *Forest) votesBlockFlat(X [][]float32, s *Scratch, votes []int64) {
-	n := len(X)
 	chunks := bf.encodeBlock(X, s, votes)
+	bf.scanEntriesFlat(s.cols, votes, len(X), chunks, 0, bf.Flat.Len())
+}
+
+// scanEntriesFlat runs step 3 of the block kernel — entries outer,
+// samples inner — over the flat dictionary range [lo, hi), reading the
+// predicate-major columns in cols and accumulating into votes (n
+// samples). The tiered kernel (tiered.go) calls it per tier range; the
+// monolithic kernel calls it once over the whole dictionary.
+//
+//bolt:hotpath
+func (bf *Forest) scanEntriesFlat(cols []uint64, votes []int64, n, chunks, lo, hi int) {
 	fd := bf.Flat
 	cw := fd.Words() * 64
-	// Step 3: entries outer, samples inner.
 	vw := bf.VoteWidth()
 	table, filter := bf.Table, bf.Filter
-	for e, ne := 0, fd.Len(); e < ne; e++ {
+	for e := lo; e < hi; e++ {
 		common := fd.Common(e)
 		unc := fd.Uncommon(e)
 		id := fd.ID(e)
@@ -240,7 +249,7 @@ func (bf *Forest) votesBlockFlat(X [][]float32, s *Scratch, votes []int64) {
 			if tail := uint(n - c*64); tail < 64 {
 				matched = (1 << tail) - 1
 			}
-			cc := s.cols[c*cw : (c+1)*cw]
+			cc := cols[c*cw : (c+1)*cw]
 			for _, packed := range common {
 				col := cc[packed>>1]
 				if packed&1 == 0 {

@@ -65,6 +65,11 @@ type CompactDict struct {
 
 	ids narrow64 // entry IDs at 1, 2 or 4 bytes
 
+	// tierEntries mirrors FlatDict.tierEntries: the tier-0 boundary for
+	// staged inference (tiered.go). Entry order is identical in both
+	// layouts, so the boundary is the same index.
+	tierEntries int
+
 	// Table is the compressed recombined lookup table matching this
 	// dictionary; the compact scan path probes it instead of the flat
 	// LookupTable.
@@ -171,6 +176,9 @@ func NewCompactDict(fd *FlatDict, t *LookupTable, voteWidth int) *CompactDict {
 
 // Len returns the number of entries.
 func (cd *CompactDict) Len() int { return cd.n }
+
+// TierEntries returns the tier-0 entry boundary (0 when untier'd).
+func (cd *CompactDict) TierEntries() int { return cd.tierEntries }
 
 // Words returns the mask words per entry of the uncompressed form.
 func (cd *CompactDict) Words() int { return cd.words }

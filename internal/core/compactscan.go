@@ -108,15 +108,26 @@ func (bf *Forest) compactHit(i int, inputWords []uint64, fn func(entry int, resu
 //
 //bolt:hotpath
 func (bf *Forest) votesBlockCompact(X [][]float32, s *Scratch, votes []int64) {
-	n := len(X)
 	chunks := bf.encodeBlock(X, s, votes)
+	bf.scanEntriesCompact(s.cols, votes, s, len(X), chunks, 0, bf.Compact.n)
+}
+
+// scanEntriesCompact is scanEntriesFlat over the compact layout: the
+// same entries-outer loop, restricted to the dictionary range [lo, hi),
+// reading predicate-major columns from cols into votes. Per-entry
+// random access works on the packed streams because the offsets
+// (commonOff/uncOff) are explicit arrays — only the row path's
+// running-cursor scan is prefix-ordered.
+//
+//bolt:hotpath
+func (bf *Forest) scanEntriesCompact(cols []uint64, votes []int64, s *Scratch, n, chunks, lo, hi int) {
 	vw := bf.VoteWidth()
 	cd := bf.Compact
 	ct := cd.Table
 	filter := bf.Filter
 	cw := cd.words * 64
 	resDec := s.resDec
-	for e, ne := 0, cd.n; e < ne; e++ {
+	for e := lo; e < hi; e++ {
 		common := cd.decodeCommon(e, s.pairBuf)
 		unc := cd.decodeUncommon(e, s.uncBuf)
 		id := cd.ID(e)
@@ -125,7 +136,7 @@ func (bf *Forest) votesBlockCompact(X [][]float32, s *Scratch, votes []int64) {
 			if tail := uint(n - c*64); tail < 64 {
 				matched = (1 << tail) - 1
 			}
-			cc := s.cols[c*cw : (c+1)*cw]
+			cc := cols[c*cw : (c+1)*cw]
 			for _, packed := range common {
 				col := cc[packed>>1]
 				if packed&1 == 0 {

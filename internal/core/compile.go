@@ -32,6 +32,14 @@ type Options struct {
 	TableLoadFactor float64
 	// Seed drives hash-seed selection.
 	Seed uint64
+	// TierTrees splits the forest for tiered early-exit inference (see
+	// tiered.go): the paths of the first TierTrees trees are clustered
+	// separately so their dictionary entries form a contiguous tier-0
+	// prefix, and the tiered kernels scan the remaining entries only
+	// for samples whose tier-0 margin is inconclusive. 0 (or a value
+	// at or beyond the tree count) disables tiering; negative is
+	// treated as 0. Tiering changes only entry order, never votes.
+	TierTrees int
 }
 
 func (o Options) normalized() Options {
@@ -46,6 +54,9 @@ func (o Options) normalized() Options {
 	}
 	if o.TableLoadFactor == 0 {
 		o.TableLoadFactor = 0.5
+	}
+	if o.TierTrees < 0 {
+		o.TierTrees = 0
 	}
 	return o
 }
@@ -79,6 +90,17 @@ type Forest struct {
 	Kind     tree.Kind
 	Bias     int64
 	Additive bool
+
+	// Tier boundary for staged early-exit inference (tiered.go). The
+	// first TierEntries dictionary entries hold every path of the first
+	// TierTrees trees; TierWeight is the summed weight of the remaining
+	// trees — the most any class can still gain after tier 0, hence the
+	// exact-mode margin. TierMargin is an optional calibrated threshold
+	// (CalibrateTier) carried with the model; -1 means none.
+	TierTrees   int
+	TierEntries int
+	TierWeight  int64
+	TierMargin  int64
 
 	opts Options
 }
@@ -164,7 +186,7 @@ func (c *Compilation) EstimateEntries(threshold int) int64 {
 // filter population — and returns the inference-ready Bolt forest.
 func (c *Compilation) Compile(opts Options) (*Forest, error) {
 	opts = opts.normalized()
-	clusters := BuildClusters(c.ps, opts.ClusterThreshold)
+	ps, clusters, tierEntries := c.clusterTiered(opts)
 	dict, err := NewDictionary(clusters, c.cb.Len())
 	if err != nil {
 		return nil, err
@@ -174,7 +196,7 @@ func (c *Compilation) Compile(opts Options) (*Forest, error) {
 	if c.f.Kind == tree.Regression {
 		voteWidth = 1
 	}
-	entries, err := expandClusters(clusters, dict, c.ps, voteWidth)
+	entries, err := expandClusters(clusters, dict, ps, voteWidth)
 	if err != nil {
 		return nil, err
 	}
@@ -194,9 +216,20 @@ func (c *Compilation) Compile(opts Options) (*Forest, error) {
 	}
 
 	totalWeight := int64(0)
+	tierWeight := int64(0)
+	tierTrees := 0
 	for i := range c.f.Trees {
 		totalWeight += c.f.Weight(i)
+		if tierEntries > 0 && i >= opts.TierTrees {
+			tierWeight += c.f.Weight(i)
+		}
 	}
+	if tierEntries > 0 {
+		tierTrees = opts.TierTrees
+	}
+	// Record the effective tier split (a requested split can degrade to
+	// none) so the options survive an encode/decode round trip.
+	opts.TierTrees = tierTrees
 	bf := &Forest{
 		Codebook:    c.cb,
 		Dict:        dict,
@@ -210,10 +243,57 @@ func (c *Compilation) Compile(opts Options) (*Forest, error) {
 		Kind:        c.f.Kind,
 		Bias:        c.f.Bias,
 		Additive:    c.f.Additive,
+		TierTrees:   tierTrees,
+		TierEntries: tierEntries,
+		TierWeight:  tierWeight,
+		TierMargin:  -1,
 		opts:        opts,
 	}
+	bf.Flat.tierEntries = tierEntries
 	bf.buildCompact()
 	return bf, nil
+}
+
+// clusterTiered runs Phase 1 clustering, honouring the tier split: with
+// TierTrees set, the sorted path list is stably partitioned by tree
+// index (each half stays lexicographically sorted, so the BuildClusters
+// precondition holds), each half is clustered separately, and the
+// tier-0 clusters come first — entry IDs are cluster indices, so the
+// first TierEntries dictionary entries carry every path of the first
+// TierTrees trees and nothing else. Votes are untouched: tiering only
+// reorders entries. Returns the path list the clusters index into.
+func (c *Compilation) clusterTiered(opts Options) ([]paths.Path, []Cluster, int) {
+	k := opts.TierTrees
+	if k <= 0 || k >= len(c.f.Trees) {
+		return c.ps, BuildClusters(c.ps, opts.ClusterThreshold), 0
+	}
+	// Stable partition into a copy: c.ps is shared across Compile calls
+	// (Phase 2 reuses the Compilation) and must keep its global order.
+	ps := make([]paths.Path, 0, len(c.ps))
+	for i := range c.ps {
+		if c.ps[i].Tree < int32(k) {
+			ps = append(ps, c.ps[i])
+		}
+	}
+	n0 := len(ps)
+	for i := range c.ps {
+		if c.ps[i].Tree >= int32(k) {
+			ps = append(ps, c.ps[i])
+		}
+	}
+	if n0 == 0 || n0 == len(ps) {
+		// One side is empty (trees with no usable paths): no boundary.
+		return c.ps, BuildClusters(c.ps, opts.ClusterThreshold), 0
+	}
+	clusters := BuildClusters(ps[:n0], opts.ClusterThreshold)
+	tierEntries := len(clusters)
+	tail := BuildClusters(ps[n0:], opts.ClusterThreshold)
+	for ci := range tail {
+		for pi := range tail[ci].Paths {
+			tail[ci].Paths[pi] += n0
+		}
+	}
+	return ps, append(clusters, tail...), tierEntries
 }
 
 // Compile transforms a trained forest into a Bolt forest, running

@@ -32,6 +32,17 @@ type Scratch struct {
 	pairBuf []int32
 	uncBuf  []int32
 	resDec  []int64
+
+	// Tiered-kernel state (see tiered.go): survivor compaction buffers.
+	// After the tier-0 scan the undecided samples of a block are packed
+	// densely — rows gathered into survRows, re-transposed into
+	// survCols, partial votes into survVotes, original positions in
+	// survIdx — so the tier-1 scan runs the same column kernel over a
+	// smaller block. Grown once; steady state allocates nothing.
+	survRows  []uint64
+	survCols  []uint64
+	survVotes []int64
+	survIdx   []int32
 }
 
 // forEachHit is the shared per-sample dictionary scan: for every entry
@@ -209,7 +220,76 @@ func (bf *Forest) CheckSafety(f *forest.Forest, X [][]float32) error {
 	if err := bf.checkParallelBatch(X, batch); err != nil {
 		return err
 	}
-	return bf.checkAltLayout(X, batch)
+	if err := bf.checkAltLayout(X, batch); err != nil {
+		return err
+	}
+	return bf.checkTieredExact(X, batch)
+}
+
+// checkTieredExact proves the exact-mode tiered kernels against the
+// verified monolithic batch votes, on both memory layouts and the
+// serial and parallel paths: every tiered label must equal the
+// monolithic argmax, and every tiered vote row must either be bit-exact
+// with the monolithic row (the sample escalated) or be a tier-0 prefix
+// whose lead strictly exceeds the exact margin (the decision bound that
+// makes the label provably final). No-op on untier'd forests.
+func (bf *Forest) checkTieredExact(X [][]float32, batch []int64) error {
+	if !bf.Tiered() {
+		return nil
+	}
+	vw := bf.VoteWidth()
+	saved := bf.scanCompact
+	defer func() { bf.scanCompact = saved }()
+	tv := make([]int64, len(X)*vw)
+	out := make([]int, len(X))
+	par := make([]int, len(X))
+	for _, compact := range []bool{false, true} {
+		bf.scanCompact = compact
+		layout := bf.LayoutName()
+		s := bf.NewScratch()
+		var ts TierStats
+		bf.VotesBatchTiered(X, s, tv, -1, &ts)
+		bf.PredictBatchTieredInto(X, s, -1, out, nil)
+		if got, want := ts.Total(), int64(len(X)); got != want {
+			return fmt.Errorf("core: %s tiered stats cover %d of %d samples", layout, got, want)
+		}
+		for i := range X {
+			row := tv[i*vw : (i+1)*vw]
+			ref := forest.Argmax(batch[i*vw : (i+1)*vw])
+			if got := forest.Argmax(row); got != ref {
+				return fmt.Errorf("core: %s tiered votes flip sample %d: tiered=%d monolithic=%d", layout, i, got, ref)
+			}
+			if out[i] != ref {
+				return fmt.Errorf("core: %s tiered predict flips sample %d: tiered=%d monolithic=%d", layout, i, out[i], ref)
+			}
+			full := true
+			for c := 0; c < vw; c++ {
+				if row[c] != batch[i*vw+c] {
+					full = false
+					break
+				}
+			}
+			if !full && tierLead(row) <= bf.TierWeight {
+				return fmt.Errorf("core: %s tiered sample %d decided with lead %d <= exact margin %d", layout, i, tierLead(row), bf.TierWeight)
+			}
+		}
+		for workers := 1; workers <= 4; workers++ {
+			rt := NewRuntime(bf, workers)
+			var pts TierStats
+			bf.PredictBatchTieredParallelInto(X, rt, -1, par, &pts)
+			rt.Close()
+			if got, want := pts.Total(), int64(len(X)); got != want {
+				return fmt.Errorf("core: %s parallel tiered stats (workers=%d) cover %d of %d samples", layout, workers, got, want)
+			}
+			for i := range X {
+				if ref := forest.Argmax(batch[i*vw : (i+1)*vw]); par[i] != ref {
+					return fmt.Errorf("core: %s parallel tiered (workers=%d) flips sample %d: tiered=%d monolithic=%d",
+						layout, workers, i, par[i], ref)
+				}
+			}
+		}
+	}
+	return nil
 }
 
 // checkAltLayout re-runs the row and serial batch paths with the

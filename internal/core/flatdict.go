@@ -29,6 +29,12 @@ type FlatDict struct {
 	commonOff []int32
 	uncommon  []int32
 	uncOff    []int32
+
+	// tierEntries is the tier-0 boundary for staged inference: entries
+	// [0, tierEntries) hold every path of the forest's first TierTrees
+	// trees (see tiered.go). 0 means untier'd. Set by Compile and
+	// DecodeCompiled after construction.
+	tierEntries int
 }
 
 // NewFlatDict flattens d. The per-entry invariants (vals ⊆ mask,
@@ -78,6 +84,9 @@ func NewFlatDict(d *Dictionary) *FlatDict {
 
 // Len returns the number of entries.
 func (fd *FlatDict) Len() int { return len(fd.ids) }
+
+// TierEntries returns the tier-0 entry boundary (0 when untier'd).
+func (fd *FlatDict) TierEntries() int { return fd.tierEntries }
 
 // Words returns the number of 64-bit words per mask.
 func (fd *FlatDict) Words() int { return fd.words }

@@ -119,6 +119,7 @@ func (t *LookupTable) ResultBytes() int {
 // of the (unchanged) serialised model.
 func (bf *Forest) buildCompact() {
 	bf.Compact = NewCompactDict(bf.Flat, bf.Table, bf.VoteWidth())
+	bf.Compact.tierEntries = bf.Flat.tierEntries
 	flatTotal := bf.Flat.SizeBytes() + bf.Table.SlotBytes() + bf.Table.ResultBytes()
 	bf.scanCompact = bf.Compact.TotalBytes() < flatTotal
 }

@@ -24,6 +24,10 @@ const (
 	compiledMagic = uint32(0xb017c04d)
 	// compiledV2 added regression aggregation fields.
 	compiledV2 = uint16(2)
+	// compiledV3 added the tier boundary for staged early-exit
+	// inference (TierTrees/TierEntries/TierWeight/TierMargin); v2
+	// artifacts still decode, with the tier fields zero (untier'd).
+	compiledV3 = uint16(3)
 	// compiledMaxCount bounds decoded counts against corrupt headers.
 	compiledMaxCount = 1 << 28
 )
@@ -46,7 +50,7 @@ func EncodeCompiled(w io.Writer, bf *Forest) error {
 	}
 
 	wU32(compiledMagic)
-	wU16(compiledV2)
+	wU16(compiledV3)
 	wU32(uint32(bf.NumFeatures))
 	wU32(uint32(bf.NumClasses))
 	wU32(uint32(bf.NumTrees))
@@ -62,6 +66,14 @@ func EncodeCompiled(w io.Writer, bf *Forest) error {
 	wBool(o.CompactIDs)
 	wU64(math.Float64bits(o.TableLoadFactor))
 	wU64(o.Seed)
+
+	// Tier boundary (v3): the staged-inference split plus any
+	// calibrated margin, so a serving tier can answer from the tier-0
+	// prefix without recompiling or recalibrating.
+	wU32(uint32(bf.TierTrees))
+	wU32(uint32(bf.TierEntries))
+	wU64(uint64(bf.TierWeight))
+	wU64(uint64(bf.TierMargin))
 
 	// Codebook.
 	wU32(uint32(bf.Codebook.Len()))
@@ -181,8 +193,9 @@ func DecodeCompiled(r io.Reader) (*Forest, error) {
 		}
 		return nil, fmt.Errorf("core: bad magic %#x (not a compiled Bolt forest)", magic)
 	}
-	if v := rU16(); readErr == nil && v != compiledV2 {
-		return nil, fmt.Errorf("core: unsupported compiled model version %d", v)
+	version := rU16()
+	if readErr == nil && version != compiledV2 && version != compiledV3 {
+		return nil, fmt.Errorf("core: unsupported compiled model version %d", version)
 	}
 	bf := &Forest{}
 	bf.NumFeatures = int(rU32())
@@ -211,6 +224,24 @@ func DecodeCompiled(r io.Reader) (*Forest, error) {
 	bf.opts.CompactIDs = rBool()
 	bf.opts.TableLoadFactor = math.Float64frombits(rU64())
 	bf.opts.Seed = rU64()
+
+	// Tier boundary (v3); v2 artifacts are untier'd.
+	bf.TierMargin = -1
+	if version == compiledV3 {
+		bf.TierTrees = int(rU32())
+		bf.TierEntries = int(rU32())
+		bf.TierWeight = int64(rU64())
+		bf.TierMargin = int64(rU64())
+		if readErr == nil {
+			if bf.TierTrees < 0 || bf.TierTrees > bf.NumTrees || bf.TierEntries < 0 ||
+				(bf.TierEntries == 0) != (bf.TierTrees == 0) ||
+				bf.TierWeight < 0 || bf.TierWeight > bf.TotalWeight {
+				return nil, fmt.Errorf("core: corrupt tier boundary (trees=%d entries=%d weight=%d)",
+					bf.TierTrees, bf.TierEntries, bf.TierWeight)
+			}
+			bf.opts.TierTrees = bf.TierTrees
+		}
+	}
 
 	// Codebook.
 	nPreds := int(rU32())
@@ -282,7 +313,11 @@ func DecodeCompiled(r io.Reader) (*Forest, error) {
 	}
 	bf.Dict = d
 	if readErr == nil {
+		if bf.TierEntries > len(d.Entries) {
+			return nil, fmt.Errorf("core: tier boundary %d beyond %d dictionary entries", bf.TierEntries, len(d.Entries))
+		}
 		bf.Flat = NewFlatDict(d)
+		bf.Flat.tierEntries = bf.TierEntries
 	}
 
 	// Lookup table.

@@ -55,11 +55,12 @@ type runtimeState struct {
 	mu     sync.Mutex
 	closed bool
 
-	mode  uint8
-	x     [][]float32 // batch modes: the input rows
-	votes []int64     // rtVotes: the caller's flattened vote matrix
-	out   []int       // rtPredict: the caller's label buffer
-	bits  []uint64    // rtPartition: the sample's evaluated predicate words
+	mode   uint8
+	x      [][]float32 // batch modes: the input rows
+	votes  []int64     // rtVotes: the caller's flattened vote matrix
+	out    []int       // rtPredict/rtTiered: the caller's label buffer
+	bits   []uint64    // rtPartition: the sample's evaluated predicate words
+	margin int64       // rtTiered: the resolved escalation margin
 
 	// tableParts is the backing PartitionedEngine's table partition
 	// count — the one piece of engine state rtPartition workers need.
@@ -75,6 +76,7 @@ const (
 	rtVotes     = uint8(iota) // batch votes into private accumulators
 	rtPredict                 // batch labels straight into rt.out
 	rtPartition               // one sample across dictionary/table partitions
+	rtTiered                  // staged batch labels with per-worker tier stats
 )
 
 // rtWorker is one pool worker. lo/hi and the accumulators are written
@@ -96,6 +98,10 @@ type rtWorker struct {
 	// part is the dictionary/table partition this worker owns when the
 	// runtime backs a PartitionedEngine.
 	part partWorker
+
+	// ts accumulates the worker's tiered outcome counts for one rtTiered
+	// task; the dispatcher zeroes it before the wake and sums after.
+	ts TierStats
 
 	// panicked carries a recovered task panic back to the dispatcher,
 	// which re-panics on the caller's goroutine so serving layers keep
@@ -190,6 +196,8 @@ func (st *runtimeState) runTask(w *rtWorker) {
 		w.runPredictShard(st)
 	case rtPartition:
 		w.runPartitionShard(st)
+	case rtTiered:
+		w.runTieredShard(st)
 	}
 }
 
@@ -387,6 +395,73 @@ func (w *rtWorker) runPredictShard(st *runtimeState) {
 		return
 	}
 	st.bf.PredictBatchInto(st.x[w.lo:w.hi], w.s, st.out[w.lo:w.hi])
+}
+
+// PredictBatchTieredParallelInto is the staged kernel across the
+// runtime's workers: each shard runs the full serial tiered pipeline
+// (tier-0 scan, margin test, survivor compaction, tier-1 resume) over
+// its own 64-aligned run of samples, so tier 0 is parallel and each
+// shard's survivor set is compacted and re-scanned within the owning
+// worker — shards stay disjoint, no survivor crosses cores. Per-worker
+// TierStats are zeroed before dispatch and summed into ts (may be nil)
+// after. Exact mode (margin < 0) produces labels identical to
+// PredictBatchParallelInto. Falls back to the serial tiered kernel
+// exactly like the other parallel entry points.
+func (bf *Forest) PredictBatchTieredParallelInto(X [][]float32, rt *Runtime, margin int64, out []int, ts *TierStats) {
+	if len(out) != len(X) {
+		panicBufLen("out", len(out), len(X))
+	}
+	var local TierStats
+	if ts == nil {
+		ts = &local
+	}
+	if rt == nil {
+		s := bf.NewScratch()
+		bf.PredictBatchTieredInto(X, s, margin, out, ts)
+		return
+	}
+	st := rt.runtimeState
+	if st.bf != bf {
+		panicRuntimeForest()
+	}
+	if bf.Kind == tree.Regression {
+		panic("core: PredictBatchTieredParallelInto on a regression forest (use VotesBatchParallel)")
+	}
+	bf.validateBatchRows(X)
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	active := 0
+	if !st.closed {
+		active = st.shard(len(X))
+	}
+	if active <= 1 {
+		bf.PredictBatchTieredInto(X, st.workers[0].s, margin, out, ts)
+		runtime.KeepAlive(rt)
+		return
+	}
+	for i := 0; i < active; i++ {
+		st.workers[i].ts = TierStats{}
+	}
+	st.mode, st.x, st.out, st.margin = rtTiered, X, out, margin
+	// Deferred so a re-raised worker panic cannot leave the caller's
+	// batch pinned on the runtime.
+	defer func() { st.x, st.out = nil, nil }()
+	st.dispatch(active)
+	for i := 0; i < active; i++ {
+		ts.Tier0Answered += st.workers[i].ts.Tier0Answered
+		ts.Escalated += st.workers[i].ts.Escalated
+	}
+	runtime.KeepAlive(rt)
+}
+
+// runTieredShard is one worker's slice of PredictBatchTieredParallelInto.
+//
+//bolt:hotpath
+func (w *rtWorker) runTieredShard(st *runtimeState) {
+	if w.hi <= w.lo {
+		return
+	}
+	st.bf.PredictBatchTieredInto(st.x[w.lo:w.hi], w.s, st.margin, st.out[w.lo:w.hi], &w.ts)
 }
 
 // runPartitionShard is one worker's slice of PartitionedEngine.Votes:

@@ -4,6 +4,7 @@ import (
 	"bolt/internal/baselines"
 	"bolt/internal/bitpack"
 	"bolt/internal/core"
+	"bolt/internal/forest"
 	"bolt/internal/rng"
 )
 
@@ -88,6 +89,7 @@ const (
 	pcBoltLoop   = 0x401
 	pcBoltBloom  = 0x410
 	pcBoltLookup = 0x420
+	pcBoltTier   = 0x430
 )
 
 // Simulated address regions. Input vectors land in a fixed reused
@@ -216,13 +218,18 @@ func (s *FPSim) Predict(x []float32, m *Machine) int {
 // the verified table probes, in exactly the order core.Forest.Votes
 // performs them. Memory charges are sized from the forest's ACTIVE
 // layout footprint (flat or §5 compact), so a compressed model streams
-// proportionally fewer bytes through the simulated hierarchy.
+// proportionally fewer bytes through the simulated hierarchy. A
+// tier-partitioned forest replays the staged kernel under the model's
+// stored escalation policy: a sample whose tier-0 lead clears the
+// margin stops at the tier boundary, so only the tier-0 share of the
+// dictionary, filter and table bytes is charged for it.
 type BoltSim struct {
 	bf       *core.Forest
 	costs    CostModel
 	bits     *bitpack.Bitset
 	scratch  *core.Scratch
 	probeBuf []uint64
+	votes    []int64
 
 	// Per-element byte charges of the active layout: dictionary bytes
 	// per entry, slot bytes per probe, result-vector bytes per hit.
@@ -237,7 +244,13 @@ func NewBoltSim(bf *core.Forest, costs CostModel) *BoltSim {
 	if n == 0 {
 		n = 1
 	}
-	s := &BoltSim{bf: bf, costs: costs, bits: bitpack.New(n), scratch: bf.NewScratch()}
+	s := &BoltSim{
+		bf:      bf,
+		costs:   costs,
+		bits:    bitpack.New(n),
+		scratch: bf.NewScratch(),
+		votes:   make([]int64, bf.VoteWidth()),
+	}
 	fp := bf.Footprint()
 	slotTotal, resTotal := fp.FlatSlotBytes, fp.FlatResultBytes
 	if fp.Layout == core.LayoutCompact {
@@ -280,9 +293,32 @@ func (s *BoltSim) Predict(x []float32, m *Machine) int {
 		m.Load(inputBase+uint64(f), 64) // input vector, sequential
 	}
 
+	// The staged kernel's early exit: dictionary entries are ordered
+	// tier-0 first, so when the running vote lead at the boundary clears
+	// the model's escalation margin the scan stops and the tier-1 bytes
+	// are never charged — the decided sample pays tier-0-only traffic.
+	tiered := bf.Tiered()
+	margin := int64(0)
+	if tiered {
+		margin = bf.TierMargin
+		if margin < 0 {
+			margin = bf.ExactTierMargin()
+		}
+		for c := range s.votes {
+			s.votes[c] = 0
+		}
+	}
+
 	dictOff := uint64(0)
 	entryBytes := s.entryBytes
 	for i := range bf.Dict.Entries {
+		if tiered && i == bf.TierEntries {
+			decided := voteLead(s.votes) > margin
+			m.Branch(pcBoltTier, decided)
+			if decided {
+				return forest.Argmax(s.votes)
+			}
+		}
 		e := &bf.Dict.Entries[i]
 		m.Load(boltDictBase+dictOff, int(entryBytes))
 		m.Inst(s.costs.BoltPerDictEntry)
@@ -325,7 +361,33 @@ func (s *BoltSim) Predict(x []float32, m *Machine) int {
 			if s.costs.BoltVoteWidth > 0 {
 				m.Inst(bf.NumClasses/s.costs.BoltVoteWidth + 1)
 			}
+			if tiered {
+				for c, v := range bf.Table.Votes(ri) {
+					s.votes[c] += v
+				}
+			}
 		}
 	}
+	if tiered {
+		// Escalated: the accumulated votes span the whole ensemble, so
+		// this is the monolithic answer.
+		return forest.Argmax(s.votes)
+	}
 	return bf.Predict(x, s.scratch)
+}
+
+// voteLead is the margin of the leading class over the runner-up.
+func voteLead(votes []int64) int64 {
+	best, second := votes[0], votes[1]
+	if second > best {
+		best, second = second, best
+	}
+	for _, v := range votes[2:] {
+		if v > best {
+			second, best = best, v
+		} else if v > second {
+			second = v
+		}
+	}
+	return best - second
 }

@@ -276,6 +276,56 @@ func TestSimPredictionsMatch(t *testing.T) {
 	}
 }
 
+// TestTieredSimTier0Bytes proves the simulator charges tier-0-only
+// traffic for samples the staged kernel decides early: on a
+// tier-partitioned forest in exact mode every simulated prediction
+// still matches the trained forest, yet the replay touches strictly
+// less memory than the untier'd compilation of the same forest. A
+// cluster threshold of zero uncommon predicates keeps merging to
+// identical-valued paths only, which a tier partition cannot split —
+// both dictionaries then hold the same entries and any traffic
+// difference comes from the early exit alone.
+func TestTieredSimTier0Bytes(t *testing.T) {
+	d := dataset.SyntheticBlobs(400, 8, 3, 1.2, 81)
+	f := forest.Train(d, forest.Config{NumTrees: 12, Tree: tree.Config{MaxDepth: 4}, Seed: 82})
+	mono, err := core.Compile(f, core.Options{ClusterThreshold: 0, Seed: 83})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// A majority tier-0 prefix: exact-mode decisions need the tier-0
+	// lead to beat the whole tier-1 weight.
+	tiered, err := core.Compile(f, core.Options{ClusterThreshold: 0, Seed: 83, TierTrees: 9})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !tiered.Tiered() {
+		t.Fatal("test forest is not tiered")
+	}
+	if len(mono.Dict.Entries) != len(tiered.Dict.Entries) {
+		t.Fatalf("unmergeable threshold still changed the dictionary: %d vs %d entries",
+			len(mono.Dict.Entries), len(tiered.Dict.Entries))
+	}
+	costs := DefaultCosts()
+	run := func(bf *core.Forest) Counters {
+		sim := NewBoltSim(bf, costs)
+		m := NewMachine(XeonE52650)
+		for _, x := range d.X {
+			if got, want := sim.Predict(x, m), f.Predict(x); got != want {
+				t.Fatalf("tiered=%v sim predicted %d, want %d", bf.Tiered(), got, want)
+			}
+		}
+		return m.C
+	}
+	cMono := run(mono)
+	cTiered := run(tiered)
+	t.Logf("mono:   %v", cMono)
+	t.Logf("tiered: %v", cTiered)
+	if cTiered.MemAccesses >= cMono.MemAccesses {
+		t.Errorf("tiered sim charged %d accesses, want fewer than the %d of the monolithic scan",
+			cTiered.MemAccesses, cMono.MemAccesses)
+	}
+}
+
 // TestFig9Profiles checks that Bolt's modeled latency is positive and
 // sub-~5µs on all three hardware profiles for the small forest, and
 // responds to the profiles' clock/cache differences.

@@ -87,6 +87,88 @@ func TestBatchPredictorUsed(t *testing.T) {
 	}
 }
 
+// tieredEngine exposes the staged tiered kernel in exact mode, the way
+// bolt's predictorEngine does, so tests can prove the server routes
+// batches through it and aggregates the tier counters.
+type tieredEngine struct {
+	bf *core.Forest
+	s  *core.Scratch
+}
+
+func (e *tieredEngine) Predict(x []float32) int { return e.bf.Predict(x, e.s) }
+func (e *tieredEngine) TierEnabled() bool       { return e.bf.Tiered() }
+
+func (e *tieredEngine) PredictBatchTieredInto(X [][]float32, out []int) uint64 {
+	var ts core.TierStats
+	e.bf.PredictBatchTieredInto(X, e.s, -1, out, &ts)
+	return uint64(ts.Tier0Answered)
+}
+
+func (e *tieredEngine) PredictBatchTieredParallelInto(X [][]float32, out []int) uint64 {
+	return e.PredictBatchTieredInto(X, out)
+}
+
+// TestTieredBatchServed proves a tier-partitioned engine's batches run
+// the staged kernel through the server: labels stay bit-exact with the
+// row path (exact mode), every served sample lands in exactly one tier
+// counter, and the escalation-rate histogram records the batches.
+func TestTieredBatchServed(t *testing.T) {
+	d := dataset.SyntheticBlobs(400, 6, 3, 1.0, 511)
+	f := forest.Train(d, forest.Config{NumTrees: 12, Tree: tree.Config{MaxDepth: 4}, Seed: 512})
+	// A majority tier-0 prefix: exact-mode decisions require the tier-0
+	// lead to beat the whole tier-1 weight, impossible unless tier 0
+	// holds more than half the trees.
+	bf, err := core.Compile(f, core.Options{TierTrees: 9})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bf.Tiered() {
+		t.Fatal("test forest is not tiered")
+	}
+	sock := filepath.Join(t.TempDir(), "tiered.sock")
+	srv, err := NewPool(sock, func() Engine {
+		return &tieredEngine{bf: bf, s: bf.NewScratch()}
+	}, d.NumFeatures, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+	cl, err := Dial(sock)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cl.Close()
+
+	labels, _, err := cl.ClassifyBatch(d.X)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := bf.NewScratch()
+	for i, x := range d.X {
+		if want := bf.Predict(x, s); labels[i] != want {
+			t.Fatalf("sample %d: tiered batch served %d, reference %d", i, labels[i], want)
+		}
+	}
+	st := srv.Stats()
+	if st.Tier0Answered+st.TierEscalated != uint64(d.Len()) {
+		t.Errorf("tier counters cover %d samples, want %d",
+			st.Tier0Answered+st.TierEscalated, d.Len())
+	}
+	if st.Tier0Answered == 0 {
+		t.Error("exact-mode tier 0 answered nothing on separable blobs")
+	}
+	var batches uint64
+	for _, n := range st.TierRate {
+		batches += n
+	}
+	if batches == 0 {
+		t.Error("escalation-rate histogram recorded no batches")
+	}
+	if rate := st.TierEscalationRate(); rate < 0 || rate > 1 {
+		t.Errorf("implausible escalation rate %v", rate)
+	}
+}
+
 // Engines without the optional interface must keep working through the
 // row-at-a-time fallback.
 func TestRunBatchFallback(t *testing.T) {

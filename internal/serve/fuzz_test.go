@@ -51,6 +51,11 @@ func FuzzDecodeStats(f *testing.F) {
 	st.CoalescedBatches, st.CoalescedRequests, st.CoalescedRows = 4, 30, 60
 	st.CoalesceSize[4] = 4
 	f.Add(encodeStats(st))
+	st.Tier0Answered, st.TierEscalated = 120, 40
+	st.TierRate[0] = 2
+	st.TierRate[3] = 1
+	st.TierRate[10] = 1
+	f.Add(encodeStats(st))
 	st.Router = &RouterSection{
 		Shed:    5,
 		Retries: 7,

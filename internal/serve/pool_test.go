@@ -274,8 +274,11 @@ func TestStatsRoundTrip(t *testing.T) {
 		Requests: 7, Errors: 2, InFlight: 1, Workers: 4,
 		CoalescedBatches: 3, CoalescedRequests: 17, CoalescedRows: 21,
 		DictBytes: 4096, TableBytes: 8192, Layout: LayoutCompact,
+		Tier0Answered: 150, TierEscalated: 50,
 	}
 	in.CoalesceSize[5] = 3
+	in.TierRate[2] = 2
+	in.TierRate[10] = 1
 	var op OpStat
 	op.Op = OpClassify
 	op.Count = 5
@@ -303,6 +306,13 @@ func TestStatsRoundTrip(t *testing.T) {
 	}
 	if out.DictBytes != in.DictBytes || out.TableBytes != in.TableBytes || out.Layout != in.Layout {
 		t.Fatalf("footprint block mismatch: %+v vs %+v", out, in)
+	}
+	if out.Tier0Answered != in.Tier0Answered || out.TierEscalated != in.TierEscalated ||
+		out.TierRate != in.TierRate {
+		t.Fatalf("tier block mismatch: %+v vs %+v", out, in)
+	}
+	if got := out.TierEscalationRate(); got != 0.25 {
+		t.Errorf("TierEscalationRate = %v, want 0.25", got)
 	}
 	// All three batches sit in bucket 5, so every quantile resolves to
 	// its upper edge.

@@ -57,6 +57,23 @@ type ParallelBatchPredictor interface {
 	ParallelKernelWorkers() int
 }
 
+// TieredBatchPredictor is the optional staged-inference extension:
+// engines over a tier-partitioned model (compiled with TierTrees > 0)
+// classify a batch in two stages — a prefix of the ensemble votes
+// first, and only samples whose leading margin fails to clear the
+// engine's escalation policy pay for the remaining trees. Both predict
+// methods return how many samples the first stage answered (the rest
+// escalated to the full ensemble); the server aggregates those counts
+// into the OpStats tier counters and the per-batch escalation-rate
+// histogram. TierEnabled reports whether the loaded model actually
+// carries a tier split: engines over untier'd models return false and
+// every batch path stays monolithic, with no tier counters recorded.
+type TieredBatchPredictor interface {
+	TierEnabled() bool
+	PredictBatchTieredInto(X [][]float32, out []int) (tier0Answered uint64)
+	PredictBatchTieredParallelInto(X [][]float32, out []int) (tier0Answered uint64)
+}
+
 // FootprintReporter is the optional memory-observability extension:
 // engines that know their resident model size report dictionary and
 // table bytes plus the active layout (a Layout* wire byte), and the
@@ -550,8 +567,14 @@ const parallelBatchMinRows = 256
 // parallelBatchMinRows rows meeting a fully idle pool whose engines
 // expose the multi-core kernel (ParallelBatchPredictor) is classified
 // by one engine fanning out across every core; otherwise the rows are
-// sharded across idle pool workers as before.
+// sharded across idle pool workers as before. Either way, engines over
+// a tier-partitioned model run the staged kernel (see
+// TieredBatchPredictor) and the tier outcome lands in the stats.
 func (s *Server) predictBatch(p *enginePool, X [][]float32) ([]int, error) {
+	tiered := false
+	if tp, ok := p.rep.(TieredBatchPredictor); ok {
+		tiered = tp.TierEnabled()
+	}
 	if pb, ok := p.rep.(ParallelBatchPredictor); ok &&
 		len(X) >= parallelBatchMinRows && pb.ParallelKernelWorkers() > 1 {
 		if labels, took, err := s.predictBatchParallel(p, X); took {
@@ -564,13 +587,18 @@ func (s *Server) predictBatch(p *enginePool, X [][]float32) ([]int, error) {
 		shards = len(X)
 	}
 	if shards <= 1 {
+		var answered uint64
 		err := s.withEngine(p, func(e Engine) {
-			runBatch(e, X, labels)
+			answered = runBatch(e, X, labels)
 		})
+		if err == nil && tiered {
+			s.stats.observeTier(answered, uint64(len(X)))
+		}
 		return labels, err
 	}
 	chunk := (len(X) + shards - 1) / shards
 	errs := make([]error, shards)
+	answered := make([]uint64, shards)
 	var wg sync.WaitGroup
 	for sh := 0; sh < shards; sh++ {
 		lo := sh * chunk
@@ -587,7 +615,7 @@ func (s *Server) predictBatch(p *enginePool, X [][]float32) ([]int, error) {
 		go func(sh, lo, hi int) { //bolt:goroutine wg
 			defer wg.Done()
 			errs[sh] = s.withEngine(p, func(e Engine) {
-				runBatch(e, X[lo:hi], labels[lo:hi])
+				answered[sh] = runBatch(e, X[lo:hi], labels[lo:hi])
 			})
 		}(sh, lo, hi)
 	}
@@ -596,6 +624,13 @@ func (s *Server) predictBatch(p *enginePool, X [][]float32) ([]int, error) {
 		if err != nil {
 			return nil, err
 		}
+	}
+	if tiered {
+		var total uint64
+		for _, a := range answered {
+			total += a
+		}
+		s.stats.observeTier(total, uint64(len(X)))
 	}
 	return labels, nil
 }
@@ -635,6 +670,15 @@ func (s *Server) predictBatchParallel(p *enginePool, X [][]float32) (labels []in
 	}
 	labels = make([]int, len(X))
 	s.stats.parallelBatches.Add(1)
+	if tp, ok := pb.(TieredBatchPredictor); ok && tp.TierEnabled() {
+		var answered uint64
+		err = s.runProtected(func() { answered = tp.PredictBatchTieredParallelInto(X, labels) })
+		if err != nil {
+			return nil, true, err
+		}
+		s.stats.observeTier(answered, uint64(len(X)))
+		return labels, true, nil
+	}
 	err = s.runProtected(func() { pb.PredictBatchParallelInto(X, labels) })
 	if err != nil {
 		return nil, true, err
@@ -643,19 +687,25 @@ func (s *Server) predictBatchParallel(p *enginePool, X [][]float32) (labels []in
 }
 
 // runBatch classifies one shard on a checked-out engine, taking the
-// engine's batch kernel when it offers one and falling back to
-// row-at-a-time Predict otherwise. TestRunBatchZeroAlloc pins the
-// steady-state allocation count at zero.
+// engine's staged tiered kernel when its model carries a tier split,
+// the plain batch kernel when it offers one, and falling back to
+// row-at-a-time Predict otherwise. Returns how many samples the tier-0
+// stage answered (0 on the untier'd paths). TestRunBatchZeroAlloc pins
+// the steady-state allocation count at zero.
 //
 //bolt:hotpath
-func runBatch(e Engine, X [][]float32, out []int) {
+func runBatch(e Engine, X [][]float32, out []int) (tier0Answered uint64) {
+	if tp, ok := e.(TieredBatchPredictor); ok && tp.TierEnabled() {
+		return tp.PredictBatchTieredInto(X, out)
+	}
 	if bp, ok := e.(BatchPredictor); ok {
 		bp.PredictBatchInto(X, out)
-		return
+		return 0
 	}
 	for i, x := range X {
 		out[i] = e.Predict(x)
 	}
+	return 0
 }
 
 func (s *Server) decodeInput(p *enginePool, payload []byte) ([]float32, error) {

@@ -60,6 +60,12 @@ func (c *opCounter) observe(d time.Duration) {
 	c.buckets[b].Add(1)
 }
 
+// TierRateBuckets is the number of escalation-rate histogram buckets:
+// one per decile plus a dedicated top bucket, so bucket b counts
+// batches whose escalated/total fraction lies in [b/10, (b+1)/10) and
+// bucket 10 counts fully escalated batches (rate exactly 1.0).
+const TierRateBuckets = 11
+
 // serverStats is the server's live counter block. parallelBatches
 // counts whole-pool parallel-kernel takeovers (predictBatchParallel);
 // it is observability for tests and debugging, not part of the OpStats
@@ -82,6 +88,15 @@ type serverStats struct {
 	coalescedRows     atomic.Uint64
 	coalesceSize      [HistBuckets]atomic.Uint64
 
+	// Tiered-inference counters: samples the tier-0 prefix answered,
+	// samples escalated to the full ensemble, and a per-batch
+	// escalation-rate histogram (see TierRateBuckets). Recorded only
+	// for batches served by a TieredBatchPredictor whose model carries
+	// a tier split, so an untier'd deployment shows zeros.
+	tier0Answered atomic.Uint64
+	tierEscalated atomic.Uint64
+	tierRate      [TierRateBuckets]atomic.Uint64
+
 	ops [len(trackedOps)]opCounter
 }
 
@@ -93,6 +108,22 @@ func (s *serverStats) observeCoalesceSize(rows int) {
 		b = HistBuckets - 1
 	}
 	s.coalesceSize[b].Add(1)
+}
+
+// observeTier records one tiered batch's outcome: answered samples,
+// escalated samples, and the batch's escalation-rate decile.
+func (s *serverStats) observeTier(answered, total uint64) {
+	if total == 0 {
+		return
+	}
+	if answered > total {
+		answered = total // defensive: a broken engine cannot corrupt the histogram
+	}
+	escalated := total - answered
+	s.tier0Answered.Add(answered)
+	s.tierEscalated.Add(escalated)
+	b := escalated * 10 / total // floor(rate*10); rate 1.0 lands in bucket 10
+	s.tierRate[b].Add(1)
 }
 
 // snapshot copies the counters into an exportable ServerStats. The
@@ -109,9 +140,14 @@ func (s *serverStats) snapshot(workers int) ServerStats {
 		CoalescedBatches:  s.coalescedBatches.Load(),
 		CoalescedRequests: s.coalescedRequests.Load(),
 		CoalescedRows:     s.coalescedRows.Load(),
+		Tier0Answered:     s.tier0Answered.Load(),
+		TierEscalated:     s.tierEscalated.Load(),
 	}
 	for b := range s.coalesceSize {
 		out.CoalesceSize[b] = s.coalesceSize[b].Load()
+	}
+	for b := range s.tierRate {
+		out.TierRate[b] = s.tierRate[b].Load()
 	}
 	for i := range s.ops {
 		c := &s.ops[i]
@@ -191,6 +227,15 @@ type ServerStats struct {
 	CoalescedRequests uint64
 	CoalescedRows     uint64
 	CoalesceSize      [HistBuckets]uint64
+	// Tier0Answered and TierEscalated count samples decided by the
+	// tier-0 tree prefix versus escalated to the full ensemble, across
+	// every batch served by a tiered engine; both stay zero on an
+	// untier'd deployment. TierRate is the per-batch escalation-rate
+	// histogram: bucket b counts batches with escalated/total in
+	// [b/10, (b+1)/10), bucket 10 the fully escalated ones.
+	Tier0Answered uint64
+	TierEscalated uint64
+	TierRate      [TierRateBuckets]uint64
 	// DictBytes and TableBytes are the resident model footprint of the
 	// engine pool's active memory layout: dictionary bytes and
 	// lookup-table bytes (slots + result store). Layout says which
@@ -227,6 +272,16 @@ func LayoutName(l byte) string {
 	default:
 		return fmt.Sprintf("unknown(%d)", l)
 	}
+}
+
+// TierEscalationRate is the overall fraction of tiered samples that
+// escalated past tier 0 (0 when no tiered batch has been served).
+func (s ServerStats) TierEscalationRate() float64 {
+	total := s.Tier0Answered + s.TierEscalated
+	if total == 0 {
+		return 0
+	}
+	return float64(s.TierEscalated) / float64(total)
 }
 
 // CoalesceMeanRows is the mean rows per coalesced batch.
@@ -318,11 +373,13 @@ func (s ServerStats) CoalesceSizeQuantile(q float64) uint64 {
 	return uint64(1) << (HistBuckets - 1)
 }
 
-// statsHeaderBytes is the fixed prefix of an OpStats payload:
+// statsHeaderBytes is the fixed prefix of a v4 OpStats payload:
 // requests | errors | panics | reloads | inFlight | workers |
 // coalescedBatches | coalescedRequests | coalescedRows |
-// dictBytes | tableBytes | layout | coalesceSize histogram | numOps.
-const statsHeaderBytes = 8 + 8 + 8 + 8 + 8 + 4 + 8 + 8 + 8 + 8 + 8 + 1 + HistBuckets*8 + 1
+// dictBytes | tableBytes | layout | coalesceSize histogram |
+// tier0Answered | tierEscalated | tierRate histogram | numOps.
+const statsHeaderBytes = 8 + 8 + 8 + 8 + 8 + 4 + 8 + 8 + 8 + 8 + 8 + 1 + HistBuckets*8 +
+	8 + 8 + TierRateBuckets*8 + 1
 
 // backendStatBytes is the fixed part of one encoded BackendStat:
 // addrLen | state | routed | retried | failures | trips | readmits |
@@ -333,13 +390,15 @@ const backendStatBytes = 1 + 1 + 8*6
 // shed | retries | numBackends.
 const routerSectionBytes = 8 + 8 + 1
 
-// encodeStats packs the header above followed by the ops, each op as
-// op | count | errors | totalNs | buckets. A non-nil Router section
-// appends shed | retries | numBackends | backends, each backend as
-// addrLen | addr | state | routed | retried | failures | trips |
-// readmits | inFlight; addresses are truncated to 255 bytes on the
-// wire. Snapshots without a section (every plain bolt-serve) end at
-// the ops, so the v2 payload shape is unchanged.
+// encodeStats packs the v4 header above followed by the ops, each op
+// as op | count | errors | totalNs | buckets. (v4 widened the header
+// with the tier counters and escalation-rate histogram; client and
+// server ship together, so the payload carries no version byte.) A
+// non-nil Router section appends shed | retries | numBackends |
+// backends, each backend as addrLen | addr | state | routed | retried
+// | failures | trips | readmits | inFlight; addresses are truncated to
+// 255 bytes on the wire. Snapshots without a section (every plain
+// bolt-serve) end at the ops.
 //
 //bolt:wire stats encode
 func encodeStats(st ServerStats) []byte {
@@ -373,6 +432,13 @@ func encodeStats(st ServerStats) []byte {
 	buf[84] = st.Layout
 	off := 85
 	for _, b := range st.CoalesceSize {
+		binary.LittleEndian.PutUint64(buf[off:], b)
+		off += 8
+	}
+	binary.LittleEndian.PutUint64(buf[off:], st.Tier0Answered)
+	binary.LittleEndian.PutUint64(buf[off+8:], st.TierEscalated)
+	off += 16
+	for _, b := range st.TierRate {
 		binary.LittleEndian.PutUint64(buf[off:], b)
 		off += 8
 	}
@@ -454,6 +520,13 @@ func decodeStats(payload []byte) (ServerStats, error) {
 	off := 85
 	for b := range st.CoalesceSize {
 		st.CoalesceSize[b] = binary.LittleEndian.Uint64(payload[off:])
+		off += 8
+	}
+	st.Tier0Answered = binary.LittleEndian.Uint64(payload[off:])
+	st.TierEscalated = binary.LittleEndian.Uint64(payload[off+8:])
+	off += 16
+	for b := range st.TierRate {
+		st.TierRate[b] = binary.LittleEndian.Uint64(payload[off:])
 		off += 8
 	}
 	n := int(payload[off])

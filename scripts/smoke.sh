@@ -192,6 +192,66 @@ kill "$serve_pid" 2>/dev/null || true
 wait "$serve_pid" 2>/dev/null || true
 serve_pid=""
 
+echo "== tiered early exit =="
+# Exact-mode tiering over 4 of the model's 5 trees — a majority, so
+# tier-0 leads can actually clear the remaining tree's weight. The
+# tiered server's batch labels must be bit-exact with an untier'd
+# baseline serving the same model (exact mode provably cannot flip an
+# argmax), and the stats wire must show samples answered at tier 0.
+rm -f "$sock"
+"$workdir/bolt-serve" -model "$workdir/forest.bin" -socket "$sock" \
+    -workers 2 > "$workdir/tbase.log" &
+serve_pid=$!
+for _ in $(seq 50); do
+    [ -S "$sock" ] && break
+    kill -0 "$serve_pid" 2>/dev/null || { echo "bolt-serve died" >&2; exit 1; }
+    sleep 0.1
+done
+[ -S "$sock" ] || { echo "socket never appeared" >&2; exit 1; }
+tbase=$("$workdir/bolt-client" -socket "$sock" -dataset lstw -n 240 -batch 60 -timeout 10s \
+    | grep "classified 240 samples") || { echo "untier'd baseline classify failed" >&2; exit 1; }
+kill "$serve_pid" 2>/dev/null || true
+wait "$serve_pid" 2>/dev/null || true
+serve_pid=""
+rm -f "$sock"
+
+"$workdir/bolt-serve" -model "$workdir/forest.bin" -socket "$sock" \
+    -workers 2 -tier-trees 4 > "$workdir/tier.log" &
+serve_pid=$!
+for _ in $(seq 50); do
+    [ -S "$sock" ] && break
+    kill -0 "$serve_pid" 2>/dev/null || { echo "bolt-serve died" >&2; exit 1; }
+    sleep 0.1
+done
+[ -S "$sock" ] || { echo "socket never appeared" >&2; exit 1; }
+grep -q "tiered inference on" "$workdir/tier.log" || {
+    echo "server did not announce tiered inference" >&2
+    cat "$workdir/tier.log" >&2
+    exit 1
+}
+
+tout=$("$workdir/bolt-client" -socket "$sock" -dataset lstw -n 240 -batch 60 -timeout 10s \
+    | grep "classified 240 samples") || { echo "tiered classify failed" >&2; exit 1; }
+[ "$tout" = "$tbase" ] || {
+    echo "exact-mode tiered output diverged from the untier'd baseline:" >&2
+    echo "baseline: $tbase" >&2
+    echo "tiered:   $tout" >&2
+    exit 1
+}
+
+stats=$("$workdir/bolt-client" stats -socket "$sock" -timeout 10s)
+echo "$stats"
+echo "$stats" | grep -Eq "tiered: [1-9][0-9]* answered at tier 0" || {
+    echo "no samples answered at tier 0 in exact mode" >&2
+    exit 1
+}
+echo "$stats" | grep -q " 0 errors" || { echo "server saw errors under tiered load" >&2; exit 1; }
+
+# Tear down the tiered server before the replicated-tier scenario.
+kill "$serve_pid" 2>/dev/null || true
+wait "$serve_pid" 2>/dev/null || true
+serve_pid=""
+
 echo "== replicated tier through bolt-router =="
 # Three backends behind one router; SIGKILL a backend mid-wave and
 # require zero client-visible errors, then prove the breaker tripped

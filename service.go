@@ -153,6 +153,22 @@ func ParallelForestEngineFactory(bf *CompiledForest, kernelWorkers int) EngineFa
 	return func() Engine { return &predictorEngine{p: NewPredictorWithRuntime(bf, rt)} }
 }
 
+// TieredForestEngineFactory is ParallelForestEngineFactory with an
+// explicit tier escalation policy: every predictor the factory builds
+// applies tier with SetTier, overriding the model's stored policy.
+// Use it when bolt-serve's -tier-margin flag (or an embedder) pins a
+// calibrated threshold; factories built by ForestEngineFactory /
+// ParallelForestEngineFactory already serve tiered models with the
+// policy stored on the artifact.
+func TieredForestEngineFactory(bf *CompiledForest, kernelWorkers int, tier TierConfig) EngineFactory {
+	rt := NewRuntime(bf, kernelWorkers)
+	return func() Engine {
+		p := NewPredictorWithRuntime(bf, rt)
+		p.SetTier(tier)
+		return &predictorEngine{p: p}
+	}
+}
+
 // ServeForest starts a service over a compiled Bolt forest with a pool
 // of `workers` predictors, each owning its scratch buffers (the
 // compiled forest itself is immutable and shared). workers < 1
@@ -187,6 +203,25 @@ func (e *predictorEngine) PredictBatchParallelInto(X [][]float32, out []int) {
 }
 
 func (e *predictorEngine) ParallelKernelWorkers() int { return e.p.ParallelWorkers() }
+
+// TierEnabled, PredictBatchTieredInto and PredictBatchTieredParallelInto
+// satisfy serve.TieredBatchPredictor: batches against a tier-partitioned
+// model run the staged kernel — tier-0 prefix first, escalation only for
+// samples whose margin fails the predictor's tier policy — and the server
+// aggregates the returned tier-0 answer counts into its stats.
+func (e *predictorEngine) TierEnabled() bool { return e.p.Tiered() }
+
+func (e *predictorEngine) PredictBatchTieredInto(X [][]float32, out []int) uint64 {
+	var ts TierStats
+	e.p.PredictBatchTieredInto(X, out, &ts)
+	return uint64(ts.Tier0Answered)
+}
+
+func (e *predictorEngine) PredictBatchTieredParallelInto(X [][]float32, out []int) uint64 {
+	var ts TierStats
+	e.p.PredictBatchTieredParallelInto(X, out, &ts)
+	return uint64(ts.Tier0Answered)
+}
 
 // ModelFootprint satisfies serve.FootprintReporter: OpStats snapshots
 // report the resident bytes of the forest's active memory layout.
